@@ -1,0 +1,49 @@
+// fmimodel regenerates the paper's data tables and analytic-model
+// figures: Table I, Fig 1 (TSUBAME2.0 failure statistics), Table II
+// (Sierra specification), Fig 16 (24-hour survival probability) and
+// Fig 17 (multilevel C/R efficiency).
+//
+// Usage:
+//
+//	fmimodel <table1|fig1|table2|fig16|fig17|all>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fmi/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fmimodel <table1|fig1|table2|fig16|fig17|all>")
+		os.Exit(2)
+	}
+	scales := []float64{1, 2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+	run := func(name string) {
+		switch name {
+		case "table1":
+			experiments.PrintTable1(os.Stdout)
+		case "fig1":
+			experiments.PrintFig1(os.Stdout)
+		case "table2":
+			experiments.PrintTable2(os.Stdout)
+		case "fig16":
+			experiments.PrintFig16(os.Stdout, experiments.Fig16(scales))
+		case "fig17":
+			experiments.PrintFig17(os.Stdout, experiments.Fig17(scales))
+		default:
+			fmt.Fprintf(os.Stderr, "fmimodel: unknown output %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+	if os.Args[1] == "all" {
+		for _, name := range []string{"table1", "fig1", "table2", "fig16", "fig17"} {
+			run(name)
+		}
+		return
+	}
+	run(os.Args[1])
+}

@@ -1,0 +1,50 @@
+package fmi_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"fmi"
+)
+
+// Example demonstrates the paper's Fig 3 programming model: a
+// checkpointed loop that survives a node failure injected mid-run.
+// The output is identical to a failure-free run.
+func Example() {
+	cfg := fmi.Config{
+		Ranks:              4,
+		ProcsPerNode:       1,
+		SpareNodes:         1,
+		CheckpointInterval: 2,
+		XORGroupSize:       4,
+		DetectDelay:        5 * time.Millisecond,
+		Timeout:            time.Minute,
+		Faults:             &fmi.FaultPlan{Script: []fmi.Fault{{AfterLoop: 3, Node: -1, Rank: 2}}},
+	}
+	_, err := fmi.Run(cfg, func(env *fmi.Env) error {
+		state := make([]byte, 8)
+		world := env.World()
+		for {
+			n := env.Loop(state)
+			if n >= 6 {
+				break
+			}
+			sum, err := fmi.AllreduceInt64(world, fmi.SumInt64(), int64(env.Rank()+1))
+			if err != nil {
+				continue // recover at the next Loop call
+			}
+			binary.LittleEndian.PutUint64(state, uint64(n+1))
+			if env.Rank() == 0 && n == 5 {
+				fmt.Printf("final allreduce: %d\n", sum[0])
+			}
+			_ = sum
+		}
+		return env.Finalize()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: final allreduce: 10
+}

@@ -1,0 +1,325 @@
+// Package fmi is a Go implementation of FMI — the Fault Tolerant
+// Messaging Interface of Sato et al. (IPDPS 2014): a survivable
+// MPI-like messaging runtime coupled with fast in-memory XOR-encoded
+// checkpoint/restart, scalable failure detection over a log-ring
+// overlay network, and dynamic spare-node allocation.
+//
+// Applications are written with MPI-style semantics against an Env and
+// run *through* failures: the runtime detects a failed node, allocates
+// a spare, respawns the lost ranks, transparently rebuilds
+// communicators, rolls every rank back to the last in-memory
+// checkpoint, and continues.
+//
+// The minimal fault-tolerant program mirrors the paper's Fig 3:
+//
+//	fmi.Run(cfg, func(env *fmi.Env) error {
+//	    state := make([]byte, stateSize)
+//	    for {
+//	        n := env.Loop(state)     // checkpoint / rollback point
+//	        if n >= numLoop {
+//	            break
+//	        }
+//	        // ... one iteration using env.World() collectives/p2p;
+//	        // on a communication error, just continue to Loop.
+//	    }
+//	    return env.Finalize()
+//	})
+//
+// The runtime executes ranks as goroutine "processes" on a simulated
+// cluster substrate (see DESIGN.md for the substitution table mapping
+// each piece to the paper's hardware testbed).
+package fmi
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+
+	"fmi/internal/cluster"
+	"fmi/internal/core"
+	"fmi/internal/runtime"
+	"fmi/internal/trace"
+	"fmi/internal/transport"
+)
+
+// Comm is an FMI communicator; see the core package for its methods
+// (Send, Recv, Sendrecv, Isend/Irecv, Barrier, Bcast, Reduce,
+// Allreduce, Gather, Allgather, Scatter, Alltoall, Dup, Split).
+type Comm = core.Comm
+
+// Request is a pending nonblocking operation.
+type Request = core.Request
+
+// Op combines two equal-length byte buffers element-wise in a
+// reduction.
+type Op = core.Op
+
+// Stats is a snapshot of runtime statistics aggregated across all
+// ranks.
+type Stats = core.StatsSnapshot
+
+// TraceEvent is one entry of a run's recovery timeline (enable with
+// Config.TraceTo or inspect Report.Timeline).
+type TraceEvent = trace.Event
+
+// AnySource matches any sender in Recv.
+const AnySource = core.AnySource
+
+// Errors surfaced to applications.
+var (
+	// ErrFailureDetected is returned by communication calls between a
+	// failure notification and the recovery performed by Loop.
+	ErrFailureDetected = core.ErrFailureDetected
+	// ErrUnrecoverable reports damage beyond level-1 checkpointing
+	// (e.g. two nodes of one XOR group lost at once).
+	ErrUnrecoverable = core.ErrUnrecoverable
+)
+
+// TransportKind selects the communication substrate.
+type TransportKind int
+
+const (
+	// ChanTransport is the in-process channel network (default): the
+	// low-latency path standing in for InfiniBand verbs.
+	ChanTransport TransportKind = iota
+	// TCPTransport runs every endpoint on a real loopback TCP socket.
+	TCPTransport
+)
+
+// Fault is one scripted failure. The zero AfterLoop value of 0 fires
+// on the first completed loop; set AfterLoop to -1 to use the time
+// trigger instead.
+type Fault struct {
+	After     time.Duration // fire this long after launch (AfterLoop must be -1)
+	AfterLoop int           // fire once any rank completes this loop id
+	Rank      int           // target the node hosting this rank (when Node < 0)
+	Node      int           // explicit node id target; -1 targets via Rank
+	ProcOnly  bool          // kill a single process; its siblings follow (§IV-B)
+}
+
+// FaultPlan configures failure injection for a run.
+type FaultPlan struct {
+	// MTBF enables Poisson node failures with this mean time between
+	// failures (the paper's §VI-B experiment uses one minute).
+	MTBF time.Duration
+	// MaxFailures bounds the number of injected failures (0 = no
+	// Poisson bound; scripted faults always fire).
+	MaxFailures int
+	// Script lists deterministic faults.
+	Script []Fault
+	// Seed makes Poisson injection reproducible.
+	Seed int64
+}
+
+// Config configures an FMI job.
+type Config struct {
+	// Ranks is the world size (constant across failures).
+	Ranks int
+	// ProcsPerNode places this many consecutive ranks per node
+	// (paper's Sierra runs use 12).
+	ProcsPerNode int
+	// SpareNodes reserves nodes for fault tolerance; when exhausted
+	// the resource manager provisions more after ProvisionDelay.
+	SpareNodes int
+	// ProvisionDelay models waiting on the resource manager when the
+	// spare pool is dry.
+	ProvisionDelay time.Duration
+	// CheckpointInterval checkpoints every n-th loop; 0 enables
+	// Vaidya auto-tuning from MTBF (which then must be set).
+	CheckpointInterval int
+	// MTBF is the failure rate assumption used for auto-tuning.
+	MTBF time.Duration
+	// XORGroupSize is the encoding group size (paper default 16).
+	XORGroupSize int
+	// Level2Every enables multilevel C/R (paper §VIII future work):
+	// every Level2Every-th checkpoint is additionally flushed to a
+	// simulated parallel file system, and recovery falls back to it
+	// when a failure exceeds the XOR groups (e.g. two nodes of one
+	// group lost at once). 0 disables level 2.
+	Level2Every int
+	// LogRingBase is the log-ring base k (paper default 2).
+	LogRingBase int
+	// Transport selects the substrate.
+	Transport TransportKind
+	// DetectDelay models how long peers take to observe a process
+	// death on monitored connections (ibverbs showed ~0.2 s; tests
+	// and examples usually shrink it).
+	DetectDelay time.Duration
+	// PropDelay models observation of an explicit connection close
+	// (log-ring propagation hop).
+	PropDelay time.Duration
+	// Faults optionally injects failures.
+	Faults *FaultPlan
+	// Timeout aborts a wedged run (0 = none).
+	Timeout time.Duration
+	// MaxEpochs bounds recovery rounds (safety valve, default 1024).
+	MaxEpochs int
+	// TraceTo, when non-nil, receives a printed timeline of the run's
+	// lifecycle events (failures, epochs, H1/H2/H3 transitions,
+	// checkpoints, rollbacks) after completion. The raw events are
+	// also returned in Report.Timeline.
+	TraceTo io.Writer
+}
+
+// Report summarises a run.
+type Report struct {
+	// Stats aggregates checkpoint/restore/recovery measurements.
+	Stats Stats
+	// Recoveries is the number of recovery epochs performed.
+	Recoveries int
+	// SparesConsumed counts replacement nodes allocated.
+	SparesConsumed int
+	// WallTime is the job duration.
+	WallTime time.Duration
+	// MaxLoopID is the highest loop id any rank reported.
+	MaxLoopID int
+	// FailuresInjected counts faults actually fired.
+	FailuresInjected int
+	// Timeline holds the recorded lifecycle events when tracing was
+	// enabled via Config.TraceTo.
+	Timeline []TraceEvent
+}
+
+// Env is a rank's handle to the FMI runtime (the paper's FMI_* calls).
+type Env struct {
+	p *core.Proc
+}
+
+// Rank returns the calling process's FMI (virtual) rank.
+func (e *Env) Rank() int { return e.p.Rank() }
+
+// Size returns the world size.
+func (e *Env) Size() int { return e.p.Size() }
+
+// World returns the world communicator (FMI_COMM_WORLD).
+func (e *Env) World() *Comm { return e.p.World() }
+
+// Loop is FMI_Loop: it registers the checkpoint segments, writes an
+// in-memory XOR-encoded checkpoint at the configured interval, and on
+// failure recovers the job and rolls the segments back, returning the
+// loop id of the restored checkpoint. Call it at the top of the
+// application's main loop with the same segments every time.
+func (e *Env) Loop(segments ...[]byte) int { return e.p.Loop(segments) }
+
+// Finalize leaves the job cleanly (collective).
+func (e *Env) Finalize() error { return e.p.Finalize() }
+
+// Epoch returns the current recovery epoch (0 before any failure).
+func (e *Env) Epoch() uint32 { return e.p.Epoch() }
+
+// FailureDetected reports whether a failure notification is pending
+// (communication calls will fail until the next Loop call).
+func (e *Env) FailureDetected() bool { return e.p.FailureDetected() }
+
+// CheckpointInterval returns the interval currently in effect (it may
+// have been re-tuned from the MTBF).
+func (e *Env) CheckpointInterval() int { return e.p.Interval() }
+
+// App is the application body run by every rank.
+type App func(env *Env) error
+
+// Run launches the application on a simulated cluster under the FMI
+// runtime and blocks until every rank finishes or the job aborts.
+func Run(cfg Config, app App) (*Report, error) {
+	var nw transport.Network
+	opts := transport.Options{DetectDelay: cfg.DetectDelay, PropDelay: cfg.PropDelay}
+	if opts.DetectDelay == 0 {
+		opts.DetectDelay = 200 * time.Millisecond // ibverbs-observed default (§VI-A)
+	}
+	if opts.PropDelay == 0 {
+		opts.PropDelay = 20 * time.Millisecond
+	}
+	switch cfg.Transport {
+	case TCPTransport:
+		nw = transport.NewTCPNetwork(opts)
+	default:
+		nw = transport.NewChanNetwork(opts)
+	}
+
+	ppn := cfg.ProcsPerNode
+	if ppn <= 0 {
+		ppn = 1
+	}
+	nodes := (cfg.Ranks + ppn - 1) / ppn
+	clu := cluster.New(nodes + cfg.SpareNodes)
+
+	var rec *trace.Recorder
+	if cfg.TraceTo != nil {
+		rec = trace.New()
+	}
+	rcfg := runtime.Config{
+		Trace:          rec,
+		Ranks:          cfg.Ranks,
+		ProcsPerNode:   ppn,
+		SpareNodes:     cfg.SpareNodes,
+		Interval:       cfg.CheckpointInterval,
+		MTBF:           cfg.MTBF,
+		GroupSize:      cfg.XORGroupSize,
+		RingBase:       cfg.LogRingBase,
+		L2Every:        cfg.Level2Every,
+		Network:        nw,
+		Cluster:        clu,
+		Timeout:        cfg.Timeout,
+		MaxEpochs:      cfg.MaxEpochs,
+		ProvisionDelay: cfg.ProvisionDelay,
+	}
+
+	var inj *cluster.Injector
+	var jobRef atomic.Pointer[runtime.Job]
+	if cfg.Faults != nil {
+		inj = cluster.NewInjector(clu,
+			func(rank int) *cluster.Node {
+				if j := jobRef.Load(); j != nil {
+					return j.NodeOfRank(rank)
+				}
+				return nil
+			},
+			func() []*cluster.Node {
+				if j := jobRef.Load(); j != nil {
+					return j.ActiveNodes()
+				}
+				return nil
+			},
+			cfg.Faults.Seed)
+		var script []cluster.Fault
+		for _, f := range cfg.Faults.Script {
+			cf := cluster.Fault{After: f.After, AfterLoop: f.AfterLoop, Rank: f.Rank, Node: f.Node, ProcOnly: f.ProcOnly}
+			if f.After > 0 {
+				cf.AfterLoop = -1
+			}
+			script = append(script, cf)
+		}
+		inj.SetScript(script)
+		if cfg.Faults.MTBF > 0 {
+			inj.SetPoisson(cfg.Faults.MTBF, cfg.Faults.MaxFailures)
+		}
+		rcfg.OnLoop = inj.OnLoop
+	}
+	j, err := runtime.Launch(rcfg, func(p *core.Proc) error {
+		return app(&Env{p: p})
+	})
+	if err != nil {
+		return nil, err
+	}
+	jobRef.Store(j)
+	if inj != nil {
+		inj.Start()
+		defer inj.Stop()
+	}
+	rep, err := j.Wait()
+	out := &Report{
+		Stats:          rep.Stats,
+		Recoveries:     int(rep.Epochs),
+		SparesConsumed: rep.SparesConsumed,
+		WallTime:       rep.WallTime,
+		MaxLoopID:      rep.MaxLoopID,
+	}
+	if inj != nil {
+		out.FailuresInjected = inj.Fired()
+	}
+	if rec != nil {
+		out.Timeline = rec.Events()
+		rec.Dump(cfg.TraceTo)
+	}
+	return out, err
+}

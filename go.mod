@@ -1,0 +1,3 @@
+module fmi
+
+go 1.22

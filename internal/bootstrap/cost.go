@@ -1,0 +1,90 @@
+package bootstrap
+
+import (
+	"math"
+	"time"
+)
+
+// CostModel converts exchange structure into modelled wall-clock time
+// at paper scale. The constants are calibrated so that the modelled
+// curves land in the same range as the paper's Fig 14 measurements on
+// Sierra (FMI_Init ≈ 2 s and MVAPICH2 MPI_Init ≈ 4.5 s at 1536
+// processes); only the *shape* — FMI roughly 2× faster, both growing
+// with process count, log-ring cost negligible — is claimed, as the
+// absolute values depend on the machine.
+type CostModel struct {
+	// Setup is the fixed job-launch overhead (allocation handshake,
+	// binary/library load from the shared file system).
+	Setup time.Duration
+	// SpawnPerProc is the serialized per-process launch cost at the
+	// manager.
+	SpawnPerProc time.Duration
+	// CoordPerOp is the coordinator's service time per small PMI op
+	// (put/get/fence).
+	CoordPerOp time.Duration
+	// HopLatency is one proc-to-proc message latency in the tree.
+	HopLatency time.Duration
+	// ConnectCost is the cost of establishing one monitored (log-ring)
+	// connection.
+	ConnectCost time.Duration
+	// ExtraMPISetup reflects MVAPICH2's heavier per-job initialisation
+	// (shared-memory segments, rendezvous protocol setup).
+	ExtraMPISetup time.Duration
+}
+
+// DefaultCostModel returns the calibration used for the Fig 14
+// reproduction.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Setup:         250 * time.Millisecond,
+		SpawnPerProc:  1200 * time.Microsecond,
+		CoordPerOp:    1 * time.Microsecond,
+		HopLatency:    1 * time.Millisecond,
+		ConnectCost:   5 * time.Millisecond,
+		ExtraMPISetup: 250 * time.Millisecond,
+	}
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// TreeBootstrapTime models the FMI H1 bootstrap (PMGR tree) for n
+// processes: spawn + registration + 2·depth tree rounds.
+func (cm CostModel) TreeBootstrapTime(n int) time.Duration {
+	depth := log2ceil(n)
+	return cm.Setup +
+		time.Duration(n)*cm.SpawnPerProc +
+		time.Duration(n)*cm.CoordPerOp + // one registration each
+		time.Duration(2*depth)*cm.HopLatency
+}
+
+// LogRingTime models the H2 state: each process opens ⌈log2 n⌉
+// monitored connections, all processes in parallel.
+func (cm CostModel) LogRingTime(n, base int) time.Duration {
+	if base < 2 {
+		base = 2
+	}
+	conns := 0
+	for d := 1; d < n; d *= base {
+		conns++
+	}
+	return time.Duration(conns) * cm.ConnectCost
+}
+
+// FMIInitTime models the complete FMI_Init: H1 bootstrap + H2 log-ring.
+func (cm CostModel) FMIInitTime(n, base int) time.Duration {
+	return cm.TreeBootstrapTime(n) + cm.LogRingTime(n, base)
+}
+
+// MPIInitTime models MVAPICH2's MPI_Init over SLURM/PMI: spawn +
+// n puts + n fences + n² gets through the coordinator + heavier setup.
+func (cm CostModel) MPIInitTime(n int) time.Duration {
+	coordOps := time.Duration(2*n) * cm.CoordPerOp
+	gets := time.Duration(n) * time.Duration(n) * cm.CoordPerOp
+	return cm.Setup + cm.ExtraMPISetup +
+		time.Duration(n)*cm.SpawnPerProc + coordOps + gets
+}

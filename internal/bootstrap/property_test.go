@@ -1,0 +1,82 @@
+package bootstrap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the gather/bcast tree is a well-formed spanning tree —
+// every non-root has exactly one parent, parent/children relations are
+// duals, and following parents always reaches the root.
+func TestQuickTreeIsSpanning(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := 1 + int(nRaw)%2000
+		for r := 1; r < n; r++ {
+			p := treeParent(r)
+			if p < 0 || p >= n || p == r {
+				return false
+			}
+			found := false
+			for _, c := range treeChildren(p, n) {
+				if c == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		// Path to root terminates (depth bounded by log2 n + 1).
+		for r := 0; r < n; r += 1 + n/17 {
+			steps := 0
+			for v := r; v != 0; v = treeParent(v) {
+				steps++
+				if steps > 64 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: children lists partition 1..n-1 exactly once.
+func TestQuickTreeChildrenPartition(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := 1 + int(nRaw)%1000
+		seen := make([]int, n)
+		for p := 0; p < n; p++ {
+			for _, c := range treeChildren(p, n) {
+				if c <= 0 || c >= n {
+					return false
+				}
+				seen[c]++
+			}
+		}
+		for r := 1; r < n; r++ {
+			if seen[r] != 1 {
+				return false
+			}
+		}
+		return seen[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cost model's MPI/FMI ordering holds at every scale.
+func TestQuickCostModelOrdering(t *testing.T) {
+	cm := DefaultCostModel()
+	f := func(nRaw uint16) bool {
+		n := 2 + int(nRaw)%4000
+		return cm.MPIInitTime(n) > cm.FMIInitTime(n, 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package ckpt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random world shapes, the group assignment always
+// covers every rank, keeps same-node ranks in distinct groups, and is
+// agreed by all members.
+func TestQuickGroupsInvariants(t *testing.T) {
+	f := func(worldRaw, ppnRaw, gsRaw uint8) bool {
+		world := 1 + int(worldRaw)%200
+		ppn := 1 + int(ppnRaw)%8
+		gs := 2 + int(gsRaw)%30
+		groups, index := Groups(world, ppn, gs)
+		for r := 0; r < world; r++ {
+			members := groups[r]
+			if len(members) == 0 || members[index[r]] != r {
+				return false
+			}
+			nodes := map[int]bool{}
+			for i, m := range members {
+				if m < 0 || m >= world {
+					return false
+				}
+				// Agreement: every member has the identical group.
+				peer := groups[m]
+				if len(peer) != len(members) || peer[i] != m || index[m] != i {
+					return false
+				}
+				node := m / ppn
+				if nodes[node] {
+					return false // two ranks of one node share a group
+				}
+				nodes[node] = true
+			}
+			if len(members) > gs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the groups partition the world — iterating the distinct
+// groups (identified by their first member) visits every rank exactly
+// once.
+func TestQuickGroupsPartition(t *testing.T) {
+	f := func(worldRaw, ppnRaw, gsRaw uint8) bool {
+		world := 1 + int(worldRaw)%150
+		ppn := 1 + int(ppnRaw)%6
+		gs := 2 + int(gsRaw)%20
+		groups, _ := Groups(world, ppn, gs)
+		counted := map[int]bool{} // group leader -> visited
+		hits := make([]int, world)
+		for r := 0; r < world; r++ {
+			leader := groups[r][0]
+			if counted[leader] {
+				continue
+			}
+			counted[leader] = true
+			for _, m := range groups[r] {
+				hits[m]++
+			}
+		}
+		for r := 0; r < world; r++ {
+			if hits[r] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ring-encoded parity always reconstructs any single lost
+// member even when the group mixes empty and large checkpoints.
+func TestQuickExtremalSizes(t *testing.T) {
+	f := func(gRaw, lostRaw uint8, bigLen uint16) bool {
+		g := 2 + int(gRaw)%10
+		lost := int(lostRaw) % g
+		data := make([][]byte, g)
+		for i := range data {
+			switch i % 3 {
+			case 0:
+				data[i] = []byte{} // empty checkpoint
+			case 1:
+				data[i] = make([]byte, 1+int(bigLen)%2000)
+				for j := range data[i] {
+					data[i][j] = byte(i + j)
+				}
+			default:
+				data[i] = []byte{byte(i)}
+			}
+		}
+		parity, chunkLen := EncodeLocal(data)
+		got := ReconstructLocal(data, parity, chunkLen, lost, len(data[lost]))
+		if len(got) != len(data[lost]) {
+			return false
+		}
+		for j := range got {
+			if got[j] != data[lost][j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

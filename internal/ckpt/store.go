@@ -1,0 +1,166 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSizeMismatch is returned when restoring into segments whose
+// shapes differ from the captured ones.
+var ErrSizeMismatch = errors.New("ckpt: segment sizes do not match checkpoint")
+
+// Snapshot is one rank's checkpoint: the registered segments
+// concatenated by memcpy, tagged with the loop id they capture.
+type Snapshot struct {
+	LoopID int
+	Data   []byte
+	Sizes  []int
+}
+
+// Capture copies the segments into a snapshot (the paper's "write
+// checkpoints in memory using memcpy").
+func Capture(loopID int, segs [][]byte) *Snapshot {
+	total := 0
+	sizes := make([]int, len(segs))
+	for i, s := range segs {
+		sizes[i] = len(s)
+		total += len(s)
+	}
+	data := make([]byte, total)
+	off := 0
+	for _, s := range segs {
+		off += copy(data[off:], s)
+	}
+	return &Snapshot{LoopID: loopID, Data: data, Sizes: sizes}
+}
+
+// Restore copies the snapshot back into the segments, which must have
+// exactly the captured shapes.
+func (s *Snapshot) Restore(segs [][]byte) error {
+	if len(segs) != len(s.Sizes) {
+		return fmt.Errorf("%w: %d segments, checkpoint has %d", ErrSizeMismatch, len(segs), len(s.Sizes))
+	}
+	for i, seg := range segs {
+		if len(seg) != s.Sizes[i] {
+			return fmt.Errorf("%w: segment %d is %d bytes, checkpoint has %d", ErrSizeMismatch, i, len(seg), s.Sizes[i])
+		}
+	}
+	off := 0
+	for _, seg := range segs {
+		off += copy(seg, s.Data[off:off+len(seg)])
+	}
+	return nil
+}
+
+// FromData reconstitutes a snapshot from raw restored bytes and the
+// segment shape.
+func FromData(loopID int, data []byte, sizes []int) *Snapshot {
+	return &Snapshot{LoopID: loopID, Data: data, Sizes: sizes}
+}
+
+// Entry is a complete protected checkpoint: the local snapshot plus
+// this rank's stored parity chain and the group metadata needed to
+// reconstruct any single lost member.
+type Entry struct {
+	Snap       *Snapshot
+	Parity     []byte // chain stored at this rank (chain id == group-local rank)
+	ChunkLen   int
+	GroupSizes []int // checkpoint sizes of every group member, by group-local rank
+	GroupLoop  int   // loop id the group agreed on
+}
+
+// Store double-buffers checkpoints: a new entry is staged while the
+// previous complete one remains valid, and only an explicit Commit
+// retires the old one. A failure during encoding therefore never
+// destroys the last good checkpoint (paper §V-A: in-memory checkpoint
+// data of non-failed processes "is not flushed").
+type Store struct {
+	mu       sync.Mutex
+	complete *Entry
+	staging  *Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Stage installs a candidate entry without retiring the current one.
+func (st *Store) Stage(e *Entry) {
+	st.mu.Lock()
+	st.staging = e
+	st.mu.Unlock()
+}
+
+// Commit promotes the staged entry to complete.
+func (st *Store) Commit() {
+	st.mu.Lock()
+	if st.staging != nil {
+		st.complete = st.staging
+		st.staging = nil
+	}
+	st.mu.Unlock()
+}
+
+// Abort discards the staged entry (failure mid-encode).
+func (st *Store) Abort() {
+	st.mu.Lock()
+	st.staging = nil
+	st.mu.Unlock()
+}
+
+// Complete returns the last committed entry, or nil.
+func (st *Store) Complete() *Entry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.complete
+}
+
+// Reset drops everything (job teardown).
+func (st *Store) Reset() {
+	st.mu.Lock()
+	st.complete, st.staging = nil, nil
+	st.mu.Unlock()
+}
+
+// Groups computes the XOR group assignment: the world is split so that
+// ranks sharing a node land in different groups (paper §V-A). With the
+// block rank-to-node mapping (procsPerNode consecutive ranks per
+// node), the ranks {node*P + s : node in a window of groupSize nodes}
+// for fixed slot s form one group — one rank per node.
+//
+// Groups returns, for each rank, the list of world ranks in its group
+// (including itself) and its index within that list, as
+// groups[rank] = members, index[rank] = i with members[i] == rank.
+// Node windows shorter than groupSize (the tail) form smaller groups;
+// a singleton group provides no redundancy and is reported as is.
+func Groups(worldSize, procsPerNode, groupSize int) (groups [][]int, index []int) {
+	if procsPerNode < 1 {
+		procsPerNode = 1
+	}
+	if groupSize < 2 {
+		groupSize = 2
+	}
+	nodes := (worldSize + procsPerNode - 1) / procsPerNode
+	groups = make([][]int, worldSize)
+	index = make([]int, worldSize)
+	for base := 0; base < nodes; base += groupSize {
+		end := base + groupSize
+		if end > nodes {
+			end = nodes
+		}
+		for slot := 0; slot < procsPerNode; slot++ {
+			var members []int
+			for node := base; node < end; node++ {
+				r := node*procsPerNode + slot
+				if r < worldSize {
+					members = append(members, r)
+				}
+			}
+			for i, r := range members {
+				groups[r] = members
+				index[r] = i
+			}
+		}
+	}
+	return groups, index
+}

@@ -1,0 +1,189 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCaptureRestoreRoundtrip(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5}
+	snap := Capture(7, [][]byte{a, b})
+	if snap.LoopID != 7 {
+		t.Fatalf("LoopID = %d", snap.LoopID)
+	}
+	// Mutate the live segments, then restore.
+	a[0], b[1] = 99, 99
+	if err := snap.Restore([][]byte{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 1 || b[1] != 5 {
+		t.Fatalf("restore failed: a=%v b=%v", a, b)
+	}
+}
+
+func TestCaptureIsACopy(t *testing.T) {
+	a := []byte{1, 2, 3}
+	snap := Capture(0, [][]byte{a})
+	a[0] = 42
+	if snap.Data[0] != 1 {
+		t.Fatal("snapshot aliases live segment")
+	}
+}
+
+func TestRestoreSizeMismatch(t *testing.T) {
+	snap := Capture(0, [][]byte{{1, 2}})
+	if err := snap.Restore([][]byte{{1, 2, 3}}); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := snap.Restore([][]byte{{1}, {2}}); !errors.Is(err, ErrSizeMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptySegments(t *testing.T) {
+	snap := Capture(1, [][]byte{{}, {9}})
+	segs := [][]byte{{}, {0}}
+	if err := snap.Restore(segs); err != nil {
+		t.Fatal(err)
+	}
+	if segs[1][0] != 9 {
+		t.Fatal("restore with empty segment broken")
+	}
+}
+
+func TestQuickCaptureRestore(t *testing.T) {
+	f := func(s1, s2, s3 []byte) bool {
+		segs := [][]byte{s1, s2, s3}
+		snap := Capture(0, segs)
+		dst := [][]byte{make([]byte, len(s1)), make([]byte, len(s2)), make([]byte, len(s3))}
+		if err := snap.Restore(dst); err != nil {
+			return false
+		}
+		return bytes.Equal(dst[0], s1) && bytes.Equal(dst[1], s2) && bytes.Equal(dst[2], s3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDoubleBuffering(t *testing.T) {
+	st := NewStore()
+	if st.Complete() != nil {
+		t.Fatal("fresh store not empty")
+	}
+	e1 := &Entry{Snap: Capture(1, [][]byte{{1}})}
+	st.Stage(e1)
+	if st.Complete() != nil {
+		t.Fatal("staged entry visible as complete")
+	}
+	st.Commit()
+	if st.Complete() != e1 {
+		t.Fatal("commit did not promote staging")
+	}
+	// Stage a second, then abort: e1 must survive.
+	e2 := &Entry{Snap: Capture(2, [][]byte{{2}})}
+	st.Stage(e2)
+	st.Abort()
+	if st.Complete() != e1 {
+		t.Fatal("abort destroyed the committed entry")
+	}
+	st.Commit() // nothing staged: no-op
+	if st.Complete() != e1 {
+		t.Fatal("empty commit changed state")
+	}
+	st.Reset()
+	if st.Complete() != nil {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestGroupsOneRankPerNode(t *testing.T) {
+	// 8 nodes, 2 procs/node, group size 4: each group must contain at
+	// most one rank per node.
+	world, ppn, gs := 16, 2, 4
+	groups, index := Groups(world, ppn, gs)
+	for r := 0; r < world; r++ {
+		members := groups[r]
+		if members[index[r]] != r {
+			t.Fatalf("rank %d: index inconsistent", r)
+		}
+		nodes := map[int]bool{}
+		for _, m := range members {
+			node := m / ppn
+			if nodes[node] {
+				t.Fatalf("rank %d group has two ranks on node %d: %v", r, node, members)
+			}
+			nodes[node] = true
+		}
+		if len(members) != gs {
+			t.Fatalf("rank %d group size = %d, want %d", r, len(members), gs)
+		}
+	}
+}
+
+func TestGroupsConsistency(t *testing.T) {
+	// Every member of a group must agree on the group.
+	groups, _ := Groups(24, 3, 4)
+	for r := 0; r < 24; r++ {
+		for _, m := range groups[r] {
+			if len(groups[m]) != len(groups[r]) {
+				t.Fatalf("ranks %d and %d disagree on group size", r, m)
+			}
+			for i := range groups[m] {
+				if groups[m][i] != groups[r][i] {
+					t.Fatalf("ranks %d and %d have different groups", r, m)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupsTailWindow(t *testing.T) {
+	// 5 nodes, 1 proc/node, group size 4: tail group has 1 member.
+	groups, _ := Groups(5, 1, 4)
+	if len(groups[4]) != 1 || groups[4][0] != 4 {
+		t.Fatalf("tail group = %v", groups[4])
+	}
+	if len(groups[0]) != 4 {
+		t.Fatalf("first group = %v", groups[0])
+	}
+}
+
+func TestGroupsCoverAllRanks(t *testing.T) {
+	for _, tc := range []struct{ world, ppn, gs int }{
+		{48, 12, 16}, {10, 2, 4}, {7, 1, 2}, {1, 1, 2}, {100, 4, 8},
+	} {
+		groups, index := Groups(tc.world, tc.ppn, tc.gs)
+		for r := 0; r < tc.world; r++ {
+			if groups[r] == nil {
+				t.Fatalf("world=%d ppn=%d gs=%d: rank %d unassigned", tc.world, tc.ppn, tc.gs, r)
+			}
+			if groups[r][index[r]] != r {
+				t.Fatalf("rank %d index broken", r)
+			}
+		}
+	}
+}
+
+func TestGroupsPaperConfiguration(t *testing.T) {
+	// Paper Fig 6/8: 5 nodes with 2 procs/node (8 compute ranks on 4
+	// nodes + spare). With groupSize 4 and 4 nodes in use:
+	groups, _ := Groups(8, 2, 4)
+	// Group of rank 0 = slot-0 ranks on nodes 0..3 = {0, 2, 4, 6}.
+	want := []int{0, 2, 4, 6}
+	for i, m := range groups[0] {
+		if m != want[i] {
+			t.Fatalf("group of rank 0 = %v, want %v", groups[0], want)
+		}
+	}
+	// Group of rank 1 = slot-1 ranks = {1, 3, 5, 7}.
+	want = []int{1, 3, 5, 7}
+	for i, m := range groups[1] {
+		if m != want[i] {
+			t.Fatalf("group of rank 1 = %v, want %v", groups[1], want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package ckpt implements FMI's fast, scalable in-memory
+// checkpoint/restart (paper §V): snapshots captured by memcpy into
+// process memory, double-buffered so a failure mid-checkpoint is always
+// recoverable, and protected by the SCR XOR encoding run over a ring
+// within each XOR group (paper Fig 9).
+//
+// Encoding scheme. For a group of G ranks, each rank's checkpoint is
+// divided into G-1 equal chunks (zero-padded); chunk indices run
+// 1..G-1. A parity "chain" s starts as zeros at group-local rank s and
+// travels around the ring: at step k it sits at rank (s+k) mod G and
+// absorbs that rank's chunk k. After G-1 steps plus one final rotation
+// the chain returns to rank s, which stores it. Chain s therefore
+// covers exactly one chunk of every rank except s itself, and every
+// (rank, chunk) pair is covered by exactly one chain — so the loss of
+// any single rank in the group (its data and its stored chain) is
+// recoverable from the survivors.
+package ckpt
+
+// XorInto computes dst ^= src for the overlapping length.
+func XorInto(dst, src []byte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	// 8-byte strides would need unsafe or encoding/binary loads; the
+	// simple loop is auto-vectorised well enough and keeps this pure.
+	for i := 0; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// ChunkLen returns the chunk length for a group of size g whose
+// largest member checkpoint is maxSize bytes: ceil(maxSize/(g-1)).
+func ChunkLen(maxSize, g int) int {
+	if g < 2 {
+		return maxSize
+	}
+	return (maxSize + g - 2) / (g - 1)
+}
+
+// chunk returns chunk k (1-based) of data, zero-padded to chunkLen.
+// The returned slice aliases data when no padding is needed.
+func chunk(data []byte, chunkLen, k int) []byte {
+	lo := (k - 1) * chunkLen
+	hi := lo + chunkLen
+	if lo >= len(data) {
+		return make([]byte, chunkLen)
+	}
+	if hi <= len(data) {
+		return data[lo:hi]
+	}
+	out := make([]byte, chunkLen)
+	copy(out, data[lo:])
+	return out
+}
+
+// CoveringChain returns the chain id (== storing rank) that covers
+// chunk k of rank 'lost' in a group of size g.
+func CoveringChain(lost, k, g int) int {
+	return ((lost-k)%g + g) % g
+}
+
+// EncodeLocal computes all G parity chains for a group centrally. It
+// is the reference implementation used by tests, by the restart
+// rebuild, and by benchmarks that don't need the communication ring.
+// parity[s] is the chain stored at group-local rank s.
+func EncodeLocal(data [][]byte) (parity [][]byte, chunkLen int) {
+	g := len(data)
+	if g < 2 {
+		return nil, 0
+	}
+	maxSize := 0
+	for _, d := range data {
+		if len(d) > maxSize {
+			maxSize = len(d)
+		}
+	}
+	chunkLen = ChunkLen(maxSize, g)
+	parity = make([][]byte, g)
+	for s := 0; s < g; s++ {
+		p := make([]byte, chunkLen)
+		for k := 1; k < g; k++ {
+			XorInto(p, chunk(data[(s+k)%g], chunkLen, k))
+		}
+		parity[s] = p
+	}
+	return parity, chunkLen
+}
+
+// ReconstructLocal rebuilds the checkpoint of group-local rank 'lost'
+// from the survivors' data and parity chains. size is the lost
+// checkpoint's original length.
+func ReconstructLocal(data [][]byte, parity [][]byte, chunkLen, lost, size int) []byte {
+	g := len(data)
+	out := make([]byte, (g-1)*chunkLen)
+	for k := 1; k < g; k++ {
+		s := CoveringChain(lost, k, g)
+		c := make([]byte, chunkLen)
+		copy(c, parity[s])
+		for kp := 1; kp < g; kp++ {
+			r := (s + kp) % g
+			if r == lost {
+				continue
+			}
+			XorInto(c, chunk(data[r], chunkLen, kp))
+		}
+		copy(out[(k-1)*chunkLen:], c)
+	}
+	return out[:size]
+}
+
+// GroupComm abstracts the ring communication used by the distributed
+// encode/decode: Send and Recv address group-local peer indices. The
+// core runtime implements it over the FMI transport.
+type GroupComm interface {
+	Send(peer int, data []byte) error
+	Recv(peer int) ([]byte, error)
+}
+
+// EncodeRing runs the Fig 9 ring algorithm for one group member:
+// G-1 XOR steps plus a final rotation. It returns this rank's stored
+// parity chain. chunkLen must be agreed group-wide (from the group's
+// maximum checkpoint size).
+func EncodeRing(gc GroupComm, self, g int, data []byte, chunkLen int) ([]byte, error) {
+	return ringPass(gc, self, g, data, chunkLen, make([]byte, chunkLen), true)
+}
+
+// DecodeRing runs the same ring over the survivors: each member starts
+// from its stored parity chain and XORs its chunks back out; the lost
+// rank's chunks remain. Member i ends holding chunk ((lost-i) mod G)
+// of the lost checkpoint (the lost rank itself, passed hasData=false,
+// ends holding zeros). The caller then gathers the chunks to the
+// restarted rank.
+func DecodeRing(gc GroupComm, self, g int, data []byte, chunkLen int, storedParity []byte, hasData bool) ([]byte, error) {
+	start := make([]byte, chunkLen)
+	copy(start, storedParity)
+	if !hasData {
+		data = nil
+	}
+	return ringPass(gc, self, g, data, chunkLen, start, hasData)
+}
+
+// ringPass performs the shared ring walk: at step k (1..G-1) send the
+// held buffer right, receive from the left, and XOR own chunk k (if
+// contributing); the final step is a pure rotation returning chain
+// 'self' home.
+func ringPass(gc GroupComm, self, g int, data []byte, chunkLen int, held []byte, contribute bool) ([]byte, error) {
+	right := (self + 1) % g
+	left := (self - 1 + g) % g
+	for k := 1; k < g; k++ {
+		if err := gc.Send(right, held); err != nil {
+			return nil, err
+		}
+		recv, err := gc.Recv(left)
+		if err != nil {
+			return nil, err
+		}
+		held = recv
+		if contribute {
+			XorInto(held, chunk(data, chunkLen, k))
+		}
+	}
+	// Final rotation brings chain 'self' back to its storing rank.
+	if err := gc.Send(right, held); err != nil {
+		return nil, err
+	}
+	return gc.Recv(left)
+}
+
+// DecodeChunkIndex returns which chunk of the lost checkpoint member i
+// holds after DecodeRing.
+func DecodeChunkIndex(lost, i, g int) int {
+	return ((lost-i)%g + g) % g
+}

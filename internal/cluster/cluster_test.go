@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSpawnAndKill(t *testing.T) {
+	c := New(2)
+	nd := c.Node(0)
+	p, err := nd.Spawn()
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	if p.Killed() {
+		t.Fatal("new proc reported killed")
+	}
+	p.Kill()
+	if !p.Killed() {
+		t.Fatal("proc not killed after Kill")
+	}
+	select {
+	case <-p.KillCh():
+	default:
+		t.Fatal("KillCh not closed")
+	}
+	// Idempotent.
+	p.Kill()
+}
+
+func TestNodeFailureKillsAllProcs(t *testing.T) {
+	c := New(1)
+	nd := c.Node(0)
+	var procs []*Proc
+	for i := 0; i < 4; i++ {
+		p, err := nd.Spawn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	nd.Fail()
+	for i, p := range procs {
+		if !p.Killed() {
+			t.Fatalf("proc %d survived node failure", i)
+		}
+	}
+	if !nd.Failed() {
+		t.Fatal("node not marked failed")
+	}
+	if _, err := nd.Spawn(); err == nil {
+		t.Fatal("Spawn on failed node should error")
+	}
+	nd.Fail() // idempotent
+}
+
+func TestFailureCallbacks(t *testing.T) {
+	c := New(2)
+	var nodeFails, procDeaths atomic.Int32
+	c.OnNodeFailure(func(*Node) { nodeFails.Add(1) })
+	c.OnProcDeath(func(*Proc) { procDeaths.Add(1) })
+	nd := c.Node(1)
+	for i := 0; i < 3; i++ {
+		if _, err := nd.Spawn(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nd.Fail()
+	if nodeFails.Load() != 1 {
+		t.Fatalf("node failure callbacks = %d, want 1", nodeFails.Load())
+	}
+	if procDeaths.Load() != 3 {
+		t.Fatalf("proc death callbacks = %d, want 3", procDeaths.Load())
+	}
+}
+
+func TestProcExit(t *testing.T) {
+	c := New(1)
+	p, _ := c.Node(0).Spawn()
+	wantErr := errors.New("boom")
+	p.Exit(wantErr)
+	select {
+	case <-p.DoneCh():
+	case <-time.After(time.Second):
+		t.Fatal("DoneCh not closed")
+	}
+	if p.ExitErr() != wantErr {
+		t.Fatalf("ExitErr = %v, want %v", p.ExitErr(), wantErr)
+	}
+	p.Exit(nil) // idempotent; first wins
+	if p.ExitErr() != wantErr {
+		t.Fatal("Exit not idempotent")
+	}
+}
+
+func TestAliveExcludesFailed(t *testing.T) {
+	c := New(4)
+	c.Node(2).Fail()
+	alive := c.Alive()
+	if len(alive) != 3 {
+		t.Fatalf("alive = %d, want 3", len(alive))
+	}
+	for _, nd := range alive {
+		if nd.ID == 2 {
+			t.Fatal("failed node reported alive")
+		}
+	}
+}
+
+func TestResourceManagerSparePool(t *testing.T) {
+	c := New(5)
+	rm := NewResourceManager(c, []*Node{c.Node(3), c.Node(4)})
+	if got := rm.SpareCount(); got != 2 {
+		t.Fatalf("SpareCount = %d, want 2", got)
+	}
+	n1, err := rm.TryAllocate()
+	if err != nil || n1.ID != 3 {
+		t.Fatalf("TryAllocate = %v, %v; want node3", n1, err)
+	}
+	n2, err := rm.TryAllocate()
+	if err != nil || n2.ID != 4 {
+		t.Fatalf("TryAllocate = %v, %v; want node4", n2, err)
+	}
+	if _, err := rm.TryAllocate(); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("TryAllocate on empty pool = %v, want ErrNoNodes", err)
+	}
+	if rm.Allocated() != 2 {
+		t.Fatalf("Allocated = %d, want 2", rm.Allocated())
+	}
+}
+
+func TestResourceManagerSkipsFailedSpares(t *testing.T) {
+	c := New(3)
+	rm := NewResourceManager(c, []*Node{c.Node(1), c.Node(2)})
+	c.Node(1).Fail()
+	nd, err := rm.TryAllocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.ID != 2 {
+		t.Fatalf("allocated node %d, want 2 (failed spare skipped)", nd.ID)
+	}
+}
+
+func TestResourceManagerProvisions(t *testing.T) {
+	c := New(1)
+	rm := NewResourceManager(c, nil)
+	rm.ProvisionDelay = time.Millisecond
+	nd, err := rm.Allocate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd == nil || nd.Failed() {
+		t.Fatal("provisioned node unusable")
+	}
+	if len(c.Nodes()) != 2 {
+		t.Fatalf("cluster has %d nodes, want 2 after provisioning", len(c.Nodes()))
+	}
+}
+
+func TestResourceManagerAllocateCancelled(t *testing.T) {
+	c := New(1)
+	rm := NewResourceManager(c, nil)
+	rm.ProvisionDelay = time.Hour
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := rm.Allocate(cancel); err == nil {
+		t.Fatal("cancelled Allocate should error")
+	}
+}
+
+func TestResourceManagerNoProvision(t *testing.T) {
+	c := New(1)
+	rm := NewResourceManager(c, nil)
+	rm.Provision = false
+	if _, err := rm.Allocate(nil); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestInjectorScriptTimeTrigger(t *testing.T) {
+	c := New(3)
+	in := NewInjector(c, nil, nil, 1)
+	in.SetScript([]Fault{{After: time.Millisecond, AfterLoop: -1, Node: 1}})
+	in.Start()
+	defer in.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !c.Node(1).Failed() {
+		if time.Now().After(deadline) {
+			t.Fatal("scripted fault never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if c.Node(0).Failed() || c.Node(2).Failed() {
+		t.Fatal("wrong node killed")
+	}
+}
+
+func TestInjectorLoopTrigger(t *testing.T) {
+	c := New(2)
+	locate := func(rank int) *Node { return c.Node(rank % 2) }
+	in := NewInjector(c, locate, nil, 1)
+	in.SetScript([]Fault{{AfterLoop: 5, Node: -1, Rank: 1}})
+	in.Start()
+	defer in.Stop()
+	in.OnLoop(0, 4)
+	if c.Node(1).Failed() {
+		t.Fatal("fault fired before trigger loop")
+	}
+	in.OnLoop(1, 5)
+	if !c.Node(1).Failed() {
+		t.Fatal("loop-triggered fault did not fire")
+	}
+	// Script consumed: later loops fire nothing else.
+	in.OnLoop(1, 6)
+	if c.Node(0).Failed() {
+		t.Fatal("unexpected extra fault")
+	}
+}
+
+func TestInjectorProcOnly(t *testing.T) {
+	c := New(1)
+	nd := c.Node(0)
+	p, _ := nd.Spawn()
+	in := NewInjector(c, nil, nil, 1)
+	in.SetScript([]Fault{{AfterLoop: 0, Node: 0, ProcOnly: true}})
+	in.Start()
+	defer in.Stop()
+	in.OnLoop(0, 0)
+	if !p.Killed() {
+		t.Fatal("proc not killed")
+	}
+	if nd.Failed() {
+		t.Fatal("ProcOnly fault failed whole node")
+	}
+}
+
+func TestInjectorPoissonRespectsMaxKill(t *testing.T) {
+	c := New(8)
+	in := NewInjector(c, nil, nil, 42)
+	in.SetPoisson(100*time.Microsecond, 3)
+	in.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Fired() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("poisson faults too slow")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	in.Stop()
+	if in.Fired() != 3 {
+		t.Fatalf("fired = %d, want exactly 3", in.Fired())
+	}
+	failed := 0
+	for _, nd := range c.Nodes() {
+		if nd.Failed() {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("failed nodes = %d, want 3", failed)
+	}
+}
+
+func TestInjectorEligibleFilter(t *testing.T) {
+	c := New(4)
+	eligible := func() []*Node { return []*Node{c.Node(3)} }
+	in := NewInjector(c, nil, eligible, 7)
+	in.SetPoisson(50*time.Microsecond, 1)
+	in.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Fired() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("fault never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	in.Stop()
+	if !c.Node(3).Failed() {
+		t.Fatal("eligible node not the victim")
+	}
+	for i := 0; i < 3; i++ {
+		if c.Node(i).Failed() {
+			t.Fatalf("ineligible node %d killed", i)
+		}
+	}
+}
+
+func TestConcurrentSpawnKill(t *testing.T) {
+	c := New(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nd := c.Node(i % 4)
+			p, err := nd.Spawn()
+			if err != nil {
+				return // node may have failed concurrently
+			}
+			if i%3 == 0 {
+				p.Kill()
+			} else {
+				p.Exit(nil)
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Node(i).Fail()
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrNoNodes is returned by a non-blocking allocation when the spare
+// pool is empty and provisioning is disabled.
+var ErrNoNodes = errors.New("cluster: no spare nodes available")
+
+// ResourceManager is a minimal SLURM stand-in. It owns a pool of spare
+// nodes reserved for fault tolerance (paper §II-B: "this overhead is
+// reduced if the resource manager keeps a reserve of spare nodes
+// specifically for fault tolerance"). When the pool runs dry it can
+// provision brand-new nodes after ProvisionDelay, modelling a job
+// waiting for the resource manager to deliver replacement hardware.
+type ResourceManager struct {
+	mu             sync.Mutex
+	cluster        *Cluster
+	spares         []*Node
+	ProvisionDelay time.Duration // wait simulated when the pool is empty
+	Provision      bool          // whether new nodes may be created on demand
+
+	allocated int // nodes handed out (spares + provisioned)
+}
+
+// NewResourceManager creates a resource manager over c with the given
+// nodes reserved as spares.
+func NewResourceManager(c *Cluster, spares []*Node) *ResourceManager {
+	return &ResourceManager{
+		cluster:   c,
+		spares:    append([]*Node{}, spares...),
+		Provision: true,
+	}
+}
+
+// SpareCount returns the number of healthy spares currently pooled.
+func (rm *ResourceManager) SpareCount() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	n := 0
+	for _, nd := range rm.spares {
+		if !nd.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Allocated returns how many nodes the manager has handed out.
+func (rm *ResourceManager) Allocated() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.allocated
+}
+
+// AddSpare returns a node to the spare pool (dynamic join).
+func (rm *ResourceManager) AddSpare(nd *Node) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	rm.spares = append(rm.spares, nd)
+}
+
+// TryAllocate hands out one healthy spare without blocking. It returns
+// ErrNoNodes if the pool is empty (failed spares are discarded).
+func (rm *ResourceManager) TryAllocate() (*Node, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for len(rm.spares) > 0 {
+		nd := rm.spares[0]
+		rm.spares = rm.spares[1:]
+		if nd.Failed() {
+			continue
+		}
+		rm.allocated++
+		return nd, nil
+	}
+	return nil, ErrNoNodes
+}
+
+// Allocate hands out a healthy node, blocking if necessary. With an
+// empty pool and provisioning enabled it waits ProvisionDelay and
+// creates a new node, modelling "fmirun waits until new nodes are
+// allocated from the resource manager" (paper §IV-B). cancel aborts
+// the wait.
+func (rm *ResourceManager) Allocate(cancel <-chan struct{}) (*Node, error) {
+	if nd, err := rm.TryAllocate(); err == nil {
+		return nd, nil
+	}
+	rm.mu.Lock()
+	provision, delay := rm.Provision, rm.ProvisionDelay
+	rm.mu.Unlock()
+	if !provision {
+		return nil, ErrNoNodes
+	}
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-cancel:
+			return nil, errors.New("cluster: allocation cancelled")
+		}
+	}
+	nd := rm.cluster.AddNode()
+	rm.mu.Lock()
+	rm.allocated++
+	rm.mu.Unlock()
+	return nd, nil
+}

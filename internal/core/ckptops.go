@@ -1,0 +1,339 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"fmi/internal/ckpt"
+	"fmi/internal/trace"
+	"fmi/internal/transport"
+)
+
+// groupComm adapts the FMI transport to ckpt's ring interface for one
+// XOR group; peers are group-local indices.
+type groupComm struct {
+	p       *Proc
+	members []int // world ranks
+}
+
+func (gc *groupComm) Send(peer int, data []byte) error {
+	return gc.p.sendRaw(gc.members[peer], ctxWorld, tagCkptRing, transport.KindCkpt, data)
+}
+
+func (gc *groupComm) Recv(peer int) ([]byte, error) {
+	msg, err := gc.p.recvRaw(ctxWorld, int32(gc.members[peer]), tagCkptRing)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// groupMeta is exchanged within a group at encode time so any survivor
+// can brief a restarted member.
+type groupMeta struct {
+	TotalSize int
+	Shape     []int // per-segment sizes of this rank's snapshot
+}
+
+func encodeGroupMeta(m groupMeta) []byte {
+	out := make([]byte, 0, 8+4*len(m.Shape))
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(m.TotalSize))
+	out = append(out, b[:]...)
+	binary.LittleEndian.PutUint32(b[:], uint32(len(m.Shape)))
+	out = append(out, b[:]...)
+	for _, s := range m.Shape {
+		binary.LittleEndian.PutUint32(b[:], uint32(s))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func decodeGroupMeta(data []byte) (groupMeta, error) {
+	if len(data) < 8 {
+		return groupMeta{}, fmt.Errorf("fmi: truncated group meta")
+	}
+	m := groupMeta{TotalSize: int(binary.LittleEndian.Uint32(data))}
+	k := int(binary.LittleEndian.Uint32(data[4:]))
+	data = data[8:]
+	if len(data) < 4*k {
+		return groupMeta{}, fmt.Errorf("fmi: truncated group meta shape")
+	}
+	m.Shape = make([]int, k)
+	for i := 0; i < k; i++ {
+		m.Shape[i] = int(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return m, nil
+}
+
+// entryExt extends the ckpt.Entry with the runtime state that must be
+// agreed across ranks for a consistent rollback.
+type entryExt struct {
+	*ckpt.Entry
+	Interval    int
+	GroupShapes [][]int // segment shape of each group member
+	NextCtx     uint32  // communicator context counter at capture time
+	CommSeq     int     // communicator creation counter at capture time
+	L1Count     int     // level-1 checkpoint ordinal (level-2 cadence)
+}
+
+// brief is what the informant survivor sends a restarted group member.
+type brief struct {
+	ChunkLen  int
+	RestoreID int
+	NextCtx   uint32
+	CommSeq   int
+	L1Count   int
+	Sizes     []int   // checkpoint byte sizes per group member
+	Shapes    [][]int // segment shapes per group member
+}
+
+func encodeBrief(b brief) []byte {
+	var out []byte
+	put := func(v uint32) {
+		var w [4]byte
+		binary.LittleEndian.PutUint32(w[:], v)
+		out = append(out, w[:]...)
+	}
+	put(uint32(b.ChunkLen))
+	put(uint32(b.RestoreID))
+	put(b.NextCtx)
+	put(uint32(b.CommSeq))
+	put(uint32(b.L1Count))
+	put(uint32(len(b.Sizes)))
+	for _, s := range b.Sizes {
+		put(uint32(s))
+	}
+	put(uint32(len(b.Shapes)))
+	for _, sh := range b.Shapes {
+		put(uint32(len(sh)))
+		for _, s := range sh {
+			put(uint32(s))
+		}
+	}
+	return out
+}
+
+func decodeBrief(data []byte) (brief, error) {
+	var b brief
+	get := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("fmi: truncated restore brief")
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	vals := make([]uint32, 6)
+	for i := range vals {
+		v, err := get()
+		if err != nil {
+			return b, err
+		}
+		vals[i] = v
+	}
+	b.ChunkLen = int(vals[0])
+	b.RestoreID = int(int32(vals[1]))
+	b.NextCtx = vals[2]
+	b.CommSeq = int(vals[3])
+	b.L1Count = int(vals[4])
+	b.Sizes = make([]int, vals[5])
+	for i := range b.Sizes {
+		v, err := get()
+		if err != nil {
+			return b, err
+		}
+		b.Sizes[i] = int(v)
+	}
+	nsh, err := get()
+	if err != nil {
+		return b, err
+	}
+	b.Shapes = make([][]int, nsh)
+	for i := range b.Shapes {
+		k, err := get()
+		if err != nil {
+			return b, err
+		}
+		b.Shapes[i] = make([]int, k)
+		for j := range b.Shapes[i] {
+			v, err := get()
+			if err != nil {
+				return b, err
+			}
+			b.Shapes[i][j] = int(v)
+		}
+	}
+	return b, nil
+}
+
+// checkpoint captures, encodes, and (on global agreement) commits a
+// level-1 checkpoint of the segments at loop id (paper §V-A / Fig 9).
+func (p *Proc) checkpoint(id int, segs [][]byte) error {
+	start := time.Now()
+	snap := ckpt.Capture(id, segs)
+	group := p.groups[p.rank]
+	gi := p.gidx[p.rank]
+	g := len(group)
+
+	p.l1Count++
+	entry := &entryExt{
+		Entry:    &ckpt.Entry{Snap: snap, GroupLoop: id},
+		Interval: p.interval,
+		NextCtx:  p.nextCtx,
+		CommSeq:  p.commSeq,
+		L1Count:  p.l1Count,
+	}
+
+	if g >= 2 {
+		// Exchange sizes and segment shapes within the group.
+		meta := encodeGroupMeta(groupMeta{TotalSize: len(snap.Data), Shape: snap.Sizes})
+		for i, r := range group {
+			if i == gi {
+				continue
+			}
+			if err := p.sendRaw(r, ctxWorld, tagCkptSize, transport.KindCkpt, meta); err != nil {
+				return err
+			}
+		}
+		sizes := make([]int, g)
+		shapes := make([][]int, g)
+		sizes[gi] = len(snap.Data)
+		shapes[gi] = snap.Sizes
+		for i, r := range group {
+			if i == gi {
+				continue
+			}
+			msg, err := p.recvRaw(ctxWorld, int32(r), tagCkptSize)
+			if err != nil {
+				return err
+			}
+			gm, err := decodeGroupMeta(msg.Data)
+			if err != nil {
+				return err
+			}
+			sizes[i] = gm.TotalSize
+			shapes[i] = gm.Shape
+		}
+		maxSize := 0
+		for _, s := range sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		chunkLen := ckpt.ChunkLen(maxSize, g)
+		parity, err := ckpt.EncodeRing(&groupComm{p, group}, gi, g, snap.Data, chunkLen)
+		if err != nil {
+			return err
+		}
+		entry.Parity = parity
+		entry.ChunkLen = chunkLen
+		entry.GroupSizes = sizes
+		entry.GroupShapes = shapes
+	}
+	p.stage(entry)
+
+	// Global completion agreement: all ranks must hold the new
+	// checkpoint before anyone retires the previous one. Rank 0
+	// piggybacks the next auto-tuned interval on the release wave.
+	next := p.interval
+	if p.rank == 0 && p.autoInterval {
+		next = p.tuneInterval()
+	}
+	var payload [4]byte
+	binary.LittleEndian.PutUint32(payload[:], uint32(next))
+	// Note: on failure the fully-encoded staged entry is deliberately
+	// retained — if every rank finished encoding before the failure,
+	// the restore negotiation will roll forward to it; otherwise it
+	// will roll back to the committed one and recovery discards it.
+	if _, err := p.world.treeReduce(tagCkptAgree, 0, nil, nil); err != nil {
+		return err
+	}
+	out, err := p.world.treeBcast(tagCkptAgree, 0, payload[:])
+	if err != nil {
+		return err
+	}
+	p.interval = int(binary.LittleEndian.Uint32(out))
+	entry.Interval = p.interval
+	p.committed = entry
+	p.staged = nil
+	p.lastCkpt = id
+	if err := p.maybeWriteL2(id); err != nil {
+		return err
+	}
+
+	d := time.Since(start)
+	p.ckptEWMA = ewma(p.ckptEWMA, d)
+	p.cfg.Stats.AddCheckpoint(d, len(snap.Data))
+	p.cfg.Trace.Add(trace.KindCheckpoint, p.rank, p.epoch, "checkpoint %d (%d B, interval %d)", id, len(snap.Data), p.interval)
+	return nil
+}
+
+// stage installs a fully-encoded entry as the staging buffer; the
+// previously committed checkpoint stays valid until the global
+// agreement commits this one (double buffering, paper §V-A).
+func (p *Proc) stage(e *entryExt) {
+	p.staged = e
+}
+
+// latest returns the newest locally available checkpoint: a fully
+// staged entry (its encode finished — stage happens only after the
+// ring completes) or else the committed one.
+func (p *Proc) latest() *entryExt {
+	if p.staged != nil {
+		return p.staged
+	}
+	return p.committed
+}
+
+// availInfo is this rank's contribution to the restore negotiation.
+type availInfo struct {
+	AvailID       int32 // newest loop id this rank can restore (-1 none)
+	Interval      int32 // interval associated with that checkpoint
+	IsReplacement bool
+	HasParity     bool // the entry carries an XOR parity chain (level-1 decodable)
+}
+
+func (p *Proc) availNow() availInfo {
+	e := p.latest()
+	info := availInfo{AvailID: -1, Interval: int32(p.interval), IsReplacement: e == nil && p.cfg.IsReplacement}
+	if e != nil {
+		info.AvailID = int32(e.Snap.LoopID)
+		info.Interval = int32(e.Interval)
+		info.HasParity = e.Parity != nil
+	}
+	return info
+}
+
+func encodeAvail(a availInfo) []byte {
+	out := make([]byte, 10)
+	binary.LittleEndian.PutUint32(out[0:], uint32(a.AvailID))
+	binary.LittleEndian.PutUint32(out[4:], uint32(a.Interval))
+	if a.IsReplacement {
+		out[8] = 1
+	}
+	if a.HasParity {
+		out[9] = 1
+	}
+	return out
+}
+
+func decodeAvail(data []byte) availInfo {
+	if len(data) < 10 {
+		return availInfo{AvailID: -1}
+	}
+	return availInfo{
+		AvailID:       int32(binary.LittleEndian.Uint32(data[0:])),
+		Interval:      int32(binary.LittleEndian.Uint32(data[4:])),
+		IsReplacement: data[8] == 1,
+		HasParity:     data[9] == 1,
+	}
+}
+
+func ewma(old, sample time.Duration) time.Duration {
+	if old == 0 {
+		return sample
+	}
+	return time.Duration(0.7*float64(old) + 0.3*float64(sample))
+}

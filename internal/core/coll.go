@@ -1,0 +1,429 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fmi/internal/transport"
+)
+
+// Op combines src into acc element-wise; acc and src have equal
+// length. The public fmi package provides typed constructors.
+type Op func(acc, src []byte)
+
+// treeBcast broadcasts data from root (comm rank) down a binomial
+// tree; non-roots receive and return the payload (MPICH's classic
+// binomial broadcast).
+func (c *Comm) treeBcast(tag int32, root int, data []byte) ([]byte, error) {
+	n := c.Size()
+	if n == 1 {
+		return data, nil
+	}
+	vrank := (c.myIdx - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parentWorld := c.members[abs(vrank-mask)]
+			msg, err := c.p.recvRaw(c.ctx, int32(parentWorld), tag)
+			if err != nil {
+				return nil, err
+			}
+			data = msg.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			childWorld := c.members[abs(vrank+mask)]
+			if err := c.p.sendRaw(childWorld, c.ctx, tag, transport.KindColl, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// treeReduce folds every rank's data into the root along a binomial
+// tree. acc must be a private copy the caller may mutate; the root's
+// final accumulation is returned. op may be nil for a pure
+// synchronisation (payloads ignored).
+func (c *Comm) treeReduce(tag int32, root int, acc []byte, op Op) ([]byte, error) {
+	n := c.Size()
+	if n == 1 {
+		return acc, nil
+	}
+	vrank := (c.myIdx - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+
+	mask := 1
+	for mask < n {
+		if vrank&mask == 0 {
+			src := vrank + mask
+			if src < n {
+				srcWorld := c.members[abs(src)]
+				msg, err := c.p.recvRaw(c.ctx, int32(srcWorld), tag)
+				if err != nil {
+					return nil, err
+				}
+				if op != nil {
+					if len(msg.Data) != len(acc) {
+						return nil, fmt.Errorf("fmi: reduce payload length mismatch (%d vs %d)", len(msg.Data), len(acc))
+					}
+					op(acc, msg.Data)
+				}
+			}
+		} else {
+			dstWorld := c.members[abs(vrank-mask)]
+			if err := c.p.sendRaw(dstWorld, c.ctx, tag, transport.KindColl, acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	return acc, nil
+}
+
+// coordExchange runs a pre-Loop collective through the coordinator,
+// where the result is cached for replay by restarted processes. A
+// failure during the initialisation phase cannot be repaired by a
+// rollback (there is no checkpoint yet), so the exchange instead rides
+// it out: rebuild the generation for the new epoch and retry the same
+// cached key — the replacement process replays its initialisation and
+// eventually contributes the missing value.
+func (c *Comm) coordExchange(op string, contribution []byte) ([][]byte, error) {
+	seq := c.collSeq
+	c.collSeq++
+	key := fmt.Sprintf("coll/%d/%s/%d", c.ctx, op, seq)
+	return c.p.coordGather(key, c.myIdx, c.Size(), contribution)
+}
+
+// coordGather is the shared retrying coordinator all-gather used by
+// replayable operations (pre-Loop collectives and Split).
+func (p *Proc) coordGather(key string, idx, n int, val []byte) ([][]byte, error) {
+	for {
+		vals, err := p.cfg.Ctl.Coordinator().AllGather(key, idx, n, val, p.gen.cancelCh)
+		if err == nil {
+			return vals, nil
+		}
+		p.checkAlive()
+		if p.ranLoop {
+			// Post-Loop callers recover through Loop, not here.
+			return nil, ErrFailureDetected
+		}
+		next, werr := p.cfg.Ctl.AwaitEpoch(p.epoch+1, p.killCh())
+		if werr != nil {
+			return nil, ErrFailureDetected
+		}
+		p.epoch = next
+		if err := p.rebuildUntilStable(); err != nil {
+			p.fatal(err)
+		}
+	}
+}
+
+// preLoop reports whether collectives should take the replayable
+// coordinator path (no Loop call has happened yet).
+func (c *Comm) preLoop() bool { return !c.p.ranLoop }
+
+// Barrier blocks until every rank of the communicator reaches it.
+func (c *Comm) Barrier() error {
+	if err := c.p.checkComm(); err != nil {
+		return err
+	}
+	if c.preLoop() {
+		_, err := c.coordExchange("barrier", nil)
+		return err
+	}
+	if _, err := c.treeReduce(tagBarrierUp, 0, nil, nil); err != nil {
+		return err
+	}
+	_, err := c.treeBcast(tagBarrierDn, 0, nil)
+	return err
+}
+
+// Bcast broadcasts the root's buffer to all ranks; every rank returns
+// the payload.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("%w: bcast root %d", ErrInvalidRank, root)
+	}
+	if c.preLoop() {
+		var contrib []byte
+		if c.myIdx == root {
+			contrib = data
+		}
+		vals, err := c.coordExchange("bcast", contrib)
+		if err != nil {
+			return nil, err
+		}
+		return vals[root], nil
+	}
+	return c.treeBcast(tagBcast, root, data)
+}
+
+// Reduce combines all ranks' equal-length buffers with op; the root
+// returns the result, others return nil.
+func (c *Comm) Reduce(root int, data []byte, op Op) ([]byte, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("%w: reduce root %d", ErrInvalidRank, root)
+	}
+	if c.preLoop() {
+		vals, err := c.coordExchange("reduce", data)
+		if err != nil {
+			return nil, err
+		}
+		if c.myIdx != root {
+			return nil, nil
+		}
+		return foldVals(vals, op)
+	}
+	acc := make([]byte, len(data))
+	copy(acc, data)
+	res, err := c.treeReduce(tagReduce, root, acc, op)
+	if err != nil {
+		return nil, err
+	}
+	if c.myIdx == root {
+		return res, nil
+	}
+	return nil, nil
+}
+
+// Allreduce combines all ranks' buffers and returns the result on
+// every rank (reduce to rank 0 + broadcast).
+func (c *Comm) Allreduce(data []byte, op Op) ([]byte, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	if c.preLoop() {
+		vals, err := c.coordExchange("allreduce", data)
+		if err != nil {
+			return nil, err
+		}
+		return foldVals(vals, op)
+	}
+	res, err := c.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.treeBcast(tagBcast, 0, res)
+}
+
+// foldVals combines gathered contributions in rank order.
+func foldVals(vals [][]byte, op Op) ([]byte, error) {
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	acc := append([]byte{}, vals[0]...)
+	for _, v := range vals[1:] {
+		if len(v) != len(acc) {
+			return nil, fmt.Errorf("fmi: reduce payload length mismatch (%d vs %d)", len(v), len(acc))
+		}
+		if op != nil {
+			op(acc, v)
+		}
+	}
+	return acc, nil
+}
+
+// Gather collects every rank's buffer at the root, which returns them
+// indexed by comm rank; other ranks return nil. Buffers may have
+// different lengths.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("%w: gather root %d", ErrInvalidRank, root)
+	}
+	if c.preLoop() {
+		vals, err := c.coordExchange("gather", data)
+		if err != nil {
+			return nil, err
+		}
+		if c.myIdx != root {
+			return nil, nil
+		}
+		return vals, nil
+	}
+	n := c.Size()
+	if c.myIdx != root {
+		rootWorld := c.members[root]
+		return nil, c.p.sendRaw(rootWorld, c.ctx, tagGather, transport.KindColl, data)
+	}
+	out := make([][]byte, n)
+	out[root] = append([]byte{}, data...)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		msg, err := c.p.recvRaw(c.ctx, int32(c.members[r]), tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = msg.Data
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's buffer on every rank.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	if c.preLoop() {
+		return c.coordExchange("allgather", data)
+	}
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.myIdx == 0 {
+		packed = packSlices(parts)
+	}
+	packed, err = c.treeBcast(tagBcast, 0, packed)
+	if err != nil {
+		return nil, err
+	}
+	return unpackSlices(packed)
+}
+
+// Scatter distributes parts[i] to comm rank i from the root; every
+// rank returns its part. Only the root's parts argument is consulted.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("%w: scatter root %d", ErrInvalidRank, root)
+	}
+	if c.preLoop() {
+		var contrib []byte
+		if c.myIdx == root {
+			if len(parts) != n {
+				return nil, fmt.Errorf("fmi: scatter needs %d parts, got %d", n, len(parts))
+			}
+			contrib = packSlices(parts)
+		}
+		vals, err := c.coordExchange("scatter", contrib)
+		if err != nil {
+			return nil, err
+		}
+		all, err := unpackSlices(vals[root])
+		if err != nil || len(all) != n {
+			return nil, fmt.Errorf("fmi: scatter decode failed: %v", err)
+		}
+		return all[c.myIdx], nil
+	}
+	if c.myIdx == root {
+		if len(parts) != n {
+			return nil, fmt.Errorf("fmi: scatter needs %d parts, got %d", n, len(parts))
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.p.sendRaw(c.members[r], c.ctx, tagScatter, transport.KindColl, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return append([]byte{}, parts[root]...), nil
+	}
+	msg, err := c.p.recvRaw(c.ctx, int32(c.members[root]), tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// Alltoall exchanges parts pairwise: rank i receives parts[i] from
+// every rank, returned indexed by source comm rank.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	n := c.Size()
+	if len(parts) != n {
+		return nil, fmt.Errorf("fmi: alltoall needs %d parts, got %d", n, len(parts))
+	}
+	if c.preLoop() {
+		vals, err := c.coordExchange("alltoall", packSlices(parts))
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]byte, n)
+		for src, v := range vals {
+			theirs, err := unpackSlices(v)
+			if err != nil || len(theirs) != n {
+				return nil, fmt.Errorf("fmi: alltoall decode failed: %v", err)
+			}
+			out[src] = theirs[c.myIdx]
+		}
+		return out, nil
+	}
+	out := make([][]byte, n)
+	out[c.myIdx] = append([]byte{}, parts[c.myIdx]...)
+	// Pairwise exchange: at step d, talk to rank me^d style schedule
+	// generalised to non-powers of two via (me+d), (me-d).
+	for d := 1; d < n; d++ {
+		dst := (c.myIdx + d) % n
+		src := (c.myIdx - d + n) % n
+		if err := c.p.sendRaw(c.members[dst], c.ctx, tagAlltoall, transport.KindColl, parts[dst]); err != nil {
+			return nil, err
+		}
+		msg, err := c.p.recvRaw(c.ctx, int32(c.members[src]), tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = msg.Data
+	}
+	return out, nil
+}
+
+// packSlices and unpackSlices serialise a [][]byte with u32 length
+// prefixes (used by Allgather's broadcast leg).
+func packSlices(parts [][]byte) []byte {
+	total := 0
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	out := make([]byte, 0, total)
+	var hdr [4]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unpackSlices(data []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("fmi: truncated slice pack")
+		}
+		n := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < n {
+			return nil, fmt.Errorf("fmi: truncated slice pack body")
+		}
+		out = append(out, data[:n:n])
+		data = data[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,347 @@
+// Package core implements the FMI runtime proper (paper §III–§V): the
+// per-rank process state machine (Bootstrapping H1 → Connecting H2 →
+// Running H3), virtual FMI ranks resolved through an epoch-versioned
+// endpoint table, MPI-style point-to-point and collective operations
+// that fail fast once a failure is notified, and FMI_Loop — the single
+// call that checkpoints, detects failures, recovers communicators, and
+// rolls the application back transparently.
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fmi/internal/bootstrap"
+	"fmi/internal/trace"
+	"fmi/internal/transport"
+)
+
+// Errors surfaced to applications.
+var (
+	// ErrFailureDetected is returned by every communication call
+	// between the moment a failure is notified and the completion of
+	// recovery inside Loop (paper §III-B: "all FMI communication calls
+	// return an error until recovery is performed in FMI_Loop").
+	ErrFailureDetected = errors.New("fmi: failure detected; call Loop to recover")
+	// ErrKilled unwinds a killed process; applications never see it.
+	ErrKilled = errors.New("fmi: process killed")
+	// ErrUnrecoverable reports a failure outside what level-1
+	// checkpointing can repair (e.g. two losses in one XOR group).
+	ErrUnrecoverable = errors.New("fmi: unrecoverable failure")
+	// ErrFinalized is returned by operations after Finalize.
+	ErrFinalized = errors.New("fmi: already finalized")
+	// ErrInvalidRank reports an out-of-range peer.
+	ErrInvalidRank = errors.New("fmi: invalid rank")
+)
+
+// State is the process state of Fig 5.
+type State int
+
+const (
+	// StateBootstrapping (H1): launching/relaunching, exchanging
+	// endpoints.
+	StateBootstrapping State = iota
+	// StateConnecting (H2): building the log-ring overlay.
+	StateConnecting
+	// StateRunning (H3): executing application code.
+	StateRunning
+	// StateFinalized: the process has left the job.
+	StateFinalized
+)
+
+func (s State) String() string {
+	switch s {
+	case StateBootstrapping:
+		return "H1-bootstrapping"
+	case StateConnecting:
+		return "H2-connecting"
+	case StateRunning:
+		return "H3-running"
+	case StateFinalized:
+		return "finalized"
+	}
+	return "unknown"
+}
+
+// Reserved tag space. User tags must be >= 0; the runtime owns the
+// negative space.
+const (
+	tagBcast     int32 = -1
+	tagReduce    int32 = -2
+	tagGather    int32 = -3
+	tagScatter   int32 = -4
+	tagAlltoall  int32 = -5
+	tagBarrierUp int32 = -6
+	tagBarrierDn int32 = -7
+	tagCkptRing  int32 = -20 // XOR encode/decode ring traffic
+	tagCkptSize  int32 = -21 // group size exchange
+	tagCkptMeta  int32 = -22 // runtime meta to restarted ranks
+	tagCkptChunk int32 = -23 // decode gather chunks
+	tagCkptAgree int32 = -24 // checkpoint completion tree
+)
+
+// ctxWorld is the context id of the world communicator; runtime
+// -internal traffic shares it with reserved tags.
+const ctxWorld uint32 = 1
+
+// AnySource matches any sending rank in Recv.
+const AnySource = int(transport.AnySource)
+
+// L2Store is the level-2 (parallel file system) checkpoint target;
+// the scr package's Manager implements it.
+type L2Store interface {
+	WriteL2(rank, id int, data []byte) error
+	ReadL2(rank, id int) ([]byte, error)
+	CommitL2(id int)
+	LatestL2() int
+}
+
+// Control is the process's link to the fmirun process manager. The
+// runtime package implements it; tests provide lightweight fakes.
+type Control interface {
+	// Coordinator returns the job's rendezvous service (endpoint
+	// exchange, recovery rounds, communicator-creation caching).
+	Coordinator() *bootstrap.Coordinator
+	// AwaitEpoch blocks until the job epoch is >= min and returns the
+	// current epoch.
+	AwaitEpoch(min uint32, cancel <-chan struct{}) (uint32, error)
+	// EpochNotify returns a channel closed when the job epoch first
+	// exceeds e — the control-plane fallback failure notification.
+	EpochNotify(e uint32) <-chan struct{}
+	// ReportLoop informs the manager (and the fault injector) that
+	// rank completed the given loop iteration.
+	ReportLoop(rank, loopID int)
+	// Abort reports an unrecoverable condition; the manager tears the
+	// job down.
+	Abort(err error)
+}
+
+// Config configures one rank's runtime.
+type Config struct {
+	Rank, N       int
+	ProcsPerNode  int
+	Epoch         uint32 // epoch current at spawn time
+	IsReplacement bool   // spawned to replace a failed rank
+	Interval      int    // checkpoint every Interval loops; 0 = auto-tune from MTBF
+	MTBF          time.Duration
+	GroupSize     int // XOR group size (paper default 16)
+	RingBase      int // log-ring base k (paper default 2)
+	// L2Every flushes every L2Every-th checkpoint to the parallel
+	// file system (multilevel C/R, paper §VIII future work); 0
+	// disables level 2. L2 must be set when L2Every > 0.
+	L2Every int
+	L2      L2Store
+	Network transport.Network
+	Ctl     Control
+	KillCh  <-chan struct{}
+	Stats   *Stats
+	// Trace, when non-nil, records the rank's lifecycle events.
+	Trace *trace.Recorder
+}
+
+func (c *Config) fillDefaults() {
+	if c.GroupSize == 0 {
+		c.GroupSize = 16
+	}
+	if c.RingBase == 0 {
+		c.RingBase = 2
+	}
+	if c.ProcsPerNode == 0 {
+		c.ProcsPerNode = 1
+	}
+	if c.Interval == 0 && c.MTBF == 0 {
+		c.Interval = 1
+	}
+}
+
+// Stats collects job-wide runtime statistics; all methods are safe for
+// concurrent use. One instance is shared by all ranks.
+type Stats struct {
+	mu              sync.Mutex
+	Checkpoints     int
+	CheckpointTime  time.Duration
+	CheckpointBytes int64
+	Restores        int
+	RestoreTime     time.Duration
+	Recoveries      int
+	RecoveryTime    time.Duration
+	NotifyTime      time.Duration
+	notifySamples   int
+	InitTime        time.Duration
+	initSamples     int
+	LostIterations  int
+	L2Checkpoints   int
+	L2Restores      int
+	L2RestoreTime   time.Duration
+}
+
+// AddCheckpoint records one rank's checkpoint.
+func (s *Stats) AddCheckpoint(d time.Duration, bytes int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Checkpoints++
+	s.CheckpointTime += d
+	s.CheckpointBytes += int64(bytes)
+	s.mu.Unlock()
+}
+
+// AddRestore records one rank's restore.
+func (s *Stats) AddRestore(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Restores++
+	s.RestoreTime += d
+	s.mu.Unlock()
+}
+
+// AddRecovery records one completed recovery round (rank 0 reports).
+func (s *Stats) AddRecovery(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Recoveries++
+	s.RecoveryTime += d
+	s.mu.Unlock()
+}
+
+// AddNotify records a failure-notification latency sample.
+func (s *Stats) AddNotify(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.NotifyTime += d
+	s.notifySamples++
+	s.mu.Unlock()
+}
+
+// AddInit records one rank's Init duration.
+func (s *Stats) AddInit(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.InitTime += d
+	s.initSamples++
+	s.mu.Unlock()
+}
+
+// AddL2Checkpoint records a level-2 flush.
+func (s *Stats) AddL2Checkpoint() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.L2Checkpoints++
+	s.mu.Unlock()
+}
+
+// AddL2Restore records a level-2 fallback restore.
+func (s *Stats) AddL2Restore(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.L2Restores++
+	s.L2RestoreTime += d
+	s.mu.Unlock()
+}
+
+// AddLostIterations counts work discarded by a rollback.
+func (s *Stats) AddLostIterations(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.LostIterations += n
+	s.mu.Unlock()
+}
+
+// MeanNotify returns the average failure-notification latency.
+func (s *Stats) MeanNotify() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notifySamples == 0 {
+		return 0
+	}
+	return s.NotifyTime / time.Duration(s.notifySamples)
+}
+
+// MeanInit returns the average per-rank Init duration.
+func (s *Stats) MeanInit() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.initSamples == 0 {
+		return 0
+	}
+	return s.InitTime / time.Duration(s.initSamples)
+}
+
+// StatsSnapshot is a plain copy of the collector's counters, safe to
+// copy and embed in reports.
+type StatsSnapshot struct {
+	Checkpoints     int
+	CheckpointTime  time.Duration
+	CheckpointBytes int64
+	Restores        int
+	RestoreTime     time.Duration
+	Recoveries      int
+	RecoveryTime    time.Duration
+	NotifyTime      time.Duration
+	InitTime        time.Duration
+	LostIterations  int
+	MeanNotify      time.Duration
+	MeanInit        time.Duration
+	L2Checkpoints   int
+	L2Restores      int
+	L2RestoreTime   time.Duration
+}
+
+// Snapshot returns a copy of the statistics.
+func (s *Stats) Snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatsSnapshot{
+		Checkpoints:     s.Checkpoints,
+		CheckpointTime:  s.CheckpointTime,
+		CheckpointBytes: s.CheckpointBytes,
+		Restores:        s.Restores,
+		RestoreTime:     s.RestoreTime,
+		Recoveries:      s.Recoveries,
+		RecoveryTime:    s.RecoveryTime,
+		NotifyTime:      s.NotifyTime,
+		InitTime:        s.InitTime,
+		LostIterations:  s.LostIterations,
+		L2Checkpoints:   s.L2Checkpoints,
+		L2Restores:      s.L2Restores,
+		L2RestoreTime:   s.L2RestoreTime,
+	}
+	if s.notifySamples > 0 {
+		snap.MeanNotify = s.NotifyTime / time.Duration(s.notifySamples)
+	}
+	if s.initSamples > 0 {
+		snap.MeanInit = s.InitTime / time.Duration(s.initSamples)
+	}
+	return snap
+}
+
+// procKilledPanic unwinds the goroutine of a killed process; the
+// runtime's spawn wrapper recovers it.
+type procKilledPanic struct{}
+
+// KilledPanic is the value paniced when a process is killed; exported
+// for the runtime package's recover.
+func KilledPanic() any { return procKilledPanic{} }
+
+// IsKilledPanic reports whether a recovered panic value is the
+// process-kill unwind.
+func IsKilledPanic(v any) bool {
+	_, ok := v.(procKilledPanic)
+	return ok
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"fmi/internal/ckpt"
+	"fmi/internal/trace"
+)
+
+// Multilevel checkpoint/restart: the paper's §VIII future work
+// ("Future versions of FMI will support multilevel C/R to be able to
+// recover from any failures occurring on HPC systems"), implemented
+// here. When Config.L2Every > 0 every L2Every-th level-1 checkpoint is
+// additionally flushed to the parallel file system through the SCR
+// manager. Recovery prefers the fast level-1 path; when level-1 cannot
+// repair the damage — two members of one XOR group lost at once, or a
+// replacement with no surviving group — every rank falls back to the
+// newest complete level-2 checkpoint instead of aborting.
+
+// l2Header prefixes a rank's level-2 object so the restore is fully
+// self-describing.
+type l2Header struct {
+	LoopID   int
+	Interval int
+	NextCtx  uint32
+	CommSeq  int
+	L1Count  int
+	Shape    []int
+}
+
+func encodeL2(h l2Header, data []byte) []byte {
+	out := make([]byte, 0, 20+4*len(h.Shape)+len(data))
+	var b [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:], v)
+		out = append(out, b[:]...)
+	}
+	put(uint32(h.LoopID))
+	put(uint32(h.Interval))
+	put(h.NextCtx)
+	put(uint32(h.CommSeq))
+	put(uint32(h.L1Count))
+	put(uint32(len(h.Shape)))
+	for _, s := range h.Shape {
+		put(uint32(s))
+	}
+	return append(out, data...)
+}
+
+func decodeL2(blob []byte) (l2Header, []byte, error) {
+	var h l2Header
+	get := func() (uint32, error) {
+		if len(blob) < 4 {
+			return 0, fmt.Errorf("fmi: truncated level-2 checkpoint")
+		}
+		v := binary.LittleEndian.Uint32(blob)
+		blob = blob[4:]
+		return v, nil
+	}
+	vals := make([]uint32, 6)
+	for i := range vals {
+		v, err := get()
+		if err != nil {
+			return h, nil, err
+		}
+		vals[i] = v
+	}
+	h.LoopID = int(int32(vals[0]))
+	h.Interval = int(vals[1])
+	h.NextCtx = vals[2]
+	h.CommSeq = int(vals[3])
+	h.L1Count = int(vals[4])
+	h.Shape = make([]int, vals[5])
+	for i := range h.Shape {
+		v, err := get()
+		if err != nil {
+			return h, nil, err
+		}
+		h.Shape[i] = int(v)
+	}
+	return h, blob, nil
+}
+
+// maybeWriteL2 flushes the just-committed checkpoint to the PFS when
+// its turn has come. Runs after the level-1 commit so a failure during
+// the (slow) PFS write costs nothing beyond the write itself.
+func (p *Proc) maybeWriteL2(id int) error {
+	if p.cfg.L2Every <= 0 || p.cfg.L2 == nil {
+		return nil
+	}
+	// The cadence counter is part of the checkpointed runtime state
+	// (restored on rollback and briefed to replacements), so all ranks
+	// agree on which checkpoints flush to level 2.
+	if (p.l1Count-1)%p.cfg.L2Every != 0 {
+		return nil
+	}
+	e := p.committed
+	if e == nil {
+		return nil
+	}
+	blob := encodeL2(l2Header{
+		LoopID:   e.Snap.LoopID,
+		Interval: e.Interval,
+		NextCtx:  e.NextCtx,
+		CommSeq:  e.CommSeq,
+		L1Count:  e.L1Count,
+		Shape:    e.Snap.Sizes,
+	}, e.Snap.Data)
+	if err := p.cfg.L2.WriteL2(p.rank, id, blob); err != nil {
+		return err
+	}
+	// Completion agreement mirrors the level-1 wave: the id is only
+	// trusted once every rank has written it.
+	if _, err := p.world.treeReduce(tagCkptAgree, 0, nil, nil); err != nil {
+		return err
+	}
+	if _, err := p.world.treeBcast(tagCkptAgree, 0, nil); err != nil {
+		return err
+	}
+	if p.rank == 0 {
+		p.cfg.L2.CommitL2(id)
+	}
+	p.cfg.Stats.AddL2Checkpoint()
+	p.cfg.Trace.Add(trace.KindL2Checkpoint, p.rank, p.epoch, "level-2 checkpoint %d", id)
+	return nil
+}
+
+// level1Feasible decides — deterministically from the shared avail
+// vector — whether the fast in-memory path can repair this epoch's
+// damage. Every rank computes the same answer, so no extra round is
+// needed.
+func (p *Proc) level1Feasible(infos []availInfo, restoreID int) bool {
+	if restoreID < 0 {
+		return true // nothing to restore; fresh start is always "feasible"
+	}
+	seen := map[int]bool{}
+	for r := 0; r < p.n; r++ {
+		group := p.groups[r]
+		if len(group) == 0 || seen[group[0]] {
+			continue
+		}
+		seen[group[0]] = true
+		lost := 0
+		for _, m := range group {
+			if infos[m].IsReplacement {
+				lost++
+			}
+		}
+		if lost == 0 {
+			continue
+		}
+		if lost > 1 || len(group) < 2 {
+			return false
+		}
+		// Every survivor of an affected group must hold a decodable
+		// (parity-bearing) entry; a group freshly restored from level 2
+		// has none until its next checkpoint.
+		for _, m := range group {
+			if !infos[m].IsReplacement && !infos[m].HasParity {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// restoreL2 rolls every rank back to the newest complete level-2
+// checkpoint.
+func (p *Proc) restoreL2() error {
+	mgr := p.cfg.L2
+	if p.cfg.L2Every <= 0 || mgr == nil {
+		return fmt.Errorf("%w: level-1 cannot recover and level-2 checkpointing is disabled (paper §VIII)", ErrUnrecoverable)
+	}
+	id := mgr.LatestL2()
+	if id < 0 {
+		return fmt.Errorf("%w: level-1 cannot recover and no level-2 checkpoint exists yet", ErrUnrecoverable)
+	}
+	start := time.Now()
+	blob, err := mgr.ReadL2(p.rank, id)
+	if err != nil {
+		return fmt.Errorf("%w: level-2 read failed: %v", ErrUnrecoverable, err)
+	}
+	h, data, err := decodeL2(blob)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+	}
+	p.committed = &entryExt{
+		Entry: &ckpt.Entry{
+			Snap:      ckpt.FromData(h.LoopID, data, h.Shape),
+			GroupLoop: h.LoopID,
+		},
+		Interval: h.Interval,
+		NextCtx:  h.NextCtx,
+		CommSeq:  h.CommSeq,
+		L1Count:  h.L1Count,
+	}
+	p.staged = nil
+	p.interval = h.Interval
+	p.pendingID = h.LoopID
+	p.pendingApplied = false
+	p.cfg.Stats.AddL2Restore(time.Since(start))
+	p.cfg.Trace.Add(trace.KindL2Restore, p.rank, p.epoch, "level-2 fallback to loop %d", h.LoopID)
+	return nil
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fmi/internal/bootstrap"
+	"fmi/internal/ckpt"
+	"fmi/internal/model"
+	"fmi/internal/trace"
+	"fmi/internal/transport"
+)
+
+// Loop is FMI_Loop (paper §III-B): the single call that makes an
+// application fault tolerant. It synchronises checkpointing, writes
+// in-memory XOR-encoded checkpoints of the registered segments at the
+// configured (or MTBF-auto-tuned) interval, and — when a failure has
+// been notified — drives the H1/H2 recovery, restores the last good
+// checkpoint into the segments, and returns the loop id it restored.
+// In the failure-free path it returns the incrementing loop id.
+func (p *Proc) Loop(segs [][]byte) int {
+	p.checkAlive()
+	if p.finalize {
+		panic("fmi: Loop after Finalize")
+	}
+	if p.ranLoop {
+		p.iterEWMA = ewma(p.iterEWMA, time.Since(p.lastLoopAt))
+	}
+	p.ranLoop = true
+	for {
+		if p.gen.failed() {
+			p.recover()
+			continue
+		}
+		// Apply a restore negotiated during recovery (or during Init
+		// for a replacement process): a local memcpy back into the
+		// registered segments, returning the restored loop id.
+		if p.pendingID >= 0 && !p.pendingApplied {
+			id, err := p.applyRestore(segs)
+			if err != nil {
+				p.fatal(err)
+			}
+			p.cfg.Stats.AddLostIterations(p.loopID - (id + 1))
+			p.loopID = id + 1
+			p.lastLoopAt = time.Now()
+			p.cfg.Ctl.ReportLoop(p.rank, id)
+			return id
+		}
+		id := p.loopID
+		if p.needCheckpoint(id) {
+			if err := p.checkpoint(id, segs); err != nil {
+				continue // failure during C/R: recover on next pass
+			}
+		}
+		p.loopID++
+		p.lastLoopAt = time.Now()
+		p.cfg.Ctl.ReportLoop(p.rank, id)
+		return id
+	}
+}
+
+// fatal reports an unrecoverable condition and waits for the manager
+// to kill the job.
+func (p *Proc) fatal(err error) {
+	p.cfg.Ctl.Abort(err)
+	<-p.cfg.KillCh
+	panic(procKilledPanic{})
+}
+
+// recover drives the Fig 5 Notified transition: wait for the manager
+// to open a new epoch, then rebuild H1/H2 and renegotiate the restore
+// point, retrying while further failures interrupt.
+func (p *Proc) recover() {
+	start := time.Now()
+	next, err := p.cfg.Ctl.AwaitEpoch(p.epoch+1, p.killCh())
+	if err != nil {
+		p.fatal(err)
+	}
+	p.epoch = next
+	if err := p.rebuildUntilStable(); err != nil {
+		p.fatal(err)
+	}
+	p.state = StateRunning
+	p.cfg.Trace.Add(trace.KindState, p.rank, p.epoch, "H3 running")
+	if p.rank == 0 {
+		p.cfg.Stats.AddRecovery(time.Since(start))
+	}
+}
+
+// applyRestore copies the negotiated snapshot back into the user
+// segments and adopts the checkpointed runtime counters.
+func (p *Proc) applyRestore(segs [][]byte) (int, error) {
+	e := p.committed
+	if e == nil || e.Snap.LoopID != p.pendingID {
+		return 0, fmt.Errorf("%w: rank %d has no checkpoint for loop %d", ErrUnrecoverable, p.rank, p.pendingID)
+	}
+	rs := time.Now()
+	if err := e.Snap.Restore(segs); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+	}
+	p.nextCtx = e.NextCtx
+	p.commSeq = e.CommSeq
+	p.l1Count = e.L1Count
+	p.lastCkpt = e.Snap.LoopID
+	p.pendingApplied = true
+	p.cfg.Stats.AddRestore(time.Since(rs))
+	p.cfg.Trace.Add(trace.KindRollback, p.rank, p.epoch, "rolled back to loop %d", e.Snap.LoopID)
+	return e.Snap.LoopID, nil
+}
+
+// needCheckpoint applies the paper's rule: the first Loop call always
+// checkpoints; afterwards every interval-th iteration does.
+func (p *Proc) needCheckpoint(id int) bool {
+	if p.latest() == nil {
+		return true
+	}
+	return id-p.lastCkpt >= p.interval
+}
+
+// tuneInterval applies Vaidya's model to the measured iteration and
+// checkpoint costs (paper §III-B: "FMI dynamically auto-tunes the
+// checkpoint interval to maximize efficiency according to the MTBF
+// based on Vaidya's model").
+func (p *Proc) tuneInterval() int {
+	if p.ckptEWMA == 0 || p.iterEWMA == 0 || p.cfg.MTBF == 0 {
+		return p.interval
+	}
+	return model.VaidyaIterations(p.ckptEWMA, p.cfg.MTBF, p.iterEWMA)
+}
+
+// negotiateRestore is the epoch's restore agreement, run at the end of
+// every generation build: all ranks publish the newest checkpoint they
+// hold, agree on the rollback point (the newest id available on every
+// survivor), and each XOR group containing a replaced rank
+// reconstructs its checkpoint (paper Fig 11: decode + gather).
+func (p *Proc) negotiateRestore() error {
+	coord := p.cfg.Ctl.Coordinator()
+	cancel := p.gen.cancelCh
+	key := fmt.Sprintf("avail/%d", p.epoch)
+	vals, err := coord.AllGather(key, p.rank, p.n, encodeAvail(p.availNow()), cancel)
+	if err != nil {
+		return ErrFailureDetected
+	}
+	infos := make([]availInfo, p.n)
+	for r, v := range vals {
+		infos[r] = decodeAvail(v)
+	}
+
+	restoreID := -2
+	for _, in := range infos {
+		if in.IsReplacement {
+			continue
+		}
+		if restoreID == -2 || int(in.AvailID) < restoreID {
+			restoreID = int(in.AvailID)
+		}
+	}
+	if restoreID <= -1 {
+		// Failure before the first checkpoint completed anywhere:
+		// nothing to restore; replacements start fresh.
+		p.staged = nil
+		p.pendingID = -1
+		p.pendingApplied = false
+		return p.barrierH3(coord, cancel)
+	}
+	// If the damage exceeds what the XOR groups can repair, fall back
+	// to the newest level-2 (PFS) checkpoint — multilevel C/R, the
+	// paper's §VIII future work. Every rank computes the same decision
+	// from the shared avail vector.
+	if !p.level1Feasible(infos, restoreID) {
+		if err := p.restoreL2(); err != nil {
+			return err
+		}
+		return p.barrierH3(coord, cancel)
+	}
+
+	// Adopt the interval recorded by the lowest-ranked survivor
+	// holding the restore point (keeps the checkpoint schedule
+	// globally consistent even when a failure interrupted an interval
+	// re-tune broadcast).
+	for _, in := range infos {
+		if !in.IsReplacement && int(in.AvailID) == restoreID {
+			p.interval = int(in.Interval)
+			break
+		}
+	}
+
+	// Select the local entry for restoreID (roll a fully staged entry
+	// forward, or discard it).
+	if p.staged != nil {
+		if p.staged.Snap.LoopID == restoreID {
+			p.committed = p.staged
+		}
+		p.staged = nil
+	}
+
+	if err := p.groupRestore(p.groups[p.rank], p.gidx[p.rank], infos, restoreID); err != nil {
+		return err
+	}
+	p.pendingID = restoreID
+	p.pendingApplied = false
+	return p.barrierH3(coord, cancel)
+}
+
+func (p *Proc) barrierH3(coord *bootstrap.Coordinator, cancel <-chan struct{}) error {
+	if err := coord.Barrier(fmt.Sprintf("h3/%d", p.epoch), p.rank, p.n, cancel); err != nil {
+		return ErrFailureDetected
+	}
+	return nil
+}
+
+// groupRestore reconstructs the checkpoint of a replaced rank within
+// this process's XOR group (paper Fig 11: decode + gather), then
+// re-encodes so the group regains full redundancy.
+func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID int) error {
+	g := len(group)
+	var lost []int
+	for i, r := range group {
+		if infos[r].IsReplacement {
+			lost = append(lost, i)
+		}
+	}
+	switch {
+	case len(lost) == 0:
+		return nil
+	case len(lost) > 1:
+		return fmt.Errorf("%w: %d ranks lost in one XOR group (XOR tolerates one; paper §VIII)", ErrUnrecoverable, len(lost))
+	}
+	if g < 2 {
+		return fmt.Errorf("%w: lost rank %d has no XOR redundancy (singleton group)", ErrUnrecoverable, group[0])
+	}
+	lostIdx := lost[0]
+	gc := &groupComm{p, group}
+
+	// The informant (lowest-indexed survivor) briefs the replacement.
+	informant := 0
+	if informant == lostIdx {
+		informant = 1
+	}
+
+	if gi != lostIdx {
+		e := p.committed
+		if e == nil || e.Snap.LoopID != restoreID || e.Parity == nil {
+			return fmt.Errorf("%w: survivor rank %d missing checkpoint %d for group decode", ErrUnrecoverable, p.rank, restoreID)
+		}
+		if gi == informant {
+			bf := encodeBrief(brief{
+				ChunkLen:  e.ChunkLen,
+				RestoreID: restoreID,
+				NextCtx:   e.NextCtx,
+				CommSeq:   e.CommSeq,
+				L1Count:   e.L1Count,
+				Sizes:     e.GroupSizes,
+				Shapes:    e.GroupShapes,
+			})
+			if err := p.sendRaw(group[lostIdx], ctxWorld, tagCkptMeta, transport.KindCkpt, bf); err != nil {
+				return err
+			}
+		}
+		res, err := ckpt.DecodeRing(gc, gi, g, e.Snap.Data, e.ChunkLen, e.Parity, true)
+		if err != nil {
+			return ErrFailureDetected
+		}
+		if err := p.sendRaw(group[lostIdx], ctxWorld, tagCkptChunk, transport.KindCkpt, res); err != nil {
+			return err
+		}
+		// Restore redundancy for the rebuilt member.
+		parity, err := ckpt.EncodeRing(gc, gi, g, e.Snap.Data, e.ChunkLen)
+		if err != nil {
+			return ErrFailureDetected
+		}
+		e.Parity = parity
+		return nil
+	}
+
+	// This process is the replacement: receive the brief, relay the
+	// decode ring, gather the chunks, re-encode for parity.
+	msg, err := p.recvRaw(ctxWorld, int32(group[informant]), tagCkptMeta)
+	if err != nil {
+		return ErrFailureDetected
+	}
+	b, err := decodeBrief(msg.Data)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+	}
+	if _, err := ckpt.DecodeRing(gc, gi, g, nil, b.ChunkLen, make([]byte, b.ChunkLen), false); err != nil {
+		return ErrFailureDetected
+	}
+	data := make([]byte, (g-1)*b.ChunkLen)
+	for i := 0; i < g; i++ {
+		if i == lostIdx {
+			continue
+		}
+		cm, err := p.recvRaw(ctxWorld, int32(group[i]), tagCkptChunk)
+		if err != nil {
+			return ErrFailureDetected
+		}
+		k := ckpt.DecodeChunkIndex(lostIdx, i, g)
+		copy(data[(k-1)*b.ChunkLen:], cm.Data)
+	}
+	mySize := b.Sizes[lostIdx]
+	snap := ckpt.FromData(b.RestoreID, data[:mySize], b.Shapes[lostIdx])
+	parity, err := ckpt.EncodeRing(gc, gi, g, snap.Data, b.ChunkLen)
+	if err != nil {
+		return ErrFailureDetected
+	}
+	p.committed = &entryExt{
+		Entry: &ckpt.Entry{
+			Snap:       snap,
+			Parity:     parity,
+			ChunkLen:   b.ChunkLen,
+			GroupSizes: b.Sizes,
+			GroupLoop:  b.RestoreID,
+		},
+		Interval:    p.interval,
+		GroupShapes: b.Shapes,
+		NextCtx:     b.NextCtx,
+		CommSeq:     b.CommSeq,
+		L1Count:     b.L1Count,
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"fmi/internal/transport"
+)
+
+// sendRaw transmits payload to a world rank on the given (ctx, tag).
+// Messages to dead peers vanish silently at the transport (PSM
+// semantics) and are repaired by rollback.
+func (p *Proc) sendRaw(world int, ctx uint32, tag int32, kind byte, payload []byte) error {
+	addr, err := p.addrOf(world)
+	if err != nil {
+		return err
+	}
+	return p.gen.ep.Send(addr, transport.Msg{
+		Src:   int32(p.rank),
+		Tag:   tag,
+		Ctx:   ctx,
+		Epoch: p.epoch,
+		Kind:  kind,
+		Data:  payload,
+	})
+}
+
+// recvRaw blocks for a matching message, aborting on failure
+// notification or kill (via the generation's merged cancel channel).
+func (p *Proc) recvRaw(ctx uint32, src int32, tag int32) (transport.Msg, error) {
+	msg, err := p.gen.m.Recv(ctx, src, tag, p.gen.cancelCh)
+	if err != nil {
+		p.checkAlive()
+		return transport.Msg{}, ErrFailureDetected
+	}
+	return msg, nil
+}
+
+// Send transmits data to the destination rank of the communicator
+// with the given user tag (>= 0). It blocks only under backpressure.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if err := c.p.checkComm(); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("fmi: user tags must be >= 0 (got %d)", tag)
+	}
+	world, err := c.WorldRank(dst)
+	if err != nil {
+		return err
+	}
+	return c.p.sendRaw(world, c.ctx, int32(tag), transport.KindUser, data)
+}
+
+// Recv blocks until a message with the given tag arrives from src
+// (comm rank, or AnySource) and returns its payload. The returned
+// source is the comm rank of the sender.
+func (c *Comm) Recv(src, tag int) (data []byte, from int, err error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, -1, err
+	}
+	if tag < 0 {
+		return nil, -1, fmt.Errorf("fmi: user tags must be >= 0 (got %d)", tag)
+	}
+	srcWorld := transport.AnySource
+	if src != AnySource {
+		w, err := c.WorldRank(src)
+		if err != nil {
+			return nil, -1, err
+		}
+		srcWorld = int32(w)
+	}
+	msg, err := c.p.recvRaw(c.ctx, srcWorld, int32(tag))
+	if err != nil {
+		return nil, -1, err
+	}
+	return msg.Data, c.Translate(int(msg.Src)), nil
+}
+
+// Sendrecv posts the receive, performs the send, and waits for the
+// receive — the deadlock-free exchange stencil codes use for halo
+// swaps.
+func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int) ([]byte, error) {
+	req, err := c.Irecv(src, recvTag)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Send(dst, sendTag, sendData); err != nil {
+		return nil, err
+	}
+	data, _, err := req.Wait()
+	return data, err
+}
+
+// TryRecv performs a non-blocking matched receive: if a message with
+// the given tag from src (or AnySource) has already arrived, it is
+// consumed and returned with ok=true; otherwise ok=false without
+// blocking (an MPI_Iprobe + MPI_Recv combination).
+func (c *Comm) TryRecv(src, tag int) (data []byte, from int, ok bool, err error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, -1, false, err
+	}
+	if tag < 0 {
+		return nil, -1, false, fmt.Errorf("fmi: user tags must be >= 0 (got %d)", tag)
+	}
+	srcWorld := transport.AnySource
+	if src != AnySource {
+		w, err := c.WorldRank(src)
+		if err != nil {
+			return nil, -1, false, err
+		}
+		srcWorld = int32(w)
+	}
+	msg, got := c.p.gen.m.TryRecv(c.ctx, srcWorld, int32(tag))
+	if !got {
+		return nil, -1, false, nil
+	}
+	return msg.Data, c.Translate(int(msg.Src)), true, nil
+}
+
+// Request is a pending nonblocking operation.
+type Request struct {
+	done chan struct{}
+	data []byte
+	from int
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its result.
+func (r *Request) Wait() (data []byte, from int, err error) {
+	<-r.done
+	return r.data, r.from, r.err
+}
+
+// Test reports whether the operation has completed.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a nonblocking send. The transport is eager (buffered),
+// so the send is issued immediately to preserve ordering with
+// subsequent sends from this rank.
+func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
+	r := &Request{done: make(chan struct{})}
+	r.err = c.Send(dst, tag, data)
+	close(r.done)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r, nil
+}
+
+// Irecv starts a nonblocking receive. The receive is *posted*
+// synchronously, so matching follows MPI's posting-order rule even
+// when several Irecvs are outstanding.
+func (c *Comm) Irecv(src, tag int) (*Request, error) {
+	if err := c.p.checkComm(); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("fmi: user tags must be >= 0 (got %d)", tag)
+	}
+	srcWorld := transport.AnySource
+	if src != AnySource {
+		w, err := c.WorldRank(src)
+		if err != nil {
+			return nil, err
+		}
+		srcWorld = int32(w)
+	}
+	pend, err := c.p.gen.m.PostRecv(c.ctx, srcWorld, int32(tag))
+	if err != nil {
+		return nil, ErrFailureDetected
+	}
+	r := &Request{done: make(chan struct{})}
+	gen := c.p.gen
+	go func() {
+		msg, err := pend.Await(gen.cancelCh)
+		if err != nil {
+			r.err = ErrFailureDetected
+		} else {
+			r.data, r.from = msg.Data, c.Translate(int(msg.Src))
+		}
+		close(r.done)
+	}()
+	return r, nil
+}
+
+// WaitAll waits for all requests, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

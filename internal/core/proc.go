@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fmi/internal/bootstrap"
+	"fmi/internal/ckpt"
+	"fmi/internal/overlay"
+	"fmi/internal/trace"
+	"fmi/internal/transport"
+)
+
+// Proc is one FMI rank's runtime. It lives in the rank's goroutine;
+// its methods are called only from that goroutine (the failure watcher
+// touches only the epoch generation's channels).
+type Proc struct {
+	cfg Config
+
+	rank, n int
+	state   State
+	epoch   uint32
+
+	// Per-epoch generation: fresh endpoint, matcher, overlay, table,
+	// and failure channel. Replaced wholesale by recovery (paper H1:
+	// "update endpoints to transparently recover communicators").
+	gen *generation
+
+	// Checkpointing: double-buffered in-memory entries (paper §V-A).
+	staged    *entryExt // fully encoded, awaiting global agreement
+	committed *entryExt // last globally agreed checkpoint
+	groups    [][]int
+	gidx      []int
+	loopID    int // id the next Loop call returns
+	lastCkpt  int // loop id of the last checkpoint taken locally
+	interval  int // current checkpoint interval (iterations)
+	l1Count   int // level-1 checkpoints committed (level-2 cadence)
+
+	// Restore negotiated for the current epoch: the loop id every rank
+	// rolls back to (-1 none). The snapshot is applied to the user
+	// segments at the next Loop call (a local memcpy).
+	pendingID      int
+	pendingApplied bool
+
+	// Vaidya auto-tuning inputs.
+	lastLoopAt   time.Time
+	iterEWMA     time.Duration
+	ckptEWMA     time.Duration
+	autoInterval bool
+	ranLoop      bool // first Loop call seen (switches collectives to the data plane)
+
+	// Communicator bookkeeping.
+	world    *Comm
+	nextCtx  uint32
+	commSeq  int // count of communicator-creating calls (cache keys)
+	finalize bool
+}
+
+// generation bundles everything that is rebuilt on recovery.
+type generation struct {
+	epoch      uint32
+	ep         transport.Endpoint
+	m          *transport.Matcher
+	table      bootstrap.Table
+	ring       *overlay.Ring
+	failureCh  chan struct{} // closed on failure notification
+	cancelCh   chan struct{} // closed on failure notification OR kill
+	stop       chan struct{} // stops the watcher
+	notifiedAt time.Time
+}
+
+func (g *generation) failed() bool {
+	select {
+	case <-g.failureCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Init bootstraps the rank: H1 endpoint exchange, H2 log-ring build,
+// plus the restore negotiation of the epoch it joins. It corresponds
+// to FMI_Init.
+func Init(cfg Config) (*Proc, error) {
+	cfg.fillDefaults()
+	start := time.Now()
+	p := &Proc{
+		cfg:       cfg,
+		rank:      cfg.Rank,
+		n:         cfg.N,
+		epoch:     cfg.Epoch,
+		state:     StateBootstrapping,
+		interval:  cfg.Interval,
+		nextCtx:   ctxWorld + 1,
+		pendingID: -1,
+		lastCkpt:  -1,
+	}
+	if p.interval == 0 {
+		p.autoInterval = true
+		p.interval = 1 // until measurements exist
+	}
+	p.groups, p.gidx = ckpt.Groups(cfg.N, cfg.ProcsPerNode, cfg.GroupSize)
+	p.world = newWorldComm(p)
+
+	// A replacement may have been spawned for an epoch that has since
+	// advanced; join whatever is current.
+	epoch, err := cfg.Ctl.AwaitEpoch(p.epoch, p.killCh())
+	if err != nil {
+		return nil, err
+	}
+	p.epoch = epoch
+	if err := p.rebuildUntilStable(); err != nil {
+		return nil, err
+	}
+	p.state = StateRunning
+	p.lastLoopAt = time.Now()
+	cfg.Stats.AddInit(time.Since(start))
+	return p, nil
+}
+
+// rebuildUntilStable repeats the H1→H2→negotiate cycle until a round
+// completes without being interrupted by another failure.
+func (p *Proc) rebuildUntilStable() error {
+	for {
+		err := p.buildGeneration()
+		if err == nil {
+			return nil
+		}
+		if isUnrecoverable(err) {
+			return err
+		}
+		// A concurrent failure aborted the round; wait for the next
+		// epoch and retry (Fig 5: Notified transition back to H1).
+		next, werr := p.cfg.Ctl.AwaitEpoch(p.epoch+1, p.killCh())
+		if werr != nil {
+			return werr
+		}
+		p.epoch = next
+	}
+}
+
+func isUnrecoverable(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrUnrecoverable {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// killCh returns the process kill channel.
+func (p *Proc) killCh() <-chan struct{} { return p.cfg.KillCh }
+
+// checkAlive panics with the kill unwind if the process has been
+// killed (a real process would already be gone).
+func (p *Proc) checkAlive() {
+	select {
+	case <-p.cfg.KillCh:
+		panic(procKilledPanic{})
+	default:
+	}
+}
+
+// buildGeneration performs H1 (endpoint exchange), H2 (log-ring), and
+// the epoch's restore negotiation. On interruption it tears down and
+// returns an error; the caller advances the epoch and retries.
+func (p *Proc) buildGeneration() error {
+	p.checkAlive()
+	p.teardownGen(p.gen)
+	p.gen = nil
+	// Note: a fully staged checkpoint (encode finished, commit wave
+	// interrupted) is deliberately kept — the restore negotiation
+	// rolls it forward when every survivor holds it.
+	p.state = StateBootstrapping
+	p.cfg.Trace.Add(trace.KindState, p.rank, p.epoch, "H1 bootstrapping")
+
+	g := &generation{
+		epoch:     p.epoch,
+		failureCh: make(chan struct{}),
+		cancelCh:  make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+	ep, err := p.cfg.Network.NewEndpoint(p.cfg.KillCh)
+	if err != nil {
+		return fmt.Errorf("fmi: endpoint: %w", err)
+	}
+	g.ep = ep
+	g.m = transport.NewMatcher(ep)
+	g.m.AdvanceEpoch(p.epoch)
+
+	// Cancel H1/H2 waits when the process is killed OR the job epoch
+	// advances past this round (a further failure made it stale).
+	cancel, stopCancel := mergeCancel(p.cfg.KillCh, p.cfg.Ctl.EpochNotify(p.epoch))
+	defer stopCancel()
+
+	table, _, err := bootstrap.TreeExchange(bootstrap.Proc{
+		Rank: p.rank, N: p.n, Addr: ep.Addr(), EP: ep, M: g.m,
+		Coord: p.cfg.Ctl.Coordinator(), Epoch: p.epoch,
+		Key:    fmt.Sprintf("h1/%d", p.epoch),
+		Cancel: cancel,
+	})
+	if err != nil {
+		p.teardownGen(g)
+		return p.classify(err)
+	}
+	g.table = table
+
+	// H2: log-ring.
+	p.state = StateConnecting
+	p.cfg.Trace.Add(trace.KindState, p.rank, p.epoch, "H2 connecting")
+	ring, err := overlay.Build(ep, p.rank, table, p.cfg.RingBase)
+	if err != nil {
+		p.teardownGen(g)
+		return p.classify(err)
+	}
+	g.ring = ring
+
+	// Everyone must finish H2 before anything else flows, or an early
+	// sender could race the ring construction.
+	if err := p.cfg.Ctl.Coordinator().Barrier(fmt.Sprintf("h2/%d", p.epoch), p.rank, p.n, cancel); err != nil {
+		p.teardownGen(g)
+		return p.classify(err)
+	}
+
+	// Arm the failure watcher: ring notification or control-plane
+	// epoch bump, whichever lands first. The merged cancel channel
+	// additionally wakes on process kill so every blocked receive
+	// unwinds promptly.
+	ctlCh := p.cfg.Ctl.EpochNotify(p.epoch)
+	kill := p.cfg.KillCh
+	go func(g *generation) {
+		defer close(g.cancelCh)
+		select {
+		case <-g.ring.Notify():
+		case <-ctlCh:
+		case <-kill:
+			return
+		case <-g.stop:
+			return
+		}
+		g.notifiedAt = time.Now()
+		p.cfg.Trace.Add(trace.KindNotified, p.rank, g.epoch, "failure notification received")
+		close(g.failureCh)
+	}(g)
+
+	p.gen = g
+
+	// Restore negotiation: agree on the rollback point and rebuild
+	// lost checkpoints within each XOR group. The resulting snapshot
+	// is applied to the user segments at the next Loop call.
+	if err := p.negotiateRestore(); err != nil {
+		p.teardownGen(g)
+		p.gen = nil
+		return err
+	}
+	return nil
+}
+
+// mergeCancel returns a channel closed when either input fires; call
+// stop to release the watcher once the guarded phase completes.
+func mergeCancel(a, b <-chan struct{}) (<-chan struct{}, func()) {
+	out := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		case <-stop:
+			return
+		}
+		close(out)
+	}()
+	return out, func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+	}
+}
+
+func (p *Proc) teardownGen(g *generation) {
+	if g == nil {
+		return
+	}
+	if g.stop != nil {
+		select {
+		case <-g.stop:
+		default:
+			close(g.stop)
+		}
+	}
+	if g.ring != nil {
+		g.ring.Shutdown()
+	}
+	if g.m != nil {
+		g.m.Close()
+	}
+	if g.ep != nil {
+		g.ep.Close()
+	}
+}
+
+// classify maps low-level errors to runtime errors, checking for kill.
+func (p *Proc) classify(err error) error {
+	select {
+	case <-p.cfg.KillCh:
+		panic(procKilledPanic{})
+	default:
+	}
+	return err
+}
+
+// Rank returns the process's FMI (virtual) rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.n }
+
+// Epoch returns the current recovery epoch.
+func (p *Proc) Epoch() uint32 { return p.epoch }
+
+// State returns the current process state (Fig 5).
+func (p *Proc) State() State { return p.state }
+
+// World returns the world communicator.
+func (p *Proc) World() *Comm { return p.world }
+
+// Interval returns the checkpoint interval currently in effect.
+func (p *Proc) Interval() int { return p.interval }
+
+// FailureDetected reports whether a failure has been notified in the
+// current epoch (communication calls will fail until Loop recovers).
+func (p *Proc) FailureDetected() bool {
+	return p.gen != nil && p.gen.failed()
+}
+
+// failureCh returns the current generation's merged cancel channel.
+func (p *Proc) failureCh() <-chan struct{} {
+	return p.gen.cancelCh
+}
+
+// addrOf resolves a world rank to its current endpoint address.
+func (p *Proc) addrOf(rank int) (transport.Addr, error) {
+	if rank < 0 || rank >= p.n {
+		return transport.NilAddr, fmt.Errorf("%w: %d", ErrInvalidRank, rank)
+	}
+	return p.gen.table[rank], nil
+}
+
+// checkComm guards the start of every communication call.
+func (p *Proc) checkComm() error {
+	p.checkAlive()
+	if p.finalize {
+		return ErrFinalized
+	}
+	if p.gen.failed() {
+		return ErrFailureDetected
+	}
+	return nil
+}
+
+// Finalize leaves the job cleanly: quiesce failure detection, final
+// coordinator barrier, teardown. Collective.
+func (p *Proc) Finalize() error {
+	p.checkAlive()
+	if p.finalize {
+		return ErrFinalized
+	}
+	// Stop reacting to peers' teardown before anyone starts closing.
+	p.gen.ring.Quiesce()
+	if p.gen.stop != nil {
+		select {
+		case <-p.gen.stop:
+		default:
+			close(p.gen.stop)
+		}
+	}
+	err := p.cfg.Ctl.Coordinator().Barrier(fmt.Sprintf("finalize/%d", p.epoch), p.rank, p.n, p.cfg.KillCh)
+	p.finalize = true
+	p.state = StateFinalized
+	p.cfg.Trace.Add(trace.KindFinalize, p.rank, p.epoch, "finalized")
+	p.teardownGen(p.gen)
+	return err
+}

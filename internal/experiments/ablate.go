@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fmi/internal/overlay"
+)
+
+// AblateKRow sweeps the log-ring base k (paper §IV-C: "The value of k
+// in log_k(n) connections is a tunable parameter in FMI … we leave the
+// optimization of k for future work"). This ablation does that
+// exploration: connection count (establishment cost) versus
+// propagation hops (detection cost).
+type AblateKRow struct {
+	Base          int
+	ConnsPerProc  int
+	Hops          int
+	BuildSeconds  float64
+	NotifySeconds float64
+}
+
+// AblateK measures, for one process count, how the log-ring base
+// trades establishment against notification.
+func AblateK(n int, bases []int, detect, prop time.Duration) ([]AblateKRow, error) {
+	var out []AblateKRow
+	for _, k := range bases {
+		buildStart := time.Now()
+		rows, err := NotifySweep([]int{n}, k, detect, prop)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblateKRow{
+			Base:          k,
+			ConnsPerProc:  len(overlay.OutNeighbors(0, n, k)),
+			Hops:          overlay.NotifyHops(n, k, 0),
+			BuildSeconds:  time.Since(buildStart).Seconds() - rows[0].MaxSeconds,
+			NotifySeconds: rows[0].MaxSeconds,
+		})
+	}
+	return out, nil
+}
+
+// PrintAblateK prints the sweep.
+func PrintAblateK(w io.Writer, n int, rows []AblateKRow) {
+	fmt.Fprintf(w, "Ablation: log-ring base k at n=%d (paper leaves k tuning as future work)\n", n)
+	fmt.Fprintf(w, "%6s %12s %6s %12s %12s\n", "k", "conns/proc", "hops", "build(s)", "notify(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %12d %6d %12.4f %12.4f\n", r.Base, r.ConnsPerProc, r.Hops, r.BuildSeconds, r.NotifySeconds)
+	}
+}
+
+// AblateGroupRow sweeps the XOR group size against survivability: the
+// probability that two random simultaneous node failures land in the
+// same group (unrecoverable, paper §VIII) versus the parity memory
+// overhead (§V-C trade-off).
+type AblateGroupRow struct {
+	GroupSize        int
+	ParityOverheadPc float64
+	TwoLossFatalPc   float64 // P(two random node losses share a group)
+}
+
+// AblateGroup computes the trade-off analytically for a cluster of
+// nodes nodes (1 rank/node).
+func AblateGroup(nodes int, groupSizes []int) []AblateGroupRow {
+	var out []AblateGroupRow
+	for _, g := range groupSizes {
+		if g > nodes {
+			continue
+		}
+		// Nodes are partitioned into windows of g; two distinct random
+		// nodes collide iff they fall in the same window:
+		// P = (g-1)/(nodes-1) for full windows.
+		p := float64(g-1) / float64(nodes-1)
+		out = append(out, AblateGroupRow{
+			GroupSize:        g,
+			ParityOverheadPc: 100.0 / float64(g-1),
+			TwoLossFatalPc:   100 * p,
+		})
+	}
+	return out
+}
+
+// PrintAblateGroup prints the trade-off table.
+func PrintAblateGroup(w io.Writer, nodes int, rows []AblateGroupRow) {
+	fmt.Fprintf(w, "Ablation: XOR group size trade-off on %d nodes (paper §V-C picks 16)\n", nodes)
+	fmt.Fprintf(w, "%8s %16s %22s\n", "group", "parity overhead", "P(2 losses fatal)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %15.1f%% %21.2f%%\n", r.GroupSize, r.ParityOverheadPc, r.TwoLossFatalPc)
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestXORGroupSweepShape(t *testing.T) {
+	rows, err := XORGroupSweep([]int{2, 4, 8}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.CheckpointTotal <= 0 || r.RestartTotal <= 0 {
+			t.Fatalf("non-positive timings: %+v", r)
+		}
+		// Paper §V-B: restart includes the extra gather, so the model
+		// restart exceeds the model checkpoint.
+		if r.ModelRestSierra <= r.ModelCkptSierra {
+			t.Fatalf("model restart not slower than checkpoint: %+v", r)
+		}
+	}
+	// Model checkpoint time decreases with group size (Fig 10 shape).
+	if rows[2].ModelCkptSierra >= rows[0].ModelCkptSierra {
+		t.Fatal("model time did not decrease with group size")
+	}
+	var buf bytes.Buffer
+	PrintFig10(&buf, rows)
+	PrintFig11(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 10") || !strings.Contains(buf.String(), "Fig 11") {
+		t.Fatal("printers broken")
+	}
+}
+
+func TestCRThroughputSweep(t *testing.T) {
+	rows, err := CRThroughputSweep([]int{8, 16}, 4, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CkptGBps <= 0 || r.RestartGBps <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 12") {
+		t.Fatal("printer broken")
+	}
+}
+
+func TestNotifySweep(t *testing.T) {
+	rows, err := NotifySweep([]int{8, 32}, 2, 2*time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxSeconds <= 0 {
+			t.Fatalf("no notification time measured: %+v", r)
+		}
+		if r.Hops > r.Bound {
+			t.Fatalf("hops %d exceed paper bound %d", r.Hops, r.Bound)
+		}
+		// The detect delay is a floor (paper: constant ~0.2s before
+		// propagation starts).
+		if r.MaxSeconds < 0.002 {
+			t.Fatalf("notification faster than the detect delay: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig13(&buf, rows, 2*time.Millisecond, time.Millisecond)
+	if !strings.Contains(buf.String(), "Fig 13") {
+		t.Fatal("printer broken")
+	}
+}
+
+func TestInitSweep(t *testing.T) {
+	rows, err := InitSweep([]int{8, 32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The KVS exchange serves ~n² coordinator ops vs the tree's n.
+		if r.KVSCoordOps <= r.TreeCoordOps {
+			t.Fatalf("KVS ops (%d) should exceed tree ops (%d)", r.KVSCoordOps, r.TreeCoordOps)
+		}
+		if r.ModelMPISeconds <= r.ModelFMISeconds {
+			t.Fatalf("model MPI init should exceed FMI init: %+v", r)
+		}
+	}
+	// KVS coordinator load grows quadratically: 4x procs => ~16x ops.
+	if rows[1].KVSCoordOps < 8*rows[0].KVSCoordOps {
+		t.Fatalf("KVS ops not superlinear: %d -> %d", rows[0].KVSCoordOps, rows[1].KVSCoordOps)
+	}
+	var buf bytes.Buffer
+	PrintFig14(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 14") {
+		t.Fatal("printer broken")
+	}
+}
+
+func TestTable3SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ping-pong measurement in -short mode")
+	}
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LatencyUsec <= 0 || r.BandwidthGBps <= 0 {
+			t.Fatalf("bad measurement: %+v", r)
+		}
+	}
+	// The headline claim: FMI messaging ≈ MPI messaging. Allow a wide
+	// factor since this is a shared CI machine.
+	var fmiLat, mpiLat float64
+	for _, r := range rows {
+		if r.Transport == "chan" {
+			if r.System == "FMI" {
+				fmiLat = r.LatencyUsec
+			} else {
+				mpiLat = r.LatencyUsec
+			}
+		}
+	}
+	if fmiLat > 5*mpiLat || mpiLat > 5*fmiLat {
+		t.Fatalf("FMI (%.2fus) and MPI (%.2fus) latency differ wildly", fmiLat, mpiLat)
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Fatal("printer broken")
+	}
+}
+
+func TestFig15Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application study in -short mode")
+	}
+	c := Fig15Config{
+		Ranks: 4, ProcsPerNode: 1, NX: 66, NY: 64, NZ: 64,
+		Iters: 80, MTBF: 60 * time.Millisecond, Spares: 6, Seed: 3,
+		DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond,
+		Timeout:     5 * time.Minute,
+		ScriptLoops: []int{20, 50}, // deterministic failures
+	}
+	rows, err := Fig15(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("series = %d", len(rows))
+	}
+	byName := map[string]Fig15Row{}
+	for _, r := range rows {
+		if r.GFLOPS <= 0 {
+			t.Fatalf("series %s has no throughput", r.Series)
+		}
+		byName[r.Series] = r
+	}
+	// Structural claims: checkpointing costs something; failures cost
+	// more. (Exact ratios are machine-dependent.)
+	if byName["FMI + C"].Checkpoints == 0 {
+		t.Fatal("FMI + C took no checkpoints")
+	}
+	if byName["FMI + C/R"].Failures == 0 {
+		t.Fatal("FMI + C/R saw no failures (increase run length or rate)")
+	}
+	if byName["FMI + C/R"].GFLOPS > byName["FMI"].GFLOPS {
+		t.Fatal("running through failures should not be faster than failure-free")
+	}
+	var buf bytes.Buffer
+	PrintFig15(&buf, c, rows)
+	if !strings.Contains(buf.String(), "Fig 15") {
+		t.Fatal("printer broken")
+	}
+}
+
+func TestModelPrinters(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable1(&buf)
+	PrintFig1(&buf)
+	PrintTable2(&buf)
+	PrintFig16(&buf, Fig16([]float64{1, 10, 50}))
+	PrintFig17(&buf, Fig17([]float64{1, 25, 50}))
+	out := buf.String()
+	for _, want := range []string{"Table I", "Fig 1", "Table II", "Fig 16", "Fig 17", "Compute node", "554.10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestAblateGroup(t *testing.T) {
+	rows := AblateGroup(64, []int{2, 4, 8, 16, 32, 64})
+	prevOverhead := 1e9
+	prevFatal := -1.0
+	for _, r := range rows {
+		if r.ParityOverheadPc >= prevOverhead {
+			t.Fatal("parity overhead should fall with group size")
+		}
+		if r.TwoLossFatalPc <= prevFatal {
+			t.Fatal("two-loss fatality should rise with group size")
+		}
+		prevOverhead, prevFatal = r.ParityOverheadPc, r.TwoLossFatalPc
+	}
+	// Paper §V-C: at group 16, parity is ~6.6%.
+	for _, r := range rows {
+		if r.GroupSize == 16 && (r.ParityOverheadPc < 6 || r.ParityOverheadPc > 7) {
+			t.Fatalf("group 16 parity overhead = %.1f%%", r.ParityOverheadPc)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblateGroup(&buf, 64, rows)
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Fatal("printer broken")
+	}
+}
+
+func TestAblateK(t *testing.T) {
+	rows, err := AblateK(64, []int{2, 4, 8}, time.Millisecond, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ConnsPerProc <= rows[2].ConnsPerProc {
+		t.Fatal("base 2 should need more connections than base 8")
+	}
+	if rows[0].Hops > rows[2].Hops {
+		// Larger bases reach fewer nodes per hop in the BFS sense only
+		// when counting undirected edges; allow equality but not a
+		// strict inversion both ways.
+		t.Logf("hops: k=2 %d, k=8 %d", rows[0].Hops, rows[2].Hops)
+	}
+	var buf bytes.Buffer
+	PrintAblateK(&buf, 64, rows)
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Fatal("printer broken")
+	}
+}

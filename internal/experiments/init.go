@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fmi/internal/bootstrap"
+	"fmi/internal/overlay"
+	"fmi/internal/transport"
+)
+
+// InitPoint is one row of Fig 14: FMI_Init (bootstrapping + log-ring)
+// versus the MVAPICH2/SLURM MPI_Init, both actually executed at this
+// process count, plus the calibrated paper-scale model values.
+type InitPoint struct {
+	Procs           int
+	TreeSeconds     float64 // measured PMGR-style tree bootstrap (H1)
+	LogRingSeconds  float64 // measured overlay build (H2)
+	KVSSeconds      float64 // measured PMI-style exchange (MPI_Init)
+	ModelFMISeconds float64 // CostModel at paper scale
+	ModelMPISeconds float64
+	TreeCoordOps    int
+	KVSCoordOps     int
+}
+
+// InitSweep measures both bootstrap paths at each process count. The
+// KVS path's n² coordinator gets are executed for real, which is the
+// paper's explanation for MPI_Init being slower.
+func InitSweep(procCounts []int, base int) ([]InitPoint, error) {
+	cm := bootstrap.DefaultCostModel()
+	var out []InitPoint
+	for _, n := range procCounts {
+		// --- FMI path: tree exchange + log-ring.
+		w, err := newRingWorld(n)
+		if err != nil {
+			return nil, err
+		}
+		coord := bootstrap.NewCoordinator()
+		var wg sync.WaitGroup
+		tables := make([]bootstrap.Table, n)
+		costs := make([]bootstrap.Cost, n)
+		errs := make([]error, n)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tables[i], costs[i], errs[i] = bootstrap.TreeExchange(bootstrap.Proc{
+					Rank: i, N: n, Addr: w.eps[i].Addr(), EP: w.eps[i], M: w.ms[i],
+					Coord: coord, Key: "h1",
+				})
+			}(i)
+		}
+		wg.Wait()
+		treeSec := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		treeOps := 0
+		for _, c := range costs {
+			treeOps += c.CoordOps
+		}
+
+		// H2: build the log-ring on the exchanged table.
+		rings := make([]*overlay.Ring, n)
+		start = time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				addrs := make([]transport.Addr, n)
+				copy(addrs, tables[i])
+				rings[i], errs[i] = overlay.Build(w.eps[i], i, addrs, base)
+			}(i)
+		}
+		wg.Wait()
+		ringSec := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range rings {
+			r.Quiesce()
+		}
+		for _, r := range rings {
+			r.Shutdown()
+		}
+		w.close()
+
+		// --- MPI path: PMI KVS exchange (n puts, n fences, n² gets).
+		w2, err := newRingWorld(n)
+		if err != nil {
+			return nil, err
+		}
+		coord2 := bootstrap.NewCoordinator()
+		kvsCosts := make([]bootstrap.Cost, n)
+		start = time.Now()
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, kvsCosts[i], errs[i] = bootstrap.KVSExchange(bootstrap.Proc{
+					Rank: i, N: n, Addr: w2.eps[i].Addr(), EP: w2.eps[i], M: w2.ms[i],
+					Coord: coord2, Key: "pmi",
+				})
+			}(i)
+		}
+		wg.Wait()
+		kvsSec := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		kvsOps := 0
+		for _, c := range kvsCosts {
+			kvsOps += c.CoordOps
+		}
+		w2.close()
+
+		out = append(out, InitPoint{
+			Procs:           n,
+			TreeSeconds:     treeSec,
+			LogRingSeconds:  ringSec,
+			KVSSeconds:      kvsSec,
+			ModelFMISeconds: cm.FMIInitTime(n, base).Seconds(),
+			ModelMPISeconds: cm.MPIInitTime(n).Seconds(),
+			TreeCoordOps:    treeOps,
+			KVSCoordOps:     kvsOps,
+		})
+	}
+	return out, nil
+}
+
+// PrintFig14 prints the init sweep.
+func PrintFig14(w io.Writer, rows []InitPoint) {
+	fmt.Fprintln(w, "Fig 14: FMI_Init (bootstrap + log-ring) vs MPI_Init (SLURM/MVAPICH2 PMI)")
+	fmt.Fprintf(w, "%8s %12s %12s %12s | %12s %12s | %10s %10s\n",
+		"procs", "tree(s)", "logring(s)", "kvs(s)", "modelFMI(s)", "modelMPI(s)", "treeOps", "kvsOps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.5f %12.5f %12.5f | %12.2f %12.2f | %10d %10d\n",
+			r.Procs, r.TreeSeconds, r.LogRingSeconds, r.KVSSeconds,
+			r.ModelFMISeconds, r.ModelMPISeconds, r.TreeCoordOps, r.KVSCoordOps)
+	}
+}

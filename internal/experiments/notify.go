@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fmi/internal/overlay"
+	"fmi/internal/transport"
+)
+
+// NotifyPoint is one row of Fig 13: time for every process to be
+// notified of a failure through the log-ring overlay.
+type NotifyPoint struct {
+	Procs       int
+	MaxSeconds  float64 // slowest process (the figure's metric)
+	MeanSeconds float64
+	Hops        int // BFS propagation hops for this topology
+	Bound       int // paper bound ceil(ceil(log2 n)/2)
+}
+
+// NotifySweep builds a log-ring over n real endpoints, kills process
+// 0, and measures the wall time until every survivor observes the
+// failure. detect/prop model the ibverbs disconnect delays (the paper
+// observed ~0.2 s detect; pass smaller values for quick runs).
+func NotifySweep(procCounts []int, base int, detect, prop time.Duration) ([]NotifyPoint, error) {
+	var out []NotifyPoint
+	for _, n := range procCounts {
+		nw := transport.NewChanNetwork(transport.Options{DetectDelay: detect, PropDelay: prop})
+		eps := make([]transport.Endpoint, n)
+		dies := make([]chan struct{}, n)
+		table := make([]transport.Addr, n)
+		for i := 0; i < n; i++ {
+			dies[i] = make(chan struct{})
+			ep, err := nw.NewEndpoint(dies[i])
+			if err != nil {
+				return nil, err
+			}
+			eps[i] = ep
+			table[i] = ep.Addr()
+		}
+		rings := make([]*overlay.Ring, n)
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rings[i], errs[i] = overlay.Build(eps[i], i, table, base)
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		const victim = 0
+		start := time.Now()
+		close(dies[victim])
+		var mu sync.Mutex
+		var maxD, sumD time.Duration
+		for i := 0; i < n; i++ {
+			if i == victim {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-rings[i].Notify()
+				d := time.Since(start)
+				mu.Lock()
+				if d > maxD {
+					maxD = d
+				}
+				sumD += d
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		for i, r := range rings {
+			if i != victim {
+				r.Shutdown()
+			}
+		}
+		for i, ep := range eps {
+			if i != victim {
+				ep.Close()
+			}
+		}
+		out = append(out, NotifyPoint{
+			Procs:       n,
+			MaxSeconds:  maxD.Seconds(),
+			MeanSeconds: (sumD / time.Duration(n-1)).Seconds(),
+			Hops:        overlay.NotifyHops(n, base, victim),
+			Bound:       overlay.TheoreticalMaxHops(n),
+		})
+	}
+	return out, nil
+}
+
+// PrintFig13 prints the notification sweep.
+func PrintFig13(w io.Writer, rows []NotifyPoint, detect, prop time.Duration) {
+	fmt.Fprintf(w, "Fig 13: global failure notification time, log-ring overlay (detect=%v, prop=%v)\n", detect, prop)
+	fmt.Fprintf(w, "%8s %12s %12s %6s %14s\n", "procs", "max(s)", "mean(s)", "hops", "paper bound")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.4f %12.4f %6d %14d\n", r.Procs, r.MaxSeconds, r.MeanSeconds, r.Hops, r.Bound)
+	}
+}

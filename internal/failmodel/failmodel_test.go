@@ -1,0 +1,145 @@
+package failmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTable1MTBFs(t *testing.T) {
+	// Table I prints MTBFs derived from the rates; verify we derive
+	// the same values.
+	want := map[string]float64{
+		"PFS, Core switch": 65.10,
+		"Rack":             86.90,
+		"Edge switch":      17.37,
+		"PSU":              28.94,
+		"Compute node":     0.658,
+	}
+	for _, ft := range TSUBAME2Types() {
+		w := want[ft.Name]
+		got := ft.MTBFDays()
+		if math.Abs(got-w)/w > 0.02 {
+			t.Fatalf("%s: MTBF %.3f days, paper says %.3f", ft.Name, got, w)
+		}
+	}
+}
+
+func TestSingleNodeFractionPaperClaim(t *testing.T) {
+	// Paper: "about 92% of failures affect a single node".
+	f := SingleNodeFraction(TSUBAME2Types())
+	if f < 0.90 || f > 0.94 {
+		t.Fatalf("single-node fraction = %.3f, want ≈0.92", f)
+	}
+}
+
+func TestMultiNodeFractionPaperClaim(t *testing.T) {
+	// Paper: "only about 5% of failures affect more than 4 nodes".
+	f := MultiNodeFraction(TSUBAME2Types(), 4)
+	if f < 0.03 || f > 0.08 {
+		t.Fatalf("multi-node (>4) fraction = %.3f, want ≈0.05", f)
+	}
+}
+
+func TestComponentsConsistentWithTable1(t *testing.T) {
+	// Sum of level-1 component rates should match the compute-node row
+	// of Table I (554.1 failures/year ≈ 17.6e-6 /s), within chart-read
+	// tolerance.
+	var sumE6 float64
+	for _, c := range TSUBAME2Components() {
+		if c.Level == 1 {
+			sumE6 += c.RatePerSecE6
+		}
+	}
+	nodeRateE6 := FailureType{FailuresPerYear: 554.10}.RatePerSecond() * 1e6
+	if math.Abs(sumE6-nodeRateE6)/nodeRateE6 > 0.05 {
+		t.Fatalf("level-1 component sum %.2fe-6 vs Table I %.2fe-6", sumE6, nodeRateE6)
+	}
+}
+
+func TestComponentLevels(t *testing.T) {
+	for _, c := range TSUBAME2Components() {
+		if c.Level < 1 || c.Level > 5 {
+			t.Fatalf("%s: level %d out of range", c.Name, c.Level)
+		}
+		if c.RatePerSecE6 <= 0 {
+			t.Fatalf("%s: non-positive rate", c.Name)
+		}
+	}
+}
+
+func TestSystemMTBF(t *testing.T) {
+	// Combined rate of two sources halves the MTBF.
+	types := []FailureType{
+		{FailuresPerYear: 365.25}, // 1/day
+		{FailuresPerYear: 365.25},
+	}
+	got := SystemMTBF(types)
+	if math.Abs(got.Hours()-12) > 0.1 {
+		t.Fatalf("SystemMTBF = %v, want 12h", got)
+	}
+	if SystemMTBF(nil) != 0 {
+		t.Fatal("empty types should give 0")
+	}
+}
+
+func TestScaledNodeMTBFPaperClaim(t *testing.T) {
+	// Paper §I: extrapolating single-node failure rates to 100,000
+	// nodes gives an estimated MTBF of 17 minutes. That corresponds to
+	// a single-node MTBF of ~3.2 years.
+	single := time.Duration(3.2 * 365.25 * 24 * float64(time.Hour))
+	sys := ScaledNodeMTBF(single, 100000)
+	if sys < 14*time.Minute || sys > 20*time.Minute {
+		t.Fatalf("scaled MTBF = %v, want ≈17 min", sys)
+	}
+	if ScaledNodeMTBF(time.Hour, 0) != 0 {
+		t.Fatal("n=0 should give 0")
+	}
+}
+
+func TestPoissonProcessDeterministic(t *testing.T) {
+	a := NewProcess(time.Second, 42)
+	b := NewProcess(time.Second, 42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed gave different schedules")
+		}
+	}
+}
+
+func TestPoissonProcessMean(t *testing.T) {
+	p := NewProcess(time.Second, 7)
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.Next()
+	}
+	mean := float64(sum) / n / float64(time.Second)
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("mean inter-arrival = %.3f s, want ≈1 s", mean)
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	p := NewProcess(100*time.Millisecond, 3)
+	sched := p.Schedule(2 * time.Second)
+	if len(sched) == 0 {
+		t.Fatal("no failures in 20 MTBFs")
+	}
+	prev := time.Duration(0)
+	for _, at := range sched {
+		if at <= prev || at >= 2*time.Second {
+			t.Fatalf("schedule not increasing within horizon: %v", sched)
+		}
+		prev = at
+	}
+}
+
+func TestExpectedFailures(t *testing.T) {
+	if got := ExpectedFailures(time.Minute, time.Hour); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("got %f", got)
+	}
+	if !math.IsInf(ExpectedFailures(0, time.Hour), 1) {
+		t.Fatal("zero MTBF should be +Inf")
+	}
+}

@@ -1,0 +1,16 @@
+package himeno
+
+import "unsafe"
+
+// f32bytes reinterprets a float32 slice as its underlying bytes with
+// no copy, so the pressure grid itself can be registered as an FMI
+// checkpoint segment: Loop's restore memcpy writes straight back into
+// the grid. This is the only use of unsafe in the repository and
+// relies solely on the layout guarantee that a []float32's backing
+// array is 4·len contiguous bytes.
+func f32bytes(v []float32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}

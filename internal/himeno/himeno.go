@@ -1,0 +1,281 @@
+// Package himeno implements the Himeno benchmark used in the paper's
+// application study (§VI-B): a 19-point Jacobi stencil solving the
+// pressure Poisson equation on a 3-D grid with float32 arithmetic —
+// "a stencil application in which each grid point is iteratively
+// updated using only neighbor points", with point-to-point halo
+// exchanges and one Allreduce (the residual) per iteration.
+//
+// The grid is decomposed in 1-D slabs along the first axis; each rank
+// holds its slab plus one ghost plane on each side. The pressure array
+// doubles as the rank's checkpoint segment (exposed as raw bytes), so
+// FMI's Loop can capture and restore it without copies beyond its own
+// memcpy.
+package himeno
+
+import (
+	"fmt"
+	"math"
+
+	"fmi/internal/core"
+)
+
+// Standard himenobmt coefficients: a0..a2=1, a3=1/6, b*=0 (the grid is
+// uniform), c*=1, bnd=1, wrk1=0.
+const (
+	a0, a1, a2 float32 = 1, 1, 1
+	a3         float32 = 1.0 / 6.0
+	c0, c1, c2 float32 = 1, 1, 1
+	omega      float32 = 0.8
+)
+
+// FlopsPerPoint is the canonical Himeno operation count per interior
+// grid point per iteration.
+const FlopsPerPoint = 34
+
+// Comm is the communication surface the solver needs; both the FMI
+// communicator and the baseline MPI process satisfy it.
+type Comm interface {
+	Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, error)
+	Allreduce(data []byte, op core.Op) ([]byte, error)
+}
+
+// Solver is one rank's slab of the Himeno grid.
+type Solver struct {
+	rank, n    int
+	gnx        int // global first-axis size
+	ny, nz     int
+	rows       int // interior rows owned by this rank
+	lnx        int // local allocation: rows + 2 ghost/boundary planes
+	firstGlob  int // global index of local row 1
+	p          []float32
+	wrk        []float32
+	planeBytes int
+}
+
+// New creates the solver for rank of n over a global nx×ny×nz grid.
+// nx-2 interior planes are distributed as evenly as possible.
+func New(rank, n, nx, ny, nz int) (*Solver, error) {
+	interior := nx - 2
+	if interior < n {
+		return nil, fmt.Errorf("himeno: %d interior planes cannot feed %d ranks", interior, n)
+	}
+	rows := interior / n
+	extra := interior % n
+	first := 1 + rank*rows + minInt(rank, extra)
+	if rank < extra {
+		rows++
+	}
+	s := &Solver{
+		rank: rank, n: n, gnx: nx, ny: ny, nz: nz,
+		rows: rows, lnx: rows + 2, firstGlob: first,
+		planeBytes: ny * nz * 4,
+	}
+	s.p = make([]float32, s.lnx*ny*nz)
+	s.wrk = make([]float32, s.lnx*ny*nz)
+	s.Reset()
+	return s, nil
+}
+
+// Reset installs the standard initial condition p = (k/(nz-1))²
+// (himenobmt initialises along the third axis).
+func (s *Solver) Reset() {
+	for i := 0; i < s.lnx; i++ {
+		for j := 0; j < s.ny; j++ {
+			for k := 0; k < s.nz; k++ {
+				v := float32(k) / float32(s.nz-1)
+				s.p[s.idx(i, j, k)] = v * v
+			}
+		}
+	}
+}
+
+func (s *Solver) idx(i, j, k int) int { return (i*s.ny+j)*s.nz + k }
+
+// Rows returns the number of interior planes this rank owns.
+func (s *Solver) Rows() int { return s.rows }
+
+// InteriorPoints returns this rank's interior point count (for FLOPS
+// accounting). Boundary planes in j and k do not count.
+func (s *Solver) InteriorPoints() int {
+	rows := s.rows
+	// Global boundary planes at i=0 and i=gnx-1 are never updated;
+	// they live inside the first and last ranks' ghost planes already.
+	return rows * (s.ny - 2) * (s.nz - 2)
+}
+
+// State exposes the pressure grid as the checkpoint segment. The
+// returned slice aliases the solver's float32 storage: restoring bytes
+// into it restores the grid.
+func (s *Solver) State() []byte { return f32bytes(s.p) }
+
+// Exchange swaps ghost planes with the neighbouring ranks; tags 101
+// (upward) and 102 (downward).
+func (s *Solver) Exchange(c Comm) error {
+	up := s.rank + 1
+	down := s.rank - 1
+	// Send the top interior plane up, receive the bottom ghost from
+	// below (ranks at the edges skip the missing side).
+	if up < s.n {
+		top := s.planeSlice(s.rows)
+		if down >= 0 {
+			got, err := c.Sendrecv(up, 101, top, down, 101)
+			if err != nil {
+				return err
+			}
+			copy(s.planeSlice(0), got)
+		} else {
+			if err := sendOnly(c, up, 101, top); err != nil {
+				return err
+			}
+		}
+	} else if down >= 0 {
+		got, _, err := recvOnly(c, down, 101)
+		if err != nil {
+			return err
+		}
+		copy(s.planeSlice(0), got)
+	}
+	// Send the bottom interior plane down, receive the top ghost from
+	// above.
+	if down >= 0 {
+		bottom := s.planeSlice(1)
+		if up < s.n {
+			got, err := c.Sendrecv(down, 102, bottom, up, 102)
+			if err != nil {
+				return err
+			}
+			copy(s.planeSlice(s.rows+1), got)
+		} else {
+			if err := sendOnly(c, down, 102, bottom); err != nil {
+				return err
+			}
+		}
+	} else if up < s.n {
+		got, _, err := recvOnly(c, up, 102)
+		if err != nil {
+			return err
+		}
+		copy(s.planeSlice(s.rows+1), got)
+	}
+	return nil
+}
+
+// planeSlice returns plane i of p as bytes (aliasing storage).
+func (s *Solver) planeSlice(i int) []byte {
+	all := f32bytes(s.p)
+	return all[i*s.planeBytes : (i+1)*s.planeBytes]
+}
+
+// senders/receivers over the minimal Comm interface.
+type sender interface {
+	Send(dst, tag int, data []byte) error
+}
+type receiver interface {
+	Recv(src, tag int) ([]byte, int, error)
+}
+
+func sendOnly(c Comm, dst, tag int, data []byte) error {
+	s, ok := c.(sender)
+	if !ok {
+		return fmt.Errorf("himeno: comm cannot Send")
+	}
+	return s.Send(dst, tag, data)
+}
+
+func recvOnly(c Comm, src, tag int) ([]byte, int, error) {
+	r, ok := c.(receiver)
+	if !ok {
+		return nil, -1, fmt.Errorf("himeno: comm cannot Recv")
+	}
+	return r.Recv(src, tag)
+}
+
+// Jacobi performs one sweep over the local slab and returns the local
+// residual contribution (gosa). Boundary handling follows himenobmt:
+// only interior points (in global terms) are updated.
+func (s *Solver) Jacobi() float64 {
+	ny, nz := s.ny, s.nz
+	var gosa float64
+	lo, hi := 1, s.rows+1
+	// The global boundary planes coincide with the edge ranks' ghost
+	// planes and stay fixed; interior ranks use real ghost data.
+	for i := lo; i < hi; i++ {
+		for j := 1; j < ny-1; j++ {
+			base := s.idx(i, j, 0)
+			up := s.idx(i+1, j, 0)
+			dn := s.idx(i-1, j, 0)
+			jp := s.idx(i, j+1, 0)
+			jm := s.idx(i, j-1, 0)
+			for k := 1; k < nz-1; k++ {
+				s0 := a0*s.p[up+k] + a1*s.p[jp+k] + a2*s.p[base+k+1] +
+					c0*s.p[dn+k] + c1*s.p[jm+k] + c2*s.p[base+k-1]
+				ss := (s0*a3 - s.p[base+k]) // bnd = 1
+				gosa += float64(ss) * float64(ss)
+				s.wrk[base+k] = s.p[base+k] + omega*ss
+			}
+		}
+	}
+	// Copy the sweep back (interior only).
+	for i := lo; i < hi; i++ {
+		for j := 1; j < ny-1; j++ {
+			base := s.idx(i, j, 0)
+			copy(s.p[base+1:base+nz-1], s.wrk[base+1:base+nz-1])
+		}
+	}
+	return gosa
+}
+
+// Step runs one full iteration: halo exchange, sweep, global residual
+// Allreduce. It returns the global gosa.
+func (s *Solver) Step(c Comm) (float64, error) {
+	if err := s.Exchange(c); err != nil {
+		return 0, err
+	}
+	local := s.Jacobi()
+	var buf [8]byte
+	putF64(buf[:], local)
+	out, err := c.Allreduce(buf[:], sumF64Op)
+	if err != nil {
+		return 0, err
+	}
+	return getF64(out), nil
+}
+
+func sumF64Op(acc, src []byte) {
+	putF64(acc, getF64(acc)+getF64(src))
+}
+
+func putF64(b []byte, v float64) {
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}
+
+// RunSerial executes the benchmark single-rank (reference for tests).
+func RunSerial(nx, ny, nz, iters int) (float64, error) {
+	s, err := New(0, 1, nx, ny, nz)
+	if err != nil {
+		return 0, err
+	}
+	var gosa float64
+	for it := 0; it < iters; it++ {
+		gosa = s.Jacobi()
+	}
+	return gosa, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,230 @@
+package himeno
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fmi/internal/core"
+	"fmi/internal/runtime"
+	"fmi/internal/transport"
+)
+
+func TestSerialConverges(t *testing.T) {
+	s, err := New(0, 1, 17, 17, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for it := 0; it < 20; it++ {
+		g := s.Jacobi()
+		if g <= 0 {
+			t.Fatalf("iter %d: gosa = %g", it, g)
+		}
+		if g >= prev {
+			t.Fatalf("iter %d: residual did not decrease (%g -> %g)", it, prev, g)
+		}
+		prev = g
+	}
+}
+
+func TestDecompositionCoversGrid(t *testing.T) {
+	const nx = 34
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		total := 0
+		firsts := map[int]bool{}
+		for r := 0; r < n; r++ {
+			s, err := New(r, n, nx, 9, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += s.Rows()
+			if firsts[s.firstGlob] {
+				t.Fatalf("n=%d: duplicate slab start", n)
+			}
+			firsts[s.firstGlob] = true
+		}
+		if total != nx-2 {
+			t.Fatalf("n=%d: slabs cover %d planes, want %d", n, total, nx-2)
+		}
+	}
+}
+
+func TestTooManyRanks(t *testing.T) {
+	if _, err := New(0, 20, 10, 9, 9); err == nil {
+		t.Fatal("expected error when ranks exceed interior planes")
+	}
+}
+
+func TestStateAliasesGrid(t *testing.T) {
+	s, _ := New(0, 1, 10, 8, 8)
+	b := s.State()
+	if len(b) != 4*len(s.p) {
+		t.Fatalf("state bytes = %d", len(b))
+	}
+	// Writing through the byte view must be visible in the floats.
+	s.p[0] = 0
+	b[0], b[1], b[2], b[3] = 0, 0, 0x80, 0x3f // float32(1.0) little-endian
+	if s.p[0] != 1.0 {
+		t.Fatalf("aliasing broken: p[0] = %v", s.p[0])
+	}
+}
+
+// runParallel executes iters Himeno steps over n FMI ranks and
+// returns the per-iteration global residuals (from rank 0).
+func runParallel(t *testing.T, n, nx, ny, nz, iters int) []float64 {
+	t.Helper()
+	var mu sync.Mutex
+	var residuals []float64
+	_, err := runtime.Run(runtime.Config{
+		Ranks: n, ProcsPerNode: 1, Interval: 1 << 30,
+		Network: transport.NewChanNetwork(transport.Options{}),
+		Timeout: 60 * time.Second,
+	}, func(p *core.Proc) error {
+		s, err := New(p.Rank(), n, nx, ny, nz)
+		if err != nil {
+			return err
+		}
+		for it := 0; it < iters; it++ {
+			g, err := s.Step(p.World())
+			if err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				mu.Lock()
+				residuals = append(residuals, g)
+				mu.Unlock()
+			}
+		}
+		return p.Finalize()
+	})
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	return residuals
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const nx, ny, nz, iters = 18, 11, 11, 8
+	// Serial residuals.
+	s, _ := New(0, 1, nx, ny, nz)
+	var serial []float64
+	for it := 0; it < iters; it++ {
+		serial = append(serial, s.Jacobi())
+	}
+	for _, n := range []int{2, 4} {
+		par := runParallel(t, n, nx, ny, nz, iters)
+		if len(par) != iters {
+			t.Fatalf("n=%d: got %d residuals", n, len(par))
+		}
+		for it := range serial {
+			rel := math.Abs(par[it]-serial[it]) / serial[it]
+			if rel > 1e-5 {
+				t.Fatalf("n=%d iter %d: parallel gosa %g vs serial %g (rel %g)", n, it, par[it], serial[it], rel)
+			}
+		}
+	}
+}
+
+func TestFlopsAccounting(t *testing.T) {
+	s, _ := New(0, 1, 10, 8, 8)
+	want := 8 * 6 * 6 // rows * (ny-2) * (nz-2)
+	if got := s.InteriorPoints(); got != want {
+		t.Fatalf("InteriorPoints = %d, want %d", got, want)
+	}
+	if FlopsPerPoint != 34 {
+		t.Fatal("canonical Himeno flop count changed")
+	}
+}
+
+func TestResetRestoresInitialCondition(t *testing.T) {
+	s, _ := New(0, 1, 10, 8, 8)
+	first := append([]float32{}, s.p...)
+	s.Jacobi()
+	s.Reset()
+	for i := range first {
+		if s.p[i] != first[i] {
+			t.Fatal("Reset did not restore the initial grid")
+		}
+	}
+}
+
+func TestHimenoThroughFailure(t *testing.T) {
+	// The paper's experiment in miniature: run Himeno under FMI with a
+	// failure and verify the residual sequence is exactly what a
+	// failure-free run produces.
+	const n, nx, ny, nz, iters = 4, 18, 11, 11, 10
+
+	failFree := runParallel(t, n, nx, ny, nz, iters)
+
+	var mu sync.Mutex
+	got := map[int]float64{} // iteration -> last residual computed for it
+	app := func(p *core.Proc) error {
+		s, err := New(p.Rank(), n, nx, ny, nz)
+		if err != nil {
+			return err
+		}
+		for {
+			it := p.Loop([][]byte{s.State()})
+			if it >= iters {
+				break
+			}
+			g, err := s.Step(p.World())
+			if err != nil {
+				continue
+			}
+			if p.Rank() == 0 {
+				mu.Lock()
+				got[it] = g
+				mu.Unlock()
+			}
+		}
+		return p.Finalize()
+	}
+	var jref atomic.Pointer[runtime.Job]
+	cfgClu := runtime.Config{
+		Ranks: n, ProcsPerNode: 1, SpareNodes: 1, Interval: 2, GroupSize: 4,
+		Network: transport.NewChanNetwork(transport.Options{DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond}),
+		Timeout: 60 * time.Second,
+	}
+	// Inject exactly one failure when loop 5 first completes.
+	var fireOnce sync.Once
+	cfgClu.OnLoop = func(rank, loopID int) {
+		if loopID == 5 && rank == 0 {
+			fireOnce.Do(func() {
+				if j := jref.Load(); j != nil {
+					if nd := j.NodeOfRank(2); nd != nil {
+						go nd.Fail()
+					}
+				}
+			})
+		}
+	}
+	j, err := runtime.Launch(cfgClu, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jref.Store(j)
+	if _, err := j.Wait(); err != nil {
+		t.Fatalf("run with failure: %v", err)
+	}
+	for it := 0; it < iters; it++ {
+		rel := math.Abs(got[it]-failFree[it]) / failFree[it]
+		if rel > 1e-5 {
+			t.Fatalf("iter %d: residual %g differs from failure-free %g", it, got[it], failFree[it])
+		}
+	}
+}
+
+func BenchmarkJacobiSweep(b *testing.B) {
+	s, _ := New(0, 1, 65, 65, 65)
+	pts := s.InteriorPoints()
+	b.SetBytes(int64(pts * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Jacobi()
+	}
+	b.ReportMetric(float64(pts*FlopsPerPoint)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}

@@ -1,0 +1,324 @@
+// Package model implements the paper's analytic performance models:
+//
+//   - the XOR checkpoint/restart time model of §V-B,
+//   - Vaidya's optimal checkpoint interval used by FMI_Loop's MTBF
+//     auto-tuning (§III-B),
+//   - the 24-hour continuous-run probability of Fig 16, and
+//   - the multilevel C/R efficiency model of Fig 17.
+package model
+
+import (
+	"math"
+	"time"
+)
+
+// SierraSpec captures Table II: the machine parameters the paper's
+// models are evaluated with.
+type SierraSpec struct {
+	ComputeNodes int
+	TotalNodes   int
+	CoresPerNode int
+	MemoryBytes  float64
+	MemBW        float64 // peak CPU memory bandwidth, bytes/s
+	NetBW        float64 // InfiniBand QDR effective bandwidth, bytes/s
+}
+
+// Sierra returns the paper's Table II values (QDR IB effective
+// point-to-point bandwidth ≈ 3.2 GB/s, matching Table III).
+func Sierra() SierraSpec {
+	return SierraSpec{
+		ComputeNodes: 1856,
+		TotalNodes:   1944,
+		CoresPerNode: 12,
+		MemoryBytes:  24e9,
+		MemBW:        32e9,
+		NetBW:        3.2e9,
+	}
+}
+
+// XORCheckpointTime models the level-1 checkpoint time for s bytes per
+// node with XOR group size g (§V-B):
+//
+//	s/mem_bw + (s + s/(g-1))/net_bw + s/mem_bw
+//
+// (one memcpy to capture, the ring transfer of data plus the parity
+// chunk, and the XOR pass, which is memory-bound).
+func XORCheckpointTime(s float64, g int, memBW, netBW float64) float64 {
+	if g < 2 {
+		return s / memBW
+	}
+	return s/memBW + (s+s/float64(g-1))/netBW + s/memBW
+}
+
+// XORRestartTime models the restart: the decode mirrors the encode and
+// the restarted rank then gathers its reconstructed chunks, adding
+// s/net_bw (§V-B).
+func XORRestartTime(s float64, g int, memBW, netBW float64) float64 {
+	return XORCheckpointTime(s, g, memBW, netBW) + s/netBW
+}
+
+// ParityOverhead returns the parity chunk size as a fraction of the
+// checkpoint (§V-C reports 6.6% at group size 16).
+func ParityOverhead(g int) float64 {
+	if g < 2 {
+		return 0
+	}
+	return 1 / float64(g-1)
+}
+
+// VaidyaInterval returns the checkpoint interval that minimises
+// expected run time for checkpoint overhead c and failure rate 1/mtbf,
+// using Vaidya's first-order optimum (equivalently Young's formula)
+// t = sqrt(2·c·MTBF). The interval is the *compute* time between
+// checkpoints, excluding the checkpoint itself.
+func VaidyaInterval(ckptCost, mtbf time.Duration) time.Duration {
+	if ckptCost <= 0 || mtbf <= 0 {
+		return 0
+	}
+	c := ckptCost.Seconds()
+	m := mtbf.Seconds()
+	t := math.Sqrt(2 * c * m)
+	return time.Duration(t * float64(time.Second))
+}
+
+// VaidyaIterations converts the Vaidya interval into a loop-iteration
+// count given the measured per-iteration compute time.
+func VaidyaIterations(ckptCost, mtbf, iterTime time.Duration) int {
+	if iterTime <= 0 {
+		return 1
+	}
+	n := int(VaidyaInterval(ckptCost, mtbf) / iterTime)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SurvivalProb is the probability that a job runs for duration T
+// without an unrecoverable failure, with failures Poisson at rate
+// lambda (per hour): e^(−λT).
+func SurvivalProb(lambdaPerHour, hours float64) float64 {
+	return math.Exp(-lambdaPerHour * hours)
+}
+
+// CoastalRates holds the LLNL Coastal failure analysis used by
+// Figs 16–17: level-1 failures (recoverable by XOR) with MTBF 130 h
+// and level-2 failures (unrecoverable without the PFS) with MTBF 650 h.
+type CoastalRates struct {
+	Lambda1PerHour float64 // 1/130
+	Lambda2PerHour float64 // 1/650
+}
+
+// Coastal returns the paper's observed base rates.
+func Coastal() CoastalRates {
+	return CoastalRates{Lambda1PerHour: 1.0 / 130.0, Lambda2PerHour: 1.0 / 650.0}
+}
+
+// Fig16Point computes the two Fig 16 series at one failure-scale
+// factor: the probability of running 24 h continuously with FMI
+// (only level-2 failures terminate the run) and without FMI (any
+// failure terminates the run).
+func Fig16Point(r CoastalRates, scale float64) (withFMI, withoutFMI float64) {
+	l1 := r.Lambda1PerHour * scale
+	l2 := r.Lambda2PerHour * scale
+	withFMI = SurvivalProb(l2, 24)
+	withoutFMI = SurvivalProb(l1+l2, 24)
+	return withFMI, withoutFMI
+}
+
+// DalyExpectedTime is the first-order Markov (Daly) expected wall time
+// to complete t seconds of useful work followed by a checkpoint of
+// cost c, under Poisson failures at rate lambda (per second) with
+// restart cost r; each failure loses the in-progress segment:
+//
+//	E = (1/λ + r)·(e^{λ(t+c)} − 1)
+func DalyExpectedTime(t, c, r, lambda float64) float64 {
+	if lambda <= 0 {
+		return t + c
+	}
+	return (1/lambda + r) * (math.Exp(lambda*(t+c)) - 1)
+}
+
+// DalyOptimal returns the segment length minimising expected time per
+// unit of useful work, with the resulting efficiency t/E(t).
+func DalyOptimal(c, r, lambda float64) (t, eff float64) {
+	if lambda <= 0 {
+		return math.Inf(1), 1
+	}
+	best, bestT := 0.0, 0.0
+	for _, cand := range logspace(1e-2, 100/lambda, 400) {
+		e := cand / DalyExpectedTime(cand, c, r, lambda)
+		if e > best {
+			best, bestT = e, cand
+		}
+	}
+	return bestT, best
+}
+
+// InflatedTime is the expected time to complete an uninterruptible
+// operation of length d when failures at rate lambda force it to
+// restart from scratch: (e^{λd} − 1)/λ.
+func InflatedTime(d, lambda float64) float64 {
+	if lambda <= 0 || d <= 0 {
+		return d
+	}
+	return (math.Exp(lambda*d) - 1) / lambda
+}
+
+// MultilevelParams parameterise the Fig 17 efficiency model.
+type MultilevelParams struct {
+	Lambda1PerHour float64 // rate of failures recoverable at level 1
+	Lambda2PerHour float64 // rate of failures needing level 2
+	C1Seconds      float64 // level-1 checkpoint cost
+	C2Seconds      float64 // level-2 checkpoint cost (asynchronous drain charged as overhead)
+	R1Seconds      float64 // level-1 restart cost
+	R2Seconds      float64 // level-2 restart cost
+}
+
+// Efficiency evaluates the expected fraction of time spent on useful
+// computation for level-1 interval t1 and level-2 interval t2 (both in
+// seconds of compute between checkpoints), using a renewal
+// approximation: per unit of useful time the job pays checkpoint
+// overhead c1/t1 + c2/t2 and, at each failure, the restart cost plus
+// an average of half an interval of lost work.
+func (p MultilevelParams) Efficiency(t1, t2 float64) float64 {
+	if t1 <= 0 || t2 <= 0 {
+		return 0
+	}
+	l1 := p.Lambda1PerHour / 3600
+	l2 := p.Lambda2PerHour / 3600
+	overhead := p.C1Seconds/t1 + p.C2Seconds/t2 +
+		l1*(p.R1Seconds+t1/2) +
+		l2*(p.R2Seconds+t2/2)
+	if overhead < 0 {
+		return 0
+	}
+	return 1 / (1 + overhead)
+}
+
+// OptimalEfficiency searches the (t1, t2) interval space and returns
+// the best achievable efficiency with the optimising intervals. The
+// search uses a log-spaced grid refined around the best cell; the
+// level-2 interval is constrained to a multiple of the level-1
+// interval (SCR schedules level-2 checkpoints on level-1 boundaries).
+func (p MultilevelParams) OptimalEfficiency() (eff, t1, t2 float64) {
+	best := -1.0
+	bestT1, bestK := 0.0, 1
+	for _, t1c := range logspace(1, 1e6, 120) {
+		for k := 1; k <= 4096; k *= 2 {
+			e := p.Efficiency(t1c, t1c*float64(k))
+			if e > best {
+				best, bestT1, bestK = e, t1c, k
+			}
+		}
+	}
+	// Refine t1 around the winner.
+	startK := bestK / 2
+	if startK < 1 {
+		startK = 1
+	}
+	endK := bestK * 2
+	for _, t1c := range logspace(bestT1/4, bestT1*4, 200) {
+		for k := startK; k <= endK; k *= 2 {
+			e := p.Efficiency(t1c, t1c*float64(k))
+			if e > best {
+				best, bestT1, bestK = e, t1c, k
+			}
+		}
+	}
+	return best, bestT1, bestT1 * float64(bestK)
+}
+
+func logspace(lo, hi float64, n int) []float64 {
+	if lo <= 0 {
+		lo = 1e-3
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Fig17Config fixes the machine-side constants of the Fig 17 model.
+type Fig17Config struct {
+	Nodes        int     // Coastal-like cluster size
+	PFSWriteBW   float64 // bytes/s aggregate (paper: 50 GB/s Lustre)
+	MemBW, NetBW float64 // for the level-1 model
+	GroupSize    int
+}
+
+// DefaultFig17Config matches the paper's setting.
+func DefaultFig17Config() Fig17Config {
+	return Fig17Config{Nodes: 1088, PFSWriteBW: 50e9, MemBW: 32e9, NetBW: 3.2e9, GroupSize: 16}
+}
+
+// HierarchicalEfficiency composes the two levels with Daly's exact
+// expected-time model:
+//
+//  1. The level-1 loop runs at its Daly-optimal interval against
+//     level-1 failures, yielding an inner efficiency eff1.
+//  2. A level-2 checkpoint write is an uninterruptible operation
+//     exposed to level-1 failures (a node failure rolls the job back
+//     to a level-1 checkpoint, abandoning the in-progress PFS write),
+//     so its cost inflates to InflatedTime(C2, λ1).
+//  3. Level-2 recovery reads the PFS with *no* level-1 protection
+//     (the node-local checkpoints died with the job), so any failure
+//     restarts it: InflatedTime(R2, λ1+λ2).
+//  4. The outer loop delivers useful work at rate eff1 and picks its
+//     Daly-optimal level-2 interval against level-2 failures.
+//
+// This reproduces the ordering and collapse of the paper's Fig 17; the
+// paper's full Markov model (refs [4], [16]) compounds recovery
+// failures further and bottoms out below ours at the extreme corner
+// (documented in EXPERIMENTS.md).
+func (p MultilevelParams) HierarchicalEfficiency() float64 {
+	l1 := p.Lambda1PerHour / 3600
+	l2 := p.Lambda2PerHour / 3600
+	_, eff1 := DalyOptimal(p.C1Seconds, p.R1Seconds, l1)
+	if eff1 <= 0 {
+		return 0
+	}
+	c2eff := InflatedTime(p.C2Seconds, l1)
+	r2eff := InflatedTime(p.R2Seconds, l1+l2)
+	if l2 <= 0 {
+		// No level-2 failures: only the periodic flush cost matters;
+		// flush as rarely as you like, so eff1 bounds the efficiency.
+		return eff1
+	}
+	best := 0.0
+	for _, t2 := range logspace(1, 1000/l2, 500) {
+		wall := DalyExpectedTime(t2/eff1, c2eff, r2eff, l2)
+		if e := t2 / wall; e > best {
+			best = e
+		}
+	}
+	return best
+}
+
+// Fig17Point computes the optimal multilevel efficiency at one scale
+// factor. ckptPerNode is bytes per node (1 or 10 GB in the paper);
+// scaleL2Rate selects the "L1&2" series (both rates scale) versus the
+// "L1" series (only level-1 failures scale). Level-2 cost also scales
+// with the factor (the paper: "we only increase level-2 C/R time" as
+// systems grow).
+func Fig17Point(cfg Fig17Config, base CoastalRates, ckptPerNode float64, scale float64, scaleL2Rate bool) float64 {
+	c1 := XORCheckpointTime(ckptPerNode, cfg.GroupSize, cfg.MemBW, cfg.NetBW)
+	r1 := XORRestartTime(ckptPerNode, cfg.GroupSize, cfg.MemBW, cfg.NetBW)
+	aggregate := ckptPerNode * float64(cfg.Nodes)
+	c2base := aggregate / cfg.PFSWriteBW
+	r2base := aggregate / cfg.PFSWriteBW
+	p := MultilevelParams{
+		Lambda1PerHour: base.Lambda1PerHour * scale,
+		Lambda2PerHour: base.Lambda2PerHour,
+		C1Seconds:      c1,
+		C2Seconds:      c2base * scale,
+		R1Seconds:      r1,
+		R2Seconds:      r2base * scale,
+	}
+	if scaleL2Rate {
+		p.Lambda2PerHour = base.Lambda2PerHour * scale
+	}
+	return p.HierarchicalEfficiency()
+}

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SimulateSurvival cross-validates the Fig 16 analytic curves by
+// Monte-Carlo simulation: draw Poisson failure sequences at the given
+// per-hour rates and count the fraction of trials in which no
+// *terminating* failure lands within the window. With FMI, level-1
+// failures are absorbed (recovery cost is negligible at these
+// timescales, paper §VI-B) and only level-2 failures terminate;
+// without FMI any failure does.
+func SimulateSurvival(r CoastalRates, scale float64, hours float64, trials int, seed int64) (withFMI, withoutFMI float64) {
+	rng := rand.New(rand.NewSource(seed))
+	l1 := r.Lambda1PerHour * scale
+	l2 := r.Lambda2PerHour * scale
+	surviveFMI, surviveAny := 0, 0
+	for t := 0; t < trials; t++ {
+		// First level-2 arrival decides the FMI outcome.
+		t2 := rng.ExpFloat64() / l2
+		if t2 >= hours {
+			surviveFMI++
+		}
+		// First arrival of either class decides the non-FMI outcome.
+		t1 := rng.ExpFloat64() / l1
+		if t1 >= hours && t2 >= hours {
+			surviveAny++
+		}
+	}
+	return float64(surviveFMI) / float64(trials), float64(surviveAny) / float64(trials)
+}
+
+// SimulateRunEfficiency estimates, by discrete-event simulation, the
+// efficiency of a checkpointed run under Poisson failures — an
+// independent check on the renewal/Daly formulas. The job needs
+// 'work' seconds of useful compute; it checkpoints every interval
+// seconds at cost ckpt; each failure costs the restart plus the work
+// since the last checkpoint.
+func SimulateRunEfficiency(work, interval, ckpt, restart float64, mtbf time.Duration, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	lambda := 1.0 / mtbf.Seconds()
+	var totalWall float64
+	for t := 0; t < trials; t++ {
+		var wall, done, sinceCkpt float64
+		nextFail := rng.ExpFloat64() / lambda
+		for done < work {
+			// Time to the next event: completing the current segment
+			// or failing first.
+			segRemaining := interval - sinceCkpt
+			if remaining := work - done; remaining < segRemaining {
+				segRemaining = remaining
+			}
+			if wall+segRemaining < nextFail {
+				wall += segRemaining
+				done += segRemaining
+				sinceCkpt += segRemaining
+				if sinceCkpt >= interval && done < work {
+					wall += ckpt
+					sinceCkpt = 0
+				}
+				continue
+			}
+			// Failure strikes mid-segment: lose the work since the
+			// last checkpoint, pay the restart.
+			progressed := nextFail - wall
+			if progressed > 0 {
+				done += progressed
+				wall = nextFail
+			}
+			lost := sinceCkpt + progressed
+			if lost > done {
+				lost = done
+			}
+			done -= lost
+			sinceCkpt = 0
+			wall += restart
+			nextFail = wall + rng.ExpFloat64()/lambda
+		}
+		totalWall += wall
+	}
+	return work * float64(trials) / totalWall
+}

@@ -1,0 +1,58 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSimulateSurvivalMatchesAnalytic(t *testing.T) {
+	r := Coastal()
+	for _, scale := range []float64{1, 6, 10, 25} {
+		wantFMI, wantNo := Fig16Point(r, scale)
+		gotFMI, gotNo := SimulateSurvival(r, scale, 24, 200000, 42)
+		if math.Abs(gotFMI-wantFMI) > 0.01 {
+			t.Fatalf("scale %.0f: MC with-FMI %.3f vs analytic %.3f", scale, gotFMI, wantFMI)
+		}
+		if math.Abs(gotNo-wantNo) > 0.01 {
+			t.Fatalf("scale %.0f: MC without-FMI %.3f vs analytic %.3f", scale, gotNo, wantNo)
+		}
+	}
+}
+
+func TestSimulateRunEfficiencySanity(t *testing.T) {
+	// No failures within any plausible horizon: efficiency is just the
+	// checkpoint overhead.
+	eff := SimulateRunEfficiency(100, 10, 1, 5, time.Duration(1e18), 50, 1)
+	// 100s work + 9 checkpoints of 1s => 100/109 (the final segment
+	// needs no checkpoint).
+	want := 100.0 / 109.0
+	if math.Abs(eff-want) > 0.02 {
+		t.Fatalf("failure-free efficiency = %.3f, want %.3f", eff, want)
+	}
+	// With failures, efficiency drops.
+	withFail := SimulateRunEfficiency(100, 10, 1, 5, 50*time.Second, 2000, 2)
+	if withFail >= eff {
+		t.Fatalf("failures did not reduce efficiency: %.3f vs %.3f", withFail, eff)
+	}
+	if withFail < 0.2 {
+		t.Fatalf("efficiency implausibly low: %.3f", withFail)
+	}
+}
+
+func TestSimulateRunAgreesWithDaly(t *testing.T) {
+	// The simulated efficiency should land near the Daly expected-time
+	// prediction for matching parameters.
+	const (
+		interval = 20.0
+		ckpt     = 1.0
+		restart  = 3.0
+	)
+	mtbf := 200 * time.Second
+	lambda := 1.0 / mtbf.Seconds()
+	sim := SimulateRunEfficiency(2000, interval, ckpt, restart, mtbf, 3000, 7)
+	daly := interval / DalyExpectedTime(interval, ckpt, restart, lambda)
+	if math.Abs(sim-daly)/daly > 0.1 {
+		t.Fatalf("simulated %.3f vs Daly %.3f differ by >10%%", sim, daly)
+	}
+}

@@ -1,0 +1,271 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"fmi/internal/ckpt"
+)
+
+// groupComm adapts the MPI transport to the XOR ring.
+type groupComm struct {
+	p       *Proc
+	members []int
+}
+
+func (gc *groupComm) Send(peer int, data []byte) error {
+	return gc.p.sendRaw(gc.members[peer], tagCkptRing, data)
+}
+
+func (gc *groupComm) Recv(peer int) ([]byte, error) {
+	msg, err := gc.p.recvRaw(int32(gc.members[peer]), tagCkptRing)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// ckptMeta is stored alongside every level-1 file so any survivor can
+// drive a rebuild: the group's checkpoint sizes and segment shapes.
+type ckptMeta struct {
+	Sizes  []int
+	Shapes [][]int
+}
+
+func encodeCkptMeta(m ckptMeta) []byte {
+	var out []byte
+	put := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		out = append(out, b[:]...)
+	}
+	put(uint32(len(m.Sizes)))
+	for _, s := range m.Sizes {
+		put(uint32(s))
+	}
+	put(uint32(len(m.Shapes)))
+	for _, sh := range m.Shapes {
+		put(uint32(len(sh)))
+		for _, s := range sh {
+			put(uint32(s))
+		}
+	}
+	return out
+}
+
+func decodeCkptMeta(data []byte) (ckptMeta, error) {
+	var m ckptMeta
+	get := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("mpi: truncated checkpoint meta")
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, nil
+	}
+	n, err := get()
+	if err != nil {
+		return m, err
+	}
+	m.Sizes = make([]int, n)
+	for i := range m.Sizes {
+		v, err := get()
+		if err != nil {
+			return m, err
+		}
+		m.Sizes[i] = int(v)
+	}
+	ns, err := get()
+	if err != nil {
+		return m, err
+	}
+	m.Shapes = make([][]int, ns)
+	for i := range m.Shapes {
+		k, err := get()
+		if err != nil {
+			return m, err
+		}
+		m.Shapes[i] = make([]int, k)
+		for j := range m.Shapes[i] {
+			v, err := get()
+			if err != nil {
+				return m, err
+			}
+			m.Shapes[i][j] = int(v)
+		}
+	}
+	return m, nil
+}
+
+// group returns this rank's XOR group and its index within it.
+func (p *Proc) group() ([]int, int) {
+	groups, gidx := ckpt.Groups(p.n, p.ppn, p.groupSize)
+	return groups[p.rank], gidx[p.rank]
+}
+
+// Checkpoint writes an SCR level-1 checkpoint of the segments at the
+// given id: capture, group size/shape exchange, XOR ring encode, and
+// the file-system writes that distinguish the MPI+SCR baseline from
+// FMI's direct-memory path.
+func (p *Proc) Checkpoint(id int, segs ...[]byte) error {
+	start := time.Now()
+	snap := ckpt.Capture(id, segs)
+	group, gi := p.group()
+	g := len(group)
+
+	var parity []byte
+	meta := ckptMeta{Sizes: []int{len(snap.Data)}, Shapes: [][]int{snap.Sizes}}
+	if g >= 2 {
+		// Exchange size + shape within the group.
+		own := encodeCkptMeta(ckptMeta{Sizes: []int{len(snap.Data)}, Shapes: [][]int{snap.Sizes}})
+		for i, r := range group {
+			if i == gi {
+				continue
+			}
+			if err := p.sendRaw(r, tagCkptSize, own); err != nil {
+				return err
+			}
+		}
+		sizes := make([]int, g)
+		shapes := make([][]int, g)
+		sizes[gi] = len(snap.Data)
+		shapes[gi] = snap.Sizes
+		for i, r := range group {
+			if i == gi {
+				continue
+			}
+			msg, err := p.recvRaw(int32(r), tagCkptSize)
+			if err != nil {
+				return err
+			}
+			gm, err := decodeCkptMeta(msg.Data)
+			if err != nil {
+				return err
+			}
+			sizes[i] = gm.Sizes[0]
+			shapes[i] = gm.Shapes[0]
+		}
+		maxSize := 0
+		for _, s := range sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		chunkLen := ckpt.ChunkLen(maxSize, g)
+		var err error
+		parity, err = ckpt.EncodeRing(&groupComm{p, group}, gi, g, snap.Data, chunkLen)
+		if err != nil {
+			return err
+		}
+		meta = ckptMeta{Sizes: sizes, Shapes: shapes}
+	}
+
+	if err := p.mgr.WriteL1(p.node, p.rank, id, snap.Data, parity, encodeCkptMeta(meta)); err != nil {
+		return err
+	}
+	if err := p.Barrier(); err != nil {
+		return err
+	}
+	if p.rank == 0 {
+		ranks := make([]int, p.n)
+		for i := range ranks {
+			ranks[i] = i
+		}
+		p.mgr.CommitL1(id, ranks)
+	}
+	p.rep.addCkpt(time.Since(start))
+	return nil
+}
+
+// CheckpointL2 additionally flushes the segments to the parallel file
+// system (SCR level-2).
+func (p *Proc) CheckpointL2(id int, segs ...[]byte) error {
+	snap := ckpt.Capture(id, segs)
+	if err := p.mgr.WriteL2(p.rank, id, snap.Data); err != nil {
+		return err
+	}
+	if err := p.Barrier(); err != nil {
+		return err
+	}
+	if p.rank == 0 {
+		p.mgr.CommitL2(id)
+	}
+	return nil
+}
+
+// Restore loads the newest complete level-1 checkpoint into the
+// segments, rebuilding this rank's files from its XOR group if its
+// previous node was lost. It returns the restored loop id and whether
+// a checkpoint existed.
+func (p *Proc) Restore(segs ...[]byte) (int, bool, error) {
+	id := p.mgr.LatestL1()
+	if id < 0 {
+		return 0, false, nil
+	}
+	start := time.Now()
+	group, gi := p.group()
+
+	prevNode := p.prevNode(p.rank)
+	var data []byte
+	var shape []int
+	if p.mgr.HasL1(prevNode, p.rank, id) {
+		d, err := p.mgr.ReadL1(prevNode, p.rank, id)
+		if err != nil {
+			return 0, false, err
+		}
+		mb, err := p.mgr.ReadL1Meta(prevNode, p.rank, id)
+		if err != nil {
+			return 0, false, err
+		}
+		m, err := decodeCkptMeta(mb)
+		if err != nil {
+			return 0, false, err
+		}
+		data = d
+		if len(m.Shapes) == len(group) {
+			shape = m.Shapes[gi]
+		} else {
+			shape = m.Shapes[0] // singleton group stores only its own
+		}
+	} else {
+		// Our node died: rebuild from the XOR group survivors.
+		if len(group) < 2 {
+			return 0, false, fmt.Errorf("%w: rank %d lost with no XOR group", ErrUnrecovered, p.rank)
+		}
+		var meta ckptMeta
+		found := false
+		for i, r := range group {
+			if i == gi {
+				continue
+			}
+			nd := p.prevNode(r)
+			if mb, err := p.mgr.ReadL1Meta(nd, r, id); err == nil {
+				if m, err := decodeCkptMeta(mb); err == nil && len(m.Sizes) == len(group) {
+					meta, found = m, true
+					break
+				}
+			}
+		}
+		if !found {
+			return 0, false, fmt.Errorf("%w: no group metadata for rank %d", ErrUnrecovered, p.rank)
+		}
+		rebuilt, err := p.mgr.RebuildL1(id, group, p.prevNode, gi, p.node, meta.Sizes)
+		if err != nil {
+			return 0, false, fmt.Errorf("%w: %v", ErrUnrecovered, err)
+		}
+		// Re-write the metadata next to the rebuilt files.
+		if err := p.mgr.WriteL1Meta(p.node, p.rank, id, encodeCkptMeta(meta)); err != nil {
+			return 0, false, err
+		}
+		data = rebuilt
+		shape = meta.Shapes[gi]
+	}
+
+	snap := ckpt.FromData(id, data, shape)
+	if err := snap.Restore(segs); err != nil {
+		return 0, false, err
+	}
+	p.rep.addRestore(time.Since(start))
+	return id, true, nil
+}

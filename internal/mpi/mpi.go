@@ -1,0 +1,346 @@
+// Package mpi implements the paper's baseline: a conventional
+// fail-stop MPI-style runtime (modelled on MVAPICH2 over SLURM) paired
+// with SCR-style multilevel checkpointing.
+//
+// Semantics (paper §I): "On failure, all processes in the MPI job are
+// terminated … the current job is terminated, and the application is
+// relaunched as a new job that restarts from the last checkpoint."
+// Run drives exactly that outer loop: launch, run until success or any
+// process death, tear everything down, replace the failed node,
+// relaunch, and let the application restore from the last complete SCR
+// checkpoint (rebuilding a lost node's files from its XOR group).
+//
+// Initialisation uses the PMI-style key-value exchange
+// (bootstrap.KVSExchange) whose n² coordinator operations are what
+// make MPI_Init slower than FMI_Init in Fig 14.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fmi/internal/bootstrap"
+	"fmi/internal/cluster"
+	"fmi/internal/pfs"
+	"fmi/internal/scr"
+	"fmi/internal/transport"
+)
+
+// App is the application body; it must begin by attempting Restore.
+type App func(p *Proc) error
+
+// Config configures a fail-stop MPI job.
+type Config struct {
+	Ranks        int
+	ProcsPerNode int
+	SpareNodes   int
+	GroupSize    int // XOR group size for SCR level-1
+	Network      transport.Network
+	Cluster      *cluster.Cluster
+	LocalModel   pfs.Model // node-local storage model (SCR level-1 target)
+	SharedFS     *pfs.FS   // PFS for level-2 (optional)
+	MaxRelaunch  int       // abort after this many relaunches (default 64)
+	Timeout      time.Duration
+}
+
+// Errors.
+var (
+	ErrJobFailed   = errors.New("mpi: job terminated by failure")
+	ErrUnrecovered = errors.New("mpi: checkpoint unrecoverable")
+)
+
+// Report summarises the whole campaign (all relaunches). Its
+// accumulators are safe for concurrent use by the ranks.
+type Report struct {
+	mu          sync.Mutex
+	Relaunches  int
+	WallTime    time.Duration
+	InitTime    time.Duration // total time spent in MPI_Init across launches
+	RestoreTime time.Duration
+	CkptTime    time.Duration
+	Checkpoints int
+	Restores    int
+	LocalStats  pfs.Stats // aggregate node-local file-system traffic
+}
+
+func (r *Report) addInit(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.InitTime += d
+	r.mu.Unlock()
+}
+
+func (r *Report) addCkpt(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.CkptTime += d
+	r.Checkpoints++
+	r.mu.Unlock()
+}
+
+func (r *Report) addRestore(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.RestoreTime += d
+	r.Restores++
+	r.mu.Unlock()
+}
+
+// Run executes the fail-stop campaign.
+func Run(cfg Config, app App) (*Report, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("mpi: Ranks must be positive")
+	}
+	if cfg.ProcsPerNode <= 0 {
+		cfg.ProcsPerNode = 1
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 16
+	}
+	if cfg.MaxRelaunch == 0 {
+		cfg.MaxRelaunch = 64
+	}
+	if cfg.Network == nil {
+		cfg.Network = transport.NewChanNetwork(transport.Options{})
+	}
+	nodes := (cfg.Ranks + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	clu := cfg.Cluster
+	if clu == nil {
+		clu = cluster.New(nodes + cfg.SpareNodes)
+	}
+	var spares []*cluster.Node
+	for i := nodes; ; i++ {
+		nd := clu.Node(i)
+		if nd == nil {
+			break
+		}
+		spares = append(spares, nd)
+	}
+	rm := cluster.NewResourceManager(clu, spares)
+
+	mgr := scr.NewManager(cfg.LocalModel, cfg.SharedFS)
+	rep := &Report{}
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Timeout > 0 {
+		deadline = start.Add(cfg.Timeout)
+	}
+
+	// Initial placement: block mapping.
+	placement := make([]*cluster.Node, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		placement[r] = clu.Node(r / cfg.ProcsPerNode)
+	}
+	prevNodeOf := func(r int) int { return placement[r].ID } // updated per launch
+
+	for attempt := 0; ; attempt++ {
+		if attempt > cfg.MaxRelaunch {
+			return rep, fmt.Errorf("%w: %d relaunches", ErrJobFailed, attempt)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return rep, fmt.Errorf("%w: timeout", ErrJobFailed)
+		}
+		// Replace failed nodes with spares before launching.
+		prev := make([]int, cfg.Ranks)
+		for r := range placement {
+			prev[r] = placement[r].ID
+		}
+		for _, nd := range placement {
+			if nd.Failed() {
+				repl, err := rm.Allocate(nil)
+				if err != nil {
+					return rep, fmt.Errorf("%w: no replacement node: %v", ErrJobFailed, err)
+				}
+				// Move every rank of the failed node together.
+				for r2, nd2 := range placement {
+					if nd2 == nd {
+						placement[r2] = repl
+					}
+				}
+			}
+		}
+		prevNodeOf = func(r int) int { return prev[r] }
+
+		err := runOnce(cfg, clu, mgr, placement, prevNodeOf, app, rep)
+		if err == nil {
+			rep.Relaunches = attempt
+			rep.WallTime = time.Since(start)
+			for _, nd := range uniqueNodes(placement) {
+				st := mgr.NodeFS(nd).Stats()
+				rep.LocalStats.Writes += st.Writes
+				rep.LocalStats.Reads += st.Reads
+				rep.LocalStats.BytesWritten += st.BytesWritten
+				rep.LocalStats.BytesRead += st.BytesRead
+				rep.LocalStats.TimeCharged += st.TimeCharged
+			}
+			return rep, nil
+		}
+		if errors.Is(err, ErrUnrecovered) {
+			return rep, err
+		}
+		// Fail-stop: wipe nothing on survivors (their tmpfs persists);
+		// failed nodes lost their contents with the hardware.
+	}
+}
+
+func uniqueNodes(placement []*cluster.Node) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, nd := range placement {
+		if !seen[nd.ID] {
+			seen[nd.ID] = true
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// runOnce launches one MPI job instance and waits for it to finish or
+// fail.
+func runOnce(cfg Config, clu *cluster.Cluster, mgr *scr.Manager,
+	placement []*cluster.Node, prevNodeOf func(int) int, app App, rep *Report) error {
+
+	coord := bootstrap.NewCoordinator()
+	type result struct {
+		rank int
+		err  error
+	}
+	resCh := make(chan result, cfg.Ranks)
+	failCh := make(chan int, cfg.Ranks)
+	cps := make([]*cluster.Proc, cfg.Ranks)
+
+	for r := 0; r < cfg.Ranks; r++ {
+		cp, err := placement[r].Spawn()
+		if err != nil {
+			return fmt.Errorf("mpi: spawn rank %d: %w", r, err)
+		}
+		cps[r] = cp
+		p := &Proc{
+			rank: r, n: cfg.Ranks, ppn: cfg.ProcsPerNode,
+			groupSize: cfg.GroupSize,
+			killCh:    cp.KillCh(),
+			coord:     coord,
+			nw:        cfg.Network,
+			mgr:       mgr,
+			node:      placement[r].ID,
+			prevNode:  prevNodeOf,
+			rep:       rep,
+		}
+		// fail-stop watchdog
+		go func(r int, cp *cluster.Proc) {
+			<-cp.KillCh()
+			failCh <- r
+		}(r, cp)
+		go func(r int, p *Proc, cp *cluster.Proc) {
+			defer func() {
+				if v := recover(); v != nil {
+					if _, ok := v.(killedPanic); ok {
+						return
+					}
+					resCh <- result{r, fmt.Errorf("mpi: rank %d panicked: %v", r, v)}
+					return
+				}
+			}()
+			if err := p.init(); err != nil {
+				resCh <- result{r, err}
+				return
+			}
+			resCh <- result{r, app(p)}
+			cp.Exit(nil)
+		}(r, p, cp)
+	}
+
+	done := 0
+	var firstErr error
+	for done < cfg.Ranks {
+		select {
+		case res := <-resCh:
+			done++
+			if res.err != nil && firstErr == nil {
+				firstErr = res.err
+			}
+		case <-failCh:
+			// Fail-stop: mpirun terminates every process in the job.
+			for _, cp := range cps {
+				cp.Kill()
+			}
+			return ErrJobFailed
+		}
+	}
+	for _, cp := range cps {
+		cp.Exit(nil)
+	}
+	if firstErr != nil {
+		if errors.Is(firstErr, ErrUnrecovered) {
+			return firstErr
+		}
+		return fmt.Errorf("mpi: app error: %w", firstErr)
+	}
+	return nil
+}
+
+// killedPanic unwinds killed processes.
+type killedPanic struct{}
+
+// Proc is one MPI rank.
+type Proc struct {
+	rank, n   int
+	ppn       int
+	groupSize int
+	node      int
+	killCh    <-chan struct{}
+	coord     *bootstrap.Coordinator
+	nw        transport.Network
+	mgr       *scr.Manager
+	prevNode  func(int) int
+	rep       *Report
+
+	ep    transport.Endpoint
+	m     *transport.Matcher
+	table bootstrap.Table
+}
+
+// init performs MPI_Init: endpoint creation plus the PMI key-value
+// exchange.
+func (p *Proc) init() error {
+	start := time.Now()
+	ep, err := p.nw.NewEndpoint(p.killCh)
+	if err != nil {
+		return err
+	}
+	p.ep = ep
+	p.m = transport.NewMatcher(ep)
+	table, _, err := bootstrap.KVSExchange(bootstrap.Proc{
+		Rank: p.rank, N: p.n, Addr: ep.Addr(), EP: ep, M: p.m,
+		Coord: p.coord, Key: "pmi", Cancel: p.killCh,
+	})
+	if err != nil {
+		p.checkAlive()
+		return err
+	}
+	p.table = table
+	p.rep.addInit(time.Since(start))
+	return nil
+}
+
+func (p *Proc) checkAlive() {
+	select {
+	case <-p.killCh:
+		panic(killedPanic{})
+	default:
+	}
+}
+
+// Rank returns the process rank; Size the world size.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of ranks.
+func (p *Proc) Size() int { return p.n }

@@ -1,0 +1,249 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fmi/internal/cluster"
+	"fmi/internal/pfs"
+	"fmi/internal/transport"
+)
+
+func fastModel() pfs.Model { return pfs.Model{TimeScale: 0} }
+
+func sumOp(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		binary.LittleEndian.PutUint64(acc[i:], binary.LittleEndian.Uint64(acc[i:])+binary.LittleEndian.Uint64(src[i:]))
+	}
+}
+
+// ckptApp is the MPI-style fault tolerant pattern: restore at start,
+// checkpoint every interval.
+func ckptApp(iters, interval int, results *sync.Map) App {
+	return func(p *Proc) error {
+		state := make([]byte, 16)
+		start := 0
+		if id, ok, err := p.Restore(state); err != nil {
+			return err
+		} else if ok {
+			start = id + 1
+		}
+		for n := start; n < iters; n++ {
+			contrib := make([]byte, 8)
+			binary.LittleEndian.PutUint64(contrib, uint64(n+p.Rank()+1))
+			sum, err := p.Allreduce(contrib, sumOp)
+			if err != nil {
+				return err
+			}
+			cs := binary.LittleEndian.Uint64(state[8:]) + binary.LittleEndian.Uint64(sum)*uint64(n+1)
+			binary.LittleEndian.PutUint64(state[8:], cs)
+			binary.LittleEndian.PutUint64(state[0:], uint64(n+1))
+			if n%interval == 0 {
+				if err := p.Checkpoint(n, state); err != nil {
+					return err
+				}
+			}
+		}
+		results.Store(p.Rank(), binary.LittleEndian.Uint64(state[8:]))
+		return nil
+	}
+}
+
+func expectedChecksum(ranks, iters int) uint64 {
+	var cs uint64
+	for n := 0; n < iters; n++ {
+		var sum uint64
+		for r := 0; r < ranks; r++ {
+			sum += uint64(n + r + 1)
+		}
+		cs += sum * uint64(n+1)
+	}
+	return cs
+}
+
+func TestMPIFailureFree(t *testing.T) {
+	var results sync.Map
+	rep, err := Run(Config{
+		Ranks: 8, ProcsPerNode: 2, GroupSize: 4,
+		LocalModel: fastModel(), Timeout: 30 * time.Second,
+	}, ckptApp(10, 2, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Relaunches != 0 {
+		t.Fatalf("relaunches = %d", rep.Relaunches)
+	}
+	want := expectedChecksum(8, 10)
+	count := 0
+	results.Range(func(k, v any) bool {
+		count++
+		if v.(uint64) != want {
+			t.Errorf("rank %v: %d != %d", k, v, want)
+		}
+		return true
+	})
+	if count != 8 {
+		t.Fatalf("results = %d", count)
+	}
+	if rep.Checkpoints == 0 || rep.LocalStats.Writes == 0 {
+		t.Fatal("no SCR activity recorded")
+	}
+}
+
+func TestMPIFailStopRelaunch(t *testing.T) {
+	// A node failure mid-run terminates the whole job; the relaunch
+	// restores from SCR (rebuilding the lost node's files) and still
+	// produces the exact answer.
+	var results sync.Map
+	clu := cluster.New(4 + 2)
+	cfg := Config{
+		Ranks: 8, ProcsPerNode: 2, SpareNodes: 2, GroupSize: 4,
+		Cluster: clu, LocalModel: fastModel(), Timeout: 60 * time.Second,
+		Network: transport.NewChanNetwork(transport.Options{}),
+	}
+	// Kill node 1 shortly after launch (while iterations run).
+	var once sync.Once
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		once.Do(func() { clu.Node(1).Fail() })
+	}()
+	app := func(p *Proc) error {
+		state := make([]byte, 16)
+		start := 0
+		if id, ok, err := p.Restore(state); err != nil {
+			return err
+		} else if ok {
+			start = id + 1
+		}
+		for n := start; n < 20; n++ {
+			contrib := make([]byte, 8)
+			binary.LittleEndian.PutUint64(contrib, uint64(n+p.Rank()+1))
+			sum, err := p.Allreduce(contrib, sumOp)
+			if err != nil {
+				return err
+			}
+			cs := binary.LittleEndian.Uint64(state[8:]) + binary.LittleEndian.Uint64(sum)*uint64(n+1)
+			binary.LittleEndian.PutUint64(state[8:], cs)
+			binary.LittleEndian.PutUint64(state[0:], uint64(n+1))
+			time.Sleep(2 * time.Millisecond) // give the fault a window
+			if n%2 == 0 {
+				if err := p.Checkpoint(n, state); err != nil {
+					return err
+				}
+			}
+		}
+		results.Store(p.Rank(), binary.LittleEndian.Uint64(state[8:]))
+		return nil
+	}
+	rep, err := Run(cfg, app)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Relaunches < 1 {
+		t.Fatalf("relaunches = %d, want >= 1", rep.Relaunches)
+	}
+	want := expectedChecksum(8, 20)
+	count := 0
+	results.Range(func(k, v any) bool {
+		count++
+		if v.(uint64) != want {
+			t.Errorf("rank %v: %d != %d", k, v, want)
+		}
+		return true
+	})
+	if count != 8 {
+		t.Fatalf("results = %d", count)
+	}
+	if rep.Restores == 0 {
+		t.Fatal("no restores recorded")
+	}
+}
+
+func TestMPIP2PAndCollectives(t *testing.T) {
+	var results sync.Map
+	_, err := Run(Config{
+		Ranks: 4, GroupSize: 4, LocalModel: fastModel(), Timeout: 30 * time.Second,
+	}, func(p *Proc) error {
+		// Ring Sendrecv.
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() - 1 + p.Size()) % p.Size()
+		payload := []byte{byte(p.Rank())}
+		got, err := p.Sendrecv(right, 3, payload, left, 3)
+		if err != nil {
+			return err
+		}
+		// Bcast.
+		var seed []byte
+		if p.Rank() == 0 {
+			seed = []byte{9}
+		}
+		b, err := p.Bcast(0, seed)
+		if err != nil {
+			return err
+		}
+		if err := p.Barrier(); err != nil {
+			return err
+		}
+		results.Store(p.Rank(), [2]byte{got[0], b[0]})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	results.Range(func(k, v any) bool {
+		r := k.(int)
+		got := v.([2]byte)
+		left := byte((r + 3) % 4)
+		if got[0] != left || got[1] != 9 {
+			t.Errorf("rank %d: %v", r, got)
+		}
+		return true
+	})
+}
+
+func TestMPILevel2Checkpoint(t *testing.T) {
+	shared := pfs.NewShared("pfs", fastModel())
+	var wrote atomic.Bool
+	_, err := Run(Config{
+		Ranks: 2, GroupSize: 2, LocalModel: fastModel(), SharedFS: shared,
+		Timeout: 30 * time.Second,
+	}, func(p *Proc) error {
+		state := []byte{byte(p.Rank())}
+		if err := p.Checkpoint(0, state); err != nil {
+			return err
+		}
+		if err := p.CheckpointL2(0, state); err != nil {
+			return err
+		}
+		wrote.Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !wrote.Load() || shared.Stats().Writes == 0 {
+		t.Fatal("level-2 checkpoint did not reach the PFS")
+	}
+}
+
+func TestMPIRestoreWithoutCheckpoint(t *testing.T) {
+	_, err := Run(Config{
+		Ranks: 2, LocalModel: fastModel(), Timeout: 30 * time.Second,
+	}, func(p *Proc) error {
+		state := make([]byte, 8)
+		id, ok, err := p.Restore(state)
+		if err != nil {
+			return err
+		}
+		if ok || id != 0 {
+			t.Errorf("fresh job restored id=%d ok=%v", id, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

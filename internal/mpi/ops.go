@@ -1,0 +1,224 @@
+package mpi
+
+import (
+	"fmt"
+
+	"fmi/internal/core"
+	"fmi/internal/transport"
+)
+
+// Reserved tags (user tags must be >= 0).
+const (
+	tagBcast     int32 = -1
+	tagReduce    int32 = -2
+	tagBarrierUp int32 = -6
+	tagBarrierDn int32 = -7
+	tagCkptRing  int32 = -20
+	tagCkptSize  int32 = -21
+)
+
+const ctxWorld uint32 = 1
+
+func (p *Proc) sendRaw(dst int, tag int32, data []byte) error {
+	if dst < 0 || dst >= p.n {
+		return fmt.Errorf("mpi: invalid rank %d", dst)
+	}
+	p.checkAlive()
+	return p.ep.Send(p.table[dst], transport.Msg{
+		Src: int32(p.rank), Tag: tag, Ctx: ctxWorld, Data: data,
+	})
+}
+
+func (p *Proc) recvRaw(src int32, tag int32) (transport.Msg, error) {
+	msg, err := p.m.Recv(ctxWorld, src, tag, p.killCh)
+	if err != nil {
+		p.checkAlive()
+		return transport.Msg{}, err
+	}
+	return msg, nil
+}
+
+// Send transmits data to dst with a user tag.
+func (p *Proc) Send(dst, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: user tags must be >= 0")
+	}
+	return p.sendRaw(dst, int32(tag), data)
+}
+
+// Recv blocks for a message from src (or transport.AnySource via -1).
+func (p *Proc) Recv(src, tag int) ([]byte, int, error) {
+	if tag < 0 {
+		return nil, -1, fmt.Errorf("mpi: user tags must be >= 0")
+	}
+	s := int32(src)
+	if src < 0 {
+		s = transport.AnySource
+	}
+	msg, err := p.recvRaw(s, int32(tag))
+	if err != nil {
+		return nil, -1, err
+	}
+	return msg.Data, int(msg.Src), nil
+}
+
+// Sendrecv posts the receive, sends, then completes the receive
+// (posting-order matching, as in the FMI runtime).
+func (p *Proc) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, error) {
+	if sendTag < 0 || recvTag < 0 {
+		return nil, fmt.Errorf("mpi: user tags must be >= 0")
+	}
+	s := int32(src)
+	if src < 0 {
+		s = transport.AnySource
+	}
+	pend, err := p.m.PostRecv(ctxWorld, s, int32(recvTag))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Send(dst, sendTag, data); err != nil {
+		return nil, err
+	}
+	msg, err := pend.Await(p.killCh)
+	if err != nil {
+		p.checkAlive()
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// Bcast broadcasts the root's buffer (binomial tree).
+func (p *Proc) Bcast(root int, data []byte) ([]byte, error) {
+	n := p.n
+	if n == 1 {
+		return data, nil
+	}
+	vrank := (p.rank - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			msg, err := p.recvRaw(int32(abs(vrank-mask)), tagBcast)
+			if err != nil {
+				return nil, err
+			}
+			data = msg.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			if err := p.sendRaw(abs(vrank+mask), tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// Reduce folds equal-length buffers to the root.
+func (p *Proc) Reduce(root int, data []byte, op core.Op) ([]byte, error) {
+	n := p.n
+	acc := make([]byte, len(data))
+	copy(acc, data)
+	if n == 1 {
+		return acc, nil
+	}
+	vrank := (p.rank - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+	mask := 1
+	for mask < n {
+		if vrank&mask == 0 {
+			src := vrank + mask
+			if src < n {
+				msg, err := p.recvRaw(int32(abs(src)), tagReduce)
+				if err != nil {
+					return nil, err
+				}
+				if op != nil {
+					op(acc, msg.Data)
+				}
+			}
+		} else {
+			if err := p.sendRaw(abs(vrank-mask), tagReduce, acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	if p.rank == root {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Allreduce folds and redistributes.
+func (p *Proc) Allreduce(data []byte, op core.Op) ([]byte, error) {
+	res, err := p.Reduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return p.bcastTag(0, res, tagBcast)
+}
+
+func (p *Proc) bcastTag(root int, data []byte, tag int32) ([]byte, error) {
+	n := p.n
+	if n == 1 {
+		return data, nil
+	}
+	vrank := (p.rank - root + n) % n
+	abs := func(v int) int { return (v + root) % n }
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			msg, err := p.recvRaw(int32(abs(vrank-mask)), tag)
+			if err != nil {
+				return nil, err
+			}
+			data = msg.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			if err := p.sendRaw(abs(vrank+mask), tag, data); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// Barrier synchronises all ranks.
+func (p *Proc) Barrier() error {
+	n := p.n
+	if n == 1 {
+		return nil
+	}
+	vrank := p.rank
+	mask := 1
+	for mask < n {
+		if vrank&mask == 0 {
+			if src := vrank + mask; src < n {
+				if _, err := p.recvRaw(int32(src), tagBarrierUp); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := p.sendRaw(vrank-mask, tagBarrierUp, nil); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	_, err := p.bcastTag(0, nil, tagBarrierDn)
+	return err
+}

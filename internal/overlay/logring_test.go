@@ -1,0 +1,249 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"fmi/internal/transport"
+)
+
+func TestOutNeighbors(t *testing.T) {
+	// Paper example: n=16, base=2 — process 0 connects to 1, 2, 4, 8.
+	got := OutNeighbors(0, 16, 2)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Wraparound.
+	got = OutNeighbors(14, 16, 2)
+	want = []int{15, 0, 2, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank 14: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInNeighbors(t *testing.T) {
+	// Paper example: process 0 receives connections from 8, 12, 14, 15.
+	got := InNeighbors(0, 16, 2)
+	wantSet := map[int]bool{15: true, 14: true, 12: true, 8: true}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for _, r := range got {
+		if !wantSet[r] {
+			t.Fatalf("unexpected in-neighbor %d (got %v)", r, got)
+		}
+	}
+}
+
+func TestNeighborCountsLogarithmic(t *testing.T) {
+	for _, n := range []int{2, 3, 16, 100, 1024, 1536} {
+		got := len(OutNeighbors(0, n, 2))
+		want := 0
+		for d := 1; d < n; d *= 2 {
+			want++
+		}
+		if got != want {
+			t.Fatalf("n=%d: %d out-neighbors, want %d", n, got, want)
+		}
+	}
+	// Base 4 gives fewer connections.
+	if a, b := len(OutNeighbors(0, 1024, 4)), len(OutNeighbors(0, 1024, 2)); a >= b {
+		t.Fatalf("base 4 (%d conns) should need fewer than base 2 (%d)", a, b)
+	}
+}
+
+func TestNotifyHopsWithinPaperBound(t *testing.T) {
+	// Paper: all processes notified within ceil(ceil(log2 n)/2) hops.
+	for _, n := range []int{4, 16, 48, 96, 192, 384, 768, 1536} {
+		for _, failed := range []int{0, 1, n / 2, n - 1} {
+			hops := NotifyHops(n, 2, failed)
+			if hops < 0 {
+				t.Fatalf("n=%d failed=%d: graph disconnected", n, failed)
+			}
+			if bound := TheoreticalMaxHops(n); hops > bound {
+				t.Fatalf("n=%d failed=%d: hops=%d exceeds paper bound %d", n, failed, hops, bound)
+			}
+		}
+	}
+}
+
+func TestNotifyHopsPaperExample(t *testing.T) {
+	// Figure 7: n=16, process 0 fails, all notified within 2 hops.
+	if hops := NotifyHops(16, 2, 0); hops > 2 {
+		t.Fatalf("n=16: hops=%d, want <= 2", hops)
+	}
+}
+
+func TestTheoreticalMaxHops(t *testing.T) {
+	cases := map[int]int{2: 0, 16: 2, 1536: 6, 1024: 5}
+	for n, want := range cases {
+		if got := TheoreticalMaxHops(n); got != want {
+			t.Fatalf("TheoreticalMaxHops(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// buildRings constructs a full overlay over a chan network and returns
+// endpoints, rings, and the die channels used to kill processes.
+func buildRings(t *testing.T, n int, opts transport.Options) ([]transport.Endpoint, []*Ring, []chan struct{}) {
+	t.Helper()
+	nw := transport.NewChanNetwork(opts)
+	eps := make([]transport.Endpoint, n)
+	dies := make([]chan struct{}, n)
+	table := make([]transport.Addr, n)
+	for i := 0; i < n; i++ {
+		dies[i] = make(chan struct{})
+		ep, err := nw.NewEndpoint(dies[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		table[i] = ep.Addr()
+	}
+	rings := make([]*Ring, n)
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			r, err := Build(eps[i], i, table, 2)
+			rings[i] = r
+			done <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eps, rings, dies
+}
+
+func TestGlobalNotificationOnDeath(t *testing.T) {
+	const n = 32
+	_, rings, dies := buildRings(t, n, transport.Options{DetectDelay: time.Millisecond, PropDelay: time.Millisecond})
+	defer func() {
+		for _, r := range rings {
+			if r != nil {
+				r.Shutdown()
+			}
+		}
+	}()
+
+	const victim = 5
+	close(dies[victim])
+
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		select {
+		case <-rings[i].Notify():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("rank %d never notified of failure", i)
+		}
+	}
+}
+
+func TestNoSpuriousNotificationWhenHealthy(t *testing.T) {
+	const n = 8
+	_, rings, _ := buildRings(t, n, transport.Options{})
+	defer func() {
+		for _, r := range rings {
+			r.Quiesce()
+		}
+		for _, r := range rings {
+			r.Shutdown()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	for i, r := range rings {
+		select {
+		case <-r.Notify():
+			t.Fatalf("rank %d got spurious notification", i)
+		default:
+		}
+	}
+}
+
+func TestQuiesceSuppressesNotifications(t *testing.T) {
+	const n = 8
+	_, rings, dies := buildRings(t, n, transport.Options{DetectDelay: time.Millisecond})
+	for _, r := range rings {
+		r.Quiesce()
+	}
+	close(dies[3])
+	time.Sleep(50 * time.Millisecond)
+	for i, r := range rings {
+		if i == 3 {
+			continue
+		}
+		select {
+		case <-r.Notify():
+			t.Fatalf("rank %d notified after Quiesce", i)
+		default:
+		}
+	}
+	for _, r := range rings {
+		r.Shutdown()
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	_, rings, _ := buildRings(t, 4, transport.Options{})
+	for _, r := range rings {
+		r.Quiesce()
+	}
+	for _, r := range rings {
+		r.Shutdown()
+		r.Shutdown()
+	}
+}
+
+func TestConnCount(t *testing.T) {
+	const n = 16
+	_, rings, _ := buildRings(t, n, transport.Options{})
+	defer func() {
+		for _, r := range rings {
+			r.Quiesce()
+		}
+		for _, r := range rings {
+			r.Shutdown()
+		}
+	}()
+	// With n=16 base=2 each rank initiates 4 and receives 4: total
+	// watched should converge to 8 per rank.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		total := 0
+		for _, r := range rings {
+			total += r.ConnCount()
+		}
+		if total == n*8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("total watched conns = %d, want %d", total, n*8)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBuildFailsWhenNeighborDead(t *testing.T) {
+	nw := transport.NewChanNetwork(transport.Options{})
+	die0 := make(chan struct{})
+	ep0, _ := nw.NewEndpoint(die0)
+	ep1, _ := nw.NewEndpoint(nil)
+	table := []transport.Addr{ep0.Addr(), ep1.Addr()}
+	close(die0)
+	time.Sleep(10 * time.Millisecond)
+	if _, err := Build(ep1, 1, table, 2); err == nil {
+		t.Fatal("Build should fail when an out-neighbour is dead")
+	}
+}

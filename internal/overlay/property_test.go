@@ -1,0 +1,77 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random sizes, bases, and victims, the log-ring graph
+// always notifies every process, within the base-2 paper bound when
+// base is 2, and out/in neighbour sets are consistent duals.
+func TestQuickLogRingProperties(t *testing.T) {
+	f := func(nRaw uint16, baseRaw, victimRaw uint8) bool {
+		n := 2 + int(nRaw)%512
+		base := 2 + int(baseRaw)%7
+		victim := int(victimRaw) % n
+
+		hops := NotifyHops(n, base, victim)
+		if hops < 0 {
+			return false // disconnected
+		}
+		if base == 2 && hops > TheoreticalMaxHops(n) {
+			return false
+		}
+		// Duality: r is an out-neighbour of s iff s is an in-neighbour
+		// of r.
+		for _, o := range OutNeighbors(victim, n, base) {
+			found := false
+			for _, i := range InNeighbors(o, n, base) {
+				if i == victim {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of out-neighbours is ceil(log_base(n)).
+func TestQuickConnectionCount(t *testing.T) {
+	f := func(nRaw uint16, baseRaw uint8) bool {
+		n := 2 + int(nRaw)%4096
+		base := 2 + int(baseRaw)%7
+		want := 0
+		for d := 1; d < n; d *= base {
+			want++
+		}
+		return len(OutNeighbors(0, n, base)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: notification hops never exceed the diameter implied by
+// doubling reach: each hop at least doubles the notified set, so
+// hops <= ceil(log2(n)).
+func TestQuickHopsLogarithmic(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := 3 + int(nRaw)%1024
+		hops := NotifyHops(n, 2, 0)
+		log2 := 0
+		for v := n - 1; v > 0; v >>= 1 {
+			log2++
+		}
+		return hops >= 0 && hops <= log2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package pfs simulates storage targets with explicit performance
+// models: a parallel file system (Lustre-like, shared, survives node
+// failures) and node-local storage (tmpfs/SSD-like, lost with its
+// node). The paper's baseline (MPI + SCR) checkpoints through a file
+// system interface even when the backing store is memory (tmpfs),
+// paying per-operation latency and an extra copy; FMI writes directly
+// to memory with memcpy. This package makes that cost difference — and
+// the PFS bandwidth ceiling used in the Fig 17 model — explicit and
+// tunable.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned when reading a missing object.
+var ErrNotFound = errors.New("pfs: object not found")
+
+// Model describes a storage target's performance.
+type Model struct {
+	// WriteLatency/ReadLatency are charged once per operation
+	// (syscall + file-system bookkeeping analogue).
+	WriteLatency, ReadLatency time.Duration
+	// WriteBW/ReadBW in bytes/second; zero means infinitely fast.
+	WriteBW, ReadBW float64
+	// TimeScale scales the charged delays so experiments can run
+	// paper-sized models in laptop time. 1.0 charges full time;
+	// 0 charges nothing (pure accounting).
+	TimeScale float64
+}
+
+// SierraTmpfs approximates node-local tmpfs behind a file-system
+// interface: fast, but with per-op overhead and a copy.
+func SierraTmpfs() Model {
+	return Model{
+		WriteLatency: 50 * time.Microsecond,
+		ReadLatency:  30 * time.Microsecond,
+		WriteBW:      8e9, ReadBW: 10e9,
+		TimeScale: 1.0,
+	}
+}
+
+// LustrePFS approximates the paper's 50 GB/s aggregate Lustre file
+// system shared by the whole job.
+func LustrePFS() Model {
+	return Model{
+		WriteLatency: 5 * time.Millisecond,
+		ReadLatency:  3 * time.Millisecond,
+		WriteBW:      50e9, ReadBW: 50e9,
+		TimeScale: 1.0,
+	}
+}
+
+func (m Model) writeCost(n int) time.Duration {
+	d := m.WriteLatency
+	if m.WriteBW > 0 {
+		d += time.Duration(float64(n) / m.WriteBW * float64(time.Second))
+	}
+	return time.Duration(float64(d) * m.TimeScale)
+}
+
+func (m Model) readCost(n int) time.Duration {
+	d := m.ReadLatency
+	if m.ReadBW > 0 {
+		d += time.Duration(float64(n) / m.ReadBW * float64(time.Second))
+	}
+	return time.Duration(float64(d) * m.TimeScale)
+}
+
+// Stats accumulates what a file system has served.
+type Stats struct {
+	Writes, Reads           uint64
+	BytesWritten, BytesRead uint64
+	TimeCharged             time.Duration
+}
+
+// FS is one simulated storage target: a flat object store with a
+// performance model. It is safe for concurrent use; bandwidth is
+// charged per operation (callers running in parallel therefore see
+// aggregate bandwidth proportional to parallelism, matching the
+// node-local case; for a shared PFS use Shared to serialise charging).
+type FS struct {
+	Name  string
+	model Model
+
+	mu      sync.Mutex
+	objects map[string][]byte
+	stats   Stats
+
+	// shared, if true, serialises the time charging across all
+	// operations, modelling a single shared resource (the PFS).
+	shared bool
+	gateMu sync.Mutex
+	failed bool
+}
+
+// New creates a file system with the given model.
+func New(name string, m Model) *FS {
+	return &FS{Name: name, model: m, objects: make(map[string][]byte)}
+}
+
+// NewShared creates a file system whose bandwidth is a single shared
+// resource: concurrent writers queue behind each other.
+func NewShared(name string, m Model) *FS {
+	fs := New(name, m)
+	fs.shared = true
+	return fs
+}
+
+func (fs *FS) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if fs.shared {
+		fs.gateMu.Lock()
+		time.Sleep(d)
+		fs.gateMu.Unlock()
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// Write stores a copy of data under key, charging modelled time.
+func (fs *FS) Write(key string, data []byte) error {
+	fs.mu.Lock()
+	if fs.failed {
+		fs.mu.Unlock()
+		return fmt.Errorf("pfs: %s has failed", fs.Name)
+	}
+	fs.mu.Unlock()
+
+	cost := fs.model.writeCost(len(data))
+	fs.charge(cost)
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.mu.Lock()
+	fs.objects[key] = cp
+	fs.stats.Writes++
+	fs.stats.BytesWritten += uint64(len(data))
+	fs.stats.TimeCharged += cost
+	fs.mu.Unlock()
+	return nil
+}
+
+// Read returns a copy of the object at key.
+func (fs *FS) Read(key string) ([]byte, error) {
+	fs.mu.Lock()
+	if fs.failed {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("pfs: %s has failed", fs.Name)
+	}
+	obj, ok := fs.objects[key]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	cost := fs.model.readCost(len(obj))
+	fs.charge(cost)
+	cp := make([]byte, len(obj))
+	copy(cp, obj)
+	fs.mu.Lock()
+	fs.stats.Reads++
+	fs.stats.BytesRead += uint64(len(obj))
+	fs.stats.TimeCharged += cost
+	fs.mu.Unlock()
+	return cp, nil
+}
+
+// Exists reports whether key is stored.
+func (fs *FS) Exists(key string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.objects[key]
+	return ok
+}
+
+// Delete removes an object (no-op if absent).
+func (fs *FS) Delete(key string) {
+	fs.mu.Lock()
+	delete(fs.objects, key)
+	fs.mu.Unlock()
+}
+
+// Wipe destroys all contents — a node failure taking its tmpfs with it.
+// The FS remains usable (a *new* node's empty tmpfs) unless failed is
+// set via Fail.
+func (fs *FS) Wipe() {
+	fs.mu.Lock()
+	fs.objects = make(map[string][]byte)
+	fs.mu.Unlock()
+}
+
+// Fail marks the target permanently unusable.
+func (fs *FS) Fail() {
+	fs.mu.Lock()
+	fs.failed = true
+	fs.objects = nil
+	fs.mu.Unlock()
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (fs *FS) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// Keys returns all stored keys (for tests and rebuild scans).
+func (fs *FS) Keys() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	keys := make([]string, 0, len(fs.objects))
+	for k := range fs.objects {
+		keys = append(keys, k)
+	}
+	return keys
+}

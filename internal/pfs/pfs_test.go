@@ -1,0 +1,167 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fastModel() Model {
+	return Model{WriteLatency: 0, ReadLatency: 0, TimeScale: 0}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	fs := New("t", fastModel())
+	want := []byte("checkpoint")
+	if err := fs.Write("k", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New("t", fastModel())
+	if _, err := fs.Read("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteIsACopy(t *testing.T) {
+	fs := New("t", fastModel())
+	data := []byte{1, 2, 3}
+	fs.Write("k", data)
+	data[0] = 9
+	got, _ := fs.Read("k")
+	if got[0] != 1 {
+		t.Fatal("FS aliased caller's buffer on write")
+	}
+	got[1] = 9
+	got2, _ := fs.Read("k")
+	if got2[1] != 2 {
+		t.Fatal("FS aliased internal buffer on read")
+	}
+}
+
+func TestWipe(t *testing.T) {
+	fs := New("t", fastModel())
+	fs.Write("a", []byte{1})
+	fs.Write("b", []byte{2})
+	fs.Wipe()
+	if fs.Exists("a") || fs.Exists("b") {
+		t.Fatal("wipe left objects")
+	}
+	// Still usable after wipe (new node's empty tmpfs).
+	if err := fs.Write("c", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFail(t *testing.T) {
+	fs := New("t", fastModel())
+	fs.Write("a", []byte{1})
+	fs.Fail()
+	if err := fs.Write("b", []byte{2}); err == nil {
+		t.Fatal("write to failed FS succeeded")
+	}
+	if _, err := fs.Read("a"); err == nil {
+		t.Fatal("read from failed FS succeeded")
+	}
+}
+
+func TestDeleteAndKeys(t *testing.T) {
+	fs := New("t", fastModel())
+	fs.Write("a", nil)
+	fs.Write("b", nil)
+	fs.Delete("a")
+	fs.Delete("missing") // no-op
+	keys := fs.Keys()
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	fs := New("t", fastModel())
+	fs.Write("a", make([]byte, 100))
+	fs.Write("b", make([]byte, 50))
+	fs.Read("a")
+	st := fs.Stats()
+	if st.Writes != 2 || st.BytesWritten != 150 {
+		t.Fatalf("writes=%d bytes=%d", st.Writes, st.BytesWritten)
+	}
+	if st.Reads != 1 || st.BytesRead != 100 {
+		t.Fatalf("reads=%d bytes=%d", st.Reads, st.BytesRead)
+	}
+}
+
+func TestModelChargesTime(t *testing.T) {
+	m := Model{WriteLatency: 20 * time.Millisecond, TimeScale: 1.0}
+	fs := New("t", m)
+	start := time.Now()
+	fs.Write("k", []byte{1})
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("write charged %v, want >= ~20ms", d)
+	}
+}
+
+func TestTimeScaleZeroChargesNothing(t *testing.T) {
+	m := Model{WriteLatency: time.Hour, WriteBW: 1, TimeScale: 0}
+	fs := New("t", m)
+	start := time.Now()
+	fs.Write("k", make([]byte, 1000))
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("TimeScale=0 write took %v", d)
+	}
+	if fs.Stats().TimeCharged != 0 {
+		t.Fatal("charged time with TimeScale=0")
+	}
+}
+
+func TestBandwidthCost(t *testing.T) {
+	m := Model{WriteBW: 1e9, TimeScale: 1.0} // 1 GB/s
+	if d := m.writeCost(100 << 20); d < 90*time.Millisecond || d > 200*time.Millisecond {
+		t.Fatalf("100MB at 1GB/s charged %v", d)
+	}
+}
+
+func TestSharedSerialisesCharging(t *testing.T) {
+	m := Model{WriteLatency: 10 * time.Millisecond, TimeScale: 1.0}
+	fs := NewShared("pfs", m)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fs.Write("k", []byte{byte(i)})
+		}(i)
+	}
+	wg.Wait()
+	if d := time.Since(start); d < 35*time.Millisecond {
+		t.Fatalf("4 concurrent writes on shared FS took %v, want >= ~40ms (serialised)", d)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New("t", fastModel())
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%8))
+			fs.Write(key, []byte{byte(i)})
+			fs.Read(key)
+			fs.Exists(key)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,514 @@
+// Package runtime implements FMI's hierarchical process management
+// (paper §IV-B, Fig 6): the master fmirun process at the top, one
+// fmirun.task per compute node below it, and the rank processes as
+// their children. fmirun owns the machinefile, detects task failures,
+// allocates spare nodes (from the reserve, or by waiting on the
+// resource manager), respawns lost ranks, and drives the epoch counter
+// that sequences recovery rounds.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fmi/internal/bootstrap"
+	"fmi/internal/cluster"
+	"fmi/internal/core"
+	"fmi/internal/pfs"
+	"fmi/internal/scr"
+	"fmi/internal/trace"
+	"fmi/internal/transport"
+)
+
+// App is the application body executed by every rank.
+type App func(p *core.Proc) error
+
+// Config configures a job launch.
+type Config struct {
+	Ranks        int
+	ProcsPerNode int
+	SpareNodes   int
+	Interval     int           // checkpoint interval; 0 = auto (needs MTBF)
+	MTBF         time.Duration // expected failure rate for auto-tuning
+	GroupSize    int
+	RingBase     int
+	// L2Every enables multilevel C/R: every L2Every-th checkpoint is
+	// flushed to the parallel file system, letting the job recover
+	// failures beyond the XOR groups' reach (0 disables level 2).
+	L2Every int
+	// SCR is the storage manager used for level-2 checkpoints;
+	// created over a Lustre-like PFS model if nil and L2Every > 0.
+	SCR     *scr.Manager
+	Network transport.Network
+	Cluster *cluster.Cluster         // created if nil
+	RM      *cluster.ResourceManager // created over spare nodes if nil
+	Stats   *core.Stats              // created if nil
+	// OnLoop is invoked when a rank reports completing a loop
+	// iteration (the fault injector hooks in here).
+	OnLoop func(rank, loopID int)
+	// MaxEpochs aborts the job after this many recovery rounds
+	// (safety valve; 0 = 1024).
+	MaxEpochs int
+	// ProvisionDelay is how long the resource manager takes to deliver
+	// a brand-new node once the spare pool is exhausted.
+	ProvisionDelay time.Duration
+	// Trace, when non-nil, records the job's lifecycle timeline.
+	Trace *trace.Recorder
+	// Timeout aborts the job if it has not completed in time
+	// (0 = none).
+	Timeout time.Duration
+}
+
+// Errors reported by the job manager.
+var (
+	ErrJobAborted      = errors.New("fmirun: job aborted")
+	ErrTooManyFailures = errors.New("fmirun: recovery limit exceeded")
+)
+
+// Report summarises a completed run.
+type Report struct {
+	Stats          core.StatsSnapshot
+	Epochs         uint32 // recovery rounds performed
+	WallTime       time.Duration
+	NodesUsed      int
+	SparesConsumed int
+	MaxLoopID      int
+	AppErrors      []error
+}
+
+// Job is the fmirun master.
+type Job struct {
+	cfg   Config
+	coord *bootstrap.Coordinator
+	clu   *cluster.Cluster
+	rm    *cluster.ResourceManager
+	stats *core.Stats
+
+	mu          sync.Mutex
+	epoch       uint32
+	epochWait   []epochWaiter
+	epochChans  map[uint32]chan struct{} // closed when epoch exceeds key
+	rankNode    []int                    // rank -> node id currently hosting it
+	rankProc    []*cluster.Proc          // rank -> current process
+	rankDone    []bool                   // rank's app returned cleanly
+	tasks       map[int]*task            // node id -> task
+	doneCount   int
+	appErrs     []error
+	abortErr    error
+	abortCh     chan struct{}
+	doneCh      chan struct{}
+	maxLoop     int
+	spareUsed   int
+	app         App
+	failedNodes map[int]bool
+}
+
+type epochWaiter struct {
+	min uint32
+	ch  chan uint32
+}
+
+// Run launches the job and blocks until every rank's app returns or
+// the job aborts.
+func Run(cfg Config, app App) (*Report, error) {
+	j, err := Launch(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	return j.Wait()
+}
+
+// Launch starts the job without waiting (tests use the handle).
+func Launch(cfg Config, app App) (*Job, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("fmirun: Ranks must be positive")
+	}
+	if cfg.ProcsPerNode <= 0 {
+		cfg.ProcsPerNode = 1
+	}
+	if cfg.Network == nil {
+		cfg.Network = transport.NewChanNetwork(transport.Options{DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond})
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = &core.Stats{}
+	}
+	if cfg.MaxEpochs == 0 {
+		cfg.MaxEpochs = 1024
+	}
+	if cfg.L2Every > 0 && cfg.SCR == nil {
+		cfg.SCR = scr.NewManager(pfs.SierraTmpfs(), pfs.NewShared("pfs", pfs.LustrePFS()))
+	}
+	nodes := (cfg.Ranks + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	clu := cfg.Cluster
+	if clu == nil {
+		clu = cluster.New(nodes + cfg.SpareNodes)
+	}
+	rm := cfg.RM
+	if rm == nil {
+		var spares []*cluster.Node
+		for i := nodes; i < nodes+cfg.SpareNodes; i++ {
+			if nd := clu.Node(i); nd != nil {
+				spares = append(spares, nd)
+			}
+		}
+		rm = cluster.NewResourceManager(clu, spares)
+		rm.ProvisionDelay = cfg.ProvisionDelay
+	}
+	j := &Job{
+		cfg:         cfg,
+		coord:       bootstrap.NewCoordinator(),
+		clu:         clu,
+		rm:          rm,
+		stats:       cfg.Stats,
+		epochChans:  make(map[uint32]chan struct{}),
+		rankNode:    make([]int, cfg.Ranks),
+		rankProc:    make([]*cluster.Proc, cfg.Ranks),
+		rankDone:    make([]bool, cfg.Ranks),
+		tasks:       make(map[int]*task),
+		abortCh:     make(chan struct{}),
+		doneCh:      make(chan struct{}),
+		app:         app,
+		failedNodes: make(map[int]bool),
+	}
+
+	// Initial placement: block mapping, procsPerNode consecutive ranks
+	// per node (the machinefile of Fig 6).
+	perNode := make(map[int][]int)
+	for r := 0; r < cfg.Ranks; r++ {
+		nd := r / cfg.ProcsPerNode
+		perNode[nd] = append(perNode[nd], r)
+		j.rankNode[r] = nd
+	}
+	for ndID, ranks := range perNode {
+		nd := clu.Node(ndID)
+		if nd == nil {
+			return nil, fmt.Errorf("fmirun: node %d missing", ndID)
+		}
+		t := newTask(j, nd)
+		j.mu.Lock()
+		j.tasks[ndID] = t
+		j.mu.Unlock()
+		for _, r := range ranks {
+			if err := j.spawnRank(t, r, 0, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.Timeout > 0 {
+		go func() {
+			t := time.NewTimer(cfg.Timeout)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				j.Abort(fmt.Errorf("%w: timeout after %v", ErrJobAborted, cfg.Timeout))
+			case <-j.doneCh:
+			case <-j.abortCh:
+			}
+		}()
+	}
+	return j, nil
+}
+
+// Wait blocks until the job finishes and assembles the report.
+func (j *Job) Wait() (*Report, error) {
+	start := time.Now()
+	select {
+	case <-j.doneCh:
+	case <-j.abortCh:
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rep := &Report{
+		Stats:          j.stats.Snapshot(),
+		Epochs:         j.epoch,
+		WallTime:       time.Since(start),
+		NodesUsed:      len(j.tasks),
+		SparesConsumed: j.spareUsed,
+		MaxLoopID:      j.maxLoop,
+		AppErrors:      append([]error{}, j.appErrs...),
+	}
+	if j.abortErr != nil {
+		return rep, j.abortErr
+	}
+	if len(rep.AppErrors) > 0 {
+		return rep, fmt.Errorf("fmirun: %d ranks returned errors (first: %w)", len(rep.AppErrors), rep.AppErrors[0])
+	}
+	return rep, nil
+}
+
+// Coordinator implements core.Control.
+func (j *Job) Coordinator() *bootstrap.Coordinator { return j.coord }
+
+// AwaitEpoch implements core.Control.
+func (j *Job) AwaitEpoch(min uint32, cancel <-chan struct{}) (uint32, error) {
+	j.mu.Lock()
+	if j.epoch >= min {
+		e := j.epoch
+		j.mu.Unlock()
+		return e, nil
+	}
+	w := epochWaiter{min: min, ch: make(chan uint32, 1)}
+	j.epochWait = append(j.epochWait, w)
+	j.mu.Unlock()
+	select {
+	case e := <-w.ch:
+		return e, nil
+	case <-cancel:
+		return 0, core.ErrKilled
+	case <-j.abortCh:
+		return 0, ErrJobAborted
+	}
+}
+
+// EpochNotify implements core.Control: the returned channel closes
+// when the job epoch first exceeds e.
+func (j *Job) EpochNotify(e uint32) <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch, ok := j.epochChans[e]
+	if !ok {
+		ch = make(chan struct{})
+		j.epochChans[e] = ch
+		if j.epoch > e {
+			close(ch)
+		}
+	}
+	return ch
+}
+
+// ReportLoop implements core.Control.
+func (j *Job) ReportLoop(rank, loopID int) {
+	j.mu.Lock()
+	if loopID > j.maxLoop {
+		j.maxLoop = loopID
+	}
+	hook := j.cfg.OnLoop
+	j.mu.Unlock()
+	if hook != nil {
+		hook(rank, loopID)
+	}
+}
+
+// Abort implements core.Control: tear the whole job down.
+func (j *Job) Abort(err error) {
+	j.mu.Lock()
+	if j.abortErr == nil {
+		j.abortErr = err
+	}
+	select {
+	case <-j.abortCh:
+		j.mu.Unlock()
+		return
+	default:
+	}
+	close(j.abortCh)
+	procs := append([]*cluster.Proc{}, j.rankProc...)
+	j.mu.Unlock()
+	j.cfg.Trace.Add(trace.KindAbort, -1, 0, "job aborted: %v", err)
+	for _, p := range procs {
+		if p != nil {
+			p.Kill()
+		}
+	}
+}
+
+// NodeOfRank returns the node currently hosting a rank (fault
+// injectors target through this).
+func (j *Job) NodeOfRank(rank int) *cluster.Node {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if rank < 0 || rank >= len(j.rankNode) {
+		return nil
+	}
+	return j.clu.Node(j.rankNode[rank])
+}
+
+// ActiveNodes returns the nodes currently hosting ranks.
+func (j *Job) ActiveNodes() []*cluster.Node {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seen := map[int]bool{}
+	var out []*cluster.Node
+	for _, ndID := range j.rankNode {
+		if !seen[ndID] {
+			seen[ndID] = true
+			if nd := j.clu.Node(ndID); nd != nil && !nd.Failed() {
+				out = append(out, nd)
+			}
+		}
+	}
+	return out
+}
+
+// AddSpareNode provisions a fresh node at runtime and adds it to the
+// spare pool — the paper's §III-A dynamic node join ("FMI also
+// provides a capability for compute nodes to join or leave the job
+// dynamically, primarily to replace failed nodes with spare nodes").
+func (j *Job) AddSpareNode() *cluster.Node {
+	nd := j.clu.AddNode()
+	j.rm.AddSpare(nd)
+	return nd
+}
+
+// Epoch returns the current job epoch.
+func (j *Job) Epoch() uint32 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// spawnRank starts one rank process on the task's node.
+func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error {
+	cp, err := t.node.Spawn()
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.rankProc[rank] = cp
+	j.rankNode[rank] = t.node.ID
+	j.mu.Unlock()
+	t.addChild(rank, cp)
+
+	cfg := core.Config{
+		Rank: rank, N: j.cfg.Ranks,
+		ProcsPerNode:  j.cfg.ProcsPerNode,
+		Epoch:         epoch,
+		IsReplacement: replacement,
+		Interval:      j.cfg.Interval,
+		MTBF:          j.cfg.MTBF,
+		GroupSize:     j.cfg.GroupSize,
+		RingBase:      j.cfg.RingBase,
+		L2Every:       j.cfg.L2Every,
+		L2:            j.cfg.SCR,
+		Network:       j.cfg.Network,
+		Ctl:           j,
+		KillCh:        cp.KillCh(),
+		Stats:         j.stats,
+		Trace:         j.cfg.Trace,
+	}
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if core.IsKilledPanic(v) {
+					return // task learned via KillCh
+				}
+				cp.Exit(fmt.Errorf("fmirun: rank %d panicked: %v", rank, v))
+				return
+			}
+		}()
+		p, err := core.Init(cfg)
+		if err != nil {
+			cp.Exit(fmt.Errorf("fmirun: rank %d init: %w", rank, err))
+			return
+		}
+		cp.Exit(j.app(p))
+	}()
+	return nil
+}
+
+// rankFinished records a clean exit.
+func (j *Job) rankFinished(rank int, err error) {
+	j.mu.Lock()
+	if j.rankDone[rank] {
+		j.mu.Unlock()
+		return
+	}
+	j.rankDone[rank] = true
+	if err != nil {
+		j.appErrs = append(j.appErrs, fmt.Errorf("rank %d: %w", rank, err))
+	}
+	j.doneCount++
+	done := j.doneCount == j.cfg.Ranks
+	j.mu.Unlock()
+	if done {
+		select {
+		case <-j.doneCh:
+		default:
+			close(j.doneCh)
+		}
+	}
+}
+
+// taskFailed handles an fmirun.task failure report: bump the epoch,
+// unblock stale rendezvous, allocate a replacement node, and respawn
+// the lost ranks (paper §IV-B).
+func (j *Job) taskFailed(t *task) {
+	j.mu.Lock()
+	if j.failedNodes[t.node.ID] {
+		j.mu.Unlock()
+		return
+	}
+	j.failedNodes[t.node.ID] = true
+	oldEpoch := j.epoch
+	j.epoch++
+	newEpoch := j.epoch
+	j.cfg.Trace.Add(trace.KindNodeFailed, -1, oldEpoch, "node %d failed", t.node.ID)
+	j.cfg.Trace.Add(trace.KindEpoch, -1, newEpoch, "epoch advanced to %d", newEpoch)
+	if int(newEpoch) > j.cfg.MaxEpochs {
+		j.mu.Unlock()
+		j.Abort(fmt.Errorf("%w: %d epochs", ErrTooManyFailures, newEpoch))
+		return
+	}
+	// Wake epoch waiters and the fallback notification channel.
+	var still []epochWaiter
+	for _, w := range j.epochWait {
+		if newEpoch >= w.min {
+			w.ch <- newEpoch
+		} else {
+			still = append(still, w)
+		}
+	}
+	j.epochWait = still
+	for e, ch := range j.epochChans {
+		if newEpoch > e {
+			select {
+			case <-ch:
+			default:
+				close(ch)
+			}
+		}
+	}
+	// Ranks lost with the node, excluding already-finished ones.
+	var lost []int
+	for r, nd := range j.rankNode {
+		if nd == t.node.ID && !j.rankDone[r] {
+			lost = append(lost, r)
+		}
+	}
+	delete(j.tasks, t.node.ID)
+	j.mu.Unlock()
+
+	// Unblock every rendezvous of the superseded epoch.
+	for _, prefix := range []string{"h1", "h2", "avail", "h3", "finalize"} {
+		j.coord.AbortGather(fmt.Sprintf("%s/%d", prefix, oldEpoch), core.ErrFailureDetected)
+	}
+
+	if len(lost) == 0 {
+		return
+	}
+	// Allocate a spare and respawn; this may block on the resource
+	// manager, which is exactly the paper's "fmirun waits until new
+	// nodes are allocated".
+	go func() {
+		nd, err := j.rm.Allocate(j.abortCh)
+		if err != nil {
+			j.Abort(fmt.Errorf("%w: no spare node: %v", ErrJobAborted, err))
+			return
+		}
+		j.mu.Lock()
+		j.spareUsed++
+		nt := newTask(j, nd)
+		j.tasks[nd.ID] = nt
+		j.mu.Unlock()
+		j.cfg.Trace.Add(trace.KindSpareAlloc, -1, newEpoch, "node %d allocated for ranks %v", nd.ID, lost)
+		for _, r := range lost {
+			j.cfg.Trace.Add(trace.KindRespawn, r, newEpoch, "respawned on node %d", nd.ID)
+			if err := j.spawnRank(nt, r, newEpoch, true); err != nil {
+				j.Abort(fmt.Errorf("%w: respawn rank %d: %v", ErrJobAborted, r, err))
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,489 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fmi/internal/cluster"
+	"fmi/internal/core"
+	"fmi/internal/transport"
+)
+
+// fastNet returns a chan network with millisecond-scale failure
+// observation (the real default is the ibverbs-like 200 ms).
+func fastNet() transport.Network {
+	return transport.NewChanNetwork(transport.Options{
+		DetectDelay: 2 * time.Millisecond,
+		PropDelay:   time.Millisecond,
+	})
+}
+
+func sumOp(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		binary.LittleEndian.PutUint64(acc[i:], binary.LittleEndian.Uint64(acc[i:])+binary.LittleEndian.Uint64(src[i:]))
+	}
+}
+
+// checksumApp is the canonical deterministic test application: each
+// iteration all ranks contribute (n + rank + 1) to an Allreduce and
+// fold the sum into a running checksum that is checkpointed through
+// Loop. Any rollback inconsistency corrupts the final checksum.
+func checksumApp(iters int, results *sync.Map) App {
+	return func(p *core.Proc) error {
+		state := make([]byte, 16) // [0:8] next iteration, [8:16] checksum
+		world := p.World()
+		for {
+			n := p.Loop([][]byte{state})
+			if n >= iters {
+				break
+			}
+			contrib := make([]byte, 8)
+			binary.LittleEndian.PutUint64(contrib, uint64(n+p.Rank()+1))
+			sum, err := world.Allreduce(contrib, sumOp)
+			if err != nil {
+				continue // failure: next Loop call recovers
+			}
+			cs := binary.LittleEndian.Uint64(state[8:]) + binary.LittleEndian.Uint64(sum)*uint64(n+1)
+			binary.LittleEndian.PutUint64(state[8:], cs)
+			binary.LittleEndian.PutUint64(state[0:], uint64(n+1))
+		}
+		results.Store(p.Rank(), binary.LittleEndian.Uint64(state[8:]))
+		return p.Finalize()
+	}
+}
+
+// expectedChecksum is what every rank must end with.
+func expectedChecksum(ranks, iters int) uint64 {
+	var cs uint64
+	for n := 0; n < iters; n++ {
+		var sum uint64
+		for r := 0; r < ranks; r++ {
+			sum += uint64(n + r + 1)
+		}
+		cs += sum * uint64(n+1)
+	}
+	return cs
+}
+
+func checkResults(t *testing.T, results *sync.Map, ranks, iters int) {
+	t.Helper()
+	want := expectedChecksum(ranks, iters)
+	count := 0
+	results.Range(func(k, v any) bool {
+		count++
+		if v.(uint64) != want {
+			t.Errorf("rank %v checksum = %d, want %d", k, v, want)
+		}
+		return true
+	})
+	if count != ranks {
+		t.Fatalf("results from %d ranks, want %d", count, ranks)
+	}
+}
+
+func TestFailureFreeRun(t *testing.T) {
+	var results sync.Map
+	rep, err := Run(Config{
+		Ranks: 8, ProcsPerNode: 2, Interval: 3,
+		Network: fastNet(), Timeout: 30 * time.Second,
+	}, checksumApp(10, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, 8, 10)
+	if rep.Epochs != 0 {
+		t.Fatalf("epochs = %d, want 0", rep.Epochs)
+	}
+	if rep.Stats.Checkpoints == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+}
+
+func TestSingleRankJob(t *testing.T) {
+	var results sync.Map
+	_, err := Run(Config{
+		Ranks: 1, Interval: 2, Network: fastNet(), Timeout: 20 * time.Second,
+	}, checksumApp(5, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, 1, 5)
+}
+
+// runWithFaults launches a job with a scripted fault plan wired
+// through the loop-report hook.
+func runWithFaults(t *testing.T, cfg Config, faults []cluster.Fault, app App) (*Report, error) {
+	t.Helper()
+	nodes := (cfg.Ranks+cfg.ProcsPerNode-1)/max(cfg.ProcsPerNode, 1) + cfg.SpareNodes
+	clu := cluster.New(nodes)
+	cfg.Cluster = clu
+	var jref atomic.Pointer[Job]
+	inj := cluster.NewInjector(clu,
+		func(rank int) *cluster.Node {
+			if j := jref.Load(); j != nil {
+				return j.NodeOfRank(rank)
+			}
+			return nil
+		},
+		func() []*cluster.Node {
+			if j := jref.Load(); j != nil {
+				return j.ActiveNodes()
+			}
+			return nil
+		}, 1)
+	inj.SetScript(faults)
+	cfg.OnLoop = inj.OnLoop
+	j, err := Launch(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jref.Store(j)
+	inj.Start()
+	defer inj.Stop()
+	return j.Wait()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestRecoverySingleNodeFailure(t *testing.T) {
+	var results sync.Map
+	const ranks, iters = 8, 12
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 2, SpareNodes: 1, Interval: 2,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+	}, []cluster.Fault{
+		{AfterLoop: 5, Node: -1, Rank: 2}, // kill the node hosting rank 2
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Epochs != 1 {
+		t.Fatalf("epochs = %d, want 1", rep.Epochs)
+	}
+	if rep.SparesConsumed != 1 {
+		t.Fatalf("spares = %d, want 1", rep.SparesConsumed)
+	}
+	if rep.Stats.Restores == 0 {
+		t.Fatal("no restores recorded")
+	}
+}
+
+func TestRecoveryRollsBackToLastCheckpoint(t *testing.T) {
+	// Interval 4, failure after loop 6: recovery must roll back to the
+	// checkpoint at loop 4 (ids 0,4,8 are checkpointed).
+	var mu sync.Mutex
+	restored := -1
+	app := func(p *core.Proc) error {
+		state := make([]byte, 8)
+		world := p.World()
+		prev := -1
+		for {
+			n := p.Loop([][]byte{state})
+			if prev >= 0 && n <= prev && p.Rank() == 0 {
+				mu.Lock()
+				restored = n
+				mu.Unlock()
+			}
+			prev = n
+			if n >= 10 {
+				break
+			}
+			contrib := make([]byte, 8)
+			if _, err := world.Allreduce(contrib, sumOp); err != nil {
+				continue
+			}
+			binary.LittleEndian.PutUint64(state, uint64(n+1))
+		}
+		return p.Finalize()
+	}
+	_, err := runWithFaults(t, Config{
+		Ranks: 4, ProcsPerNode: 1, SpareNodes: 1, Interval: 4,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+	}, []cluster.Fault{{AfterLoop: 6, Node: -1, Rank: 3}}, app)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if restored != 4 {
+		t.Fatalf("rolled back to loop %d, want 4 (paper Fig 4 semantics)", restored)
+	}
+}
+
+func TestRecoveryMultipleSequentialFailures(t *testing.T) {
+	var results sync.Map
+	const ranks, iters = 8, 16
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 2, SpareNodes: 2, Interval: 2,
+		GroupSize: 4, Network: fastNet(), Timeout: 60 * time.Second,
+	}, []cluster.Fault{
+		{AfterLoop: 4, Node: -1, Rank: 1},
+		{AfterLoop: 9, Node: -1, Rank: 6},
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Epochs != 2 {
+		t.Fatalf("epochs = %d, want 2", rep.Epochs)
+	}
+}
+
+func TestRecoveryFailureOfReplacementNode(t *testing.T) {
+	// The second failure targets the rank that was already replaced
+	// once: its new node must be replaced again.
+	var results sync.Map
+	const ranks, iters = 4, 14
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 2, Interval: 2,
+		GroupSize: 4, Network: fastNet(), Timeout: 60 * time.Second,
+	}, []cluster.Fault{
+		{AfterLoop: 4, Node: -1, Rank: 2},
+		{AfterLoop: 9, Node: -1, Rank: 2},
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.SparesConsumed != 2 {
+		t.Fatalf("spares = %d, want 2", rep.SparesConsumed)
+	}
+}
+
+func TestProcOnlyFailureKillsWholeNode(t *testing.T) {
+	// Paper §IV-B: if a child dies, fmirun.task kills its siblings and
+	// the whole node's ranks are respawned elsewhere.
+	var results sync.Map
+	const ranks, iters = 8, 10
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 2, SpareNodes: 1, Interval: 2,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+	}, []cluster.Fault{
+		{AfterLoop: 4, Node: -1, Rank: 5, ProcOnly: true},
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Epochs != 1 {
+		t.Fatalf("epochs = %d, want 1", rep.Epochs)
+	}
+}
+
+func TestUnrecoverableTwoNodesInGroup(t *testing.T) {
+	// Two nodes of the same XOR group die at once: level-1 C/R cannot
+	// recover (paper §VIII) and the job must abort.
+	var results sync.Map
+	_, err := runWithFaults(t, Config{
+		Ranks: 4, ProcsPerNode: 1, SpareNodes: 2, Interval: 2,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+		MaxEpochs: 16,
+	}, []cluster.Fault{
+		{AfterLoop: 4, Node: 0},
+		{AfterLoop: 4, Node: 1},
+	}, checksumApp(10, &results))
+	if err == nil {
+		t.Fatal("job with two losses in one XOR group should abort")
+	}
+}
+
+func TestProvisioningWhenSparesExhausted(t *testing.T) {
+	var results sync.Map
+	const ranks, iters = 4, 10
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 0, Interval: 2,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+	}, []cluster.Fault{{AfterLoop: 4, Node: -1, Rank: 0}}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.SparesConsumed != 1 {
+		t.Fatalf("allocated = %d, want 1 provisioned node", rep.SparesConsumed)
+	}
+}
+
+func TestVaidyaAutoTune(t *testing.T) {
+	// With auto-tuning enabled (Interval=0, MTBF set), the job runs
+	// and takes fewer checkpoints than iterations.
+	var results sync.Map
+	rep, err := Run(Config{
+		Ranks: 4, ProcsPerNode: 1, Interval: 0, MTBF: time.Minute,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+	}, func(p *core.Proc) error {
+		state := make([]byte, 8)
+		for {
+			n := p.Loop([][]byte{state})
+			if n >= 30 {
+				break
+			}
+			time.Sleep(time.Millisecond) // give Vaidya something to measure
+			binary.LittleEndian.PutUint64(state, uint64(n+1))
+		}
+		results.Store(p.Rank(), binary.LittleEndian.Uint64(state))
+		return p.Finalize()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	perRank := rep.Stats.Checkpoints / 4
+	if perRank >= 30 || perRank < 1 {
+		t.Fatalf("checkpoints per rank = %d, want tuned below one-per-iteration", perRank)
+	}
+}
+
+func TestDupAndSplitSurviveFailure(t *testing.T) {
+	// Communicators created before the loop must keep working across a
+	// failure (transparent communicator recovery, paper Fig 8).
+	var results sync.Map
+	const ranks, iters = 8, 10
+	app := func(p *core.Proc) error {
+		world := p.World()
+		dup, err := world.Dup()
+		if err != nil {
+			return err
+		}
+		// Split into even/odd halves like Fig 8.
+		half, err := dup.Split(p.Rank()%2, p.Rank())
+		if err != nil {
+			return err
+		}
+		state := make([]byte, 8)
+		var acc uint64
+		for {
+			n := p.Loop([][]byte{state})
+			if n >= iters {
+				break
+			}
+			acc = binary.LittleEndian.Uint64(state)
+			contrib := make([]byte, 8)
+			binary.LittleEndian.PutUint64(contrib, uint64(n+1))
+			sum, err := half.Allreduce(contrib, sumOp)
+			if err != nil {
+				continue
+			}
+			acc += binary.LittleEndian.Uint64(sum)
+			binary.LittleEndian.PutUint64(state, acc)
+		}
+		results.Store(p.Rank(), binary.LittleEndian.Uint64(state))
+		return p.Finalize()
+	}
+	_, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 2, SpareNodes: 1, Interval: 2,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+	}, []cluster.Fault{{AfterLoop: 5, Node: -1, Rank: 3}}, app)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Each half has 4 ranks contributing (n+1): sum = 4*(n+1).
+	var want uint64
+	for n := 0; n < iters; n++ {
+		want += 4 * uint64(n+1)
+	}
+	count := 0
+	results.Range(func(k, v any) bool {
+		count++
+		if v.(uint64) != want {
+			t.Errorf("rank %v: got %d, want %d", k, v, want)
+		}
+		return true
+	})
+	if count != ranks {
+		t.Fatalf("got %d results", count)
+	}
+}
+
+func TestPointToPointThroughJob(t *testing.T) {
+	// Simple ring exchange with p2p Send/Recv under a failure.
+	var results sync.Map
+	const ranks, iters = 4, 10
+	app := func(p *core.Proc) error {
+		world := p.World()
+		state := make([]byte, 8)
+		for {
+			n := p.Loop([][]byte{state})
+			if n >= iters {
+				break
+			}
+			right := (p.Rank() + 1) % ranks
+			left := (p.Rank() - 1 + ranks) % ranks
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, uint64(n*100+p.Rank()))
+			got, err := world.Sendrecv(right, 7, payload, left, 7)
+			if err != nil {
+				continue
+			}
+			acc := binary.LittleEndian.Uint64(state) + binary.LittleEndian.Uint64(got)
+			binary.LittleEndian.PutUint64(state, acc)
+			// A barrier keeps iteration lockstep so stale-epoch
+			// messages cannot masquerade as fresh ones.
+			if err := world.Barrier(); err != nil {
+				continue
+			}
+		}
+		results.Store(p.Rank(), binary.LittleEndian.Uint64(state))
+		return p.Finalize()
+	}
+	_, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 1, Interval: 3,
+		GroupSize: 4, Network: fastNet(), Timeout: 30 * time.Second,
+	}, []cluster.Fault{{AfterLoop: 5, Node: -1, Rank: 1}}, app)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	count := 0
+	results.Range(func(k, v any) bool {
+		r := k.(int)
+		left := (r - 1 + ranks) % ranks
+		var want uint64
+		for n := 0; n < iters; n++ {
+			want += uint64(n*100 + left)
+		}
+		if v.(uint64) != want {
+			t.Errorf("rank %d: got %d, want %d", r, v, want)
+		}
+		count++
+		return true
+	})
+	if count != ranks {
+		t.Fatalf("got %d results", count)
+	}
+}
+
+func TestAbortOnTimeout(t *testing.T) {
+	_, err := Run(Config{
+		Ranks: 2, Network: fastNet(), Timeout: 200 * time.Millisecond,
+	}, func(p *core.Proc) error {
+		state := make([]byte, 8)
+		for {
+			p.Loop([][]byte{state})
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+	if !errors.Is(err, ErrJobAborted) {
+		t.Fatalf("err = %v, want ErrJobAborted", err)
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	var results sync.Map
+	_, err := Run(Config{
+		Ranks: 4, ProcsPerNode: 2, Interval: 2,
+		Network: transport.NewTCPNetwork(transport.Options{}),
+		Timeout: 30 * time.Second,
+	}, checksumApp(6, &results))
+	if err != nil {
+		t.Fatalf("Run over TCP: %v", err)
+	}
+	checkResults(t, &results, 4, 6)
+}

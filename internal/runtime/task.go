@@ -1,0 +1,80 @@
+package runtime
+
+import (
+	"sync"
+
+	"fmi/internal/cluster"
+)
+
+// task is the per-node fmirun.task of Fig 6: it forks the rank
+// processes on its node, watches them, and — if any child dies or
+// exits unsuccessfully — kills the remaining children and reports the
+// failure up to fmirun (paper §IV-B).
+type task struct {
+	j    *Job
+	node *cluster.Node
+
+	mu       sync.Mutex
+	children map[int]*cluster.Proc // rank -> proc
+	failed   bool
+}
+
+func newTask(j *Job, node *cluster.Node) *task {
+	t := &task{j: j, node: node, children: make(map[int]*cluster.Proc)}
+	// A node failure kills the task itself; report it even if no
+	// child-death race delivers the event first.
+	go func() {
+		<-node.FailedCh()
+		t.fail()
+	}()
+	return t
+}
+
+func (t *task) addChild(rank int, cp *cluster.Proc) {
+	t.mu.Lock()
+	t.children[rank] = cp
+	t.mu.Unlock()
+	go t.watch(rank, cp)
+}
+
+func (t *task) watch(rank int, cp *cluster.Proc) {
+	select {
+	case <-cp.KillCh():
+		t.fail()
+	case <-cp.DoneCh():
+		if err := cp.ExitErr(); err != nil {
+			// Unsuccessful exit: treat like a crash (EXIT_FAILURE path
+			// in the paper) *unless* the job is already completing.
+			t.j.rankFinished(rank, err)
+			t.fail()
+			return
+		}
+		t.childDone(rank)
+	}
+}
+
+func (t *task) childDone(rank int) {
+	t.mu.Lock()
+	delete(t.children, rank)
+	t.mu.Unlock()
+	t.j.rankFinished(rank, nil)
+}
+
+// fail kills the remaining children and reports the task failure once.
+func (t *task) fail() {
+	t.mu.Lock()
+	if t.failed {
+		t.mu.Unlock()
+		return
+	}
+	t.failed = true
+	kids := make([]*cluster.Proc, 0, len(t.children))
+	for _, cp := range t.children {
+		kids = append(kids, cp)
+	}
+	t.mu.Unlock()
+	for _, cp := range kids {
+		cp.Kill()
+	}
+	t.j.taskFailed(t)
+}

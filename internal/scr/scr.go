@@ -1,0 +1,260 @@
+// Package scr reimplements the core of the Scalable Checkpoint/Restart
+// library (SCR, Moody et al. SC'10) that the paper uses as the MPI
+// baseline's checkpointer and as FMI's planned multilevel extension:
+//
+//   - Level-1 checkpoints: each rank's checkpoint plus an XOR parity
+//     chain written to *node-local* storage through a file-system
+//     interface (tmpfs in the paper's measurements). A single failed
+//     node per XOR group is recoverable by rebuilding its files from
+//     the group survivors.
+//   - Level-2 checkpoints: full checkpoints written to the shared
+//     parallel file system; recover anything, slowly.
+//
+// FMI's own checkpointing (internal/ckpt) uses the same XOR encoding
+// but writes straight to memory with memcpy; the file-system pass
+// through this package is precisely the overhead Fig 15's "MPI + C"
+// series pays relative to "FMI + C".
+package scr
+
+import (
+	"fmt"
+	"sync"
+
+	"fmi/internal/ckpt"
+	"fmi/internal/pfs"
+)
+
+// Manager coordinates multilevel checkpoints across the job. One
+// Manager serves all ranks (it stands in for the per-node SCR daemons
+// plus the shared PFS).
+type Manager struct {
+	mu     sync.Mutex
+	local  map[int]*pfs.FS // node id -> node-local storage
+	shared *pfs.FS         // parallel file system
+	model  pfs.Model       // model for newly created node-local stores
+
+	// latest complete checkpoint ids per level
+	l1Complete, l2Complete int
+	l1Members              map[int][]int // ckpt id -> world ranks written
+}
+
+// NewManager creates a manager with the given node-local storage model
+// and shared PFS.
+func NewManager(localModel pfs.Model, shared *pfs.FS) *Manager {
+	return &Manager{
+		local:      make(map[int]*pfs.FS),
+		shared:     shared,
+		model:      localModel,
+		l1Complete: -1,
+		l2Complete: -1,
+		l1Members:  make(map[int][]int),
+	}
+}
+
+// NodeFS returns (creating if needed) the node-local storage of a node.
+func (m *Manager) NodeFS(node int) *pfs.FS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs, ok := m.local[node]
+	if !ok {
+		fs = pfs.New(fmt.Sprintf("tmpfs-node%d", node), m.model)
+		m.local[node] = fs
+	}
+	return fs
+}
+
+// Shared returns the parallel file system.
+func (m *Manager) Shared() *pfs.FS { return m.shared }
+
+// WipeNode destroys a node's local storage contents (node failure).
+func (m *Manager) WipeNode(node int) {
+	m.mu.Lock()
+	fs := m.local[node]
+	m.mu.Unlock()
+	if fs != nil {
+		fs.Wipe()
+	}
+}
+
+func l1DataKey(id, rank int) string   { return fmt.Sprintf("scr/l1/%d/rank%d/data", id, rank) }
+func l1ParityKey(id, rank int) string { return fmt.Sprintf("scr/l1/%d/rank%d/parity", id, rank) }
+func l1MetaKey(id, rank int) string   { return fmt.Sprintf("scr/l1/%d/rank%d/meta", id, rank) }
+func l2Key(id, rank int) string       { return fmt.Sprintf("scr/l2/%d/rank%d", id, rank) }
+
+// WriteL1 stores one rank's level-1 checkpoint files on its node:
+// the data file, its XOR parity chain, and metadata (the group sizes
+// needed for a later rebuild). The caller runs the XOR ring over its
+// own communication layer (ckpt.EncodeRing) and passes the result in.
+func (m *Manager) WriteL1(node, rank, id int, data, parity []byte, meta []byte) error {
+	fs := m.NodeFS(node)
+	if err := fs.Write(l1DataKey(id, rank), data); err != nil {
+		return err
+	}
+	if err := fs.Write(l1ParityKey(id, rank), parity); err != nil {
+		return err
+	}
+	return fs.Write(l1MetaKey(id, rank), meta)
+}
+
+// CommitL1 marks a level-1 checkpoint id complete once every world
+// rank has written (the job calls this after its checkpoint barrier),
+// and retires all older level-1 checkpoints — like SCR, only the
+// newest complete set is kept on node-local storage.
+func (m *Manager) CommitL1(id int, ranks []int) {
+	m.mu.Lock()
+	if id > m.l1Complete {
+		m.l1Complete = id
+	}
+	m.l1Members[id] = append([]int{}, ranks...)
+	var stale []int
+	for old := range m.l1Members {
+		if old < id {
+			stale = append(stale, old)
+		}
+	}
+	locals := make([]*pfs.FS, 0, len(m.local))
+	for _, fs := range m.local {
+		locals = append(locals, fs)
+	}
+	m.mu.Unlock()
+
+	for _, old := range stale {
+		m.mu.Lock()
+		ranksOld := m.l1Members[old]
+		delete(m.l1Members, old)
+		m.mu.Unlock()
+		for _, fs := range locals {
+			for _, r := range ranksOld {
+				fs.Delete(l1DataKey(old, r))
+				fs.Delete(l1ParityKey(old, r))
+				fs.Delete(l1MetaKey(old, r))
+			}
+		}
+	}
+}
+
+// LatestL1 returns the newest complete level-1 checkpoint id, or -1.
+func (m *Manager) LatestL1() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.l1Complete
+}
+
+// ReadL1 reads a rank's level-1 data file from its node.
+func (m *Manager) ReadL1(node, rank, id int) ([]byte, error) {
+	return m.NodeFS(node).Read(l1DataKey(id, rank))
+}
+
+// ReadL1Parity reads a rank's stored parity chain.
+func (m *Manager) ReadL1Parity(node, rank, id int) ([]byte, error) {
+	return m.NodeFS(node).Read(l1ParityKey(id, rank))
+}
+
+// ReadL1Meta reads a rank's metadata file.
+func (m *Manager) ReadL1Meta(node, rank, id int) ([]byte, error) {
+	return m.NodeFS(node).Read(l1MetaKey(id, rank))
+}
+
+// WriteL1Meta rewrites a rank's metadata file (after a rebuild).
+func (m *Manager) WriteL1Meta(node, rank, id int, meta []byte) error {
+	return m.NodeFS(node).Write(l1MetaKey(id, rank), meta)
+}
+
+// HasL1 reports whether a rank's level-1 files survive on a node.
+func (m *Manager) HasL1(node, rank, id int) bool {
+	fs := m.NodeFS(node)
+	return fs.Exists(l1DataKey(id, rank)) && fs.Exists(l1ParityKey(id, rank))
+}
+
+// RebuildL1 reconstructs the level-1 files of a lost rank from the
+// survivors of its XOR group. group lists the member world ranks in
+// group order, nodeOf maps rank to the node holding its files, and
+// lostIdx is the lost member's index in group. The rebuilt files are
+// written to newNode. At most one lost member per group is
+// recoverable — two losses return an error (paper §VIII limitation).
+func (m *Manager) RebuildL1(id int, group []int, nodeOf func(int) int, lostIdx, newNode int, sizes []int) ([]byte, error) {
+	g := len(group)
+	if g < 2 {
+		return nil, fmt.Errorf("scr: group too small to rebuild (size %d)", g)
+	}
+	data := make([][]byte, g)
+	parity := make([][]byte, g)
+	for i, r := range group {
+		if i == lostIdx {
+			continue
+		}
+		node := nodeOf(r)
+		if !m.HasL1(node, r, id) {
+			return nil, fmt.Errorf("scr: two losses in XOR group (ranks %d and %d): level-1 unrecoverable", group[lostIdx], r)
+		}
+		d, err := m.ReadL1(node, r, id)
+		if err != nil {
+			return nil, err
+		}
+		p, err := m.ReadL1Parity(node, r, id)
+		if err != nil {
+			return nil, err
+		}
+		data[i], parity[i] = d, p
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	chunkLen := ckpt.ChunkLen(maxSize, g)
+	rebuilt := ckpt.ReconstructLocal(data, parity, chunkLen, lostIdx, sizes[lostIdx])
+
+	// Restore full redundancy: recompute every chain and rewrite the
+	// lost member's files on its new node.
+	data[lostIdx] = rebuilt
+	allParity, _ := ckpt.EncodeLocal(data)
+	lostRank := group[lostIdx]
+	if err := m.NodeFS(newNode).Write(l1DataKey(id, lostRank), rebuilt); err != nil {
+		return nil, err
+	}
+	if err := m.NodeFS(newNode).Write(l1ParityKey(id, lostRank), allParity[lostIdx]); err != nil {
+		return nil, err
+	}
+	return rebuilt, nil
+}
+
+// WriteL2 stores a rank's full checkpoint on the shared PFS.
+func (m *Manager) WriteL2(rank, id int, data []byte) error {
+	return m.shared.Write(l2Key(id, rank), data)
+}
+
+// CommitL2 marks a level-2 checkpoint complete.
+func (m *Manager) CommitL2(id int) {
+	m.mu.Lock()
+	if id > m.l2Complete {
+		m.l2Complete = id
+	}
+	m.mu.Unlock()
+}
+
+// LatestL2 returns the newest complete level-2 id, or -1.
+func (m *Manager) LatestL2() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.l2Complete
+}
+
+// ReadL2 reads a rank's level-2 checkpoint.
+func (m *Manager) ReadL2(rank, id int) ([]byte, error) {
+	return m.shared.Read(l2Key(id, rank))
+}
+
+// Policy decides which level each checkpoint goes to: every L2Every-th
+// checkpoint is additionally flushed to the PFS (SCR's multilevel
+// scheduling, simplified).
+type Policy struct {
+	L2Every int // 0 disables level-2
+}
+
+// LevelFor returns (writeL1, writeL2) for the id-th checkpoint.
+func (p Policy) LevelFor(id int) (bool, bool) {
+	l2 := p.L2Every > 0 && id%p.L2Every == 0
+	return true, l2
+}

@@ -1,0 +1,169 @@
+package scr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fmi/internal/ckpt"
+	"fmi/internal/pfs"
+)
+
+func fastModel() pfs.Model { return pfs.Model{TimeScale: 0} }
+
+func newTestManager() *Manager {
+	return NewManager(fastModel(), pfs.NewShared("pfs", fastModel()))
+}
+
+// writeGroupL1 checkpoints a whole XOR group (computing parity
+// centrally, as the MPI job would via its communication ring).
+func writeGroupL1(t *testing.T, m *Manager, id int, group []int, nodeOf func(int) int, data [][]byte) {
+	t.Helper()
+	parity, _ := ckpt.EncodeLocal(data)
+	for i, r := range group {
+		if err := m.WriteL1(nodeOf(r), r, id, data[i], parity[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.CommitL1(id, group)
+}
+
+func TestL1WriteReadback(t *testing.T) {
+	m := newTestManager()
+	nodeOf := func(r int) int { return r } // 1 rank per node
+	group := []int{0, 1, 2, 3}
+	data := [][]byte{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	writeGroupL1(t, m, 0, group, nodeOf, data)
+
+	if m.LatestL1() != 0 {
+		t.Fatalf("LatestL1 = %d", m.LatestL1())
+	}
+	got, err := m.ReadL1(2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[2]) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestL1RebuildAfterNodeLoss(t *testing.T) {
+	m := newTestManager()
+	nodeOf := func(r int) int { return r }
+	group := []int{0, 1, 2, 3}
+	rng := rand.New(rand.NewSource(5))
+	data := make([][]byte, 4)
+	sizes := make([]int, 4)
+	for i := range data {
+		data[i] = make([]byte, 100+i*13)
+		rng.Read(data[i])
+		sizes[i] = len(data[i])
+	}
+	writeGroupL1(t, m, 0, group, nodeOf, data)
+
+	// Node 1 dies; its tmpfs is wiped. Rank 1 restarts on node 9.
+	m.WipeNode(1)
+	if m.HasL1(1, 1, 0) {
+		t.Fatal("wiped node still has files")
+	}
+	rebuilt, err := m.RebuildL1(0, group, nodeOf, 1, 9, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt, data[1]) {
+		t.Fatal("rebuild mismatch")
+	}
+	// Redundancy restored on the new node.
+	if !m.HasL1(9, 1, 0) {
+		t.Fatal("rebuilt files not written to new node")
+	}
+}
+
+func TestL1RebuildEveryPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for lost := 0; lost < 5; lost++ {
+		m := newTestManager()
+		nodeOf := func(r int) int { return r }
+		group := []int{0, 1, 2, 3, 4}
+		data := make([][]byte, 5)
+		sizes := make([]int, 5)
+		for i := range data {
+			data[i] = make([]byte, 64+rng.Intn(64))
+			rng.Read(data[i])
+			sizes[i] = len(data[i])
+		}
+		writeGroupL1(t, m, 3, group, nodeOf, data)
+		m.WipeNode(lost)
+		rebuilt, err := m.RebuildL1(3, group, nodeOf, lost, 100+lost, sizes)
+		if err != nil {
+			t.Fatalf("lost=%d: %v", lost, err)
+		}
+		if !bytes.Equal(rebuilt, data[lost]) {
+			t.Fatalf("lost=%d: mismatch", lost)
+		}
+	}
+}
+
+func TestL1TwoLossesUnrecoverable(t *testing.T) {
+	m := newTestManager()
+	nodeOf := func(r int) int { return r }
+	group := []int{0, 1, 2, 3}
+	data := [][]byte{{1}, {2}, {3}, {4}}
+	writeGroupL1(t, m, 0, group, nodeOf, data)
+	m.WipeNode(1)
+	m.WipeNode(2)
+	if _, err := m.RebuildL1(0, group, nodeOf, 1, 9, []int{1, 1, 1, 1}); err == nil {
+		t.Fatal("two losses in one group reported recoverable")
+	}
+}
+
+func TestL2SurvivesNodeLoss(t *testing.T) {
+	m := newTestManager()
+	if err := m.WriteL2(3, 7, []byte("global")); err != nil {
+		t.Fatal(err)
+	}
+	m.CommitL2(7)
+	m.WipeNode(3) // node loss does not touch the PFS
+	got, err := m.ReadL2(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "global" {
+		t.Fatalf("got %q", got)
+	}
+	if m.LatestL2() != 7 {
+		t.Fatalf("LatestL2 = %d", m.LatestL2())
+	}
+}
+
+func TestLatestLevelsStartEmpty(t *testing.T) {
+	m := newTestManager()
+	if m.LatestL1() != -1 || m.LatestL2() != -1 {
+		t.Fatal("fresh manager reports checkpoints")
+	}
+}
+
+func TestPolicyLevels(t *testing.T) {
+	p := Policy{L2Every: 3}
+	cases := map[int]bool{0: true, 1: false, 2: false, 3: true, 6: true, 7: false}
+	for id, wantL2 := range cases {
+		l1, l2 := p.LevelFor(id)
+		if !l1 {
+			t.Fatalf("id %d: L1 disabled", id)
+		}
+		if l2 != wantL2 {
+			t.Fatalf("id %d: L2 = %v, want %v", id, l2, wantL2)
+		}
+	}
+	pNo := Policy{}
+	if _, l2 := pNo.LevelFor(0); l2 {
+		t.Fatal("L2Every=0 should disable level-2")
+	}
+}
+
+func TestRebuildGroupTooSmall(t *testing.T) {
+	m := newTestManager()
+	if _, err := m.RebuildL1(0, []int{5}, func(int) int { return 0 }, 0, 1, []int{10}); err == nil {
+		t.Fatal("singleton group rebuild should fail")
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace records the runtime's lifecycle events — failures,
+// epoch bumps, state transitions, checkpoints, restores — as a
+// timeline that can be printed for debugging or asserted on by tests.
+// The paper's figures describe *aggregate* behaviour; the trace makes
+// a single run's recovery choreography visible (which node died, when
+// every rank was notified, how long H1/H2 took, where the job rolled
+// back to).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the runtime.
+const (
+	KindNodeFailed   Kind = "node-failed"
+	KindProcKilled   Kind = "proc-killed"
+	KindEpoch        Kind = "epoch"
+	KindSpareAlloc   Kind = "spare-allocated"
+	KindRespawn      Kind = "respawn"
+	KindNotified     Kind = "notified"
+	KindState        Kind = "state"
+	KindCheckpoint   Kind = "checkpoint"
+	KindL2Checkpoint Kind = "l2-checkpoint"
+	KindRestore      Kind = "restore"
+	KindL2Restore    Kind = "l2-restore"
+	KindRollback     Kind = "rollback"
+	KindFinalize     Kind = "finalize"
+	KindAbort        Kind = "abort"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At    time.Time
+	Kind  Kind
+	Rank  int // -1 for job-level events
+	Epoch uint32
+	Note  string
+}
+
+// Recorder collects events; safe for concurrent use. A nil *Recorder
+// is a valid no-op sink, so tracing can be left unwired.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// New creates a recorder with its zero time at now.
+func New() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Add records an event at the current time.
+func (r *Recorder) Add(kind Kind, rank int, epoch uint32, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	e := Event{At: time.Now(), Kind: kind, Rank: rank, Epoch: epoch, Note: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a time-ordered snapshot.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Count returns how many events of the kind were recorded (any kind
+// if kind is empty).
+func (r *Recorder) Count(kind Kind) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kind == "" {
+		return len(r.events)
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump prints the timeline relative to the recorder's start.
+func (r *Recorder) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	start := r.start
+	r.mu.Unlock()
+	for _, e := range r.Events() {
+		who := "job"
+		if e.Rank >= 0 {
+			who = fmt.Sprintf("rank %d", e.Rank)
+		}
+		fmt.Fprintf(w, "%10.3fms  e%-2d %-14s %-8s %s\n",
+			float64(e.At.Sub(start))/float64(time.Millisecond), e.Epoch, e.Kind, who, e.Note)
+	}
+}
+
+// Span summarises the time between the first event of kind a and the
+// first *subsequent* event of kind b (0 if either is absent).
+func (r *Recorder) Span(a, b Kind) time.Duration {
+	evs := r.Events()
+	var t0 time.Time
+	for _, e := range evs {
+		if e.Kind == a {
+			t0 = e.At
+			break
+		}
+	}
+	if t0.IsZero() {
+		return 0
+	}
+	for _, e := range evs {
+		if e.Kind == b && !e.At.Before(t0) {
+			return e.At.Sub(t0)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	r.Add(KindNodeFailed, -1, 0, "node %d failed", 3)
+	r.Add(KindEpoch, -1, 1, "epoch advanced")
+	r.Add(KindRollback, 2, 1, "rolled back to loop %d", 4)
+	if r.Count("") != 3 {
+		t.Fatalf("count = %d", r.Count(""))
+	}
+	if r.Count(KindEpoch) != 1 || r.Count(KindCheckpoint) != 0 {
+		t.Fatal("kind counts wrong")
+	}
+	evs := r.Events()
+	if evs[0].Kind != KindNodeFailed || evs[0].Note != "node 3 failed" {
+		t.Fatalf("first event: %+v", evs[0])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At.Before(evs[i-1].At) {
+			t.Fatal("events not time-ordered")
+		}
+	}
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"node-failed", "rank 2", "rolled back to loop 4", "job"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Add(KindAbort, 0, 0, "x")
+	if r.Events() != nil || r.Count("") != 0 {
+		t.Fatal("nil recorder not a no-op")
+	}
+	r.Dump(&bytes.Buffer{})
+}
+
+func TestSpan(t *testing.T) {
+	r := New()
+	r.Add(KindNodeFailed, -1, 0, "dead")
+	time.Sleep(5 * time.Millisecond)
+	r.Add(KindState, 0, 1, "H3 running")
+	span := r.Span(KindNodeFailed, KindState)
+	if span < 4*time.Millisecond {
+		t.Fatalf("span = %v", span)
+	}
+	if r.Span(KindAbort, KindState) != 0 {
+		t.Fatal("missing start should give 0")
+	}
+	if r.Span(KindState, KindAbort) != 0 {
+		t.Fatal("missing end should give 0")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Add(KindCheckpoint, i, 0, "c%d", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Count(KindCheckpoint) != 800 {
+		t.Fatalf("count = %d", r.Count(KindCheckpoint))
+	}
+}

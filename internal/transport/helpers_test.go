@@ -1,0 +1,11 @@
+package transport
+
+import (
+	"bufio"
+	"io"
+)
+
+// Small indirections so tests can exercise the frame codec without a
+// socket.
+func newTestWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }
+func newTestReader(r io.Reader) *bufio.Reader { return bufio.NewReader(r) }

@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// Matching wildcards.
+const (
+	AnySource int32 = -1
+	AnyTag    int32 = -0x40000000 // outside both user and runtime tag ranges
+)
+
+// Matcher errors.
+var (
+	ErrMatcherClosed = errors.New("transport: matcher closed")
+	ErrCancelled     = errors.New("transport: receive cancelled")
+)
+
+// Matcher implements MPI-style message matching on top of an Endpoint:
+// receives are matched against (ctx, src, tag) with wildcard source and
+// tag, messages that arrive before a matching receive is posted wait in
+// an unexpected-message queue, and matching preserves arrival order
+// (non-overtaking per (src, tag, ctx)).
+//
+// The Matcher also enforces the paper's epoch rule (§IV-D): messages
+// from an older epoch than the current one are discarded silently;
+// messages from a *newer* epoch (possible in the instant between a
+// peer finishing recovery and this process bumping its own epoch) are
+// buffered and delivered after the epoch advances.
+type Matcher struct {
+	ep Endpoint
+
+	mu         sync.Mutex
+	epoch      uint32
+	unexpected []Msg
+	pending    []*recvReq
+	future     []Msg
+	closed     bool
+	closeCh    chan struct{}
+
+	// stats
+	delivered, dropped uint64
+}
+
+type recvReq struct {
+	ctx       uint32
+	src, tag  int32
+	reply     chan Msg
+	cancelled bool
+}
+
+// NewMatcher creates a matcher over ep and starts its demux goroutine.
+func NewMatcher(ep Endpoint) *Matcher {
+	m := &Matcher{ep: ep, closeCh: make(chan struct{})}
+	go m.demux()
+	return m
+}
+
+func (m *Matcher) demux() {
+	for {
+		select {
+		case msg, ok := <-m.ep.Recv():
+			if !ok {
+				m.Close()
+				return
+			}
+			m.deliver(msg)
+		case <-m.closeCh:
+			return
+		}
+	}
+}
+
+func (m *Matcher) deliver(msg Msg) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	switch {
+	case msg.Epoch < m.epoch:
+		m.dropped++
+		m.mu.Unlock()
+		return // stale epoch: discard (paper §IV-D)
+	case msg.Epoch > m.epoch:
+		m.future = append(m.future, msg)
+		m.mu.Unlock()
+		return
+	}
+	m.matchOrQueueLocked(msg)
+	m.mu.Unlock()
+}
+
+// matchOrQueueLocked hands msg to the earliest matching pending
+// receive, or queues it as unexpected.
+func (m *Matcher) matchOrQueueLocked(msg Msg) {
+	for i, req := range m.pending {
+		if req.cancelled {
+			continue
+		}
+		if reqMatches(req, msg) {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			m.delivered++
+			req.reply <- msg
+			return
+		}
+	}
+	m.unexpected = append(m.unexpected, msg)
+}
+
+func reqMatches(req *recvReq, msg Msg) bool {
+	return req.ctx == msg.Ctx &&
+		(req.src == AnySource || req.src == msg.Src) &&
+		(req.tag == AnyTag || req.tag == msg.Tag)
+}
+
+// Pending is a posted receive awaiting its match. MPI semantics:
+// receives match arriving messages in the order they were *posted*, so
+// nonblocking receives must post synchronously (PostRecv) and may
+// await later.
+type Pending struct {
+	m       *Matcher
+	req     *recvReq
+	matched Msg
+	done    bool
+}
+
+// PostRecv registers a receive for (ctx, src, tag); matching order
+// follows posting order. The returned Pending must be Awaited.
+func (m *Matcher) PostRecv(ctx uint32, src, tag int32) (*Pending, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrMatcherClosed
+	}
+	req := &recvReq{ctx: ctx, src: src, tag: tag}
+	// Check the unexpected queue first (earliest arrival wins).
+	for i, msg := range m.unexpected {
+		if reqMatches(req, msg) {
+			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+			m.delivered++
+			m.mu.Unlock()
+			return &Pending{m: m, matched: msg, done: true}, nil
+		}
+	}
+	req.reply = make(chan Msg, 1)
+	m.pending = append(m.pending, req)
+	m.mu.Unlock()
+	return &Pending{m: m, req: req}, nil
+}
+
+// Await blocks until the posted receive matches, the cancel channel
+// fires, or the matcher closes.
+func (p *Pending) Await(cancel <-chan struct{}) (Msg, error) {
+	if p.done {
+		return p.matched, nil
+	}
+	m := p.m
+	select {
+	case msg := <-p.req.reply:
+		return msg, nil
+	case <-cancel:
+		m.mu.Lock()
+		p.req.cancelled = true
+		// The demux may have matched concurrently; prefer the message.
+		select {
+		case msg := <-p.req.reply:
+			m.mu.Unlock()
+			return msg, nil
+		default:
+		}
+		m.mu.Unlock()
+		return Msg{}, ErrCancelled
+	case <-m.closeCh:
+		return Msg{}, ErrMatcherClosed
+	}
+}
+
+// Recv blocks until a message matching (ctx, src, tag) arrives, the
+// cancel channel fires, or the matcher closes. src may be AnySource
+// and tag may be AnyTag.
+func (m *Matcher) Recv(ctx uint32, src, tag int32, cancel <-chan struct{}) (Msg, error) {
+	p, err := m.PostRecv(ctx, src, tag)
+	if err != nil {
+		return Msg{}, err
+	}
+	return p.Await(cancel)
+}
+
+// TryRecv performs a non-blocking matched receive from the unexpected
+// queue (an MPI_Iprobe+Recv analogue).
+func (m *Matcher) TryRecv(ctx uint32, src, tag int32) (Msg, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	req := &recvReq{ctx: ctx, src: src, tag: tag}
+	for i, msg := range m.unexpected {
+		if reqMatches(req, msg) {
+			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+			m.delivered++
+			return msg, true
+		}
+	}
+	return Msg{}, false
+}
+
+// Epoch returns the current epoch.
+func (m *Matcher) Epoch() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// AdvanceEpoch moves the matcher to epoch e: queued messages older
+// than e are discarded (including everything currently unexpected from
+// previous epochs) and buffered future messages at exactly e are
+// re-delivered.
+func (m *Matcher) AdvanceEpoch(e uint32) {
+	m.mu.Lock()
+	if e <= m.epoch {
+		m.mu.Unlock()
+		return
+	}
+	m.epoch = e
+	// All unexpected messages necessarily have epoch < e: discard.
+	m.dropped += uint64(len(m.unexpected))
+	m.unexpected = nil
+	flush := m.future
+	m.future = nil
+	var still []Msg
+	for _, msg := range flush {
+		switch {
+		case msg.Epoch < e:
+			m.dropped++
+		case msg.Epoch > e:
+			still = append(still, msg)
+		default:
+			m.matchOrQueueLocked(msg)
+		}
+	}
+	m.future = still
+	m.mu.Unlock()
+}
+
+// Stats returns (delivered, dropped) message counts.
+func (m *Matcher) Stats() (delivered, dropped uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivered, m.dropped
+}
+
+// Close shuts the matcher down; blocked receives return
+// ErrMatcherClosed.
+func (m *Matcher) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.closeCh)
+	m.mu.Unlock()
+}

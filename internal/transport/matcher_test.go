@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newMatcherPair(t *testing.T) (a Endpoint, b Endpoint, mb *Matcher) {
+	t.Helper()
+	nw := NewChanNetwork(Options{})
+	a, err := nw.NewEndpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = nw.NewEndpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb = NewMatcher(b)
+	t.Cleanup(func() { mb.Close(); a.Close(); b.Close() })
+	return a, b, mb
+}
+
+func TestMatcherBasicMatch(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 9, Ctx: 3, Data: []byte("x")})
+	msg, err := mb.Recv(3, 1, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Data) != "x" {
+		t.Fatalf("got %q", msg.Data)
+	}
+}
+
+func TestMatcherUnexpectedQueue(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	// Arrives before the receive is posted.
+	a.Send(b.Addr(), Msg{Src: 2, Tag: 5, Data: []byte("early")})
+	time.Sleep(10 * time.Millisecond)
+	msg, err := mb.Recv(0, 2, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Data) != "early" {
+		t.Fatalf("got %q", msg.Data)
+	}
+}
+
+func TestMatcherSelectivity(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Data: []byte("wrong tag")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 2, Data: []byte("right")})
+	msg, err := mb.Recv(0, 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Data) != "right" {
+		t.Fatalf("got %q", msg.Data)
+	}
+	// The other message is still retrievable.
+	msg, err = mb.Recv(0, 1, 1, nil)
+	if err != nil || string(msg.Data) != "wrong tag" {
+		t.Fatalf("got %q, %v", msg.Data, err)
+	}
+}
+
+func TestMatcherAnySource(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	a.Send(b.Addr(), Msg{Src: 7, Tag: 4, Data: []byte("any")})
+	msg, err := mb.Recv(0, AnySource, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Src != 7 {
+		t.Fatalf("src = %d", msg.Src)
+	}
+}
+
+func TestMatcherAnyTag(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	a.Send(b.Addr(), Msg{Src: 7, Tag: 123, Data: []byte("any")})
+	msg, err := mb.Recv(0, 7, AnyTag, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Tag != 123 {
+		t.Fatalf("tag = %d", msg.Tag)
+	}
+}
+
+func TestMatcherNonOvertaking(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	const n = 200
+	for i := 0; i < n; i++ {
+		a.Send(b.Addr(), Msg{Src: 1, Tag: 8, Data: []byte{byte(i)}})
+	}
+	for i := 0; i < n; i++ {
+		msg, err := mb.Recv(0, 1, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Data[0] != byte(i) {
+			t.Fatalf("message %d overtaken: got %d", i, msg.Data[0])
+		}
+	}
+}
+
+func TestMatcherStaleEpochDiscarded(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	mb.AdvanceEpoch(2)
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Epoch: 1, Data: []byte("stale")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Epoch: 2, Data: []byte("fresh")})
+	msg, err := mb.Recv(0, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Data) != "fresh" {
+		t.Fatalf("got %q, stale message not discarded", msg.Data)
+	}
+	_, dropped := mb.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestMatcherFutureEpochBuffered(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Epoch: 3, Data: []byte("future")})
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := mb.TryRecv(0, 1, 1); ok {
+		t.Fatal("future-epoch message delivered early")
+	}
+	mb.AdvanceEpoch(3)
+	msg, err := mb.Recv(0, 1, 1, nil)
+	if err != nil || string(msg.Data) != "future" {
+		t.Fatalf("got %q, %v", msg.Data, err)
+	}
+}
+
+func TestMatcherAdvanceEpochDropsUnexpected(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Epoch: 0, Data: []byte("old")})
+	time.Sleep(10 * time.Millisecond)
+	mb.AdvanceEpoch(1)
+	if _, ok := mb.TryRecv(0, 1, 1); ok {
+		t.Fatal("pre-recovery unexpected message survived epoch bump")
+	}
+}
+
+func TestMatcherCancel(t *testing.T) {
+	_, _, mb := newMatcherPair(t)
+	cancel := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := mb.Recv(0, 1, 1, cancel)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-errCh:
+		if err != ErrCancelled {
+			t.Fatalf("err = %v, want ErrCancelled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Recv never returned")
+	}
+}
+
+func TestMatcherCancelledReqDoesNotStealMessages(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	cancel := make(chan struct{})
+	close(cancel)
+	// This receive is cancelled immediately but its request may
+	// briefly linger in the pending list.
+	if _, err := mb.Recv(0, 1, 1, cancel); err != ErrCancelled {
+		t.Fatalf("err = %v", err)
+	}
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Data: []byte("keep")})
+	msg, err := mb.Recv(0, 1, 1, nil)
+	if err != nil || string(msg.Data) != "keep" {
+		t.Fatalf("live recv got %q, %v", msg.Data, err)
+	}
+}
+
+func TestMatcherClose(t *testing.T) {
+	_, _, mb := newMatcherPair(t)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := mb.Recv(0, 1, 1, nil)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mb.Close()
+	if err := <-errCh; err != ErrMatcherClosed {
+		t.Fatalf("err = %v, want ErrMatcherClosed", err)
+	}
+	if _, err := mb.Recv(0, 1, 1, nil); err != ErrMatcherClosed {
+		t.Fatalf("post-close Recv err = %v", err)
+	}
+}
+
+func TestMatcherTryRecv(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	if _, ok := mb.TryRecv(0, 1, 1); ok {
+		t.Fatal("TryRecv on empty queue succeeded")
+	}
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Data: []byte("z")})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if msg, ok := mb.TryRecv(0, 1, 1); ok {
+			if string(msg.Data) != "z" {
+				t.Fatalf("got %q", msg.Data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TryRecv never saw the message")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMatcherConcurrentRecvs(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	const n = 100
+	var wg sync.WaitGroup
+	got := make([]bool, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg, err := mb.Recv(0, AnySource, 77, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			got[msg.Data[0]] = true
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		a.Send(b.Addr(), Msg{Src: 1, Tag: 77, Data: []byte{byte(i)}})
+	}
+	wg.Wait()
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("message %d never delivered", i)
+		}
+	}
+}
+
+func TestMatcherCtxIsolation(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Ctx: 10, Data: []byte("c10")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Ctx: 11, Data: []byte("c11")})
+	msg, err := mb.Recv(11, 1, 1, nil)
+	if err != nil || string(msg.Data) != "c11" {
+		t.Fatalf("ctx 11 got %q, %v", msg.Data, err)
+	}
+	msg, err = mb.Recv(10, 1, 1, nil)
+	if err != nil || string(msg.Data) != "c10" {
+		t.Fatalf("ctx 10 got %q, %v", msg.Data, err)
+	}
+}

@@ -1,0 +1,382 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNetwork is a Network over real TCP sockets on loopback, built on
+// the standard net package. It exists to exercise the runtime over a
+// genuine byte-stream transport (the paper's PMGR plane runs over
+// TCP/IP) and to validate that nothing in the runtime depends on the
+// in-process channel shortcut.
+//
+// Failure observation on TCP is the socket close itself, so
+// DetectDelay/PropDelay are not simulated here; disconnects fire as
+// soon as the OS reports them.
+type TCPNetwork struct {
+	opts Options
+}
+
+// NewTCPNetwork creates a TCP network with the given options.
+func NewTCPNetwork(opts Options) *TCPNetwork { return &TCPNetwork{opts: opts} }
+
+// Handshake bytes distinguishing the two planes multiplexed over the
+// same listener.
+const (
+	planeMsg  = 'M'
+	planeConn = 'C'
+)
+
+// NewEndpoint opens a loopback listener for the endpoint.
+func (n *TCPNetwork) NewEndpoint(die <-chan struct{}) (Endpoint, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	ep := &tcpEndpoint{
+		addr:     Addr(l.Addr().String()),
+		listener: l,
+		inbox:    make(chan Msg, n.opts.inboxCap()),
+		accept:   make(chan Conn, 64),
+		dead:     make(chan struct{}),
+		msgConns: make(map[Addr]*msgConn),
+	}
+	go ep.acceptLoop()
+	if die != nil {
+		go func() {
+			select {
+			case <-die:
+				ep.Close()
+			case <-ep.dead:
+			}
+		}()
+	}
+	return ep, nil
+}
+
+type tcpEndpoint struct {
+	addr     Addr
+	listener net.Listener
+	inbox    chan Msg
+	accept   chan Conn
+
+	mu       sync.Mutex
+	msgConns map[Addr]*msgConn
+	conns    []*tcpConn
+	deadOnce sync.Once
+	dead     chan struct{}
+	readers  sync.WaitGroup
+}
+
+type msgConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+func (ep *tcpEndpoint) Addr() Addr          { return ep.addr }
+func (ep *tcpEndpoint) Recv() <-chan Msg    { return ep.inbox }
+func (ep *tcpEndpoint) Accept() <-chan Conn { return ep.accept }
+
+func (ep *tcpEndpoint) isDead() bool {
+	select {
+	case <-ep.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+func (ep *tcpEndpoint) acceptLoop() {
+	for {
+		c, err := ep.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.readers.Add(1)
+		go ep.handleIncoming(c)
+	}
+}
+
+func (ep *tcpEndpoint) handleIncoming(c net.Conn) {
+	defer ep.readers.Done()
+	var plane [1]byte
+	if _, err := io.ReadFull(c, plane[:]); err != nil {
+		c.Close()
+		return
+	}
+	peer, err := readString(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	switch plane[0] {
+	case planeMsg:
+		ep.msgReadLoop(c)
+	case planeConn:
+		tc := newTCPConn(ep.addr, Addr(peer), c)
+		ep.mu.Lock()
+		dead := ep.isDead()
+		if !dead {
+			ep.conns = append(ep.conns, tc)
+		}
+		ep.mu.Unlock()
+		if dead {
+			c.Close()
+			return
+		}
+		select {
+		case ep.accept <- tc:
+		case <-ep.dead:
+			c.Close()
+		}
+	default:
+		c.Close()
+	}
+}
+
+func (ep *tcpEndpoint) msgReadLoop(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReader(c)
+	for {
+		m, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		select {
+		case ep.inbox <- m:
+		case <-ep.dead:
+			return
+		}
+	}
+}
+
+// Send writes m to the peer's message plane, dialing lazily. Errors
+// from dead peers cause a silent drop, matching PSM semantics.
+func (ep *tcpEndpoint) Send(to Addr, m Msg) error {
+	if ep.isDead() {
+		return ErrClosed
+	}
+	mc, err := ep.getMsgConn(to)
+	if err != nil {
+		return nil // unreachable: drop
+	}
+	mc.mu.Lock()
+	err = writeFrame(mc.w, m)
+	if err == nil {
+		err = mc.w.Flush()
+	}
+	mc.mu.Unlock()
+	if err != nil {
+		ep.dropMsgConn(to, mc)
+	}
+	return nil
+}
+
+func (ep *tcpEndpoint) getMsgConn(to Addr) (*msgConn, error) {
+	ep.mu.Lock()
+	if mc, ok := ep.msgConns[to]; ok {
+		ep.mu.Unlock()
+		return mc, nil
+	}
+	ep.mu.Unlock()
+
+	c, err := net.Dial("tcp", string(to))
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(c)
+	if err := writeHandshake(w, planeMsg, string(ep.addr)); err != nil {
+		c.Close()
+		return nil, err
+	}
+	mc := &msgConn{c: c, w: w}
+
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.isDead() {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if prev, ok := ep.msgConns[to]; ok { // lost a race; reuse winner
+		c.Close()
+		return prev, nil
+	}
+	ep.msgConns[to] = mc
+	return mc, nil
+}
+
+func (ep *tcpEndpoint) dropMsgConn(to Addr, mc *msgConn) {
+	ep.mu.Lock()
+	if ep.msgConns[to] == mc {
+		delete(ep.msgConns, to)
+	}
+	ep.mu.Unlock()
+	mc.c.Close()
+}
+
+// Connect dials a monitored connection to peer.
+func (ep *tcpEndpoint) Connect(peer Addr) (Conn, error) {
+	if ep.isDead() {
+		return nil, ErrClosed
+	}
+	c, err := net.Dial("tcp", string(peer))
+	if err != nil {
+		return nil, ErrUnreachable
+	}
+	w := bufio.NewWriter(c)
+	if err := writeHandshake(w, planeConn, string(ep.addr)); err != nil {
+		c.Close()
+		return nil, ErrUnreachable
+	}
+	tc := newTCPConn(ep.addr, peer, c)
+	ep.mu.Lock()
+	if ep.isDead() {
+		ep.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	ep.conns = append(ep.conns, tc)
+	ep.mu.Unlock()
+	return tc, nil
+}
+
+// Close shuts the endpoint down: listener and all connections close,
+// readers drain, and the inbox channel is closed.
+func (ep *tcpEndpoint) Close() error {
+	ep.deadOnce.Do(func() {
+		ep.mu.Lock()
+		close(ep.dead)
+		conns := ep.conns
+		ep.conns = nil
+		msgConns := ep.msgConns
+		ep.msgConns = map[Addr]*msgConn{}
+		ep.mu.Unlock()
+
+		ep.listener.Close()
+		for _, mc := range msgConns {
+			mc.c.Close()
+		}
+		for _, tc := range conns {
+			tc.Close()
+		}
+		go func() {
+			ep.readers.Wait()
+			close(ep.inbox)
+		}()
+	})
+	return nil
+}
+
+// tcpConn is a monitored connection over a TCP socket. A reader
+// goroutine watches for EOF/reset and fires Closed.
+type tcpConn struct {
+	local, remote Addr
+	c             net.Conn
+	once          sync.Once
+	closed        chan struct{}
+}
+
+func newTCPConn(local, remote Addr, c net.Conn) *tcpConn {
+	tc := &tcpConn{local: local, remote: remote, c: c, closed: make(chan struct{})}
+	go func() {
+		var buf [1]byte
+		for {
+			if _, err := c.Read(buf[:]); err != nil {
+				tc.fire()
+				return
+			}
+		}
+	}()
+	return tc
+}
+
+func (c *tcpConn) Local() Addr             { return c.local }
+func (c *tcpConn) Remote() Addr            { return c.remote }
+func (c *tcpConn) Closed() <-chan struct{} { return c.closed }
+
+func (c *tcpConn) Close() error {
+	c.fire()
+	return c.c.Close()
+}
+
+func (c *tcpConn) fire() {
+	c.once.Do(func() { close(c.closed) })
+}
+
+// Frame format: u32 dataLen | u8 kind | i32 src | i32 tag | u32 ctx |
+// u32 epoch | data. All little-endian.
+const frameHeaderSize = 4 + 1 + 4 + 4 + 4 + 4
+
+func writeFrame(w *bufio.Writer, m Msg) error {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Data)))
+	hdr[4] = m.Kind
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(m.Src))
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(m.Tag))
+	binary.LittleEndian.PutUint32(hdr[13:], m.Ctx)
+	binary.LittleEndian.PutUint32(hdr[17:], m.Epoch)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Data)
+	return err
+}
+
+func readFrame(r *bufio.Reader) (Msg, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Msg{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	m := Msg{
+		Kind:  hdr[4],
+		Src:   int32(binary.LittleEndian.Uint32(hdr[5:])),
+		Tag:   int32(binary.LittleEndian.Uint32(hdr[9:])),
+		Ctx:   binary.LittleEndian.Uint32(hdr[13:]),
+		Epoch: binary.LittleEndian.Uint32(hdr[17:]),
+	}
+	if n > 0 {
+		m.Data = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Data); err != nil {
+			return Msg{}, err
+		}
+	}
+	return m, nil
+}
+
+func writeHandshake(w *bufio.Writer, plane byte, self string) error {
+	if err := w.WriteByte(plane); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(self)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(self); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readString(r io.Reader) (string, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > 1<<16 {
+		return "", fmt.Errorf("transport: handshake string too long (%d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

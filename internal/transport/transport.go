@@ -1,0 +1,128 @@
+// Package transport provides the low-level communication substrate for
+// the FMI runtime: ordered, framed message delivery between process
+// endpoints plus explicitly monitored connections that surface
+// *disconnect events* when a peer dies or closes.
+//
+// Two implementations are provided:
+//
+//   - ChanNetwork: an in-process network built on Go channels. This is
+//     the default and stands in for the low-latency InfiniBand verbs /
+//     PSM path of the paper. Its Options model the only ibverbs
+//     property FMI relies on: a peer's death is observed on monitored
+//     connections after DetectDelay (~0.2 s on real ibverbs), and an
+//     explicit close is observed after PropDelay.
+//
+//   - TCPNetwork: a real TCP/IP network over loopback using the net
+//     package, analogous to the PMGR TCP plane of the paper.
+//
+// Semantics shared by both, chosen to match the paper's observations
+// about PSM (§IV-C): sending to a dead peer does NOT return an error —
+// the message is silently dropped. Failures are only observable through
+// disconnect events on monitored connections (the log-ring overlay) or
+// through the process manager. Message order is preserved per
+// (sender, receiver) pair.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Addr identifies an endpoint. For ChanNetwork it is a synthetic id;
+// for TCPNetwork it is the listener's host:port.
+type Addr string
+
+// NilAddr is the zero address.
+const NilAddr Addr = ""
+
+// Message kinds, carried for accounting/debugging; matching is done on
+// (ctx, src, tag) by the upper layer.
+const (
+	KindUser byte = iota
+	KindColl
+	KindCkpt
+	KindCtl
+)
+
+// Msg is one framed message. Epoch is the sender's recovery epoch; the
+// receiver discards messages from older epochs (paper §IV-D's stale
+// message elimination).
+type Msg struct {
+	Src   int32  // sender's world rank
+	Tag   int32  // message tag (negative tags reserved for runtime)
+	Ctx   uint32 // communicator context id
+	Epoch uint32 // sender's epoch
+	Kind  byte
+	Data  []byte
+}
+
+// Errors returned by transports.
+var (
+	ErrClosed      = errors.New("transport: endpoint closed")
+	ErrUnreachable = errors.New("transport: peer unreachable")
+)
+
+// Options configure failure-observation timing.
+type Options struct {
+	// DetectDelay is how long after a process dies its peers observe
+	// a disconnect event on monitored connections (ibverbs observed
+	// ~0.2 s in the paper; tests use ~1 ms).
+	DetectDelay time.Duration
+	// PropDelay is how long after an explicit Conn.Close the remote
+	// side observes the disconnect (the log-ring propagation hop cost).
+	PropDelay time.Duration
+	// InboxCap is the buffered capacity of an endpoint inbox
+	// (0 means a default of 4096).
+	InboxCap int
+}
+
+func (o Options) inboxCap() int {
+	if o.InboxCap <= 0 {
+		return 4096
+	}
+	return o.InboxCap
+}
+
+// Conn is a monitored connection between two endpoints. The log-ring
+// overlay uses Conns purely for their disconnect events: Closed fires
+// when the peer dies (after DetectDelay) or closes (after PropDelay).
+type Conn interface {
+	// Local and Remote return the two endpoint addresses.
+	Local() Addr
+	Remote() Addr
+	// Closed is closed once the connection is down from this side's
+	// point of view.
+	Closed() <-chan struct{}
+	// Close tears the connection down; the remote side observes it
+	// after PropDelay. Idempotent.
+	Close() error
+}
+
+// Endpoint is a process's attachment to the network.
+type Endpoint interface {
+	// Addr returns the endpoint's address.
+	Addr() Addr
+	// Send delivers m to the endpoint at 'to'. It preserves order per
+	// destination, blocks only when the destination inbox is full, and
+	// silently drops the message if the peer is dead or unknown
+	// (matching PSM semantics). It returns ErrClosed only if this
+	// endpoint itself is closed.
+	Send(to Addr, m Msg) error
+	// Recv returns the merged inbound message stream. The channel is
+	// closed when the endpoint closes.
+	Recv() <-chan Msg
+	// Connect establishes a monitored connection to peer; it fails
+	// with ErrUnreachable if the peer is dead.
+	Connect(peer Addr) (Conn, error)
+	// Accept yields incoming monitored connections.
+	Accept() <-chan Conn
+	// Close shuts the endpoint down gracefully.
+	Close() error
+}
+
+// Network creates endpoints. die, if non-nil, kills the endpoint
+// abruptly when closed (the process kill channel): peers observe
+// disconnects after DetectDelay and in-flight messages may be lost.
+type Network interface {
+	NewEndpoint(die <-chan struct{}) (Endpoint, error)
+}

@@ -1,0 +1,405 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// networks under test; each constructor returns a fresh network.
+func testNetworks(opts Options) map[string]Network {
+	return map[string]Network{
+		"chan": NewChanNetwork(opts),
+		"tcp":  NewTCPNetwork(opts),
+	}
+}
+
+func recvOne(t *testing.T, ep Endpoint, timeout time.Duration) Msg {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return m
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for message")
+	}
+	panic("unreachable")
+}
+
+func TestSendRecvBothNetworks(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			a, err := nw.NewEndpoint(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			b, err := nw.NewEndpoint(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+
+			want := Msg{Src: 3, Tag: 7, Ctx: 2, Epoch: 1, Kind: KindUser, Data: []byte("hello fmi")}
+			if err := a.Send(b.Addr(), want); err != nil {
+				t.Fatal(err)
+			}
+			got := recvOne(t, b, 2*time.Second)
+			if got.Src != want.Src || got.Tag != want.Tag || got.Ctx != want.Ctx ||
+				got.Epoch != want.Epoch || got.Kind != want.Kind || !bytes.Equal(got.Data, want.Data) {
+				t.Fatalf("got %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestOrderPreservedPerPair(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(nil)
+			defer b.Close()
+			const n = 500
+			for i := 0; i < n; i++ {
+				if err := a.Send(b.Addr(), Msg{Tag: int32(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				m := recvOne(t, b, 2*time.Second)
+				if m.Tag != int32(i) {
+					t.Fatalf("message %d arrived with tag %d (reordered)", i, m.Tag)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(nil)
+			defer b.Close()
+			if err := a.Send(b.Addr(), Msg{Tag: 42}); err != nil {
+				t.Fatal(err)
+			}
+			m := recvOne(t, b, 2*time.Second)
+			if len(m.Data) != 0 || m.Tag != 42 {
+				t.Fatalf("got %+v", m)
+			}
+		})
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(nil)
+			defer b.Close()
+			data := make([]byte, 8<<20)
+			for i := range data {
+				data[i] = byte(i * 31)
+			}
+			if err := a.Send(b.Addr(), Msg{Data: data}); err != nil {
+				t.Fatal(err)
+			}
+			m := recvOne(t, b, 10*time.Second)
+			if !bytes.Equal(m.Data, data) {
+				t.Fatal("8MB payload corrupted")
+			}
+		})
+	}
+}
+
+func TestSendToDeadPeerDropsSilently(t *testing.T) {
+	for name, nw := range testNetworks(Options{DetectDelay: time.Millisecond}) {
+		t.Run(name, func(t *testing.T) {
+			die := make(chan struct{})
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(die)
+			close(die) // b dies abruptly
+			time.Sleep(20 * time.Millisecond)
+			// PSM semantics: no error reported to the sender.
+			if err := a.Send(b.Addr(), Msg{Data: []byte("lost")}); err != nil {
+				t.Fatalf("Send to dead peer errored: %v", err)
+			}
+		})
+	}
+}
+
+func TestSendFromClosedEndpointErrors(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := nw.NewEndpoint(nil)
+			b, _ := nw.NewEndpoint(nil)
+			defer b.Close()
+			a.Close()
+			if err := a.Send(b.Addr(), Msg{}); err != ErrClosed {
+				t.Fatalf("err = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestConnectAndAccept(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(nil)
+			defer b.Close()
+			conn, err := a.Connect(b.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var inc Conn
+			select {
+			case inc = <-b.Accept():
+			case <-time.After(2 * time.Second):
+				t.Fatal("no incoming connection")
+			}
+			if conn.Remote() != b.Addr() {
+				t.Fatalf("conn.Remote = %v, want %v", conn.Remote(), b.Addr())
+			}
+			if inc.Remote() != a.Addr() {
+				t.Fatalf("incoming Remote = %v, want %v", inc.Remote(), a.Addr())
+			}
+		})
+	}
+}
+
+func TestConnectToDeadPeerFails(t *testing.T) {
+	for name, nw := range testNetworks(Options{DetectDelay: time.Millisecond}) {
+		t.Run(name, func(t *testing.T) {
+			die := make(chan struct{})
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(die)
+			close(die)
+			time.Sleep(20 * time.Millisecond)
+			if _, err := a.Connect(b.Addr()); err == nil {
+				t.Fatal("Connect to dead peer succeeded")
+			}
+		})
+	}
+}
+
+func TestDisconnectEventOnDeath(t *testing.T) {
+	for name, nw := range testNetworks(Options{DetectDelay: 5 * time.Millisecond}) {
+		t.Run(name, func(t *testing.T) {
+			die := make(chan struct{})
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(die)
+			conn, err := a.Connect(b.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-b.Accept()
+			start := time.Now()
+			close(die)
+			select {
+			case <-conn.Closed():
+			case <-time.After(2 * time.Second):
+				t.Fatal("no disconnect event after peer death")
+			}
+			if name == "chan" {
+				if d := time.Since(start); d < 4*time.Millisecond {
+					t.Fatalf("disconnect observed after %v, want >= DetectDelay", d)
+				}
+			}
+		})
+	}
+}
+
+func TestDisconnectEventOnExplicitClose(t *testing.T) {
+	for name, nw := range testNetworks(Options{PropDelay: 2 * time.Millisecond}) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := nw.NewEndpoint(nil)
+			defer a.Close()
+			b, _ := nw.NewEndpoint(nil)
+			defer b.Close()
+			conn, err := a.Connect(b.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc := <-b.Accept()
+			conn.Close()
+			select {
+			case <-inc.Closed():
+			case <-time.After(2 * time.Second):
+				t.Fatal("remote side never observed close")
+			}
+			select {
+			case <-conn.Closed():
+			default:
+				t.Fatal("local side not closed")
+			}
+		})
+	}
+}
+
+func TestConcurrentSendersManyToOne(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			dst, _ := nw.NewEndpoint(nil)
+			defer dst.Close()
+			const senders, per = 8, 100
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				ep, _ := nw.NewEndpoint(nil)
+				defer ep.Close()
+				wg.Add(1)
+				go func(s int, ep Endpoint) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						ep.Send(dst.Addr(), Msg{Src: int32(s), Tag: int32(i)})
+					}
+				}(s, ep)
+			}
+			got := make(map[int32]int32) // src -> next expected tag
+			for n := 0; n < senders*per; n++ {
+				m := recvOne(t, dst, 5*time.Second)
+				if m.Tag != got[m.Src] {
+					t.Fatalf("src %d: got tag %d, want %d (per-pair order broken)", m.Src, m.Tag, got[m.Src])
+				}
+				got[m.Src]++
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestSendToUnknownAddrDrops(t *testing.T) {
+	nw := NewChanNetwork(Options{})
+	a, _ := nw.NewEndpoint(nil)
+	defer a.Close()
+	if err := a.Send(Addr("chan-9999"), Msg{}); err != nil {
+		t.Fatalf("send to unknown addr errored: %v", err)
+	}
+}
+
+func TestInboxBackpressureWakesOnPeerDeath(t *testing.T) {
+	nw := NewChanNetwork(Options{InboxCap: 1})
+	die := make(chan struct{})
+	a, _ := nw.NewEndpoint(nil)
+	defer a.Close()
+	b, _ := nw.NewEndpoint(die)
+	// Fill the inbox.
+	if err := a.Send(b.Addr(), Msg{Tag: 0}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Send(b.Addr(), Msg{Tag: 1}) }()
+	time.Sleep(10 * time.Millisecond)
+	close(die)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked send returned %v after peer death, want nil drop", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked send never woke after peer death")
+	}
+}
+
+func TestEndpointAddrsUnique(t *testing.T) {
+	for name, nw := range testNetworks(Options{}) {
+		t.Run(name, func(t *testing.T) {
+			seen := map[Addr]bool{}
+			for i := 0; i < 20; i++ {
+				ep, err := nw.NewEndpoint(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ep.Close()
+				if seen[ep.Addr()] {
+					t.Fatalf("duplicate addr %v", ep.Addr())
+				}
+				seen[ep.Addr()] = true
+			}
+		})
+	}
+}
+
+func TestFrameCodecRoundtrip(t *testing.T) {
+	cases := []Msg{
+		{},
+		{Src: -1, Tag: -5, Ctx: 0, Epoch: 0, Kind: KindCtl},
+		{Src: 1 << 20, Tag: 1 << 30, Ctx: 77, Epoch: 3, Kind: KindCkpt, Data: []byte{0}},
+		{Data: bytes.Repeat([]byte{0xAB}, 65537)},
+	}
+	for i, m := range cases {
+		var buf bytes.Buffer
+		w := newTestWriter(&buf)
+		if err := writeFrame(w, m); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		got, err := readFrame(newTestReader(&buf))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Src != m.Src || got.Tag != m.Tag || got.Ctx != m.Ctx || got.Epoch != m.Epoch || got.Kind != m.Kind {
+			t.Fatalf("case %d: header mismatch: %+v vs %+v", i, got, m)
+		}
+		if !bytes.Equal(got.Data, m.Data) {
+			t.Fatalf("case %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestTCPEndpointCloseClosesRecv(t *testing.T) {
+	nw := NewTCPNetwork(Options{})
+	a, _ := nw.NewEndpoint(nil)
+	a.Close()
+	select {
+	case _, ok := <-a.Recv():
+		if ok {
+			t.Fatal("unexpected message")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv not closed after endpoint Close")
+	}
+}
+
+func BenchmarkChanSendRecv(b *testing.B) {
+	nw := NewChanNetwork(Options{})
+	a, _ := nw.NewEndpoint(nil)
+	defer a.Close()
+	dst, _ := nw.NewEndpoint(nil)
+	defer dst.Close()
+	payload := make([]byte, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(dst.Addr(), Msg{Data: payload})
+		<-dst.Recv()
+	}
+}
+
+func BenchmarkTCPSendRecv(b *testing.B) {
+	nw := NewTCPNetwork(Options{})
+	a, _ := nw.NewEndpoint(nil)
+	defer a.Close()
+	dst, _ := nw.NewEndpoint(nil)
+	defer dst.Close()
+	payload := make([]byte, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(dst.Addr(), Msg{Data: payload})
+		<-dst.Recv()
+	}
+}
+
+// ensure fmt is used even if assertions change
+var _ = fmt.Sprintf

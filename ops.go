@@ -1,0 +1,165 @@
+package fmi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file provides typed reduction operators and byte-slice
+// conversions. FMI's wire payloads are raw bytes (matching the C API's
+// void* buffers); these helpers give applications ergonomic numeric
+// views over them.
+
+// SumFloat64 returns an Op adding float64 arrays element-wise.
+func SumFloat64() Op {
+	return func(acc, src []byte) {
+		for i := 0; i+8 <= len(acc); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(a+b))
+		}
+	}
+}
+
+// MaxFloat64 returns an Op taking the element-wise maximum.
+func MaxFloat64() Op {
+	return func(acc, src []byte) {
+		for i := 0; i+8 <= len(acc); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			if b > a {
+				binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(b))
+			}
+		}
+	}
+}
+
+// MinFloat64 returns an Op taking the element-wise minimum.
+func MinFloat64() Op {
+	return func(acc, src []byte) {
+		for i := 0; i+8 <= len(acc); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			if b < a {
+				binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(b))
+			}
+		}
+	}
+}
+
+// SumFloat32 returns an Op adding float32 arrays element-wise (the
+// Himeno benchmark reduces a float32 residual).
+func SumFloat32() Op {
+	return func(acc, src []byte) {
+		for i := 0; i+4 <= len(acc); i += 4 {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(acc[i:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(acc[i:], math.Float32bits(a+b))
+		}
+	}
+}
+
+// SumInt64 returns an Op adding int64 arrays element-wise.
+func SumInt64() Op {
+	return func(acc, src []byte) {
+		for i := 0; i+8 <= len(acc); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(acc[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(acc[i:], uint64(a+b))
+		}
+	}
+}
+
+// MaxInt64 returns an Op taking the element-wise maximum of int64s.
+func MaxInt64() Op {
+	return func(acc, src []byte) {
+		for i := 0; i+8 <= len(acc); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(acc[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			if b > a {
+				binary.LittleEndian.PutUint64(acc[i:], uint64(b))
+			}
+		}
+	}
+}
+
+// Float64Bytes encodes a float64 slice as little-endian bytes.
+func Float64Bytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// BytesFloat64 decodes little-endian bytes into float64s.
+func BytesFloat64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Float32Bytes encodes a float32 slice as little-endian bytes.
+func Float32Bytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+// BytesFloat32 decodes little-endian bytes into float32s.
+func BytesFloat32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// Int64Bytes encodes an int64 slice as little-endian bytes.
+func Int64Bytes(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// BytesInt64 decodes little-endian bytes into int64s.
+func BytesInt64(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// AllreduceFloat64 reduces float64 values across a communicator.
+func AllreduceFloat64(c *Comm, op Op, vals ...float64) ([]float64, error) {
+	out, err := c.Allreduce(Float64Bytes(vals), op)
+	if err != nil {
+		return nil, err
+	}
+	return BytesFloat64(out), nil
+}
+
+// AllreduceFloat32 reduces float32 values across a communicator.
+func AllreduceFloat32(c *Comm, op Op, vals ...float32) ([]float32, error) {
+	out, err := c.Allreduce(Float32Bytes(vals), op)
+	if err != nil {
+		return nil, err
+	}
+	return BytesFloat32(out), nil
+}
+
+// AllreduceInt64 reduces int64 values across a communicator.
+func AllreduceInt64(c *Comm, op Op, vals ...int64) ([]int64, error) {
+	out, err := c.Allreduce(Int64Bytes(vals), op)
+	if err != nil {
+		return nil, err
+	}
+	return BytesInt64(out), nil
+}
