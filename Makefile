@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: tier1 build test race vet bench-erasure all
+
+all: tier1 vet
+
+# The acceptance gate: everything builds and every test passes.
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages with real concurrency.
+race:
+	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ .
+
+vet:
+	$(GO) vet ./...
+
+bench-erasure:
+	$(GO) test -bench Erasure -benchtime 1x ./internal/erasure/ ./internal/ckpt/

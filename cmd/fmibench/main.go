@@ -10,7 +10,7 @@
 //	fmibench [flags] <experiment>
 //
 // Experiments: table3, fig10, fig11, fig12, fig13, fig14, fig15,
-// fig15-sweep, ablate-k, ablate-group, all.
+// fig15-sweep, ablate-k, ablate-group, erasure, all.
 package main
 
 import (
@@ -36,7 +36,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|all>")
+		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -135,6 +135,21 @@ func main() {
 		case "ablate-group":
 			rows := experiments.AblateGroup(1024, groupSweep)
 			experiments.PrintAblateGroup(os.Stdout, 1024, rows)
+		case "erasure":
+			// Redundancy sweep (§VIII extension): ring-XOR m=1 against
+			// RS(k,m) for m in {2,3} over one group, then the raw
+			// GF(2^8) kernel scalar-vs-parallel comparison.
+			g, shard, dur := 8, 4<<20, 300*time.Millisecond
+			if *quick {
+				g, shard, dur = 4, 1<<20, 50*time.Millisecond
+			}
+			rows, err := experiments.ErasureSweep([]int{1, 2, 3}, g, ckptBytes)
+			fatalIf(err)
+			experiments.PrintErasure(os.Stdout, rows)
+			fmt.Println()
+			kern, err := experiments.ErasureKernelBench(shard, [][2]int{{15, 1}, {14, 2}, {13, 3}}, dur)
+			fatalIf(err)
+			experiments.PrintErasureKernels(os.Stdout, shard, kern)
 		default:
 			fmt.Fprintf(os.Stderr, "fmibench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -143,7 +158,7 @@ func main() {
 	}
 
 	if which == "all" {
-		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group"} {
+		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure"} {
 			run(name)
 		}
 		return

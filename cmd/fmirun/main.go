@@ -34,6 +34,8 @@ func main() {
 		grid     = flag.Int("grid", 128, "himeno grid NX (NY=NZ=64)")
 		detect   = flag.Duration("detect", 20*time.Millisecond, "failure detection delay")
 		l2every  = flag.Int("l2", 0, "flush every k-th checkpoint to the PFS (multilevel C/R; 0 = off)")
+		redund   = flag.Int("redundancy", 1, "parity shards per group member (1 = ring-XOR, >= 2 = RS(k,m))")
+		blast    = flag.Int("blast", 1, "nodes taken by each injected failure (correlated kill width)")
 		doTrace  = flag.Bool("trace", false, "print the recovery timeline after the run")
 		verbose  = flag.Bool("v", true, "print per-iteration progress from rank 0")
 	)
@@ -42,12 +44,12 @@ func main() {
 	cfg := fmi.Config{
 		Ranks: *ranks, ProcsPerNode: *ppn, SpareNodes: *spares,
 		CheckpointInterval: *interval, MTBF: *mtbf, XORGroupSize: 4,
-		Level2Every: *l2every,
+		Level2Every: *l2every, Redundancy: *redund,
 		DetectDelay: *detect, PropDelay: *detect / 4,
 		Timeout: 10 * time.Minute,
 	}
 	if *failures > 0 {
-		cfg.Faults = &fmi.FaultPlan{MTBF: *mtbf, MaxFailures: *failures, Seed: *seed}
+		cfg.Faults = &fmi.FaultPlan{MTBF: *mtbf, MaxFailures: *failures, Seed: *seed, Blast: *blast}
 	}
 	if *doTrace {
 		cfg.TraceTo = os.Stderr

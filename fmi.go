@@ -95,6 +95,13 @@ type Fault struct {
 	Rank      int           // target the node hosting this rank (when Node < 0)
 	Node      int           // explicit node id target; -1 targets via Rank
 	ProcOnly  bool          // kill a single process; its siblings follow (§IV-B)
+	// CorrelatedNodes / CorrelatedRanks extend the kill to further
+	// nodes in the same event — a correlated failure (shared PSU, rack
+	// switch) that can take several members of one checkpoint group
+	// down at once. Surviving such an event requires Redundancy >= the
+	// number of group members lost.
+	CorrelatedNodes []int
+	CorrelatedRanks []int
 }
 
 // FaultPlan configures failure injection for a run.
@@ -107,6 +114,9 @@ type FaultPlan struct {
 	MaxFailures int
 	// Script lists deterministic faults.
 	Script []Fault
+	// Blast widens every Poisson failure to this many adjacent nodes
+	// killed in one correlated event (0 or 1 = single-node kills).
+	Blast int
 	// Seed makes Poisson injection reproducible.
 	Seed int64
 }
@@ -131,6 +141,13 @@ type Config struct {
 	MTBF time.Duration
 	// XORGroupSize is the encoding group size (paper default 16).
 	XORGroupSize int
+	// Redundancy selects how many parity shards each group member
+	// stores (m). 0 or 1 keeps the paper's ring-XOR encoding, which
+	// tolerates one lost member per group; m >= 2 switches the group
+	// to systematic Reed-Solomon RS(k,m) over GF(2^8), tolerating m
+	// simultaneous member losses at a storage overhead of m/(G-m) per
+	// checkpoint (G = group size).
+	Redundancy int
 	// Level2Every enables multilevel C/R (paper §VIII future work):
 	// every Level2Every-th checkpoint is additionally flushed to a
 	// simulated parallel file system, and recovery falls back to it
@@ -256,6 +273,7 @@ func Run(cfg Config, app App) (*Report, error) {
 		MTBF:           cfg.MTBF,
 		GroupSize:      cfg.XORGroupSize,
 		RingBase:       cfg.LogRingBase,
+		Redundancy:     cfg.Redundancy,
 		L2Every:        cfg.Level2Every,
 		Network:        nw,
 		Cluster:        clu,
@@ -283,7 +301,10 @@ func Run(cfg Config, app App) (*Report, error) {
 			cfg.Faults.Seed)
 		var script []cluster.Fault
 		for _, f := range cfg.Faults.Script {
-			cf := cluster.Fault{After: f.After, AfterLoop: f.AfterLoop, Rank: f.Rank, Node: f.Node, ProcOnly: f.ProcOnly}
+			cf := cluster.Fault{
+				After: f.After, AfterLoop: f.AfterLoop, Rank: f.Rank, Node: f.Node, ProcOnly: f.ProcOnly,
+				CorrelatedNodes: f.CorrelatedNodes, CorrelatedRanks: f.CorrelatedRanks,
+			}
 			if f.After > 0 {
 				cf.AfterLoop = -1
 			}
@@ -292,6 +313,7 @@ func Run(cfg Config, app App) (*Report, error) {
 		inj.SetScript(script)
 		if cfg.Faults.MTBF > 0 {
 			inj.SetPoisson(cfg.Faults.MTBF, cfg.Faults.MaxFailures)
+			inj.SetBlast(cfg.Faults.Blast)
 		}
 		rcfg.OnLoop = inj.OnLoop
 	}

@@ -97,6 +97,41 @@ func TestRunWithScriptedFault(t *testing.T) {
 	})
 }
 
+func TestRunRedundancy2CorrelatedFault(t *testing.T) {
+	// Public-API plumbing for the RS extension: Redundancy 2 plus a
+	// correlated fault taking two group-mate nodes in one event still
+	// yields the exact answer, recovering both ranks from memory.
+	var results sync.Map
+	cfg := fastCfg(4, 1, 4, 2)
+	cfg.Redundancy = 2
+	cfg.Faults = &FaultPlan{Script: []Fault{
+		{AfterLoop: 5, Node: 0, CorrelatedNodes: []int{1}},
+	}}
+	cfg.Timeout = 120 * time.Second
+	rep, err := Run(cfg, iterApp(12, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.FailuresInjected != 1 {
+		t.Fatalf("failures injected = %d, want 1 (correlated kill is one event)", rep.FailuresInjected)
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("no recoveries recorded")
+	}
+	want := expectedIterSum(4, 12)
+	count := 0
+	results.Range(func(k, v any) bool {
+		count++
+		if v.(int64) != want {
+			t.Errorf("rank %v: %d, want %d", k, v, want)
+		}
+		return true
+	})
+	if count != 4 {
+		t.Fatalf("results = %d, want 4", count)
+	}
+}
+
 func TestRunThroughPoissonFailures(t *testing.T) {
 	// The headline capability: run through random failures with a
 	// short MTBF and still produce the exact answer.

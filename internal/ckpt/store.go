@@ -60,11 +60,13 @@ func FromData(loopID int, data []byte, sizes []int) *Snapshot {
 }
 
 // Entry is a complete protected checkpoint: the local snapshot plus
-// this rank's stored parity chain and the group metadata needed to
-// reconstruct any single lost member.
+// this rank's stored parity shards and the group metadata needed to
+// reconstruct the lost members the scheme tolerates.
 type Entry struct {
 	Snap       *Snapshot
-	Parity     []byte // chain stored at this rank (chain id == group-local rank)
+	Parity     []byte // parity stored at this rank (Shards slices of ChunkLen each)
+	Scheme     Scheme // redundancy encoding that produced Parity
+	Shards     int    // parity shards held here (1 XOR chain, or m RS shards)
 	ChunkLen   int
 	GroupSizes []int // checkpoint sizes of every group member, by group-local rank
 	GroupLoop  int   // loop id the group agreed on
@@ -132,7 +134,10 @@ func (st *Store) Reset() {
 // (including itself) and its index within that list, as
 // groups[rank] = members, index[rank] = i with members[i] == rank.
 // Node windows shorter than groupSize (the tail) form smaller groups;
-// a singleton group provides no redundancy and is reported as is.
+// a singleton group provides no redundancy (every Coder reports
+// Tolerance 0 for it) and is reported as is — a rank lost from one is
+// beyond level 1, so the runtime falls back to the level-2 (PFS)
+// checkpoint or aborts.
 func Groups(worldSize, procsPerNode, groupSize int) (groups [][]int, index []int) {
 	if procsPerNode < 1 {
 		procsPerNode = 1

@@ -152,6 +152,63 @@ func TestGroupsTailWindow(t *testing.T) {
 	}
 }
 
+func TestGroupsSingletonTail(t *testing.T) {
+	// 9 nodes, group size 4: windows [0,4), [4,8), [8,9) — the last
+	// node's ranks land in singleton groups, which no coder can protect
+	// (Tolerance 0, so the runtime falls back to level 2 for them).
+	groups, index := Groups(18, 2, 4)
+	for _, r := range []int{16, 17} {
+		if len(groups[r]) != 1 || groups[r][0] != r || index[r] != 0 {
+			t.Fatalf("rank %d: group = %v, index = %d, want singleton", r, groups[r], index[r])
+		}
+		for _, m := range []int{1, 2} {
+			if NewCoder(m, 0).Tolerance(len(groups[r])) != 0 {
+				t.Fatalf("singleton group reported redundancy under m=%d", m)
+			}
+		}
+	}
+	if len(groups[0]) != 4 || len(groups[8]) != 4 {
+		t.Fatalf("full windows wrong: %v, %v", groups[0], groups[8])
+	}
+}
+
+func TestGroupsWorldNotDivisibleByProcsPerNode(t *testing.T) {
+	// 7 ranks at 3 per node: nodes 0,1 are full, node 2 hosts only
+	// rank 6. Slot-wise groups must skip the missing ranks, keep one
+	// rank per node, and still cover everyone.
+	world, ppn, gs := 7, 3, 2
+	groups, index := Groups(world, ppn, gs)
+	for r := 0; r < world; r++ {
+		members := groups[r]
+		if members == nil || members[index[r]] != r {
+			t.Fatalf("rank %d unassigned or index broken (%v, %d)", r, members, index[r])
+		}
+		nodes := map[int]bool{}
+		for _, m := range members {
+			if m < 0 || m >= world {
+				t.Fatalf("rank %d group contains ghost rank %d", r, m)
+			}
+			node := m / ppn
+			if nodes[node] {
+				t.Fatalf("rank %d group has two ranks on node %d: %v", r, node, members)
+			}
+			nodes[node] = true
+		}
+	}
+	// Slots 1 and 2 of the window {node 2, ...} have no partner rank on
+	// node 2, so ranks 4 and 5 of node 1... — concretely: rank 6 pairs
+	// with rank 3 (slot 0 of nodes 2's window starts at node 2). With
+	// gs=2 windows are [0,2) and [2,3): rank 6 is slot 0 of node 2 and
+	// forms a singleton group.
+	if len(groups[6]) != 1 {
+		t.Fatalf("rank 6 group = %v, want singleton (tail window)", groups[6])
+	}
+	// Ranks 4 and 5 (slots 1,2 of node 1) pair with slots 1,2 of node 0.
+	if len(groups[4]) != 2 || len(groups[5]) != 2 {
+		t.Fatalf("slot groups wrong: %v, %v", groups[4], groups[5])
+	}
+}
+
 func TestGroupsCoverAllRanks(t *testing.T) {
 	for _, tc := range []struct{ world, ppn, gs int }{
 		{48, 12, 16}, {10, 2, 4}, {7, 1, 2}, {1, 1, 2}, {100, 4, 8},

@@ -117,7 +117,10 @@ func TestCoveringChainBijection(t *testing.T) {
 
 func TestChunkLen(t *testing.T) {
 	cases := []struct{ size, g, want int }{
-		{100, 2, 100}, {100, 5, 25}, {101, 5, 26}, {0, 4, 0}, {7, 8, 1},
+		{100, 2, 100}, {100, 5, 25}, {101, 5, 26}, {7, 8, 1},
+		// Empty checkpoints still get 1-byte chunks so the ring never
+		// exchanges empty frames (regression: ChunkLen(0,g) was 0).
+		{0, 4, 1}, {0, 2, 1}, {-3, 5, 1},
 	}
 	for _, c := range cases {
 		if got := ChunkLen(c.size, c.g); got != c.want {
@@ -302,6 +305,45 @@ func BenchmarkXorInto64MB(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		XorInto(dst, src)
+	}
+}
+
+// BenchmarkXorInto reports the 8-byte word stride against the old byte
+// loop on the same buffers.
+func BenchmarkXorInto(b *testing.B) {
+	dst := make([]byte, 8<<20)
+	src := make([]byte, 8<<20)
+	b.Run("words", func(b *testing.B) {
+		b.SetBytes(8 << 20)
+		for i := 0; i < b.N; i++ {
+			XorInto(dst, src)
+		}
+	})
+	b.Run("bytes", func(b *testing.B) {
+		b.SetBytes(8 << 20)
+		for i := 0; i < b.N; i++ {
+			xorIntoBytes(dst, src)
+		}
+	})
+}
+
+// The stride rewrite must stay exactly equivalent to the byte loop,
+// including ragged lengths and mismatched dst/src sizes.
+func TestXorIntoMatchesByteLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 255, 1024} {
+		for _, srcN := range []int{n, n / 2, n + 3} {
+			a := make([]byte, n)
+			s := make([]byte, srcN)
+			rng.Read(a)
+			rng.Read(s)
+			want := append([]byte(nil), a...)
+			xorIntoBytes(want, s)
+			XorInto(a, s)
+			if !bytes.Equal(a, want) {
+				t.Fatalf("n=%d srcN=%d: stride XOR differs from byte loop", n, srcN)
+			}
+		}
 	}
 }
 

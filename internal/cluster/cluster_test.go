@@ -238,6 +238,57 @@ func TestInjectorProcOnly(t *testing.T) {
 	}
 }
 
+func TestInjectorCorrelatedKill(t *testing.T) {
+	// One event, several victims: nodes 0 and 1 drop together (plus a
+	// rank-resolved extra), counted as a single fired fault.
+	c := New(5)
+	locate := func(rank int) *Node { return c.Node(rank + 3) }
+	in := NewInjector(c, locate, nil, 1)
+	in.SetScript([]Fault{{AfterLoop: 2, Node: 0, CorrelatedNodes: []int{1, 0}, CorrelatedRanks: []int{1}}})
+	in.Start()
+	defer in.Stop()
+	in.OnLoop(0, 2)
+	for _, id := range []int{0, 1, 4} {
+		if !c.Node(id).Failed() {
+			t.Fatalf("node %d survived the correlated fault", id)
+		}
+	}
+	for _, id := range []int{2, 3} {
+		if c.Node(id).Failed() {
+			t.Fatalf("node %d wrongly killed", id)
+		}
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1 (correlated kill is one event)", in.Fired())
+	}
+}
+
+func TestInjectorPoissonBlast(t *testing.T) {
+	// Blast width 2: every Poisson event takes two adjacent node ids.
+	c := New(8)
+	in := NewInjector(c, nil, nil, 5)
+	in.SetPoisson(50*time.Microsecond, 1)
+	in.SetBlast(2)
+	in.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Fired() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("fault never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	in.Stop()
+	var failed []int
+	for _, nd := range c.Nodes() {
+		if nd.Failed() {
+			failed = append(failed, nd.ID)
+		}
+	}
+	if len(failed) != 2 || failed[1] != failed[0]+1 {
+		t.Fatalf("failed nodes = %v, want two adjacent ids", failed)
+	}
+}
+
 func TestInjectorPoissonRespectsMaxKill(t *testing.T) {
 	c := New(8)
 	in := NewInjector(c, nil, nil, 42)

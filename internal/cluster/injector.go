@@ -10,13 +10,18 @@ import (
 // Fault describes one injected failure. Exactly one trigger is used:
 // After (wall-clock since Start) or AfterLoop (the fault fires when any
 // rank first reports reaching that loop id via OnLoop). The target is a
-// node id, or the node hosting Rank if Node < 0.
+// node id, or the node hosting Rank if Node < 0; CorrelatedNodes and
+// CorrelatedRanks extend the blast to further victims killed in the
+// same event — a correlated failure (shared PSU, rack switch) that
+// takes out several members of one checkpoint group at once.
 type Fault struct {
-	After     time.Duration // time trigger (used if > 0 or AfterLoop < 0)
-	AfterLoop int           // loop-id trigger (used if >= 0); set to -1 for time trigger
-	Node      int           // target node id; -1 to target the node hosting Rank
-	Rank      int           // target rank (resolved via the Locator); used when Node < 0
-	ProcOnly  bool          // kill a single process rather than the whole node
+	After           time.Duration // time trigger (used if > 0 or AfterLoop < 0)
+	AfterLoop       int           // loop-id trigger (used if >= 0); set to -1 for time trigger
+	Node            int           // target node id; -1 to target the node hosting Rank
+	Rank            int           // target rank (resolved via the Locator); used when Node < 0
+	ProcOnly        bool          // kill a single process rather than the whole node
+	CorrelatedNodes []int         // additional node ids killed in the same event
+	CorrelatedRanks []int         // additional rank-hosting nodes killed in the same event
 }
 
 // Locator resolves the node currently hosting an FMI rank; the runtime
@@ -34,6 +39,7 @@ type Injector struct {
 	script  []Fault
 	mtbf    time.Duration
 	maxKill int
+	blast   int // nodes killed per Poisson event (adjacent ids)
 	rng     *rand.Rand
 	started bool
 	stopCh  chan struct{}
@@ -74,6 +80,16 @@ func (in *Injector) SetPoisson(mtbf time.Duration, maxKill int) {
 	if maxKill > 0 {
 		in.maxKill = maxKill
 	}
+}
+
+// SetBlast widens every Poisson event to kill width adjacent node ids
+// at once (width <= 1 restores single-node kills). Under the block
+// rank-to-node mapping adjacent nodes host members of the same
+// checkpoint group, so a blast of w stresses w-loss recovery.
+func (in *Injector) SetBlast(width int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.blast = width
 }
 
 // Fired returns the number of faults injected so far.
@@ -161,24 +177,53 @@ func (in *Injector) fire(f Fault) {
 	in.fired++
 	in.mu.Unlock()
 
-	var nd *Node
-	if f.Node >= 0 {
-		nd = in.c.Node(f.Node)
-	} else if in.locate != nil {
-		nd = in.locate(f.Rank)
-	}
-	if nd == nil || nd.Failed() {
+	victims := in.resolve(f)
+	if len(victims) == 0 {
 		return
 	}
 	if f.ProcOnly {
-		procs := nd.Procs()
+		procs := victims[0].Procs()
 		if len(procs) > 0 {
 			procs[0].Kill()
-			return
 		}
 		return
 	}
-	nd.Fail()
+	// All victims of a correlated fault drop in the same event, before
+	// any detection or recovery can run.
+	for _, nd := range victims {
+		nd.Fail()
+	}
+}
+
+// resolve maps a fault to its distinct, still-alive victim nodes: the
+// primary target first, then the correlated ones.
+func (in *Injector) resolve(f Fault) []*Node {
+	var nds []*Node
+	add := func(nd *Node) {
+		if nd == nil || nd.Failed() {
+			return
+		}
+		for _, have := range nds {
+			if have.ID == nd.ID {
+				return
+			}
+		}
+		nds = append(nds, nd)
+	}
+	if f.Node >= 0 {
+		add(in.c.Node(f.Node))
+	} else if in.locate != nil {
+		add(in.locate(f.Rank))
+	}
+	for _, id := range f.CorrelatedNodes {
+		add(in.c.Node(id))
+	}
+	if in.locate != nil {
+		for _, r := range f.CorrelatedRanks {
+			add(in.locate(r))
+		}
+	}
+	return nds
 }
 
 func (in *Injector) poissonLoop(mtbf time.Duration) {
@@ -201,7 +246,14 @@ func (in *Injector) poissonLoop(mtbf time.Duration) {
 		}
 		nd := in.pickVictim()
 		if nd != nil {
-			in.fire(Fault{Node: nd.ID, AfterLoop: -1})
+			f := Fault{Node: nd.ID, AfterLoop: -1}
+			in.mu.Lock()
+			blast := in.blast
+			in.mu.Unlock()
+			for w := 1; w < blast; w++ {
+				f.CorrelatedNodes = append(f.CorrelatedNodes, nd.ID+w)
+			}
+			in.fire(f)
 		}
 	}
 }

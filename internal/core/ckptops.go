@@ -222,15 +222,21 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 				maxSize = s
 			}
 		}
-		chunkLen := ckpt.ChunkLen(maxSize, g)
-		parity, err := ckpt.EncodeRing(&groupComm{p, group}, gi, g, snap.Data, chunkLen)
+		chunkLen := p.coder.ChunkLen(maxSize, g)
+		encStart := time.Now()
+		parity, err := p.coder.Encode(&groupComm{p, group}, gi, g, snap.Data, chunkLen)
 		if err != nil {
 			return err
 		}
 		entry.Parity = parity
+		entry.Scheme = p.coder.Scheme()
+		entry.Shards = len(parity) / chunkLen
 		entry.ChunkLen = chunkLen
 		entry.GroupSizes = sizes
 		entry.GroupShapes = shapes
+		p.cfg.Trace.Add(trace.KindShardEncode, p.rank, p.epoch,
+			"%s encode: %d parity shard(s) x %d B in %v (group of %d)",
+			entry.Scheme, entry.Shards, chunkLen, time.Since(encStart), g)
 	}
 	p.stage(entry)
 

@@ -125,8 +125,13 @@ type Config struct {
 	IsReplacement bool   // spawned to replace a failed rank
 	Interval      int    // checkpoint every Interval loops; 0 = auto-tune from MTBF
 	MTBF          time.Duration
-	GroupSize     int // XOR group size (paper default 16)
+	GroupSize     int // checkpoint group size (paper default 16)
 	RingBase      int // log-ring base k (paper default 2)
+	// Redundancy is the number of parity shards each group member
+	// stores (m): 1 selects the paper's ring-XOR encoding (one loss
+	// per group), >= 2 selects Reed-Solomon RS(k,m) tolerating m
+	// simultaneous losses per group. 0 defaults to 1.
+	Redundancy int
 	// L2Every flushes every L2Every-th checkpoint to the parallel
 	// file system (multilevel C/R, paper §VIII future work); 0
 	// disables level 2. L2 must be set when L2Every > 0.
@@ -146,6 +151,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RingBase == 0 {
 		c.RingBase = 2
+	}
+	if c.Redundancy == 0 {
+		c.Redundancy = 1
 	}
 	if c.ProcsPerNode == 0 {
 		c.ProcsPerNode = 1

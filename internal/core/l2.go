@@ -151,7 +151,9 @@ func (p *Proc) level1Feasible(infos []availInfo, restoreID int) bool {
 		if lost == 0 {
 			continue
 		}
-		if lost > 1 || len(group) < 2 {
+		// The configured coder bounds repairable damage: 1 loss per
+		// group for ring-XOR, m for RS(k,m), 0 for singleton groups.
+		if lost > p.coder.Tolerance(len(group)) {
 			return false
 		}
 		// Every survivor of an affected group must hold a decodable

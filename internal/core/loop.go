@@ -209,9 +209,11 @@ func (p *Proc) barrierH3(coord *bootstrap.Coordinator, cancel <-chan struct{}) e
 	return nil
 }
 
-// groupRestore reconstructs the checkpoint of a replaced rank within
-// this process's XOR group (paper Fig 11: decode + gather), then
-// re-encodes so the group regains full redundancy.
+// groupRestore reconstructs the checkpoints of the replaced ranks
+// within this process's checkpoint group (paper Fig 11: decode +
+// gather, generalised to the configured Coder so RS(k,m) groups repair
+// up to m simultaneous losses), then re-encodes so the group regains
+// full redundancy.
 func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID int) error {
 	g := len(group)
 	var lost []int
@@ -220,25 +222,26 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 			lost = append(lost, i)
 		}
 	}
-	switch {
-	case len(lost) == 0:
+	if len(lost) == 0 {
 		return nil
-	case len(lost) > 1:
-		return fmt.Errorf("%w: %d ranks lost in one XOR group (XOR tolerates one; paper §VIII)", ErrUnrecoverable, len(lost))
 	}
-	if g < 2 {
-		return fmt.Errorf("%w: lost rank %d has no XOR redundancy (singleton group)", ErrUnrecoverable, group[0])
+	if tol := p.coder.Tolerance(g); len(lost) > tol {
+		return fmt.Errorf("%w: %d ranks lost in one group (%s tolerates %d; paper §VIII)",
+			ErrUnrecoverable, len(lost), p.coder.Scheme(), tol)
 	}
-	lostIdx := lost[0]
 	gc := &groupComm{p, group}
-
-	// The informant (lowest-indexed survivor) briefs the replacement.
-	informant := 0
-	if informant == lostIdx {
-		informant = 1
+	lostSet := make(map[int]bool, len(lost))
+	for _, li := range lost {
+		lostSet[li] = true
 	}
 
-	if gi != lostIdx {
+	// The informant (lowest-indexed survivor) briefs the replacements.
+	informant := 0
+	for lostSet[informant] {
+		informant++
+	}
+
+	if !lostSet[gi] {
 		e := p.committed
 		if e == nil || e.Snap.LoopID != restoreID || e.Parity == nil {
 			return fmt.Errorf("%w: survivor rank %d missing checkpoint %d for group decode", ErrUnrecoverable, p.rank, restoreID)
@@ -253,19 +256,17 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 				Sizes:     e.GroupSizes,
 				Shapes:    e.GroupShapes,
 			})
-			if err := p.sendRaw(group[lostIdx], ctxWorld, tagCkptMeta, transport.KindCkpt, bf); err != nil {
-				return err
+			for _, li := range lost {
+				if err := p.sendRaw(group[li], ctxWorld, tagCkptMeta, transport.KindCkpt, bf); err != nil {
+					return err
+				}
 			}
 		}
-		res, err := ckpt.DecodeRing(gc, gi, g, e.Snap.Data, e.ChunkLen, e.Parity, true)
-		if err != nil {
+		if _, err := p.coder.Reconstruct(gc, gi, g, lost, e.Snap.Data, e.Parity, e.ChunkLen); err != nil {
 			return ErrFailureDetected
 		}
-		if err := p.sendRaw(group[lostIdx], ctxWorld, tagCkptChunk, transport.KindCkpt, res); err != nil {
-			return err
-		}
-		// Restore redundancy for the rebuilt member.
-		parity, err := ckpt.EncodeRing(gc, gi, g, e.Snap.Data, e.ChunkLen)
+		// Restore redundancy for the rebuilt members.
+		parity, err := p.coder.Encode(gc, gi, g, e.Snap.Data, e.ChunkLen)
 		if err != nil {
 			return ErrFailureDetected
 		}
@@ -273,8 +274,8 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 		return nil
 	}
 
-	// This process is the replacement: receive the brief, relay the
-	// decode ring, gather the chunks, re-encode for parity.
+	// This process is a replacement: receive the brief, gather the
+	// survivors' shards into the lost checkpoint, re-encode for parity.
 	msg, err := p.recvRaw(ctxWorld, int32(group[informant]), tagCkptMeta)
 	if err != nil {
 		return ErrFailureDetected
@@ -283,24 +284,17 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUnrecoverable, err)
 	}
-	if _, err := ckpt.DecodeRing(gc, gi, g, nil, b.ChunkLen, make([]byte, b.ChunkLen), false); err != nil {
+	start := time.Now()
+	data, err := p.coder.Reconstruct(gc, gi, g, lost, nil, nil, b.ChunkLen)
+	if err != nil {
 		return ErrFailureDetected
 	}
-	data := make([]byte, (g-1)*b.ChunkLen)
-	for i := 0; i < g; i++ {
-		if i == lostIdx {
-			continue
-		}
-		cm, err := p.recvRaw(ctxWorld, int32(group[i]), tagCkptChunk)
-		if err != nil {
-			return ErrFailureDetected
-		}
-		k := ckpt.DecodeChunkIndex(lostIdx, i, g)
-		copy(data[(k-1)*b.ChunkLen:], cm.Data)
-	}
-	mySize := b.Sizes[lostIdx]
-	snap := ckpt.FromData(b.RestoreID, data[:mySize], b.Shapes[lostIdx])
-	parity, err := ckpt.EncodeRing(gc, gi, g, snap.Data, b.ChunkLen)
+	mySize := b.Sizes[gi]
+	snap := ckpt.FromData(b.RestoreID, data[:mySize], b.Shapes[gi])
+	p.cfg.Trace.Add(trace.KindShardRebuild, p.rank, p.epoch,
+		"%s rebuild: %d B from in-memory shards in %v (%d lost in group of %d)",
+		p.coder.Scheme(), mySize, time.Since(start), len(lost), g)
+	parity, err := p.coder.Encode(gc, gi, g, snap.Data, b.ChunkLen)
 	if err != nil {
 		return ErrFailureDetected
 	}
@@ -308,6 +302,8 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 		Entry: &ckpt.Entry{
 			Snap:       snap,
 			Parity:     parity,
+			Scheme:     p.coder.Scheme(),
+			Shards:     len(parity) / b.ChunkLen,
 			ChunkLen:   b.ChunkLen,
 			GroupSizes: b.Sizes,
 			GroupLoop:  b.RestoreID,

@@ -29,6 +29,7 @@ type Proc struct {
 	// Checkpointing: double-buffered in-memory entries (paper §V-A).
 	staged    *entryExt // fully encoded, awaiting global agreement
 	committed *entryExt // last globally agreed checkpoint
+	coder     ckpt.Coder
 	groups    [][]int
 	gidx      []int
 	loopID    int // id the next Loop call returns
@@ -99,6 +100,7 @@ func Init(cfg Config) (*Proc, error) {
 		p.autoInterval = true
 		p.interval = 1 // until measurements exist
 	}
+	p.coder = ckpt.NewCoder(cfg.Redundancy, 0)
 	p.groups, p.gidx = ckpt.Groups(cfg.N, cfg.ProcsPerNode, cfg.GroupSize)
 	p.world = newWorldComm(p)
 

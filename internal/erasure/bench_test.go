@@ -1,0 +1,127 @@
+package erasure
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The acceptance target: the striped worker-pool encoder must beat the
+// single-goroutine scalar encoder by >= 2x on >= 4 cores. Run with
+//
+//	go test -bench Erasure ./internal/erasure ./internal/ckpt
+//
+// MB/s is reported via SetBytes (data bytes encoded per op).
+
+const benchShardLen = 4 << 20
+
+func benchCode(b *testing.B, k, m int) (*Code, [][]byte, [][]byte) {
+	b.Helper()
+	c, err := New(k, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, benchShardLen)
+		for j := range data[i] {
+			data[i][j] = byte(i*31 + j)
+		}
+	}
+	parity := make([][]byte, m)
+	for j := range parity {
+		parity[j] = make([]byte, benchShardLen)
+	}
+	b.SetBytes(int64(k * benchShardLen))
+	return c, data, parity
+}
+
+func BenchmarkErasureEncodeScalar(b *testing.B) {
+	for _, km := range [][2]int{{14, 2}, {13, 3}} {
+		b.Run(fmt.Sprintf("rs(%d,%d)", km[0], km[1]), func(b *testing.B) {
+			c, data, parity := benchCode(b, km[0], km[1])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Encode(data, parity)
+			}
+		})
+	}
+}
+
+func BenchmarkErasureEncodeParallel(b *testing.B) {
+	for _, km := range [][2]int{{14, 2}, {13, 3}} {
+		b.Run(fmt.Sprintf("rs(%d,%d)x%d", km[0], km[1], runtime.GOMAXPROCS(0)), func(b *testing.B) {
+			c, data, parity := benchCode(b, km[0], km[1])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.EncodeStriped(data, parity, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkErasureRecover(b *testing.B) {
+	c, data, parity := benchCode(b, 14, 2)
+	c.Encode(data, parity)
+	// Lose the first two data shards; recover from 12 data + 2 parity.
+	idx := make([]int, 14)
+	shards := make([][]byte, 14)
+	for i := 2; i < 14; i++ {
+		idx[i-2] = i
+		shards[i-2] = data[i]
+	}
+	idx[12], idx[13] = 14, 15
+	shards[12], shards[13] = parity[0], parity[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Recover(idx, shards, []int{0, 1}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestStripedSpeedup is an informative gate on the tentpole's parallel
+// claim: on >= 4 cores the striped encoder should be clearly ahead of
+// the scalar one. The threshold is deliberately below the 2x bench
+// target so a loaded CI box doesn't flake, but a broken worker pool
+// (e.g. running serially) still fails.
+func TestStripedSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skip("needs >= 4 cores")
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	c, err := New(13, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]byte, 13)
+	for i := range data {
+		data[i] = make([]byte, 8<<20)
+	}
+	parity := make([][]byte, 3)
+	for j := range parity {
+		parity[j] = make([]byte, 8<<20)
+	}
+	scalar := minDuration(3, func() { c.Encode(data, parity) })
+	striped := minDuration(3, func() { c.EncodeStriped(data, parity, 0) })
+	speedup := float64(scalar) / float64(striped)
+	t.Logf("scalar %v, striped %v, speedup %.2fx on %d cores", scalar, striped, speedup, runtime.GOMAXPROCS(0))
+	if speedup < 1.3 {
+		t.Fatalf("striped encoder only %.2fx the scalar one", speedup)
+	}
+}
+
+func minDuration(trials int, f func()) time.Duration {
+	best := time.Duration(1 << 62)
+	for i := 0; i < trials; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,66 @@
+// Package erasure implements systematic Reed–Solomon erasure coding
+// RS(k,m) over GF(2^8): any m of the k+m shards may be lost and the
+// data is still exactly recoverable. The checkpoint layer (internal/
+// ckpt) uses it to protect a group's checkpoints against multi-node
+// loss, generalising the paper's single-failure XOR encoding (§V-A) in
+// the direction ReStore and FTHP-MPI argue for: richer in-memory
+// redundancy so correlated failures never force a slow PFS restart.
+//
+// The field is GF(2^8) with the AES/QR-code reducing polynomial
+// x^8+x^4+x^3+x^2+1 (0x11d). Arithmetic uses log/exp tables; the bulk
+// encode/decode kernels use a precomputed 256x256 product table so the
+// inner loop per coefficient is a single table-indexed XOR, and split
+// their buffers into cache-friendly stripes fanned out to a worker
+// pool (see kernels.go).
+package erasure
+
+// polynomial 0x11d: x^8 + x^4 + x^3 + x^2 + 1, generator alpha = 2.
+const poly = 0x11d
+
+var (
+	// expTable[i] = alpha^i, doubled so exp(log a + log b) needs no mod.
+	expTable [510]byte
+	// logTable[x] = log_alpha x for x != 0.
+	logTable [256]byte
+	// mulTable[a][b] = a*b in GF(2^8); 64 KiB, built once at init.
+	mulTable [256][256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		expTable[i+255] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly
+		}
+	}
+	for a := 1; a < 256; a++ {
+		la := int(logTable[a])
+		for b := 1; b < 256; b++ {
+			mulTable[a][b] = expTable[la+int(logTable[b])]
+		}
+	}
+}
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// Div returns a/b in GF(2^8); b must be nonzero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a; a must be nonzero.
+func Inv(a byte) byte { return Div(1, a) }
+
+// Exp returns alpha^n for n >= 0.
+func Exp(n int) byte { return expTable[n%255] }

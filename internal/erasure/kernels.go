@@ -1,0 +1,81 @@
+package erasure
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// stripeLen is the unit of work handed to the pool: large enough to
+// amortise dispatch, small enough that a shard stripe plus its product
+// table stays in L1/L2 cache while every coefficient pass runs over it.
+const stripeLen = 32 << 10
+
+// mulAddRange computes dst[lo:hi] ^= coef * src[lo:hi] in GF(2^8).
+// coef==1 degenerates to XOR and runs 8-byte words; the general case
+// is one product-table lookup per byte.
+func mulAddRange(dst, src []byte, coef byte, lo, hi int) {
+	if coef == 0 {
+		return
+	}
+	if hi > len(src) {
+		hi = len(src)
+	}
+	if coef == 1 {
+		i := lo
+		for ; i+8 <= hi; i += 8 {
+			binary.LittleEndian.PutUint64(dst[i:],
+				binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+		}
+		for ; i < hi; i++ {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	tab := &mulTable[coef]
+	for i := lo; i < hi; i++ {
+		dst[i] ^= tab[src[i]]
+	}
+}
+
+// parallelStripes splits [0,n) into stripeLen ranges pulled from a
+// shared counter by `workers` goroutines (<= 0 means GOMAXPROCS). Small
+// inputs and workers==1 run inline: the parallel path must never be
+// slower than the scalar one on data that fits a single stripe.
+func parallelStripes(n, workers int, f func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stripes := (n + stripeLen - 1) / stripeLen
+	if workers > stripes {
+		workers = stripes
+	}
+	if workers <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				lo := s * stripeLen
+				if lo >= n {
+					return
+				}
+				hi := lo + stripeLen
+				if hi > n {
+					hi = n
+				}
+				f(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

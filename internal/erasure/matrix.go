@@ -1,0 +1,88 @@
+package erasure
+
+import "fmt"
+
+// matrix is a dense row-major matrix over GF(2^8).
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	for i := range m {
+		m[i] = make([]byte, cols)
+	}
+	return m
+}
+
+// vandermonde returns the rows x cols matrix V[i][j] = (alpha^i)^j.
+// The evaluation points alpha^i are pairwise distinct for i < 255, so
+// any cols of the rows form an invertible square Vandermonde matrix.
+func vandermonde(rows, cols int) matrix {
+	v := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v[i][j] = Exp(i * j)
+		}
+	}
+	return v
+}
+
+// mul returns a*b.
+func (a matrix) mul(b matrix) matrix {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			var acc byte
+			for t := 0; t < inner; t++ {
+				acc ^= mulTable[a[i][t]][b[t][j]]
+			}
+			out[i][j] = acc
+		}
+	}
+	return out
+}
+
+// invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination, or an error if the matrix is singular.
+func (a matrix) invert() (matrix, error) {
+	n := len(a)
+	// Augment [a | I] and reduce in place on a working copy.
+	w := newMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(w[i], a[i])
+		w[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if w[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("erasure: singular matrix")
+		}
+		w[col], w[pivot] = w[pivot], w[col]
+		if inv := Inv(w[col][col]); inv != 1 {
+			row := w[col]
+			for j := 0; j < 2*n; j++ {
+				row[j] = mulTable[inv][row[j]]
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || w[r][col] == 0 {
+				continue
+			}
+			f := w[r][col]
+			for j := 0; j < 2*n; j++ {
+				w[r][j] ^= mulTable[f][w[col][j]]
+			}
+		}
+	}
+	out := make(matrix, n)
+	for i := range out {
+		out[i] = w[i][n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package erasure
+
+import "fmt"
+
+// Code is a systematic RS(k,m) code: k data shards, m parity shards,
+// all equal length; any k of the k+m shards reconstruct the data.
+//
+// The generator is G = V · Vtop⁻¹ where V is the (k+m)×k Vandermonde
+// matrix over distinct points alpha^i: the top k rows of G are the
+// identity (systematic) and any k rows of G are invertible (MDS),
+// because any k rows of V are a Vandermonde square.
+type Code struct {
+	K, M int
+	gen  matrix // (k+m) x k; rows 0..k-1 are the identity
+}
+
+// New builds an RS(k,m) code. k >= 1, m >= 1, k+m <= 255.
+func New(k, m int) (*Code, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("erasure: need k >= 1 and m >= 1, got RS(%d,%d)", k, m)
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("erasure: k+m = %d exceeds the 255 distinct points of GF(2^8)", k+m)
+	}
+	v := vandermonde(k+m, k)
+	top := matrix(v[:k])
+	inv, err := top.invert()
+	if err != nil {
+		return nil, err // unreachable: Vandermonde squares are invertible
+	}
+	return &Code{K: k, M: m, gen: v.mul(inv)}, nil
+}
+
+// ParityRow returns the k coefficients of parity shard j (a row of the
+// non-identity part of the generator).
+func (c *Code) ParityRow(j int) []byte { return c.gen[c.K+j] }
+
+// Encode computes the m parity shards from the k data shards with a
+// single goroutine (the scalar reference kernel). parity[j] must be
+// pre-allocated to the shard length and is overwritten.
+func (c *Code) Encode(data, parity [][]byte) {
+	c.encodeRange(data, parity, 0, len(parity[0]))
+}
+
+// EncodeStriped is Encode with the shard buffers split into
+// cache-friendly stripes processed by a worker pool (workers <= 0 uses
+// GOMAXPROCS).
+func (c *Code) EncodeStriped(data, parity [][]byte, workers int) {
+	parallelStripes(len(parity[0]), workers, func(lo, hi int) {
+		c.encodeRange(data, parity, lo, hi)
+	})
+}
+
+func (c *Code) encodeRange(data, parity [][]byte, lo, hi int) {
+	for j := range parity {
+		row := c.gen[c.K+j]
+		p := parity[j]
+		for i := lo; i < hi; i++ {
+			p[i] = 0
+		}
+		for l, d := range data {
+			mulAddRange(p, d, row[l], lo, hi)
+		}
+	}
+}
+
+// EncodeRowInto computes only parity shard j into out (used when the
+// m shards of one stripe live on different ranks and each rank computes
+// just its own).
+func (c *Code) EncodeRowInto(j int, data [][]byte, out []byte, workers int) {
+	row := c.gen[c.K+j]
+	parallelStripes(len(out), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 0
+		}
+		for l, d := range data {
+			mulAddRange(out, d, row[l], lo, hi)
+		}
+	})
+}
+
+// Recover reconstructs the data shards listed in want from any k
+// surviving shards. idx[i] is the global shard index of shards[i]
+// (0..k-1 data, k..k+m-1 parity); exactly k shards must be supplied.
+func (c *Code) Recover(idx []int, shards [][]byte, want []int, workers int) ([][]byte, error) {
+	if len(idx) != c.K || len(shards) != c.K {
+		return nil, fmt.Errorf("erasure: Recover needs exactly k=%d shards, got %d", c.K, len(idx))
+	}
+	sub := newMatrix(c.K, c.K)
+	for i, id := range idx {
+		if id < 0 || id >= c.K+c.M {
+			return nil, fmt.Errorf("erasure: shard index %d out of range", id)
+		}
+		copy(sub[i], c.gen[id])
+	}
+	inv, err := sub.invert()
+	if err != nil {
+		return nil, err // unreachable for an MDS generator
+	}
+	n := len(shards[0])
+	out := make([][]byte, len(want))
+	for wi, w := range want {
+		if w < 0 || w >= c.K {
+			return nil, fmt.Errorf("erasure: can only recover data shards, want %d", w)
+		}
+		buf := make([]byte, n)
+		row := inv[w]
+		parallelStripes(n, workers, func(lo, hi int) {
+			for t, sh := range shards {
+				mulAddRange(buf, sh, row[t], lo, hi)
+			}
+		})
+		out[wi] = buf
+	}
+	return out, nil
+}
+
+// Reconstruct fills the nil entries of shards (length k+m, shard order
+// data then parity) in place from the survivors. It is the convenience
+// wrapper used by tests and local tooling; the distributed checkpoint
+// path drives Recover directly.
+func (c *Code) Reconstruct(shards [][]byte, workers int) error {
+	if len(shards) != c.K+c.M {
+		return fmt.Errorf("erasure: Reconstruct needs %d shards, got %d", c.K+c.M, len(shards))
+	}
+	var idx []int
+	var present [][]byte
+	for i, sh := range shards {
+		if sh != nil && len(idx) < c.K {
+			idx = append(idx, i)
+			present = append(present, sh)
+		}
+	}
+	if len(idx) < c.K {
+		return fmt.Errorf("erasure: only %d of the %d shards needed survive", len(idx), c.K)
+	}
+	var lostData []int
+	for i := 0; i < c.K; i++ {
+		if shards[i] == nil {
+			lostData = append(lostData, i)
+		}
+	}
+	rec, err := c.Recover(idx, present, lostData, workers)
+	if err != nil {
+		return err
+	}
+	for i, w := range lostData {
+		shards[w] = rec[i]
+	}
+	// Lost parity is recomputed from the now-complete data.
+	for j := 0; j < c.M; j++ {
+		if shards[c.K+j] == nil {
+			out := make([]byte, len(present[0]))
+			c.EncodeRowInto(j, shards[:c.K], out, workers)
+			shards[c.K+j] = out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestGFAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if Mul(a, b) != Mul(b, a) {
+			t.Fatalf("Mul not commutative at %d,%d", a, b)
+		}
+		if Mul(a, Mul(b, c)) != Mul(Mul(a, b), c) {
+			t.Fatalf("Mul not associative at %d,%d,%d", a, b, c)
+		}
+		if Mul(a, b^c) != Mul(a, b)^Mul(a, c) {
+			t.Fatalf("Mul not distributive at %d,%d,%d", a, b, c)
+		}
+		if a != 0 {
+			if Mul(a, Inv(a)) != 1 {
+				t.Fatalf("Inv(%d) wrong", a)
+			}
+			if Div(Mul(a, b), a) != b {
+				t.Fatalf("Div inconsistent at %d,%d", a, b)
+			}
+		}
+	}
+	if Mul(0, 7) != 0 || Mul(7, 0) != 0 || Mul(1, 133) != 133 {
+		t.Fatal("identity/zero products wrong")
+	}
+}
+
+func TestGeneratorSystematic(t *testing.T) {
+	for _, km := range [][2]int{{1, 1}, {2, 2}, {4, 3}, {13, 3}, {16, 1}} {
+		c, err := New(km[0], km[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < c.K; i++ {
+			for j := 0; j < c.K; j++ {
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if c.gen[i][j] != want {
+					t.Fatalf("RS(%d,%d): generator top is not the identity at (%d,%d)", c.K, c.M, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Every k-subset of generator rows must be invertible (the MDS
+// property); exhaustive for small codes.
+func TestGeneratorMDS(t *testing.T) {
+	for _, km := range [][2]int{{2, 2}, {3, 3}, {4, 2}, {5, 3}} {
+		c, err := New(km[0], km[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, k := c.K+c.M, c.K
+		var rec func(start int, rows []int)
+		rec = func(start int, rows []int) {
+			if len(rows) == k {
+				sub := newMatrix(k, k)
+				for i, r := range rows {
+					copy(sub[i], c.gen[r])
+				}
+				if _, err := sub.invert(); err != nil {
+					t.Fatalf("RS(%d,%d): rows %v singular", c.K, c.M, rows)
+				}
+				return
+			}
+			for r := start; r < n; r++ {
+				rec(r+1, append(rows, r))
+			}
+		}
+		rec(0, nil)
+	}
+}
+
+func randShards(rng *rand.Rand, k, n int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, n)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func TestEncodeRecoverAllLossPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, km := range [][2]int{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {5, 3}, {13, 3}} {
+		k, m := km[0], km[1]
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 257 // odd length exercises the word-stride tails
+		data := randShards(rng, k, n)
+		parity := make([][]byte, m)
+		for j := range parity {
+			parity[j] = make([]byte, n)
+		}
+		c.Encode(data, parity)
+
+		// Knock out every subset of up to m shards (sampled for big codes).
+		total := k + m
+		for trial := 0; trial < 200; trial++ {
+			nLost := 1 + rng.Intn(m)
+			lost := map[int]bool{}
+			for len(lost) < nLost {
+				lost[rng.Intn(total)] = true
+			}
+			shards := make([][]byte, total)
+			for i := 0; i < k; i++ {
+				if !lost[i] {
+					shards[i] = data[i]
+				}
+			}
+			for j := 0; j < m; j++ {
+				if !lost[k+j] {
+					shards[k+j] = parity[j]
+				}
+			}
+			if err := c.Reconstruct(shards, 1); err != nil {
+				t.Fatalf("RS(%d,%d) lost %v: %v", k, m, lost, err)
+			}
+			for i := 0; i < k; i++ {
+				if !bytes.Equal(shards[i], data[i]) {
+					t.Fatalf("RS(%d,%d) lost %v: data shard %d wrong", k, m, lost, i)
+				}
+			}
+			for j := 0; j < m; j++ {
+				if !bytes.Equal(shards[k+j], parity[j]) {
+					t.Fatalf("RS(%d,%d) lost %v: parity shard %d wrong", k, m, lost, j)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeStripedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 3*stripeLen + 17 // force several stripes plus a ragged tail
+	data := randShards(rng, 6, n)
+	want := make([][]byte, 3)
+	got := make([][]byte, 3)
+	one := make([][]byte, 3)
+	for j := 0; j < 3; j++ {
+		want[j] = make([]byte, n)
+		got[j] = make([]byte, n)
+		one[j] = make([]byte, n)
+	}
+	c.Encode(data, want)
+	c.EncodeStriped(data, got, 4)
+	for j := 0; j < 3; j++ {
+		if !bytes.Equal(got[j], want[j]) {
+			t.Fatalf("striped parity %d differs from scalar", j)
+		}
+		c.EncodeRowInto(j, data, one[j], 4)
+		if !bytes.Equal(one[j], want[j]) {
+			t.Fatalf("EncodeRowInto parity %d differs from scalar", j)
+		}
+	}
+}
+
+func TestRecoverFromParityOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, err := New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(rng, 2, 100)
+	parity := [][]byte{make([]byte, 100), make([]byte, 100)}
+	c.Encode(data, parity)
+	got, err := c.Recover([]int{2, 3}, parity, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("data shard %d not recovered from parity alone", i)
+		}
+	}
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, km := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {200, 100}} {
+		if _, err := New(km[0], km[1]); err == nil {
+			t.Fatalf("New(%d,%d) accepted", km[0], km[1])
+		}
+	}
+}

@@ -226,6 +226,45 @@ func TestAblateGroup(t *testing.T) {
 	}
 }
 
+func TestErasureSweepShape(t *testing.T) {
+	rows, err := ErasureSweep([]int{1, 2, 3}, 4, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.EncodeSeconds <= 0 || r.RecoverSeconds <= 0 || r.EncodeMBps <= 0 {
+			t.Fatalf("non-positive timings: %+v", r)
+		}
+		if r.Losses != r.M || r.K != r.GroupSize-r.M {
+			t.Fatalf("geometry wrong: %+v", r)
+		}
+		if i > 0 && r.OverheadPc <= rows[i-1].OverheadPc {
+			t.Fatal("parity overhead should grow with m")
+		}
+	}
+	if rows[0].Scheme != "xor" || rows[1].Scheme != "rs" {
+		t.Fatalf("scheme selection wrong: %q, %q", rows[0].Scheme, rows[1].Scheme)
+	}
+	kern, err := ErasureKernelBench(1<<18, [][2]int{{7, 1}, {6, 2}}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kern {
+		if k.ScalarMBps <= 0 || k.ParallelMBps <= 0 {
+			t.Fatalf("kernel bench broken: %+v", k)
+		}
+	}
+	var buf bytes.Buffer
+	PrintErasure(&buf, rows)
+	PrintErasureKernels(&buf, 1<<18, kern)
+	if !strings.Contains(buf.String(), "Erasure") || !strings.Contains(buf.String(), "RS( 7,1)") {
+		t.Fatal("printers broken")
+	}
+}
+
 func TestAblateK(t *testing.T) {
 	rows, err := AblateK(64, []int{2, 4, 8}, time.Millisecond, time.Millisecond)
 	if err != nil {

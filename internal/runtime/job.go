@@ -34,6 +34,10 @@ type Config struct {
 	MTBF         time.Duration // expected failure rate for auto-tuning
 	GroupSize    int
 	RingBase     int
+	// Redundancy is the per-member parity shard count m: 1 = ring-XOR
+	// (default), >= 2 = Reed-Solomon RS(k,m) tolerating m losses per
+	// checkpoint group.
+	Redundancy int
 	// L2Every enables multilevel C/R: every L2Every-th checkpoint is
 	// flushed to the parallel file system, letting the job recover
 	// failures beyond the XOR groups' reach (0 disables level 2).
@@ -380,6 +384,7 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 		MTBF:          j.cfg.MTBF,
 		GroupSize:     j.cfg.GroupSize,
 		RingBase:      j.cfg.RingBase,
+		Redundancy:    j.cfg.Redundancy,
 		L2Every:       j.cfg.L2Every,
 		L2:            j.cfg.SCR,
 		Network:       j.cfg.Network,

@@ -1,0 +1,149 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fmi/internal/cluster"
+	"fmi/internal/trace"
+)
+
+// TestRedundancy2SurvivesCorrelatedGroupKill is the tentpole's
+// acceptance gate: with RS(k,2) redundancy, a correlated fault killing
+// TWO nodes of the same checkpoint group in one event recovers from
+// the in-memory shards alone — no level-2/PFS restore, no abort —
+// which ring-XOR (m=1) cannot do (TestL2DisabledStillAborts).
+func TestRedundancy2SurvivesCorrelatedGroupKill(t *testing.T) {
+	var results sync.Map
+	rec := trace.New()
+	const ranks, iters = 4, 12
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 4, Interval: 2,
+		GroupSize: 4, Redundancy: 2, Trace: rec,
+		Network: fastNet(), Timeout: 60 * time.Second, MaxEpochs: 32,
+	}, []cluster.Fault{
+		// Nodes 0 and 1 host group-mates; one event takes both.
+		{AfterLoop: 5, Node: 0, CorrelatedNodes: []int{1}},
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Stats.L2Restores != 0 || rec.Count(trace.KindL2Restore) != 0 {
+		t.Fatal("two-loss recovery used the level-2 fallback; RS(k,2) should repair in memory")
+	}
+	if rec.Count(trace.KindAbort) != 0 {
+		t.Fatal("job aborted")
+	}
+	if rec.Count(trace.KindShardRebuild) == 0 {
+		t.Fatal("no shard-rebuild events: replacements did not recover from RS shards")
+	}
+	if rec.Count(trace.KindShardEncode) == 0 {
+		t.Fatal("no shard-encode events recorded")
+	}
+	if rep.Stats.Restores == 0 {
+		t.Fatal("no level-1 restores recorded")
+	}
+}
+
+// Redundancy 3 in a group of 4 clamps to m'=3 (k=1) and survives a
+// three-node correlated kill.
+func TestRedundancy3SurvivesTripleKill(t *testing.T) {
+	var results sync.Map
+	const ranks, iters = 4, 10
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 6, Interval: 2,
+		GroupSize: 4, Redundancy: 3,
+		Network: fastNet(), Timeout: 90 * time.Second, MaxEpochs: 64,
+	}, []cluster.Fault{
+		{AfterLoop: 4, Node: 0, CorrelatedNodes: []int{1, 2}},
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Stats.L2Restores != 0 {
+		t.Fatal("triple-loss recovery used the level-2 fallback")
+	}
+}
+
+// Without enough redundancy the correlated kill still falls back to
+// level 2 (or aborts when disabled) — the coder's tolerance, not the
+// scheme name, gates level-1 feasibility.
+func TestRedundancy2TripleKillFallsBackToL2(t *testing.T) {
+	var results sync.Map
+	const ranks, iters = 4, 12
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 6, Interval: 2,
+		GroupSize: 4, Redundancy: 2, L2Every: 1, SCR: fastSCR(),
+		Network: fastNet(), Timeout: 90 * time.Second, MaxEpochs: 64,
+	}, []cluster.Fault{
+		{AfterLoop: 5, Node: 0, CorrelatedNodes: []int{1, 2}},
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Stats.L2Restores == 0 {
+		t.Fatal("3 losses with m=2 must use the level-2 fallback")
+	}
+}
+
+// A rank in a singleton tail group has no redundancy under any coder;
+// losing it must fall back to level 2 rather than wedging or silently
+// corrupting (documented on ckpt.Groups).
+func TestSingletonGroupFallsBackToL2(t *testing.T) {
+	var results sync.Map
+	rec := trace.New()
+	const ranks, iters = 3, 10
+	// GroupSize 2 over 3 single-rank nodes leaves rank 2 in a
+	// singleton group.
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 3, Interval: 2,
+		GroupSize: 2, Redundancy: 2, L2Every: 1, SCR: fastSCR(), Trace: rec,
+		Network: fastNet(), Timeout: 60 * time.Second, MaxEpochs: 32,
+	}, []cluster.Fault{
+		{AfterLoop: 5, Node: 2},
+	}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Stats.L2Restores == 0 || rec.Count(trace.KindL2Restore) == 0 {
+		t.Fatal("singleton-group loss did not fall back to level 2")
+	}
+}
+
+// Redundancy left at the default must keep the seed behaviour: a
+// single-node failure recovers over the XOR ring, level-1 only.
+func TestRedundancyDefaultIsXOR(t *testing.T) {
+	var results sync.Map
+	rec := trace.New()
+	const ranks, iters = 4, 10
+	rep, err := runWithFaults(t, Config{
+		Ranks: ranks, ProcsPerNode: 1, SpareNodes: 1, Interval: 2,
+		GroupSize: 4, Trace: rec,
+		Network: fastNet(), Timeout: 60 * time.Second,
+	}, []cluster.Fault{{AfterLoop: 5, Node: 1}}, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Stats.L2Restores != 0 {
+		t.Fatal("level-2 used for a single XOR-recoverable loss")
+	}
+	evs := rec.Events()
+	sawXOR := false
+	for _, e := range evs {
+		if e.Kind == trace.KindShardRebuild || e.Kind == trace.KindShardEncode {
+			if len(e.Note) < 3 || e.Note[:3] != "xor" {
+				t.Fatalf("default redundancy produced non-xor event: %q", e.Note)
+			}
+			sawXOR = true
+		}
+	}
+	if !sawXOR {
+		t.Fatal("no shard events recorded")
+	}
+}

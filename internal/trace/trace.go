@@ -28,6 +28,8 @@ const (
 	KindNotified     Kind = "notified"
 	KindState        Kind = "state"
 	KindCheckpoint   Kind = "checkpoint"
+	KindShardEncode  Kind = "shard-encode"
+	KindShardRebuild Kind = "shard-rebuild"
 	KindL2Checkpoint Kind = "l2-checkpoint"
 	KindRestore      Kind = "restore"
 	KindL2Restore    Kind = "l2-restore"
