@@ -10,7 +10,7 @@
 //	fmibench [flags] <experiment>
 //
 // Experiments: table3, fig10, fig11, fig12, fig13, fig14, fig15,
-// fig15-sweep, ablate-k, ablate-group, erasure, all.
+// fig15-sweep, ablate-k, ablate-group, erasure, msglog, all.
 package main
 
 import (
@@ -36,7 +36,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|all>")
+		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -135,6 +135,17 @@ func main() {
 		case "ablate-group":
 			rows := experiments.AblateGroup(1024, groupSweep)
 			experiments.PrintAblateGroup(os.Stdout, 1024, rows)
+		case "msglog":
+			// Sender-based message logging (§VIII extension): failure-free
+			// logging overhead and the survivor rework that localized
+			// recovery removes, global vs local at two process counts.
+			rc, it, iv := []int{4, 8}, 30, 4
+			if *quick {
+				rc, it, iv = []int{4}, 12, 3
+			}
+			rows, err := experiments.MsgLog(rc, it, iv)
+			fatalIf(err)
+			experiments.PrintMsgLog(os.Stdout, it, iv, rows)
 		case "erasure":
 			// Redundancy sweep (§VIII extension): ring-XOR m=1 against
 			// RS(k,m) for m in {2,3} over one group, then the raw
@@ -158,7 +169,7 @@ func main() {
 	}
 
 	if which == "all" {
-		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure"} {
+		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog"} {
 			run(name)
 		}
 		return

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"fmi"
@@ -36,7 +37,9 @@ func main() {
 		l2every  = flag.Int("l2", 0, "flush every k-th checkpoint to the PFS (multilevel C/R; 0 = off)")
 		redund   = flag.Int("redundancy", 1, "parity shards per group member (1 = ring-XOR, >= 2 = RS(k,m))")
 		blast    = flag.Int("blast", 1, "nodes taken by each injected failure (correlated kill width)")
+		recovery = flag.String("recovery", "global", "recovery protocol: global (rollback) | local (message logging)")
 		doTrace  = flag.Bool("trace", false, "print the recovery timeline after the run")
+		traceJS  = flag.String("trace-json", "", "write the recovery timeline as JSON Lines to this file")
 		verbose  = flag.Bool("v", true, "print per-iteration progress from rank 0")
 	)
 	flag.Parse()
@@ -45,6 +48,7 @@ func main() {
 		Ranks: *ranks, ProcsPerNode: *ppn, SpareNodes: *spares,
 		CheckpointInterval: *interval, MTBF: *mtbf, XORGroupSize: 4,
 		Level2Every: *l2every, Redundancy: *redund,
+		Recovery:    *recovery,
 		DetectDelay: *detect, PropDelay: *detect / 4,
 		Timeout: 10 * time.Minute,
 	}
@@ -53,6 +57,15 @@ func main() {
 	}
 	if *doTrace {
 		cfg.TraceTo = os.Stderr
+	}
+	if *traceJS != "" {
+		f, err := os.Create(*traceJS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fmirun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceJSONTo = f
 	}
 
 	var body fmi.App
@@ -76,6 +89,22 @@ func main() {
 	}
 	fmt.Printf("\ncompleted in %v: %d checkpoint(s), %d failure(s) injected, %d recovery epoch(s), %d spare node(s) consumed\n",
 		time.Since(start).Round(time.Millisecond), rep.Stats.Checkpoints, rep.FailuresInjected, rep.Recoveries, rep.SparesConsumed)
+	if *recovery == "local" {
+		fmt.Printf("message log: %d replay round(s), %d message(s) replayed, %d entries (%d B) held at exit\n",
+			rep.Stats.Replays, rep.Stats.ReplayedMsgs, rep.Stats.LogEntries, rep.Stats.LogBytes)
+	}
+	if *verbose && len(rep.Stats.Matcher) > 0 {
+		rr := make([]int, 0, len(rep.Stats.Matcher))
+		for r := range rep.Stats.Matcher {
+			rr = append(rr, r)
+		}
+		sort.Ints(rr)
+		for _, r := range rr {
+			c := rep.Stats.Matcher[r]
+			fmt.Printf("rank %3d: %6d delivered, %4d stale dropped, %4d duplicate(s) suppressed\n",
+				r, c.Delivered, c.Dropped, c.DupSuppressed)
+		}
+	}
 }
 
 func counterApp(iters int, verbose bool) fmi.App {

@@ -48,3 +48,58 @@ func Example() {
 	}
 	// Output: final allreduce: 10
 }
+
+// ExampleConfig_localRecovery runs the same failure scenario under
+// sender-based message logging (Recovery "local"). Survivors never roll
+// back — the timeline carries rollback/restore events only for the
+// respawned rank, which replays from its peers' sender logs — yet the
+// output still matches the failure-free run.
+func ExampleConfig_localRecovery() {
+	const failedRank = 2
+	cfg := fmi.Config{
+		Ranks:              4,
+		ProcsPerNode:       1,
+		SpareNodes:         1,
+		CheckpointInterval: 2,
+		XORGroupSize:       4,
+		Recovery:           "local",
+		DetectDelay:        5 * time.Millisecond,
+		Timeout:            time.Minute,
+		Faults:             &fmi.FaultPlan{Script: []fmi.Fault{{AfterLoop: 3, Node: -1, Rank: failedRank}}},
+	}
+	rep, err := fmi.Run(cfg, func(env *fmi.Env) error {
+		state := make([]byte, 8)
+		world := env.World()
+		for {
+			n := env.Loop(state)
+			if n >= 6 {
+				break
+			}
+			sum, err := fmi.AllreduceInt64(world, fmi.SumInt64(), int64(env.Rank()+1))
+			if err != nil {
+				continue
+			}
+			binary.LittleEndian.PutUint64(state, uint64(n+1))
+			if env.Rank() == 0 && n == 5 {
+				fmt.Printf("final allreduce: %d\n", sum[0])
+			}
+		}
+		return env.Finalize()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	survivorRollbacks := 0
+	for _, e := range rep.Timeline {
+		switch string(e.Kind) {
+		case "rollback", "restore":
+			if e.Rank != failedRank {
+				survivorRollbacks++
+			}
+		}
+	}
+	fmt.Printf("survivor rollbacks: %d\n", survivorRollbacks)
+	// Output:
+	// final allreduce: 10
+	// survivor rollbacks: 0
+}

@@ -31,6 +31,7 @@
 package fmi
 
 import (
+	"fmt"
 	"io"
 	"sync/atomic"
 	"time"
@@ -156,6 +157,14 @@ type Config struct {
 	Level2Every int
 	// LogRingBase is the log-ring base k (paper default 2).
 	LogRingBase int
+	// Recovery selects the recovery protocol. "global" (the default,
+	// also selected by "") is the paper's coordinated rollback: every
+	// rank restores the last checkpoint after a failure. "local"
+	// enables sender-based message logging with localized recovery:
+	// survivors keep their state and pause only for the membership
+	// fence while respawned ranks re-execute from the checkpoint with
+	// their receives replayed from the survivors' logs.
+	Recovery string
 	// Transport selects the substrate.
 	Transport TransportKind
 	// DetectDelay models how long peers take to observe a process
@@ -176,6 +185,10 @@ type Config struct {
 	// checkpoints, rollbacks) after completion. The raw events are
 	// also returned in Report.Timeline.
 	TraceTo io.Writer
+	// TraceJSONTo, when non-nil, receives the same timeline as JSON
+	// Lines — one event object per line, timestamps relative to run
+	// start — for machine consumption (fmirun -trace-json).
+	TraceJSONTo io.Writer
 }
 
 // Report summarises a run.
@@ -238,6 +251,11 @@ type App func(env *Env) error
 // Run launches the application on a simulated cluster under the FMI
 // runtime and blocks until every rank finishes or the job aborts.
 func Run(cfg Config, app App) (*Report, error) {
+	switch cfg.Recovery {
+	case "", "global", "local":
+	default:
+		return nil, fmt.Errorf("fmi: unknown Recovery %q (want \"global\" or \"local\")", cfg.Recovery)
+	}
 	var nw transport.Network
 	opts := transport.Options{DetectDelay: cfg.DetectDelay, PropDelay: cfg.PropDelay}
 	if opts.DetectDelay == 0 {
@@ -261,7 +279,7 @@ func Run(cfg Config, app App) (*Report, error) {
 	clu := cluster.New(nodes + cfg.SpareNodes)
 
 	var rec *trace.Recorder
-	if cfg.TraceTo != nil {
+	if cfg.TraceTo != nil || cfg.TraceJSONTo != nil {
 		rec = trace.New()
 	}
 	rcfg := runtime.Config{
@@ -280,6 +298,7 @@ func Run(cfg Config, app App) (*Report, error) {
 		Timeout:        cfg.Timeout,
 		MaxEpochs:      cfg.MaxEpochs,
 		ProvisionDelay: cfg.ProvisionDelay,
+		Recovery:       cfg.Recovery,
 	}
 
 	var inj *cluster.Injector
@@ -341,7 +360,14 @@ func Run(cfg Config, app App) (*Report, error) {
 	}
 	if rec != nil {
 		out.Timeline = rec.Events()
-		rec.Dump(cfg.TraceTo)
+		if cfg.TraceTo != nil {
+			rec.Dump(cfg.TraceTo)
+		}
+		if cfg.TraceJSONTo != nil {
+			if jerr := rec.WriteJSONL(cfg.TraceJSONTo); jerr != nil && err == nil {
+				err = jerr
+			}
+		}
 	}
 	return out, err
 }

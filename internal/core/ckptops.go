@@ -30,14 +30,17 @@ func (gc *groupComm) Recv(peer int) ([]byte, error) {
 }
 
 // groupMeta is exchanged within a group at encode time so any survivor
-// can brief a restarted member.
+// can brief a restarted member. In local mode it carries the sender's
+// serialized messaging state (replicated, not parity-encoded — see
+// msgState).
 type groupMeta struct {
 	TotalSize int
-	Shape     []int // per-segment sizes of this rank's snapshot
+	Shape     []int  // per-segment sizes of this rank's snapshot
+	MsgState  []byte // serialized msgState (local mode; nil otherwise)
 }
 
 func encodeGroupMeta(m groupMeta) []byte {
-	out := make([]byte, 0, 8+4*len(m.Shape))
+	out := make([]byte, 0, 12+4*len(m.Shape)+len(m.MsgState))
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], uint32(m.TotalSize))
 	out = append(out, b[:]...)
@@ -47,6 +50,9 @@ func encodeGroupMeta(m groupMeta) []byte {
 		binary.LittleEndian.PutUint32(b[:], uint32(s))
 		out = append(out, b[:]...)
 	}
+	binary.LittleEndian.PutUint32(b[:], uint32(len(m.MsgState)))
+	out = append(out, b[:]...)
+	out = append(out, m.MsgState...)
 	return out
 }
 
@@ -64,6 +70,19 @@ func decodeGroupMeta(data []byte) (groupMeta, error) {
 	for i := 0; i < k; i++ {
 		m.Shape[i] = int(binary.LittleEndian.Uint32(data[4*i:]))
 	}
+	data = data[4*k:]
+	if len(data) < 4 {
+		return groupMeta{}, fmt.Errorf("fmi: truncated group meta msgstate")
+	}
+	ms := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < ms {
+		return groupMeta{}, fmt.Errorf("fmi: truncated group meta msgstate")
+	}
+	if ms > 0 {
+		m.MsgState = make([]byte, ms)
+		copy(m.MsgState, data[:ms])
+	}
 	return m, nil
 }
 
@@ -76,6 +95,10 @@ type entryExt struct {
 	NextCtx     uint32  // communicator context counter at capture time
 	CommSeq     int     // communicator creation counter at capture time
 	L1Count     int     // level-1 checkpoint ordinal (level-2 cadence)
+	// GroupMsgStates holds each group member's serialized msgState at
+	// this checkpoint (local mode): replicated so any survivor can hand
+	// a respawned member its messaging state along with the brief.
+	GroupMsgStates [][]byte
 }
 
 // brief is what the informant survivor sends a restarted group member.
@@ -85,8 +108,9 @@ type brief struct {
 	NextCtx   uint32
 	CommSeq   int
 	L1Count   int
-	Sizes     []int   // checkpoint byte sizes per group member
-	Shapes    [][]int // segment shapes per group member
+	Sizes     []int    // checkpoint byte sizes per group member
+	Shapes    [][]int  // segment shapes per group member
+	MsgStates [][]byte // all members' checkpointed msgStates (local mode)
 }
 
 func encodeBrief(b brief) []byte {
@@ -111,6 +135,11 @@ func encodeBrief(b brief) []byte {
 		for _, s := range sh {
 			put(uint32(s))
 		}
+	}
+	put(uint32(len(b.MsgStates)))
+	for _, ms := range b.MsgStates {
+		put(uint32(len(ms)))
+		out = append(out, ms...)
 	}
 	return out
 }
@@ -165,6 +194,25 @@ func decodeBrief(data []byte) (brief, error) {
 			b.Shapes[i][j] = int(v)
 		}
 	}
+	nms, err := get()
+	if err != nil {
+		return b, err
+	}
+	b.MsgStates = make([][]byte, nms)
+	for i := range b.MsgStates {
+		ms, err := get()
+		if err != nil {
+			return b, err
+		}
+		if len(data) < int(ms) {
+			return b, fmt.Errorf("fmi: truncated restore brief msgstate")
+		}
+		if ms > 0 {
+			b.MsgStates[i] = make([]byte, ms)
+			copy(b.MsgStates[i], data[:ms])
+			data = data[ms:]
+		}
+	}
 	return b, nil
 }
 
@@ -173,6 +221,7 @@ func decodeBrief(data []byte) (brief, error) {
 func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	start := time.Now()
 	snap := ckpt.Capture(id, segs)
+	msgState, seenAtCapture := p.captureMsgState()
 	group := p.groups[p.rank]
 	gi := p.gidx[p.rank]
 	g := len(group)
@@ -185,10 +234,15 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 		CommSeq:  p.commSeq,
 		L1Count:  p.l1Count,
 	}
+	if p.cfg.Local {
+		entry.GroupMsgStates = make([][]byte, g)
+		entry.GroupMsgStates[gi] = msgState
+	}
 
 	if g >= 2 {
-		// Exchange sizes and segment shapes within the group.
-		meta := encodeGroupMeta(groupMeta{TotalSize: len(snap.Data), Shape: snap.Sizes})
+		// Exchange sizes and segment shapes (plus, in local mode, each
+		// member's messaging state) within the group.
+		meta := encodeGroupMeta(groupMeta{TotalSize: len(snap.Data), Shape: snap.Sizes, MsgState: msgState})
 		for i, r := range group {
 			if i == gi {
 				continue
@@ -215,6 +269,9 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 			}
 			sizes[i] = gm.TotalSize
 			shapes[i] = gm.Shape
+			if p.cfg.Local {
+				entry.GroupMsgStates[i] = gm.MsgState
+			}
 		}
 		maxSize := 0
 		for _, s := range sizes {
@@ -244,7 +301,11 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	// checkpoint before anyone retires the previous one. Rank 0
 	// piggybacks the next auto-tuned interval on the release wave.
 	next := p.interval
-	if p.rank == 0 && p.autoInterval {
+	if p.rank == 0 && p.autoInterval && !p.reexec {
+		// During a replacement's checkpoint re-execution the negotiated
+		// (post-agree) interval is rebroadcast verbatim: re-tuning from
+		// this incarnation's EWMAs could hand a still-blocked survivor a
+		// different value than the original wave delivered.
 		next = p.tuneInterval()
 	}
 	var payload [4]byte
@@ -265,6 +326,14 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	p.committed = entry
 	p.staged = nil
 	p.lastCkpt = id
+	if p.cfg.Local {
+		ents, bytes := p.log.Stats()
+		p.cfg.Trace.Add(trace.KindMsgLogged, p.rank, p.epoch,
+			"log holds %d entries (%d B) at checkpoint %d", ents, bytes, id)
+		// Garbage-collect asynchronously: entries every receiver's
+		// committed checkpoint acknowledges can never be replayed again.
+		go p.trimLog(entry.L1Count, p.logEra, p.epoch, seenAtCapture)
+	}
 	if err := p.maybeWriteL2(id); err != nil {
 		return err
 	}

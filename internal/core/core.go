@@ -137,6 +137,10 @@ type Config struct {
 	// disables level 2. L2 must be set when L2Every > 0.
 	L2Every int
 	L2      L2Store
+	// Local selects localized (message-logging) recovery: survivors
+	// keep their state across a failure and serve logged-message replay
+	// to respawned ranks, instead of the paper's global rollback.
+	Local   bool
 	Network transport.Network
 	Ctl     Control
 	KillCh  <-chan struct{}
@@ -182,6 +186,59 @@ type Stats struct {
 	L2Checkpoints   int
 	L2Restores      int
 	L2RestoreTime   time.Duration
+	matcher         map[int]MatcherCounters
+	LogEntries      int
+	LogBytes        int64
+	Replays         int
+	ReplayedMsgs    int
+}
+
+// MatcherCounters are one rank's accumulated matcher statistics:
+// delivered messages, stale-epoch discards (paper §IV-D), and
+// duplicates suppressed by local recovery's receive watermarks.
+type MatcherCounters struct {
+	Delivered     uint64
+	Dropped       uint64
+	DupSuppressed uint64
+}
+
+// AddMatcher accumulates one generation's matcher counters for rank.
+func (s *Stats) AddMatcher(rank int, delivered, dropped, dupSuppressed uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.matcher == nil {
+		s.matcher = make(map[int]MatcherCounters)
+	}
+	c := s.matcher[rank]
+	c.Delivered += delivered
+	c.Dropped += dropped
+	c.DupSuppressed += dupSuppressed
+	s.matcher[rank] = c
+	s.mu.Unlock()
+}
+
+// AddLog records a rank's message-log retention at shutdown.
+func (s *Stats) AddLog(entries, bytes int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.LogEntries += entries
+	s.LogBytes += int64(bytes)
+	s.mu.Unlock()
+}
+
+// AddReplay records one sender's replay round (msgs re-sent from its log).
+func (s *Stats) AddReplay(msgs int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Replays++
+	s.ReplayedMsgs += msgs
+	s.mu.Unlock()
 }
 
 // AddCheckpoint records one rank's checkpoint.
@@ -309,6 +366,13 @@ type StatsSnapshot struct {
 	L2Checkpoints   int
 	L2Restores      int
 	L2RestoreTime   time.Duration
+	// Matcher maps rank -> accumulated matcher counters across all of
+	// the rank's generations.
+	Matcher      map[int]MatcherCounters
+	LogEntries   int
+	LogBytes     int64
+	Replays      int
+	ReplayedMsgs int
 }
 
 // Snapshot returns a copy of the statistics.
@@ -329,6 +393,16 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		L2Checkpoints:   s.L2Checkpoints,
 		L2Restores:      s.L2Restores,
 		L2RestoreTime:   s.L2RestoreTime,
+		LogEntries:      s.LogEntries,
+		LogBytes:        s.LogBytes,
+		Replays:         s.Replays,
+		ReplayedMsgs:    s.ReplayedMsgs,
+	}
+	if len(s.matcher) > 0 {
+		snap.Matcher = make(map[int]MatcherCounters, len(s.matcher))
+		for r, c := range s.matcher {
+			snap.Matcher[r] = c
+		}
 	}
 	if s.notifySamples > 0 {
 		snap.MeanNotify = s.NotifyTime / time.Duration(s.notifySamples)

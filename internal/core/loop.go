@@ -40,6 +40,27 @@ func (p *Proc) Loop(segs [][]byte) int {
 			if err != nil {
 				p.fatal(err)
 			}
+			if p.reexecPending {
+				// Sender-based logging (local mode): the messaging state
+				// was captured at the top of the restore checkpoint, so a
+				// replacement re-executes the checkpoint exchange itself.
+				// That deterministically regenerates every message the
+				// dead incarnation sent after capture — ring shards, group
+				// meta, the agree wave — under the original sequence
+				// numbers: survivors that consumed the originals suppress
+				// the copies, while a survivor still blocked on a message
+				// lost with the dead rank (e.g. the commit broadcast)
+				// finally receives it. It also re-arms the double buffer
+				// and contributes this rank's pending log-trim round.
+				p.reexecPending = false
+				p.l1Count-- // checkpoint() re-increments to the captured value
+				p.reexec = true
+				err := p.checkpoint(id, segs)
+				p.reexec = false
+				if err != nil {
+					p.fatal(err)
+				}
+			}
 			p.cfg.Stats.AddLostIterations(p.loopID - (id + 1))
 			p.loopID = id + 1
 			p.lastLoopAt = time.Now()
@@ -155,12 +176,24 @@ func (p *Proc) negotiateRestore() error {
 			restoreID = int(in.AvailID)
 		}
 	}
+	// amFresh: this process is a replacement that has not yet restored.
+	// In local mode only fresh replacements roll back; survivors keep
+	// their live state and merely serve replay.
+	amFresh := infos[p.rank].IsReplacement
 	if restoreID <= -1 {
 		// Failure before the first checkpoint completed anywhere:
-		// nothing to restore; replacements start fresh.
+		// nothing to restore; replacements start fresh. In local mode
+		// survivors still replay their logs so the restarted rank's
+		// re-execution from iteration zero receives what it missed.
 		p.staged = nil
 		p.pendingID = -1
 		p.pendingApplied = false
+		p.reexecPending = false
+		if p.cfg.Local {
+			if err := p.replayExchange(); err != nil {
+				return err
+			}
+		}
 		return p.barrierH3(coord, cancel)
 	}
 	// If the damage exceeds what the XOR groups can repair, fall back
@@ -171,22 +204,41 @@ func (p *Proc) negotiateRestore() error {
 		if err := p.restoreL2(); err != nil {
 			return err
 		}
+		if p.cfg.Local {
+			// The fallback is a *global* rollback: every rank restarts
+			// its message streams from scratch, so all logging state
+			// resets and no replay runs. The log era moves to the
+			// fallback epoch (job-wide agreed) so pending trim rounds
+			// from the abandoned era can never collide with new ones
+			// after l1Count rolls back.
+			p.log.Reset()
+			p.carrySeen, p.carryQueue = nil, nil
+			p.gen.m.ResetSeen()
+			p.logEra = p.epoch
+			p.reexecPending = false
+		}
 		return p.barrierH3(coord, cancel)
 	}
 
 	// Adopt the interval recorded by the lowest-ranked survivor
 	// holding the restore point (keeps the checkpoint schedule
 	// globally consistent even when a failure interrupted an interval
-	// re-tune broadcast).
-	for _, in := range infos {
-		if !in.IsReplacement && int(in.AvailID) == restoreID {
-			p.interval = int(in.Interval)
-			break
+	// re-tune broadcast). Local-mode survivors skip this: they keep
+	// running with their current schedule, and a replacement converges
+	// through the replayed re-tune broadcast it re-executes.
+	if !p.cfg.Local || amFresh {
+		for _, in := range infos {
+			if !in.IsReplacement && int(in.AvailID) == restoreID {
+				p.interval = int(in.Interval)
+				break
+			}
 		}
 	}
 
 	// Select the local entry for restoreID (roll a fully staged entry
-	// forward, or discard it).
+	// forward, or discard it). A local-mode survivor blocked inside an
+	// in-flight checkpoint call keeps driving that call after recovery,
+	// so the roll-forward here is only bookkeeping either way.
 	if p.staged != nil {
 		if p.staged.Snap.LoopID == restoreID {
 			p.committed = p.staged
@@ -197,8 +249,23 @@ func (p *Proc) negotiateRestore() error {
 	if err := p.groupRestore(p.groups[p.rank], p.gidx[p.rank], infos, restoreID); err != nil {
 		return err
 	}
-	p.pendingID = restoreID
-	p.pendingApplied = false
+	if p.cfg.Local {
+		if amFresh {
+			p.pendingID = restoreID
+			p.pendingApplied = false
+			p.reexecPending = true
+		} else {
+			p.pendingID = -1
+		}
+		// Replay after the replacement seeded its restored watermarks
+		// (groupRestore), so the gathered vectors are authoritative.
+		if err := p.replayExchange(); err != nil {
+			return err
+		}
+	} else {
+		p.pendingID = restoreID
+		p.pendingApplied = false
+	}
 	return p.barrierH3(coord, cancel)
 }
 
@@ -255,6 +322,7 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 				L1Count:   e.L1Count,
 				Sizes:     e.GroupSizes,
 				Shapes:    e.GroupShapes,
+				MsgStates: e.GroupMsgStates,
 			})
 			for _, li := range lost {
 				if err := p.sendRaw(group[li], ctxWorld, tagCkptMeta, transport.KindCkpt, bf); err != nil {
@@ -308,11 +376,39 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 			GroupSizes: b.Sizes,
 			GroupLoop:  b.RestoreID,
 		},
-		Interval:    p.interval,
-		GroupShapes: b.Shapes,
-		NextCtx:     b.NextCtx,
-		CommSeq:     b.CommSeq,
-		L1Count:     b.L1Count,
+		Interval:       p.interval,
+		GroupShapes:    b.Shapes,
+		NextCtx:        b.NextCtx,
+		CommSeq:        b.CommSeq,
+		L1Count:        b.L1Count,
+		GroupMsgStates: b.MsgStates,
+	}
+	if p.cfg.Local && gi < len(b.MsgStates) && len(b.MsgStates[gi]) > 0 {
+		if err := p.restoreMsgState(b.MsgStates[gi]); err != nil {
+			return fmt.Errorf("%w: %v", ErrUnrecoverable, err)
+		}
+	}
+	return nil
+}
+
+// restoreMsgState adopts the checkpointed messaging state on a
+// respawned rank: send counters resume so re-executed sends reproduce
+// their original sequence numbers, receive watermarks suppress already
+// -consumed duplicates, and the captured unexpected queue is restored.
+// The pending trim round is contributed later, when the re-executed
+// checkpoint exchange (Loop's restore path) commits.
+func (p *Proc) restoreMsgState(blob []byte) error {
+	st, err := decodeMsgState(blob)
+	if err != nil {
+		return err
+	}
+	if err := p.log.RestoreSendSeqs(st.SendSeqs); err != nil {
+		return err
+	}
+	p.logEra = st.Era
+	p.gen.m.SeedSeen(st.Seen)
+	if len(st.Queue) > 0 {
+		p.gen.m.Inject(st.Queue)
 	}
 	return nil
 }

@@ -2,23 +2,32 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"fmi/internal/transport"
 )
 
 // sendRaw transmits payload to a world rank on the given (ctx, tag).
 // Messages to dead peers vanish silently at the transport (PSM
-// semantics) and are repaired by rollback.
+// semantics) and are repaired by rollback — or, in local mode, by
+// replay from the sender-based message log: every data-plane send is
+// assigned a per-(sender, receiver) sequence number and a copy is
+// retained until a checkpoint commit acknowledges it.
 func (p *Proc) sendRaw(world int, ctx uint32, tag int32, kind byte, payload []byte) error {
 	addr, err := p.addrOf(world)
 	if err != nil {
 		return err
+	}
+	var seq uint64
+	if p.cfg.Local && p.seqActive && p.log != nil {
+		seq = p.log.Record(world, ctx, tag, kind, payload)
 	}
 	return p.gen.ep.Send(addr, transport.Msg{
 		Src:   int32(p.rank),
 		Tag:   tag,
 		Ctx:   ctx,
 		Epoch: p.epoch,
+		Seq:   seq,
 		Kind:  kind,
 		Data:  payload,
 	})
@@ -26,13 +35,29 @@ func (p *Proc) sendRaw(world int, ctx uint32, tag int32, kind byte, payload []by
 
 // recvRaw blocks for a matching message, aborting on failure
 // notification or kill (via the generation's merged cancel channel).
+// In local mode a survivor's receive rides through the epoch fence:
+// recover the generation (H1/H2 + replay negotiation), then re-post
+// the same receive on the rebuilt matcher — the carried-over watermarks
+// and unexpected queue guarantee no loss and no duplicate.
 func (p *Proc) recvRaw(ctx uint32, src int32, tag int32) (transport.Msg, error) {
-	msg, err := p.gen.m.Recv(ctx, src, tag, p.gen.cancelCh)
-	if err != nil {
+	for {
+		msg, err := p.gen.m.Recv(ctx, src, tag, p.gen.cancelCh)
+		if err == nil {
+			return msg, nil
+		}
 		p.checkAlive()
-		return transport.Msg{}, ErrFailureDetected
+		if !p.cfg.Local || !p.seqActive {
+			return transport.Msg{}, ErrFailureDetected
+		}
+		p.recover()
+		if p.pendingID >= 0 {
+			// The fence fell back to a level-2 restore — a *global*
+			// rollback even in local mode. This survivor must unwind to
+			// Loop and roll back with everyone else instead of waiting
+			// for a message the rolled-back world will never re-send.
+			return transport.Msg{}, ErrFailureDetected
+		}
 	}
-	return msg, nil
 }
 
 // Send transmits data to the destination rank of the communicator
@@ -117,16 +142,26 @@ func (c *Comm) TryRecv(src, tag int) (data []byte, from int, ok bool, err error)
 	return msg.Data, c.Translate(int(msg.Src)), true, nil
 }
 
-// Request is a pending nonblocking operation.
+// Request is a pending nonblocking operation. In local recovery mode
+// receives are awaited lazily in Wait (the caller's thread must drive
+// the ride-through recovery), so await is non-nil there.
 type Request struct {
-	done chan struct{}
-	data []byte
-	from int
-	err  error
+	done  chan struct{}
+	data  []byte
+	from  int
+	err   error
+	await func() ([]byte, int, error)
+	once  sync.Once
 }
 
 // Wait blocks until the operation completes and returns its result.
 func (r *Request) Wait() (data []byte, from int, err error) {
+	if r.await != nil {
+		r.once.Do(func() {
+			r.data, r.from, r.err = r.await()
+			close(r.done)
+		})
+	}
 	<-r.done
 	return r.data, r.from, r.err
 }
@@ -178,6 +213,39 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 	}
 	r := &Request{done: make(chan struct{})}
 	gen := c.p.gen
+	if c.p.cfg.Local {
+		// Lazy await: the fence ride-through (recover + re-post) must
+		// run on the application thread, so the await happens inside
+		// Wait rather than on a goroutine. Test reports false until
+		// Wait is called. If the generation is replaced before Wait,
+		// the posted receive is re-issued on the new matcher; with
+		// several outstanding same-(src,tag) Irecvs a fence can reorder
+		// their completion (documented local-mode limitation).
+		p := c.p
+		r.await = func() ([]byte, int, error) {
+			for {
+				msg, err := pend.Await(gen.cancelCh)
+				if err == nil {
+					return msg.Data, c.Translate(int(msg.Src)), nil
+				}
+				p.checkAlive()
+				if !p.seqActive {
+					return nil, -1, ErrFailureDetected
+				}
+				p.recover()
+				if p.pendingID >= 0 {
+					// Level-2 fallback: global rollback, unwind to Loop.
+					return nil, -1, ErrFailureDetected
+				}
+				gen = p.gen
+				pend, err = gen.m.PostRecv(c.ctx, srcWorld, int32(tag))
+				if err != nil {
+					return nil, -1, ErrFailureDetected
+				}
+			}
+		}
+		return r, nil
+	}
 	go func() {
 		msg, err := pend.Await(gen.cancelCh)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"fmi/internal/bootstrap"
 	"fmi/internal/ckpt"
+	"fmi/internal/msglog"
 	"fmi/internal/overlay"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
@@ -55,6 +56,24 @@ type Proc struct {
 	nextCtx  uint32
 	commSeq  int // count of communicator-creating calls (cache keys)
 	finalize bool
+
+	// Localized (message-logging) recovery state, cfg.Local only.
+	log       *msglog.Log // sender-based volatile message log
+	seqActive bool        // sequencing armed (between negotiate and teardown)
+	logEra    uint32      // bumped to the epoch of every level-2 fallback
+	// reexecPending marks a fresh replacement that must re-execute the
+	// restore checkpoint's exchange after applying the snapshot, so the
+	// dead incarnation's post-capture messages are regenerated with
+	// their original sequence numbers. reexec is true while that
+	// re-execution runs.
+	reexecPending bool
+	reexec        bool
+	// Matcher state carried across an epoch fence on a survivor: the
+	// receive watermarks plus accepted-but-unconsumed data-plane
+	// messages, harvested from the old generation's matcher and seeded
+	// into the new one so nothing is lost or double-delivered.
+	carrySeen  []uint64
+	carryQueue []transport.Msg
 }
 
 // generation bundles everything that is rebuilt on recovery.
@@ -68,6 +87,7 @@ type generation struct {
 	cancelCh   chan struct{} // closed on failure notification OR kill
 	stop       chan struct{} // stops the watcher
 	notifiedAt time.Time
+	tornDown   bool // teardown ran (guards double harvest/stat counting)
 }
 
 func (g *generation) failed() bool {
@@ -103,6 +123,9 @@ func Init(cfg Config) (*Proc, error) {
 	p.coder = ckpt.NewCoder(cfg.Redundancy, 0)
 	p.groups, p.gidx = ckpt.Groups(cfg.N, cfg.ProcsPerNode, cfg.GroupSize)
 	p.world = newWorldComm(p)
+	if cfg.Local {
+		p.log = msglog.New(cfg.N)
+	}
 
 	// A replacement may have been spawned for an epoch that has since
 	// advanced; join whatever is current.
@@ -173,6 +196,7 @@ func (p *Proc) checkAlive() {
 // returns an error; the caller advances the epoch and retries.
 func (p *Proc) buildGeneration() error {
 	p.checkAlive()
+	p.seqActive = false // no data-plane sequencing during the fence
 	p.teardownGen(p.gen)
 	p.gen = nil
 	// Note: a fully staged checkpoint (encode finished, commit wave
@@ -194,6 +218,20 @@ func (p *Proc) buildGeneration() error {
 	g.ep = ep
 	g.m = transport.NewMatcher(ep)
 	g.m.AdvanceEpoch(p.epoch)
+	if p.cfg.Local {
+		g.m.EnableDedup(p.n)
+		// Re-seed state carried over from the previous generation: the
+		// receive watermarks keep suppressing replayed duplicates, and
+		// accepted-but-unconsumed messages stay deliverable. (The
+		// teardown harvest repopulates the carry if this round fails.)
+		if p.carrySeen != nil {
+			g.m.SeedSeen(p.carrySeen)
+		}
+		if len(p.carryQueue) > 0 {
+			g.m.Inject(p.carryQueue)
+		}
+		p.carrySeen, p.carryQueue = nil, nil
+	}
 
 	// Cancel H1/H2 waits when the process is killed OR the job epoch
 	// advances past this round (a further failure made it stale).
@@ -260,6 +298,11 @@ func (p *Proc) buildGeneration() error {
 		p.gen = nil
 		return err
 	}
+	if p.cfg.Local {
+		// Sequencing arms only once the generation is fully negotiated;
+		// fence-internal traffic stays unsequenced (Seq 0).
+		p.seqActive = true
+	}
 	return nil
 }
 
@@ -287,8 +330,21 @@ func mergeCancel(a, b <-chan struct{}) (<-chan struct{}, func()) {
 }
 
 func (p *Proc) teardownGen(g *generation) {
-	if g == nil {
+	if g == nil || g.tornDown {
 		return
+	}
+	g.tornDown = true
+	if g.m != nil {
+		d, dr, dup := g.m.Stats()
+		p.cfg.Stats.AddMatcher(p.rank, d, dr, dup)
+		if p.cfg.Local {
+			// Harvest receive-side state for the next generation.
+			seen, queued := g.m.HarvestState()
+			if len(seen) > 0 {
+				p.carrySeen = seen
+				p.carryQueue = queued
+			}
+		}
 	}
 	if g.stop != nil {
 		select {
@@ -355,11 +411,19 @@ func (p *Proc) addrOf(rank int) (transport.Addr, error) {
 	return p.gen.table[rank], nil
 }
 
-// checkComm guards the start of every communication call.
+// checkComm guards the start of every communication call. In local
+// (message-logging) mode survivors do NOT fail fast on a notification:
+// their operations ride through the epoch fence transparently (sends
+// to dead peers vanish at the transport and are repaired by replay;
+// receives re-post on the rebuilt generation inside recvRaw), so the
+// application never observes the failure and never re-executes work.
 func (p *Proc) checkComm() error {
 	p.checkAlive()
 	if p.finalize {
 		return ErrFinalized
+	}
+	if p.cfg.Local && p.seqActive {
+		return nil
 	}
 	if p.gen.failed() {
 		return ErrFailureDetected
@@ -373,6 +437,9 @@ func (p *Proc) Finalize() error {
 	p.checkAlive()
 	if p.finalize {
 		return ErrFinalized
+	}
+	if p.cfg.Local {
+		return p.finalizeLocal()
 	}
 	// Stop reacting to peers' teardown before anyone starts closing.
 	p.gen.ring.Quiesce()
@@ -389,4 +456,41 @@ func (p *Proc) Finalize() error {
 	p.cfg.Trace.Add(trace.KindFinalize, p.rank, p.epoch, "finalized")
 	p.teardownGen(p.gen)
 	return err
+}
+
+// finalizeLocal is Finalize for localized recovery. Ranks may sit at
+// different epochs (survivors never re-enter H1 unless notified), so
+// the exit barrier uses an epoch-independent key, and a failure while
+// waiting is ridden through like any other operation: recover the
+// generation, re-join the barrier. Failure detection stays armed until
+// the barrier passes — a rank that dies *during* finalize is respawned,
+// re-executes from its checkpoint, and joins the same barrier.
+func (p *Proc) finalizeLocal() error {
+	for {
+		cancel, stopCancel := mergeCancel(p.cfg.KillCh, p.gen.cancelCh)
+		err := p.cfg.Ctl.Coordinator().Barrier("finalize-local", p.rank, p.n, cancel)
+		stopCancel()
+		if err == nil {
+			break
+		}
+		p.checkAlive()
+		p.recover()
+	}
+	p.gen.ring.Quiesce()
+	if p.gen.stop != nil {
+		select {
+		case <-p.gen.stop:
+		default:
+			close(p.gen.stop)
+		}
+	}
+	p.finalize = true
+	p.seqActive = false
+	p.state = StateFinalized
+	if p.log != nil {
+		p.cfg.Stats.AddLog(p.log.Stats())
+	}
+	p.cfg.Trace.Add(trace.KindFinalize, p.rank, p.epoch, "finalized")
+	p.teardownGen(p.gen)
+	return nil
 }

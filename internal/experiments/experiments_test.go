@@ -185,6 +185,39 @@ func TestFig15Small(t *testing.T) {
 	}
 }
 
+func TestMsgLogSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery comparison in -short mode")
+	}
+	rows, err := MsgLog([]int{4}, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.FFGlobal <= 0 || r.FFLocal <= 0 || r.FailGlobal <= 0 || r.FailLocal <= 0 {
+		t.Fatalf("non-positive walls: %+v", r)
+	}
+	// The headline claim: localized recovery removes survivor rework
+	// entirely, while global rollback forces some.
+	if r.ReworkLocal != 0 {
+		t.Fatalf("local recovery caused %d survivor re-executions", r.ReworkLocal)
+	}
+	if r.ReworkGlobal == 0 {
+		t.Fatal("global rollback caused no survivor rework (failure too late?)")
+	}
+	if r.Replayed == 0 {
+		t.Fatal("local failure run replayed no messages")
+	}
+	var buf bytes.Buffer
+	PrintMsgLog(&buf, 12, 3, rows)
+	if !strings.Contains(buf.String(), "Message logging") {
+		t.Fatal("printer broken")
+	}
+}
+
 func TestModelPrinters(t *testing.T) {
 	var buf bytes.Buffer
 	PrintTable1(&buf)

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"fmi"
+)
+
+// MsgLogRow compares the two recovery protocols at one process count:
+// the failure-free cost of sender-side logging (Recovery "local" vs the
+// default global rollback) and, with one scripted mid-run failure, the
+// rework each protocol forces on the surviving ranks. Under global
+// rollback every survivor re-executes from the last checkpoint; under
+// message logging only the respawned rank replays, so survivor rework
+// must be zero.
+type MsgLogRow struct {
+	Ranks int
+
+	// Failure-free walls: the logging overhead is FFLocal vs FFGlobal.
+	FFGlobal, FFLocal time.Duration
+
+	// One scripted failure: wall plus iterations re-executed by ranks
+	// that did not fail.
+	FailGlobal, FailLocal   time.Duration
+	ReworkGlobal, ReworkLocal int
+
+	// Local-mode telemetry from the failure run.
+	Replayed   int // messages re-sent from sender logs during recovery
+	LogEntries int // entries still held at exit (bounded by trimming)
+}
+
+// msglogApp is a fixed-work Allreduce loop; execs[rank] counts every
+// completed iteration so re-execution (rework) is directly observable.
+// The per-iteration sleep stands in for compute, making rollback cost
+// visible in wall time.
+func msglogApp(iters int, sleep time.Duration, execs []int64) fmi.App {
+	return func(env *fmi.Env) error {
+		state := make([]byte, 8)
+		world := env.World()
+		for {
+			n := env.Loop(state)
+			if n >= iters {
+				break
+			}
+			if _, err := fmi.AllreduceInt64(world, fmi.SumInt64(), int64(n+env.Rank())); err != nil {
+				continue
+			}
+			atomic.AddInt64(&execs[env.Rank()], 1)
+			if sleep > 0 {
+				time.Sleep(sleep)
+			}
+			binary.LittleEndian.PutUint64(state, uint64(n+1))
+		}
+		return env.Finalize()
+	}
+}
+
+// runMsgLog executes one cell: the given recovery mode, optionally with
+// a single node kill halfway through. Returned rework is the number of
+// iterations re-executed by ranks other than the killed one.
+func runMsgLog(ranks, iters, interval int, recovery string, fail bool) (time.Duration, int, *fmi.Report, error) {
+	execs := make([]int64, ranks)
+	cfg := fmi.Config{
+		Ranks: ranks, ProcsPerNode: 1,
+		CheckpointInterval: interval, XORGroupSize: 4,
+		Recovery:    recovery,
+		DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond,
+		Timeout: 5 * time.Minute,
+	}
+	failed := -1
+	if fail {
+		cfg.SpareNodes = 1
+		failed = ranks / 2
+		// Kill one iteration short of the next checkpoint so the global
+		// protocol has a full interval of progress to roll back — the
+		// worst case message logging is designed to avoid.
+		failAt := (iters/2/interval)*interval + interval - 1
+		cfg.Faults = &fmi.FaultPlan{Script: []fmi.Fault{{AfterLoop: failAt, Node: -1, Rank: failed}}}
+	}
+	start := time.Now()
+	rep, err := fmi.Run(cfg, msglogApp(iters, 2*time.Millisecond, execs))
+	wall := time.Since(start)
+	if err != nil {
+		return wall, 0, rep, err
+	}
+	rework := 0
+	for rank := range execs {
+		if rank == failed {
+			continue
+		}
+		if extra := int(atomic.LoadInt64(&execs[rank])) - iters; extra > 0 {
+			rework += extra
+		}
+	}
+	return wall, rework, rep, nil
+}
+
+// MsgLog runs the four cells (global/local × failure-free/one-failure)
+// at each process count.
+func MsgLog(rankCounts []int, iters, interval int) ([]MsgLogRow, error) {
+	var out []MsgLogRow
+	for _, n := range rankCounts {
+		row := MsgLogRow{Ranks: n}
+		var err error
+		if row.FFGlobal, _, _, err = runMsgLog(n, iters, interval, "global", false); err != nil {
+			return nil, fmt.Errorf("msglog n=%d global ff: %w", n, err)
+		}
+		if row.FFLocal, _, _, err = runMsgLog(n, iters, interval, "local", false); err != nil {
+			return nil, fmt.Errorf("msglog n=%d local ff: %w", n, err)
+		}
+		if row.FailGlobal, row.ReworkGlobal, _, err = runMsgLog(n, iters, interval, "global", true); err != nil {
+			return nil, fmt.Errorf("msglog n=%d global fail: %w", n, err)
+		}
+		var rep *fmi.Report
+		if row.FailLocal, row.ReworkLocal, rep, err = runMsgLog(n, iters, interval, "local", true); err != nil {
+			return nil, fmt.Errorf("msglog n=%d local fail: %w", n, err)
+		}
+		row.Replayed = rep.Stats.ReplayedMsgs
+		row.LogEntries = rep.Stats.LogEntries
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintMsgLog prints the comparison with the headline ratios: the
+// failure-free logging overhead and the survivor rework eliminated by
+// localized recovery.
+func PrintMsgLog(w io.Writer, iters, interval int, rows []MsgLogRow) {
+	fmt.Fprintf(w, "Message logging vs global rollback: %d iterations, checkpoint every %d\n", iters, interval)
+	fmt.Fprintf(w, "%6s %12s %12s %9s %12s %12s %8s %8s %8s %8s\n",
+		"ranks", "ff-glob(ms)", "ff-local(ms)", "log-ovh", "fail-glob", "fail-local",
+		"rwk-glob", "rwk-loc", "replayed", "logheld")
+	for _, r := range rows {
+		ovh := 0.0
+		if r.FFGlobal > 0 {
+			ovh = 100 * (float64(r.FFLocal)/float64(r.FFGlobal) - 1)
+		}
+		fmt.Fprintf(w, "%6d %12.1f %12.1f %8.1f%% %12.1f %12.1f %8d %8d %8d %8d\n",
+			r.Ranks,
+			float64(r.FFGlobal)/1e6, float64(r.FFLocal)/1e6, ovh,
+			float64(r.FailGlobal)/1e6, float64(r.FailLocal)/1e6,
+			r.ReworkGlobal, r.ReworkLocal, r.Replayed, r.LogEntries)
+	}
+	fmt.Fprintln(w, "rwk-*: iterations re-executed by surviving ranks after one failure")
+	fmt.Fprintln(w, "localized recovery keeps survivor rework at zero; only the respawned rank replays")
+}

@@ -1,0 +1,151 @@
+// Package msglog implements sender-based pessimistic message logging,
+// the mechanism behind FMI's localized ("local") recovery mode. Every
+// data-plane message a rank sends is assigned a per-(sender, receiver)
+// sequence number and a copy is retained in the sender's volatile
+// in-memory log. When a node fails, survivors do not roll back:
+// respawned ranks restore their checkpoint shard and re-execute, with
+// their receives satisfied by replaying the survivors' logs, while
+// re-executed duplicate sends are suppressed at the receivers by the
+// same sequence numbers (Dichev & Nikolopoulos; ReStore — see
+// PAPERS.md). The log is bounded: once a checkpoint commits globally,
+// entries every receiver has acknowledged are garbage collected.
+package msglog
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Entry is one logged message. Data is a private copy taken at Record
+// time, so later mutation of the caller's buffer cannot corrupt a
+// replay.
+type Entry struct {
+	Seq  uint64
+	Ctx  uint32
+	Tag  int32
+	Kind byte
+	Data []byte
+}
+
+// Log is one rank's send log: per-destination sequence counters plus
+// the retained entries, ordered by ascending sequence number. All
+// methods are safe for concurrent use (the trim runs asynchronously to
+// the sending application thread).
+type Log struct {
+	mu      sync.Mutex
+	n       int
+	lastSeq []uint64  // last sequence number assigned per destination
+	entries [][]Entry // retained entries per destination, ascending Seq
+	bytes   int       // payload bytes currently retained
+}
+
+// New creates an empty log for a world of n ranks.
+func New(n int) *Log {
+	return &Log{n: n, lastSeq: make([]uint64, n), entries: make([][]Entry, n)}
+}
+
+// Record assigns the next sequence number for dst, retains a copy of
+// the payload, and returns the assigned number (sequence numbers start
+// at 1; 0 marks unsequenced control traffic).
+func (l *Log) Record(dst int, ctx uint32, tag int32, kind byte, data []byte) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastSeq[dst]++
+	seq := l.lastSeq[dst]
+	var cp []byte
+	if len(data) > 0 {
+		cp = make([]byte, len(data))
+		copy(cp, data)
+	}
+	l.entries[dst] = append(l.entries[dst], Entry{Seq: seq, Ctx: ctx, Tag: tag, Kind: kind, Data: cp})
+	l.bytes += len(cp)
+	return seq
+}
+
+// After returns the retained entries for dst with Seq > seq, in
+// sequence order — exactly what a recovering receiver that has
+// acknowledged seq still needs replayed.
+func (l *Log) After(dst int, seq uint64) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ents := l.entries[dst]
+	i := 0
+	for i < len(ents) && ents[i].Seq <= seq {
+		i++
+	}
+	out := make([]Entry, len(ents)-i)
+	copy(out, ents[i:])
+	return out
+}
+
+// Trim garbage-collects entries every receiver has acknowledged:
+// acked[dst] is the highest sequence number dst reported as part of
+// its committed checkpoint state; entries at or below it can never be
+// requested again. Returns the number of entries and payload bytes
+// released.
+func (l *Log) Trim(acked []uint64) (entries, bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for dst := 0; dst < l.n && dst < len(acked); dst++ {
+		ents := l.entries[dst]
+		i := 0
+		for i < len(ents) && ents[i].Seq <= acked[dst] {
+			bytes += len(ents[i].Data)
+			i++
+		}
+		if i > 0 {
+			l.entries[dst] = append([]Entry(nil), ents[i:]...)
+			entries += i
+		}
+	}
+	l.bytes -= bytes
+	return entries, bytes
+}
+
+// SendSeqs returns a copy of the last assigned sequence number per
+// destination — part of the rank's checkpointed runtime state.
+func (l *Log) SendSeqs() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]uint64, l.n)
+	copy(out, l.lastSeq)
+	return out
+}
+
+// RestoreSendSeqs adopts checkpointed counters (a respawned rank
+// restoring from its rebuilt shard): re-executed sends then reproduce
+// the original sequence numbers, so receivers that already consumed
+// them suppress the duplicates.
+func (l *Log) RestoreSendSeqs(seqs []uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(seqs) != l.n {
+		return fmt.Errorf("msglog: restoring %d counters into a log for %d ranks", len(seqs), l.n)
+	}
+	copy(l.lastSeq, seqs)
+	return nil
+}
+
+// Reset drops all entries and zeroes every counter — used when a
+// local-mode run falls back to a global rollback (level-2 restore),
+// after which every rank re-executes and regenerates all streams from
+// scratch in lockstep.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.entries {
+		l.entries[i] = nil
+		l.lastSeq[i] = 0
+	}
+	l.bytes = 0
+}
+
+// Stats returns the number of retained entries and payload bytes.
+func (l *Log) Stats() (entries, bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ents := range l.entries {
+		entries += len(ents)
+	}
+	return entries, l.bytes
+}

@@ -1,0 +1,106 @@
+package msglog
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecordAssignsPerDestinationSeqs(t *testing.T) {
+	l := New(3)
+	if got := l.Record(1, 7, 3, 0, []byte("a")); got != 1 {
+		t.Fatalf("first seq to dst 1 = %d, want 1", got)
+	}
+	if got := l.Record(2, 7, 3, 0, []byte("b")); got != 1 {
+		t.Fatalf("first seq to dst 2 = %d, want 1", got)
+	}
+	if got := l.Record(1, 7, 4, 0, []byte("c")); got != 2 {
+		t.Fatalf("second seq to dst 1 = %d, want 2", got)
+	}
+	want := []uint64{0, 2, 1}
+	got := l.SendSeqs()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SendSeqs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecordCopiesPayload(t *testing.T) {
+	l := New(2)
+	buf := []byte("original")
+	l.Record(1, 1, 0, 0, buf)
+	copy(buf, "mutated!")
+	ents := l.After(1, 0)
+	if !bytes.Equal(ents[0].Data, []byte("original")) {
+		t.Fatalf("logged payload aliased the caller's buffer: %q", ents[0].Data)
+	}
+}
+
+func TestAfterReturnsOnlyUnacknowledged(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 5; i++ {
+		l.Record(1, 1, int32(i), 0, []byte{byte(i)})
+	}
+	ents := l.After(1, 3)
+	if len(ents) != 2 || ents[0].Seq != 4 || ents[1].Seq != 5 {
+		t.Fatalf("After(1,3) = %+v, want seqs [4 5]", ents)
+	}
+	if got := l.After(1, 5); len(got) != 0 {
+		t.Fatalf("After(1,5) = %+v, want empty", got)
+	}
+}
+
+func TestTrimBoundsMemory(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 10; i++ {
+		l.Record(1, 1, 0, 0, make([]byte, 100))
+	}
+	entsBefore, bytesBefore := l.Stats()
+	if entsBefore != 10 || bytesBefore != 1000 {
+		t.Fatalf("pre-trim stats = (%d, %d), want (10, 1000)", entsBefore, bytesBefore)
+	}
+	n, b := l.Trim([]uint64{0, 7})
+	if n != 7 || b != 700 {
+		t.Fatalf("Trim released (%d, %d), want (7, 700)", n, b)
+	}
+	ents, bs := l.Stats()
+	if ents != 3 || bs != 300 {
+		t.Fatalf("post-trim stats = (%d, %d), want (3, 300)", ents, bs)
+	}
+	// The surviving entries keep their original sequence numbers, and
+	// counters keep advancing from where they were.
+	if got := l.After(1, 0); got[0].Seq != 8 {
+		t.Fatalf("first surviving entry seq = %d, want 8", got[0].Seq)
+	}
+	if seq := l.Record(1, 1, 0, 0, nil); seq != 11 {
+		t.Fatalf("seq after trim = %d, want 11", seq)
+	}
+}
+
+func TestRestoreSendSeqsResumesNumbering(t *testing.T) {
+	l := New(3)
+	if err := l.RestoreSendSeqs([]uint64{5, 0, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if seq := l.Record(0, 1, 0, 0, nil); seq != 6 {
+		t.Fatalf("seq to dst 0 after restore = %d, want 6", seq)
+	}
+	if seq := l.Record(2, 1, 0, 0, nil); seq != 10 {
+		t.Fatalf("seq to dst 2 after restore = %d, want 10", seq)
+	}
+	if err := l.RestoreSendSeqs([]uint64{1}); err == nil {
+		t.Fatal("RestoreSendSeqs accepted a wrong-length vector")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	l := New(2)
+	l.Record(1, 1, 0, 0, []byte("x"))
+	l.Reset()
+	if ents, bs := l.Stats(); ents != 0 || bs != 0 {
+		t.Fatalf("post-reset stats = (%d, %d), want (0, 0)", ents, bs)
+	}
+	if seq := l.Record(1, 1, 0, 0, nil); seq != 1 {
+		t.Fatalf("seq after reset = %d, want 1", seq)
+	}
+}

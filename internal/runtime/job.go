@@ -42,6 +42,10 @@ type Config struct {
 	// flushed to the parallel file system, letting the job recover
 	// failures beyond the XOR groups' reach (0 disables level 2).
 	L2Every int
+	// Recovery selects the recovery protocol: "global" (default, the
+	// paper's Fig 5 rollback of every rank) or "local" (sender-based
+	// message logging; only respawned ranks roll back and replay).
+	Recovery string
 	// SCR is the storage manager used for level-2 checkpoints;
 	// created over a Lustre-like PFS model if nil and L2Every > 0.
 	SCR     *scr.Manager
@@ -387,6 +391,7 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 		Redundancy:    j.cfg.Redundancy,
 		L2Every:       j.cfg.L2Every,
 		L2:            j.cfg.SCR,
+		Local:         j.cfg.Recovery == "local",
 		Network:       j.cfg.Network,
 		Ctl:           j,
 		KillCh:        cp.KillCh(),
@@ -486,7 +491,7 @@ func (j *Job) taskFailed(t *task) {
 	j.mu.Unlock()
 
 	// Unblock every rendezvous of the superseded epoch.
-	for _, prefix := range []string{"h1", "h2", "avail", "h3", "finalize"} {
+	for _, prefix := range []string{"h1", "h2", "avail", "h3", "replay", "finalize"} {
 		j.coord.AbortGather(fmt.Sprintf("%s/%d", prefix, oldEpoch), core.ErrFailureDetected)
 	}
 

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// jsonlEvent is the machine-readable form of an Event: one JSON object
+// per line. Times are nanoseconds relative to the recorder's start, so
+// two timelines of the same run shape diff cleanly regardless of
+// wall-clock.
+type jsonlEvent struct {
+	TNs   int64  `json:"t_ns"`
+	Kind  Kind   `json:"kind"`
+	Rank  int    `json:"rank"`
+	Epoch uint32 `json:"epoch"`
+	Note  string `json:"note,omitempty"`
+}
+
+// WriteJSONL writes the time-ordered timeline as JSON Lines, one event
+// per line, with timestamps relative to the recorder's start.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	start := r.start
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		je := jsonlEvent{
+			TNs:   e.At.Sub(start).Nanoseconds(),
+			Kind:  e.Kind,
+			Rank:  e.Rank,
+			Epoch: e.Epoch,
+			Note:  e.Note,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL reads a timeline written by WriteJSONL back into events.
+// The returned events carry their relative offsets re-applied to a
+// zero base time, preserving ordering and spacing.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	base := time.Time{}
+	dec := json.NewDecoder(r)
+	for {
+		var je jsonlEvent
+		if err := dec.Decode(&je); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, Event{
+			At:    base.Add(time.Duration(je.TNs)),
+			Kind:  je.Kind,
+			Rank:  je.Rank,
+			Epoch: je.Epoch,
+			Note:  je.Note,
+		})
+	}
+}

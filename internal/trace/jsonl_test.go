@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New()
+	r.Add(KindNodeFailed, -1, 0, "node %d failed", 3)
+	r.Add(KindMsgLogged, 1, 0, "1024 entries")
+	r.Add(KindReplayStart, 2, 1, "replaying 7 msgs to rank 0")
+	r.Add(KindReplayDone, 2, 1, "")
+	r.Add(KindLogTrim, 1, 1, "released 512 entries")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("wrote %d lines, want 5", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("not one JSON object per line: %q", line)
+		}
+	}
+
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Rank != want[i].Rank ||
+			got[i].Epoch != want[i].Epoch || got[i].Note != want[i].Note {
+			t.Fatalf("event %d mismatch: got %+v, want %+v", i, got[i], want[i])
+		}
+		if i > 0 && got[i].At.Before(got[i-1].At) {
+			t.Fatal("relative timestamps lost ordering")
+		}
+	}
+}
+
+func TestJSONLNilRecorder(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestParseJSONLEmpty(t *testing.T) {
+	evs, err := ParseJSONL(strings.NewReader(""))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("empty input: %v, %v", evs, err)
+	}
+}

@@ -36,6 +36,12 @@ const (
 	KindRollback     Kind = "rollback"
 	KindFinalize     Kind = "finalize"
 	KindAbort        Kind = "abort"
+
+	// Local (message-logging) recovery, ISSUE 2.
+	KindMsgLogged   Kind = "msg-logged"   // sender log size at a checkpoint
+	KindReplayStart Kind = "replay-start" // a sender starts replaying its log
+	KindReplayDone  Kind = "replay-done"  // that sender finished replaying
+	KindLogTrim     Kind = "log-trim"     // checkpoint-commit garbage collection
 )
 
 // Event is one timeline entry.

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// drain waits for the demux goroutine to process everything a.Send put
+// in flight (chan transport delivery is asynchronous).
+func settle() { time.Sleep(10 * time.Millisecond) }
+
+func TestDedupSuppressesDuplicateSeqs(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	mb.EnableDedup(4)
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 1, Data: []byte("one")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 2, Data: []byte("two")})
+	// A replaying sender re-sends seq 1 and 2; both must be suppressed.
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 1, Flags: FlagReplay, Data: []byte("one")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 2, Flags: FlagReplay, Data: []byte("two")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 3, Data: []byte("three")})
+	for _, want := range []string{"one", "two", "three"} {
+		msg, err := mb.Recv(0, 1, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(msg.Data) != want {
+			t.Fatalf("got %q, want %q", msg.Data, want)
+		}
+	}
+	settle()
+	if _, ok := mb.TryRecv(0, 1, 1); ok {
+		t.Fatal("duplicate leaked through to the unexpected queue")
+	}
+	_, _, dup := mb.Stats()
+	if dup != 2 {
+		t.Fatalf("dupSuppressed = %d, want 2", dup)
+	}
+}
+
+func TestDedupUnsequencedExempt(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	mb.EnableDedup(4)
+	// Seq 0 control traffic is never deduplicated, even repeated.
+	a.Send(b.Addr(), Msg{Src: 2, Tag: 7, Data: []byte("c1")})
+	a.Send(b.Addr(), Msg{Src: 2, Tag: 7, Data: []byte("c2")})
+	for _, want := range []string{"c1", "c2"} {
+		msg, err := mb.Recv(0, 2, 7, nil)
+		if err != nil || string(msg.Data) != want {
+			t.Fatalf("got %q, %v; want %q", msg.Data, err, want)
+		}
+	}
+}
+
+func TestDedupSeedSeenAndWatermarks(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	mb.EnableDedup(4)
+	mb.SeedSeen([]uint64{0, 5, 0, 0})
+	// Everything at or below the seeded watermark is a duplicate.
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 4, Data: []byte("old")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 5, Data: []byte("old")})
+	a.Send(b.Addr(), Msg{Src: 1, Tag: 1, Seq: 6, Data: []byte("new")})
+	msg, err := mb.Recv(0, 1, 1, nil)
+	if err != nil || string(msg.Data) != "new" {
+		t.Fatalf("got %q, %v", msg.Data, err)
+	}
+	seen := mb.SeenVector()
+	if seen[1] != 6 {
+		t.Fatalf("seen[1] = %d, want 6", seen[1])
+	}
+	// SeedSeen never moves a watermark backwards.
+	mb.SeedSeen([]uint64{0, 2, 0, 0})
+	if got := mb.SeenVector()[1]; got != 6 {
+		t.Fatalf("watermark regressed to %d", got)
+	}
+}
+
+func TestHarvestAndInjectCarryOver(t *testing.T) {
+	a, b, mb := newMatcherPair(t)
+	mb.EnableDedup(4)
+	// One sequenced message accepted but unconsumed, one control message.
+	a.Send(b.Addr(), Msg{Src: 3, Tag: 2, Seq: 1, Flags: FlagReplay, Data: []byte("pending")})
+	a.Send(b.Addr(), Msg{Src: 3, Tag: -9, Data: []byte("ctl")})
+	settle()
+	seen, queued := mb.HarvestState()
+	if seen[3] != 1 {
+		t.Fatalf("harvested seen[3] = %d, want 1", seen[3])
+	}
+	if len(queued) != 1 || string(queued[0].Data) != "pending" {
+		t.Fatalf("harvested queue = %+v, want only the sequenced message", queued)
+	}
+	if queued[0].Flags&FlagReplay != 0 {
+		t.Fatal("replay flag not cleared on harvested message")
+	}
+
+	// A fresh matcher seeded with the harvest delivers the carried
+	// message and still suppresses its duplicate.
+	nw := NewChanNetwork(Options{})
+	c, err := nw.NewEndpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m2 := NewMatcher(c)
+	defer m2.Close()
+	m2.EnableDedup(4)
+	m2.SeedSeen(seen)
+	m2.Inject(queued)
+	msg, ok := m2.TryRecv(0, 3, 2)
+	if !ok || string(msg.Data) != "pending" {
+		t.Fatalf("injected message not delivered: %+v %v", msg, ok)
+	}
+	m2.deliver(Msg{Src: 3, Tag: 2, Seq: 1, Data: []byte("dup")})
+	if _, ok := m2.TryRecv(0, 3, 2); ok {
+		t.Fatal("seeded watermark failed to suppress the duplicate")
+	}
+}
+
+func TestDedupOutOfRangeSourceDropped(t *testing.T) {
+	_, _, mb := newMatcherPair(t)
+	mb.EnableDedup(2)
+	mb.deliver(Msg{Src: 99, Tag: 1, Seq: 1, Data: []byte("bogus")})
+	if _, ok := mb.TryRecv(0, 99, 1); ok {
+		t.Fatal("sequenced message with out-of-range source accepted")
+	}
+}

@@ -28,6 +28,11 @@ var (
 // messages from a *newer* epoch (possible in the instant between a
 // peer finishing recovery and this process bumping its own epoch) are
 // buffered and delivered after the epoch advances.
+// In local recovery mode the Matcher additionally enforces duplicate
+// suppression (EnableDedup): every sequenced message (Seq != 0) at or
+// below the per-source ingress watermark is a duplicate — a re-sent
+// copy from a replaying sender or a re-executed send from a respawned
+// rank — and is counted and discarded.
 type Matcher struct {
 	ep Endpoint
 
@@ -39,8 +44,12 @@ type Matcher struct {
 	closed     bool
 	closeCh    chan struct{}
 
+	// Duplicate suppression (local recovery mode).
+	dedup bool
+	seen  []uint64 // per-source highest sequenced message accepted
+
 	// stats
-	delivered, dropped uint64
+	delivered, dropped, dupSuppressed uint64
 }
 
 type recvReq struct {
@@ -92,9 +101,19 @@ func (m *Matcher) deliver(msg Msg) {
 	m.mu.Unlock()
 }
 
-// matchOrQueueLocked hands msg to the earliest matching pending
-// receive, or queues it as unexpected.
+// matchOrQueueLocked applies duplicate suppression, then hands msg to
+// the earliest matching pending receive or queues it as unexpected.
 func (m *Matcher) matchOrQueueLocked(msg Msg) {
+	if m.dedup && msg.Seq != 0 {
+		if int(msg.Src) < 0 || int(msg.Src) >= len(m.seen) {
+			return // malformed source on a sequenced message
+		}
+		if msg.Seq <= m.seen[msg.Src] {
+			m.dupSuppressed++
+			return
+		}
+		m.seen[msg.Src] = msg.Seq
+	}
 	for i, req := range m.pending {
 		if req.cancelled {
 			continue
@@ -242,11 +261,111 @@ func (m *Matcher) AdvanceEpoch(e uint32) {
 	m.mu.Unlock()
 }
 
-// Stats returns (delivered, dropped) message counts.
-func (m *Matcher) Stats() (delivered, dropped uint64) {
+// Stats returns (delivered, dropped, duplicate-suppressed) message
+// counts. dropped counts stale-epoch discards (paper §IV-D);
+// dupSuppressed counts sequenced duplicates discarded by local
+// recovery's receive-side watermarks.
+func (m *Matcher) Stats() (delivered, dropped, dupSuppressed uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.delivered, m.dropped
+	return m.delivered, m.dropped, m.dupSuppressed
+}
+
+// EnableDedup switches on sequenced-duplicate suppression for a world
+// of n ranks. Call before any sequenced traffic arrives.
+func (m *Matcher) EnableDedup(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dedup = true
+	if len(m.seen) != n {
+		m.seen = make([]uint64, n)
+	}
+}
+
+// SeedSeen adopts per-source ingress watermarks: state carried over
+// from the previous generation's matcher on a survivor, or restored
+// from the checkpointed receive state on a respawned rank. Watermarks
+// only move forward.
+func (m *Matcher) SeedSeen(seen []uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dedup {
+		m.dedup = true
+	}
+	if len(m.seen) < len(seen) {
+		grown := make([]uint64, len(seen))
+		copy(grown, m.seen)
+		m.seen = grown
+	}
+	for i, s := range seen {
+		if s > m.seen[i] {
+			m.seen[i] = s
+		}
+	}
+}
+
+// SeenVector returns a copy of the per-source ingress watermarks: the
+// highest sequenced message accepted from each source. During replay
+// negotiation this is exactly the rank's "what I already have" vector.
+func (m *Matcher) SeenVector() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, len(m.seen))
+	copy(out, m.seen)
+	return out
+}
+
+// ResetSeen zeroes the ingress watermarks and drops queued sequenced
+// messages — used when a local-recovery run falls back to a global
+// (level-2) rollback, after which every rank restarts its streams from
+// scratch in lockstep.
+func (m *Matcher) ResetSeen() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.seen {
+		m.seen[i] = 0
+	}
+	keep := m.unexpected[:0]
+	for _, msg := range m.unexpected {
+		if msg.Seq == 0 {
+			keep = append(keep, msg)
+		}
+	}
+	m.unexpected = keep
+}
+
+// Inject appends already-accepted messages to the unexpected queue,
+// bypassing the epoch and duplicate filters (their sequence numbers
+// are already covered by the seeded watermarks). Used to carry
+// accepted-but-unconsumed messages across an epoch fence, and to
+// restore a checkpointed queue on a respawned rank.
+func (m *Matcher) Inject(msgs []Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.unexpected = append(m.unexpected, msgs...)
+}
+
+// HarvestState snapshots the duplicate-suppression state for carry-over
+// or checkpointing: the seen watermarks plus the sequenced
+// (data-plane) messages accepted into the unexpected queue but not yet
+// consumed. Unsequenced control messages and future-epoch buffers are
+// excluded — the former are generation-private, the latter were never
+// accepted (their sequence numbers are above the watermark, so a
+// replay regenerates them). The returned messages have their replay
+// flag cleared.
+func (m *Matcher) HarvestState() (seen []uint64, queued []Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen = make([]uint64, len(m.seen))
+	copy(seen, m.seen)
+	for _, msg := range m.unexpected {
+		if msg.Seq == 0 {
+			continue
+		}
+		msg.Flags &^= FlagReplay
+		queued = append(queued, msg)
+	}
+	return seen, queued
 }
 
 // Close shuts the matcher down; blocked receives return

@@ -119,7 +119,7 @@ func TestMatcherStaleEpochDiscarded(t *testing.T) {
 	if string(msg.Data) != "fresh" {
 		t.Fatalf("got %q, stale message not discarded", msg.Data)
 	}
-	_, dropped := mb.Stats()
+	_, dropped, _ := mb.Stats()
 	if dropped != 1 {
 		t.Fatalf("dropped = %d, want 1", dropped)
 	}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestMatcherParityChanVsTCP drives the same traffic script through a
+// chan-backed and a TCP-backed matcher and asserts identical observable
+// behaviour: delivery order, unexpected-queue contents, stale-epoch
+// discard, duplicate suppression, and counters — including an epoch
+// bump with messages still in flight.
+func TestMatcherParityChanVsTCP(t *testing.T) {
+	type outcome struct {
+		received  []string
+		leftover  []string
+		delivered uint64
+		dropped   uint64
+		dup       uint64
+		seen      []uint64
+	}
+
+	run := func(t *testing.T, nw Network) outcome {
+		a, err := nw.NewEndpoint(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		b, err := nw.NewEndpoint(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		m := NewMatcher(b)
+		defer m.Close()
+		m.EnableDedup(4)
+		m.AdvanceEpoch(1)
+
+		send := func(msg Msg) {
+			t.Helper()
+			if err := a.Send(b.Addr(), msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Phase 1, epoch 1: interleaved tags, one duplicate, one
+		// message left unconsumed in the unexpected queue.
+		send(Msg{Src: 1, Tag: 1, Epoch: 1, Seq: 1, Data: []byte("e1-a")})
+		send(Msg{Src: 1, Tag: 2, Epoch: 1, Seq: 2, Data: []byte("e1-queued")})
+		send(Msg{Src: 1, Tag: 1, Epoch: 1, Seq: 1, Data: []byte("e1-dup")})
+		send(Msg{Src: 1, Tag: 1, Epoch: 1, Seq: 3, Data: []byte("e1-b")})
+		// In-flight across the epoch bump: a straggler from epoch 1
+		// (must be discarded after the bump) and an early arrival from
+		// epoch 2 (must be buffered, then delivered).
+		send(Msg{Src: 2, Tag: 5, Epoch: 1, Seq: 1, Data: []byte("stale")})
+		send(Msg{Src: 2, Tag: 5, Epoch: 2, Seq: 2, Data: []byte("future")})
+
+		var o outcome
+		recv := func(ctx uint32, src, tag int32) {
+			t.Helper()
+			msg, err := m.Recv(ctx, src, tag, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.received = append(o.received, string(msg.Data))
+		}
+		recv(0, 1, 1) // e1-a
+		recv(0, 1, 1) // e1-b (dup suppressed in between)
+
+		// Let the stragglers land before bumping the epoch, so the
+		// "stale" message is provably in the matcher, not the network.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			_, dropped, dup := m.Stats()
+			if dup >= 1 && dropped == 0 {
+				m.mu.Lock()
+				landed := len(m.unexpected) + len(m.future)
+				m.mu.Unlock()
+				if landed >= 3 {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("timed out waiting for in-flight messages")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		m.AdvanceEpoch(2)
+		recv(0, 2, 5) // future, now current
+
+		// Whatever is still queued, in arrival order.
+		for {
+			msg, ok := m.TryRecv(0, AnySource, AnyTag)
+			if !ok {
+				break
+			}
+			o.leftover = append(o.leftover, string(msg.Data))
+		}
+		o.delivered, o.dropped, o.dup = m.Stats()
+		o.seen = m.SeenVector()
+		return o
+	}
+
+	chanOut := run(t, NewChanNetwork(Options{DetectDelay: time.Millisecond, PropDelay: time.Millisecond}))
+	tcpOut := run(t, NewTCPNetwork(Options{DetectDelay: time.Millisecond, PropDelay: time.Millisecond}))
+
+	if fmt.Sprint(chanOut) != fmt.Sprint(tcpOut) {
+		t.Fatalf("chan and TCP transports diverged:\nchan: %+v\ntcp:  %+v", chanOut, tcpOut)
+	}
+	want := outcome{
+		received:  []string{"e1-a", "e1-b", "future"},
+		leftover:  nil, // e1-queued discarded at the epoch bump
+		delivered: 3,
+		dropped:   2, // e1-queued + stale
+		dup:       1,
+		seen:      []uint64{0, 3, 2, 0},
+	}
+	if fmt.Sprint(chanOut) != fmt.Sprint(want) {
+		t.Fatalf("outcome = %+v, want %+v", chanOut, want)
+	}
+}

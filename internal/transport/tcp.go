@@ -309,18 +309,20 @@ func (c *tcpConn) fire() {
 	c.once.Do(func() { close(c.closed) })
 }
 
-// Frame format: u32 dataLen | u8 kind | i32 src | i32 tag | u32 ctx |
-// u32 epoch | data. All little-endian.
-const frameHeaderSize = 4 + 1 + 4 + 4 + 4 + 4
+// Frame format: u32 dataLen | u8 kind | u8 flags | i32 src | i32 tag |
+// u32 ctx | u32 epoch | u64 seq | data. All little-endian.
+const frameHeaderSize = 4 + 1 + 1 + 4 + 4 + 4 + 4 + 8
 
 func writeFrame(w *bufio.Writer, m Msg) error {
 	var hdr [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Data)))
 	hdr[4] = m.Kind
-	binary.LittleEndian.PutUint32(hdr[5:], uint32(m.Src))
-	binary.LittleEndian.PutUint32(hdr[9:], uint32(m.Tag))
-	binary.LittleEndian.PutUint32(hdr[13:], m.Ctx)
-	binary.LittleEndian.PutUint32(hdr[17:], m.Epoch)
+	hdr[5] = m.Flags
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(m.Src))
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(m.Tag))
+	binary.LittleEndian.PutUint32(hdr[14:], m.Ctx)
+	binary.LittleEndian.PutUint32(hdr[18:], m.Epoch)
+	binary.LittleEndian.PutUint64(hdr[22:], m.Seq)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -336,10 +338,12 @@ func readFrame(r *bufio.Reader) (Msg, error) {
 	n := binary.LittleEndian.Uint32(hdr[0:])
 	m := Msg{
 		Kind:  hdr[4],
-		Src:   int32(binary.LittleEndian.Uint32(hdr[5:])),
-		Tag:   int32(binary.LittleEndian.Uint32(hdr[9:])),
-		Ctx:   binary.LittleEndian.Uint32(hdr[13:]),
-		Epoch: binary.LittleEndian.Uint32(hdr[17:]),
+		Flags: hdr[5],
+		Src:   int32(binary.LittleEndian.Uint32(hdr[6:])),
+		Tag:   int32(binary.LittleEndian.Uint32(hdr[10:])),
+		Ctx:   binary.LittleEndian.Uint32(hdr[14:]),
+		Epoch: binary.LittleEndian.Uint32(hdr[18:]),
+		Seq:   binary.LittleEndian.Uint64(hdr[22:]),
 	}
 	if n > 0 {
 		m.Data = make([]byte, n)

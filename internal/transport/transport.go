@@ -44,15 +44,29 @@ const (
 	KindCtl
 )
 
+// Msg flags.
+const (
+	// FlagReplay marks a message re-sent from a sender-based message
+	// log during localized recovery; it carries the original sequence
+	// number so receivers that already consumed the original suppress
+	// the duplicate.
+	FlagReplay byte = 1 << iota
+)
+
 // Msg is one framed message. Epoch is the sender's recovery epoch; the
 // receiver discards messages from older epochs (paper §IV-D's stale
-// message elimination).
+// message elimination). Seq, when non-zero, is the per-(sender,
+// receiver) data-plane sequence number assigned by the sender's
+// message log (local recovery mode); 0 marks unsequenced control
+// traffic exempt from duplicate suppression.
 type Msg struct {
 	Src   int32  // sender's world rank
 	Tag   int32  // message tag (negative tags reserved for runtime)
 	Ctx   uint32 // communicator context id
 	Epoch uint32 // sender's epoch
+	Seq   uint64 // per-(src, dst) sequence number; 0 = unsequenced
 	Kind  byte
+	Flags byte
 	Data  []byte
 }
 

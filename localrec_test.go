@@ -1,0 +1,290 @@
+package fmi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// execTracker records how many times each rank executed each loop
+// iteration, to prove survivors never re-execute under local recovery.
+type execTracker struct {
+	mu     sync.Mutex
+	counts map[int]map[int]int // rank -> iteration -> executions
+}
+
+func newExecTracker() *execTracker {
+	return &execTracker{counts: map[int]map[int]int{}}
+}
+
+func (e *execTracker) record(rank, iter int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.counts[rank]
+	if m == nil {
+		m = map[int]int{}
+		e.counts[rank] = m
+	}
+	m[iter]++
+}
+
+// trackedApp is iterApp plus per-iteration execution recording.
+func trackedApp(iters int, results *sync.Map, tr *execTracker) App {
+	return func(env *Env) error {
+		state := make([]byte, 16)
+		world := env.World()
+		for {
+			n := env.Loop(state)
+			if n >= iters {
+				break
+			}
+			sum, err := AllreduceInt64(world, SumInt64(), int64(n+env.Rank()))
+			if err != nil {
+				continue
+			}
+			tr.record(env.Rank(), n)
+			acc := int64(binary.LittleEndian.Uint64(state[8:])) + sum[0]
+			binary.LittleEndian.PutUint64(state[8:], uint64(acc))
+			binary.LittleEndian.PutUint64(state[0:], uint64(n+1))
+		}
+		results.Store(env.Rank(), int64(binary.LittleEndian.Uint64(state[8:])))
+		return env.Finalize()
+	}
+}
+
+func TestLocalRecoveryNoSurvivorRollback(t *testing.T) {
+	const (
+		ranks  = 4
+		iters  = 10
+		failed = 2
+	)
+	var results sync.Map
+	tr := newExecTracker()
+	cfg := fastCfg(ranks, 1, 1, 2)
+	cfg.Recovery = "local"
+	cfg.TraceTo = &syncBuffer{}
+	cfg.Faults = &FaultPlan{Script: []Fault{{AfterLoop: 4, Node: -1, Rank: failed}}}
+	rep, err := Run(cfg, trackedApp(iters, &results, tr))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("no recovery epoch recorded")
+	}
+
+	// Output must be byte-identical to the failure-free answer.
+	want := expectedIterSum(ranks, iters)
+	count := 0
+	results.Range(func(k, v any) bool {
+		count++
+		if v.(int64) != want {
+			t.Errorf("rank %v: %d, want %d", k, v, want)
+		}
+		return true
+	})
+	if count != ranks {
+		t.Fatalf("results = %d, want %d", count, ranks)
+	}
+
+	// Rollback and restore events may appear only on the respawned rank.
+	for _, e := range rep.Timeline {
+		switch string(e.Kind) {
+		case "rollback", "restore":
+			if e.Rank != failed {
+				t.Errorf("%s event on surviving rank %d: %s", e.Kind, e.Rank, e.Note)
+			}
+		}
+	}
+
+	// Survivors must have executed every iteration exactly once.
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for r := 0; r < ranks; r++ {
+		for n := 0; n < iters; n++ {
+			c := tr.counts[r][n]
+			if r == failed {
+				if c < 1 {
+					t.Errorf("failed rank %d never completed iteration %d", r, n)
+				}
+				continue
+			}
+			if c != 1 {
+				t.Errorf("survivor rank %d executed iteration %d %d times", r, n, c)
+			}
+		}
+	}
+
+	// The replay machinery must actually have run.
+	kinds := map[string]int{}
+	for _, e := range rep.Timeline {
+		kinds[string(e.Kind)]++
+	}
+	if kinds["replay-start"] == 0 || kinds["replay-done"] == 0 {
+		t.Errorf("no replay events in timeline: %v", kinds)
+	}
+	if rep.Stats.ReplayedMsgs == 0 {
+		t.Errorf("Stats.ReplayedMsgs = 0, want > 0")
+	}
+}
+
+func TestLocalRecoveryFailureFreeMatchesGlobal(t *testing.T) {
+	// Recovery "local" without failures produces the same answer as the
+	// default, and the logs are trimmed at every committed checkpoint so
+	// memory stays bounded by one checkpoint interval of traffic.
+	const (
+		ranks = 4
+		iters = 20
+	)
+	var results sync.Map
+	cfg := fastCfg(ranks, 1, 0, 2)
+	cfg.Recovery = "local"
+	cfg.TraceTo = &syncBuffer{}
+	rep, err := Run(cfg, iterApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := expectedIterSum(ranks, iters)
+	results.Range(func(k, v any) bool {
+		if v.(int64) != want {
+			t.Errorf("rank %v: %d, want %d", k, v, want)
+		}
+		return true
+	})
+
+	// Every rank logs sends; every committed checkpoint must trim.
+	trims := 0
+	var logged []int // entries held at each checkpoint, chronological (all ranks)
+	for _, e := range rep.Timeline {
+		switch string(e.Kind) {
+		case "log-trim":
+			trims++
+		case "msg-logged":
+			var entries, bytes, ckpt int
+			if _, err := fmt.Sscanf(e.Note, "log holds %d entries (%d B) at checkpoint %d", &entries, &bytes, &ckpt); err == nil {
+				logged = append(logged, entries)
+			}
+		}
+	}
+	if trims == 0 {
+		t.Fatal("no log-trim events: sender logs are never garbage-collected")
+	}
+	if len(logged) < 4 {
+		t.Fatalf("too few msg-logged events: %d", len(logged))
+	}
+	// Bounded memory: the log at late checkpoints must not have grown
+	// past a small multiple of its size at the first few — with trim at
+	// every interval it holds at most ~one interval of traffic.
+	early := logged[len(logged)/4]
+	late := logged[len(logged)-1]
+	if early > 0 && late > 3*early+8 {
+		t.Errorf("sender log grows without bound: %d entries early vs %d late (all: %v)", early, late, logged)
+	}
+}
+
+func TestLocalRecoveryTCPTransport(t *testing.T) {
+	// The sequenced frame fields survive the wire: same scripted fault
+	// as the chan-transport test, over real loopback TCP sockets.
+	const (
+		ranks  = 4
+		iters  = 8
+		failed = 1
+	)
+	var results sync.Map
+	cfg := fastCfg(ranks, 1, 1, 2)
+	cfg.Recovery = "local"
+	cfg.Transport = TCPTransport
+	cfg.Faults = &FaultPlan{Script: []Fault{{AfterLoop: 3, Node: -1, Rank: failed}}}
+	rep, err := Run(cfg, iterApp(iters, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("no recovery epoch recorded")
+	}
+	want := expectedIterSum(ranks, iters)
+	count := 0
+	results.Range(func(k, v any) bool {
+		count++
+		if v.(int64) != want {
+			t.Errorf("rank %v: %d, want %d", k, v, want)
+		}
+		return true
+	})
+	if count != ranks {
+		t.Fatalf("results = %d, want %d", count, ranks)
+	}
+}
+
+func TestLocalRecoveryPoissonSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak in -short mode")
+	}
+	// Repeated random failures under localized recovery must still end
+	// in the exact deterministic answer for every seed. Level 2 backstops
+	// the runs: under race-detector slowdown two Poisson kills can land
+	// before a re-checkpoint protects the first replacement, exceeding
+	// level-1 tolerance — the fallback (a global reset in local mode,
+	// exercising the log-era path) must still produce the exact answer.
+	for _, seed := range []int64{1, 2, 3} {
+		var results sync.Map
+		cfg := fastCfg(8, 2, 6, 2)
+		cfg.Recovery = "local"
+		cfg.Timeout = 120 * time.Second
+		cfg.MaxEpochs = 64
+		cfg.Level2Every = 2
+		cfg.Faults = &FaultPlan{MTBF: 250 * time.Millisecond, MaxFailures: 3, Seed: seed}
+		app := func(env *Env) error {
+			state := make([]byte, 16)
+			world := env.World()
+			for {
+				n := env.Loop(state)
+				if n >= 20 {
+					break
+				}
+				sum, err := AllreduceInt64(world, SumInt64(), int64(n+env.Rank()))
+				if err != nil {
+					continue
+				}
+				time.Sleep(3 * time.Millisecond)
+				acc := int64(binary.LittleEndian.Uint64(state[8:])) + sum[0]
+				binary.LittleEndian.PutUint64(state[8:], uint64(acc))
+				binary.LittleEndian.PutUint64(state[0:], uint64(n+1))
+			}
+			results.Store(env.Rank(), int64(binary.LittleEndian.Uint64(state[8:])))
+			return env.Finalize()
+		}
+		rep, err := Run(cfg, app)
+		if errors.Is(err, ErrUnrecoverable) {
+			// Legitimate clean abort: under heavy load (race detector)
+			// failures can destroy an XOR group before the first level-2
+			// flush completes. The soak's claim is exactness whenever the
+			// job survives, and a clean error — not a hang — when not.
+			t.Logf("seed %d: aborted cleanly before level 2 existed: %v", seed, err)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v (injected %d)", seed, err, rep.FailuresInjected)
+		}
+		want := expectedIterSum(8, 20)
+		count := 0
+		results.Range(func(k, v any) bool {
+			count++
+			if v.(int64) != want {
+				t.Errorf("seed %d rank %v: %d, want %d", seed, k, v, want)
+			}
+			return true
+		})
+		if count != 8 {
+			t.Fatalf("seed %d: results = %d", seed, count)
+		}
+	}
+}
+
+func TestRecoveryConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Ranks: 2, Recovery: "bogus"}, func(env *Env) error { return env.Finalize() }); err == nil {
+		t.Fatal("Run accepted Recovery \"bogus\"")
+	}
+}
