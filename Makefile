@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench-erasure all
+.PHONY: tier1 build test race vet bench-erasure bench-smoke all
 
 all: tier1 vet
 
@@ -15,10 +15,15 @@ test:
 
 # Race-detect the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ .
+	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ .
 
 vet:
 	$(GO) vet ./...
 
 bench-erasure:
 	$(GO) test -bench Erasure -benchtime 1x ./internal/erasure/ ./internal/ckpt/
+
+# One pass over every benchmark as a smoke test (CI runs this; real
+# measurements want more iterations and an idle machine).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

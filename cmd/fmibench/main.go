@@ -10,7 +10,7 @@
 //	fmibench [flags] <experiment>
 //
 // Experiments: table3, fig10, fig11, fig12, fig13, fig14, fig15,
-// fig15-sweep, ablate-k, ablate-group, erasure, msglog, all.
+// fig15-sweep, ablate-k, ablate-group, erasure, msglog, coll, all.
 package main
 
 import (
@@ -33,10 +33,11 @@ func main() {
 		grid     = flag.Int("grid", 0, "fig 15 grid first dimension (0 = calibrated default)")
 		mtbf     = flag.Duration("mtbf", 0, "fig 15 MTBF (0 = calibrated default; paper used 1 minute at Sierra scale)")
 		quick    = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
+		netDelay = flag.Duration("netdelay", 50*time.Microsecond, "simulated per-message wire latency for the coll sweep")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|all>")
+		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -135,6 +136,24 @@ func main() {
 		case "ablate-group":
 			rows := experiments.AblateGroup(1024, groupSweep)
 			experiments.PrintAblateGroup(os.Stdout, 1024, rows)
+		case "coll":
+			// Schedule-driven collective engine (ISSUE 3): op ×
+			// algorithm × payload-size sweep. The headline check is
+			// ring allreduce beating the legacy reduce+bcast tree at
+			// >= 1 MiB payloads while recursive doubling holds the
+			// small-payload end. The simulated wire latency (-netdelay)
+			// is what lets round counts matter: with free delivery the
+			// in-process substrate only bills per-message CPU, which
+			// always favours the minimum-message tree.
+			cranks, citers := 16, 32
+			sizes := []int{1 << 10, 64 << 10, 1 << 20}
+			if *quick {
+				cranks, citers = 8, 8
+				sizes = []int{1 << 10, 256 << 10}
+			}
+			rows, err := experiments.CollSweep(cranks, sizes, citers, *netDelay)
+			fatalIf(err)
+			experiments.PrintColl(os.Stdout, cranks, *netDelay, rows)
 		case "msglog":
 			// Sender-based message logging (§VIII extension): failure-free
 			// logging overhead and the survivor rework that localized
@@ -169,7 +188,7 @@ func main() {
 	}
 
 	if which == "all" {
-		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog"} {
+		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll"} {
 			run(name)
 		}
 		return

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"fmi/internal/cluster"
+	"fmi/internal/coll"
 	"fmi/internal/core"
 	"fmi/internal/runtime"
 	"fmi/internal/trace"
@@ -174,6 +175,13 @@ type Config struct {
 	// PropDelay models observation of an explicit connection close
 	// (log-ring propagation hop).
 	PropDelay time.Duration
+	// NetDelay is a simulated one-way per-message delivery latency on
+	// the chan transport (0 = instant, the default). The in-process
+	// substrate otherwise delivers for free, which hides the round-count
+	// differences the collective algorithms trade on; benchmarks set
+	// this to model an interconnect's latency term. Ignored by the TCP
+	// transport, which has real latency.
+	NetDelay time.Duration
 	// Faults optionally injects failures.
 	Faults *FaultPlan
 	// Timeout aborts a wedged run (0 = none).
@@ -189,6 +197,58 @@ type Config struct {
 	// Lines — one event object per line, timestamps relative to run
 	// start — for machine consumption (fmirun -trace-json).
 	TraceJSONTo io.Writer
+	// Collectives overrides collective algorithm selection. The zero
+	// value selects automatically by payload size and communicator
+	// size; each selection is surfaced in the trace as a coll-algo
+	// event.
+	Collectives CollectivesConfig
+}
+
+// CollectivesConfig pins collective algorithms per operation. Empty
+// (or "auto") fields keep the built-in policy: binomial trees for
+// bcast/reduce, dissemination for barrier, recursive doubling for
+// small allreduces and power-of-two allgathers, ring
+// reduce-scatter+allgather for large allreduces and non-power-of-two
+// allgathers, Bruck for small alltoalls and pairwise for large ones,
+// and linear/binomial gather/scatter by communicator size.
+//
+// Valid names per op: Bcast/Reduce "binomial"; Barrier "binomial",
+// "rec-dbl"; Allreduce "tree" (reduce+bcast), "rec-dbl", "ring";
+// Allgather "rec-dbl", "ring"; Alltoall "bruck", "pairwise";
+// Gather/Scatter "linear", "binomial".
+type CollectivesConfig struct {
+	Bcast, Reduce, Barrier, Allreduce, Allgather, Alltoall, Gather, Scatter string
+	// RingBytes is the allreduce payload size (bytes) at which the
+	// automatic policy switches from recursive doubling to the ring
+	// (default 64 KiB). BruckBytes is the per-destination alltoall
+	// part size below which Bruck is preferred (default 1 KiB).
+	RingBytes, BruckBytes int
+}
+
+// policy validates the configured names and builds the internal
+// selection policy.
+func (c CollectivesConfig) policy() (coll.Policy, error) {
+	p := coll.Policy{RingBytes: c.RingBytes, BruckBytes: c.BruckBytes}
+	var err error
+	for _, f := range []struct {
+		op   coll.Opcode
+		name string
+		dst  *coll.Algo
+	}{
+		{coll.OpBcast, c.Bcast, &p.Bcast},
+		{coll.OpReduce, c.Reduce, &p.Reduce},
+		{coll.OpBarrier, c.Barrier, &p.Barrier},
+		{coll.OpAllreduce, c.Allreduce, &p.Allreduce},
+		{coll.OpAllgather, c.Allgather, &p.Allgather},
+		{coll.OpAlltoall, c.Alltoall, &p.Alltoall},
+		{coll.OpGather, c.Gather, &p.Gather},
+		{coll.OpScatter, c.Scatter, &p.Scatter},
+	} {
+		if *f.dst, err = coll.ParseAlgo(f.op, f.name); err != nil {
+			return p, fmt.Errorf("fmi: Config.Collectives: %w", err)
+		}
+	}
+	return p, nil
 }
 
 // Report summarises a run.
@@ -256,8 +316,12 @@ func Run(cfg Config, app App) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("fmi: unknown Recovery %q (want \"global\" or \"local\")", cfg.Recovery)
 	}
+	collPolicy, err := cfg.Collectives.policy()
+	if err != nil {
+		return nil, err
+	}
 	var nw transport.Network
-	opts := transport.Options{DetectDelay: cfg.DetectDelay, PropDelay: cfg.PropDelay}
+	opts := transport.Options{DetectDelay: cfg.DetectDelay, PropDelay: cfg.PropDelay, MsgDelay: cfg.NetDelay}
 	if opts.DetectDelay == 0 {
 		opts.DetectDelay = 200 * time.Millisecond // ibverbs-observed default (§VI-A)
 	}
@@ -299,6 +363,7 @@ func Run(cfg Config, app App) (*Report, error) {
 		MaxEpochs:      cfg.MaxEpochs,
 		ProvisionDelay: cfg.ProvisionDelay,
 		Recovery:       cfg.Recovery,
+		Coll:           collPolicy,
 	}
 
 	var inj *cluster.Injector

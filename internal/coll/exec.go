@@ -1,0 +1,129 @@
+package coll
+
+import (
+	"fmt"
+
+	"fmi/internal/enc"
+)
+
+// Transport is the point-to-point substrate a schedule executes over.
+// Send must be eager (copy the payload; block only under backpressure,
+// never waiting for the receiver to post) — both the core chan/TCP
+// endpoints and the MPI baseline satisfy this, which is what makes a
+// round's symmetric exchanges deadlock-free. Errors from either method
+// abort the collective and are returned from Exec unwrapped, so the
+// core's failure sentinels (e.g. ErrFailureDetected) flow through to
+// Loop intact.
+type Transport interface {
+	Send(peer int, data []byte) error
+	Recv(peer int) ([]byte, error)
+}
+
+// ReduceFn folds src into acc element-wise; acc and src have equal
+// length. It must be commutative and associative: schedules combine
+// contributions in tree or ring order, not rank order.
+type ReduceFn func(acc, src []byte)
+
+// Exec drives a schedule over tp, mutating blocks in place: sends read
+// from the block table, receives overwrite entries, and reduce steps
+// fold into them. len(blocks) must equal s.Blocks. op is required only
+// when the schedule contains OpRecvReduce steps with blocks; a nil op
+// turns those steps into pure synchronisation (payloads discarded),
+// which the barrier and agreement schedules rely on.
+func Exec(s *Schedule, tp Transport, blocks [][]byte, op ReduceFn) error {
+	if len(blocks) != s.Blocks {
+		return fmt.Errorf("coll: %s needs %d blocks, got %d", s, s.Blocks, len(blocks))
+	}
+	permute(blocks, s.InPerm)
+	for _, round := range s.Rounds {
+		// Post every send of the round first; the eager transport
+		// copies the payload, so later reduce steps may mutate the
+		// same blocks without corrupting in-flight messages.
+		for _, st := range round {
+			if st.Op != OpSend {
+				continue
+			}
+			if err := tp.Send(st.Peer, packStep(blocks, st.Blks)); err != nil {
+				return err
+			}
+		}
+		for _, st := range round {
+			if st.Op == OpSend {
+				continue
+			}
+			data, err := tp.Recv(st.Peer)
+			if err != nil {
+				return err
+			}
+			if err := applyRecv(s, blocks, st, data, op); err != nil {
+				return err
+			}
+		}
+	}
+	permute(blocks, s.OutPerm)
+	return nil
+}
+
+// packStep builds the wire payload for a send step: no blocks → empty
+// payload, one block → the raw block, several → length-prefix packed.
+func packStep(blocks [][]byte, blks []int) []byte {
+	switch len(blks) {
+	case 0:
+		return nil
+	case 1:
+		return blocks[blks[0]]
+	}
+	parts := make([][]byte, len(blks))
+	for i, b := range blks {
+		parts[i] = blocks[b]
+	}
+	return enc.PackSlices(parts)
+}
+
+func applyRecv(s *Schedule, blocks [][]byte, st Step, data []byte, op ReduceFn) error {
+	if st.Op == OpRecvReduce {
+		if len(st.Blks) != 1 {
+			return fmt.Errorf("coll: %s: reduce step needs exactly one block, got %d", s, len(st.Blks))
+		}
+		if op == nil {
+			return nil // pure synchronisation (barrier / agreement waves)
+		}
+		b := st.Blks[0]
+		if len(data) != len(blocks[b]) {
+			return fmt.Errorf("coll: %s: rank %d received a %d-byte reduce contribution from rank %d, want %d — reductions require equal-length buffers on every rank",
+				s, s.Rank, len(data), st.Peer, len(blocks[b]))
+		}
+		op(blocks[b], data)
+		return nil
+	}
+	switch len(st.Blks) {
+	case 0:
+		return nil // synchronisation payload, discard
+	case 1:
+		blocks[st.Blks[0]] = data
+		return nil
+	}
+	parts, err := enc.UnpackSlices(data)
+	if err != nil {
+		return fmt.Errorf("coll: %s: from rank %d: %w", s, st.Peer, err)
+	}
+	if len(parts) != len(st.Blks) {
+		return fmt.Errorf("coll: %s: rank %d expected %d packed blocks from rank %d, got %d",
+			s, s.Rank, len(st.Blks), st.Peer, len(parts))
+	}
+	for i, b := range st.Blks {
+		blocks[b] = parts[i]
+	}
+	return nil
+}
+
+func permute(blocks [][]byte, perm []int) {
+	if perm == nil {
+		return
+	}
+	tmp := make([][]byte, len(blocks))
+	for i, p := range perm {
+		tmp[i] = blocks[p]
+	}
+	copy(blocks, tmp)
+}

@@ -1,0 +1,421 @@
+package coll
+
+import "fmt"
+
+// Generators. Every function here is pure: given (algo, rank, n[, root])
+// it deterministically computes a schedule without touching the network,
+// the clock, or any shared state. All generators accept arbitrary
+// communicator sizes n >= 1 unless noted (rec-dbl allgather requires a
+// power of two); n == 1 always yields an empty schedule.
+//
+// Block conventions per operation:
+//
+//	bcast, reduce, tree/rec-dbl allreduce, barrier: 1 block (block 0)
+//	ring allreduce:  n chunks of the buffer (SplitChunks boundaries)
+//	allgather, alltoall, gather, scatter: n blocks indexed by comm rank
+//	  (alltoall block j = the part travelling to/from rank j)
+
+func unsupported(op Opcode, algo Algo) error {
+	return fmt.Errorf("coll: no %s algorithm %q", op, algo)
+}
+
+func newSchedule(op Opcode, algo Algo, rank, n, blocks int) *Schedule {
+	return &Schedule{Op: op, Algo: algo, Rank: rank, NRanks: n, Blocks: blocks}
+}
+
+// Bcast generates a broadcast of block 0 from root to every rank.
+func Bcast(algo Algo, rank, n, root int) (*Schedule, error) {
+	if algo != AlgoBinomial {
+		return nil, unsupported(OpBcast, algo)
+	}
+	s := newSchedule(OpBcast, algo, rank, n, 1)
+	s.Rounds = bcastRounds(rank, n, root, []int{0})
+	return s, nil
+}
+
+// bcastRounds emits the classic binomial broadcast down-sweep in
+// root-relative virtual rank space: in round t (mask n/2 … 1) every
+// rank that already holds the data sends to vrank+mask. blks is the
+// block list carried on every hop (nil for barrier down-sweeps).
+func bcastRounds(rank, n, root int, blks []int) []Round {
+	if n <= 1 {
+		return nil
+	}
+	v := (rank - root + n) % n
+	abs := func(u int) int { return (u + root) % n }
+	lb := lowbit(v, n)
+	var rounds []Round
+	r := ceilLog2(n)
+	for t := 0; t < r; t++ {
+		mask := 1 << (r - 1 - t)
+		switch {
+		case v != 0 && mask == lb:
+			rounds = append(rounds, Round{{Op: OpRecv, Peer: abs(v - mask), Blks: blks}})
+		case mask < lb && v+mask < n:
+			rounds = append(rounds, Round{{Op: OpSend, Peer: abs(v + mask), Blks: blks}})
+		}
+	}
+	return rounds
+}
+
+// lowbit returns the lowest set bit of v, or a value above any mask for
+// v == 0 (the root of a virtual-rank tree, which only ever sends).
+func lowbit(v, n int) int {
+	if v == 0 {
+		return 2 << ceilLog2(n)
+	}
+	return v & -v
+}
+
+// Reduce generates a reduction of block 0 into root. Combination
+// follows tree order, hence the commutative+associative ReduceFn
+// contract.
+func Reduce(algo Algo, rank, n, root int) (*Schedule, error) {
+	if algo != AlgoBinomial {
+		return nil, unsupported(OpReduce, algo)
+	}
+	s := newSchedule(OpReduce, algo, rank, n, 1)
+	s.Rounds = reduceRounds(rank, n, root, []int{0})
+	return s, nil
+}
+
+// reduceRounds emits the binomial up-sweep: in round t (mask 1, 2, …)
+// vrank v receives-and-folds from v+mask while v&mask == 0, then sends
+// its accumulation to v-mask and goes idle.
+func reduceRounds(rank, n, root int, blks []int) []Round {
+	if n <= 1 {
+		return nil
+	}
+	v := (rank - root + n) % n
+	abs := func(u int) int { return (u + root) % n }
+	var rounds []Round
+	for mask := 1; mask < n; mask <<= 1 {
+		if v&mask != 0 {
+			rounds = append(rounds, Round{{Op: OpSend, Peer: abs(v - mask), Blks: blks}})
+			break
+		}
+		if v+mask < n {
+			rounds = append(rounds, Round{{Op: OpRecvReduce, Peer: abs(v + mask), Blks: blks}})
+		}
+	}
+	return rounds
+}
+
+// Barrier generates a zero-payload synchronisation: binomial is the
+// classic reduce-to-0 + broadcast up-down sweep; rec-dbl is the
+// dissemination barrier (log rounds, works for any n).
+func Barrier(algo Algo, rank, n int) (*Schedule, error) {
+	s := newSchedule(OpBarrier, algo, rank, n, 0)
+	switch algo {
+	case AlgoBinomial:
+		up := reduceRounds(rank, n, 0, nil)
+		// A blockless RecvReduce is just a Recv-and-discard; keep the
+		// schedule honest about it.
+		for _, round := range up {
+			for i := range round {
+				if round[i].Op == OpRecvReduce {
+					round[i].Op = OpRecv
+				}
+			}
+		}
+		s.Rounds = append(up, bcastRounds(rank, n, 0, nil)...)
+	case AlgoRecDbl:
+		for d := 1; d < n; d <<= 1 {
+			s.Rounds = append(s.Rounds, Round{
+				{Op: OpSend, Peer: (rank + d) % n},
+				{Op: OpRecv, Peer: (rank - d + n) % n},
+			})
+		}
+	default:
+		return nil, unsupported(OpBarrier, algo)
+	}
+	return s, nil
+}
+
+// Allreduce generates an all-reduce. AlgoTree is the legacy
+// reduce-to-0 + broadcast baseline (1 block); AlgoRecDbl is recursive
+// doubling with the MPICH remainder trick for any n (1 block); AlgoRing
+// is the bandwidth-optimal reduce-scatter + allgather ring over n
+// chunks of the buffer (n blocks, SplitChunks boundaries — short
+// buffers work, they just ride empty chunks).
+func Allreduce(algo Algo, rank, n int) (*Schedule, error) {
+	switch algo {
+	case AlgoTree:
+		s := newSchedule(OpAllreduce, algo, rank, n, 1)
+		s.Rounds = append(reduceRounds(rank, n, 0, []int{0}), bcastRounds(rank, n, 0, []int{0})...)
+		return s, nil
+	case AlgoRecDbl:
+		return allreduceRecDbl(rank, n), nil
+	case AlgoRing:
+		return allreduceRing(rank, n), nil
+	}
+	return nil, unsupported(OpAllreduce, algo)
+}
+
+// allreduceRecDbl is MPICH's recursive-doubling allreduce. For
+// non-power-of-two n, let pof2 be the largest power of two <= n and
+// rem = n - pof2. The first 2*rem ranks pair up (even donates to odd,
+// odd participates as newrank = rank/2), ranks >= 2*rem participate as
+// newrank = rank-rem, and after log2(pof2) exchange rounds each odd
+// rank hands the result back to its even partner.
+func allreduceRecDbl(rank, n int) *Schedule {
+	s := newSchedule(OpAllreduce, AlgoRecDbl, rank, n, 1)
+	if n <= 1 {
+		return s
+	}
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	blk := []int{0}
+	newrank := rank - rem
+	if rank < 2*rem {
+		if rank%2 == 0 {
+			s.Rounds = append(s.Rounds, Round{{Op: OpSend, Peer: rank + 1, Blks: blk}})
+			newrank = -1
+		} else {
+			s.Rounds = append(s.Rounds, Round{{Op: OpRecvReduce, Peer: rank - 1, Blks: blk}})
+			newrank = rank / 2
+		}
+	}
+	if newrank >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			np := newrank ^ mask
+			peer := np + rem
+			if np < rem {
+				peer = np*2 + 1
+			}
+			s.Rounds = append(s.Rounds, Round{
+				{Op: OpSend, Peer: peer, Blks: blk},
+				{Op: OpRecvReduce, Peer: peer, Blks: blk},
+			})
+		}
+	}
+	if rank < 2*rem {
+		if rank%2 == 0 {
+			s.Rounds = append(s.Rounds, Round{{Op: OpRecv, Peer: rank + 1, Blks: blk}})
+		} else {
+			s.Rounds = append(s.Rounds, Round{{Op: OpSend, Peer: rank - 1, Blks: blk}})
+		}
+	}
+	return s
+}
+
+// allreduceRing: phase one reduce-scatters the n chunks around the ring
+// (after round k each rank holds the full reduction of chunk
+// (rank-k-1) mod n … eventually chunk (rank+1) mod n is complete at
+// rank); phase two allgathers the completed chunks the rest of the way
+// around. Each rank sends and receives exactly 2(n-1) chunk-sized
+// messages — bandwidth-optimal for large buffers.
+func allreduceRing(rank, n int) *Schedule {
+	s := newSchedule(OpAllreduce, AlgoRing, rank, n, n)
+	if n <= 1 {
+		return s
+	}
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	m := func(x int) int { return ((x % n) + n) % n }
+	for k := 0; k < n-1; k++ {
+		s.Rounds = append(s.Rounds, Round{
+			{Op: OpSend, Peer: right, Blks: []int{m(rank - k)}},
+			{Op: OpRecvReduce, Peer: left, Blks: []int{m(rank - k - 1)}},
+		})
+	}
+	for k := 0; k < n-1; k++ {
+		s.Rounds = append(s.Rounds, Round{
+			{Op: OpSend, Peer: right, Blks: []int{m(rank + 1 - k)}},
+			{Op: OpRecv, Peer: left, Blks: []int{m(rank - k)}},
+		})
+	}
+	return s
+}
+
+// Allgather generates an allgather over n blocks indexed by comm rank;
+// each rank starts with its own block populated. AlgoRing rotates
+// blocks around the ring (any n, blocks never repacked); AlgoRecDbl
+// exchanges doubling block ranges in log rounds and requires n to be a
+// power of two. Per-rank block lengths may differ.
+func Allgather(algo Algo, rank, n int) (*Schedule, error) {
+	s := newSchedule(OpAllgather, algo, rank, n, n)
+	switch algo {
+	case AlgoRing:
+		if n <= 1 {
+			return s, nil
+		}
+		right := (rank + 1) % n
+		left := (rank - 1 + n) % n
+		m := func(x int) int { return ((x % n) + n) % n }
+		for k := 0; k < n-1; k++ {
+			s.Rounds = append(s.Rounds, Round{
+				{Op: OpSend, Peer: right, Blks: []int{m(rank - k)}},
+				{Op: OpRecv, Peer: left, Blks: []int{m(rank - k - 1)}},
+			})
+		}
+		return s, nil
+	case AlgoRecDbl:
+		if !isPow2(n) {
+			return nil, fmt.Errorf("coll: rec-dbl allgather requires a power-of-two communicator (n=%d)", n)
+		}
+		for mask := 1; mask < n; mask <<= 1 {
+			peer := rank ^ mask
+			s.Rounds = append(s.Rounds, Round{
+				{Op: OpSend, Peer: peer, Blks: blockRange(rank&^(mask-1), mask)},
+				{Op: OpRecv, Peer: peer, Blks: blockRange(peer&^(mask-1), mask)},
+			})
+		}
+		return s, nil
+	}
+	return nil, unsupported(OpAllgather, algo)
+}
+
+func blockRange(lo, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// Alltoall generates a personalised exchange. AlgoPairwise runs n-1
+// symmetric send/recv rounds against ranks (rank±d) mod n over 2n
+// blocks: 0..n-1 are the outgoing parts, n..2n-1 the received parts
+// (the caller seeds block n+rank with its own part and reads the
+// result from blocks[n:]) — the split regions keep round d's receive
+// from clobbering a part that round n-d must still send. AlgoBruck
+// runs ceil(log2 n) rounds of packed shuffles over n in-place blocks
+// (block j = the part for/from rank j): after rotating block j to
+// local index (rank+j) mod n, phase k forwards every index with bit k
+// set to rank+2^k, and a final inverse rotation sorts the received
+// parts by source. Both handle any n and any per-part lengths.
+func Alltoall(algo Algo, rank, n int) (*Schedule, error) {
+	s := newSchedule(OpAlltoall, algo, rank, n, n)
+	switch algo {
+	case AlgoPairwise:
+		s.Blocks = 2 * n
+		for d := 1; d < n; d++ {
+			dst := (rank + d) % n
+			src := (rank - d + n) % n
+			s.Rounds = append(s.Rounds, Round{
+				{Op: OpSend, Peer: dst, Blks: []int{dst}},
+				{Op: OpRecv, Peer: src, Blks: []int{n + src}},
+			})
+		}
+		return s, nil
+	case AlgoBruck:
+		if n <= 1 {
+			return s, nil
+		}
+		s.InPerm = make([]int, n)
+		s.OutPerm = make([]int, n)
+		for j := 0; j < n; j++ {
+			s.InPerm[j] = (rank + j) % n
+			s.OutPerm[j] = (rank - j + n) % n
+		}
+		for bit := 1; bit < n; bit <<= 1 {
+			var idxs []int
+			for j := 0; j < n; j++ {
+				if j&bit != 0 {
+					idxs = append(idxs, j)
+				}
+			}
+			s.Rounds = append(s.Rounds, Round{
+				{Op: OpSend, Peer: (rank + bit) % n, Blks: idxs},
+				{Op: OpRecv, Peer: (rank - bit + n) % n, Blks: idxs},
+			})
+		}
+		return s, nil
+	}
+	return nil, unsupported(OpAlltoall, algo)
+}
+
+// Gather collects every rank's block at root (n blocks indexed by comm
+// rank; each rank starts with its own populated). AlgoLinear has every
+// rank send directly to the root; AlgoBinomial folds subtrees upward in
+// log rounds, forwarding packed block ranges.
+func Gather(algo Algo, rank, n, root int) (*Schedule, error) {
+	s := newSchedule(OpGather, algo, rank, n, n)
+	if n <= 1 {
+		return s, nil
+	}
+	v := (rank - root + n) % n
+	abs := func(u int) int { return (u + root) % n }
+	switch algo {
+	case AlgoLinear:
+		if rank == root {
+			var round Round
+			for u := 1; u < n; u++ {
+				round = append(round, Step{Op: OpRecv, Peer: abs(u), Blks: []int{abs(u)}})
+			}
+			s.Rounds = []Round{round}
+		} else {
+			s.Rounds = []Round{{{Op: OpSend, Peer: root, Blks: []int{rank}}}}
+		}
+		return s, nil
+	case AlgoBinomial:
+		for mask := 1; mask < n; mask <<= 1 {
+			if v&mask != 0 {
+				s.Rounds = append(s.Rounds, Round{{Op: OpSend, Peer: abs(v - mask), Blks: vrangeBlocks(v, v+mask, n, root)}})
+				break
+			}
+			if v+mask < n {
+				s.Rounds = append(s.Rounds, Round{{Op: OpRecv, Peer: abs(v + mask), Blks: vrangeBlocks(v+mask, v+2*mask, n, root)}})
+			}
+		}
+		return s, nil
+	}
+	return nil, unsupported(OpGather, algo)
+}
+
+// vrangeBlocks maps the virtual-rank subtree [lo, min(hi, n)) to comm
+// block indices, in ascending virtual order (both sides of a packed
+// transfer derive the same list).
+func vrangeBlocks(lo, hi, n, root int) []int {
+	if hi > n {
+		hi = n
+	}
+	out := make([]int, 0, hi-lo)
+	for u := lo; u < hi; u++ {
+		out = append(out, (u+root)%n)
+	}
+	return out
+}
+
+// Scatter distributes the root's n blocks to their ranks. AlgoLinear
+// sends each block directly; AlgoBinomial halves the block range down
+// the broadcast tree so the root posts only log n packed sends.
+func Scatter(algo Algo, rank, n, root int) (*Schedule, error) {
+	s := newSchedule(OpScatter, algo, rank, n, n)
+	if n <= 1 {
+		return s, nil
+	}
+	v := (rank - root + n) % n
+	abs := func(u int) int { return (u + root) % n }
+	switch algo {
+	case AlgoLinear:
+		if rank == root {
+			var round Round
+			for u := 1; u < n; u++ {
+				round = append(round, Step{Op: OpSend, Peer: abs(u), Blks: []int{abs(u)}})
+			}
+			s.Rounds = []Round{round}
+		} else {
+			s.Rounds = []Round{{{Op: OpRecv, Peer: root, Blks: []int{rank}}}}
+		}
+		return s, nil
+	case AlgoBinomial:
+		lb := lowbit(v, n)
+		r := ceilLog2(n)
+		for t := 0; t < r; t++ {
+			mask := 1 << (r - 1 - t)
+			switch {
+			case v != 0 && mask == lb:
+				s.Rounds = append(s.Rounds, Round{{Op: OpRecv, Peer: abs(v - mask), Blks: vrangeBlocks(v, v+mask, n, root)}})
+			case mask < lb && v+mask < n:
+				s.Rounds = append(s.Rounds, Round{{Op: OpSend, Peer: abs(v + mask), Blks: vrangeBlocks(v+mask, v+2*mask, n, root)}})
+			}
+		}
+		return s, nil
+	}
+	return nil, unsupported(OpScatter, algo)
+}

@@ -1,0 +1,157 @@
+package coll
+
+import "fmt"
+
+// Default selection thresholds.
+const (
+	// DefaultRingBytes is the per-rank buffer size at which an
+	// allreduce switches from recursive doubling (log-round,
+	// latency-bound) to the ring (bandwidth-optimal).
+	DefaultRingBytes = 64 << 10
+	// DefaultBruckBytes is the per-destination part size below which
+	// an alltoall uses Bruck's log-round shuffle instead of pairwise
+	// exchange.
+	DefaultBruckBytes = 1 << 10
+)
+
+// Policy selects an algorithm per operation. A non-empty per-op field
+// forces that family; empty fields fall back to the built-in
+// size/comm-size heuristics. The zero Policy is the default ("auto
+// everywhere").
+//
+// Selection must reach the same verdict on every rank of the
+// communicator. For allreduce/reduce/bcast this is guaranteed by the
+// equal-length buffer contract; allgather/gather/scatter are selected
+// on communicator size alone (their per-rank lengths may legally
+// differ); alltoall's size heuristic samples the local payload and so
+// assumes roughly size-symmetric exchanges (MPI_Alltoall's uniform
+// count contract) — irregular, alltoallv-style traffic should force an
+// algorithm explicitly.
+type Policy struct {
+	Bcast, Reduce, Barrier, Allreduce, Allgather, Alltoall, Gather, Scatter Algo
+
+	// RingBytes and BruckBytes override the switching thresholds;
+	// zero means the defaults above.
+	RingBytes  int
+	BruckBytes int
+}
+
+func (p Policy) ringBytes() int {
+	if p.RingBytes > 0 {
+		return p.RingBytes
+	}
+	return DefaultRingBytes
+}
+
+func (p Policy) bruckBytes() int {
+	if p.BruckBytes > 0 {
+		return p.BruckBytes
+	}
+	return DefaultBruckBytes
+}
+
+func (p Policy) forced(op Opcode) Algo {
+	switch op {
+	case OpBcast:
+		return p.Bcast
+	case OpReduce:
+		return p.Reduce
+	case OpBarrier:
+		return p.Barrier
+	case OpAllreduce:
+		return p.Allreduce
+	case OpAllgather:
+		return p.Allgather
+	case OpAlltoall:
+		return p.Alltoall
+	case OpGather:
+		return p.Gather
+	case OpScatter:
+		return p.Scatter
+	}
+	return AlgoAuto
+}
+
+// Select picks the algorithm for op given the local payload size in
+// bytes and the communicator size n. Forced choices win, with one
+// deterministic substitution: rec-dbl allgather degrades to ring on
+// non-power-of-two communicators (the generator would reject it, and
+// n is the same everywhere so all ranks degrade together).
+func (p Policy) Select(op Opcode, bytes, n int) Algo {
+	if a := p.forced(op); a != AlgoAuto {
+		if op == OpAllgather && a == AlgoRecDbl && !isPow2(n) {
+			return AlgoRing
+		}
+		return a
+	}
+	switch op {
+	case OpBcast, OpReduce:
+		return AlgoBinomial
+	case OpBarrier:
+		return AlgoRecDbl
+	case OpAllreduce:
+		if n >= 4 && bytes >= p.ringBytes() {
+			return AlgoRing
+		}
+		return AlgoRecDbl
+	case OpAllgather:
+		if isPow2(n) {
+			return AlgoRecDbl
+		}
+		return AlgoRing
+	case OpAlltoall:
+		if n >= 4 && bytes/n <= p.bruckBytes() {
+			return AlgoBruck
+		}
+		return AlgoPairwise
+	case OpGather, OpScatter:
+		if n >= 8 {
+			return AlgoBinomial
+		}
+		return AlgoLinear
+	}
+	return AlgoBinomial
+}
+
+// validAlgos lists the families each operation implements.
+var validAlgos = map[Opcode][]Algo{
+	OpBcast:     {AlgoBinomial},
+	OpReduce:    {AlgoBinomial},
+	OpBarrier:   {AlgoBinomial, AlgoRecDbl},
+	OpAllreduce: {AlgoTree, AlgoRecDbl, AlgoRing},
+	OpAllgather: {AlgoRecDbl, AlgoRing},
+	OpAlltoall:  {AlgoBruck, AlgoPairwise},
+	OpGather:    {AlgoLinear, AlgoBinomial},
+	OpScatter:   {AlgoLinear, AlgoBinomial},
+}
+
+// ParseAlgo validates a user-supplied algorithm name for op. The empty
+// string and "auto" mean automatic selection.
+func ParseAlgo(op Opcode, name string) (Algo, error) {
+	if name == "" || name == "auto" {
+		return AlgoAuto, nil
+	}
+	for _, a := range validAlgos[op] {
+		if string(a) == name {
+			return a, nil
+		}
+	}
+	return AlgoAuto, fmt.Errorf("coll: unknown %s algorithm %q (valid: auto, %v)", op, name, validAlgos[op])
+}
+
+// Validate checks every forced choice in the policy.
+func (p Policy) Validate() error {
+	for _, c := range []struct {
+		op Opcode
+		a  Algo
+	}{
+		{OpBcast, p.Bcast}, {OpReduce, p.Reduce}, {OpBarrier, p.Barrier},
+		{OpAllreduce, p.Allreduce}, {OpAllgather, p.Allgather},
+		{OpAlltoall, p.Alltoall}, {OpGather, p.Gather}, {OpScatter, p.Scatter},
+	} {
+		if _, err := ParseAlgo(c.op, string(c.a)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

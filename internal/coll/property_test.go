@@ -1,0 +1,461 @@
+package coll
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeNet is the in-memory substrate for property tests: one buffered
+// channel per (src, dst) pair. Send copies the payload, mirroring the
+// eager-copy semantics of the real transports (schedules mutate blocks
+// after sending them).
+type fakeNet struct{ chs [][]chan []byte }
+
+func newFakeNet(n int) *fakeNet {
+	net := &fakeNet{chs: make([][]chan []byte, n)}
+	for i := range net.chs {
+		net.chs[i] = make([]chan []byte, n)
+		for j := range net.chs[i] {
+			net.chs[i][j] = make(chan []byte, 4096)
+		}
+	}
+	return net
+}
+
+type fakeTP struct {
+	net  *fakeNet
+	rank int
+}
+
+func (t fakeTP) Send(peer int, data []byte) error {
+	cp := append([]byte(nil), data...)
+	t.net.chs[t.rank][peer] <- cp
+	return nil
+}
+
+func (t fakeTP) Recv(peer int) ([]byte, error) {
+	return <-t.net.chs[peer][t.rank], nil
+}
+
+// addOp is a commutative, associative byte-wise reduction (mod-256 sum).
+func addOp(acc, src []byte) {
+	for i := range acc {
+		acc[i] += src[i]
+	}
+}
+
+// runRanks executes fn concurrently for every rank over a shared fake
+// network and fails the test on any per-rank error.
+func runRanks(t *testing.T, n int, fn func(rank int, tp Transport) error) {
+	t.Helper()
+	net := newFakeNet(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r, fakeTP{net, r})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// commSizes is the property-test sweep: every small size plus random
+// draws up to 64 ranks.
+func commSizes(rng *rand.Rand) []int {
+	ns := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 13, 16, 17}
+	for i := 0; i < 6; i++ {
+		ns = append(ns, 18+rng.Intn(47)) // 18..64
+	}
+	return ns
+}
+
+func TestPropertyAllreduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range commSizes(rng) {
+		for _, algo := range []Algo{AlgoTree, AlgoRecDbl, AlgoRing} {
+			l := rng.Intn(3 * n) // exercises empty ring chunks too
+			inputs := make([][]byte, n)
+			want := make([]byte, l)
+			for r := range inputs {
+				inputs[r] = randBytes(rng, l)
+				addOp(want, inputs[r])
+			}
+			results := make([][]byte, n)
+			runRanks(t, n, func(rank int, tp Transport) error {
+				s, err := Allreduce(algo, rank, n)
+				if err != nil {
+					return err
+				}
+				buf := append([]byte(nil), inputs[rank]...)
+				var blocks [][]byte
+				if algo == AlgoRing {
+					blocks = SplitChunks(buf, n)
+				} else {
+					blocks = [][]byte{buf}
+				}
+				if err := Exec(s, tp, blocks, addOp); err != nil {
+					return err
+				}
+				if algo == AlgoRing {
+					results[rank] = JoinChunks(blocks)
+				} else {
+					results[rank] = blocks[0]
+				}
+				return nil
+			})
+			for r := range results {
+				if !bytes.Equal(results[r], want) {
+					t.Fatalf("allreduce %s n=%d len=%d rank %d: wrong result", algo, n, l, r)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyBcastReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range commSizes(rng) {
+		root := rng.Intn(n)
+		payload := randBytes(rng, 1+rng.Intn(64))
+
+		bcastOut := make([][]byte, n)
+		runRanks(t, n, func(rank int, tp Transport) error {
+			s, err := Bcast(AlgoBinomial, rank, n, root)
+			if err != nil {
+				return err
+			}
+			blocks := [][]byte{nil}
+			if rank == root {
+				blocks[0] = payload
+			}
+			if err := Exec(s, tp, blocks, nil); err != nil {
+				return err
+			}
+			bcastOut[rank] = blocks[0]
+			return nil
+		})
+		for r := range bcastOut {
+			if !bytes.Equal(bcastOut[r], payload) {
+				t.Fatalf("bcast n=%d root=%d rank %d: wrong payload", n, root, r)
+			}
+		}
+
+		inputs := make([][]byte, n)
+		want := make([]byte, len(payload))
+		for r := range inputs {
+			inputs[r] = randBytes(rng, len(payload))
+			addOp(want, inputs[r])
+		}
+		var rootGot []byte
+		runRanks(t, n, func(rank int, tp Transport) error {
+			s, err := Reduce(AlgoBinomial, rank, n, root)
+			if err != nil {
+				return err
+			}
+			blocks := [][]byte{append([]byte(nil), inputs[rank]...)}
+			if err := Exec(s, tp, blocks, addOp); err != nil {
+				return err
+			}
+			if rank == root {
+				rootGot = blocks[0]
+			}
+			return nil
+		})
+		if !bytes.Equal(rootGot, want) {
+			t.Fatalf("reduce n=%d root=%d: wrong result", n, root)
+		}
+	}
+}
+
+func TestPropertyAllgather(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range commSizes(rng) {
+		for _, algo := range []Algo{AlgoRing, AlgoRecDbl} {
+			if algo == AlgoRecDbl && !isPow2(n) {
+				continue
+			}
+			inputs := make([][]byte, n)
+			for r := range inputs {
+				inputs[r] = randBytes(rng, rng.Intn(18)) // lengths may differ per rank
+			}
+			results := make([][][]byte, n)
+			runRanks(t, n, func(rank int, tp Transport) error {
+				s, err := Allgather(algo, rank, n)
+				if err != nil {
+					return err
+				}
+				blocks := make([][]byte, n)
+				blocks[rank] = append([]byte(nil), inputs[rank]...)
+				if err := Exec(s, tp, blocks, nil); err != nil {
+					return err
+				}
+				results[rank] = blocks
+				return nil
+			})
+			for r := range results {
+				for j := range inputs {
+					if !bytes.Equal(results[r][j], inputs[j]) {
+						t.Fatalf("allgather %s n=%d rank %d block %d mismatch", algo, n, r, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyAlltoall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range commSizes(rng) {
+		for _, algo := range []Algo{AlgoBruck, AlgoPairwise} {
+			// parts[s][d]: payload from rank s to rank d, asymmetric lengths.
+			parts := make([][][]byte, n)
+			for s := range parts {
+				parts[s] = make([][]byte, n)
+				for d := range parts[s] {
+					parts[s][d] = randBytes(rng, rng.Intn(9))
+				}
+			}
+			results := make([][][]byte, n)
+			runRanks(t, n, func(rank int, tp Transport) error {
+				s, err := Alltoall(algo, rank, n)
+				if err != nil {
+					return err
+				}
+				blocks := make([][]byte, s.Blocks)
+				for d := 0; d < n; d++ {
+					blocks[d] = append([]byte(nil), parts[rank][d]...)
+				}
+				if algo == AlgoPairwise {
+					blocks[n+rank] = blocks[rank]
+				}
+				if err := Exec(s, tp, blocks, nil); err != nil {
+					return err
+				}
+				results[rank] = blocks[s.Blocks-n:]
+				return nil
+			})
+			for d := range results {
+				for s := range results[d] {
+					if !bytes.Equal(results[d][s], parts[s][d]) {
+						t.Fatalf("alltoall %s n=%d: dest %d got wrong part from %d", algo, n, d, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyGatherScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range commSizes(rng) {
+		root := rng.Intn(n)
+		for _, algo := range []Algo{AlgoLinear, AlgoBinomial} {
+			inputs := make([][]byte, n)
+			for r := range inputs {
+				inputs[r] = randBytes(rng, 1+rng.Intn(13))
+			}
+			var rootGot [][]byte
+			runRanks(t, n, func(rank int, tp Transport) error {
+				s, err := Gather(algo, rank, n, root)
+				if err != nil {
+					return err
+				}
+				blocks := make([][]byte, n)
+				blocks[rank] = inputs[rank]
+				if err := Exec(s, tp, blocks, nil); err != nil {
+					return err
+				}
+				if rank == root {
+					rootGot = blocks
+				}
+				return nil
+			})
+			for j := range inputs {
+				if !bytes.Equal(rootGot[j], inputs[j]) {
+					t.Fatalf("gather %s n=%d root=%d block %d mismatch", algo, n, root, j)
+				}
+			}
+
+			scatterOut := make([][]byte, n)
+			runRanks(t, n, func(rank int, tp Transport) error {
+				s, err := Scatter(algo, rank, n, root)
+				if err != nil {
+					return err
+				}
+				blocks := make([][]byte, n)
+				if rank == root {
+					copy(blocks, inputs)
+				}
+				if err := Exec(s, tp, blocks, nil); err != nil {
+					return err
+				}
+				scatterOut[rank] = blocks[rank]
+				return nil
+			})
+			for r := range scatterOut {
+				if !bytes.Equal(scatterOut[r], inputs[r]) {
+					t.Fatalf("scatter %s n=%d root=%d rank %d mismatch", algo, n, root, r)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyBarrier(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range commSizes(rng) {
+		for _, algo := range []Algo{AlgoBinomial, AlgoRecDbl} {
+			done := make([]bool, n)
+			runRanks(t, n, func(rank int, tp Transport) error {
+				s, err := Barrier(algo, rank, n)
+				if err != nil {
+					return err
+				}
+				if err := Exec(s, tp, nil, nil); err != nil {
+					return err
+				}
+				done[rank] = true
+				return nil
+			})
+			for r, ok := range done {
+				if !ok {
+					t.Fatalf("barrier %s n=%d rank %d did not complete", algo, n, r)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorsDeterministic: same inputs, same schedule — byte for
+// byte. Purity (no I/O) is structural; determinism is what replay and
+// the message-log replay protocol depend on.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13, 32} {
+		for rank := 0; rank < n; rank++ {
+			a1, _ := Allreduce(AlgoRing, rank, n)
+			a2, _ := Allreduce(AlgoRing, rank, n)
+			if !reflect.DeepEqual(a1, a2) {
+				t.Fatalf("ring allreduce n=%d rank=%d not deterministic", n, rank)
+			}
+			b1, _ := Alltoall(AlgoBruck, rank, n)
+			b2, _ := Alltoall(AlgoBruck, rank, n)
+			if !reflect.DeepEqual(b1, b2) {
+				t.Fatalf("bruck n=%d rank=%d not deterministic", n, rank)
+			}
+		}
+	}
+}
+
+// TestReduceLengthMismatch: with matching schedules but unequal buffer
+// lengths, both sides of a recursive-doubling exchange detect the
+// mismatch on their first fold and report which peer sent what.
+func TestReduceLengthMismatch(t *testing.T) {
+	n := 2
+	lens := []int{8, 4}
+	net := newFakeNet(n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s, err := Allreduce(AlgoRecDbl, r, n)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = Exec(s, fakeTP{net, r}, [][]byte{make([]byte, lens[r])}, addOp)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: mismatched reduce lengths not detected", r)
+		}
+		if want := "reduce contribution"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("rank %d: error %q does not mention %q", r, err, want)
+		}
+	}
+}
+
+func TestSplitJoinChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		for _, l := range []int{0, 1, n - 1, n, n + 1, 10 * n} {
+			if l < 0 {
+				continue
+			}
+			data := randBytes(rng, l)
+			chunks := SplitChunks(data, n)
+			if len(chunks) != n {
+				t.Fatalf("n=%d l=%d: %d chunks", n, l, len(chunks))
+			}
+			if !bytes.Equal(JoinChunks(chunks), data) {
+				t.Fatalf("n=%d l=%d: join != original", n, l)
+			}
+		}
+	}
+}
+
+func TestPolicySelect(t *testing.T) {
+	var p Policy
+	cases := []struct {
+		op    Opcode
+		bytes int
+		n     int
+		want  Algo
+	}{
+		{OpAllreduce, 8, 16, AlgoRecDbl},
+		{OpAllreduce, 1 << 20, 16, AlgoRing},
+		{OpAllreduce, 1 << 20, 2, AlgoRecDbl},
+		{OpAllgather, 1 << 20, 16, AlgoRecDbl},
+		{OpAllgather, 8, 6, AlgoRing},
+		{OpAlltoall, 16 * 8, 16, AlgoBruck},
+		{OpAlltoall, 16 << 20, 16, AlgoPairwise},
+		{OpGather, 8, 4, AlgoLinear},
+		{OpGather, 8, 32, AlgoBinomial},
+		{OpBarrier, 0, 9, AlgoRecDbl},
+		{OpBcast, 1 << 20, 64, AlgoBinomial},
+	}
+	for _, c := range cases {
+		if got := p.Select(c.op, c.bytes, c.n); got != c.want {
+			t.Errorf("Select(%s, %d, %d) = %s, want %s", c.op, c.bytes, c.n, got, c.want)
+		}
+	}
+	forced := Policy{Allreduce: AlgoRing, Allgather: AlgoRecDbl}
+	if got := forced.Select(OpAllreduce, 8, 2); got != AlgoRing {
+		t.Errorf("forced allreduce: got %s", got)
+	}
+	if got := forced.Select(OpAllgather, 8, 6); got != AlgoRing {
+		t.Errorf("forced rec-dbl allgather on n=6 should degrade to ring, got %s", got)
+	}
+	if err := (Policy{Bcast: "ring"}).Validate(); err == nil {
+		t.Error("ring bcast accepted by Validate")
+	}
+	if err := (Policy{Allreduce: AlgoRing, Alltoall: AlgoBruck}).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if _, err := ParseAlgo(OpAllreduce, "auto"); err != nil {
+		t.Errorf("auto rejected: %v", err)
+	}
+	if _, err := ParseAlgo(OpAllreduce, "quantum"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Package coll represents collective operations as generated
+// communication *schedules*: pure, deterministic per-rank lists of
+// send/recv/reduce steps over communicator ranks. Generators in this
+// package perform no I/O — they only compute who talks to whom, in
+// which round, moving which logical blocks — so the same schedule can
+// be driven over the survivable core transport, the fail-stop MPI
+// baseline, or an in-memory fake for property testing.
+//
+// The executor (Exec) walks the schedule round by round, posting every
+// send of a round before draining its receives. Because the underlying
+// transports are eager (a send copies the payload and never blocks on
+// the receiver posting), this gives deadlock-free pairwise exchanges
+// and overlaps all of a round's traffic.
+package coll
+
+import "fmt"
+
+// Algo names an algorithm family. The empty string means "auto": let
+// the Policy pick by payload size and communicator size.
+type Algo string
+
+const (
+	AlgoAuto     Algo = ""
+	AlgoBinomial Algo = "binomial" // binomial tree (bcast/reduce/barrier up-down, gather/scatter)
+	AlgoRecDbl   Algo = "rec-dbl"  // recursive doubling / dissemination
+	AlgoRing     Algo = "ring"     // ring reduce-scatter + allgather
+	AlgoBruck    Algo = "bruck"    // Bruck log-round alltoall
+	AlgoPairwise Algo = "pairwise" // nonblocking pairwise alltoall
+	AlgoLinear   Algo = "linear"   // direct to/from the root
+	AlgoTree     Algo = "tree"     // allreduce as binomial reduce + bcast (legacy baseline)
+)
+
+// Opcode identifies the collective operation a schedule implements,
+// for algorithm selection and tracing.
+type Opcode string
+
+const (
+	OpBcast     Opcode = "bcast"
+	OpReduce    Opcode = "reduce"
+	OpBarrier   Opcode = "barrier"
+	OpAllreduce Opcode = "allreduce"
+	OpAllgather Opcode = "allgather"
+	OpAlltoall  Opcode = "alltoall"
+	OpGather    Opcode = "gather"
+	OpScatter   Opcode = "scatter"
+)
+
+// StepOp is the action one step performs.
+type StepOp uint8
+
+const (
+	// OpSend transmits the listed blocks to Peer (packed with
+	// length prefixes when more than one block is listed).
+	OpSend StepOp = iota
+	// OpRecv receives from Peer and overwrites the listed blocks
+	// (or discards the payload when no blocks are listed).
+	OpRecv
+	// OpRecvReduce receives a single block from Peer and folds it
+	// into the local block with the reduction operator.
+	OpRecvReduce
+)
+
+func (o StepOp) String() string {
+	switch o {
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpRecvReduce:
+		return "recv-reduce"
+	}
+	return "?"
+}
+
+// Step is one communication action: an operation against a peer
+// (communicator rank) moving the listed logical blocks. Blks indexes
+// the block table handed to Exec; an empty list means an empty payload
+// (pure synchronisation).
+type Step struct {
+	Op   StepOp
+	Peer int
+	Blks []int
+}
+
+// Round groups steps that may be in flight together: the executor
+// posts every send in the round before draining the round's receives,
+// so a symmetric exchange (send+recv against the same peer) never
+// deadlocks and independent transfers overlap.
+type Round []Step
+
+// Schedule is the full per-rank plan for one collective. InPerm and
+// OutPerm, when non-nil, permute the block table before the first and
+// after the last round (blocks[i] = blocks[perm[i]]), which lets
+// rotation-based algorithms like Bruck keep their steps in local index
+// space.
+type Schedule struct {
+	Op     Opcode
+	Algo   Algo
+	Rank   int
+	NRanks int
+	Blocks int // size of the block table Exec expects
+	Rounds []Round
+	InPerm  []int
+	OutPerm []int
+}
+
+func (s *Schedule) String() string {
+	return fmt.Sprintf("%s/%s rank %d/%d (%d rounds)", s.Op, s.Algo, s.Rank, s.NRanks, len(s.Rounds))
+}
+
+// SplitChunks slices data into n contiguous chunks using the boundary
+// convention shared by the ring generators: chunk i is
+// data[i*len/n : (i+1)*len/n]. Short payloads simply yield some empty
+// chunks; JoinChunks reassembles the original length.
+func SplitChunks(data []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	l := len(data)
+	for i := 0; i < n; i++ {
+		out[i] = data[i*l/n : (i+1)*l/n]
+	}
+	return out
+}
+
+// JoinChunks concatenates blocks into one buffer.
+func JoinChunks(blocks [][]byte) []byte {
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// ceilLog2 returns the number of rounds a binomial/doubling pattern
+// needs for n ranks: the smallest k with 1<<k >= n.
+func ceilLog2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

@@ -314,10 +314,7 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	// retained — if every rank finished encoding before the failure,
 	// the restore negotiation will roll forward to it; otherwise it
 	// will roll back to the committed one and recovery discards it.
-	if _, err := p.world.treeReduce(tagCkptAgree, 0, nil, nil); err != nil {
-		return err
-	}
-	out, err := p.world.treeBcast(tagCkptAgree, 0, payload[:])
+	out, err := p.world.agreeBcast(tagCkptAgree, payload[:])
 	if err != nil {
 		return err
 	}

@@ -1,92 +1,100 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 
+	"fmi/internal/coll"
+	"fmi/internal/enc"
+	"fmi/internal/trace"
 	"fmi/internal/transport"
 )
 
 // Op combines src into acc element-wise; acc and src have equal
-// length. The public fmi package provides typed constructors.
+// length. The operator MUST be commutative and associative: the
+// collective engine folds contributions in whatever order its selected
+// algorithm dictates (binomial tree, recursive-doubling pairs, ring
+// chunks), which is not the rank order used by the pre-Loop
+// coordinator path's foldVals. Floating-point sums may therefore
+// differ in the last ulp between algorithms — exactly as across MPI
+// implementations. The public fmi package provides typed constructors.
 type Op func(acc, src []byte)
 
-// treeBcast broadcasts data from root (comm rank) down a binomial
-// tree; non-roots receive and return the payload (MPICH's classic
-// binomial broadcast).
-func (c *Comm) treeBcast(tag int32, root int, data []byte) ([]byte, error) {
-	n := c.Size()
-	if n == 1 {
-		return data, nil
-	}
-	vrank := (c.myIdx - root + n) % n
-	abs := func(v int) int { return (v + root) % n }
+// Collectives are schedule-driven (internal/coll): each operation asks
+// the configured policy for an algorithm, generates that algorithm's
+// pure per-rank schedule, and drives it over the p2p layer below. A
+// failure mid-schedule surfaces exactly like a failed Recv — the
+// executor aborts and the error (ErrFailureDetected for a notified
+// failure) unwinds to Loop, which repairs the world by rollback in
+// global mode; in local mode survivors ride the epoch fence inside
+// recvRaw and the schedule simply continues, since deterministic
+// schedules plus per-pair FIFO ordering make the replayed traffic land
+// in the same steps.
 
-	mask := 1
-	for mask < n {
-		if vrank&mask != 0 {
-			parentWorld := c.members[abs(vrank-mask)]
-			msg, err := c.p.recvRaw(c.ctx, int32(parentWorld), tag)
-			if err != nil {
-				return nil, err
-			}
-			data = msg.Data
-			break
-		}
-		mask <<= 1
-	}
-	mask >>= 1
-	for mask > 0 {
-		if vrank+mask < n {
-			childWorld := c.members[abs(vrank+mask)]
-			if err := c.p.sendRaw(childWorld, c.ctx, tag, transport.KindColl, data); err != nil {
-				return nil, err
-			}
-		}
-		mask >>= 1
-	}
-	return data, nil
+// collTP adapts one (communicator, tag) pair to the schedule
+// executor's transport: schedule peers are comm ranks, translated to
+// world ranks here. Sends are eager (the transport copies payloads and
+// blocks only under backpressure), which is what lets the executor
+// post a whole round of sends before draining its receives.
+type collTP struct {
+	c   *Comm
+	tag int32
 }
 
-// treeReduce folds every rank's data into the root along a binomial
-// tree. acc must be a private copy the caller may mutate; the root's
-// final accumulation is returned. op may be nil for a pure
-// synchronisation (payloads ignored).
-func (c *Comm) treeReduce(tag int32, root int, acc []byte, op Op) ([]byte, error) {
-	n := c.Size()
-	if n == 1 {
-		return acc, nil
-	}
-	vrank := (c.myIdx - root + n) % n
-	abs := func(v int) int { return (v + root) % n }
+func (t collTP) Send(peer int, data []byte) error {
+	return t.c.p.sendRaw(t.c.members[peer], t.c.ctx, t.tag, transport.KindColl, data)
+}
 
-	mask := 1
-	for mask < n {
-		if vrank&mask == 0 {
-			src := vrank + mask
-			if src < n {
-				srcWorld := c.members[abs(src)]
-				msg, err := c.p.recvRaw(c.ctx, int32(srcWorld), tag)
-				if err != nil {
-					return nil, err
-				}
-				if op != nil {
-					if len(msg.Data) != len(acc) {
-						return nil, fmt.Errorf("fmi: reduce payload length mismatch (%d vs %d)", len(msg.Data), len(acc))
-					}
-					op(acc, msg.Data)
-				}
-			}
-		} else {
-			dstWorld := c.members[abs(vrank-mask)]
-			if err := c.p.sendRaw(dstWorld, c.ctx, tag, transport.KindColl, acc); err != nil {
-				return nil, err
-			}
-			break
-		}
-		mask <<= 1
+func (t collTP) Recv(peer int) ([]byte, error) {
+	msg, err := t.c.p.recvRaw(t.c.ctx, int32(t.c.members[peer]), t.tag)
+	if err != nil {
+		return nil, err
 	}
-	return acc, nil
+	return msg.Data, nil
+}
+
+// selectAlgo consults the policy and records the choice in the trace
+// (the coll-algo event), making per-operation algorithm selection
+// observable in timelines.
+func (c *Comm) selectAlgo(op coll.Opcode, bytes int) coll.Algo {
+	algo := c.p.cfg.Coll.Select(op, bytes, c.Size())
+	c.p.cfg.Trace.Add(trace.KindCollAlgo, c.p.rank, c.p.epoch,
+		"%s algo=%s bytes=%d n=%d", op, algo, bytes, c.Size())
+	return algo
+}
+
+// exec drives a schedule over this communicator on the given reserved
+// tag. Consecutive collectives may share a tag safely: schedules are
+// deterministic and the transport delivers per-(sender, receiver) in
+// FIFO order, so matched receives cannot cross operation boundaries.
+func (c *Comm) exec(tag int32, s *coll.Schedule, blocks [][]byte, op Op) error {
+	return coll.Exec(s, collTP{c, tag}, blocks, coll.ReduceFn(op))
+}
+
+// agreeBcast is the checkpoint completion wave used by the level-1 and
+// level-2 commit protocols: a zero-payload binomial reduce-to-0
+// synchronisation followed by a binomial broadcast of the root's
+// payload on the same reserved tag (the wire pattern of the original
+// hand-rolled trees).
+func (c *Comm) agreeBcast(tag int32, payload []byte) ([]byte, error) {
+	if c.Size() == 1 {
+		return payload, nil
+	}
+	up, err := coll.Reduce(coll.AlgoBinomial, c.myIdx, c.Size(), 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.exec(tag, up, [][]byte{nil}, nil); err != nil {
+		return nil, err
+	}
+	dn, err := coll.Bcast(coll.AlgoBinomial, c.myIdx, c.Size(), 0)
+	if err != nil {
+		return nil, err
+	}
+	blocks := [][]byte{payload}
+	if err := c.exec(tag, dn, blocks, nil); err != nil {
+		return nil, err
+	}
+	return blocks[0], nil
 }
 
 // coordExchange runs a pre-Loop collective through the coordinator,
@@ -140,11 +148,14 @@ func (c *Comm) Barrier() error {
 		_, err := c.coordExchange("barrier", nil)
 		return err
 	}
-	if _, err := c.treeReduce(tagBarrierUp, 0, nil, nil); err != nil {
+	if c.Size() == 1 {
+		return nil
+	}
+	s, err := coll.Barrier(c.selectAlgo(coll.OpBarrier, 0), c.myIdx, c.Size())
+	if err != nil {
 		return err
 	}
-	_, err := c.treeBcast(tagBarrierDn, 0, nil)
-	return err
+	return c.exec(tagBarrierUp, s, nil, nil)
 }
 
 // Bcast broadcasts the root's buffer to all ranks; every rank returns
@@ -167,11 +178,28 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 		}
 		return vals[root], nil
 	}
-	return c.treeBcast(tagBcast, root, data)
+	if c.Size() == 1 {
+		return data, nil
+	}
+	s, err := coll.Bcast(c.selectAlgo(coll.OpBcast, len(data)), c.myIdx, c.Size(), root)
+	if err != nil {
+		return nil, err
+	}
+	blocks := [][]byte{nil}
+	if c.myIdx == root {
+		blocks[0] = data
+	}
+	if err := c.exec(tagBcast, s, blocks, nil); err != nil {
+		return nil, err
+	}
+	return blocks[0], nil
 }
 
 // Reduce combines all ranks' equal-length buffers with op; the root
-// returns the result, others return nil.
+// returns the result, others return nil. op must be commutative and
+// associative (see Op): contributions fold in tree order. A length
+// mismatch between ranks is reported by the first rank that folds the
+// offending contribution, naming both peers and sizes.
 func (c *Comm) Reduce(root int, data []byte, op Op) ([]byte, error) {
 	if err := c.p.checkComm(); err != nil {
 		return nil, err
@@ -189,20 +217,30 @@ func (c *Comm) Reduce(root int, data []byte, op Op) ([]byte, error) {
 		}
 		return foldVals(vals, op)
 	}
-	acc := make([]byte, len(data))
-	copy(acc, data)
-	res, err := c.treeReduce(tagReduce, root, acc, op)
-	if err != nil {
-		return nil, err
+	acc := append([]byte(nil), data...)
+	if c.Size() > 1 {
+		s, err := coll.Reduce(c.selectAlgo(coll.OpReduce, len(data)), c.myIdx, c.Size(), root)
+		if err != nil {
+			return nil, err
+		}
+		blocks := [][]byte{acc}
+		if err := c.exec(tagReduce, s, blocks, op); err != nil {
+			return nil, err
+		}
+		acc = blocks[0]
 	}
 	if c.myIdx == root {
-		return res, nil
+		return acc, nil
 	}
 	return nil, nil
 }
 
 // Allreduce combines all ranks' buffers and returns the result on
-// every rank (reduce to rank 0 + broadcast).
+// every rank. The algorithm is selected by payload size: recursive
+// doubling for latency-bound small buffers, a bandwidth-optimal ring
+// reduce-scatter + allgather for large ones (and the legacy
+// reduce+bcast tree via policy override). op must be commutative and
+// associative (see Op); all ranks must pass equal-length buffers.
 func (c *Comm) Allreduce(data []byte, op Op) ([]byte, error) {
 	if err := c.p.checkComm(); err != nil {
 		return nil, err
@@ -214,22 +252,42 @@ func (c *Comm) Allreduce(data []byte, op Op) ([]byte, error) {
 		}
 		return foldVals(vals, op)
 	}
-	res, err := c.Reduce(0, data, op)
+	n := c.Size()
+	buf := append([]byte(nil), data...)
+	if n == 1 {
+		return buf, nil
+	}
+	algo := c.selectAlgo(coll.OpAllreduce, len(data))
+	s, err := coll.Allreduce(algo, c.myIdx, n)
 	if err != nil {
 		return nil, err
 	}
-	return c.treeBcast(tagBcast, 0, res)
+	var blocks [][]byte
+	if algo == coll.AlgoRing {
+		blocks = coll.SplitChunks(buf, n)
+	} else {
+		blocks = [][]byte{buf}
+	}
+	if err := c.exec(tagAllreduce, s, blocks, op); err != nil {
+		return nil, err
+	}
+	if algo == coll.AlgoRing {
+		return coll.JoinChunks(blocks), nil
+	}
+	return blocks[0], nil
 }
 
-// foldVals combines gathered contributions in rank order.
+// foldVals combines gathered contributions in rank order (pre-Loop
+// coordinator path only; the data-plane engine folds in schedule
+// order — both are valid because Op is commutative and associative).
 func foldVals(vals [][]byte, op Op) ([]byte, error) {
 	if len(vals) == 0 {
 		return nil, nil
 	}
 	acc := append([]byte{}, vals[0]...)
-	for _, v := range vals[1:] {
+	for i, v := range vals[1:] {
 		if len(v) != len(acc) {
-			return nil, fmt.Errorf("fmi: reduce payload length mismatch (%d vs %d)", len(v), len(acc))
+			return nil, fmt.Errorf("fmi: reduce payload length mismatch (rank %d contributed %d bytes, rank 0 contributed %d)", i+1, len(v), len(acc))
 		}
 		if op != nil {
 			op(acc, v)
@@ -240,7 +298,8 @@ func foldVals(vals [][]byte, op Op) ([]byte, error) {
 
 // Gather collects every rank's buffer at the root, which returns them
 // indexed by comm rank; other ranks return nil. Buffers may have
-// different lengths.
+// different lengths. Small communicators send linearly to the root;
+// larger ones fold packed subtrees up a binomial tree.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	if err := c.p.checkComm(); err != nil {
 		return nil, err
@@ -259,26 +318,24 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 		return vals, nil
 	}
 	n := c.Size()
+	s, err := coll.Gather(c.selectAlgo(coll.OpGather, len(data)), c.myIdx, n, root)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([][]byte, n)
+	blocks[c.myIdx] = append([]byte{}, data...)
+	if err := c.exec(tagGather, s, blocks, nil); err != nil {
+		return nil, err
+	}
 	if c.myIdx != root {
-		rootWorld := c.members[root]
-		return nil, c.p.sendRaw(rootWorld, c.ctx, tagGather, transport.KindColl, data)
+		return nil, nil
 	}
-	out := make([][]byte, n)
-	out[root] = append([]byte{}, data...)
-	for r := 0; r < n; r++ {
-		if r == root {
-			continue
-		}
-		msg, err := c.p.recvRaw(c.ctx, int32(c.members[r]), tagGather)
-		if err != nil {
-			return nil, err
-		}
-		out[r] = msg.Data
-	}
-	return out, nil
+	return blocks, nil
 }
 
-// Allgather collects every rank's buffer on every rank.
+// Allgather collects every rank's buffer on every rank. Power-of-two
+// communicators use recursive doubling (log rounds of packed block
+// ranges); others rotate blocks around a ring, never repacking.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	if err := c.p.checkComm(); err != nil {
 		return nil, err
@@ -286,19 +343,17 @@ func (c *Comm) Allgather(data []byte) ([][]byte, error) {
 	if c.preLoop() {
 		return c.coordExchange("allgather", data)
 	}
-	parts, err := c.Gather(0, data)
+	n := c.Size()
+	s, err := coll.Allgather(c.selectAlgo(coll.OpAllgather, len(data)), c.myIdx, n)
 	if err != nil {
 		return nil, err
 	}
-	var packed []byte
-	if c.myIdx == 0 {
-		packed = packSlices(parts)
-	}
-	packed, err = c.treeBcast(tagBcast, 0, packed)
-	if err != nil {
+	blocks := make([][]byte, n)
+	blocks[c.myIdx] = append([]byte{}, data...)
+	if err := c.exec(tagAllgather, s, blocks, nil); err != nil {
 		return nil, err
 	}
-	return unpackSlices(packed)
+	return blocks, nil
 }
 
 // Scatter distributes parts[i] to comm rank i from the root; every
@@ -329,29 +384,40 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 		}
 		return all[c.myIdx], nil
 	}
+	var total int
 	if c.myIdx == root {
 		if len(parts) != n {
 			return nil, fmt.Errorf("fmi: scatter needs %d parts, got %d", n, len(parts))
 		}
-		for r := 0; r < n; r++ {
-			if r == root {
-				continue
-			}
-			if err := c.p.sendRaw(c.members[r], c.ctx, tagScatter, transport.KindColl, parts[r]); err != nil {
-				return nil, err
-			}
+		for _, p := range parts {
+			total += len(p)
 		}
-		return append([]byte{}, parts[root]...), nil
 	}
-	msg, err := c.p.recvRaw(c.ctx, int32(c.members[root]), tagScatter)
+	s, err := coll.Scatter(c.selectAlgo(coll.OpScatter, total), c.myIdx, n, root)
 	if err != nil {
 		return nil, err
 	}
-	return msg.Data, nil
+	blocks := make([][]byte, n)
+	if c.myIdx == root {
+		copy(blocks, parts)
+	}
+	if err := c.exec(tagScatter, s, blocks, nil); err != nil {
+		return nil, err
+	}
+	if c.myIdx == root {
+		return append([]byte{}, parts[root]...), nil
+	}
+	return blocks[c.myIdx], nil
 }
 
 // Alltoall exchanges parts pairwise: rank i receives parts[i] from
-// every rank, returned indexed by source comm rank.
+// every rank, returned indexed by source comm rank. Small uniform
+// exchanges take Bruck's log-round packed shuffle; large ones run
+// nonblocking pairwise rounds (each round's send is posted before its
+// receive, so symmetric exchanges cannot deadlock). The size heuristic
+// samples the local payload and assumes roughly size-symmetric traffic
+// (MPI_Alltoall's uniform-count shape); irregular alltoallv-style
+// exchanges should pin an algorithm via the Collectives config.
 func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 	if err := c.p.checkComm(); err != nil {
 		return nil, err
@@ -375,55 +441,29 @@ func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
 		}
 		return out, nil
 	}
-	out := make([][]byte, n)
-	out[c.myIdx] = append([]byte{}, parts[c.myIdx]...)
-	// Pairwise exchange: at step d, talk to rank me^d style schedule
-	// generalised to non-powers of two via (me+d), (me-d).
-	for d := 1; d < n; d++ {
-		dst := (c.myIdx + d) % n
-		src := (c.myIdx - d + n) % n
-		if err := c.p.sendRaw(c.members[dst], c.ctx, tagAlltoall, transport.KindColl, parts[dst]); err != nil {
-			return nil, err
-		}
-		msg, err := c.p.recvRaw(c.ctx, int32(c.members[src]), tagAlltoall)
-		if err != nil {
-			return nil, err
-		}
-		out[src] = msg.Data
-	}
-	return out, nil
-}
-
-// packSlices and unpackSlices serialise a [][]byte with u32 length
-// prefixes (used by Allgather's broadcast leg).
-func packSlices(parts [][]byte) []byte {
 	total := 0
 	for _, p := range parts {
-		total += 4 + len(p)
+		total += len(p)
 	}
-	out := make([]byte, 0, total)
-	var hdr [4]byte
-	for _, p := range parts {
-		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
-		out = append(out, hdr[:]...)
-		out = append(out, p...)
+	s, err := coll.Alltoall(c.selectAlgo(coll.OpAlltoall, total), c.myIdx, n)
+	if err != nil {
+		return nil, err
 	}
-	return out
+	blocks := make([][]byte, s.Blocks)
+	copy(blocks, parts)
+	blocks[c.myIdx] = append([]byte{}, parts[c.myIdx]...)
+	if s.Blocks == 2*n { // pairwise: staging region for received parts
+		blocks[n+c.myIdx] = blocks[c.myIdx]
+	}
+	if err := c.exec(tagAlltoall, s, blocks, nil); err != nil {
+		return nil, err
+	}
+	return blocks[s.Blocks-n:], nil
 }
 
-func unpackSlices(data []byte) ([][]byte, error) {
-	var out [][]byte
-	for len(data) > 0 {
-		if len(data) < 4 {
-			return nil, fmt.Errorf("fmi: truncated slice pack")
-		}
-		n := binary.LittleEndian.Uint32(data)
-		data = data[4:]
-		if uint32(len(data)) < n {
-			return nil, fmt.Errorf("fmi: truncated slice pack body")
-		}
-		out = append(out, data[:n:n])
-		data = data[n:]
-	}
-	return out, nil
-}
+// packSlices and unpackSlices frame a [][]byte with u32 length
+// prefixes; the shared implementation lives in internal/enc (also used
+// by the schedule executor for multi-block steps).
+func packSlices(parts [][]byte) []byte { return enc.PackSlices(parts) }
+
+func unpackSlices(data []byte) ([][]byte, error) { return enc.UnpackSlices(data) }

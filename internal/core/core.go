@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"fmi/internal/bootstrap"
+	"fmi/internal/coll"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
 )
@@ -73,7 +74,9 @@ const (
 	tagScatter   int32 = -4
 	tagAlltoall  int32 = -5
 	tagBarrierUp int32 = -6
-	tagBarrierDn int32 = -7
+	tagBarrierDn int32 = -7 // retired: barrier runs as one schedule on tagBarrierUp
+	tagAllreduce int32 = -8
+	tagAllgather int32 = -9
 	tagCkptRing  int32 = -20 // XOR encode/decode ring traffic
 	tagCkptSize  int32 = -21 // group size exchange
 	tagCkptMeta  int32 = -22 // runtime meta to restarted ranks
@@ -147,6 +150,9 @@ type Config struct {
 	Stats   *Stats
 	// Trace, when non-nil, records the rank's lifecycle events.
 	Trace *trace.Recorder
+	// Coll selects collective algorithms; the zero value picks
+	// automatically by payload and communicator size.
+	Coll coll.Policy
 }
 
 func (c *Config) fillDefaults() {

@@ -113,10 +113,7 @@ func (p *Proc) maybeWriteL2(id int) error {
 	}
 	// Completion agreement mirrors the level-1 wave: the id is only
 	// trusted once every rank has written it.
-	if _, err := p.world.treeReduce(tagCkptAgree, 0, nil, nil); err != nil {
-		return err
-	}
-	if _, err := p.world.treeBcast(tagCkptAgree, 0, nil); err != nil {
+	if _, err := p.world.agreeBcast(tagCkptAgree, nil); err != nil {
 		return err
 	}
 	if p.rank == 0 {

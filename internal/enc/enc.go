@@ -1,0 +1,55 @@
+// Package enc provides the length-prefixed slice framing shared by the
+// collective engine (packed multi-block schedule steps), the core
+// coordinator exchange paths, and anything else that must move a
+// [][]byte through a single message.
+//
+// Wire format: each part is a u32 little-endian length followed by that
+// many payload bytes, concatenated. A nil part and an empty part both
+// encode as a zero length and decode as an empty slice.
+package enc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PackSlices serialises parts with u32 little-endian length prefixes.
+// The result decodes with UnpackSlices to the same number of parts with
+// the same contents.
+func PackSlices(parts [][]byte) []byte {
+	total := 0
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	out := make([]byte, 0, total)
+	var hdr [4]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// UnpackSlices decodes a PackSlices buffer. The returned slices alias
+// data (no copies). Truncated input — a header shorter than 4 bytes or
+// a declared length running past the buffer — returns an error rather
+// than panicking, and the declared lengths can never force an
+// allocation larger than the input itself, so adversarial buffers are
+// bounded by their own size.
+func UnpackSlices(data []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("enc: truncated slice pack header (%d trailing bytes)", len(data))
+		}
+		n := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint64(n) > uint64(len(data)) {
+			return nil, fmt.Errorf("enc: truncated slice pack body (declared %d, %d left)", n, len(data))
+		}
+		out = append(out, data[:n:n])
+		data = data[n:]
+	}
+	return out, nil
+}

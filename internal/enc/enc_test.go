@@ -1,0 +1,74 @@
+package enc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{},
+		{nil},
+		{{}},
+		{[]byte("a")},
+		{[]byte("hello"), nil, []byte("world"), {}},
+		{bytes.Repeat([]byte{0xab}, 1<<16), []byte{1}},
+	}
+	for i, parts := range cases {
+		got, err := UnpackSlices(PackSlices(parts))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(parts) {
+			t.Fatalf("case %d: %d parts, want %d", i, len(got), len(parts))
+		}
+		for j := range parts {
+			if !bytes.Equal(got[j], parts[j]) {
+				t.Fatalf("case %d part %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	valid := PackSlices([][]byte{[]byte("abcdef"), []byte("gh")})
+	for cut := 1; cut < len(valid); cut++ {
+		trunc := valid[:cut]
+		// Some prefixes happen to be self-consistent (they end exactly
+		// on a part boundary); the rest must error, never panic.
+		if parts, err := UnpackSlices(trunc); err == nil {
+			repacked := PackSlices(parts)
+			if !bytes.Equal(repacked, trunc) {
+				t.Fatalf("cut %d: accepted non-canonical input", cut)
+			}
+		}
+	}
+	if _, err := UnpackSlices([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("huge declared length accepted")
+	}
+	if _, err := UnpackSlices([]byte{1, 2}); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+// FuzzUnpackSlices feeds adversarial byte strings to the decoder:
+// it must never panic, and any accepted input must round-trip
+// Pack(Unpack(x)) == x (the encoding is canonical — one buffer, one
+// parse).
+func FuzzUnpackSlices(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(PackSlices([][]byte{[]byte("seed"), nil, []byte("corpus")}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{4, 0, 0, 0, 1, 2})
+	f.Add(PackSlices([][]byte{bytes.Repeat([]byte{7}, 300)})[:100])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, err := UnpackSlices(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(PackSlices(parts), data) {
+			t.Fatalf("accepted input does not round-trip (%d bytes, %d parts)", len(data), len(parts))
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"fmi"
+)
+
+// CollPoint is one cell of the collective-algorithm sweep: the mean
+// per-operation wall time of `Iters` back-to-back data-plane
+// collectives at the given payload size, with the algorithm pinned via
+// Config.Collectives.
+type CollPoint struct {
+	Op    string
+	Algo  string
+	Ranks int
+	Bytes int // per-rank payload (see MeasureColl for per-op meaning)
+	Iters int
+	PerOp time.Duration
+}
+
+// byteSum is a commutative+associative reduction for the benchmarks.
+var byteSum = fmi.Op(func(acc, src []byte) {
+	for i := range acc {
+		acc[i] += src[i]
+	}
+})
+
+// MeasureColl times one (op, algo, ranks, bytes) cell. Bytes is the
+// per-rank traffic scale: allreduce/bcast use a bytes-sized buffer;
+// allgather contributes bytes/ranks per rank (the assembled result is
+// ~bytes); alltoall sends bytes/ranks to each destination (~bytes sent
+// per rank). Rank 0 measures wall time for iters operations between
+// two barriers; the mean per-op latency is returned.
+//
+// netDelay is the simulated per-message wire latency (Config.NetDelay).
+// Zero is honest wall time on the free in-process substrate, but there
+// every message costs only CPU, so the comparison degenerates to total
+// message count; a realistic latency term (tens of µs, like a fast
+// interconnect) is what makes round counts — the thing the algorithms
+// actually trade on — show up in the measurement.
+func MeasureColl(op, algo string, ranks, bytes, iters int, netDelay time.Duration) (time.Duration, error) {
+	cfg := fmi.Config{
+		Ranks: ranks, ProcsPerNode: 1,
+		CheckpointInterval: 1000, XORGroupSize: 4,
+		DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond,
+		NetDelay:    netDelay,
+		Timeout:     5 * time.Minute,
+	}
+	switch op {
+	case "allreduce":
+		cfg.Collectives.Allreduce = algo
+	case "allgather":
+		cfg.Collectives.Allgather = algo
+	case "alltoall":
+		cfg.Collectives.Alltoall = algo
+	case "bcast":
+		cfg.Collectives.Bcast = algo
+	case "barrier":
+		cfg.Collectives.Barrier = algo
+	default:
+		return 0, fmt.Errorf("coll: unknown op %q", op)
+	}
+	var elapsedNS int64
+	app := func(env *fmi.Env) error {
+		world := env.World()
+		n := env.Size()
+		state := make([]byte, 8)
+		for env.Loop(state) < 1 {
+			data := make([]byte, bytes)
+			for i := range data {
+				data[i] = byte(env.Rank() + i)
+			}
+			part := make([]byte, bytes/n)
+			parts := make([][]byte, n)
+			for d := range parts {
+				parts[d] = part
+			}
+			if err := world.Barrier(); err != nil {
+				return err
+			}
+			start := time.Now()
+			for it := 0; it < iters; it++ {
+				var err error
+				switch op {
+				case "allreduce":
+					_, err = world.Allreduce(data, byteSum)
+				case "allgather":
+					_, err = world.Allgather(part)
+				case "alltoall":
+					_, err = world.Alltoall(parts)
+				case "bcast":
+					_, err = world.Bcast(0, data)
+				case "barrier":
+					err = world.Barrier()
+				}
+				if err != nil {
+					return err
+				}
+			}
+			if err := world.Barrier(); err != nil {
+				return err
+			}
+			if env.Rank() == 0 {
+				atomic.StoreInt64(&elapsedNS, int64(time.Since(start)))
+			}
+			state[0] = 1
+		}
+		return env.Finalize()
+	}
+	if _, err := fmi.Run(cfg, app); err != nil {
+		return 0, err
+	}
+	return time.Duration(atomic.LoadInt64(&elapsedNS)) / time.Duration(iters), nil
+}
+
+// collCells is the op × algorithm matrix the sweep exercises.
+var collCells = []struct {
+	Op    string
+	Algos []string
+}{
+	{"allreduce", []string{"tree", "rec-dbl", "ring"}},
+	{"allgather", []string{"rec-dbl", "ring"}},
+	{"alltoall", []string{"bruck", "pairwise"}},
+	{"bcast", []string{"binomial"}},
+}
+
+// CollSweep measures every op × algorithm × payload-size cell at one
+// process count. iters is the per-cell repetition budget at small
+// sizes; large payloads are scaled down to keep wall time bounded.
+func CollSweep(ranks int, sizes []int, iters int, netDelay time.Duration) ([]CollPoint, error) {
+	var out []CollPoint
+	for _, bytes := range sizes {
+		it := iters
+		if bytes >= 1<<20 {
+			it = max(3, iters/8)
+		} else if bytes >= 64<<10 {
+			it = max(4, iters/4)
+		}
+		for _, cell := range collCells {
+			for _, algo := range cell.Algos {
+				per, err := MeasureColl(cell.Op, algo, ranks, bytes, it, netDelay)
+				if err != nil {
+					return nil, fmt.Errorf("coll %s/%s n=%d bytes=%d: %w", cell.Op, algo, ranks, bytes, err)
+				}
+				out = append(out, CollPoint{
+					Op: cell.Op, Algo: algo, Ranks: ranks, Bytes: bytes, Iters: it, PerOp: per,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintColl prints the sweep as a flat table plus the headline
+// comparison the schedule engine exists for: ring vs reduce+bcast
+// allreduce at the largest payload, and recursive doubling vs the tree
+// at the smallest.
+func PrintColl(w io.Writer, ranks int, netDelay time.Duration, rows []CollPoint) {
+	fmt.Fprintf(w, "Collective algorithms: %d ranks, per-op wall time (data plane, no failures, %v simulated wire latency)\n", ranks, netDelay)
+	fmt.Fprintf(w, "%-10s %-9s %10s %7s %12s %12s\n", "op", "algo", "bytes", "iters", "per-op(us)", "MB/s")
+	for _, r := range rows {
+		us := float64(r.PerOp) / 1e3
+		mbs := 0.0
+		if r.PerOp > 0 {
+			mbs = float64(r.Bytes) / r.PerOp.Seconds() / 1e6
+		}
+		fmt.Fprintf(w, "%-10s %-9s %10d %7d %12.1f %12.1f\n", r.Op, r.Algo, r.Bytes, r.Iters, us, mbs)
+	}
+	perOp := func(op, algo string, bytes int) time.Duration {
+		for _, r := range rows {
+			if r.Op == op && r.Algo == algo && r.Bytes == bytes {
+				return r.PerOp
+			}
+		}
+		return 0
+	}
+	small, large := -1, -1
+	for _, r := range rows {
+		if r.Op != "allreduce" {
+			continue
+		}
+		if small == -1 || r.Bytes < small {
+			small = r.Bytes
+		}
+		if r.Bytes > large {
+			large = r.Bytes
+		}
+	}
+	if large > 0 {
+		tree, ring := perOp("allreduce", "tree", large), perOp("allreduce", "ring", large)
+		if tree > 0 && ring > 0 {
+			fmt.Fprintf(w, "allreduce %d B: ring %.2fx vs reduce+bcast tree (%.1f vs %.1f us)\n",
+				large, float64(tree)/float64(ring), float64(ring)/1e3, float64(tree)/1e3)
+		}
+		tree, rd := perOp("allreduce", "tree", small), perOp("allreduce", "rec-dbl", small)
+		if tree > 0 && rd > 0 {
+			fmt.Fprintf(w, "allreduce %d B: rec-dbl %.2fx vs reduce+bcast tree (%.1f vs %.1f us)\n",
+				small, float64(tree)/float64(rd), float64(rd)/1e3, float64(tree)/1e3)
+		}
+	}
+}

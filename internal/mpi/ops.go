@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"fmi/internal/coll"
 	"fmi/internal/core"
 	"fmi/internal/transport"
 )
@@ -11,8 +12,12 @@ import (
 const (
 	tagBcast     int32 = -1
 	tagReduce    int32 = -2
+	tagGather    int32 = -3
+	tagScatter   int32 = -4
+	tagAlltoall  int32 = -5
 	tagBarrierUp int32 = -6
-	tagBarrierDn int32 = -7
+	tagAllreduce int32 = -8
+	tagAllgather int32 = -9
 	tagCkptRing  int32 = -20
 	tagCkptSize  int32 = -21
 )
@@ -87,68 +92,66 @@ func (p *Proc) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte
 	return msg.Data, nil
 }
 
+// Collectives execute the same internal/coll schedules as the FMI
+// runtime (identical algorithms and selection policy, minus the fault
+// handling), keeping FMI-vs-MPI comparisons apples-to-apples.
+
+// mpiPolicy is the automatic selection policy (no overrides).
+var mpiPolicy coll.Policy
+
+// mpiTP adapts the baseline's matcher/endpoint pair to the schedule
+// executor on one reserved tag.
+type mpiTP struct {
+	p   *Proc
+	tag int32
+}
+
+func (t mpiTP) Send(peer int, data []byte) error { return t.p.sendRaw(peer, t.tag, data) }
+
+func (t mpiTP) Recv(peer int) ([]byte, error) {
+	msg, err := t.p.recvRaw(int32(peer), t.tag)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+func (p *Proc) exec(tag int32, s *coll.Schedule, blocks [][]byte, op core.Op) error {
+	return coll.Exec(s, mpiTP{p, tag}, blocks, coll.ReduceFn(op))
+}
+
 // Bcast broadcasts the root's buffer (binomial tree).
 func (p *Proc) Bcast(root int, data []byte) ([]byte, error) {
-	n := p.n
-	if n == 1 {
+	if p.n == 1 {
 		return data, nil
 	}
-	vrank := (p.rank - root + n) % n
-	abs := func(v int) int { return (v + root) % n }
-	mask := 1
-	for mask < n {
-		if vrank&mask != 0 {
-			msg, err := p.recvRaw(int32(abs(vrank-mask)), tagBcast)
-			if err != nil {
-				return nil, err
-			}
-			data = msg.Data
-			break
-		}
-		mask <<= 1
+	s, err := coll.Bcast(mpiPolicy.Select(coll.OpBcast, len(data), p.n), p.rank, p.n, root)
+	if err != nil {
+		return nil, err
 	}
-	mask >>= 1
-	for mask > 0 {
-		if vrank+mask < n {
-			if err := p.sendRaw(abs(vrank+mask), tagBcast, data); err != nil {
-				return nil, err
-			}
-		}
-		mask >>= 1
+	blocks := [][]byte{nil}
+	if p.rank == root {
+		blocks[0] = data
 	}
-	return data, nil
+	if err := p.exec(tagBcast, s, blocks, nil); err != nil {
+		return nil, err
+	}
+	return blocks[0], nil
 }
 
 // Reduce folds equal-length buffers to the root.
 func (p *Proc) Reduce(root int, data []byte, op core.Op) ([]byte, error) {
-	n := p.n
-	acc := make([]byte, len(data))
-	copy(acc, data)
-	if n == 1 {
-		return acc, nil
-	}
-	vrank := (p.rank - root + n) % n
-	abs := func(v int) int { return (v + root) % n }
-	mask := 1
-	for mask < n {
-		if vrank&mask == 0 {
-			src := vrank + mask
-			if src < n {
-				msg, err := p.recvRaw(int32(abs(src)), tagReduce)
-				if err != nil {
-					return nil, err
-				}
-				if op != nil {
-					op(acc, msg.Data)
-				}
-			}
-		} else {
-			if err := p.sendRaw(abs(vrank-mask), tagReduce, acc); err != nil {
-				return nil, err
-			}
-			break
+	acc := append([]byte(nil), data...)
+	if p.n > 1 {
+		s, err := coll.Reduce(mpiPolicy.Select(coll.OpReduce, len(data), p.n), p.rank, p.n, root)
+		if err != nil {
+			return nil, err
 		}
-		mask <<= 1
+		blocks := [][]byte{acc}
+		if err := p.exec(tagReduce, s, blocks, op); err != nil {
+			return nil, err
+		}
+		acc = blocks[0]
 	}
 	if p.rank == root {
 		return acc, nil
@@ -156,69 +159,81 @@ func (p *Proc) Reduce(root int, data []byte, op core.Op) ([]byte, error) {
 	return nil, nil
 }
 
-// Allreduce folds and redistributes.
+// Allreduce folds and redistributes (recursive doubling or ring by
+// payload size, like the FMI runtime).
 func (p *Proc) Allreduce(data []byte, op core.Op) ([]byte, error) {
-	res, err := p.Reduce(0, data, op)
+	buf := append([]byte(nil), data...)
+	if p.n == 1 {
+		return buf, nil
+	}
+	algo := mpiPolicy.Select(coll.OpAllreduce, len(data), p.n)
+	s, err := coll.Allreduce(algo, p.rank, p.n)
 	if err != nil {
 		return nil, err
 	}
-	return p.bcastTag(0, res, tagBcast)
+	var blocks [][]byte
+	if algo == coll.AlgoRing {
+		blocks = coll.SplitChunks(buf, p.n)
+	} else {
+		blocks = [][]byte{buf}
+	}
+	if err := p.exec(tagAllreduce, s, blocks, op); err != nil {
+		return nil, err
+	}
+	if algo == coll.AlgoRing {
+		return coll.JoinChunks(blocks), nil
+	}
+	return blocks[0], nil
 }
 
-func (p *Proc) bcastTag(root int, data []byte, tag int32) ([]byte, error) {
-	n := p.n
-	if n == 1 {
-		return data, nil
+// Allgather collects every rank's buffer on every rank.
+func (p *Proc) Allgather(data []byte) ([][]byte, error) {
+	s, err := coll.Allgather(mpiPolicy.Select(coll.OpAllgather, len(data), p.n), p.rank, p.n)
+	if err != nil {
+		return nil, err
 	}
-	vrank := (p.rank - root + n) % n
-	abs := func(v int) int { return (v + root) % n }
-	mask := 1
-	for mask < n {
-		if vrank&mask != 0 {
-			msg, err := p.recvRaw(int32(abs(vrank-mask)), tag)
-			if err != nil {
-				return nil, err
-			}
-			data = msg.Data
-			break
-		}
-		mask <<= 1
+	blocks := make([][]byte, p.n)
+	blocks[p.rank] = append([]byte{}, data...)
+	if err := p.exec(tagAllgather, s, blocks, nil); err != nil {
+		return nil, err
 	}
-	mask >>= 1
-	for mask > 0 {
-		if vrank+mask < n {
-			if err := p.sendRaw(abs(vrank+mask), tag, data); err != nil {
-				return nil, err
-			}
-		}
-		mask >>= 1
-	}
-	return data, nil
+	return blocks, nil
 }
 
-// Barrier synchronises all ranks.
+// Alltoall exchanges parts pairwise; parts[i] travels to rank i and
+// the result is indexed by source rank.
+func (p *Proc) Alltoall(parts [][]byte) ([][]byte, error) {
+	if len(parts) != p.n {
+		return nil, fmt.Errorf("mpi: alltoall needs %d parts, got %d", p.n, len(parts))
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	s, err := coll.Alltoall(mpiPolicy.Select(coll.OpAlltoall, total, p.n), p.rank, p.n)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([][]byte, s.Blocks)
+	copy(blocks, parts)
+	blocks[p.rank] = append([]byte{}, parts[p.rank]...)
+	if s.Blocks == 2*p.n { // pairwise staging region
+		blocks[p.n+p.rank] = blocks[p.rank]
+	}
+	if err := p.exec(tagAlltoall, s, blocks, nil); err != nil {
+		return nil, err
+	}
+	return blocks[s.Blocks-p.n:], nil
+}
+
+// Barrier synchronises all ranks (dissemination).
 func (p *Proc) Barrier() error {
-	n := p.n
-	if n == 1 {
+	if p.n == 1 {
 		return nil
 	}
-	vrank := p.rank
-	mask := 1
-	for mask < n {
-		if vrank&mask == 0 {
-			if src := vrank + mask; src < n {
-				if _, err := p.recvRaw(int32(src), tagBarrierUp); err != nil {
-					return err
-				}
-			}
-		} else {
-			if err := p.sendRaw(vrank-mask, tagBarrierUp, nil); err != nil {
-				return err
-			}
-			break
-		}
-		mask <<= 1
+	s, err := coll.Barrier(mpiPolicy.Select(coll.OpBarrier, 0, p.n), p.rank, p.n)
+	if err != nil {
+		return err
 	}
-	_, err := p.bcastTag(0, nil, tagBarrierDn)
-	return err
+	return p.exec(tagBarrierUp, s, nil, nil)
 }

@@ -15,6 +15,7 @@ import (
 
 	"fmi/internal/bootstrap"
 	"fmi/internal/cluster"
+	"fmi/internal/coll"
 	"fmi/internal/core"
 	"fmi/internal/pfs"
 	"fmi/internal/scr"
@@ -67,6 +68,9 @@ type Config struct {
 	// Timeout aborts the job if it has not completed in time
 	// (0 = none).
 	Timeout time.Duration
+	// Coll selects collective algorithms per operation (zero value =
+	// automatic size/comm-size selection).
+	Coll coll.Policy
 }
 
 // Errors reported by the job manager.
@@ -397,6 +401,7 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 		KillCh:        cp.KillCh(),
 		Stats:         j.stats,
 		Trace:         j.cfg.Trace,
+		Coll:          j.cfg.Coll,
 	}
 	go func() {
 		defer func() {

@@ -42,6 +42,9 @@ const (
 	KindReplayStart Kind = "replay-start" // a sender starts replaying its log
 	KindReplayDone  Kind = "replay-done"  // that sender finished replaying
 	KindLogTrim     Kind = "log-trim"     // checkpoint-commit garbage collection
+
+	// Schedule-driven collective engine, ISSUE 3.
+	KindCollAlgo Kind = "coll-algo" // algorithm selected for one collective
 )
 
 // Event is one timeline entry.

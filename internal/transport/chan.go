@@ -34,6 +34,10 @@ func (n *ChanNetwork) NewEndpoint(die <-chan struct{}) (Endpoint, error) {
 		accept: make(chan Conn, 64),
 		dead:   make(chan struct{}),
 	}
+	if n.opts.MsgDelay > 0 {
+		ep.delayQ = make(chan delayedMsg, n.opts.inboxCap())
+		go ep.delayLoop()
+	}
 	n.eps[ep.addr] = ep
 	n.mu.Unlock()
 
@@ -66,6 +70,7 @@ type chanEndpoint struct {
 	addr   Addr
 	inbox  chan Msg
 	accept chan Conn
+	delayQ chan delayedMsg // non-nil iff Options.MsgDelay > 0
 
 	mu       sync.Mutex
 	conns    []*chanConnEnd
@@ -106,6 +111,23 @@ func (ep *chanEndpoint) Send(to Addr, m Msg) error {
 		copy(cp, m.Data)
 		m.Data = cp
 	}
+	if ep.delayQ != nil {
+		// Simulated wire latency: queue for delivery MsgDelay from now.
+		// One goroutine drains the queue in send order, so per-pair
+		// FIFO is preserved and a burst of sends pipelines (all arrive
+		// ~MsgDelay later) instead of serialising.
+		select {
+		case ep.delayQ <- delayedMsg{dst: dst, m: m, due: time.Now().Add(ep.net.opts.MsgDelay)}:
+			return nil
+		case <-ep.dead:
+			return ErrClosed
+		}
+	}
+	return ep.deliver(dst, m)
+}
+
+// deliver pushes m into dst's inbox, blocking only when it is full.
+func (ep *chanEndpoint) deliver(dst *chanEndpoint, m Msg) error {
 	select {
 	case dst.inbox <- m:
 		return nil
@@ -119,6 +141,44 @@ func (ep *chanEndpoint) Send(to Addr, m Msg) error {
 		return nil // peer died; drop
 	case <-ep.dead:
 		return ErrClosed
+	}
+}
+
+// delayedMsg is one in-flight message waiting out the simulated wire
+// latency.
+type delayedMsg struct {
+	dst *chanEndpoint
+	m   Msg
+	due time.Time
+}
+
+// delayLoop delivers queued messages once their latency has elapsed.
+// Deadlines are monotone in queue order (every message waits the same
+// MsgDelay), so waiting on the head never delays a message behind it.
+func (ep *chanEndpoint) delayLoop() {
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		select {
+		case dm := <-ep.delayQ:
+			if d := time.Until(dm.due); d > 0 {
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(d)
+				select {
+				case <-timer.C:
+				case <-ep.dead:
+					return
+				}
+			}
+			ep.deliver(dm.dst, dm.m)
+		case <-ep.dead:
+			return
+		}
 	}
 }
 

@@ -85,6 +85,15 @@ type Options struct {
 	// PropDelay is how long after an explicit Conn.Close the remote
 	// side observes the disconnect (the log-ring propagation hop cost).
 	PropDelay time.Duration
+	// MsgDelay is a simulated one-way per-message delivery latency for
+	// ChanNetwork (0 = instant delivery, the default). Sends still
+	// return immediately and messages to one destination still arrive
+	// in order, but each arrives MsgDelay after it was sent. It models
+	// interconnect latency so that round-count differences between
+	// collective algorithms are observable on the in-process substrate,
+	// where delivery is otherwise free. TCPNetwork ignores it (TCP has
+	// real latency).
+	MsgDelay time.Duration
 	// InboxCap is the buffered capacity of an endpoint inbox
 	// (0 means a default of 4096).
 	InboxCap int
