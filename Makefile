@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet bench-erasure bench-smoke all
+.PHONY: tier1 build test race vet lint bench-erasure bench-smoke all
 
-all: tier1 vet
+all: tier1 vet lint
 
 # The acceptance gate: everything builds and every test passes.
 tier1: build test
@@ -15,10 +15,16 @@ test:
 
 # Race-detect the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ .
+	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ .
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis: the fault-tolerance invariants the
+# compiler cannot see (see DESIGN.md §3e). Stdlib-only; exits 1 on any
+# unsuppressed finding.
+lint:
+	$(GO) run ./cmd/fmilint .
 
 bench-erasure:
 	$(GO) test -bench Erasure -benchtime 1x ./internal/erasure/ ./internal/ckpt/

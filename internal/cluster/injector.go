@@ -119,6 +119,7 @@ func (in *Injector) Start() {
 		in.wg.Add(1)
 		go func() {
 			defer in.wg.Done()
+			//fmilint:ignore simtime the injector's time triggers deliberately model wall-clock failure arrival against a live run
 			t := time.NewTimer(f.After)
 			defer t.Stop()
 			select {
@@ -237,6 +238,7 @@ func (in *Injector) poissonLoop(mtbf time.Duration) {
 		// Exponential inter-arrival time with mean MTBF.
 		d := time.Duration(in.rng.ExpFloat64() * float64(mtbf))
 		in.mu.Unlock()
+		//fmilint:ignore simtime Poisson inter-arrival sleeps deliberately model wall-clock MTBF against a live run
 		t := time.NewTimer(d)
 		select {
 		case <-t.C:

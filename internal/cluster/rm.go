@@ -96,6 +96,7 @@ func (rm *ResourceManager) Allocate(cancel <-chan struct{}) (*Node, error) {
 		return nil, ErrNoNodes
 	}
 	if delay > 0 {
+		//fmilint:ignore simtime ProvisionDelay deliberately models the resource manager's wall-clock provisioning latency
 		t := time.NewTimer(delay)
 		defer t.Stop()
 		select {

@@ -119,6 +119,7 @@ func (p *Proc) applyRestore(segs [][]byte) (int, error) {
 	if err := e.Snap.Restore(segs); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrUnrecoverable, err)
 	}
+	p.cfg.Trace.Add(trace.KindRestore, p.rank, p.epoch, "restored checkpoint %d into %d segment(s)", e.Snap.LoopID, len(segs))
 	p.nextCtx = e.NextCtx
 	p.commSeq = e.CommSeq
 	p.l1Count = e.L1Count

@@ -72,7 +72,10 @@ func (p *Proc) replayExchange() error {
 		for _, e := range ents {
 			// Direct endpoint send: the entry is already logged (same
 			// sequence number), and the receiver's watermark filters it
-			// if the original actually arrived.
+			// if the original actually arrived. Send errors only when
+			// *this* endpoint is closed, which means this rank is being
+			// torn down — the kill channel, not the error, is the signal.
+			//fmilint:ignore faulterr replay resends are fire-and-forget; drops to dead peers are silent (PSM) and a closed own endpoint is surfaced via KillCh
 			p.gen.ep.Send(addr, transport.Msg{
 				Src:   int32(p.rank),
 				Tag:   e.Tag,

@@ -318,7 +318,9 @@ func CRThroughputSweep(procCounts []int, groupSize, bytesPerRank int) ([]Through
 					if err != nil {
 						return
 					}
-					gc.Send(lost, res)
+					if err := gc.Send(lost, res); err != nil {
+						return
+					}
 					return
 				}
 				if _, err := ckpt.DecodeRing(gc, gi, g, nil, cl, make([]byte, cl), false); err != nil {

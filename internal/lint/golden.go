@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The golden-test harness: fixture packages under testdata/src/<name>
+// carry `// want "regexp"` annotations on the lines where an analyzer
+// must report, and clean lines carry nothing. CheckFixture loads the
+// fixture as its own mini-module, runs the given analyzers, and
+// returns one diagnostic string per mismatch — an unexpected finding,
+// or a want with no matching finding. An empty slice means the fixture
+// is golden.
+//
+// The comparison matches each want regexp against the full
+// "[analyzer] message" string, so fixtures can pin the analyzer name,
+// the message, or both.
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// CheckFixture runs analyzers over the fixture directory (loaded with
+// the directory's base name as its module path) and diffs the findings
+// against the fixture's want annotations.
+func CheckFixture(dir string, analyzers ...*Analyzer) ([]string, error) {
+	prog, err := Load(dir, filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	findings := Run(prog, analyzers)
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> wants
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	err = filepath.WalkDir(absDir, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return werr
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				pat := strings.ReplaceAll(m[1], `\"`, `"`)
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", path, line, pat, err)
+				}
+				key := fmt.Sprintf("%s:%d", path, line)
+				wants[key] = append(wants[key], &want{re: re, raw: pat})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []string
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		text := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			diags = append(diags, fmt.Sprintf("unexpected finding at %s: %s", key, text))
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				diags = append(diags, fmt.Sprintf("no finding matched want %q at %s", w.raw, k))
+			}
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, printed as
+// "file:line: [analyzer] message".
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Reporter receives findings from an analyzer run.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Analyzer is one pluggable check. Run receives the whole Program so
+// analyzers can enforce cross-package invariants; per-package checks
+// simply iterate prog.Packages.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, report Reporter)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{TraceKind, LockHeld, FaultErr, SimTime}
+}
+
+// IgnoreDirective is the suppression marker grammar:
+//
+//	//fmilint:ignore <analyzer> <reason>
+//
+// On (or immediately above) a flagged line it suppresses that line's
+// findings for the named analyzer; placed before the package clause it
+// suppresses the analyzer for the whole file. The reason is mandatory:
+// a suppression without a recorded justification is itself a finding.
+const IgnoreDirective = "//fmilint:ignore"
+
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	fileWide bool
+}
+
+// collectDirectives parses every //fmilint:ignore comment in the
+// program. Malformed directives (missing analyzer or reason) and
+// directives naming an unknown analyzer are reported under the
+// reserved analyzer name "fmilint".
+func collectDirectives(prog *Program, known map[string]bool, report Reporter) []directive {
+	var dirs []directive
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			pkgLine := prog.Fset.Position(f.Package).Line
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, IgnoreDirective) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+					fields := strings.Fields(rest)
+					pos := prog.Fset.Position(c.Pos())
+					if len(fields) < 2 {
+						report(c.Pos(), "malformed %s directive: need \"%s <analyzer> <reason>\"", IgnoreDirective, IgnoreDirective)
+						continue
+					}
+					if !known[fields[0]] {
+						report(c.Pos(), "ignore directive names unknown analyzer %q", fields[0])
+						continue
+					}
+					dirs = append(dirs, directive{
+						pos:      pos,
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+						fileWide: pos.Line < pkgLine,
+					})
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+func (d directive) suppresses(f Finding) bool {
+	if d.analyzer != f.Analyzer || d.pos.Filename != f.Pos.Filename {
+		return false
+	}
+	if d.fileWide {
+		return true
+	}
+	return d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1
+}
+
+// Run executes the analyzers over the program and returns the
+// surviving findings, sorted by position. Suppressed findings are
+// dropped; malformed suppressions are returned as findings.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	reporterFor := func(name string) Reporter {
+		return func(pos token.Pos, format string, args ...any) {
+			findings = append(findings, Finding{
+				Pos:      prog.Fset.Position(pos),
+				Analyzer: name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+	}
+
+	dirs := collectDirectives(prog, known, reporterFor("fmilint"))
+	for _, a := range analyzers {
+		a.Run(prog, reporterFor(a.Name))
+	}
+
+	kept := findings[:0]
+outer:
+	for _, f := range findings {
+		if f.Analyzer != "fmilint" {
+			for _, d := range dirs {
+				if d.suppresses(f) {
+					continue outer
+				}
+			}
+		}
+		kept = append(kept, f)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// Exit codes returned by Main.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding survived suppression
+	ExitLoadErr  = 2 // the tree failed to load or type-check
+)
+
+// Main is the fmilint command body: load the module rooted at root
+// (a trailing "/..." is accepted and ignored, so "fmilint ./..."
+// reads naturally), run the full suite, print findings to out, and
+// return the process exit code.
+func Main(root string, out io.Writer) int {
+	root = strings.TrimSuffix(root, "...")
+	root = strings.TrimSuffix(root, "/")
+	if root == "" {
+		root = "."
+	}
+	prog, err := LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(out, "fmilint: %v\n", err)
+		return ExitLoadErr
+	}
+	findings := Run(prog, All())
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "fmilint: %d finding(s)\n", len(findings))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// exprString renders a (small) expression back to source, used to key
+// lock receivers and to name flagged expressions in messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(fset, e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(fset, e.X)
+	case *ast.IndexExpr:
+		return exprString(fset, e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(fset, e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(fset, e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(fset, e.X)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

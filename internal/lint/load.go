@@ -1,0 +1,239 @@
+// Package lint is fmilint's engine: a stdlib-only static-analysis
+// driver (go/parser + go/types with the source importer — the module
+// has no external dependencies and must stay that way) plus the domain
+// analyzers that machine-check the fault-tolerance invariants the Go
+// compiler cannot see. See DESIGN.md §3e for the invariants and the
+// failure modes each analyzer guards against.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path within the module
+	Dir   string
+	Name  string // package name
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a whole loaded module: every package under the root,
+// type-checked against each other and the standard library. Analyzers
+// receive the Program so cross-package invariants (a trace kind
+// declared in one package must be emitted in another) are checkable.
+type Program struct {
+	Fset     *token.FileSet
+	Module   string
+	Packages []*Package // sorted by import path
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (prog *Program) Lookup(path string) *Package {
+	for _, p := range prog.Packages {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// LoadModule loads the module rooted at dir (which must contain
+// go.mod), deriving the module path from the go.mod file.
+func LoadModule(dir string) (*Program, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	mod := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			mod = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if mod == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", dir)
+	}
+	return Load(dir, mod)
+}
+
+// Load parses and type-checks every package under root, treating
+// import paths prefixed with modulePath as module-internal. Only
+// non-test files are loaded: the invariants guard runtime code, and
+// tests legitimately use wall-clock time, raw literals, and discarded
+// errors. Directories named testdata or vendor (and hidden or
+// underscore-prefixed ones) are skipped, mirroring the go tool.
+func Load(root, modulePath string) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		fset: token.NewFileSet(),
+		dirs: map[string]string{},
+		pkgs: map[string]*Package{},
+	}
+	// The source importer type-checks stdlib dependencies from
+	// $GOROOT/src. Cgo variants (net, os/user) are avoided by forcing
+	// the pure-Go build so the importer never needs a C toolchain.
+	build.Default.CgoEnabled = false
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	if err := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(abs, path)
+		if err != nil {
+			return err
+		}
+		ip := modulePath
+		if rel != "." {
+			ip = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirs[ip] = path
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(ld.dirs))
+	for ip := range ld.dirs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	prog := &Program{Fset: ld.fset, Module: modulePath}
+	for _, ip := range paths {
+		pkg, err := ld.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			prog.Packages = append(prog.Packages, pkg)
+		}
+	}
+	return prog, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loader resolves module-internal imports to freshly type-checked
+// packages (memoized) and delegates everything else to the stdlib
+// source importer.
+type loader struct {
+	fset  *token.FileSet
+	dirs  map[string]string // import path -> directory
+	pkgs  map[string]*Package
+	std   types.Importer
+	stack []string // in-progress loads, for cycle reporting
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, ok := ld.dirs[path]; ok {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: package %s has no Go files", path)
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(ip string) (*Package, error) {
+	if pkg, ok := ld.pkgs[ip]; ok {
+		return pkg, nil
+	}
+	for _, busy := range ld.stack {
+		if busy == ip {
+			return nil, fmt.Errorf("lint: import cycle through %s", ip)
+		}
+	}
+	ld.stack = append(ld.stack, ip)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	dir := ld.dirs[ip]
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.pkgs[ip] = nil
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(ip, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", ip, err)
+	}
+	pkg := &Package{
+		Path:  ip,
+		Dir:   dir,
+		Name:  tpkg.Name(),
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	ld.pkgs[ip] = pkg
+	return pkg, nil
+}

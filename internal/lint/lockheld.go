@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld guards the deadlock shape the matcher's epoch-fence code is
+// one typo away from: a manually-paired mu.Lock() left held on a
+// return path, or a blocking operation (channel send/receive, select
+// without default, transport Send/Recv, time.Sleep) reached while a
+// mutex is held. The analysis is intraprocedural and syntax-directed:
+// it tracks sync.Mutex / sync.RWMutex receivers by source expression
+// within one function body, treats `defer mu.Unlock()` as releasing,
+// and analyses branches independently (a branch that unlocks and
+// returns does not release the straight-line path).
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no return or blocking operation while a manually-paired mutex is held",
+	Run:  runLockHeld,
+}
+
+func runLockHeld(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						analyzeFuncBody(prog, pkg, report, n.Body)
+					}
+					return false // function literals inside are walked by block()
+				}
+				return true
+			})
+		}
+	}
+}
+
+// analyzeFuncBody runs the held-lock walk over one function body and
+// flags falling off the end with a lock held — unless the body ends in
+// a terminating statement, in which case every live path was already
+// checked at its return.
+func analyzeFuncBody(prog *Program, pkg *Package, report Reporter, body *ast.BlockStmt) {
+	lh := &lockState{prog: prog, pkg: pkg, report: report, held: map[string]bool{}}
+	lh.block(body)
+	if !terminates(body) {
+		lh.checkEnd(body.Rbrace)
+	}
+}
+
+type lockState struct {
+	prog   *Program
+	pkg    *Package
+	report Reporter
+	held   map[string]bool // lock receiver expr -> currently held
+}
+
+func (lh *lockState) anyHeld() (string, bool) {
+	for k, v := range lh.held {
+		if v {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func (lh *lockState) clone() *lockState {
+	c := &lockState{prog: lh.prog, pkg: lh.pkg, report: lh.report, held: map[string]bool{}}
+	for k, v := range lh.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// mutexCall reports whether call is mu.Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex value, returning the receiver's source
+// key and the method name.
+func (lh *lockState) mutexCall(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, found := lh.pkg.Info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return exprString(lh.prog.Fset, sel.X), sel.Sel.Name, true
+}
+
+// block walks statements in order, updating held-lock state. Analysis
+// of a block stops at a terminating statement: everything after it is
+// dead code on this path.
+func (lh *lockState) block(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		lh.stmt(st)
+		if terminates(st) {
+			return
+		}
+	}
+}
+
+// terminates reports whether st ends the control-flow path it is on,
+// per a simplified version of the spec's "terminating statements":
+// return, panic, break/continue/goto, a block ending in one, if/else
+// and switch/select where every branch terminates, and a for loop with
+// no condition (break detection is skipped — misjudging a breaking
+// loop as terminating only suppresses the fall-off-the-end check, it
+// cannot create a false finding).
+func terminates(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return len(st.List) > 0 && terminates(st.List[len(st.List)-1])
+	case *ast.LabeledStmt:
+		return terminates(st.Stmt)
+	case *ast.IfStmt:
+		return st.Else != nil && terminates(st.Body) && terminates(st.Else)
+	case *ast.ForStmt:
+		return st.Cond == nil
+	case *ast.SwitchStmt:
+		return clausesTerminate(st.Body, true)
+	case *ast.TypeSwitchStmt:
+		return clausesTerminate(st.Body, true)
+	case *ast.SelectStmt:
+		return clausesTerminate(st.Body, false)
+	}
+	return false
+}
+
+func clausesTerminate(body *ast.BlockStmt, needDefault bool) bool {
+	hasDefault := !needDefault
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if len(stmts) == 0 || !terminates(stmts[len(stmts)-1]) {
+			return false
+		}
+	}
+	return hasDefault && len(body.List) > 0
+}
+
+func (lh *lockState) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, method, ok := lh.mutexCall(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					lh.held[recv] = true
+				case "Unlock", "RUnlock":
+					lh.held[recv] = false
+				}
+				return
+			}
+		}
+		lh.expr(st.X)
+	case *ast.DeferStmt:
+		if recv, method, ok := lh.mutexCall(st.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			// Deferred release: the lock is covered for every
+			// subsequent return path.
+			lh.held[recv] = false
+			return
+		}
+		lh.exprs(st.Call.Args...)
+	case *ast.GoStmt:
+		// The goroutine body runs elsewhere; analyse it with a clean
+		// slate but do not charge its blocking ops to this function.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			inner := &lockState{prog: lh.prog, pkg: lh.pkg, report: lh.report, held: map[string]bool{}}
+			inner.block(lit.Body)
+			inner.checkEnd(lit.Body.Rbrace)
+		}
+		lh.exprs(st.Call.Args...)
+	case *ast.ReturnStmt:
+		lh.exprs(st.Results...)
+		if recv, held := lh.anyHeld(); held {
+			lh.report(st.Pos(), "return while %s is held (missing unlock on this path)", recv)
+		}
+	case *ast.SendStmt:
+		lh.expr(st.Value)
+		if recv, held := lh.anyHeld(); held {
+			lh.report(st.Pos(), "channel send while %s is held may block under the lock", recv)
+		}
+	case *ast.SelectStmt:
+		blocking := true
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false // has a default clause
+			}
+		}
+		if recv, held := lh.anyHeld(); held && blocking {
+			lh.report(st.Pos(), "select without default while %s is held may block under the lock", recv)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := lh.clone()
+				for _, s := range cc.Body {
+					branch.stmt(s)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			lh.stmt(st.Init)
+		}
+		lh.expr(st.Cond)
+		then := lh.clone()
+		then.block(st.Body)
+		if st.Else != nil {
+			els := lh.clone()
+			els.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			lh.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			lh.expr(st.Cond)
+		}
+		body := lh.clone()
+		body.block(st.Body)
+		if st.Post != nil {
+			body.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		lh.expr(st.X)
+		if tv, ok := lh.pkg.Info.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				if recv, held := lh.anyHeld(); held {
+					lh.report(st.Pos(), "range over channel while %s is held may block under the lock", recv)
+				}
+			}
+		}
+		body := lh.clone()
+		body.block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			lh.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			lh.expr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := lh.clone()
+				for _, s := range cc.Body {
+					branch.stmt(s)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := lh.clone()
+				for _, s := range cc.Body {
+					branch.stmt(s)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		lh.block(st)
+	case *ast.LabeledStmt:
+		lh.stmt(st.Stmt)
+	case *ast.AssignStmt:
+		lh.exprs(st.Rhs...)
+	case *ast.IncDecStmt:
+		lh.expr(st.X)
+	}
+}
+
+// expr scans an expression for blocking operations performed while a
+// lock is held: unary channel receives, time.Sleep, and calls into the
+// transport's blocking Send/Recv surface.
+func (lh *lockState) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &lockState{prog: lh.prog, pkg: lh.pkg, report: lh.report, held: map[string]bool{}}
+			inner.block(n.Body)
+			inner.checkEnd(n.Body.Rbrace)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if recv, held := lh.anyHeld(); held {
+					lh.report(n.Pos(), "channel receive while %s is held may block under the lock", recv)
+				}
+			}
+		case *ast.CallExpr:
+			if name, blocking := lh.blockingCall(n); blocking {
+				if recv, held := lh.anyHeld(); held {
+					lh.report(n.Pos(), "call to %s while %s is held may block under the lock", name, recv)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lh *lockState) exprs(es ...ast.Expr) {
+	for _, e := range es {
+		lh.expr(e)
+	}
+}
+
+// blockingCall recognises calls that can block indefinitely: the
+// transport layer's Send/Recv/Await/Connect (failure notification can
+// arrive only while unblocked, so waiting under a lock wedges the
+// rank) and time.Sleep.
+func (lh *lockState) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	var fn *types.Func
+	if selection, found := lh.pkg.Info.Selections[sel]; found {
+		fn, _ = selection.Obj().(*types.Func)
+	} else if obj, found := lh.pkg.Info.Uses[sel.Sel]; found {
+		fn, _ = obj.(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := fn.Pkg().Name()
+	name := fn.Name()
+	if pkg == "time" && name == "Sleep" {
+		return "time.Sleep", true
+	}
+	if pkg == "transport" {
+		switch name {
+		case "Send", "Recv", "Await", "Connect":
+			return "transport " + name, true
+		}
+	}
+	return "", false
+}
+
+// checkEnd flags a function body that falls off its end with a lock
+// still held on the straight-line path.
+func (lh *lockState) checkEnd(rbrace token.Pos) {
+	if recv, held := lh.anyHeld(); held {
+		lh.report(rbrace, "function ends with %s still held (missing unlock on this path)", recv)
+	}
+}

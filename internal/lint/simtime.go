@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimTime keeps wall-clock time out of the simulation's timing model.
+// The simulated-cluster and collective-schedule packages must express
+// timing through the cluster's event hooks and the transport delay
+// queue (Options.MsgDelay, the FIFO-preserving per-message latency):
+// a direct time.Now/Sleep/After/NewTimer there couples the simulation
+// to the host scheduler and silently skews the measured recovery and
+// round-count figures. The trace, runtime, and transport packages are
+// allowlisted — they deliberately deal in wall-clock time (timeline
+// timestamps, job timeouts, and the delay queue's own implementation).
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc:  "no direct wall-clock calls in the simulated-cluster and schedule packages",
+	Run:  runSimTime,
+}
+
+// simtimePkgs are the package names the restriction applies to;
+// simtimeAllow documents the deliberate exemptions.
+var (
+	simtimePkgs  = map[string]bool{"cluster": true, "coll": true}
+	simtimeAllow = map[string]bool{"trace": true, "runtime": true, "transport": true}
+
+	forbiddenTimeFuncs = map[string]bool{
+		"Now": true, "Sleep": true, "After": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	}
+)
+
+func runSimTime(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		if !simtimePkgs[pkg.Name] || simtimeAllow[pkg.Name] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[sel.Sel]
+				if !ok {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if forbiddenTimeFuncs[fn.Name()] {
+					report(sel.Pos(), "direct time.%s in simulated package %q; route timing through the cluster's event hooks or the transport delay queue", fn.Name(), pkg.Name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module exitbadtype
+
+go 1.22

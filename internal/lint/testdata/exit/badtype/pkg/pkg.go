@@ -1,0 +1,6 @@
+// Package pkg fails to type-check so Main returns the load-error exit
+// code.
+package pkg
+
+// Broken assigns a string to an int.
+var Broken int = "not an int"

@@ -1,0 +1,3 @@
+module exitclean
+
+go 1.22

@@ -1,0 +1,5 @@
+// Package pkg has nothing for any analyzer to object to.
+package pkg
+
+// Add is plain arithmetic.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,8 @@
+// Package cluster trips the simtime analyzer so Main returns the
+// findings exit code.
+package cluster
+
+import "time"
+
+// Tick reads the wall clock directly.
+func Tick() time.Time { return time.Now() }

@@ -1,0 +1,3 @@
+module exitfindings
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package cluster carries deliberately broken suppression directives;
+// the driver test asserts the exact findings they produce (want
+// comments cannot sit on a directive's own line, so this fixture is
+// checked by direct assertion rather than the golden harness).
+package cluster
+
+import "time"
+
+// MissingReason: the directive names an analyzer but no reason, so it
+// is malformed and suppresses nothing.
+func MissingReason() time.Time {
+	//fmilint:ignore simtime
+	return time.Now()
+}
+
+// UnknownAnalyzer: the directive names a non-existent analyzer.
+func UnknownAnalyzer() time.Time {
+	//fmilint:ignore bogus this analyzer does not exist
+	return time.Now()
+}

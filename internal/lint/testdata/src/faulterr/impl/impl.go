@@ -1,0 +1,16 @@
+// Package impl provides a concrete implementation of the transport
+// fault interface from an unrelated package — the shape of test
+// harnesses and experiment shims, which inherit the error contract.
+package impl
+
+// Fake implements transport.Endpoint.
+type Fake struct{}
+
+// Send implements the fault interface.
+func (*Fake) Send(to string, data []byte) error { return nil }
+
+// Recv implements the fault interface.
+func (*Fake) Recv() ([]byte, error) { return nil, nil }
+
+// Close implements the fault interface.
+func (*Fake) Close() error { return nil }

@@ -1,0 +1,25 @@
+// Package transport is a miniature of the real transport package: the
+// fault-signalling surface (Send/Recv returning error) as both an
+// interface and a concrete type, so the analyzer's direct-name rule
+// and its implements-a-fault-interface rule are each exercised.
+package transport
+
+// Endpoint is the fault-signalling interface: its error results are
+// the failure notification.
+type Endpoint interface {
+	Send(to string, data []byte) error
+	Recv() ([]byte, error)
+	Close() error // not a fault API: ignoring Close is allowed
+}
+
+// EP is a concrete endpoint.
+type EP struct{}
+
+// Send implements Endpoint.
+func (*EP) Send(to string, data []byte) error { return nil }
+
+// Recv implements Endpoint.
+func (*EP) Recv() ([]byte, error) { return nil, nil }
+
+// Close implements Endpoint.
+func (*EP) Close() error { return nil }

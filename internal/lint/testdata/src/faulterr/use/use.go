@@ -1,0 +1,38 @@
+// Package use exercises the faulterr analyzer: every way of discarding
+// a fault-path error is a finding; handling or propagating it is
+// clean.
+package use
+
+import (
+	"faulterr/impl"
+	"faulterr/transport"
+)
+
+// Drive exercises every discard shape against the interface.
+func Drive(ep transport.Endpoint) error {
+	ep.Send("peer", nil)     // want "transport.Send error result ignored"
+	_ = ep.Send("peer", nil) // want "transport.Send error assigned to _"
+	data, _ := ep.Recv()     // want "transport.Recv error assigned to _"
+	_ = data
+	go ep.Send("peer", nil)    // want "transport.Send error result ignored by go statement"
+	defer ep.Send("peer", nil) // want "transport.Send error result ignored by defer"
+
+	defer ep.Close() // Close is not a fault API: clean.
+
+	if err := ep.Send("peer", nil); err != nil { // handled: clean
+		return err
+	}
+	return ep.Send("peer", nil) // propagated: clean
+}
+
+// Concrete exercises the direct-name rule on a concrete transport type.
+func Concrete(ep *transport.EP) {
+	ep.Send("peer", nil) // want "transport.Send error result ignored"
+}
+
+// Foreign exercises the implements-a-fault-interface rule: impl.Fake
+// is declared outside the transport package but carries its contract.
+func Foreign(f *impl.Fake) {
+	f.Send("peer", nil) // want "impl.Send error result ignored"
+	f.Close()           // Close is not a fault method: clean
+}

@@ -1,0 +1,29 @@
+// Package cluster exercises the //fmilint:ignore directive grammar:
+// line-level suppression (same line or the line above) with a
+// mandatory reason.
+package cluster
+
+import "time"
+
+// LineAbove is suppressed by a directive on the preceding line.
+func LineAbove() time.Time {
+	//fmilint:ignore simtime justified: fixture for line-above suppression
+	return time.Now()
+}
+
+// SameLine is suppressed by a directive trailing the flagged line.
+func SameLine() time.Time {
+	return time.Now() //fmilint:ignore simtime justified: fixture for same-line suppression
+}
+
+// Unsuppressed still reports.
+func Unsuppressed() time.Time {
+	return time.Now() // want "direct time.Now in simulated package \"cluster\""
+}
+
+// WrongAnalyzer: a directive for a different analyzer does not
+// suppress this one's finding.
+func WrongAnalyzer() time.Time {
+	//fmilint:ignore lockheld reason aimed at the wrong analyzer
+	return time.Now() // want "direct time.Now in simulated package \"cluster\""
+}

@@ -1,0 +1,16 @@
+//fmilint:ignore simtime this whole file models wall-clock behaviour; see the package doc
+
+package cluster
+
+import "time"
+
+// FileWideOne is covered by the file-level directive above the
+// package clause.
+func FileWideOne() time.Time {
+	return time.Now()
+}
+
+// FileWideTwo likewise.
+func FileWideTwo() {
+	time.Sleep(time.Millisecond)
+}

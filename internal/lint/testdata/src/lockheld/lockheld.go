@@ -1,0 +1,104 @@
+// Package lockheld exercises the lockheld analyzer: early returns with
+// a manually-paired mutex held, and blocking operations reached under
+// the lock. The clean functions pin the analyzer's tolerance for the
+// correct patterns (defer, unlock-before-return, branch-local unlock,
+// nonblocking select).
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	ch     chan int
+	closed bool
+}
+
+func (s *state) earlyReturnHeld(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return // want "return while s.mu is held"
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) branchUnlockClean(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) deferClean() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch
+}
+
+func (s *state) sendHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) recvHeld() int {
+	s.mu.Lock()
+	v := <-s.ch // want "channel receive while s.mu is held"
+	s.mu.Unlock()
+	return v
+}
+
+func (s *state) selectHeld() {
+	s.mu.Lock()
+	select { // want "select without default while s.mu is held"
+	case v := <-s.ch:
+		_ = v
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) selectNonblockingClean() {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) sleepHeld(d time.Duration) {
+	s.mu.Lock()
+	time.Sleep(d) // want "call to time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) rlockEarlyReturn(cond bool) {
+	s.rw.RLock()
+	if cond {
+		return // want "return while s.rw is held"
+	}
+	s.rw.RUnlock()
+}
+
+func (s *state) neverUnlocked() {
+	s.mu.Lock()
+	s.closed = true
+} // want "function ends with s.mu still held"
+
+func (s *state) switchBranchesClean(n int) {
+	s.mu.Lock()
+	switch n {
+	case 0:
+		s.mu.Unlock()
+		return
+	default:
+		s.mu.Unlock()
+		return
+	}
+}

@@ -1,0 +1,10 @@
+// Package transport is allowlisted: the delay queue's implementation
+// deliberately deals in wall-clock time.
+package transport
+
+import "time"
+
+// Deliver models a delivery delay; allowed here.
+func Deliver() {
+	time.Sleep(time.Microsecond)
+}

@@ -1,0 +1,31 @@
+// Package trace is a miniature of the real fmi/internal/trace package:
+// just enough surface (the Kind type, declared constants, a Recorder
+// with Add) for the tracekind analyzer to resolve against.
+package trace
+
+// Kind classifies an event.
+type Kind string
+
+// Declared kinds. KindDead is deliberately never emitted by the
+// fixture's user package.
+const (
+	KindGood Kind = "good"
+	KindAlso Kind = "also"
+	KindDead Kind = "dead" // want "trace kind KindDead \(\"dead\"\) is declared but never emitted"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	Kind Kind
+	Note string
+}
+
+// Recorder collects events.
+type Recorder struct {
+	events []Event
+}
+
+// Add records an event.
+func (r *Recorder) Add(kind Kind, format string, args ...any) {
+	r.events = append(r.events, Event{Kind: kind, Note: format})
+}

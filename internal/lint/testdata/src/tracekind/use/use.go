@@ -1,0 +1,19 @@
+// Package use exercises the tracekind analyzer: declared constants are
+// clean, raw string literals reaching a trace.Kind site are findings.
+package use
+
+import "tracekind/trace"
+
+// Emit drives every shape of trace-kind usage.
+func Emit(r *trace.Recorder) {
+	r.Add(trace.KindGood, "declared constant is fine")
+	r.Add(trace.KindAlso, "so is this one")
+	r.Add("raw-kind", "literal smuggled into Add") // want "raw trace kind \"raw-kind\"; use a declared trace.Kind constant"
+	r.Add(trace.Kind("converted"), "explicit conversion")  // want "raw trace kind \"converted\"; use a declared trace.Kind constant"
+	e := trace.Event{Kind: "composite", Note: "composite"} // want "raw trace kind \"composite\"; use a declared trace.Kind constant"
+	if e.Kind == "compared" {                              // want "raw trace kind \"compared\"; use a declared trace.Kind constant"
+		return
+	}
+	var k trace.Kind = "assigned" // want "raw trace kind \"assigned\"; use a declared trace.Kind constant"
+	_ = k
+}

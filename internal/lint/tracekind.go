@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TraceKind enforces the trace-timeline invariant: every event kind
+// that reaches the recorder must be one of the Kind constants declared
+// in the trace package, and every declared constant must actually be
+// emitted by runtime code. The JSONL timeline is the ground truth the
+// paper's recovery figures are reconstructed from — a raw string
+// literal smuggles an unregistered kind past every consumer, and a
+// never-emitted kind is dead vocabulary that rots.
+var TraceKind = &Analyzer{
+	Name: "tracekind",
+	Doc:  "trace.Kind sites must use declared constants; declared kinds must be emitted",
+	Run:  runTraceKind,
+}
+
+// findKindType locates the package named "trace" that defines
+// `type Kind string` and returns the package and the named type.
+func findKindType(prog *Program) (*Package, *types.Named) {
+	for _, pkg := range prog.Packages {
+		if pkg.Name != "trace" {
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup("Kind")
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if basic, ok := named.Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+			return pkg, named
+		}
+	}
+	return nil, nil
+}
+
+func runTraceKind(prog *Program, report Reporter) {
+	tracePkg, kindType := findKindType(prog)
+	if kindType == nil {
+		return // nothing to check against
+	}
+
+	// Declared kinds: package-level constants of type Kind in trace.
+	declared := map[*types.Const]token.Pos{}
+	scope := tracePkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), kindType) {
+			declared[c] = c.Pos()
+		}
+	}
+
+	used := map[*types.Const]bool{}
+	for _, pkg := range prog.Packages {
+		if pkg == tracePkg {
+			// The declaring package may mention its own constants (the
+			// Kinds registry, String methods); that is not emission.
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					if c, ok := pkg.Info.Uses[n].(*types.Const); ok {
+						if _, isKind := declared[c]; isKind {
+							used[c] = true
+						}
+					}
+				case *ast.BasicLit:
+					if n.Kind != token.STRING {
+						return true
+					}
+					tv, ok := pkg.Info.Types[n]
+					if ok && types.Identical(tv.Type, kindType) {
+						report(n.Pos(), "raw trace kind %s; use a declared trace.Kind constant", n.Value)
+					}
+				case *ast.CallExpr:
+					// Explicit conversion trace.Kind("...").
+					if len(n.Args) != 1 {
+						return true
+					}
+					tv, ok := pkg.Info.Types[n.Fun]
+					if !ok || !tv.IsType() || !types.Identical(tv.Type, kindType) {
+						return true
+					}
+					if lit, ok := n.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						report(n.Pos(), "raw trace kind %s; use a declared trace.Kind constant", lit.Value)
+						return false // the inner literal is already reported here
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for c, pos := range declared {
+		if !used[c] {
+			report(pos, "trace kind %s (%s) is declared but never emitted", c.Name(), c.Val())
+		}
+	}
+}

@@ -116,6 +116,10 @@ func (fs *FS) charge(d time.Duration) {
 	}
 	if fs.shared {
 		fs.gateMu.Lock()
+		// Sleeping under gateMu is the model: a single shared resource
+		// (the PFS) serves one writer at a time, so concurrent callers
+		// must queue behind the sleeping holder.
+		//fmilint:ignore lockheld sleeping under gateMu is deliberate: it serialises writers to model the PFS's single shared bandwidth
 		time.Sleep(d)
 		fs.gateMu.Unlock()
 	} else {

@@ -470,6 +470,7 @@ func (j *Job) taskFailed(t *task) {
 	var still []epochWaiter
 	for _, w := range j.epochWait {
 		if newEpoch >= w.min {
+			//fmilint:ignore lockheld each waiter channel is buffered(1) and receives at most one send ever, so this cannot block under j.mu
 			w.ch <- newEpoch
 		} else {
 			still = append(still, w)

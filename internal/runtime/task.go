@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fmi/internal/cluster"
+	"fmi/internal/trace"
 )
 
 // task is the per-node fmirun.task of Fig 6: it forks the rank
@@ -40,6 +41,7 @@ func (t *task) addChild(rank int, cp *cluster.Proc) {
 func (t *task) watch(rank int, cp *cluster.Proc) {
 	select {
 	case <-cp.KillCh():
+		t.j.cfg.Trace.Add(trace.KindProcKilled, rank, t.j.Epoch(), "process killed on node %d", t.node.ID)
 		t.fail()
 	case <-cp.DoneCh():
 		if err := cp.ExitErr(); err != nil {

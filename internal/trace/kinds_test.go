@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestKindsRoundTrip writes one event of every registered kind through
+// the JSONL codec and checks each kind survives the trip intact.
+func TestKindsRoundTrip(t *testing.T) {
+	r := New()
+	for i, k := range Kinds() {
+		r.Add(k, i, uint32(i), "event %d", i)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	evs, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	if len(evs) != len(Kinds()) {
+		t.Fatalf("round-tripped %d events, want %d", len(evs), len(Kinds()))
+	}
+	seen := map[Kind]bool{}
+	for _, e := range evs {
+		seen[e.Kind] = true
+	}
+	for _, k := range Kinds() {
+		if !seen[k] {
+			t.Errorf("kind %q lost in JSONL round trip", k)
+		}
+	}
+}
+
+// TestKindsDistinct guards against copy-paste collisions: every
+// registered kind must have a unique, non-empty wire string.
+func TestKindsDistinct(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, k := range Kinds() {
+		if k == "" {
+			t.Error("empty kind in registry")
+		}
+		if seen[k] {
+			t.Errorf("duplicate kind %q in registry", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestKindsRegistryComplete parses trace.go and checks that every Kind
+// constant declared there appears in Kinds() — the registry must not
+// drift behind the const block.
+func TestKindsRegistryComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "trace.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing trace.go: %v", err)
+	}
+	registered := map[string]bool{}
+	for _, k := range Kinds() {
+		registered[string(k)] = true
+	}
+	declared := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			id, ok := vs.Type.(*ast.Ident)
+			if !ok || id.Name != "Kind" {
+				continue
+			}
+			for i, name := range vs.Names {
+				declared++
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok {
+					t.Errorf("const %s: value is not a string literal", name.Name)
+					continue
+				}
+				val := lit.Value[1 : len(lit.Value)-1] // strip quotes
+				if !registered[val] {
+					t.Errorf("const %s (%q) is declared but missing from Kinds()", name.Name, val)
+				}
+			}
+		}
+	}
+	if declared != len(Kinds()) {
+		t.Errorf("trace.go declares %d Kind constants but Kinds() registers %d", declared, len(Kinds()))
+	}
+}

@@ -47,6 +47,38 @@ const (
 	KindCollAlgo Kind = "coll-algo" // algorithm selected for one collective
 )
 
+// Kinds returns every declared event kind, in declaration order. The
+// registry is the runtime half of the tracekind invariant: fmilint
+// proves each declared kind is emitted somewhere, and the round-trip
+// test proves the JSONL codec preserves each one. Keep this list in
+// sync with the const block above (TestKindsRegistryComplete enforces
+// it).
+func Kinds() []Kind {
+	return []Kind{
+		KindNodeFailed,
+		KindProcKilled,
+		KindEpoch,
+		KindSpareAlloc,
+		KindRespawn,
+		KindNotified,
+		KindState,
+		KindCheckpoint,
+		KindShardEncode,
+		KindShardRebuild,
+		KindL2Checkpoint,
+		KindRestore,
+		KindL2Restore,
+		KindRollback,
+		KindFinalize,
+		KindAbort,
+		KindMsgLogged,
+		KindReplayStart,
+		KindReplayDone,
+		KindLogTrim,
+		KindCollAlgo,
+	}
+}
+
 // Event is one timeline entry.
 type Event struct {
 	At    time.Time
