@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet lint bench-erasure bench-smoke all
+.PHONY: tier1 build test race vet lint bench-erasure bench-smoke bench-hotpath all
 
 all: tier1 vet lint
 
@@ -15,7 +15,7 @@ test:
 
 # Race-detect the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ .
+	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ ./internal/bufpool/ .
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,12 @@ lint:
 
 bench-erasure:
 	$(GO) test -bench Erasure -benchtime 1x ./internal/erasure/ ./internal/ckpt/
+
+# Hot-path allocation benchmark: allocs/op, B/op, ns/op for the pooled
+# transport/pack/checkpoint paths vs pooling off, written to
+# BENCH_hotpath.json (the checked-in copy documents the win).
+bench-hotpath:
+	$(GO) run ./cmd/fmibench -out BENCH_hotpath.json hotpath
 
 # One pass over every benchmark as a smoke test (CI runs this; real
 # measurements want more iterations and an idle machine).

@@ -10,7 +10,8 @@
 //	fmibench [flags] <experiment>
 //
 // Experiments: table3, fig10, fig11, fig12, fig13, fig14, fig15,
-// fig15-sweep, ablate-k, ablate-group, erasure, msglog, coll, all.
+// fig15-sweep, ablate-k, ablate-group, erasure, msglog, coll, hotpath,
+// all.
 package main
 
 import (
@@ -34,10 +35,11 @@ func main() {
 		mtbf     = flag.Duration("mtbf", 0, "fig 15 MTBF (0 = calibrated default; paper used 1 minute at Sierra scale)")
 		quick    = flag.Bool("quick", false, "shrink every sweep for a fast smoke run")
 		netDelay = flag.Duration("netdelay", 50*time.Microsecond, "simulated per-message wire latency for the coll sweep")
+		outPath  = flag.String("out", "", "write the hotpath results as JSON to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|all>")
+		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|hotpath|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -165,6 +167,22 @@ func main() {
 			rows, err := experiments.MsgLog(rc, it, iv)
 			fatalIf(err)
 			experiments.PrintMsgLog(os.Stdout, it, iv, rows)
+		case "hotpath":
+			// Zero-allocation hot paths: allocs/op for the transport
+			// send/recv roundtrip, collective packing, and checkpoint
+			// capture+encode, pooled arena on vs off.
+			hcfg := experiments.DefaultHotpathConfig()
+			if *quick {
+				hcfg.CkptBytesPerRank = 256 << 10
+			}
+			rows, err := experiments.HotpathSweep(hcfg)
+			fatalIf(err)
+			experiments.PrintHotpath(os.Stdout, hcfg, rows)
+			if *outPath != "" {
+				doc, err := experiments.HotpathJSON(hcfg, rows)
+				fatalIf(err)
+				fatalIf(os.WriteFile(*outPath, doc, 0o644))
+			}
 		case "erasure":
 			// Redundancy sweep (§VIII extension): ring-XOR m=1 against
 			// RS(k,m) for m in {2,3} over one group, then the raw
@@ -188,7 +206,7 @@ func main() {
 	}
 
 	if which == "all" {
-		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll"} {
+		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll", "hotpath"} {
 			run(name)
 		}
 		return

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fmi/internal/bufpool"
 	"fmi/internal/cluster"
 	"fmi/internal/coll"
 	"fmi/internal/core"
@@ -86,6 +87,27 @@ const (
 	ChanTransport TransportKind = iota
 	// TCPTransport runs every endpoint on a real loopback TCP socket.
 	TCPTransport
+)
+
+// PoolingMode controls the shared buffer arena that backs the
+// transport frames, collective packing, and checkpoint capture/parity
+// buffers. The zero value enables pooling, so existing configurations
+// pick up the zero-allocation hot paths without changes.
+type PoolingMode int
+
+const (
+	// PoolingOn (the default) threads one size-classed arena through
+	// the transport, collective, and checkpoint hot paths; steady-state
+	// traffic recycles buffers instead of allocating.
+	PoolingOn PoolingMode = iota
+	// PoolingOff disables the arena: every hot path falls back to plain
+	// allocation. Contents are byte-identical to PoolingOn — the mode
+	// only changes where buffers come from.
+	PoolingOff
+	// PoolingDebug uses the leak-checkable arena: every Get records its
+	// call site, double releases panic, and outstanding buffers can be
+	// audited. Slower; for tests and debugging only.
+	PoolingDebug
 )
 
 // Fault is one scripted failure. The zero AfterLoop value of 0 fires
@@ -202,6 +224,11 @@ type Config struct {
 	// size; each selection is surfaced in the trace as a coll-algo
 	// event.
 	Collectives CollectivesConfig
+	// Pooling selects the buffer-arena mode for the hot paths (message
+	// frames, collective packing, checkpoint capture and parity). The
+	// zero value enables pooling; PoolingOff reverts to per-operation
+	// allocation, and PoolingDebug arms the leak checker.
+	Pooling PoolingMode
 }
 
 // CollectivesConfig pins collective algorithms per operation. Empty
@@ -320,8 +347,19 @@ func Run(cfg Config, app App) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One arena serves the whole job: transport frames released by a
+	// receiving rank's runtime return to the pool the sending endpoint
+	// draws from.
+	var pool *bufpool.Arena
+	switch cfg.Pooling {
+	case PoolingOff:
+	case PoolingDebug:
+		pool = bufpool.NewDebug()
+	default:
+		pool = bufpool.New()
+	}
 	var nw transport.Network
-	opts := transport.Options{DetectDelay: cfg.DetectDelay, PropDelay: cfg.PropDelay, MsgDelay: cfg.NetDelay}
+	opts := transport.Options{DetectDelay: cfg.DetectDelay, PropDelay: cfg.PropDelay, MsgDelay: cfg.NetDelay, Pool: pool}
 	if opts.DetectDelay == 0 {
 		opts.DetectDelay = 200 * time.Millisecond // ibverbs-observed default (§VI-A)
 	}
@@ -364,6 +402,7 @@ func Run(cfg Config, app App) (*Report, error) {
 		ProvisionDelay: cfg.ProvisionDelay,
 		Recovery:       cfg.Recovery,
 		Coll:           collPolicy,
+		Pool:           pool,
 	}
 
 	var inj *cluster.Injector

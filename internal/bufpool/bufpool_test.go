@@ -1,0 +1,171 @@
+package bufpool
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestClassSizing(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 64}, {64, 64}, {65, 128}, {128, 128},
+		{1000, 1024}, {1 << 20, 1 << 20}, {1<<20 + 1, 1 << 21},
+	}
+	a := New()
+	for _, c := range cases {
+		b := a.Get(c.n)
+		if len(b) != c.n {
+			t.Fatalf("Get(%d): len = %d, want %d", c.n, len(b), c.n)
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("Get(%d): cap = %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		a.Put(b)
+	}
+	// Outside the pooled span: plain make semantics.
+	big := a.Get(1<<maxClassBits + 1)
+	if len(big) != 1<<maxClassBits+1 {
+		t.Fatalf("oversized Get: len = %d", len(big))
+	}
+	a.Put(big) // silently dropped
+	if b := a.Get(0); b != nil {
+		t.Fatalf("Get(0) = %v, want nil", b)
+	}
+}
+
+func TestReuse(t *testing.T) {
+	a := New()
+	b := a.Get(100)
+	b[0] = 42
+	a.Put(b)
+	// The very next same-class Get on the same goroutine should hit the
+	// per-P pool cache and return the same backing array.
+	c := a.Get(100)
+	if &b[0] != &c[0] {
+		t.Skip("sync.Pool did not reuse (GC ran); not a correctness failure")
+	}
+	if got := a.Stats(); got.Gets != 2 || got.Puts != 1 {
+		t.Fatalf("stats = %+v, want 2 gets / 1 put", got)
+	}
+}
+
+func TestNilArena(t *testing.T) {
+	var a *Arena
+	b := a.Get(50)
+	if len(b) != 50 {
+		t.Fatalf("nil arena Get(50): len = %d", len(b))
+	}
+	a.Put(b)
+	a.Detach(b)
+	if s := a.Stats(); s != (Stats{}) {
+		t.Fatalf("nil arena stats = %+v", s)
+	}
+	if a.Outstanding() != 0 || a.Leaks() != nil {
+		t.Fatal("nil arena reports leaks")
+	}
+}
+
+func TestForeignPut(t *testing.T) {
+	a := New()
+	// Adopt a make()'d buffer: its capacity floors into class 128.
+	a.Put(make([]byte, 0, 200))
+	b := a.Get(128)
+	if cap(b) < 128 {
+		t.Fatalf("cap = %d", cap(b))
+	}
+	a.Put(make([]byte, 10)) // below min class: dropped
+	if s := a.Stats(); s.Puts != 1 {
+		t.Fatalf("puts = %d, want 1 (tiny buffer must not be adopted)", s.Puts)
+	}
+}
+
+// TestConcurrentGetPut exercises the arena from many goroutines; run
+// under -race this is the pool's data-race regression test.
+func TestConcurrentGetPut(t *testing.T) {
+	for _, a := range []*Arena{New(), NewDebug()} {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				sizes := []int{1, 64, 300, 4096, 70000}
+				for i := 0; i < 500; i++ {
+					n := sizes[(seed+i)%len(sizes)]
+					b := a.Get(n)
+					for j := range b {
+						b[j] = byte(seed)
+					}
+					a.Put(b)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := a.Outstanding(); got != 0 {
+			t.Fatalf("outstanding after balanced get/put = %d", got)
+		}
+	}
+}
+
+// TestLeakDetector is the contract the transport tests rely on: a
+// pooled frame dropped without Release shows up in Leaks with the
+// acquisition site, and releasing or detaching clears it.
+func TestLeakDetector(t *testing.T) {
+	a := NewDebug()
+	leaked := a.Get(256) // this one is never released
+	kept := a.Get(256)
+	a.Detach(kept) // ownership left the arena: not a leak
+	ok := a.Get(256)
+	a.Put(ok)
+
+	if got := a.Outstanding(); got != 1 {
+		t.Fatalf("outstanding = %d, want 1", got)
+	}
+	leaks := a.Leaks()
+	if len(leaks) != 1 {
+		t.Fatalf("leaks = %v, want exactly the dropped buffer", leaks)
+	}
+	if !strings.Contains(leaks[0].Site, "bufpool_test.go") {
+		t.Fatalf("leak site = %q, want this test file", leaks[0].Site)
+	}
+	a.Put(leaked)
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after late release = %d", got)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	a := NewDebug()
+	b := a.Get(64)
+	a.Put(b)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("double Put did not panic in debug mode")
+		}
+	}()
+	a.Put(b)
+}
+
+// TestGetPutAllocs pins the steady-state allocation behaviour: once
+// the class is warm, Get+Put must not allocate. sync.Pool's per-P
+// caches can be cleared by a concurrent GC, so allow a tiny epsilon
+// rather than flaking.
+func TestGetPutAllocs(t *testing.T) {
+	a := New()
+	a.Put(a.Get(4096)) // warm the class
+	avg := testing.AllocsPerRun(1000, func() {
+		b := a.Get(4096)
+		a.Put(b)
+	})
+	if avg > 0.1 {
+		t.Fatalf("Get+Put allocs/op = %v, want ~0", avg)
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	a := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := a.Get(4096)
+		a.Put(buf)
+	}
+}

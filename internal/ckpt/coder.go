@@ -84,15 +84,22 @@ func (XORRing) Reconstruct(gc GroupComm, self, g int, lost []int, data, parity [
 		return nil, fmt.Errorf("ckpt: xor ring repairs exactly one loss, got %d", len(lost))
 	}
 	lostIdx := lost[0]
+	rel, _ := gc.(Releaser)
 	if self != lostIdx {
 		res, err := DecodeRing(gc, self, g, data, chunkLen, parity, true)
 		if err != nil {
 			return nil, err
 		}
-		return nil, gc.Send(lostIdx, res)
-	}
-	if _, err := DecodeRing(gc, self, g, nil, chunkLen, make([]byte, chunkLen), false); err != nil {
+		err = gc.Send(lostIdx, res)
+		if rel != nil {
+			rel.Release(res) // copied by the eager send
+		}
 		return nil, err
+	}
+	if relay, err := DecodeRing(gc, self, g, nil, chunkLen, make([]byte, chunkLen), false); err != nil {
+		return nil, err
+	} else if rel != nil {
+		rel.Release(relay) // the replacement's ring result is discarded
 	}
 	out := make([]byte, (g-1)*chunkLen)
 	for i := 0; i < g; i++ {
@@ -105,6 +112,9 @@ func (XORRing) Reconstruct(gc GroupComm, self, g int, lost []int, data, parity [
 		}
 		k := DecodeChunkIndex(lostIdx, i, g)
 		copy(out[(k-1)*chunkLen:], c)
+		if rel != nil {
+			rel.Release(c) // chunk copied into place
+		}
 	}
 	return out, nil
 }

@@ -97,12 +97,42 @@ func (c *RSGroup) code(g int) (*erasure.Code, error) {
 
 func mod(a, g int) int { return ((a % g) + g) % g }
 
+// paddedChunk returns chunk k (1-based) of data zero-padded to
+// chunkLen, using *pad as scratch when padding is required (the eager
+// transports copy at Send, so one scratch serves every padded send of
+// a call). Unpadded chunks alias data.
+func paddedChunk(data []byte, chunkLen, k int, pad *[]byte) []byte {
+	lo := (k - 1) * chunkLen
+	hi := lo + chunkLen
+	if lo < len(data) && hi <= len(data) {
+		return data[lo:hi]
+	}
+	if cap(*pad) < chunkLen {
+		*pad = make([]byte, chunkLen)
+	}
+	p := (*pad)[:chunkLen]
+	for i := range p {
+		p[i] = 0
+	}
+	if lo < len(data) {
+		copy(p, data[lo:])
+	}
+	return p
+}
+
 // Encode implements Coder: push each of my chunks to the m holders of
 // its stripe, then compute the parity shard of each stripe I hold from
 // the k chunks pushed to me. Sends all precede receives, which is
 // deadlock-free on the asynchronous FMI transports; per peer pair both
 // sides traverse stripes in the same (provably monotone) order, so
 // FIFO matching suffices.
+//
+// The parity computation is pipelined: GF(2^8) addition is XOR, so
+// shard contributions commute and each arriving chunk folds into its
+// parity row immediately (MulAddRowInto) — the striping arithmetic
+// overlaps with waiting on the group exchange instead of running
+// serially after it, and no k-chunk staging buffer exists. With a
+// pooled GroupComm every folded chunk is recycled on the spot.
 func (c *RSGroup) Encode(gc GroupComm, self, g int, data []byte, chunkLen int) ([]byte, error) {
 	if g < 2 {
 		return nil, fmt.Errorf("ckpt: rs encode needs a group of >= 2")
@@ -112,30 +142,37 @@ func (c *RSGroup) Encode(gc GroupComm, self, g int, data []byte, chunkLen int) (
 	if err != nil {
 		return nil, err
 	}
+	rel, _ := gc.(Releaser)
+	var pad []byte
 	for l := 0; l < k; l++ {
 		s := mod(self-m-l, g)
-		my := chunk(data, chunkLen, l+1)
+		my := paddedChunk(data, chunkLen, l+1, &pad)
 		for j := 0; j < m; j++ {
 			if err := gc.Send((s+j)%g, my); err != nil {
 				return nil, err
 			}
 		}
 	}
-	parity := make([]byte, m*chunkLen)
-	shards := make([][]byte, k)
+	parity := make([]byte, m*chunkLen) // zeroed: the fold accumulator
 	for j := 0; j < m; j++ {
 		s := mod(self-j, g)
+		row := parity[j*chunkLen : (j+1)*chunkLen]
 		for l := 0; l < k; l++ {
 			b, err := gc.Recv((s + m + l) % g)
 			if err != nil {
 				return nil, err
 			}
 			if len(b) != chunkLen {
+				if rel != nil {
+					rel.Release(b)
+				}
 				return nil, fmt.Errorf("ckpt: rs encode: %d-byte shard, want %d", len(b), chunkLen)
 			}
-			shards[l] = b
+			code.MulAddRowInto(j, l, b, row, c.workers)
+			if rel != nil {
+				rel.Release(b) // folded; the chunk bytes are dead
+			}
 		}
-		code.EncodeRowInto(j, shards, parity[j*chunkLen:(j+1)*chunkLen], c.workers)
 	}
 	return parity, nil
 }
@@ -186,8 +223,10 @@ func (c *RSGroup) Reconstruct(gc GroupComm, self, g int, lost []int, data, parit
 		}
 	}
 
+	rel, _ := gc.(Releaser)
 	if !amLost {
 		// Survivor: push my shard of every damaged stripe that selected it.
+		var pad []byte
 		for _, li := range lost {
 			for l := 0; l < k; l++ {
 				s := mod(li-m-l, g)
@@ -197,7 +236,7 @@ func (c *RSGroup) Reconstruct(gc GroupComm, self, g int, lost []int, data, parit
 					}
 					var sh []byte
 					if idx < k {
-						sh = chunk(data, chunkLen, idx+1)
+						sh = paddedChunk(data, chunkLen, idx+1, &pad)
 					} else {
 						j := idx - k // == mod(self-s, g)
 						sh = parity[j*chunkLen : (j+1)*chunkLen]
@@ -212,30 +251,42 @@ func (c *RSGroup) Reconstruct(gc GroupComm, self, g int, lost []int, data, parit
 	}
 
 	// Replacement: gather the selected shards of each of my stripes and
-	// solve for my chunk.
+	// solve for my chunk — recovered directly into its slot of the
+	// rebuilt checkpoint (RecoverInto), no per-stripe scratch + copy.
 	out := make([]byte, k*chunkLen)
+	shards := make([][]byte, k)
+	wantOne := make([]int, 1)
+	outOne := make([][]byte, 1)
 	for l := 0; l < k; l++ {
 		s := mod(self-m-l, g)
 		sel := selectShards(s, g, m, k, lostSet)
 		if len(sel) < k {
 			return nil, fmt.Errorf("ckpt: stripe %d has only %d surviving shards, need %d", s, len(sel), k)
 		}
-		shards := make([][]byte, k)
 		for i, idx := range sel {
 			b, err := gc.Recv(shardOwner(s, idx, g, m, k))
 			if err != nil {
 				return nil, err
 			}
 			if len(b) != chunkLen {
+				if rel != nil {
+					rel.Release(b)
+				}
 				return nil, fmt.Errorf("ckpt: rs reconstruct: %d-byte shard, want %d", len(b), chunkLen)
 			}
 			shards[i] = b
 		}
-		rec, err := code.Recover(sel, shards, []int{l}, c.workers)
+		wantOne[0] = l
+		outOne[0] = out[l*chunkLen : (l+1)*chunkLen]
+		err := code.RecoverInto(sel, shards, wantOne, outOne, c.workers)
+		if rel != nil {
+			for _, b := range shards {
+				rel.Release(b) // solved; gathered shards are dead
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
-		copy(out[l*chunkLen:], rec[0])
 	}
 	return out, nil
 }

@@ -21,18 +21,31 @@ type Snapshot struct {
 // Capture copies the segments into a snapshot (the paper's "write
 // checkpoints in memory using memcpy").
 func Capture(loopID int, segs [][]byte) *Snapshot {
+	return CaptureInto(loopID, segs, make([]byte, TotalSize(segs)))
+}
+
+// TotalSize returns the concatenated byte size of the segments — the
+// buffer length CaptureInto needs.
+func TotalSize(segs [][]byte) int {
 	total := 0
-	sizes := make([]int, len(segs))
-	for i, s := range segs {
-		sizes[i] = len(s)
+	for _, s := range segs {
 		total += len(s)
 	}
-	data := make([]byte, total)
+	return total
+}
+
+// CaptureInto is Capture writing into a caller-owned buffer (pooled or
+// reused across checkpoint intervals): buf must have length
+// TotalSize(segs) and is adopted as the snapshot's Data — the caller
+// must not reuse it while the snapshot lives.
+func CaptureInto(loopID int, segs [][]byte, buf []byte) *Snapshot {
+	sizes := make([]int, len(segs))
 	off := 0
-	for _, s := range segs {
-		off += copy(data[off:], s)
+	for i, s := range segs {
+		sizes[i] = len(s)
+		off += copy(buf[off:], s)
 	}
-	return &Snapshot{LoopID: loopID, Data: data, Sizes: sizes}
+	return &Snapshot{LoopID: loopID, Data: buf[:off], Sizes: sizes}
 }
 
 // Restore copies the snapshot back into the segments, which must have

@@ -79,6 +79,22 @@ func chunk(data []byte, chunkLen, k int) []byte {
 	return out
 }
 
+// xorChunkInto folds chunk k (1-based) of data into dst without
+// materialising a padded chunk: the zero padding is an XOR no-op, so
+// only the bytes data actually covers are touched. dst has length
+// chunkLen.
+func xorChunkInto(dst, data []byte, chunkLen, k int) {
+	lo := (k - 1) * chunkLen
+	if lo >= len(data) {
+		return // chunk is pure padding
+	}
+	hi := lo + chunkLen
+	if hi > len(data) {
+		hi = len(data)
+	}
+	XorInto(dst, data[lo:hi])
+}
+
 // CoveringChain returns the chain id (== storing rank) that covers
 // chunk k of rank 'lost' in a group of size g.
 func CoveringChain(lost, k, g int) int {
@@ -142,6 +158,15 @@ type GroupComm interface {
 	Recv(peer int) ([]byte, error)
 }
 
+// Releaser is optionally implemented by GroupComms whose Recv returns
+// pooled buffers. The coders type-assert it and recycle every buffer
+// they consume without retaining — ring chains that have been passed
+// on, RS chunks already folded into parity. GroupComms without pooling
+// (tests, the MPI baseline) simply don't implement it.
+type Releaser interface {
+	Release(buf []byte)
+}
+
 // EncodeRing runs the Fig 9 ring algorithm for one group member:
 // G-1 XOR steps plus a final rotation. It returns this rank's stored
 // parity chain. chunkLen must be agreed group-wide (from the group's
@@ -169,7 +194,15 @@ func DecodeRing(gc GroupComm, self, g int, data []byte, chunkLen int, storedPari
 // held buffer right, receive from the left, and XOR own chunk k (if
 // contributing); the final step is a pure rotation returning chain
 // 'self' home.
+//
+// The walk is inherently pipelined — each XOR overlaps with the
+// neighbours' exchanges — and with a pooled GroupComm it is also
+// allocation-free: every received chain replaces the held buffer,
+// whose storage is handed straight back to the arena (the transport
+// copied it at Send), and contributions fold in via xorChunkInto, so
+// no padded chunk is ever materialised.
 func ringPass(gc GroupComm, self, g int, data []byte, chunkLen int, held []byte, contribute bool) ([]byte, error) {
+	rel, _ := gc.(Releaser)
 	right := (self + 1) % g
 	left := (self - 1 + g) % g
 	for k := 1; k < g; k++ {
@@ -180,14 +213,20 @@ func ringPass(gc GroupComm, self, g int, data []byte, chunkLen int, held []byte,
 		if err != nil {
 			return nil, err
 		}
+		if rel != nil {
+			rel.Release(held) // sent and copied; the old chain is dead
+		}
 		held = recv
 		if contribute {
-			XorInto(held, chunk(data, chunkLen, k))
+			xorChunkInto(held, data, chunkLen, k)
 		}
 	}
 	// Final rotation brings chain 'self' back to its storing rank.
 	if err := gc.Send(right, held); err != nil {
 		return nil, err
+	}
+	if rel != nil {
+		rel.Release(held)
 	}
 	return gc.Recv(left)
 }

@@ -29,6 +29,12 @@ func (gc *groupComm) Recv(peer int) ([]byte, error) {
 	return msg.Data, nil
 }
 
+// Release implements ckpt.Releaser: the coders hand back every ring
+// chain and RS chunk they consume, so the encode/decode exchanges run
+// allocation-free over the shared arena. With pooling disabled Put is
+// a no-op.
+func (gc *groupComm) Release(buf []byte) { gc.p.pool.Put(buf) }
+
 // groupMeta is exchanged within a group at encode time so any survivor
 // can brief a restarted member. In local mode it carries the sender's
 // serialized messaging state (replicated, not parity-encoded — see
@@ -99,6 +105,34 @@ type entryExt struct {
 	// this checkpoint (local mode): replicated so any survivor can hand
 	// a respawned member its messaging state along with the brief.
 	GroupMsgStates [][]byte
+	// pooledSnap/pooledParity mark buffers this runtime drew from the
+	// arena (or may safely donate to it): recycleEntry returns them when
+	// the entry retires. Entries rebuilt from reconstruction output or
+	// level-2 blobs are never flagged — their buffers alias larger
+	// allocations the pool must not adopt.
+	pooledSnap   bool
+	pooledParity bool
+}
+
+// recycleEntry returns a retired entry's flagged buffers to the arena.
+// Callers must guarantee the entry is unreachable: it has been replaced
+// as the committed checkpoint, or discarded from staging in global mode
+// (local-mode staged entries may still be driven by an in-flight
+// checkpoint call riding through the fence, so they are never recycled
+// from the restore path).
+func (p *Proc) recycleEntry(e *entryExt) {
+	if e == nil {
+		return
+	}
+	if e.pooledSnap && e.Snap != nil {
+		p.pool.Put(e.Snap.Data)
+		e.Snap = nil
+	}
+	if e.pooledParity && e.Parity != nil {
+		p.pool.Put(e.Parity)
+		e.Parity = nil
+	}
+	e.pooledSnap, e.pooledParity = false, false
 }
 
 // brief is what the informant survivor sends a restarted group member.
@@ -218,17 +252,28 @@ func decodeBrief(data []byte) (brief, error) {
 
 // checkpoint captures, encodes, and (on global agreement) commits a
 // level-1 checkpoint of the segments at loop id (paper §V-A / Fig 9).
+//
+// The capture+encode stages are pipelined: the snapshot's size and
+// shape are pure functions of the registered segments, so the group
+// meta is posted before the memcpy capture — peers overlap their own
+// capture with this rank's meta latency — and the capture itself lands
+// in a pooled buffer recycled when the entry eventually retires.
 func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	start := time.Now()
-	snap := ckpt.Capture(id, segs)
-	msgState, seenAtCapture := p.captureMsgState()
 	group := p.groups[p.rank]
 	gi := p.gidx[p.rank]
 	g := len(group)
 
+	total := ckpt.TotalSize(segs)
+	shape := make([]int, len(segs))
+	for i, s := range segs {
+		shape[i] = len(s)
+	}
+	msgState, seenAtCapture := p.captureMsgState()
+
 	p.l1Count++
 	entry := &entryExt{
-		Entry:    &ckpt.Entry{Snap: snap, GroupLoop: id},
+		Entry:    &ckpt.Entry{GroupLoop: id},
 		Interval: p.interval,
 		NextCtx:  p.nextCtx,
 		CommSeq:  p.commSeq,
@@ -241,8 +286,9 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 
 	if g >= 2 {
 		// Exchange sizes and segment shapes (plus, in local mode, each
-		// member's messaging state) within the group.
-		meta := encodeGroupMeta(groupMeta{TotalSize: len(snap.Data), Shape: snap.Sizes, MsgState: msgState})
+		// member's messaging state) within the group. Posted before the
+		// capture so the exchange is in flight while segments copy.
+		meta := encodeGroupMeta(groupMeta{TotalSize: total, Shape: shape, MsgState: msgState})
 		for i, r := range group {
 			if i == gi {
 				continue
@@ -251,20 +297,30 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 				return err
 			}
 		}
+	}
+
+	snap := ckpt.CaptureInto(id, segs, p.pool.Get(total))
+	entry.Snap = snap
+	entry.pooledSnap = p.pool != nil
+
+	if g >= 2 {
 		sizes := make([]int, g)
 		shapes := make([][]int, g)
-		sizes[gi] = len(snap.Data)
-		shapes[gi] = snap.Sizes
+		sizes[gi] = total
+		shapes[gi] = shape
 		for i, r := range group {
 			if i == gi {
 				continue
 			}
 			msg, err := p.recvRaw(ctxWorld, int32(r), tagCkptSize)
 			if err != nil {
+				p.recycleEntry(entry)
 				return err
 			}
 			gm, err := decodeGroupMeta(msg.Data)
+			msg.Release() // decode copied every field
 			if err != nil {
+				p.recycleEntry(entry)
 				return err
 			}
 			sizes[i] = gm.TotalSize
@@ -283,9 +339,13 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 		encStart := time.Now()
 		parity, err := p.coder.Encode(&groupComm{p, group}, gi, g, snap.Data, chunkLen)
 		if err != nil {
+			// The transports copy at Send, so nothing aliases the pooled
+			// snapshot once Encode unwinds; recycle before abandoning.
+			p.recycleEntry(entry)
 			return err
 		}
 		entry.Parity = parity
+		entry.pooledParity = p.pool != nil
 		entry.Scheme = p.coder.Scheme()
 		entry.Shards = len(parity) / chunkLen
 		entry.ChunkLen = chunkLen
@@ -320,6 +380,13 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	}
 	p.interval = int(binary.LittleEndian.Uint32(out))
 	entry.Interval = p.interval
+	// Retirement point: the previous checkpoint is now unreachable on
+	// every rank, so its pooled buffers feed the next capture. A
+	// local-mode fence may have rolled this very entry forward already —
+	// never recycle the entry being committed.
+	if p.committed != entry {
+		p.recycleEntry(p.committed)
+	}
 	p.committed = entry
 	p.staged = nil
 	p.lastCkpt = id

@@ -52,6 +52,12 @@ func (t collTP) Recv(peer int) ([]byte, error) {
 	return msg.Data, nil
 }
 
+// Release implements coll.Releaser: the schedule executor hands back
+// every received frame it consumes without retaining (folded reduce
+// contributions, sync tokens, unpacked multi-block carriers), keeping
+// collective steps allocation-free on the shared arena.
+func (t collTP) Release(buf []byte) { t.c.p.pool.Put(buf) }
+
 // selectAlgo consults the policy and records the choice in the trace
 // (the coll-algo event), making per-operation algorithm selection
 // observable in timelines.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"fmi/internal/bootstrap"
+	"fmi/internal/bufpool"
 	"fmi/internal/coll"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
@@ -153,6 +154,12 @@ type Config struct {
 	// Coll selects collective algorithms; the zero value picks
 	// automatically by payload and communicator size.
 	Coll coll.Policy
+	// Pool is the shared buffer arena for the hot paths (checkpoint
+	// capture buffers, parity shards, group-exchange frames). It must be
+	// the same arena the transport uses so buffers released here return
+	// to the pool frames were drawn from. nil disables pooling — every
+	// Get falls back to make and every Put is a no-op.
+	Pool *bufpool.Arena
 }
 
 func (c *Config) fillDefaults() {

@@ -185,6 +185,12 @@ func (p *Proc) restoreL2() error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUnrecoverable, err)
 	}
+	// The fallback entry's data aliases the decoded blob (never pooled);
+	// the in-memory entries it displaces are retired for good.
+	p.recycleEntry(p.committed)
+	if !p.cfg.Local {
+		p.recycleEntry(p.staged)
+	}
 	p.committed = &entryExt{
 		Entry: &ckpt.Entry{
 			Snap:      ckpt.FromData(h.LoopID, data, h.Shape),

@@ -186,6 +186,9 @@ func (p *Proc) negotiateRestore() error {
 		// nothing to restore; replacements start fresh. In local mode
 		// survivors still replay their logs so the restarted rank's
 		// re-execution from iteration zero receives what it missed.
+		if !p.cfg.Local {
+			p.recycleEntry(p.staged)
+		}
 		p.staged = nil
 		p.pendingID = -1
 		p.pendingApplied = false
@@ -242,7 +245,13 @@ func (p *Proc) negotiateRestore() error {
 	// so the roll-forward here is only bookkeeping either way.
 	if p.staged != nil {
 		if p.staged.Snap.LoopID == restoreID {
+			p.recycleEntry(p.committed)
 			p.committed = p.staged
+		} else if !p.cfg.Local {
+			// A local-mode survivor may still be driving the checkpoint
+			// call that staged this entry (it commits after riding the
+			// fence), so only global mode recycles discarded stages.
+			p.recycleEntry(p.staged)
 		}
 		p.staged = nil
 	}
@@ -339,7 +348,11 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 		if err != nil {
 			return ErrFailureDetected
 		}
+		if e.pooledParity {
+			p.pool.Put(e.Parity)
+		}
 		e.Parity = parity
+		e.pooledParity = p.pool != nil
 		return nil
 	}
 
@@ -350,6 +363,7 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 		return ErrFailureDetected
 	}
 	b, err := decodeBrief(msg.Data)
+	msg.Release() // decode copied every field
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUnrecoverable, err)
 	}
@@ -367,6 +381,7 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 	if err != nil {
 		return ErrFailureDetected
 	}
+	p.recycleEntry(p.committed)
 	p.committed = &entryExt{
 		Entry: &ckpt.Entry{
 			Snap:       snap,
@@ -383,6 +398,9 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 		CommSeq:        b.CommSeq,
 		L1Count:        b.L1Count,
 		GroupMsgStates: b.MsgStates,
+		// The rebuilt snapshot aliases the reconstruction buffer (never
+		// pooled); the re-encoded parity is pool-recyclable.
+		pooledParity: p.pool != nil,
 	}
 	if p.cfg.Local && gi < len(b.MsgStates) && len(b.MsgStates[gi]) > 0 {
 		if err := p.restoreMsgState(b.MsgStates[gi]); err != nil {

@@ -98,7 +98,10 @@ func (c *Comm) Recv(src, tag int) (data []byte, from int, err error) {
 	if err != nil {
 		return nil, -1, err
 	}
-	return msg.Data, c.Translate(int(msg.Src)), nil
+	// Detach: the payload's ownership passes to the application, so the
+	// arena stops tracking the frame (it is reclaimed by the GC, not by
+	// a Put the application never issues).
+	return msg.Detach(), c.Translate(int(msg.Src)), nil
 }
 
 // Sendrecv posts the receive, performs the send, and waits for the
@@ -139,7 +142,7 @@ func (c *Comm) TryRecv(src, tag int) (data []byte, from int, ok bool, err error)
 	if !got {
 		return nil, -1, false, nil
 	}
-	return msg.Data, c.Translate(int(msg.Src)), true, nil
+	return msg.Detach(), c.Translate(int(msg.Src)), true, nil
 }
 
 // Request is a pending nonblocking operation. In local recovery mode
@@ -226,7 +229,7 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 			for {
 				msg, err := pend.Await(gen.cancelCh)
 				if err == nil {
-					return msg.Data, c.Translate(int(msg.Src)), nil
+					return msg.Detach(), c.Translate(int(msg.Src)), nil
 				}
 				p.checkAlive()
 				if !p.seqActive {
@@ -251,7 +254,7 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 		if err != nil {
 			r.err = ErrFailureDetected
 		} else {
-			r.data, r.from = msg.Data, c.Translate(int(msg.Src))
+			r.data, r.from = msg.Detach(), c.Translate(int(msg.Src))
 		}
 		close(r.done)
 	}()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fmi/internal/bootstrap"
+	"fmi/internal/bufpool"
 	"fmi/internal/ckpt"
 	"fmi/internal/msglog"
 	"fmi/internal/overlay"
@@ -30,6 +31,7 @@ type Proc struct {
 	// Checkpointing: double-buffered in-memory entries (paper §V-A).
 	staged    *entryExt // fully encoded, awaiting global agreement
 	committed *entryExt // last globally agreed checkpoint
+	pool      *bufpool.Arena
 	coder     ckpt.Coder
 	groups    [][]int
 	gidx      []int
@@ -120,6 +122,7 @@ func Init(cfg Config) (*Proc, error) {
 		p.autoInterval = true
 		p.interval = 1 // until measurements exist
 	}
+	p.pool = cfg.Pool
 	p.coder = ckpt.NewCoder(cfg.Redundancy, 0)
 	p.groups, p.gidx = ckpt.Groups(cfg.N, cfg.ProcsPerNode, cfg.GroupSize)
 	p.world = newWorldComm(p)

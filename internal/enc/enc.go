@@ -31,6 +31,31 @@ func PackSlices(parts [][]byte) []byte {
 	return out
 }
 
+// PackedLen returns the encoded size of parts: what PackSlices would
+// allocate and what PackSlicesInto will append.
+func PackedLen(parts [][]byte) int {
+	total := 0
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	return total
+}
+
+// PackSlicesInto appends the PackSlices encoding of parts to dst and
+// returns the extended slice, allocating only if dst lacks capacity.
+// With dst pre-sized to PackedLen (e.g. a pooled or reused scratch
+// buffer, passed as dst[:0]), packing is allocation-free. The output
+// bytes are identical to PackSlices.
+func PackSlicesInto(dst []byte, parts [][]byte) []byte {
+	var hdr [4]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
 // UnpackSlices decodes a PackSlices buffer. The returned slices alias
 // data (no copies). Truncated input — a header shorter than 4 bytes or
 // a declared length running past the buffer — returns an error rather

@@ -31,6 +31,56 @@ func TestPackUnpackRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPackSlicesIntoMatchesPackSlices pins the appendable packer to
+// the exact bytes of PackSlices and checks PackedLen agrees.
+func TestPackSlicesIntoMatchesPackSlices(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{nil, {}},
+		{[]byte("a")},
+		{[]byte("hello"), nil, []byte("world"), {}},
+		{bytes.Repeat([]byte{0xab}, 1<<12), []byte{1}},
+	}
+	scratch := make([]byte, 0, 1<<13)
+	for i, parts := range cases {
+		want := PackSlices(parts)
+		if got := PackedLen(parts); got != len(want) {
+			t.Fatalf("case %d: PackedLen = %d, want %d", i, got, len(want))
+		}
+		got := PackSlicesInto(scratch[:0], parts)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d: PackSlicesInto bytes differ", i)
+		}
+		// Appending to a non-empty prefix must leave the prefix intact.
+		pre := append(scratch[:0], "pre"...)
+		got = PackSlicesInto(pre, parts)
+		if !bytes.Equal(got[:3], []byte("pre")) || !bytes.Equal(got[3:], want) {
+			t.Fatalf("case %d: append semantics broken", i)
+		}
+	}
+}
+
+// TestPackSlicesIntoAllocs is the satellite pin: packing into a
+// pre-sized scratch buffer performs zero allocations.
+func TestPackSlicesIntoAllocs(t *testing.T) {
+	parts := [][]byte{
+		bytes.Repeat([]byte{1}, 512),
+		bytes.Repeat([]byte{2}, 256),
+		nil,
+		bytes.Repeat([]byte{3}, 128),
+	}
+	scratch := make([]byte, 0, PackedLen(parts))
+	avg := testing.AllocsPerRun(1000, func() {
+		out := PackSlicesInto(scratch[:0], parts)
+		if len(out) != PackedLen(parts) {
+			t.Fatal("length mismatch")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("PackSlicesInto allocs/op = %v, want 0", avg)
+	}
+}
+
 func TestUnpackTruncated(t *testing.T) {
 	valid := PackSlices([][]byte{[]byte("abcdef"), []byte("gh")})
 	for cut := 1; cut < len(valid); cut++ {

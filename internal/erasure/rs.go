@@ -79,40 +79,90 @@ func (c *Code) EncodeRowInto(j int, data [][]byte, out []byte, workers int) {
 	})
 }
 
+// MulAddRowInto folds one shard into a parity accumulator:
+// out ^= coef · data over GF(2^8). Addition in GF(2^8) is XOR, so
+// contributions commute — a parity row may be built up one shard at a
+// time, in whatever order the shards arrive. out must be zeroed before
+// the first fold; coef is gen[k+j][l] for parity j, shard l (see
+// ParityRow). This is the incremental half of EncodeRowInto, used by
+// the pipelined checkpoint encode to overlap parity math with the
+// group exchange.
+func (c *Code) MulAddRowInto(j, l int, data, out []byte, workers int) {
+	coef := c.gen[c.K+j][l]
+	parallelStripes(len(out), workers, func(lo, hi int) {
+		mulAddRange(out, data, coef, lo, hi)
+	})
+}
+
 // Recover reconstructs the data shards listed in want from any k
 // surviving shards. idx[i] is the global shard index of shards[i]
 // (0..k-1 data, k..k+m-1 parity); exactly k shards must be supplied.
+// The result buffers are freshly allocated; RecoverInto is the
+// allocation-free variant.
 func (c *Code) Recover(idx []int, shards [][]byte, want []int, workers int) ([][]byte, error) {
+	out := make([][]byte, len(want))
+	if len(shards) > 0 && len(shards[0]) > 0 {
+		// One slab for all recovered shards instead of a make per
+		// repair-loop iteration.
+		n := len(shards[0])
+		slab := make([]byte, n*len(want))
+		for i := range out {
+			out[i] = slab[i*n : (i+1)*n]
+		}
+	} else {
+		for i := range out {
+			out[i] = []byte{}
+		}
+	}
+	if err := c.RecoverInto(idx, shards, want, out, workers); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecoverInto reconstructs the data shards listed in want, writing
+// shard want[i] into out[i] (caller-owned, len == shard length,
+// overwritten). It allocates only the small decode matrix, so callers
+// repairing into pooled or pre-placed buffers avoid both the per-shard
+// make and the follow-up copy.
+func (c *Code) RecoverInto(idx []int, shards [][]byte, want []int, out [][]byte, workers int) error {
 	if len(idx) != c.K || len(shards) != c.K {
-		return nil, fmt.Errorf("erasure: Recover needs exactly k=%d shards, got %d", c.K, len(idx))
+		return fmt.Errorf("erasure: Recover needs exactly k=%d shards, got %d", c.K, len(idx))
+	}
+	if len(out) != len(want) {
+		return fmt.Errorf("erasure: RecoverInto needs %d output buffers, got %d", len(want), len(out))
 	}
 	sub := newMatrix(c.K, c.K)
 	for i, id := range idx {
 		if id < 0 || id >= c.K+c.M {
-			return nil, fmt.Errorf("erasure: shard index %d out of range", id)
+			return fmt.Errorf("erasure: shard index %d out of range", id)
 		}
 		copy(sub[i], c.gen[id])
 	}
 	inv, err := sub.invert()
 	if err != nil {
-		return nil, err // unreachable for an MDS generator
+		return err // unreachable for an MDS generator
 	}
 	n := len(shards[0])
-	out := make([][]byte, len(want))
 	for wi, w := range want {
 		if w < 0 || w >= c.K {
-			return nil, fmt.Errorf("erasure: can only recover data shards, want %d", w)
+			return fmt.Errorf("erasure: can only recover data shards, want %d", w)
 		}
-		buf := make([]byte, n)
+		buf := out[wi]
+		if len(buf) != n {
+			return fmt.Errorf("erasure: RecoverInto output %d has length %d, want %d", wi, len(buf), n)
+		}
 		row := inv[w]
 		parallelStripes(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i] = 0
+			}
 			for t, sh := range shards {
 				mulAddRange(buf, sh, row[t], lo, hi)
 			}
 		})
-		out[wi] = buf
 	}
-	return out, nil
+	return nil
 }
 
 // Reconstruct fills the nil entries of shards (length k+m, shard order
@@ -147,10 +197,19 @@ func (c *Code) Reconstruct(shards [][]byte, workers int) error {
 	for i, w := range lostData {
 		shards[w] = rec[i]
 	}
-	// Lost parity is recomputed from the now-complete data.
+	// Lost parity is recomputed from the now-complete data, all rows
+	// carved from one hoisted slab instead of a make per iteration.
+	var lostParity []int
 	for j := 0; j < c.M; j++ {
 		if shards[c.K+j] == nil {
-			out := make([]byte, len(present[0]))
+			lostParity = append(lostParity, j)
+		}
+	}
+	if len(lostParity) > 0 {
+		n := len(present[0])
+		slab := make([]byte, n*len(lostParity))
+		for i, j := range lostParity {
+			out := slab[i*n : (i+1)*n]
 			c.EncodeRowInto(j, shards[:c.K], out, workers)
 			shards[c.K+j] = out
 		}

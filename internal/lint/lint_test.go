@@ -39,6 +39,10 @@ func TestSimTimeFixture(t *testing.T) {
 	checkGolden(t, filepath.Join("testdata", "src", "simtime"), lint.SimTime)
 }
 
+func TestBufReleaseFixture(t *testing.T) {
+	checkGolden(t, filepath.Join("testdata", "src", "bufrelease"), lint.BufRelease)
+}
+
 // TestIgnoreFixture covers the suppression directive's line scopes
 // (same line, line above, file-wide) and its analyzer specificity.
 // The full suite runs so a directive aimed at another real analyzer
@@ -122,7 +126,7 @@ func TestFindingsOutput(t *testing.T) {
 }
 
 // TestAllSuite guards the registered analyzer set: the suppression
-// grammar and docs name these four.
+// grammar and docs name these five.
 func TestAllSuite(t *testing.T) {
 	var names []string
 	for _, a := range lint.All() {
@@ -134,7 +138,7 @@ func TestAllSuite(t *testing.T) {
 			t.Errorf("analyzer %s has no Run", a.Name)
 		}
 	}
-	want := []string{"tracekind", "lockheld", "faulterr", "simtime"}
+	want := []string{"tracekind", "lockheld", "faulterr", "simtime", "bufrelease"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("All() = %v, want %v", names, want)
 	}

@@ -1,0 +1,105 @@
+// Package use exercises the bufrelease analyzer: returns that leak a
+// just-acquired pooled buffer, discarded Get results, and held buffers
+// overwritten by a second Get are findings. The clean functions pin
+// the analyzer's tolerance for the correct ownership hand-offs: copy
+// into the buffer, store it in a frame, Put it back, defer the Put,
+// send it to a channel, or capture it in a closure.
+package use
+
+import (
+	"errors"
+
+	"bufrelease/bufpool"
+)
+
+type frame struct{ data []byte }
+
+func cleanStore(pool *bufpool.Arena, n int) *frame {
+	buf := pool.Get(n)
+	return &frame{data: buf}
+}
+
+func cleanCopyThenPut(pool *bufpool.Arena, src []byte) {
+	buf := pool.Get(len(src))
+	copy(buf, src)
+	pool.Put(buf)
+}
+
+func cleanDeferPut(pool *bufpool.Arena, src []byte) error {
+	buf := pool.Get(len(src))
+	defer pool.Put(buf)
+	if len(src) == 0 {
+		return errors.New("empty")
+	}
+	copy(buf, src)
+	return nil
+}
+
+func cleanFieldTarget(pool *bufpool.Arena, f *frame, n int) {
+	// Stored straight into a field: consumed at the assignment.
+	f.data = pool.Get(n)
+}
+
+func cleanChannelHandoff(pool *bufpool.Arena, out chan<- []byte, n int) {
+	buf := pool.Get(n)
+	out <- buf
+}
+
+func cleanClosureCapture(pool *bufpool.Arena, n int) func() []byte {
+	buf := pool.Get(n)
+	return func() []byte { return buf }
+}
+
+func cleanBranchRelease(pool *bufpool.Arena, n int, keep bool) []byte {
+	buf := pool.Get(n)
+	if !keep {
+		pool.Put(buf)
+		return nil
+	}
+	return buf
+}
+
+func leakEarlyReturn(pool *bufpool.Arena, src []byte, bad bool) error {
+	buf := pool.Get(len(src))
+	if bad {
+		return errors.New("bailed with the buffer held") // want "return leaks pooled buffer buf"
+	}
+	copy(buf, src)
+	pool.Put(buf)
+	return nil
+}
+
+func leakDiscardBare(pool *bufpool.Arena, n int) {
+	pool.Get(n) // want "result of Arena.Get discarded"
+}
+
+func leakDiscardBlank(pool *bufpool.Arena, n int) {
+	_ = pool.Get(n) // want "result of Arena.Get discarded"
+}
+
+func leakDoubleGet(pool *bufpool.Arena, n int) []byte {
+	buf := pool.Get(n)
+	buf = pool.Get(2 * n) // want "buf overwritten while still holding"
+	return buf
+}
+
+func leakSelectBranch(pool *bufpool.Arena, done <-chan struct{}, out chan<- []byte, n int) error {
+	buf := pool.Get(n)
+	select {
+	case out <- buf:
+		return nil
+	case <-done:
+		return errors.New("cancelled with the buffer held") // want "return leaks pooled buffer buf"
+	}
+}
+
+func leakInClosure(pool *bufpool.Arena, n int) func() error {
+	return func() error {
+		buf := pool.Get(n)
+		if n > 1 {
+			return errors.New("closure bailed") // want "return leaks pooled buffer buf"
+		}
+		pool.Put(buf)
+		return nil
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fmi/internal/bootstrap"
+	"fmi/internal/bufpool"
 	"fmi/internal/cluster"
 	"fmi/internal/coll"
 	"fmi/internal/core"
@@ -71,6 +72,9 @@ type Config struct {
 	// Coll selects collective algorithms per operation (zero value =
 	// automatic size/comm-size selection).
 	Coll coll.Policy
+	// Pool is the job-wide buffer arena shared by the transport and
+	// every rank's runtime (nil disables pooling).
+	Pool *bufpool.Arena
 }
 
 // Errors reported by the job manager.
@@ -402,6 +406,7 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 		Stats:         j.stats,
 		Trace:         j.cfg.Trace,
 		Coll:          j.cfg.Coll,
+		Pool:          j.cfg.Pool,
 	}
 	go func() {
 		defer func() {

@@ -107,9 +107,10 @@ func (ep *chanEndpoint) Send(to Addr, m Msg) error {
 		return nil // silent drop
 	}
 	if len(m.Data) > 0 {
-		cp := make([]byte, len(m.Data))
+		cp := ep.net.opts.Pool.Get(len(m.Data))
 		copy(cp, m.Data)
 		m.Data = cp
+		m.pool = ep.net.opts.Pool
 	}
 	if ep.delayQ != nil {
 		// Simulated wire latency: queue for delivery MsgDelay from now.
@@ -120,6 +121,7 @@ func (ep *chanEndpoint) Send(to Addr, m Msg) error {
 		case ep.delayQ <- delayedMsg{dst: dst, m: m, due: time.Now().Add(ep.net.opts.MsgDelay)}:
 			return nil
 		case <-ep.dead:
+			m.Release()
 			return ErrClosed
 		}
 	}
@@ -138,8 +140,10 @@ func (ep *chanEndpoint) deliver(dst *chanEndpoint, m Msg) error {
 	case dst.inbox <- m:
 		return nil
 	case <-dst.dead:
-		return nil // peer died; drop
+		m.Release() // peer died; drop and recycle the frame copy
+		return nil
 	case <-ep.dead:
+		m.Release()
 		return ErrClosed
 	}
 }
@@ -172,11 +176,28 @@ func (ep *chanEndpoint) delayLoop() {
 				select {
 				case <-timer.C:
 				case <-ep.dead:
+					dm.m.Release()
+					ep.drainDelayQ()
 					return
 				}
 			}
 			ep.deliver(dm.dst, dm.m)
 		case <-ep.dead:
+			ep.drainDelayQ()
+			return
+		}
+	}
+}
+
+// drainDelayQ recycles frames stranded in the latency queue when the
+// endpoint dies (they were lost on the wire; PSM drops them silently,
+// we just hand the copies back to the arena).
+func (ep *chanEndpoint) drainDelayQ() {
+	for {
+		select {
+		case dm := <-ep.delayQ:
+			dm.m.Release()
+		default:
 			return
 		}
 	}

@@ -91,7 +91,8 @@ func (m *Matcher) deliver(msg Msg) {
 	case msg.Epoch < m.epoch:
 		m.dropped++
 		m.mu.Unlock()
-		return // stale epoch: discard (paper §IV-D)
+		msg.Release() // stale epoch: discard (paper §IV-D)
+		return
 	case msg.Epoch > m.epoch:
 		m.future = append(m.future, msg)
 		m.mu.Unlock()
@@ -106,10 +107,12 @@ func (m *Matcher) deliver(msg Msg) {
 func (m *Matcher) matchOrQueueLocked(msg Msg) {
 	if m.dedup && msg.Seq != 0 {
 		if int(msg.Src) < 0 || int(msg.Src) >= len(m.seen) {
-			return // malformed source on a sequenced message
+			msg.Release() // malformed source on a sequenced message
+			return
 		}
 		if msg.Seq <= m.seen[msg.Src] {
 			m.dupSuppressed++
+			msg.Release()
 			return
 		}
 		m.seen[msg.Src] = msg.Seq
@@ -196,15 +199,67 @@ func (p *Pending) Await(cancel <-chan struct{}) (Msg, error) {
 	}
 }
 
+// reqPool recycles posted-receive records — and their one-slot reply
+// channels — for the blocking Recv fast path. A record is recycled
+// only once it is provably unreferenced: matched (removed from pending
+// by the demux) or cancelled (removed here under the lock, reply
+// drained). The close path leaks its record to the GC instead:
+// AdvanceEpoch does not check closed, so a recycled record could
+// otherwise receive a stray late message.
+var reqPool = sync.Pool{New: func() any { return &recvReq{reply: make(chan Msg, 1)} }}
+
 // Recv blocks until a message matching (ctx, src, tag) arrives, the
 // cancel channel fires, or the matcher closes. src may be AnySource
-// and tag may be AnyTag.
+// and tag may be AnyTag. This is the runtime's innermost receive: it
+// bypasses the Pending wrapper and reuses request records, so a
+// matched receive performs no allocation.
 func (m *Matcher) Recv(ctx uint32, src, tag int32, cancel <-chan struct{}) (Msg, error) {
-	p, err := m.PostRecv(ctx, src, tag)
-	if err != nil {
-		return Msg{}, err
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Msg{}, ErrMatcherClosed
 	}
-	return p.Await(cancel)
+	probe := recvReq{ctx: ctx, src: src, tag: tag}
+	for i, msg := range m.unexpected {
+		if reqMatches(&probe, msg) {
+			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
+			m.delivered++
+			m.mu.Unlock()
+			return msg, nil
+		}
+	}
+	req := reqPool.Get().(*recvReq)
+	req.ctx, req.src, req.tag, req.cancelled = ctx, src, tag, false
+	m.pending = append(m.pending, req)
+	m.mu.Unlock()
+
+	select {
+	case msg := <-req.reply:
+		reqPool.Put(req)
+		return msg, nil
+	case <-cancel:
+		m.mu.Lock()
+		for i, r := range m.pending {
+			if r == req {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		// The demux may have matched concurrently (it sends under the
+		// lock we now hold); prefer the message.
+		select {
+		case msg := <-req.reply:
+			m.mu.Unlock()
+			reqPool.Put(req)
+			return msg, nil
+		default:
+		}
+		m.mu.Unlock()
+		reqPool.Put(req)
+		return Msg{}, ErrCancelled
+	case <-m.closeCh:
+		return Msg{}, ErrMatcherClosed
+	}
 }
 
 // TryRecv performs a non-blocking matched receive from the unexpected
@@ -235,6 +290,12 @@ func (m *Matcher) Epoch() uint32 {
 // previous epochs) and buffered future messages at exactly e are
 // re-delivered.
 func (m *Matcher) AdvanceEpoch(e uint32) {
+	// An epoch fence is an explicit flush boundary for batching
+	// transports: everything queued for the old epoch goes to the wire
+	// before we start filtering against the new one.
+	if f, ok := m.ep.(Flusher); ok {
+		f.FlushBarrier()
+	}
 	m.mu.Lock()
 	if e <= m.epoch {
 		m.mu.Unlock()
@@ -243,6 +304,9 @@ func (m *Matcher) AdvanceEpoch(e uint32) {
 	m.epoch = e
 	// All unexpected messages necessarily have epoch < e: discard.
 	m.dropped += uint64(len(m.unexpected))
+	for i := range m.unexpected {
+		m.unexpected[i].Release()
+	}
 	m.unexpected = nil
 	flush := m.future
 	m.future = nil
@@ -251,6 +315,7 @@ func (m *Matcher) AdvanceEpoch(e uint32) {
 		switch {
 		case msg.Epoch < e:
 			m.dropped++
+			msg.Release()
 		case msg.Epoch > e:
 			still = append(still, msg)
 		default:
@@ -329,6 +394,8 @@ func (m *Matcher) ResetSeen() {
 	for _, msg := range m.unexpected {
 		if msg.Seq == 0 {
 			keep = append(keep, msg)
+		} else {
+			msg.Release()
 		}
 	}
 	m.unexpected = keep

@@ -7,6 +7,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"fmi/internal/bufpool"
 )
 
 // TCPNetwork is a Network over real TCP sockets on loopback, built on
@@ -39,6 +43,7 @@ func (n *TCPNetwork) NewEndpoint(die <-chan struct{}) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	ep := &tcpEndpoint{
+		opts:     n.opts,
 		addr:     Addr(l.Addr().String()),
 		listener: l,
 		inbox:    make(chan Msg, n.opts.inboxCap()),
@@ -60,6 +65,7 @@ func (n *TCPNetwork) NewEndpoint(die <-chan struct{}) (Endpoint, error) {
 }
 
 type tcpEndpoint struct {
+	opts     Options
 	addr     Addr
 	listener net.Listener
 	inbox    chan Msg
@@ -73,10 +79,43 @@ type tcpEndpoint struct {
 	readers  sync.WaitGroup
 }
 
+// msgConnQCap bounds the per-connection outbound queue; a full queue
+// applies backpressure to senders, mirroring a full NIC send queue.
+const msgConnQCap = 256
+
+// msgConn is the message plane to one peer: a socket plus a dedicated
+// writer goroutine that coalesces queued frames into one buffered
+// flush (one syscall) instead of a write+flush per Send. hdr is the
+// connection-scoped header scratch, touched only by the writer
+// goroutine, so frame encoding allocates nothing.
 type msgConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	c net.Conn
+	w *bufio.Writer
+
+	q        chan Msg
+	pending  atomic.Int64 // frames enqueued but not yet flushed to the socket
+	deadOnce sync.Once
+	dead     chan struct{}
+
+	hdr [frameHeaderSize]byte // writer-goroutine-only
+}
+
+func (mc *msgConn) kill() {
+	mc.deadOnce.Do(func() { close(mc.dead) })
+}
+
+// drainQ recycles frames stranded in the queue after the connection
+// died (they are lost on the wire; PSM semantics drop them silently).
+func (mc *msgConn) drainQ() {
+	for {
+		select {
+		case m := <-mc.q:
+			m.Release()
+			mc.pending.Add(-1)
+		default:
+			return
+		}
+	}
 }
 
 func (ep *tcpEndpoint) Addr() Addr          { return ep.addr }
@@ -144,20 +183,25 @@ func (ep *tcpEndpoint) msgReadLoop(c net.Conn) {
 	defer c.Close()
 	r := bufio.NewReader(c)
 	for {
-		m, err := readFrame(r)
+		m, err := readFrame(r, ep.opts.Pool)
 		if err != nil {
 			return
 		}
 		select {
 		case ep.inbox <- m:
 		case <-ep.dead:
+			m.Release()
 			return
 		}
 	}
 }
 
-// Send writes m to the peer's message plane, dialing lazily. Errors
-// from dead peers cause a silent drop, matching PSM semantics.
+// Send queues m for the peer's message plane, dialing lazily. The
+// connection's writer goroutine encodes and flushes asynchronously,
+// coalescing bursts of frames into a single flush; write errors from
+// dead peers tear the connection down silently, matching PSM
+// semantics. The payload is copied into a pooled buffer at enqueue
+// (eager-send: the caller may reuse its buffer once Send returns).
 func (ep *tcpEndpoint) Send(to Addr, m Msg) error {
 	if ep.isDead() {
 		return ErrClosed
@@ -166,16 +210,104 @@ func (ep *tcpEndpoint) Send(to Addr, m Msg) error {
 	if err != nil {
 		return nil // unreachable: drop
 	}
-	mc.mu.Lock()
-	err = writeFrame(mc.w, m)
-	if err == nil {
-		err = mc.w.Flush()
+	if len(m.Data) > 0 {
+		cp := ep.opts.Pool.Get(len(m.Data))
+		copy(cp, m.Data)
+		m.Data = cp
+		m.pool = ep.opts.Pool
 	}
-	mc.mu.Unlock()
-	if err != nil {
+	mc.pending.Add(1)
+	select {
+	case mc.q <- m:
+		return nil
+	case <-mc.dead:
+		m.Release() // connection died under us: drop
+		mc.pending.Add(-1)
+		return nil
+	case <-ep.dead:
+		m.Release()
+		mc.pending.Add(-1)
+		return ErrClosed
+	}
+}
+
+// writeLoop is the connection's writer goroutine: it dequeues frames,
+// encodes them through the shared bufio.Writer using the conn-scoped
+// header scratch, and flushes only when the queue goes momentarily
+// idle — so a burst of k sends costs one flush, while a lone send
+// still hits the wire immediately (no added latency, which also keeps
+// collectives deadlock-free: a frame a peer is blocked on is never
+// held back waiting for more traffic).
+func (ep *tcpEndpoint) writeLoop(to Addr, mc *msgConn) {
+	fail := func() {
 		ep.dropMsgConn(to, mc)
+		mc.drainQ()
 	}
-	return nil
+	for {
+		select {
+		case m := <-mc.q:
+			batch := int64(1)
+			if err := mc.writeOne(m); err != nil {
+				mc.pending.Add(-batch)
+				fail()
+				return
+			}
+		coalesce:
+			for {
+				select {
+				case m = <-mc.q:
+					batch++
+					if err := mc.writeOne(m); err != nil {
+						mc.pending.Add(-batch)
+						fail()
+						return
+					}
+				default:
+					break coalesce
+				}
+			}
+			err := mc.w.Flush()
+			mc.pending.Add(-batch)
+			if err != nil {
+				fail()
+				return
+			}
+		case <-mc.dead:
+			mc.drainQ()
+			return
+		case <-ep.dead:
+			mc.drainQ()
+			return
+		}
+	}
+}
+
+// writeOne encodes m into the buffered writer and recycles the pooled
+// payload copy.
+func (mc *msgConn) writeOne(m Msg) error {
+	err := writeFrame(mc.w, &mc.hdr, m)
+	m.Release()
+	return err
+}
+
+// FlushBarrier blocks until every queued outbound frame has been
+// flushed to its socket (or the endpoint/conn died), bounded by a
+// short timeout so a wedged peer cannot stall an epoch fence. The
+// matcher calls this at AdvanceEpoch: an epoch fence is an explicit
+// flush boundary for the batched writers.
+func (ep *tcpEndpoint) FlushBarrier() {
+	ep.mu.Lock()
+	conns := make([]*msgConn, 0, len(ep.msgConns))
+	for _, mc := range ep.msgConns {
+		conns = append(conns, mc)
+	}
+	ep.mu.Unlock()
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for _, mc := range conns {
+		for mc.pending.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
 }
 
 func (ep *tcpEndpoint) getMsgConn(to Addr) (*msgConn, error) {
@@ -195,19 +327,22 @@ func (ep *tcpEndpoint) getMsgConn(to Addr) (*msgConn, error) {
 		c.Close()
 		return nil, err
 	}
-	mc := &msgConn{c: c, w: w}
+	mc := &msgConn{c: c, w: w, q: make(chan Msg, msgConnQCap), dead: make(chan struct{})}
 
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
 	if ep.isDead() {
+		ep.mu.Unlock()
 		c.Close()
 		return nil, ErrClosed
 	}
 	if prev, ok := ep.msgConns[to]; ok { // lost a race; reuse winner
+		ep.mu.Unlock()
 		c.Close()
 		return prev, nil
 	}
 	ep.msgConns[to] = mc
+	ep.mu.Unlock()
+	go ep.writeLoop(to, mc)
 	return mc, nil
 }
 
@@ -217,6 +352,7 @@ func (ep *tcpEndpoint) dropMsgConn(to Addr, mc *msgConn) {
 		delete(ep.msgConns, to)
 	}
 	ep.mu.Unlock()
+	mc.kill()
 	mc.c.Close()
 }
 
@@ -260,6 +396,7 @@ func (ep *tcpEndpoint) Close() error {
 
 		ep.listener.Close()
 		for _, mc := range msgConns {
+			mc.kill()
 			mc.c.Close()
 		}
 		for _, tc := range conns {
@@ -313,8 +450,9 @@ func (c *tcpConn) fire() {
 // u32 ctx | u32 epoch | u64 seq | data. All little-endian.
 const frameHeaderSize = 4 + 1 + 1 + 4 + 4 + 4 + 4 + 8
 
-func writeFrame(w *bufio.Writer, m Msg) error {
-	var hdr [frameHeaderSize]byte
+// writeFrame encodes m through hdr, the caller-owned header scratch
+// (connection-scoped on the send path — no per-frame allocation).
+func writeFrame(w *bufio.Writer, hdr *[frameHeaderSize]byte, m Msg) error {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Data)))
 	hdr[4] = m.Kind
 	hdr[5] = m.Flags
@@ -330,7 +468,10 @@ func writeFrame(w *bufio.Writer, m Msg) error {
 	return err
 }
 
-func readFrame(r *bufio.Reader) (Msg, error) {
+// readFrame decodes one frame, drawing the payload buffer from pool
+// (nil pool = plain make). The returned Msg carries the pool so the
+// consumer can recycle the buffer with Release.
+func readFrame(r *bufio.Reader, pool *bufpool.Arena) (Msg, error) {
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Msg{}, err
@@ -346,8 +487,10 @@ func readFrame(r *bufio.Reader) (Msg, error) {
 		Seq:   binary.LittleEndian.Uint64(hdr[22:]),
 	}
 	if n > 0 {
-		m.Data = make([]byte, n)
+		m.Data = pool.Get(int(n))
+		m.pool = pool
 		if _, err := io.ReadFull(r, m.Data); err != nil {
+			m.Release()
 			return Msg{}, err
 		}
 	}

@@ -26,6 +26,8 @@ package transport
 import (
 	"errors"
 	"time"
+
+	"fmi/internal/bufpool"
 )
 
 // Addr identifies an endpoint. For ChanNetwork it is a synthetic id;
@@ -68,6 +70,38 @@ type Msg struct {
 	Kind  byte
 	Flags byte
 	Data  []byte
+
+	// pool, when non-nil, is the arena that owns Data. The transport
+	// stamps it on the frame copy it makes at Send (chan) or read
+	// (TCP); whoever consumes the message must end its lifecycle with
+	// exactly one Release (recycle) or Detach (keep the bytes).
+	pool *bufpool.Arena
+}
+
+// Release returns the message's pooled payload to its arena. Callers
+// must not touch m.Data afterwards. Safe on unpooled messages (no-op).
+// Call it at every point a received or queued message is consumed and
+// its bytes are NOT retained: drops, duplicate suppression, reduction
+// folds, sync-barrier payloads.
+func (m *Msg) Release() {
+	if m.pool != nil {
+		m.pool.Put(m.Data)
+		m.pool = nil
+		m.Data = nil
+	}
+}
+
+// Detach surrenders the payload to the caller: the buffer permanently
+// leaves the arena economy (it will be garbage-collected, never
+// reused) and is safe to retain forever. Returns m.Data. Use it when
+// a payload escapes to application code or long-lived runtime state.
+func (m *Msg) Detach() []byte {
+	d := m.Data
+	if m.pool != nil {
+		m.pool.Detach(d)
+		m.pool = nil
+	}
+	return d
 }
 
 // Errors returned by transports.
@@ -97,6 +131,10 @@ type Options struct {
 	// InboxCap is the buffered capacity of an endpoint inbox
 	// (0 means a default of 4096).
 	InboxCap int
+	// Pool, when non-nil, supplies the buffer arena for frame payload
+	// copies (chan Send) and frame reads (TCP). nil disables pooling:
+	// every frame allocates, messages never need releasing.
+	Pool *bufpool.Arena
 }
 
 func (o Options) inboxCap() int {
@@ -141,6 +179,16 @@ type Endpoint interface {
 	Accept() <-chan Conn
 	// Close shuts the endpoint down gracefully.
 	Close() error
+}
+
+// Flusher is optionally implemented by endpoints whose send path
+// batches frames (TCPNetwork's coalescing writer). FlushBarrier
+// blocks — bounded by a short internal timeout — until queued
+// outbound frames have reached the wire. The Matcher invokes it at
+// every epoch fence (AdvanceEpoch), making fences explicit flush
+// boundaries.
+type Flusher interface {
+	FlushBarrier()
 }
 
 // Network creates endpoints. die, if non-nil, kills the endpoint

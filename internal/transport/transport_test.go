@@ -342,11 +342,12 @@ func TestFrameCodecRoundtrip(t *testing.T) {
 	for i, m := range cases {
 		var buf bytes.Buffer
 		w := newTestWriter(&buf)
-		if err := writeFrame(w, m); err != nil {
+		var hdr [frameHeaderSize]byte
+		if err := writeFrame(w, &hdr, m); err != nil {
 			t.Fatal(err)
 		}
 		w.Flush()
-		got, err := readFrame(newTestReader(&buf))
+		got, err := readFrame(newTestReader(&buf), nil)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}

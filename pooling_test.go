@@ -1,0 +1,154 @@
+package fmi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// poolParityApp runs a mixed workload over every hot path the arena
+// touches — p2p sendrecv, collectives (packed multi-block steps
+// included), and checkpointing — and records each rank's final state
+// bytes so modes can be compared byte for byte.
+func poolParityApp(iters int, results *sync.Map) App {
+	return func(env *Env) error {
+		state := make([]byte, 64)
+		world := env.World()
+		n := env.Size()
+		for {
+			id := env.Loop(state)
+			if id >= iters {
+				break
+			}
+			// p2p ring exchange.
+			right := (env.Rank() + 1) % n
+			left := (env.Rank() - 1 + n) % n
+			out := make([]byte, 8)
+			binary.LittleEndian.PutUint64(out, uint64(id*131+env.Rank()))
+			got, err := world.Sendrecv(right, 7, out, left, 7)
+			if err != nil {
+				continue
+			}
+			// Collectives: allreduce + allgather (ring algo packs slices).
+			sum, err := AllreduceInt64(world, SumInt64(), int64(id+env.Rank()))
+			if err != nil {
+				continue
+			}
+			parts, err := world.Allgather(got)
+			if err != nil {
+				continue
+			}
+			h := uint64(0)
+			for _, p := range parts {
+				h = h*1099511628211 + binary.LittleEndian.Uint64(p)
+			}
+			acc := binary.LittleEndian.Uint64(state[0:]) + uint64(sum[0]) + h
+			binary.LittleEndian.PutUint64(state[0:], acc)
+			binary.LittleEndian.PutUint64(state[8:], uint64(id+1))
+		}
+		results.Store(env.Rank(), append([]byte(nil), state...))
+		return env.Finalize()
+	}
+}
+
+// TestPoolingModesByteIdentical proves the acceptance property that
+// pooling only changes where buffers come from: the same job produces
+// byte-identical per-rank final state with the arena on, off, and in
+// debug (leak-checking) mode, with and without an injected failure.
+func TestPoolingModesByteIdentical(t *testing.T) {
+	for _, fault := range []bool{false, true} {
+		fault := fault
+		t.Run(fmt.Sprintf("fault=%v", fault), func(t *testing.T) {
+			var want map[int][]byte
+			for _, mode := range []PoolingMode{PoolingOn, PoolingOff, PoolingDebug} {
+				cfg := fastCfg(8, 2, 1, 2)
+				cfg.Pooling = mode
+				if fault {
+					cfg.Faults = &FaultPlan{Script: []Fault{{AfterLoop: 3, Node: -1, Rank: 5}}}
+				}
+				var results sync.Map
+				if _, err := Run(cfg, poolParityApp(7, &results)); err != nil {
+					t.Fatalf("mode %d: Run: %v", mode, err)
+				}
+				got := map[int][]byte{}
+				results.Range(func(k, v any) bool {
+					got[k.(int)] = v.([]byte)
+					return true
+				})
+				if len(got) != 8 {
+					t.Fatalf("mode %d: %d results, want 8", mode, len(got))
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				for r, w := range want {
+					if !bytes.Equal(got[r], w) {
+						t.Errorf("mode %d: rank %d state %x, want %x", mode, r, got[r], w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPoolingLocalRecovery exercises the arena under the sender-based
+// logging protocol (replay, ride-through, re-executed checkpoint
+// exchange) — the paths with the trickiest buffer ownership.
+func TestPoolingLocalRecovery(t *testing.T) {
+	for _, mode := range []PoolingMode{PoolingOn, PoolingDebug} {
+		cfg := fastCfg(8, 2, 1, 2)
+		cfg.Recovery = "local"
+		cfg.Pooling = mode
+		cfg.Faults = &FaultPlan{Script: []Fault{{AfterLoop: 4, Node: -1, Rank: 3}}}
+		var results sync.Map
+		rep, err := Run(cfg, iterApp(10, &results))
+		if err != nil {
+			t.Fatalf("mode %d: Run: %v", mode, err)
+		}
+		if rep.Recoveries == 0 {
+			t.Fatalf("mode %d: no recovery happened", mode)
+		}
+		want := expectedIterSum(8, 10)
+		results.Range(func(k, v any) bool {
+			if v.(int64) != want {
+				t.Errorf("mode %d: rank %v: %d, want %d", mode, k, v, want)
+			}
+			return true
+		})
+	}
+}
+
+// TestPoolingDebugRS runs Reed-Solomon group redundancy under the
+// debug arena: the pipelined MulAddRowInto encode and RecoverInto
+// reconstruction must balance every chunk they consume.
+func TestPoolingDebugRS(t *testing.T) {
+	cfg := Config{
+		Ranks: 8, ProcsPerNode: 1, SpareNodes: 2,
+		CheckpointInterval: 2, XORGroupSize: 4, Redundancy: 2,
+		DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond,
+		Timeout: 60 * time.Second,
+		Pooling: PoolingDebug,
+		Faults: &FaultPlan{Script: []Fault{
+			{AfterLoop: 3, Node: -1, Rank: 1, CorrelatedRanks: []int{5}},
+		}},
+	}
+	var results sync.Map
+	rep, err := Run(cfg, iterApp(8, &results))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Recoveries == 0 {
+		t.Fatal("no recovery happened")
+	}
+	want := expectedIterSum(8, 8)
+	results.Range(func(k, v any) bool {
+		if v.(int64) != want {
+			t.Errorf("rank %v: %d, want %d", k, v, want)
+		}
+		return true
+	})
+}
