@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet lint bench-erasure bench-smoke bench-hotpath all
+.PHONY: tier1 build test race vet lint bench-erasure bench-smoke bench-hotpath bench-serve all
 
 all: tier1 vet lint
 
@@ -15,7 +15,7 @@ test:
 
 # Race-detect the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ ./internal/bufpool/ .
+	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ ./internal/bufpool/ ./internal/serve/ .
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,13 @@ bench-erasure:
 # BENCH_hotpath.json (the checked-in copy documents the win).
 bench-hotpath:
 	$(GO) run ./cmd/fmibench -out BENCH_hotpath.json hotpath
+
+# Multi-tenant job-service benchmark: per-tenant p50/p99 submit-to-
+# complete latency with Poisson kills aimed at the noisy tenants vs a
+# failure-free baseline, written to BENCH_serve.json (the checked-in
+# copy documents the cross-tenant isolation).
+bench-serve:
+	$(GO) run ./cmd/fmibench -out BENCH_serve.json serve
 
 # One pass over every benchmark as a smoke test (CI runs this; real
 # measurements want more iterations and an idle machine).

@@ -11,7 +11,7 @@
 //
 // Experiments: table3, fig10, fig11, fig12, fig13, fig14, fig15,
 // fig15-sweep, ablate-k, ablate-group, erasure, msglog, coll, hotpath,
-// all.
+// serve, all.
 package main
 
 import (
@@ -39,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|hotpath|all>")
+		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|hotpath|serve|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -183,6 +183,29 @@ func main() {
 				fatalIf(err)
 				fatalIf(os.WriteFile(*outPath, doc, 0o644))
 			}
+		case "serve":
+			// Multi-tenant job service (ISSUE 6): N tenants x M jobs on
+			// one shared cluster + spare pool, Poisson kills aimed at
+			// the noisy tenants, p50/p99 submit-to-complete latency per
+			// tenant against a failure-free baseline. The headline is
+			// the quiet tenant's p99 inflation — how much recovery
+			// traffic bleeds across tenants.
+			scfg := experiments.DefaultServeExpConfig()
+			if *quick {
+				scfg.Tenants, scfg.JobsPerTenant = 2, 3
+				scfg.Iters, scfg.StepMs = 5, 5
+				// Short jobs need a hotter injector for kills to land
+				// inside the run window.
+				scfg.FailureRate = 50
+			}
+			sres, err := experiments.ServeExp(scfg)
+			fatalIf(err)
+			experiments.PrintServeExp(os.Stdout, scfg, sres)
+			if *outPath != "" {
+				doc, err := experiments.ServeExpJSON(scfg, sres)
+				fatalIf(err)
+				fatalIf(os.WriteFile(*outPath, doc, 0o644))
+			}
 		case "erasure":
 			// Redundancy sweep (§VIII extension): ring-XOR m=1 against
 			// RS(k,m) for m in {2,3} over one group, then the raw
@@ -206,7 +229,7 @@ func main() {
 	}
 
 	if which == "all" {
-		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll", "hotpath"} {
+		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll", "hotpath", "serve"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,212 @@
+// fmiserve runs the multi-tenant FMI job service: an HTTP/JSON
+// control plane multiplexing many concurrent fault-tolerant jobs onto
+// one shared simulated cluster with a shared spare-node pool.
+//
+// Usage:
+//
+//	fmiserve [flags]            serve until interrupted
+//	fmiserve -smoke             self-test: boot, drive the API, exit
+//
+// The API:
+//
+//	POST /jobs            submit  {"tenant":"a","app":"allreduce","ranks":8}
+//	GET  /jobs/{id}       status
+//	GET  /jobs/{id}/trace recovery timeline, streamed as NDJSON
+//	POST /jobs/{id}/kill  fail the node under a rank (needs -allow-kill)
+//	GET  /stats           service-wide counters
+//	GET  /healthz         liveness
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fmi/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		compute    = flag.Int("compute", 16, "compute nodes in the shared cluster")
+		spares     = flag.Int("spares", 8, "spare nodes in the shared pool")
+		queueDepth = flag.Int("queue-depth", 16, "per-tenant pending queue bound")
+		maxRunning = flag.Int("max-running", 4, "per-tenant concurrent job cap")
+		maxSpares  = flag.Int("max-spares", 4, "per-tenant outstanding lease cap")
+		floor      = flag.Int("spare-floor", 2, "spare reserve kept for lease-free tenants")
+		jobTimeout = flag.Duration("job-timeout", 60*time.Second, "default per-job timeout")
+		allowKill  = flag.Bool("allow-kill", false, "enable POST /jobs/{id}/kill fault injection")
+		smoke      = flag.Bool("smoke", false, "boot, drive the API end to end, exit")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		ComputeNodes:        *compute,
+		SpareNodes:          *spares,
+		QueueDepth:          *queueDepth,
+		MaxRunningPerTenant: *maxRunning,
+		MaxSparesPerTenant:  *maxSpares,
+		SpareFloor:          *floor,
+		JobTimeout:          *jobTimeout,
+		AllowKill:           *allowKill || *smoke,
+	}
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fmiserve smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("fmiserve smoke: OK")
+		return
+	}
+
+	s := serve.New(cfg)
+	bound, err := s.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fmiserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fmiserve listening on %s (%d compute, %d spare nodes; apps: %v)\n",
+		bound, *compute, *spares, serve.Apps())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("fmiserve: shutting down")
+	s.Close()
+}
+
+// runSmoke boots a server on a free port and drives the full API the
+// way CI does: two tenants submit concurrently, a node is killed under
+// one of them, both jobs must complete, and /stats must parse.
+func runSmoke(cfg serve.Config) error {
+	s := serve.New(cfg)
+	defer s.Close()
+	bound, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	base := "http://" + bound.String()
+
+	submit := func(spec serve.JobSpec) (string, error) {
+		b, _ := json.Marshal(spec)
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return "", err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 202 {
+			return "", fmt.Errorf("submit: %d %s", resp.StatusCode, body)
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			return "", err
+		}
+		return out.ID, nil
+	}
+	status := func(id string) (serve.JobStatus, error) {
+		var st serve.JobStatus
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return st, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return st, fmt.Errorf("status: %d %s", resp.StatusCode, body)
+		}
+		return st, json.Unmarshal(body, &st)
+	}
+
+	idA, err := submit(serve.JobSpec{Tenant: "smoke-a", App: "allreduce", Ranks: 4, Iters: 8, Interval: 2, StepMs: 10})
+	if err != nil {
+		return err
+	}
+	idB, err := submit(serve.JobSpec{Tenant: "smoke-b", App: "pingpong", Ranks: 4, Iters: 8, StepMs: 10})
+	if err != nil {
+		return err
+	}
+
+	// Wait for job A to run, then kill the node under its rank 1.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st, err := status(idA)
+		if err != nil {
+			return err
+		}
+		if st.State == "running" {
+			break
+		}
+		if st.State != "queued" || time.Now().After(deadline) {
+			return fmt.Errorf("job A never ran: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	kb, _ := json.Marshal(map[string]int{"rank": 1})
+	kresp, err := http.Post(base+"/jobs/"+idA+"/kill", "application/json", bytes.NewReader(kb))
+	if err != nil {
+		return err
+	}
+	kbody, _ := io.ReadAll(kresp.Body)
+	kresp.Body.Close()
+	if kresp.StatusCode != 200 {
+		return fmt.Errorf("kill: %d %s", kresp.StatusCode, kbody)
+	}
+
+	// Both jobs must complete despite the kill.
+	for _, id := range []string{idA, idB} {
+		for {
+			st, err := status(id)
+			if err != nil {
+				return err
+			}
+			if st.State == "done" {
+				if id == idA && st.Epochs == 0 {
+					return fmt.Errorf("job A finished without recovering: %+v", st)
+				}
+				break
+			}
+			if st.State == "failed" {
+				return fmt.Errorf("job %s failed: %s", id, st.Err)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s stuck: %+v", id, st)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// /stats must be well-formed JSON reflecting both tenants.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("stats: %d", resp.StatusCode)
+	}
+	var stats serve.ServerStats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		return fmt.Errorf("stats not valid JSON: %v\n%s", err, body)
+	}
+	for _, tn := range []string{"smoke-a", "smoke-b"} {
+		if stats.Tenants[tn].Completed != 1 {
+			return fmt.Errorf("tenant %s stats: %+v", tn, stats.Tenants[tn])
+		}
+	}
+	if stats.Spares.Granted == 0 {
+		return fmt.Errorf("no spare lease recorded: %+v", stats.Spares)
+	}
+	fmt.Printf("smoke: A recovered (epochs>0), B clean; spares granted=%d reclaimed=%d\n",
+		stats.Spares.Granted, stats.Spares.Reclaimed)
+	return nil
+}

@@ -22,8 +22,15 @@ type ResourceManager struct {
 	spares         []*Node
 	ProvisionDelay time.Duration // wait simulated when the pool is empty
 	Provision      bool          // whether new nodes may be created on demand
+	// WaitForSpare makes Allocate block on an empty pool until AddSpare
+	// delivers a node (or cancel fires) instead of provisioning a new
+	// one. This is the lease path of an external spare broker (the
+	// fmiserve job service): the manager never creates capacity itself;
+	// it waits for the broker to inject a leased node.
+	WaitForSpare bool
 
-	allocated int // nodes handed out (spares + provisioned)
+	allocated int           // nodes handed out (spares + provisioned)
+	arrival   chan struct{} // closed and replaced on every AddSpare
 }
 
 // NewResourceManager creates a resource manager over c with the given
@@ -33,6 +40,7 @@ func NewResourceManager(c *Cluster, spares []*Node) *ResourceManager {
 		cluster:   c,
 		spares:    append([]*Node{}, spares...),
 		Provision: true,
+		arrival:   make(chan struct{}),
 	}
 }
 
@@ -56,11 +64,14 @@ func (rm *ResourceManager) Allocated() int {
 	return rm.allocated
 }
 
-// AddSpare returns a node to the spare pool (dynamic join).
+// AddSpare returns a node to the spare pool (dynamic join) and wakes
+// any Allocate call waiting for one.
 func (rm *ResourceManager) AddSpare(nd *Node) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
 	rm.spares = append(rm.spares, nd)
+	close(rm.arrival)
+	rm.arrival = make(chan struct{})
 }
 
 // TryAllocate hands out one healthy spare without blocking. It returns
@@ -90,8 +101,26 @@ func (rm *ResourceManager) Allocate(cancel <-chan struct{}) (*Node, error) {
 		return nd, nil
 	}
 	rm.mu.Lock()
-	provision, delay := rm.Provision, rm.ProvisionDelay
+	provision, delay, wait := rm.Provision, rm.ProvisionDelay, rm.WaitForSpare
 	rm.mu.Unlock()
+	if wait {
+		// Lease path: block until an external broker injects a spare
+		// via AddSpare. Several allocations may race for one arrival;
+		// losers go back to waiting for the next.
+		for {
+			rm.mu.Lock()
+			arrival := rm.arrival
+			rm.mu.Unlock()
+			if nd, err := rm.TryAllocate(); err == nil {
+				return nd, nil
+			}
+			select {
+			case <-arrival:
+			case <-cancel:
+				return nil, errors.New("cluster: allocation cancelled")
+			}
+		}
+	}
 	if !provision {
 		return nil, ErrNoNodes
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -81,9 +82,14 @@ func (p *Proc) Loop(segs [][]byte) int {
 }
 
 // fatal reports an unrecoverable condition and waits for the manager
-// to kill the job.
+// to kill the job. A kill-cancelled epoch wait (the error wraps
+// ErrKilled) is this process dying, not a job failure: unwind without
+// aborting the job, exactly like every other blocking call observing
+// KillCh.
 func (p *Proc) fatal(err error) {
-	p.cfg.Ctl.Abort(err)
+	if !errors.Is(err, ErrKilled) {
+		p.cfg.Ctl.Abort(err)
+	}
 	<-p.cfg.KillCh
 	panic(procKilledPanic{})
 }

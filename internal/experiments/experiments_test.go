@@ -318,3 +318,42 @@ func TestAblateK(t *testing.T) {
 		t.Fatal("printer broken")
 	}
 }
+
+func TestServeExpSmall(t *testing.T) {
+	cfg := DefaultServeExpConfig()
+	cfg.Tenants, cfg.JobsPerTenant = 2, 2
+	cfg.Iters, cfg.StepMs = 4, 5
+	cfg.FailureRate = 20
+	res, err := ServeExp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pass := range [][]ServeTenantRow{res.Baseline, res.Faulted} {
+		if len(pass) != cfg.Tenants {
+			t.Fatalf("pass has %d rows, want %d", len(pass), cfg.Tenants)
+		}
+		for _, row := range pass {
+			if row.Jobs != cfg.JobsPerTenant || row.Failed != 0 {
+				t.Fatalf("tenant %s: %+v, want %d clean jobs", row.Tenant, row, cfg.JobsPerTenant)
+			}
+			if row.P50Ms <= 0 || row.P99Ms < row.P50Ms {
+				t.Fatalf("tenant %s: bad percentiles %+v", row.Tenant, row)
+			}
+		}
+	}
+	if quiet := res.Faulted[cfg.Tenants-1]; quiet.Noisy || quiet.Epochs != 0 {
+		t.Fatalf("quiet tenant saw recovery traffic: %+v", quiet)
+	}
+	doc, err := ServeExpJSON(cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(doc, []byte(`"quiet_p99_inflation"`)) {
+		t.Fatalf("JSON missing interference field:\n%s", doc)
+	}
+	var buf bytes.Buffer
+	PrintServeExp(&buf, cfg, res)
+	if !strings.Contains(buf.String(), "quiet-tenant p99 inflation") {
+		t.Fatalf("printer output missing headline:\n%s", buf.String())
+	}
+}

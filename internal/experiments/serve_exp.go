@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"fmi/internal/serve"
+)
+
+// Multi-tenant job-service experiment (ISSUE 6): N tenants each stream
+// M jobs through one shared serve.Server while a Poisson fault
+// injector kills nodes under the "noisy" tenants' running jobs. The
+// last tenant stays quiet — nobody shoots at it — so comparing its
+// submit-to-complete latency distribution against a failure-free
+// baseline run measures cross-tenant interference: how much of the
+// noisy tenants' recovery traffic (spare leases, respawns, queueing)
+// bleeds into a tenant that did nothing wrong.
+
+// ServeExpConfig sizes the experiment.
+type ServeExpConfig struct {
+	Tenants       int     `json:"tenants"`         // total tenants; the last is the quiet one
+	JobsPerTenant int     `json:"jobs_per_tenant"` // M jobs each tenant submits up front
+	Ranks         int     `json:"ranks"`           // ranks per job
+	Iters         int     `json:"iters"`           // iterations per job
+	StepMs        int     `json:"step_ms"`         // simulated compute per iteration
+	FailureRate   float64 `json:"failure_rate_hz"` // Poisson kill rate aimed at noisy tenants
+	Seed          int64   `json:"seed"`
+
+	Server serve.Config `json:"-"`
+}
+
+// DefaultServeExpConfig is sized so the full run (baseline + faulted)
+// finishes in a few seconds: three tenants, two of them under fire.
+func DefaultServeExpConfig() ServeExpConfig {
+	return ServeExpConfig{
+		Tenants:       3,
+		JobsPerTenant: 6,
+		Ranks:         4,
+		Iters:         8,
+		StepMs:        10,
+		FailureRate:   8,
+		Seed:          1,
+		Server: serve.Config{
+			ComputeNodes:        12,
+			SpareNodes:          6,
+			QueueDepth:          8,
+			MaxRunningPerTenant: 2,
+			MaxSparesPerTenant:  3,
+			SpareFloor:          1,
+			DetectDelay:         2 * time.Millisecond,
+			PropDelay:           time.Millisecond,
+			JobTimeout:          60 * time.Second,
+			AllowKill:           true,
+		},
+	}
+}
+
+// ServeTenantRow is one tenant's latency distribution in one pass.
+type ServeTenantRow struct {
+	Tenant     string  `json:"tenant"`
+	Noisy      bool    `json:"noisy"`
+	Jobs       int     `json:"jobs"`
+	Failed     int     `json:"failed"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Epochs     uint32  `json:"recovery_epochs"`
+	SparesUsed int     `json:"spares_used"`
+}
+
+// ServeExpResult pairs the faulted pass with its failure-free baseline.
+type ServeExpResult struct {
+	Baseline []ServeTenantRow `json:"baseline"`
+	Faulted  []ServeTenantRow `json:"faulted"`
+	Kills    int              `json:"kills_injected"`
+	// QuietInterference is quiet-tenant faulted p99 over baseline p99:
+	// 1.0 means the noisy tenants' failures cost the quiet tenant
+	// nothing at the tail.
+	QuietInterference float64 `json:"quiet_p99_inflation"`
+}
+
+// ServeExp runs the two passes and computes the interference ratio.
+func ServeExp(cfg ServeExpConfig) (ServeExpResult, error) {
+	if cfg.Tenants < 2 {
+		return ServeExpResult{}, fmt.Errorf("serve experiment needs >= 2 tenants (one must stay quiet)")
+	}
+	base, _, err := serveExpPass(cfg, 0)
+	if err != nil {
+		return ServeExpResult{}, fmt.Errorf("baseline pass: %w", err)
+	}
+	faulted, kills, err := serveExpPass(cfg, cfg.FailureRate)
+	if err != nil {
+		return ServeExpResult{}, fmt.Errorf("faulted pass: %w", err)
+	}
+	res := ServeExpResult{Baseline: base, Faulted: faulted, Kills: kills}
+	quiet := cfg.Tenants - 1
+	if base[quiet].P99Ms > 0 {
+		res.QuietInterference = faulted[quiet].P99Ms / base[quiet].P99Ms
+	}
+	return res, nil
+}
+
+// serveExpPass boots a fresh server, streams every tenant's jobs, and
+// (at rate > 0) runs the Poisson injector against the noisy tenants.
+func serveExpPass(cfg ServeExpConfig, rate float64) ([]ServeTenantRow, int, error) {
+	s := serve.New(cfg.Server)
+	defer s.Close()
+
+	// In-flight noisy job IDs, the injector's target list.
+	var tmu sync.Mutex
+	targets := map[string]bool{}
+	addTarget := func(id string) { tmu.Lock(); targets[id] = true; tmu.Unlock() }
+	dropTarget := func(id string) { tmu.Lock(); delete(targets, id); tmu.Unlock() }
+
+	kills := 0
+	stop := make(chan struct{})
+	var inj sync.WaitGroup
+	if rate > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		inj.Add(1)
+		go func() {
+			defer inj.Done()
+			for {
+				wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+				select {
+				case <-stop:
+					return
+				case <-time.After(wait):
+				}
+				tmu.Lock()
+				ids := make([]string, 0, len(targets))
+				for id := range targets {
+					ids = append(ids, id)
+				}
+				tmu.Unlock()
+				// One kill per Poisson event: queued (not yet running)
+				// jobs reject the kill, so walk the targets in random
+				// order until one lands. A killed job leaves the target
+				// list — at most one failure per job keeps the demand
+				// for spares below the per-tenant lease cap, so jobs
+				// recover instead of deadlocking against the broker.
+				for _, i := range rng.Perm(len(ids)) {
+					if _, err := s.KillRank(ids[i], rng.Intn(cfg.Ranks)); err == nil {
+						kills++
+						dropTarget(ids[i])
+						break
+					}
+				}
+			}
+		}()
+	}
+
+	type jobDone struct {
+		tenant int
+		ms     float64
+		st     serve.JobStatus
+		err    error
+	}
+	results := make(chan jobDone, cfg.Tenants*cfg.JobsPerTenant)
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		noisy := t < cfg.Tenants-1
+		name := fmt.Sprintf("noisy-%d", t)
+		if !noisy {
+			name = "quiet"
+		}
+		for j := 0; j < cfg.JobsPerTenant; j++ {
+			wg.Add(1)
+			go func(t int, name string, noisy bool) {
+				defer wg.Done()
+				start := time.Now()
+				id, err := s.Submit(serve.JobSpec{
+					Tenant: name, App: "allreduce",
+					Ranks: cfg.Ranks, Iters: cfg.Iters, StepMs: cfg.StepMs,
+				})
+				if err != nil {
+					results <- jobDone{tenant: t, err: err}
+					return
+				}
+				if noisy {
+					addTarget(id)
+					defer dropTarget(id)
+				}
+				st, err := s.Await(id, cfg.Server.JobTimeout+10*time.Second)
+				results <- jobDone{tenant: t, ms: float64(time.Since(start).Microseconds()) / 1000, st: st, err: err}
+			}(t, name, noisy)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	inj.Wait()
+	close(results)
+
+	rows := make([]ServeTenantRow, cfg.Tenants)
+	lat := make([][]float64, cfg.Tenants)
+	for t := range rows {
+		rows[t] = ServeTenantRow{Tenant: fmt.Sprintf("noisy-%d", t), Noisy: true}
+		if t == cfg.Tenants-1 {
+			rows[t].Tenant, rows[t].Noisy = "quiet", false
+		}
+	}
+	for r := range results {
+		row := &rows[r.tenant]
+		row.Jobs++
+		if r.err != nil || r.st.State != "done" {
+			row.Failed++
+			continue
+		}
+		lat[r.tenant] = append(lat[r.tenant], r.ms)
+		row.Epochs += r.st.Epochs
+		row.SparesUsed += r.st.SparesUsed
+	}
+	for t := range rows {
+		rows[t].P50Ms = percentile(lat[t], 50)
+		rows[t].P99Ms = percentile(lat[t], 99)
+	}
+	return rows, kills, nil
+}
+
+// percentile returns the pth percentile of xs (nearest-rank).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p/100*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+type serveExpReport struct {
+	Experiment string           `json:"experiment"`
+	Config     ServeExpConfig   `json:"config"`
+	Server     serveServerBrief `json:"server"`
+	Result     ServeExpResult   `json:"result"`
+}
+
+// serveServerBrief is the subset of serve.Config worth recording.
+type serveServerBrief struct {
+	ComputeNodes        int `json:"compute_nodes"`
+	SpareNodes          int `json:"spare_nodes"`
+	QueueDepth          int `json:"queue_depth"`
+	MaxRunningPerTenant int `json:"max_running_per_tenant"`
+	MaxSparesPerTenant  int `json:"max_spares_per_tenant"`
+	SpareFloor          int `json:"spare_floor"`
+}
+
+// ServeExpJSON renders the result as the BENCH_serve.json document.
+func ServeExpJSON(cfg ServeExpConfig, res ServeExpResult) ([]byte, error) {
+	doc, err := json.MarshalIndent(serveExpReport{
+		Experiment: "serve",
+		Config:     cfg,
+		Server: serveServerBrief{
+			ComputeNodes:        cfg.Server.ComputeNodes,
+			SpareNodes:          cfg.Server.SpareNodes,
+			QueueDepth:          cfg.Server.QueueDepth,
+			MaxRunningPerTenant: cfg.Server.MaxRunningPerTenant,
+			MaxSparesPerTenant:  cfg.Server.MaxSparesPerTenant,
+			SpareFloor:          cfg.Server.SpareFloor,
+		},
+		Result: res,
+	}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(doc, '\n'), nil
+}
+
+// PrintServeExp renders both passes side by side plus the headline
+// interference ratio.
+func PrintServeExp(w io.Writer, cfg ServeExpConfig, res ServeExpResult) {
+	fmt.Fprintf(w, "Multi-tenant job service: %d tenants x %d jobs (%d ranks, %d iters, %d ms/iter), Poisson kills at %.1f/s on noisy tenants\n",
+		cfg.Tenants, cfg.JobsPerTenant, cfg.Ranks, cfg.Iters, cfg.StepMs, cfg.FailureRate)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tenant\tpass\tjobs\tfailed\tp50 ms\tp99 ms\tepochs\tspares")
+	for i := range res.Baseline {
+		for _, pass := range []struct {
+			name string
+			row  ServeTenantRow
+		}{{"baseline", res.Baseline[i]}, {"faulted", res.Faulted[i]}} {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.1f\t%.1f\t%d\t%d\n",
+				pass.row.Tenant, pass.name, pass.row.Jobs, pass.row.Failed,
+				pass.row.P50Ms, pass.row.P99Ms, pass.row.Epochs, pass.row.SparesUsed)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "kills injected: %d; quiet-tenant p99 inflation: %.2fx (1.0 = zero cross-tenant interference)\n",
+		res.Kills, res.QuietInterference)
+}

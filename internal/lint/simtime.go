@@ -11,9 +11,11 @@ import (
 // queue (Options.MsgDelay, the FIFO-preserving per-message latency):
 // a direct time.Now/Sleep/After/NewTimer there couples the simulation
 // to the host scheduler and silently skews the measured recovery and
-// round-count figures. The trace, runtime, and transport packages are
-// allowlisted — they deliberately deal in wall-clock time (timeline
-// timestamps, job timeouts, and the delay queue's own implementation).
+// round-count figures. The trace, runtime, transport, and serve
+// packages are allowlisted — they deliberately deal in wall-clock time
+// (timeline timestamps, job timeouts, the delay queue's own
+// implementation, and the job service's HTTP deadlines, coarse clock,
+// and simulated per-iteration compute).
 var SimTime = &Analyzer{
 	Name: "simtime",
 	Doc:  "no direct wall-clock calls in the simulated-cluster and schedule packages",
@@ -24,7 +26,7 @@ var SimTime = &Analyzer{
 // simtimeAllow documents the deliberate exemptions.
 var (
 	simtimePkgs  = map[string]bool{"cluster": true, "coll": true}
-	simtimeAllow = map[string]bool{"trace": true, "runtime": true, "transport": true}
+	simtimeAllow = map[string]bool{"trace": true, "runtime": true, "transport": true, "serve": true}
 
 	forbiddenTimeFuncs = map[string]bool{
 		"Now": true, "Sleep": true, "After": true, "Tick": true,

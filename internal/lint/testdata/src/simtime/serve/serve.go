@@ -1,0 +1,22 @@
+// Package serve is allowlisted: the job service fronts the simulation
+// with a real HTTP control plane, so wall-clock reads (request
+// deadlines, the coarse clock, simulated per-iteration compute) are
+// deliberate and carry no want annotations.
+package serve
+
+import "time"
+
+// Deadline computes a request deadline from the wall clock; allowed.
+func Deadline() time.Time {
+	return time.Now().Add(time.Minute)
+}
+
+// Step simulates a tenant job's compute phase; allowed.
+func Step(ms int) {
+	time.Sleep(time.Duration(ms) * time.Millisecond)
+}
+
+// Clock runs a coarse-clock ticker; allowed.
+func Clock() *time.Ticker {
+	return time.NewTicker(time.Millisecond)
+}

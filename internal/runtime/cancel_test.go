@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fmi/internal/cluster"
+	"fmi/internal/core"
+)
+
+// TestDoneChannelCompletion pins the Done() contract on the success
+// path: open while the job runs, closed once every rank finished, and
+// Wait returns immediately afterwards.
+func TestDoneChannelCompletion(t *testing.T) {
+	var results sync.Map
+	gate := make(chan struct{})
+	app := func(p *core.Proc) error {
+		<-gate // hold the job open until the test has sampled Done
+		return checksumApp(3, &results)(p)
+	}
+	j, err := Launch(Config{
+		Ranks: 4, ProcsPerNode: 2, Interval: 2,
+		Network: fastNet(), Timeout: 20 * time.Second,
+	}, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+		t.Fatal("Done closed while ranks still running")
+	default:
+	}
+	close(gate)
+	select {
+	case <-j.Done():
+	case <-time.After(20 * time.Second):
+		t.Fatal("Done never closed")
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatalf("Wait after Done: %v", err)
+	}
+	checkResults(t, &results, 4, 3)
+}
+
+// TestDoneChannelAbort pins Done() on the abort path.
+func TestDoneChannelAbort(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	j, err := Launch(Config{
+		Ranks: 2, Interval: 2, Network: fastNet(), Timeout: 30 * time.Second,
+	}, func(p *core.Proc) error {
+		<-block
+		return p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	j.Abort(boom)
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done never closed after Abort")
+	}
+	if _, err := j.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want the abort error", err)
+	}
+}
+
+// TestAwaitEpochCancelSentinel pins the cancellation sentinel: a
+// cancelled epoch wait returns ErrEpochWaitCancelled — which wraps
+// core.ErrKilled so the rank runtime unwinds quietly — and is
+// distinguishable from a job-level abort.
+func TestAwaitEpochCancelSentinel(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	j, err := Launch(Config{
+		Ranks: 2, Interval: 2, Network: fastNet(), Timeout: 30 * time.Second,
+	}, func(p *core.Proc) error {
+		<-gate
+		return p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, werr := j.AwaitEpoch(1, cancel)
+		errCh <- werr
+	}()
+	close(cancel)
+	select {
+	case werr := <-errCh:
+		if !errors.Is(werr, ErrEpochWaitCancelled) {
+			t.Fatalf("err = %v, want ErrEpochWaitCancelled", werr)
+		}
+		if !errors.Is(werr, core.ErrKilled) {
+			t.Fatalf("err = %v must wrap core.ErrKilled for the kill-unwind path", werr)
+		}
+		if errors.Is(werr, ErrJobAborted) {
+			t.Fatalf("err = %v must be distinguishable from ErrJobAborted", werr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitEpoch ignored cancel")
+	}
+
+	// The abort path must return the other sentinel. Wait for an epoch
+	// the job can never reach: aborting kills the rank procs, which the
+	// failure detector can report as a recovery round, so waiting on
+	// epoch 1 would race the abort signal.
+	go func() {
+		_, werr := j.AwaitEpoch(99, nil)
+		errCh <- werr
+	}()
+	j.Abort(ErrJobAborted)
+	select {
+	case werr := <-errCh:
+		if !errors.Is(werr, ErrJobAborted) || errors.Is(werr, ErrEpochWaitCancelled) {
+			t.Fatalf("abort path err = %v, want ErrJobAborted only", werr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitEpoch ignored abort")
+	}
+}
+
+// TestAddSpareNodeConcurrentWithKills is the race-detector stress for
+// dynamic node join: one goroutine grows the spare pool through
+// AddSpareNode while the injector keeps killing compute nodes, so
+// lease injection, pool allocation, and failure recovery all overlap.
+// Run with -race; the checksum still pins correctness.
+func TestAddSpareNodeConcurrentWithKills(t *testing.T) {
+	var results sync.Map
+	const ranks, iters = 8, 12
+	nodes := ranks/2 + 1
+	clu := cluster.New(nodes)
+	cfg := Config{
+		Ranks: ranks, ProcsPerNode: 2, SpareNodes: 1, Interval: 2,
+		GroupSize: 4, Redundancy: 2, L2Every: 2,
+		Cluster: clu, Network: fastNet(), Timeout: 30 * time.Second,
+		// Slow every iteration down so the kill/add-spare goroutines
+		// genuinely overlap the job instead of racing a finished run.
+		OnLoop: func(rank, loopID int) { time.Sleep(3 * time.Millisecond) },
+	}
+	j, err := Launch(cfg, checksumApp(iters, &results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Spare feeder: keep adding fresh nodes while the job runs.
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			j.AddSpareNode()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Killer: fail the node under a rotating rank, pacing kills by the
+	// epoch counter so each failure is recoverable before the next.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(15 * time.Millisecond):
+			}
+			epoch := j.Epoch()
+			if nd := j.NodeOfRank((i * 3) % ranks); nd != nil && !nd.Failed() {
+				nd.Fail()
+			}
+			// Wait for the recovery round to take hold, then let the
+			// respawn settle before striking again.
+			deadline := time.Now().Add(5 * time.Second)
+			for j.Epoch() == epoch && time.Now().Before(deadline) {
+				select {
+				case <-stop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}()
+	rep, err := j.Wait()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	checkResults(t, &results, ranks, iters)
+	if rep.Epochs == 0 {
+		t.Fatal("no failures landed; the stress missed")
+	}
+}

@@ -54,7 +54,14 @@ type Config struct {
 	Network transport.Network
 	Cluster *cluster.Cluster         // created if nil
 	RM      *cluster.ResourceManager // created over spare nodes if nil
-	Stats   *core.Stats              // created if nil
+	// Machine, when non-nil, is an explicit machinefile: ranks
+	// [i*ProcsPerNode, (i+1)*ProcsPerNode) run on Machine[i]. It lets
+	// an external scheduler (the fmiserve job service) place a job on
+	// nodes carved out of a shared cluster instead of the default
+	// block mapping onto node ids 0..n-1. Every listed node must
+	// belong to Cluster and be healthy at launch.
+	Machine []*cluster.Node
+	Stats   *core.Stats // created if nil
 	// OnLoop is invoked when a rank reports completing a loop
 	// iteration (the fault injector hooks in here).
 	OnLoop func(rank, loopID int)
@@ -81,6 +88,13 @@ type Config struct {
 var (
 	ErrJobAborted      = errors.New("fmirun: job aborted")
 	ErrTooManyFailures = errors.New("fmirun: recovery limit exceeded")
+	// ErrEpochWaitCancelled is returned by AwaitEpoch when the caller's
+	// cancel channel fires — the waiting process was killed, not the
+	// job. It wraps core.ErrKilled so the rank runtime can distinguish
+	// its own death (unwind quietly) from a job-level failure (abort);
+	// an external caller holding the Job handle gets an error that is
+	// unambiguous about which of the two happened.
+	ErrEpochWaitCancelled = fmt.Errorf("fmirun: epoch wait cancelled: %w", core.ErrKilled)
 )
 
 // Report summarises a completed run.
@@ -119,6 +133,7 @@ type Job struct {
 	spareUsed   int
 	app         App
 	failedNodes map[int]bool
+	finCh       chan struct{} // closed on completion or abort (Done)
 }
 
 type epochWaiter struct {
@@ -187,24 +202,43 @@ func Launch(cfg Config, app App) (*Job, error) {
 		doneCh:      make(chan struct{}),
 		app:         app,
 		failedNodes: make(map[int]bool),
+		finCh:       make(chan struct{}),
 	}
+	go func() {
+		select {
+		case <-j.doneCh:
+		case <-j.abortCh:
+		}
+		close(j.finCh)
+	}()
 
 	// Initial placement: block mapping, procsPerNode consecutive ranks
-	// per node (the machinefile of Fig 6).
-	perNode := make(map[int][]int)
-	for r := 0; r < cfg.Ranks; r++ {
-		nd := r / cfg.ProcsPerNode
-		perNode[nd] = append(perNode[nd], r)
-		j.rankNode[r] = nd
+	// per node — the machinefile of Fig 6, either the default identity
+	// mapping onto node ids 0..n-1 or an explicit cfg.Machine list.
+	if cfg.Machine != nil && len(cfg.Machine) < nodes {
+		return nil, fmt.Errorf("fmirun: machinefile has %d nodes, need %d", len(cfg.Machine), nodes)
 	}
-	for ndID, ranks := range perNode {
-		nd := clu.Node(ndID)
+	perNode := make(map[int][]int) // machinefile slot -> ranks
+	for r := 0; r < cfg.Ranks; r++ {
+		slot := r / cfg.ProcsPerNode
+		perNode[slot] = append(perNode[slot], r)
+	}
+	for slot, ranks := range perNode {
+		var nd *cluster.Node
+		if cfg.Machine != nil {
+			nd = cfg.Machine[slot]
+		} else {
+			nd = clu.Node(slot)
+		}
 		if nd == nil {
-			return nil, fmt.Errorf("fmirun: node %d missing", ndID)
+			return nil, fmt.Errorf("fmirun: machinefile slot %d has no node", slot)
+		}
+		for _, r := range ranks {
+			j.rankNode[r] = nd.ID
 		}
 		t := newTask(j, nd)
 		j.mu.Lock()
-		j.tasks[ndID] = t
+		j.tasks[nd.ID] = t
 		j.mu.Unlock()
 		for _, r := range ranks {
 			if err := j.spawnRank(t, r, 0, false); err != nil {
@@ -226,6 +260,13 @@ func Launch(cfg Config, app App) (*Job, error) {
 	}
 	return j, nil
 }
+
+// Done returns a channel closed once the job has finished — every
+// rank's app returned or the job aborted. It makes the handle
+// select-able: an external control plane (the fmiserve job service)
+// multiplexes many jobs without parking a goroutine in Wait per job.
+// After Done closes, Wait returns immediately with the report.
+func (j *Job) Done() <-chan struct{} { return j.finCh }
 
 // Wait blocks until the job finishes and assembles the report.
 func (j *Job) Wait() (*Report, error) {
@@ -272,7 +313,7 @@ func (j *Job) AwaitEpoch(min uint32, cancel <-chan struct{}) (uint32, error) {
 	case e := <-w.ch:
 		return e, nil
 	case <-cancel:
-		return 0, core.ErrKilled
+		return 0, ErrEpochWaitCancelled
 	case <-j.abortCh:
 		return 0, ErrJobAborted
 	}
@@ -420,6 +461,9 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 		}()
 		p, err := core.Init(cfg)
 		if err != nil {
+			if errors.Is(err, core.ErrKilled) {
+				return // killed during init; the task learned via KillCh
+			}
 			cp.Exit(fmt.Errorf("fmirun: rank %d init: %w", rank, err))
 			return
 		}

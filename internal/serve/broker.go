@@ -1,0 +1,271 @@
+// broker.go is the shared spare-node pool: one reserve of spare nodes
+// serving every job of every tenant, leased out on node failure and
+// reclaimed when the borrowing job completes. ReStore's observation
+// motivates the shape — recovery resources are provisioned *ahead* of
+// failures and shared, instead of each job reserving its own worst
+// case — and the per-tenant cap plus global floor are what keep the
+// sharing safe: one tenant's failure storm can drain its own
+// allowance, never the whole pool.
+package serve
+
+import (
+	"sync"
+
+	"fmi/internal/cluster"
+)
+
+// broker owns the spare pool. Leases are granted per failure event and
+// tracked per job; releasing a job returns its healthy leased nodes to
+// the pool and replaces dead ones with freshly provisioned nodes, so
+// pool capacity is constant across any failure history.
+type broker struct {
+	clu *cluster.Cluster
+	// floor is the reserve kept for tenants that hold no lease yet: a
+	// tenant already holding leases may not take the pool below floor,
+	// but a tenant with none may (so every tenant can always start
+	// recovering, even during another tenant's storm).
+	floor int
+	// perTenant caps the leases one tenant may hold at once.
+	perTenant int
+	// onLease is invoked (outside the broker lock) for every granted
+	// lease; the server registers node ownership through it.
+	onLease func(jr *jobRec, nd *cluster.Node)
+
+	mu        sync.Mutex
+	pool      []*cluster.Node
+	byTenant  map[string]int              // tenant -> outstanding leases
+	byJob     map[*jobRec][]*cluster.Node // job -> leased nodes
+	pending   []*jobRec                   // FIFO of ungranted demands
+	granted   int                         // lifetime leases handed out
+	reclaimed int                         // lifetime nodes returned/replaced
+	denied    int                         // demands that had to queue
+}
+
+func newBroker(clu *cluster.Cluster, spares []*cluster.Node, floor, perTenant int) *broker {
+	return &broker{
+		clu:       clu,
+		floor:     floor,
+		perTenant: perTenant,
+		pool:      append([]*cluster.Node{}, spares...),
+		byTenant:  make(map[string]int),
+		byJob:     make(map[*jobRec][]*cluster.Node),
+	}
+}
+
+// demand requests one spare lease for the job (one failed node). If
+// admission allows it the lease is granted immediately — the node is
+// injected into the job's resource manager, waking its blocked
+// Allocate; otherwise the demand queues until capacity frees up. The
+// job meanwhile stays parked inside the runtime's allocation wait, so
+// backpressure is confinement: the starved job stalls, nobody else
+// does.
+func (b *broker) demand(jr *jobRec) {
+	b.mu.Lock()
+	if !b.canGrantLocked(jr.tenant) {
+		b.denied++
+		b.pending = append(b.pending, jr)
+		b.mu.Unlock()
+		return
+	}
+	nd := b.grantLocked(jr)
+	b.mu.Unlock()
+	b.deliver(jr, nd)
+}
+
+// canGrantLocked applies the admission rule: pool non-empty, tenant
+// under its cap, and the floor honoured (a tenant holding leases may
+// not dig into the reserve).
+func (b *broker) canGrantLocked(tenant string) bool {
+	if len(b.pool) == 0 || b.byTenant[tenant] >= b.perTenant {
+		return false
+	}
+	return len(b.pool) > b.floor || b.byTenant[tenant] == 0
+}
+
+// grantLocked pops a pool node and records the lease.
+func (b *broker) grantLocked(jr *jobRec) *cluster.Node {
+	nd := b.pool[len(b.pool)-1]
+	b.pool = b.pool[:len(b.pool)-1]
+	b.byTenant[jr.tenant]++
+	b.byJob[jr] = append(b.byJob[jr], nd)
+	b.granted++
+	return nd
+}
+
+// deliver hands a granted node to the job outside the broker lock.
+func (b *broker) deliver(jr *jobRec, nd *cluster.Node) {
+	if b.onLease != nil {
+		b.onLease(jr, nd)
+	}
+	jr.rm.AddSpare(nd)
+}
+
+// release reclaims every lease the job holds: healthy nodes return to
+// the pool, dead ones are replaced by freshly provisioned nodes (the
+// simulated resource manager delivering replacement hardware), and any
+// queued demand that the freed capacity now admits is granted.
+func (b *broker) release(jr *jobRec) {
+	b.mu.Lock()
+	leased := b.byJob[jr]
+	delete(b.byJob, jr)
+	b.byTenant[jr.tenant] -= len(leased)
+	if b.byTenant[jr.tenant] <= 0 {
+		delete(b.byTenant, jr.tenant)
+	}
+	for _, nd := range leased {
+		b.reclaimed++
+		if nd.Failed() {
+			nd = b.clu.AddNode()
+		}
+		b.pool = append(b.pool, nd)
+	}
+	// Drop queued demands of finished jobs, then grant what now fits.
+	keep := b.pending[:0]
+	for _, p := range b.pending {
+		if !p.finished.Load() {
+			keep = append(keep, p)
+		}
+	}
+	b.pending = keep
+	type grant struct {
+		jr *jobRec
+		nd *cluster.Node
+	}
+	var grants []grant
+	for idx := b.nextGrantLocked(); idx >= 0; idx = b.nextGrantLocked() {
+		p := b.pending[idx]
+		b.pending = append(b.pending[:idx], b.pending[idx+1:]...)
+		grants = append(grants, grant{p, b.grantLocked(p)})
+	}
+	b.mu.Unlock()
+	for _, g := range grants {
+		b.deliver(g.jr, g.nd)
+	}
+}
+
+// nextGrantLocked returns the index of the first queued demand the
+// pool can admit under the current caps, or -1 when none fits.
+func (b *broker) nextGrantLocked() int {
+	for i, p := range b.pending {
+		if b.canGrantLocked(p.tenant) {
+			return i
+		}
+	}
+	return -1
+}
+
+// brokerStats is the /stats snapshot of the spare economy.
+type brokerStats struct {
+	Free      int            `json:"free"`
+	Floor     int            `json:"floor"`
+	Leased    int            `json:"leased"`
+	Pending   int            `json:"pending"`
+	Granted   int            `json:"granted_total"`
+	Reclaimed int            `json:"reclaimed_total"`
+	Queued    int            `json:"queued_demands_total"`
+	ByTenant  map[string]int `json:"leased_by_tenant"`
+}
+
+func (b *broker) stats() brokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := brokerStats{
+		Free:      len(b.pool),
+		Floor:     b.floor,
+		Pending:   len(b.pending),
+		Granted:   b.granted,
+		Reclaimed: b.reclaimed,
+		Queued:    b.denied,
+		ByTenant:  make(map[string]int, len(b.byTenant)),
+	}
+	for t, n := range b.byTenant {
+		st.ByTenant[t] = n
+		st.Leased += n
+	}
+	return st
+}
+
+// tenantLeases returns the tenant's outstanding lease count.
+func (b *broker) tenantLeases(tenant string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.byTenant[tenant]
+}
+
+// jobLeases returns how many nodes the job currently holds on lease.
+func (b *broker) jobLeases(jr *jobRec) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.byJob[jr])
+}
+
+// nodePool is the compute-node side of the shared cluster: the free
+// nodes jobs are placed on. Acquisition is all-or-nothing (a job takes
+// its whole machinefile or waits), which keeps two half-placed jobs
+// from deadlocking each other.
+type nodePool struct {
+	mu      sync.Mutex
+	free    []*cluster.Node
+	arrival chan struct{} // closed and replaced on every release
+	total   int
+}
+
+func newNodePool(nodes []*cluster.Node) *nodePool {
+	return &nodePool{
+		free:    append([]*cluster.Node{}, nodes...),
+		arrival: make(chan struct{}),
+		total:   len(nodes),
+	}
+}
+
+// acquire takes n healthy nodes, blocking until they are available or
+// cancel fires.
+func (p *nodePool) acquire(n int, cancel <-chan struct{}) ([]*cluster.Node, bool) {
+	for {
+		p.mu.Lock()
+		// Compact failed nodes out (a pool node can only have failed if
+		// something killed it while idle; replace to keep capacity).
+		keep := p.free[:0]
+		for _, nd := range p.free {
+			if !nd.Failed() {
+				keep = append(keep, nd)
+			}
+		}
+		p.free = keep
+		if len(p.free) >= n {
+			out := append([]*cluster.Node{}, p.free[len(p.free)-n:]...)
+			p.free = p.free[:len(p.free)-n]
+			p.mu.Unlock()
+			return out, true
+		}
+		arrival := p.arrival
+		p.mu.Unlock()
+		select {
+		case <-arrival:
+		case <-cancel:
+			return nil, false
+		}
+	}
+}
+
+// release returns nodes to the pool, substituting fresh nodes for dead
+// ones, and wakes waiting acquisitions.
+func (p *nodePool) release(clu *cluster.Cluster, nds []*cluster.Node) {
+	p.mu.Lock()
+	for _, nd := range nds {
+		if nd.Failed() {
+			nd = clu.AddNode()
+		}
+		p.free = append(p.free, nd)
+	}
+	close(p.arrival)
+	p.arrival = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// freeCount returns the number of free compute nodes.
+func (p *nodePool) freeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// coarseClock amortizes wall-clock reads for hot loops, the
+// fasthttp coarseTime idiom: one background goroutine samples
+// time.Now at a fixed resolution into an atomic, and every reader
+// pays a single atomic load instead of a vDSO call. The serving
+// layer's per-request timestamps (status rendering, worker-pool
+// idle accounting) do not need sub-millisecond precision, so the
+// ~5 ms staleness is free throughput.
+type coarseClock struct {
+	nanos  atomic.Int64
+	stopCh chan struct{}
+	stop   func()
+}
+
+// newCoarseClock starts a clock ticking at the given resolution.
+// Callers must Stop it when done.
+func newCoarseClock(res time.Duration) *coarseClock {
+	if res <= 0 {
+		res = 5 * time.Millisecond
+	}
+	c := &coarseClock{stopCh: make(chan struct{})}
+	var once atomic.Bool
+	c.stop = func() {
+		if once.CompareAndSwap(false, true) {
+			close(c.stopCh)
+		}
+	}
+	c.nanos.Store(time.Now().UnixNano())
+	go func() {
+		t := time.NewTicker(res)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				c.nanos.Store(now.UnixNano())
+			case <-c.stopCh:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+// NowNanos returns the amortized wall clock in Unix nanoseconds,
+// stale by at most the clock's resolution.
+func (c *coarseClock) NowNanos() int64 { return c.nanos.Load() }
+
+// Stop halts the sampling goroutine. Idempotent.
+func (c *coarseClock) Stop() { c.stop() }

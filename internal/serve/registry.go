@@ -1,0 +1,257 @@
+// registry.go holds the built-in applications a job submission can
+// name. Each app is a deterministic FMI program that verifies its own
+// result before finalizing, so a job that survives failures but
+// computes the wrong answer reports as failed instead of silently
+// completing — the service's isolation guarantees are only meaningful
+// if correctness is checked end to end.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"fmi/internal/core"
+	"fmi/internal/runtime"
+)
+
+// JobSpec is a job submission: the POST /jobs body.
+type JobSpec struct {
+	Tenant string `json:"tenant"`
+	App    string `json:"app"`
+	Ranks  int    `json:"ranks"`
+	// ProcsPerNode controls placement density (default 2).
+	ProcsPerNode int `json:"procs_per_node,omitempty"`
+	// Iters is the application's iteration count (default 10).
+	Iters int `json:"iters,omitempty"`
+	// Interval is the checkpoint interval in iterations (default 3).
+	Interval int `json:"interval,omitempty"`
+	// Redundancy is the parity shard count (1 = XOR, >=2 = RS).
+	Redundancy int `json:"redundancy,omitempty"`
+	// Recovery is "global" (default) or "local".
+	Recovery string `json:"recovery,omitempty"`
+	// PayloadBytes sizes the allreduce payload (default 1024).
+	PayloadBytes int `json:"payload_bytes,omitempty"`
+	// StepMs simulates per-iteration compute time in milliseconds
+	// (default 0: iterate as fast as the collectives allow). Without
+	// it a toy job finishes in microseconds and nothing interesting —
+	// failures, queueing, leases — ever overlaps it.
+	StepMs int `json:"step_ms,omitempty"`
+	// TimeoutMs overrides the server's default per-job timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// normalize fills defaults and validates the spec.
+func (s *JobSpec) normalize() error {
+	if s.Tenant == "" {
+		return fmt.Errorf("%w: missing tenant", ErrBadSpec)
+	}
+	if len(s.Tenant) > 64 {
+		return fmt.Errorf("%w: tenant name too long", ErrBadSpec)
+	}
+	for i := 0; i < len(s.Tenant); i++ {
+		c := s.Tenant[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == '.'
+		if !ok {
+			// Restricting the charset lets the status hot path embed the
+			// name in JSON without escaping.
+			return fmt.Errorf("%w: tenant name must be [A-Za-z0-9._-]", ErrBadSpec)
+		}
+	}
+	if _, ok := registry[s.App]; !ok {
+		return fmt.Errorf("%w: unknown app %q (have %v)", ErrBadSpec, s.App, Apps())
+	}
+	if s.Ranks <= 0 {
+		return fmt.Errorf("%w: ranks must be positive", ErrBadSpec)
+	}
+	if s.ProcsPerNode <= 0 {
+		s.ProcsPerNode = 2
+	}
+	if s.Iters <= 0 {
+		s.Iters = 10
+	}
+	if s.Interval <= 0 {
+		s.Interval = 3
+	}
+	if s.Redundancy <= 0 {
+		s.Redundancy = 1
+	}
+	switch s.Recovery {
+	case "":
+		s.Recovery = "global"
+	case "global", "local":
+	default:
+		return fmt.Errorf("%w: recovery must be global or local", ErrBadSpec)
+	}
+	if s.PayloadBytes <= 0 {
+		s.PayloadBytes = 1024
+	}
+	s.PayloadBytes = (s.PayloadBytes + 7) &^ 7 // whole uint64 words
+	if s.StepMs < 0 || s.StepMs > 1000 {
+		return fmt.Errorf("%w: step_ms must be in [0,1000]", ErrBadSpec)
+	}
+	return nil
+}
+
+// step simulates the iteration's compute phase.
+func (s *JobSpec) step() {
+	if s.StepMs > 0 {
+		time.Sleep(time.Duration(s.StepMs) * time.Millisecond)
+	}
+}
+
+// nodesNeeded is the machinefile size the spec requires.
+func (s *JobSpec) nodesNeeded() int {
+	return (s.Ranks + s.ProcsPerNode - 1) / s.ProcsPerNode
+}
+
+// appFunc builds a runtime.App from a normalized spec.
+type appFunc func(spec JobSpec) runtime.App
+
+var registry = map[string]appFunc{
+	"noop":      noopApp,
+	"allreduce": allreduceApp,
+	"pingpong":  pingpongApp,
+}
+
+// Apps lists the registered application names, sorted.
+func Apps() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sumWords(acc, src []byte) {
+	for i := 0; i+8 <= len(acc); i += 8 {
+		binary.LittleEndian.PutUint64(acc[i:], binary.LittleEndian.Uint64(acc[i:])+binary.LittleEndian.Uint64(src[i:]))
+	}
+}
+
+// noopApp iterates through Loop with a tiny checkpointed counter and
+// no communication: the cheapest possible tenant workload.
+func noopApp(spec JobSpec) runtime.App {
+	iters := spec.Iters
+	return func(p *core.Proc) error {
+		state := make([]byte, 8)
+		for {
+			n := p.Loop([][]byte{state})
+			if n >= iters {
+				break
+			}
+			spec.step()
+			binary.LittleEndian.PutUint64(state, uint64(n+1))
+		}
+		if got := binary.LittleEndian.Uint64(state); got != uint64(iters) {
+			return fmt.Errorf("noop: counter %d, want %d", got, iters)
+		}
+		return p.Finalize()
+	}
+}
+
+// allreduceApp is the checksum workload: every iteration all ranks
+// contribute (n + rank + 1) in word 0 of a payload-sized buffer to an
+// Allreduce and fold the sum into a checkpointed running checksum.
+// Any rollback inconsistency — including one caused by another
+// tenant's recovery bleeding into this job — corrupts the checksum
+// and fails the job.
+func allreduceApp(spec JobSpec) runtime.App {
+	iters, payload := spec.Iters, spec.PayloadBytes
+	return func(p *core.Proc) error {
+		state := make([]byte, 16) // [0:8] next iteration, [8:16] checksum
+		contrib := make([]byte, payload)
+		world := p.World()
+		for {
+			n := p.Loop([][]byte{state})
+			if n >= iters {
+				break
+			}
+			spec.step()
+			for i := range contrib {
+				contrib[i] = 0
+			}
+			binary.LittleEndian.PutUint64(contrib, uint64(n+p.Rank()+1))
+			sum, err := world.Allreduce(contrib, sumWords)
+			if err != nil {
+				continue // failure: next Loop call recovers
+			}
+			cs := binary.LittleEndian.Uint64(state[8:]) + binary.LittleEndian.Uint64(sum)*uint64(n+1)
+			binary.LittleEndian.PutUint64(state[8:], cs)
+			binary.LittleEndian.PutUint64(state[0:], uint64(n+1))
+		}
+		if got, want := binary.LittleEndian.Uint64(state[8:]), allreduceChecksum(p.Size(), iters); got != want {
+			return fmt.Errorf("allreduce: checksum %d, want %d", got, want)
+		}
+		return p.Finalize()
+	}
+}
+
+// allreduceChecksum is the value every rank of a correct run ends with.
+func allreduceChecksum(ranks, iters int) uint64 {
+	var cs uint64
+	for n := 0; n < iters; n++ {
+		var sum uint64
+		for r := 0; r < ranks; r++ {
+			sum += uint64(n + r + 1)
+		}
+		cs += sum * uint64(n+1)
+	}
+	return cs
+}
+
+// pingpongApp pairs rank r with r^1 and exchanges a counter each
+// iteration, verifying the partner's value; the odd rank out (when
+// the world size is odd) just iterates. Exercises the point-to-point
+// path and message-logging recovery rather than collectives.
+func pingpongApp(spec JobSpec) runtime.App {
+	iters := spec.Iters
+	return func(p *core.Proc) error {
+		state := make([]byte, 16) // [0:8] next iteration, [8:16] checksum
+		buf := make([]byte, 8)
+		world := p.World()
+		partner := p.Rank() ^ 1
+		paired := partner < p.Size()
+		for {
+			n := p.Loop([][]byte{state})
+			if n >= iters {
+				break
+			}
+			spec.step()
+			var got uint64
+			if paired {
+				binary.LittleEndian.PutUint64(buf, uint64(n+p.Rank()+1))
+				echo, err := world.Sendrecv(partner, 7, buf, partner, 7)
+				if err != nil {
+					continue // failure: next Loop call recovers
+				}
+				got = binary.LittleEndian.Uint64(echo)
+				if got != uint64(n+partner+1) {
+					return fmt.Errorf("pingpong: iter %d got %d from rank %d, want %d", n, got, partner, n+partner+1)
+				}
+			}
+			binary.LittleEndian.PutUint64(state[8:], binary.LittleEndian.Uint64(state[8:])+got)
+			binary.LittleEndian.PutUint64(state[0:], uint64(n+1))
+		}
+		want := pingpongChecksum(p.Rank(), p.Size(), iters)
+		if got := binary.LittleEndian.Uint64(state[8:]); got != want {
+			return fmt.Errorf("pingpong: checksum %d, want %d", got, want)
+		}
+		return p.Finalize()
+	}
+}
+
+// pingpongChecksum is rank's expected sum of partner echoes.
+func pingpongChecksum(rank, size, iters int) uint64 {
+	partner := rank ^ 1
+	if partner >= size {
+		return 0
+	}
+	var cs uint64
+	for n := 0; n < iters; n++ {
+		cs += uint64(n + partner + 1)
+	}
+	return cs
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"strconv"
 	"time"
 )
 
@@ -17,6 +18,52 @@ type jsonlEvent struct {
 	Rank  int    `json:"rank"`
 	Epoch uint32 `json:"epoch"`
 	Note  string `json:"note,omitempty"`
+}
+
+// AppendJSONL appends one event to dst in the exact line format
+// WriteJSONL emits (a JSON object plus trailing newline, timestamp in
+// nanoseconds relative to start) and returns the extended slice. It
+// allocates nothing beyond dst's growth, which makes it usable from
+// the serving layer's pooled-buffer hot path; ParseJSONL reads the
+// result back.
+func AppendJSONL(dst []byte, start time.Time, e Event) []byte {
+	dst = append(dst, `{"t_ns":`...)
+	dst = strconv.AppendInt(dst, e.At.Sub(start).Nanoseconds(), 10)
+	dst = append(dst, `,"kind":`...)
+	dst = appendJSONString(dst, string(e.Kind))
+	dst = append(dst, `,"rank":`...)
+	dst = strconv.AppendInt(dst, int64(e.Rank), 10)
+	dst = append(dst, `,"epoch":`...)
+	dst = strconv.AppendUint(dst, uint64(e.Epoch), 10)
+	if e.Note != "" {
+		dst = append(dst, `,"note":`...)
+		dst = appendJSONString(dst, e.Note)
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// appendJSONString appends s as a JSON string literal. Quotes,
+// backslashes, and control bytes are escaped; multi-byte UTF-8 passes
+// through untouched (JSON strings are UTF-8).
+func appendJSONString(dst []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c == '\n':
+			dst = append(dst, '\\', 'n')
+		case c == '\t':
+			dst = append(dst, '\\', 't')
+		case c < 0x20:
+			dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
 }
 
 // WriteJSONL writes the time-ordered timeline as JSON Lines, one event

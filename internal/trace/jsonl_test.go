@@ -61,3 +61,78 @@ func TestParseJSONLEmpty(t *testing.T) {
 		t.Fatalf("empty input: %v, %v", evs, err)
 	}
 }
+
+// TestAppendJSONLMatchesWriter pins AppendJSONL to WriteJSONL's line
+// format: the streaming encoder and the batch encoder must stay
+// byte-compatible so ParseJSONL reads either.
+func TestAppendJSONLMatchesWriter(t *testing.T) {
+	r := New()
+	r.Add(KindCheckpoint, 3, 2, "wrote %d bytes", 4096)
+	r.Add(KindAbort, -1, 0, `note with "quotes", a \ backslash,
+and a newline`)
+	r.Add(KindEpoch, 0, 7, "")
+
+	var batch bytes.Buffer
+	if err := r.WriteJSONL(&batch); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	var stream []byte
+	for _, e := range r.Events() {
+		stream = AppendJSONL(stream, r.StartTime(), e)
+	}
+	if got, want := string(stream), batch.String(); got != want {
+		t.Fatalf("AppendJSONL diverged from WriteJSONL:\n got  %q\n want %q", got, want)
+	}
+	evs, err := ParseJSONL(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("ParseJSONL(stream): %v", err)
+	}
+	if len(evs) != 3 || evs[1].Note != r.Events()[1].Note {
+		t.Fatalf("round trip lost events/notes: %+v", evs)
+	}
+}
+
+// TestAppendJSONLAllocations pins the streaming encoder's allocation
+// behaviour: appending into a pre-grown buffer allocates nothing.
+func TestAppendJSONLAllocations(t *testing.T) {
+	r := New()
+	r.Add(KindRespawn, 1, 1, "respawned on node 9")
+	e := r.Events()[0]
+	start := r.StartTime()
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendJSONL(buf[:0], start, e)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendJSONL allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestSinceCursor covers the pull-based streaming API: every event is
+// delivered exactly once across repeated calls, and the cursor is
+// stable at the tail.
+func TestSinceCursor(t *testing.T) {
+	r := New()
+	r.Add(KindEpoch, -1, 1, "one")
+	evs, cur := r.Since(0)
+	if len(evs) != 1 || cur != 1 {
+		t.Fatalf("Since(0) = %d events, cursor %d; want 1, 1", len(evs), cur)
+	}
+	r.Add(KindEpoch, -1, 2, "two")
+	r.Add(KindEpoch, -1, 3, "three")
+	evs, cur = r.Since(cur)
+	if len(evs) != 2 || cur != 3 {
+		t.Fatalf("Since = %d events, cursor %d; want 2, 3", len(evs), cur)
+	}
+	if evs[0].Note != "two" || evs[1].Note != "three" {
+		t.Fatalf("Since returned wrong events: %+v", evs)
+	}
+	evs, cur = r.Since(cur)
+	if len(evs) != 0 || cur != 3 {
+		t.Fatalf("Since at tail = %d events, cursor %d; want 0, 3", len(evs), cur)
+	}
+	var nilR *Recorder
+	if evs, cur := nilR.Since(5); evs != nil || cur != 5 {
+		t.Fatalf("nil recorder Since = %v, %d", evs, cur)
+	}
+}

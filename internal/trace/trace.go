@@ -112,6 +112,41 @@ func (r *Recorder) Add(kind Kind, rank int, epoch uint32, format string, args ..
 	r.mu.Unlock()
 }
 
+// StartTime returns the recorder's zero time (the base that WriteJSONL
+// and AppendJSONL express timestamps relative to). Zero for a nil
+// recorder.
+func (r *Recorder) StartTime() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.start
+}
+
+// Since returns the events recorded at cursor positions >= cursor, in
+// append order, together with the next cursor. It is the pull half of
+// live trace streaming: a consumer (the fmiserve /jobs/{id}/trace
+// endpoint) repeatedly calls Since with the returned cursor and sees
+// every event exactly once, without the recorder ever blocking on a
+// slow consumer. A nil recorder yields nothing.
+func (r *Recorder) Since(cursor int) ([]Event, int) {
+	if r == nil {
+		return nil, cursor
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(r.events) {
+		return nil, len(r.events)
+	}
+	out := make([]Event, len(r.events)-cursor)
+	copy(out, r.events[cursor:])
+	return out, len(r.events)
+}
+
 // Events returns a time-ordered snapshot.
 func (r *Recorder) Events() []Event {
 	if r == nil {
