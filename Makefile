@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet lint bench-erasure bench-smoke bench-hotpath bench-serve all
+.PHONY: tier1 build test race vet lint bench-erasure bench-smoke bench-hotpath bench-serve bench-recovery all
 
 all: tier1 vet lint
 
@@ -15,7 +15,7 @@ test:
 
 # Race-detect the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ ./internal/bufpool/ ./internal/serve/ .
+	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ ./internal/bufpool/ ./internal/serve/ ./internal/replica/ .
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,13 @@ bench-hotpath:
 # copy documents the cross-tenant isolation).
 bench-serve:
 	$(GO) run ./cmd/fmibench -out BENCH_serve.json serve
+
+# Recovery-frontier benchmark: global rollback vs local replay vs
+# primary/shadow replication on one allreduce workload, failure-free
+# and with one primary-node kill, written to BENCH_recovery.json (the
+# checked-in copy documents replica's no-rollback promotion latency).
+bench-recovery:
+	$(GO) run ./cmd/fmibench -out BENCH_recovery.json recovery-frontier
 
 # One pass over every benchmark as a smoke test (CI runs this; real
 # measurements want more iterations and an idle machine).

@@ -11,7 +11,7 @@
 //
 // Experiments: table3, fig10, fig11, fig12, fig13, fig14, fig15,
 // fig15-sweep, ablate-k, ablate-group, erasure, msglog, coll, hotpath,
-// serve, all.
+// serve, recovery-frontier, all.
 package main
 
 import (
@@ -39,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|hotpath|serve|all>")
+		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|hotpath|serve|recovery-frontier|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -206,6 +206,25 @@ func main() {
 				fatalIf(err)
 				fatalIf(os.WriteFile(*outPath, doc, 0o644))
 			}
+		case "recovery-frontier":
+			// Recovery frontier (ISSUE 7): the same allreduce job under
+			// global rollback, local replay, and primary/shadow
+			// replication, failure-free and with one primary-node kill.
+			// The headline is replica's recovery latency (promotion, no
+			// rollback) sitting below both rollback protocols, with the
+			// 2x node footprint and mirrored-send overhead alongside.
+			rcfg := experiments.DefaultRecoveryConfig()
+			if *quick {
+				rcfg = experiments.QuickRecoveryConfig()
+			}
+			rrows, err := experiments.RecoveryFrontier(rcfg)
+			fatalIf(err)
+			experiments.PrintRecovery(os.Stdout, rcfg, rrows)
+			if *outPath != "" {
+				doc, err := experiments.RecoveryJSON(rcfg, rrows)
+				fatalIf(err)
+				fatalIf(os.WriteFile(*outPath, doc, 0o644))
+			}
 		case "erasure":
 			// Redundancy sweep (§VIII extension): ring-XOR m=1 against
 			// RS(k,m) for m in {2,3} over one group, then the raw
@@ -229,7 +248,7 @@ func main() {
 	}
 
 	if which == "all" {
-		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll", "hotpath", "serve"} {
+		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll", "hotpath", "serve", "recovery-frontier"} {
 			run(name)
 		}
 		return

@@ -37,7 +37,7 @@ func main() {
 		l2every  = flag.Int("l2", 0, "flush every k-th checkpoint to the PFS (multilevel C/R; 0 = off)")
 		redund   = flag.Int("redundancy", 1, "parity shards per group member (1 = ring-XOR, >= 2 = RS(k,m))")
 		blast    = flag.Int("blast", 1, "nodes taken by each injected failure (correlated kill width)")
-		recovery = flag.String("recovery", "global", "recovery protocol: global (rollback) | local (message logging)")
+		recovery = flag.String("recovery", "global", "recovery protocol: global (rollback) | local (message logging) | replica (primary/shadow promotion)")
 		doTrace  = flag.Bool("trace", false, "print the recovery timeline after the run")
 		traceJS  = flag.String("trace-json", "", "write the recovery timeline as JSON Lines to this file")
 		verbose  = flag.Bool("v", true, "print per-iteration progress from rank 0")

@@ -186,7 +186,7 @@ func TestMidCollectiveFailureRecovery(t *testing.T) {
 	}
 	for _, fam := range families {
 		for _, tp := range transports {
-			for _, recovery := range []string{"global", "local"} {
+			for _, recovery := range []string{"global", "local", "replica"} {
 				t.Run(fmt.Sprintf("%s/%s/%s", fam.name, tp.name, recovery), func(t *testing.T) {
 					var results sync.Map
 					cfg := fastCfg(ranks, 1, 1, 2)
@@ -198,7 +198,16 @@ func TestMidCollectiveFailureRecovery(t *testing.T) {
 					if err != nil {
 						t.Fatalf("Run: %v", err)
 					}
-					if rep.Recoveries == 0 {
+					if recovery == "replica" {
+						// A primary kill is masked by shadow promotion:
+						// the job completes with zero recovery epochs.
+						if rep.FailuresInjected == 0 {
+							t.Fatal("the fault never fired")
+						}
+						if rep.Recoveries != 0 {
+							t.Fatalf("Recoveries = %d, want 0 (promotion must mask the kill)", rep.Recoveries)
+						}
+					} else if rep.Recoveries == 0 {
 						t.Fatal("no recovery recorded: the fault never fired")
 					}
 					want := fam.final(ranks, iters)
@@ -215,6 +224,72 @@ func TestMidCollectiveFailureRecovery(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestMidCollectiveReplicaKillMatrix pins the replica protocol's three
+// mid-collective failure scopes on both transports: a primary kill and
+// a shadow kill are masked (zero recovery epochs), while killing a
+// rank's primary AND shadow in one correlated event is unmaskable —
+// the job degrades to rollback recovery and still finishes exact.
+func TestMidCollectiveReplicaKillMatrix(t *testing.T) {
+	const (
+		ranks  = 6
+		iters  = 8
+		victim = 2
+	)
+	kills := []struct {
+		name   string
+		fault  Fault
+		masked bool
+	}{
+		{"kill-primary", Fault{AfterLoop: 4, Node: -1, Rank: victim}, true},
+		{"kill-shadow", Fault{AfterLoop: 4, Node: -1, Rank: victim, Shadow: true}, true},
+		{"kill-pair", Fault{AfterLoop: 4, Node: -1, Rank: victim, Pair: true}, false},
+	}
+	transports := []struct {
+		name string
+		kind TransportKind
+	}{
+		{"chan", ChanTransport},
+		{"tcp", TCPTransport},
+	}
+	for _, tp := range transports {
+		for _, kill := range kills {
+			t.Run(fmt.Sprintf("%s/%s", tp.name, kill.name), func(t *testing.T) {
+				var results sync.Map
+				cfg := fastCfg(ranks, 1, 2, 2)
+				cfg.Transport = tp.kind
+				cfg.Recovery = "replica"
+				cfg.Collectives.Allreduce = "ring"
+				cfg.Faults = &FaultPlan{Script: []Fault{kill.fault}}
+				rep, err := Run(cfg, ringAllreduceApp(iters, &results))
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if rep.FailuresInjected == 0 {
+					t.Fatal("the fault never fired")
+				}
+				if kill.masked && rep.Recoveries != 0 {
+					t.Fatalf("Recoveries = %d, want 0 (%s must be masked)", rep.Recoveries, kill.name)
+				}
+				if !kill.masked && rep.Recoveries == 0 {
+					t.Fatal("pair loss completed without any recovery epoch: the degrade path never ran")
+				}
+				want := ringAllreduceFinal(ranks, iters)
+				count := 0
+				results.Range(func(k, v any) bool {
+					count++
+					if v.(int64) != want {
+						t.Errorf("rank %v: %d, want %d", k, v, want)
+					}
+					return true
+				})
+				if count != ranks {
+					t.Fatalf("results = %d, want %d", count, ranks)
+				}
+			})
 		}
 	}
 }

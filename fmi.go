@@ -40,6 +40,7 @@ import (
 	"fmi/internal/cluster"
 	"fmi/internal/coll"
 	"fmi/internal/core"
+	"fmi/internal/replica"
 	"fmi/internal/runtime"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
@@ -64,6 +65,13 @@ type Stats = core.StatsSnapshot
 // TraceEvent is one entry of a run's recovery timeline (enable with
 // Config.TraceTo or inspect Report.Timeline).
 type TraceEvent = trace.Event
+
+// Store is the ReStore-style in-memory replicated object store
+// (paper's replication subsystem): Submit publishes an object with
+// copies on distinct healthy nodes, Load retrieves it while any copy
+// survives, and Rebuild re-replicates degraded objects after node
+// failures. Ranks reach the job's store via Env.Store.
+type Store = replica.Store
 
 // AnySource matches any sender in Recv.
 const AnySource = core.AnySource
@@ -126,6 +134,12 @@ type Fault struct {
 	// number of group members lost.
 	CorrelatedNodes []int
 	CorrelatedRanks []int
+	// Shadow retargets a rank-targeted fault at the node hosting Rank's
+	// shadow copy (Recovery "replica" only); Pair kills the rank's
+	// primary and shadow nodes in one correlated event — the unmaskable
+	// case that degrades the job to rollback recovery.
+	Shadow bool
+	Pair   bool
 }
 
 // FaultPlan configures failure injection for a run.
@@ -186,7 +200,13 @@ type Config struct {
 	// enables sender-based message logging with localized recovery:
 	// survivors keep their state and pause only for the membership
 	// fence while respawned ranks re-execute from the checkpoint with
-	// their receives replayed from the survivors' logs.
+	// their receives replayed from the survivors' logs. "replica" runs
+	// every rank as a primary/shadow pair on distinct nodes with all
+	// sends mirrored to both copies: a primary loss is masked by
+	// promoting the shadow in place — no rollback, no replay — and a
+	// fresh shadow is provisioned from a spare in the background. It
+	// doubles the node count and requires an explicit
+	// CheckpointInterval and ProcsPerNode <= 1.
 	Recovery string
 	// Transport selects the substrate.
 	Transport TransportKind
@@ -299,8 +319,15 @@ type Report struct {
 
 // Env is a rank's handle to the FMI runtime (the paper's FMI_* calls).
 type Env struct {
-	p *core.Proc
+	p     *core.Proc
+	store *Store
 }
+
+// Store returns the job-wide replicated in-memory object store. Every
+// rank sees the same store; objects survive node failures as long as
+// at least one of their copies does (pruning and re-replication happen
+// automatically when a holder node dies).
+func (e *Env) Store() *Store { return e.store }
 
 // Rank returns the calling process's FMI (virtual) rank.
 func (e *Env) Rank() int { return e.p.Rank() }
@@ -339,9 +366,9 @@ type App func(env *Env) error
 // runtime and blocks until every rank finishes or the job aborts.
 func Run(cfg Config, app App) (*Report, error) {
 	switch cfg.Recovery {
-	case "", "global", "local":
+	case "", "global", "local", "replica":
 	default:
-		return nil, fmt.Errorf("fmi: unknown Recovery %q (want \"global\" or \"local\")", cfg.Recovery)
+		return nil, fmt.Errorf("fmi: unknown Recovery %q (want \"global\", \"local\", or \"replica\")", cfg.Recovery)
 	}
 	collPolicy, err := cfg.Collectives.policy()
 	if err != nil {
@@ -378,7 +405,11 @@ func Run(cfg Config, app App) (*Report, error) {
 		ppn = 1
 	}
 	nodes := (cfg.Ranks + ppn - 1) / ppn
-	clu := cluster.New(nodes + cfg.SpareNodes)
+	totalNodes := nodes
+	if cfg.Recovery == "replica" {
+		totalNodes = 2 * nodes // one shadow node per primary node
+	}
+	clu := cluster.New(totalNodes + cfg.SpareNodes)
 
 	var rec *trace.Recorder
 	if cfg.TraceTo != nil || cfg.TraceJSONTo != nil {
@@ -427,12 +458,19 @@ func Run(cfg Config, app App) (*Report, error) {
 			cf := cluster.Fault{
 				After: f.After, AfterLoop: f.AfterLoop, Rank: f.Rank, Node: f.Node, ProcOnly: f.ProcOnly,
 				CorrelatedNodes: f.CorrelatedNodes, CorrelatedRanks: f.CorrelatedRanks,
+				Shadow: f.Shadow, Pair: f.Pair,
 			}
 			if f.After > 0 {
 				cf.AfterLoop = -1
 			}
 			script = append(script, cf)
 		}
+		inj.SetShadowLocator(func(rank int) *cluster.Node {
+			if j := jobRef.Load(); j != nil {
+				return j.ShadowNodeOfRank(rank)
+			}
+			return nil
+		})
 		inj.SetScript(script)
 		if cfg.Faults.MTBF > 0 {
 			inj.SetPoisson(cfg.Faults.MTBF, cfg.Faults.MaxFailures)
@@ -440,8 +478,9 @@ func Run(cfg Config, app App) (*Report, error) {
 		}
 		rcfg.OnLoop = inj.OnLoop
 	}
+	store := replica.NewStore(clu, rec)
 	j, err := runtime.Launch(rcfg, func(p *core.Proc) error {
-		return app(&Env{p: p})
+		return app(&Env{p: p, store: store})
 	})
 	if err != nil {
 		return nil, err

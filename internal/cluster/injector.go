@@ -22,6 +22,13 @@ type Fault struct {
 	ProcOnly        bool          // kill a single process rather than the whole node
 	CorrelatedNodes []int         // additional node ids killed in the same event
 	CorrelatedRanks []int         // additional rank-hosting nodes killed in the same event
+	// Shadow retargets a rank-targeted fault at the node hosting Rank's
+	// shadow copy (replica recovery); Pair kills the rank's primary AND
+	// shadow nodes in one correlated event — the unmaskable case. Both
+	// resolve through the shadow Locator and are ignored (falling back
+	// to the primary target) when none is installed.
+	Shadow bool
+	Pair   bool
 }
 
 // Locator resolves the node currently hosting an FMI rank; the runtime
@@ -33,9 +40,10 @@ type Locator func(rank int) *Node
 // a Poisson process parameterised by MTBF (paper §VI-B injects
 // failures with an MTBF of 1 minute).
 type Injector struct {
-	mu      sync.Mutex
-	c       *Cluster
-	locate  Locator
+	mu        sync.Mutex
+	c         *Cluster
+	locate    Locator
+	shadowLoc Locator // resolves the node hosting a rank's shadow copy
 	script  []Fault
 	mtbf    time.Duration
 	maxKill int
@@ -62,6 +70,14 @@ func NewInjector(c *Cluster, locate Locator, eligible func() []*Node, seed int64
 		stopCh:   make(chan struct{}),
 		maxKill:  math.MaxInt,
 	}
+}
+
+// SetShadowLocator installs the resolver for shadow-targeted faults
+// (replica recovery); call before Start.
+func (in *Injector) SetShadowLocator(loc Locator) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.shadowLoc = loc
 }
 
 // SetScript installs a deterministic fault schedule; call before Start.
@@ -211,9 +227,21 @@ func (in *Injector) resolve(f Fault) []*Node {
 		}
 		nds = append(nds, nd)
 	}
-	if f.Node >= 0 {
+	in.mu.Lock()
+	shadowLoc := in.shadowLoc
+	in.mu.Unlock()
+	switch {
+	case f.Node >= 0:
 		add(in.c.Node(f.Node))
-	} else if in.locate != nil {
+	case f.Pair && in.locate != nil:
+		// Pair loss: primary first, shadow in the same event.
+		add(in.locate(f.Rank))
+		if shadowLoc != nil {
+			add(shadowLoc(f.Rank))
+		}
+	case f.Shadow && shadowLoc != nil:
+		add(shadowLoc(f.Rank))
+	case in.locate != nil:
 		add(in.locate(f.Rank))
 	}
 	for _, id := range f.CorrelatedNodes {

@@ -77,18 +77,42 @@ func (rm *ResourceManager) AddSpare(nd *Node) {
 // TryAllocate hands out one healthy spare without blocking. It returns
 // ErrNoNodes if the pool is empty (failed spares are discarded).
 func (rm *ResourceManager) TryAllocate() (*Node, error) {
+	return rm.tryAllocateAvoiding(nil)
+}
+
+// tryAllocateAvoiding pops the first healthy spare whose id is not in
+// avoid; skipped-but-healthy spares stay pooled (in order), failed
+// ones are discarded.
+func (rm *ResourceManager) tryAllocateAvoiding(avoid []int) (*Node, error) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	for len(rm.spares) > 0 {
-		nd := rm.spares[0]
-		rm.spares = rm.spares[1:]
+	var kept []*Node
+	var found *Node
+	for i, nd := range rm.spares {
 		if nd.Failed() {
 			continue
 		}
-		rm.allocated++
-		return nd, nil
+		avoided := false
+		for _, id := range avoid {
+			if nd.ID == id {
+				avoided = true
+				break
+			}
+		}
+		if avoided {
+			kept = append(kept, nd)
+			continue
+		}
+		found = nd
+		kept = append(kept, rm.spares[i+1:]...)
+		break
 	}
-	return nil, ErrNoNodes
+	rm.spares = kept
+	if found == nil {
+		return nil, ErrNoNodes
+	}
+	rm.allocated++
+	return found, nil
 }
 
 // Allocate hands out a healthy node, blocking if necessary. With an
@@ -97,7 +121,15 @@ func (rm *ResourceManager) TryAllocate() (*Node, error) {
 // allocated from the resource manager" (paper §IV-B). cancel aborts
 // the wait.
 func (rm *ResourceManager) Allocate(cancel <-chan struct{}) (*Node, error) {
-	if nd, err := rm.TryAllocate(); err == nil {
+	return rm.AllocateAvoiding(cancel)
+}
+
+// AllocateAvoiding is Allocate with placement anti-affinity: nodes
+// whose ids appear in avoid are never handed out (replica recovery
+// must not co-locate a replacement shadow with its rank's acting
+// primary). Avoided spares remain pooled for other callers.
+func (rm *ResourceManager) AllocateAvoiding(cancel <-chan struct{}, avoid ...int) (*Node, error) {
+	if nd, err := rm.tryAllocateAvoiding(avoid); err == nil {
 		return nd, nil
 	}
 	rm.mu.Lock()
@@ -111,7 +143,7 @@ func (rm *ResourceManager) Allocate(cancel <-chan struct{}) (*Node, error) {
 			rm.mu.Lock()
 			arrival := rm.arrival
 			rm.mu.Unlock()
-			if nd, err := rm.TryAllocate(); err == nil {
+			if nd, err := rm.tryAllocateAvoiding(avoid); err == nil {
 				return nd, nil
 			}
 			select {

@@ -15,6 +15,7 @@ import (
 	"fmi/internal/bootstrap"
 	"fmi/internal/bufpool"
 	"fmi/internal/coll"
+	"fmi/internal/replica"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
 )
@@ -83,6 +84,10 @@ const (
 	tagCkptMeta  int32 = -22 // runtime meta to restarted ranks
 	tagCkptChunk int32 = -23 // decode gather chunks
 	tagCkptAgree int32 = -24 // checkpoint completion tree
+	// tagShadowSync carries a primary's full state snapshot to a
+	// re-provisioned shadow (replica recovery); sent directly, never
+	// mirrored, with Seq 0 so it bypasses the dedup watermarks.
+	tagShadowSync int32 = -25
 )
 
 // ctxWorld is the context id of the world communicator; runtime
@@ -144,7 +149,18 @@ type Config struct {
 	// Local selects localized (message-logging) recovery: survivors
 	// keep their state across a failure and serve logged-message replay
 	// to respawned ranks, instead of the paper's global rollback.
-	Local   bool
+	Local bool
+	// Replica, when non-nil, selects replication-based recovery: the
+	// registry routes every send to both endpoints of the destination
+	// pair, and the runtime flips it on promotion. Once deactivated
+	// (an unmaskable pair loss) the proc falls back to the plain
+	// rollback machinery.
+	Replica *replica.Registry
+	// Shadow marks this proc as the shadow copy of its rank. Shadows
+	// execute the application in lockstep with their primary but never
+	// report loop progress (until promoted) and never write level-2
+	// checkpoints.
+	Shadow  bool
 	Network transport.Network
 	Ctl     Control
 	KillCh  <-chan struct{}

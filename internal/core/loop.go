@@ -33,6 +33,22 @@ func (p *Proc) Loop(segs [][]byte) int {
 			p.recover()
 			continue
 		}
+		if p.replicaOn() {
+			if p.syncPending {
+				// Re-provisioned shadow: pull the primary's live state,
+				// then fall through to the normal schedule in lockstep.
+				p.applyShadowSync(segs)
+			} else if !p.cfg.Shadow || p.cfg.Replica.Promoted(p.rank) {
+				// Acting primary: serve a pending replacement-shadow
+				// state request before this iteration's checkpoint
+				// decision, so the snapshot point is well defined.
+				p.serveShadowSync(segs)
+			}
+			// Fence any shadow flips that registered since the last
+			// iteration (after applyShadowSync, so a fresh replacement
+			// acks with its adopted — not zero — send counters).
+			p.ackShadowFlips()
+		}
 		// Apply a restore negotiated during recovery (or during Init
 		// for a replacement process): a local memcpy back into the
 		// registered segments, returning the restored loop id.
@@ -139,9 +155,16 @@ func (p *Proc) applyRestore(segs [][]byte) (int, error) {
 // needCheckpoint applies the paper's rule: the first Loop call always
 // checkpoints; afterwards every interval-th iteration does.
 func (p *Proc) needCheckpoint(id int) bool {
-	if p.latest() == nil {
+	if p.latest() == nil && !p.ckptSeeded {
 		return true
 	}
+	// A shadow that adopted its counters from a sync snapshot has no
+	// entry yet but must stay in lockstep with its primary: it neither
+	// checkpoints ahead of schedule (the group exchange is collective —
+	// alone it would deadlock) nor skips a scheduled wave (every
+	// exchange send bumps the mirrored sequence numbers, so sitting one
+	// out would desynchronise the pair's streams for good). The adopted
+	// lastCkpt/interval put it on exactly the primary's schedule.
 	return id-p.lastCkpt >= p.interval
 }
 

@@ -14,6 +14,11 @@ import (
 // assigned a per-(sender, receiver) sequence number and a copy is
 // retained until a checkpoint commit acknowledges it.
 func (p *Proc) sendRaw(world int, ctx uint32, tag int32, kind byte, payload []byte) error {
+	if p.replicaOn() {
+		// Replica mode: resolve through the registry and mirror to both
+		// endpoints of the destination pair (replica.go).
+		return p.sendReplica(world, ctx, tag, kind, payload)
+	}
 	addr, err := p.addrOf(world)
 	if err != nil {
 		return err

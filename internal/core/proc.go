@@ -76,6 +76,13 @@ type Proc struct {
 	// into the new one so nothing is lost or double-delivered.
 	carrySeen  []uint64
 	carryQueue []transport.Msg
+
+	// Replication-based recovery state, cfg.Replica only (replica.go).
+	repSeq      []uint64 // per-destination mirrored send sequence numbers
+	flipAck     []uint64 // per-destination shadow incarnation this copy has fenced
+	flipGen     uint64   // registry ShadowGen at the last ack sweep
+	syncPending bool     // re-provisioned shadow awaiting its primary's snapshot
+	ckptSeeded  bool     // counters adopted from a snapshot: skip the first-Loop checkpoint
 }
 
 // generation bundles everything that is rebuilt on recovery.
@@ -90,6 +97,7 @@ type generation struct {
 	stop       chan struct{} // stops the watcher
 	notifiedAt time.Time
 	tornDown   bool // teardown ran (guards double harvest/stat counting)
+	replica    bool // built by buildReplicaGeneration (no endpoint table)
 }
 
 func (g *generation) failed() bool {
@@ -128,6 +136,13 @@ func Init(cfg Config) (*Proc, error) {
 	p.world = newWorldComm(p)
 	if cfg.Local {
 		p.log = msglog.New(cfg.N)
+	}
+	if cfg.Replica != nil {
+		p.repSeq = make([]uint64, cfg.N)
+		p.flipAck = make([]uint64, cfg.N)
+		// A replacement shadow must pull its primary's live state
+		// before it can track the mirrored streams.
+		p.syncPending = cfg.Shadow && cfg.IsReplacement
 	}
 
 	// A replacement may have been spawned for an epoch that has since
@@ -198,6 +213,19 @@ func (p *Proc) checkAlive() {
 // the epoch's restore negotiation. On interruption it tears down and
 // returns an error; the caller advances the epoch and retries.
 func (p *Proc) buildGeneration() error {
+	if p.cfg.Replica != nil {
+		if p.cfg.Replica.Active() {
+			return p.buildReplicaGeneration()
+		}
+		// The job degraded to plain rollback recovery (pair loss). A
+		// shadow that never promoted has no seat in the rebuilt world:
+		// park until the runtime reaps it. Promoted shadows ARE their
+		// rank now and rebuild normally with the survivors.
+		if p.cfg.Shadow && !p.cfg.Replica.Promoted(p.rank) {
+			<-p.cfg.KillCh
+			panic(procKilledPanic{})
+		}
+	}
 	p.checkAlive()
 	p.seqActive = false // no data-plane sequencing during the fence
 	p.teardownGen(p.gen)
@@ -440,6 +468,9 @@ func (p *Proc) Finalize() error {
 	p.checkAlive()
 	if p.finalize {
 		return ErrFinalized
+	}
+	if p.replicaOn() {
+		return p.finalizeReplica()
 	}
 	if p.cfg.Local {
 		return p.finalizeLocal()

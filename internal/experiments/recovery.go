@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"fmi"
+	"fmi/internal/trace"
+)
+
+// Recovery frontier (ISSUE 7): the same fixed-work allreduce job run
+// under each recovery protocol — global rollback, sender-logged local
+// replay, and primary/shadow replication — once failure-free and once
+// with a single primary-node kill. The headline is the frontier the
+// related work draws: replication's recovery latency (shadow promotion,
+// no rollback, no replay) sits far below both rollback protocols, paid
+// for honestly with a doubled node footprint and mirrored-send
+// steady-state overhead.
+
+// RecoveryConfig sizes the workload.
+type RecoveryConfig struct {
+	Ranks     int           `json:"ranks"`
+	Iters     int           `json:"iters"`
+	Interval  int           `json:"checkpoint_interval"`
+	ComputeMs int           `json:"compute_ms_per_iter"`
+	Timeout   time.Duration `json:"timeout_ns"`
+}
+
+// DefaultRecoveryConfig is sized so the kill lands mid-run with a full
+// checkpoint interval of progress at risk.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{Ranks: 6, Iters: 30, Interval: 4, ComputeMs: 2, Timeout: 5 * time.Minute}
+}
+
+// QuickRecoveryConfig shrinks the workload for a CI smoke run.
+func QuickRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{Ranks: 4, Iters: 12, Interval: 3, ComputeMs: 1, Timeout: 2 * time.Minute}
+}
+
+// RecoveryRow is one protocol's measurements.
+type RecoveryRow struct {
+	Protocol string `json:"protocol"`
+	// Nodes is the compute-node footprint (spares excluded): the
+	// replication protocol pays 2x here, reported alongside its
+	// latency win rather than hidden.
+	Nodes int `json:"nodes"`
+	// FFWall / FailWall are the failure-free and one-failure walls.
+	FFWall   time.Duration `json:"ff_wall_ns"`
+	FailWall time.Duration `json:"fail_wall_ns"`
+	// OverheadPct is the steady-state (failure-free) wall overhead
+	// relative to the global-rollback baseline.
+	OverheadPct float64 `json:"steady_state_overhead_pct"`
+	// RecoveryLatency is what the failure cost when it fired: for the
+	// rollback protocols, mean recovery epoch time (H1/H2 rebuild +
+	// restore negotiation); for replication, the node-failed ->
+	// shadow-promote trace span.
+	RecoveryLatency time.Duration `json:"recovery_latency_ns"`
+	// LostIterations counts rolled-back progress; Masked reports
+	// whether the application ever observed the failure.
+	LostIterations int  `json:"lost_iterations"`
+	Masked         bool `json:"masked"`
+}
+
+// recoveryApp is the shared fixed-work allreduce loop; the per-
+// iteration sleep stands in for compute so rollback cost shows up in
+// wall time.
+func recoveryApp(iters int, compute time.Duration) fmi.App {
+	return func(env *fmi.Env) error {
+		state := make([]byte, 8)
+		world := env.World()
+		for {
+			n := env.Loop(state)
+			if n >= iters {
+				break
+			}
+			if _, err := fmi.AllreduceInt64(world, fmi.SumInt64(), int64(n+env.Rank())); err != nil {
+				continue
+			}
+			if compute > 0 {
+				time.Sleep(compute)
+			}
+			binary.LittleEndian.PutUint64(state, uint64(n+1))
+		}
+		return env.Finalize()
+	}
+}
+
+// runRecovery executes one (protocol, fail?) cell and returns the wall
+// plus the run report with its timeline.
+func runRecovery(cfg RecoveryConfig, protocol string, fail bool) (time.Duration, *fmi.Report, error) {
+	rcfg := fmi.Config{
+		Ranks: cfg.Ranks, ProcsPerNode: 1,
+		CheckpointInterval: cfg.Interval, XORGroupSize: 4,
+		Recovery:    protocol,
+		DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond,
+		Timeout: cfg.Timeout,
+		TraceTo: io.Discard, // populate Report.Timeline for the span
+	}
+	if fail {
+		rcfg.SpareNodes = 2
+		// Kill one iteration short of the next checkpoint: the worst
+		// case for rollback (a full interval of progress lost), the
+		// case replication masks entirely.
+		failAt := (cfg.Iters/2/cfg.Interval)*cfg.Interval + cfg.Interval - 1
+		rcfg.Faults = &fmi.FaultPlan{Script: []fmi.Fault{{AfterLoop: failAt, Node: -1, Rank: cfg.Ranks / 2}}}
+	}
+	start := time.Now()
+	rep, err := fmi.Run(rcfg, recoveryApp(cfg.Iters, time.Duration(cfg.ComputeMs)*time.Millisecond))
+	return time.Since(start), rep, err
+}
+
+// timelineSpan returns first(b) - first(a) from a run timeline, or 0
+// if either kind never fired.
+func timelineSpan(events []fmi.TraceEvent, a, b trace.Kind) time.Duration {
+	var ta, tb time.Time
+	for _, e := range events {
+		if e.Kind == a && ta.IsZero() {
+			ta = e.At
+		}
+		if e.Kind == b && tb.IsZero() {
+			tb = e.At
+		}
+	}
+	if ta.IsZero() || tb.IsZero() {
+		return 0
+	}
+	return tb.Sub(ta)
+}
+
+// RecoveryFrontier measures all three protocols on the same workload.
+func RecoveryFrontier(cfg RecoveryConfig) ([]RecoveryRow, error) {
+	var out []RecoveryRow
+	var baseline time.Duration
+	for _, protocol := range []string{"global", "local", "replica"} {
+		row := RecoveryRow{Protocol: protocol, Nodes: cfg.Ranks}
+		if protocol == "replica" {
+			row.Nodes = 2 * cfg.Ranks
+		}
+		var err error
+		if row.FFWall, _, err = runRecovery(cfg, protocol, false); err != nil {
+			return nil, fmt.Errorf("recovery-frontier %s ff: %w", protocol, err)
+		}
+		if protocol == "global" {
+			baseline = row.FFWall
+		}
+		if baseline > 0 {
+			row.OverheadPct = 100 * (float64(row.FFWall)/float64(baseline) - 1)
+		}
+		var rep *fmi.Report
+		if row.FailWall, rep, err = runRecovery(cfg, protocol, true); err != nil {
+			return nil, fmt.Errorf("recovery-frontier %s fail: %w", protocol, err)
+		}
+		if rep.FailuresInjected == 0 {
+			return nil, fmt.Errorf("recovery-frontier %s: scripted kill never fired", protocol)
+		}
+		row.LostIterations = rep.Stats.LostIterations
+		if protocol == "replica" {
+			// No recovery epoch ran: the failure's entire footprint is
+			// the promotion handoff, measured on the trace timeline.
+			row.Masked = rep.Stats.Recoveries == 0
+			row.RecoveryLatency = timelineSpan(rep.Timeline, trace.KindNodeFailed, trace.KindShadowPromote)
+			if !row.Masked {
+				return nil, fmt.Errorf("recovery-frontier replica: primary kill was not masked (%d recovery epochs)", rep.Stats.Recoveries)
+			}
+			if row.RecoveryLatency <= 0 {
+				return nil, fmt.Errorf("recovery-frontier replica: no node-failed -> shadow-promote span in timeline")
+			}
+		} else {
+			if rep.Stats.Recoveries == 0 {
+				return nil, fmt.Errorf("recovery-frontier %s: kill fired but no recovery epoch ran", protocol)
+			}
+			row.RecoveryLatency = rep.Stats.RecoveryTime / time.Duration(rep.Stats.Recoveries)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// recoveryReport is the BENCH_recovery.json schema.
+type recoveryReport struct {
+	Experiment string         `json:"experiment"`
+	Config     RecoveryConfig `json:"config"`
+	Results    []RecoveryRow  `json:"results"`
+	// ReplicaFastestRecovery is the acceptance headline: replication's
+	// recovery latency is strictly below both rollback protocols'.
+	ReplicaFastestRecovery bool `json:"replica_fastest_recovery"`
+}
+
+// replicaFastest reports whether the replica row's recovery latency is
+// strictly below every rollback row's.
+func replicaFastest(rows []RecoveryRow) bool {
+	var replica time.Duration
+	for _, r := range rows {
+		if r.Protocol == "replica" {
+			replica = r.RecoveryLatency
+		}
+	}
+	if replica <= 0 {
+		return false
+	}
+	for _, r := range rows {
+		if r.Protocol != "replica" && r.RecoveryLatency <= replica {
+			return false
+		}
+	}
+	return true
+}
+
+// RecoveryJSON renders the sweep as the BENCH_recovery.json document.
+func RecoveryJSON(cfg RecoveryConfig, rows []RecoveryRow) ([]byte, error) {
+	doc, err := json.MarshalIndent(recoveryReport{
+		Experiment:             "recovery-frontier",
+		Config:                 cfg,
+		Results:                rows,
+		ReplicaFastestRecovery: replicaFastest(rows),
+	}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(doc, '\n'), nil
+}
+
+// PrintRecovery renders the frontier with the headline comparison.
+func PrintRecovery(w io.Writer, cfg RecoveryConfig, rows []RecoveryRow) {
+	fmt.Fprintf(w, "Recovery frontier: %d ranks, %d iterations, checkpoint every %d, one primary-node kill\n",
+		cfg.Ranks, cfg.Iters, cfg.Interval)
+	fmt.Fprintf(w, "%8s %6s %11s %9s %11s %13s %9s %7s\n",
+		"protocol", "nodes", "ff-wall(ms)", "ovh", "fail(ms)", "recovery(ms)", "lost-its", "masked")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8s %6d %11.1f %8.1f%% %11.1f %13.3f %9d %7v\n",
+			r.Protocol, r.Nodes,
+			float64(r.FFWall)/1e6, r.OverheadPct, float64(r.FailWall)/1e6,
+			float64(r.RecoveryLatency)/1e6, r.LostIterations, r.Masked)
+	}
+	if replicaFastest(rows) {
+		fmt.Fprintln(w, "replica recovery latency is strictly below both rollback protocols (promotion, no rollback)")
+	} else {
+		fmt.Fprintln(w, "WARNING: replica recovery latency did NOT beat both rollback protocols on this run")
+	}
+	fmt.Fprintln(w, "the price is the doubled node footprint and the mirrored-send steady-state overhead above")
+}

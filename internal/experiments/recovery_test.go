@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryFrontierSmall runs the frontier at smoke size and checks
+// the acceptance shape: all three protocols measured, the replica row
+// masked with zero lost iterations and a strictly lower recovery
+// latency than both rollback protocols, and the JSON document carrying
+// the headline flag.
+func TestRecoveryFrontierSmall(t *testing.T) {
+	cfg := QuickRecoveryConfig()
+	rows, err := RecoveryFrontier(cfg)
+	if err != nil {
+		t.Fatalf("RecoveryFrontier: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byProto := map[string]RecoveryRow{}
+	for _, r := range rows {
+		byProto[r.Protocol] = r
+		if r.FFWall <= 0 || r.FailWall <= 0 || r.RecoveryLatency <= 0 {
+			t.Errorf("%s: non-positive measurement %+v", r.Protocol, r)
+		}
+	}
+	rep := byProto["replica"]
+	if !rep.Masked || rep.LostIterations != 0 {
+		t.Errorf("replica row not masked: %+v", rep)
+	}
+	if rep.Nodes != 2*cfg.Ranks {
+		t.Errorf("replica nodes = %d, want %d (doubled footprint reported honestly)", rep.Nodes, 2*cfg.Ranks)
+	}
+	for _, p := range []string{"global", "local"} {
+		if byProto[p].Masked {
+			t.Errorf("%s row claims masked", p)
+		}
+		if byProto[p].RecoveryLatency <= rep.RecoveryLatency {
+			t.Errorf("%s recovery %v not above replica %v", p, byProto[p].RecoveryLatency, rep.RecoveryLatency)
+		}
+	}
+
+	doc, err := RecoveryJSON(cfg, rows)
+	if err != nil {
+		t.Fatalf("RecoveryJSON: %v", err)
+	}
+	var parsed struct {
+		Experiment             string `json:"experiment"`
+		ReplicaFastestRecovery bool   `json:"replica_fastest_recovery"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if parsed.Experiment != "recovery-frontier" || !parsed.ReplicaFastestRecovery {
+		t.Errorf("JSON headline = %+v, want recovery-frontier with replica_fastest_recovery", parsed)
+	}
+
+	var buf bytes.Buffer
+	PrintRecovery(&buf, cfg, rows)
+	if !strings.Contains(buf.String(), "strictly below both rollback protocols") {
+		t.Errorf("PrintRecovery missing headline:\n%s", buf.String())
+	}
+}

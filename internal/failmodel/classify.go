@@ -1,0 +1,121 @@
+package failmodel
+
+// Fault classification: what each recovery protocol does when a fault
+// of a given scope hits the job. The rollback protocols (global, local)
+// detect every node loss and pay a rollback or replay; the replication
+// protocol masks single-copy losses entirely — a primary loss promotes
+// the shadow in place, a shadow loss re-provisions in the background —
+// and only a correlated pair loss is detected, at which point the job
+// degrades to the rollback path, whose own level-1 feasibility check
+// may further fall back to the level-2 (PFS) checkpoint.
+
+// Protocol identifies a Config.Recovery protocol.
+type Protocol string
+
+const (
+	// ProtocolGlobal is coordinated in-memory C/R: every rank rolls
+	// back to the newest checkpoint available on all survivors.
+	ProtocolGlobal Protocol = "global"
+	// ProtocolLocal is sender-based message logging: only replacements
+	// roll back; survivors keep their live state and replay their logs.
+	ProtocolLocal Protocol = "local"
+	// ProtocolReplica is primary/shadow rank replication: copy losses
+	// are masked by promotion or re-provisioning, never rolled back.
+	ProtocolReplica Protocol = "replica"
+)
+
+// Scope is the extent of a fault relative to the protocol's redundancy.
+type Scope string
+
+const (
+	// ScopeNode is the loss of one compute node's ranks (the rollback
+	// protocols hold exactly one copy of each rank, so any node loss
+	// has this scope).
+	ScopeNode Scope = "node"
+	// ScopePrimary is the loss of a replica pair's active copy.
+	ScopePrimary Scope = "primary"
+	// ScopeShadow is the loss of a replica pair's passive copy.
+	ScopeShadow Scope = "shadow"
+	// ScopePair is the correlated loss of both copies of one rank —
+	// the replication protocol's only unmasked fault.
+	ScopePair Scope = "pair"
+	// ScopeGroup is damage exceeding one checkpoint group's erasure
+	// tolerance, forcing the level-2 (PFS) fallback.
+	ScopeGroup Scope = "group-exceeded"
+)
+
+// Outcome is the application-visible effect of the fault.
+type Outcome string
+
+const (
+	// Masked: the job continues with no rollback, no replay, and no
+	// lost iterations; the application cannot observe the fault.
+	Masked Outcome = "masked"
+	// Detected: the runtime opens a recovery epoch and the job pays a
+	// rollback, replay, or restart cost.
+	Detected Outcome = "detected"
+)
+
+// Classification is one cell of the protocol × scope matrix.
+type Classification struct {
+	Protocol Protocol
+	Scope    Scope
+	Outcome  Outcome
+	// Rollback reports whether any surviving rank loses iterations.
+	Rollback bool
+	// Fallback names the protocol or level recovery degrades to, empty
+	// when the protocol handles the fault natively.
+	Fallback string
+	// Action is the recovery mechanism, phrased as in DESIGN.md.
+	Action string
+}
+
+// Matrix returns the full protocol × fault-scope classification, in a
+// fixed order so tests can pin it.
+func Matrix() []Classification {
+	return []Classification{
+		{ProtocolGlobal, ScopeNode, Detected, true, "",
+			"all ranks roll back to the newest globally available L1 checkpoint"},
+		{ProtocolGlobal, ScopeGroup, Detected, true, "L2",
+			"XOR/RS group unrecoverable: every rank restarts from the newest L2 (PFS) checkpoint"},
+		{ProtocolLocal, ScopeNode, Detected, false, "",
+			"replacements roll back and re-execute; survivors replay sender logs without losing state"},
+		{ProtocolLocal, ScopeGroup, Detected, true, "L2",
+			"XOR/RS group unrecoverable: logs reset and every rank restarts from the newest L2 (PFS) checkpoint"},
+		{ProtocolReplica, ScopePrimary, Masked, false, "",
+			"shadow promoted in place; a fresh shadow is re-provisioned from a spare in the background"},
+		{ProtocolReplica, ScopeShadow, Masked, false, "",
+			"primary continues; a fresh shadow is re-provisioned from a spare in the background"},
+		{ProtocolReplica, ScopePair, Detected, true, "global+L2",
+			"both copies lost: replication degrades to global rollback, itself subject to the L1 feasibility check and L2 fallback"},
+	}
+}
+
+// Classify looks up the matrix cell for a protocol and fault scope.
+// ok is false for combinations the protocol cannot produce (a replica
+// job never sees a bare node scope — anti-affinity means one node
+// holds primaries or shadows, classified per copy — and the rollback
+// protocols have no primary/shadow/pair distinction).
+func Classify(p Protocol, s Scope) (Classification, bool) {
+	for _, c := range Matrix() {
+		if c.Protocol == p && c.Scope == s {
+			return c, true
+		}
+	}
+	return Classification{}, false
+}
+
+// MaskedFraction returns the fraction of failures a protocol masks
+// outright, given the Table I failure mix and the replica pair
+// correlation: pairProb is the probability that a fault wide enough to
+// hit several nodes takes out both copies of at least one rank.
+// Rollback protocols mask nothing; replication masks every single-node
+// failure (one copy of some ranks) and multi-node failures that happen
+// to miss one copy of every pair.
+func MaskedFraction(p Protocol, types []FailureType, pairProb float64) float64 {
+	if p != ProtocolReplica {
+		return 0
+	}
+	single := SingleNodeFraction(types)
+	return single + (1-single)*(1-pairProb)
+}

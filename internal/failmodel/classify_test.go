@@ -1,0 +1,96 @@
+package failmodel
+
+import "testing"
+
+// TestClassifyMatrix pins the protocol × fault-scope classification:
+// the replication protocol masks single-copy losses and detects only
+// the correlated pair loss, which degrades through global rollback to
+// the L2 fallback; the rollback protocols detect everything.
+func TestClassifyMatrix(t *testing.T) {
+	want := []struct {
+		p        Protocol
+		s        Scope
+		outcome  Outcome
+		rollback bool
+		fallback string
+	}{
+		{ProtocolGlobal, ScopeNode, Detected, true, ""},
+		{ProtocolGlobal, ScopeGroup, Detected, true, "L2"},
+		{ProtocolLocal, ScopeNode, Detected, false, ""},
+		{ProtocolLocal, ScopeGroup, Detected, true, "L2"},
+		{ProtocolReplica, ScopePrimary, Masked, false, ""},
+		{ProtocolReplica, ScopeShadow, Masked, false, ""},
+		{ProtocolReplica, ScopePair, Detected, true, "global+L2"},
+	}
+	m := Matrix()
+	if len(m) != len(want) {
+		t.Fatalf("Matrix has %d cells, want %d", len(m), len(want))
+	}
+	for i, w := range want {
+		got, ok := Classify(w.p, w.s)
+		if !ok {
+			t.Fatalf("Classify(%s, %s): not in matrix", w.p, w.s)
+		}
+		if got != m[i] {
+			t.Errorf("Classify(%s, %s) disagrees with Matrix order", w.p, w.s)
+		}
+		if got.Outcome != w.outcome || got.Rollback != w.rollback || got.Fallback != w.fallback {
+			t.Errorf("Classify(%s, %s) = {%s rollback=%v fallback=%q}, want {%s rollback=%v fallback=%q}",
+				w.p, w.s, got.Outcome, got.Rollback, got.Fallback, w.outcome, w.rollback, w.fallback)
+		}
+		if got.Action == "" {
+			t.Errorf("Classify(%s, %s): empty Action", w.p, w.s)
+		}
+	}
+}
+
+// TestClassifyInvalidCombos: scopes a protocol cannot produce are
+// rejected rather than defaulted.
+func TestClassifyInvalidCombos(t *testing.T) {
+	invalid := []struct {
+		p Protocol
+		s Scope
+	}{
+		{ProtocolGlobal, ScopePrimary},
+		{ProtocolGlobal, ScopeShadow},
+		{ProtocolGlobal, ScopePair},
+		{ProtocolLocal, ScopePrimary},
+		{ProtocolLocal, ScopePair},
+		{ProtocolReplica, ScopeNode},
+		{ProtocolReplica, ScopeGroup},
+		{Protocol("none"), ScopeNode},
+	}
+	for _, c := range invalid {
+		if got, ok := Classify(c.p, c.s); ok {
+			t.Errorf("Classify(%s, %s) = %+v, want not-ok", c.p, c.s, got)
+		}
+	}
+}
+
+// TestMaskedFraction: only replication masks failures. With the
+// TSUBAME2 mix (~92%% single-node) and perfectly anti-correlated pairs
+// (pairProb 0), replication masks everything; with pairProb 1 it masks
+// exactly the single-node fraction.
+func TestMaskedFraction(t *testing.T) {
+	types := TSUBAME2Types()
+	if got := MaskedFraction(ProtocolGlobal, types, 0.5); got != 0 {
+		t.Errorf("global masks %v, want 0", got)
+	}
+	if got := MaskedFraction(ProtocolLocal, types, 0.5); got != 0 {
+		t.Errorf("local masks %v, want 0", got)
+	}
+	single := SingleNodeFraction(types)
+	if single < 0.9 || single > 0.95 {
+		t.Fatalf("SingleNodeFraction = %v, want ~0.92", single)
+	}
+	if got := MaskedFraction(ProtocolReplica, types, 0); got != 1 {
+		t.Errorf("replica with pairProb 0 masks %v, want 1", got)
+	}
+	if got := MaskedFraction(ProtocolReplica, types, 1); got != single {
+		t.Errorf("replica with pairProb 1 masks %v, want %v", got, single)
+	}
+	mid := MaskedFraction(ProtocolReplica, types, 0.5)
+	if mid <= single || mid >= 1 {
+		t.Errorf("replica with pairProb 0.5 masks %v, want in (%v, 1)", mid, single)
+	}
+}

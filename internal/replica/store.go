@@ -1,0 +1,163 @@
+package replica
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fmi/internal/cluster"
+	"fmi/internal/trace"
+)
+
+// Store is the ReStore-style in-memory replicated data store
+// (PAPERS.md: "ReStore: In-Memory REplicated STORagE for Rapid
+// Recovery in Fault-Tolerant Algorithms"). Applications Submit named
+// byte objects once; the store keeps R in-memory copies on distinct
+// cluster nodes, prunes copies when their node dies, and immediately
+// re-replicates back to R from any survivor — so after a failure the
+// application re-fetches its input data with Load instead of
+// re-reading it from the parallel file system or re-computing it.
+//
+// The replica count is fixed at 2 to match the protocol's
+// primary/shadow pairing: one node loss never loses data, and the
+// same correlated pair loss that degrades the protocol is the event
+// that can lose a store object.
+type Store struct {
+	clu *cluster.Cluster
+	rec *trace.Recorder
+
+	mu      sync.Mutex
+	objects map[string]*object
+}
+
+// StoreReplicas is the number of in-memory copies kept per object.
+const StoreReplicas = 2
+
+type object struct {
+	data  []byte
+	nodes []int // cluster node ids currently holding a copy
+}
+
+// NewStore creates a store over the cluster and subscribes to node
+// failures so lost copies are re-replicated as soon as the failure is
+// observed.
+func NewStore(clu *cluster.Cluster, rec *trace.Recorder) *Store {
+	s := &Store{clu: clu, rec: rec, objects: make(map[string]*object)}
+	// The callback must not block (cluster contract); map surgery and
+	// re-placement are pure in-memory bookkeeping here, so rebuilding
+	// synchronously keeps the recovery window at zero instead of
+	// racing a background goroutine against the next failure.
+	clu.OnNodeFailure(func(nd *cluster.Node) { s.pruneNode(nd.ID) })
+	return s
+}
+
+// pickNodes returns up to want healthy node ids not already in have,
+// lowest id first (deterministic placement).
+func (s *Store) pickNodes(have []int, want int) []int {
+	taken := make(map[int]bool, len(have))
+	for _, id := range have {
+		taken[id] = true
+	}
+	var out []int
+	for _, nd := range s.clu.Alive() {
+		if !taken[nd.ID] {
+			out = append(out, nd.ID)
+		}
+	}
+	sort.Ints(out)
+	if len(out) > want {
+		out = out[:want]
+	}
+	return out
+}
+
+// Submit stores (or replaces) the object under key with StoreReplicas
+// copies on distinct healthy nodes. The data is copied; the caller
+// may reuse the slice.
+func (s *Store) Submit(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nodes := s.pickNodes(nil, StoreReplicas)
+	if len(nodes) == 0 {
+		return fmt.Errorf("fmi: store submit %q: no healthy nodes", key)
+	}
+	s.objects[key] = &object{data: append([]byte(nil), data...), nodes: nodes}
+	s.rec.Add(trace.KindStoreSubmit, -1, 0, "store submit %q (%d B) -> nodes %v", key, len(data), nodes)
+	return nil
+}
+
+// Load returns a copy of the object under key, as long as at least
+// one holder node is still alive.
+func (s *Store) Load(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("fmi: store load %q: not found", key)
+	}
+	if len(obj.nodes) == 0 {
+		return nil, fmt.Errorf("fmi: store load %q: all copies lost", key)
+	}
+	return append([]byte(nil), obj.data...), nil
+}
+
+// Rebuild re-replicates every surviving object back up to
+// StoreReplicas copies and returns how many new copies were placed.
+// It runs automatically after every node failure; the public entry
+// point lets applications force a pass (e.g. after growing the
+// cluster).
+func (s *Store) Rebuild() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildLocked()
+}
+
+func (s *Store) rebuildLocked() int {
+	created := 0
+	for key, obj := range s.objects {
+		if len(obj.nodes) == 0 || len(obj.nodes) >= StoreReplicas {
+			continue
+		}
+		fresh := s.pickNodes(obj.nodes, StoreReplicas-len(obj.nodes))
+		if len(fresh) == 0 {
+			continue
+		}
+		obj.nodes = append(obj.nodes, fresh...)
+		created += len(fresh)
+		s.rec.Add(trace.KindStoreRebuild, -1, 0, "store rebuild %q: +%d copies -> nodes %v", key, len(fresh), obj.nodes)
+	}
+	return created
+}
+
+// pruneNode drops node id's copies and immediately re-replicates the
+// affected objects from their survivors.
+func (s *Store) pruneNode(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	touched := false
+	for _, obj := range s.objects {
+		keep := obj.nodes[:0]
+		for _, n := range obj.nodes {
+			if n != id {
+				keep = append(keep, n)
+			} else {
+				touched = true
+			}
+		}
+		obj.nodes = keep
+	}
+	if touched {
+		s.rebuildLocked()
+	}
+}
+
+// Copies reports how many live copies of key exist (0 if absent).
+func (s *Store) Copies(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.objects[key]
+	if !ok {
+		return 0
+	}
+	return len(obj.nodes)
+}

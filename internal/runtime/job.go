@@ -19,6 +19,7 @@ import (
 	"fmi/internal/coll"
 	"fmi/internal/core"
 	"fmi/internal/pfs"
+	"fmi/internal/replica"
 	"fmi/internal/scr"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
@@ -45,8 +46,14 @@ type Config struct {
 	// failures beyond the XOR groups' reach (0 disables level 2).
 	L2Every int
 	// Recovery selects the recovery protocol: "global" (default, the
-	// paper's Fig 5 rollback of every rank) or "local" (sender-based
-	// message logging; only respawned ranks roll back and replay).
+	// paper's Fig 5 rollback of every rank), "local" (sender-based
+	// message logging; only respawned ranks roll back and replay), or
+	// "replica" (every rank runs as a primary/shadow pair on distinct
+	// nodes; a primary loss is masked by promoting the shadow in place
+	// — no rollback, no replay). Replica mode requires an explicit
+	// Interval (the MTBF auto-tuner uses wall-clock EWMAs that would
+	// desynchronise the lockstep pair) and ProcsPerNode == 1 (pairs
+	// are placed per node).
 	Recovery string
 	// SCR is the storage manager used for level-2 checkpoints;
 	// created over a Lustre-like PFS model if nil and L2Every > 0.
@@ -134,6 +141,16 @@ type Job struct {
 	app         App
 	failedNodes map[int]bool
 	finCh       chan struct{} // closed on completion or abort (Done)
+	rep         *repState     // replica recovery state; nil otherwise
+}
+
+// repState holds the replica-recovery bookkeeping (guarded by Job.mu
+// except for reg, which has its own lock).
+type repState struct {
+	reg        *replica.Registry
+	shadowNode []int           // rank -> node id hosting its shadow (-1 = none)
+	shadowProc []*cluster.Proc // rank -> shadow process (nil = none)
+	degraded   bool            // pair loss forced a fall-back to rollback recovery
 }
 
 type epochWaiter struct {
@@ -171,15 +188,28 @@ func Launch(cfg Config, app App) (*Job, error) {
 	if cfg.L2Every > 0 && cfg.SCR == nil {
 		cfg.SCR = scr.NewManager(pfs.SierraTmpfs(), pfs.NewShared("pfs", pfs.LustrePFS()))
 	}
+	replicated := cfg.Recovery == "replica"
+	if replicated {
+		if cfg.ProcsPerNode != 1 {
+			return nil, fmt.Errorf("fmirun: replica recovery requires ProcsPerNode == 1 (got %d)", cfg.ProcsPerNode)
+		}
+		if cfg.Interval <= 0 {
+			return nil, fmt.Errorf("fmirun: replica recovery requires an explicit Interval (the MTBF auto-tuner would desynchronise primary/shadow pairs)")
+		}
+	}
 	nodes := (cfg.Ranks + cfg.ProcsPerNode - 1) / cfg.ProcsPerNode
+	totalNodes := nodes
+	if replicated {
+		totalNodes = 2 * nodes // one shadow node per primary node
+	}
 	clu := cfg.Cluster
 	if clu == nil {
-		clu = cluster.New(nodes + cfg.SpareNodes)
+		clu = cluster.New(totalNodes + cfg.SpareNodes)
 	}
 	rm := cfg.RM
 	if rm == nil {
 		var spares []*cluster.Node
-		for i := nodes; i < nodes+cfg.SpareNodes; i++ {
+		for i := totalNodes; i < totalNodes+cfg.SpareNodes; i++ {
 			if nd := clu.Node(i); nd != nil {
 				spares = append(spares, nd)
 			}
@@ -204,6 +234,16 @@ func Launch(cfg Config, app App) (*Job, error) {
 		failedNodes: make(map[int]bool),
 		finCh:       make(chan struct{}),
 	}
+	if replicated {
+		j.rep = &repState{
+			reg:        replica.NewRegistry(cfg.Ranks),
+			shadowNode: make([]int, cfg.Ranks),
+			shadowProc: make([]*cluster.Proc, cfg.Ranks),
+		}
+		for r := range j.rep.shadowNode {
+			j.rep.shadowNode[r] = -1
+		}
+	}
 	go func() {
 		select {
 		case <-j.doneCh:
@@ -214,9 +254,19 @@ func Launch(cfg Config, app App) (*Job, error) {
 
 	// Initial placement: block mapping, procsPerNode consecutive ranks
 	// per node — the machinefile of Fig 6, either the default identity
-	// mapping onto node ids 0..n-1 or an explicit cfg.Machine list.
-	if cfg.Machine != nil && len(cfg.Machine) < nodes {
-		return nil, fmt.Errorf("fmirun: machinefile has %d nodes, need %d", len(cfg.Machine), nodes)
+	// mapping onto node ids 0..n-1 or an explicit cfg.Machine list. In
+	// replica mode the machinefile carries nodes extra slots: rank r's
+	// shadow runs on Machine[nodes+r], which must differ from its
+	// primary's node (anti-affinity — a pair on one node is no pair).
+	if cfg.Machine != nil && len(cfg.Machine) < totalNodes {
+		return nil, fmt.Errorf("fmirun: machinefile has %d nodes, need %d", len(cfg.Machine), totalNodes)
+	}
+	if replicated && cfg.Machine != nil {
+		for r := 0; r < cfg.Ranks; r++ {
+			if cfg.Machine[r] != nil && cfg.Machine[nodes+r] != nil && cfg.Machine[r].ID == cfg.Machine[nodes+r].ID {
+				return nil, fmt.Errorf("fmirun: replica anti-affinity violated: rank %d primary and shadow both placed on node %d", r, cfg.Machine[r].ID)
+			}
+		}
 	}
 	perNode := make(map[int][]int) // machinefile slot -> ranks
 	for r := 0; r < cfg.Ranks; r++ {
@@ -242,6 +292,27 @@ func Launch(cfg Config, app App) (*Job, error) {
 		j.mu.Unlock()
 		for _, r := range ranks {
 			if err := j.spawnRank(t, r, 0, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if replicated {
+		for r := 0; r < cfg.Ranks; r++ {
+			var nd *cluster.Node
+			if cfg.Machine != nil {
+				nd = cfg.Machine[nodes+r]
+			} else {
+				nd = clu.Node(nodes + r)
+			}
+			if nd == nil {
+				return nil, fmt.Errorf("fmirun: machinefile shadow slot %d has no node", nodes+r)
+			}
+			nt := newShadowTask(j, nd)
+			j.mu.Lock()
+			j.tasks[nd.ID] = nt
+			j.rep.shadowNode[r] = nd.ID
+			j.mu.Unlock()
+			if err := j.spawnShadow(nt, r, false); err != nil {
 				return nil, err
 			}
 		}
@@ -362,6 +433,18 @@ func (j *Job) Abort(err error) {
 	}
 	close(j.abortCh)
 	procs := append([]*cluster.Proc{}, j.rankProc...)
+	if j.rep != nil {
+		for r, cp := range j.rep.shadowProc {
+			if cp != nil {
+				procs = append(procs, cp)
+			}
+			if nd := j.rep.shadowNode[r]; nd >= 0 {
+				if st := j.tasks[nd]; st != nil {
+					st.silence()
+				}
+			}
+		}
+	}
 	j.mu.Unlock()
 	j.cfg.Trace.Add(trace.KindAbort, -1, 0, "job aborted: %v", err)
 	for _, p := range procs {
@@ -442,6 +525,7 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 		L2:            j.cfg.SCR,
 		Local:         j.cfg.Recovery == "local",
 		Network:       j.cfg.Network,
+		Replica:       j.replicaReg(),
 		Ctl:           j,
 		KillCh:        cp.KillCh(),
 		Stats:         j.stats,
@@ -492,13 +576,26 @@ func (j *Job) rankFinished(rank int, err error) {
 		default:
 			close(j.doneCh)
 		}
+		j.killShadows()
 	}
 }
 
-// taskFailed handles an fmirun.task failure report: bump the epoch,
-// unblock stale rendezvous, allocate a replacement node, and respawn
-// the lost ranks (paper §IV-B).
+// taskFailed handles an fmirun.task failure report. In replica mode
+// the failure is first offered to the replication layer, which masks
+// primary losses (shadow promotion) and shadow losses (background
+// reprovision); only an unmaskable pair loss — or any failure once the
+// pair machinery has been degraded — reaches the rollback path.
 func (j *Job) taskFailed(t *task) {
+	if j.replicaHandle(t) {
+		return
+	}
+	j.failNode(t)
+}
+
+// failNode is the rollback-recovery failure path (paper §IV-B): bump
+// the epoch, unblock stale rendezvous, allocate a replacement node,
+// and respawn the lost ranks.
+func (j *Job) failNode(t *task) {
 	j.mu.Lock()
 	if j.failedNodes[t.node.ID] {
 		j.mu.Unlock()
@@ -577,3 +674,302 @@ func (j *Job) taskFailed(t *task) {
 		}
 	}()
 }
+
+// replicaReg returns the shared replica registry (nil outside replica
+// mode) for wiring into rank processes.
+func (j *Job) replicaReg() *replica.Registry {
+	if j.rep == nil {
+		return nil
+	}
+	return j.rep.reg
+}
+
+// ShadowNodeOfRank returns the node currently hosting a rank's shadow
+// copy, or nil (fault injectors target shadow/pair kills through
+// this).
+func (j *Job) ShadowNodeOfRank(rank int) *cluster.Node {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rep == nil || rank < 0 || rank >= len(j.rep.shadowNode) {
+		return nil
+	}
+	nd := j.rep.shadowNode[rank]
+	if nd < 0 {
+		return nil
+	}
+	return j.clu.Node(nd)
+}
+
+// replicaHandle offers a task failure to the replication layer.
+// Returns true when the failure was absorbed (masked, duplicate, or
+// handed to failNode after degrading); false when the plain rollback
+// path should handle it.
+func (j *Job) replicaHandle(t *task) bool {
+	if j.rep == nil {
+		return false
+	}
+	select {
+	case <-j.doneCh:
+		return true // completion teardown, not a failure
+	case <-j.abortCh:
+		return true
+	default:
+	}
+	j.mu.Lock()
+	if !j.rep.reg.Active() {
+		j.mu.Unlock()
+		return false // degraded: rollback recovery owns failures now
+	}
+	if j.failedNodes[t.node.ID] {
+		j.mu.Unlock()
+		return true // duplicate report
+	}
+	// With ProcsPerNode == 1 a node hosts exactly one copy: either some
+	// rank's acting primary or some rank's shadow.
+	primRank, shadRank := -1, -1
+	for r, nd := range j.rankNode {
+		if nd == t.node.ID && !j.rankDone[r] {
+			primRank = r
+		}
+	}
+	for r, nd := range j.rep.shadowNode {
+		if nd == t.node.ID {
+			shadRank = r
+		}
+	}
+	if primRank < 0 && shadRank < 0 {
+		// Hosts nothing live (e.g. its rank already finished).
+		j.failedNodes[t.node.ID] = true
+		j.mu.Unlock()
+		return true
+	}
+	if primRank < 0 {
+		// Shadow loss: fully masked. The primary keeps running; mirrored
+		// sends to the dead endpoint vanish at the transport. Re-arm
+		// protection by provisioning a replacement shadow in the
+		// background.
+		j.failedNodes[t.node.ID] = true
+		j.rep.reg.DropShadow(shadRank)
+		j.rep.shadowNode[shadRank] = -1
+		j.rep.shadowProc[shadRank] = nil
+		delete(j.tasks, t.node.ID)
+		j.mu.Unlock()
+		j.cfg.Trace.Add(trace.KindNodeFailed, -1, 0, "node %d failed (shadow of rank %d; masked)", t.node.ID, shadRank)
+		go j.reprovisionShadow(shadRank)
+		return true
+	}
+	// Primary loss: promote the shadow in place. No epoch bump, no
+	// rollback — the shadow holds identical state and the survivors'
+	// mirrored traffic already flows to it.
+	if j.rep.reg.Promote(primRank) {
+		j.failedNodes[t.node.ID] = true
+		shadowNd := j.rep.shadowNode[primRank]
+		j.rankNode[primRank] = shadowNd
+		j.rankProc[primRank] = j.rep.shadowProc[primRank]
+		j.rep.shadowNode[primRank] = -1
+		j.rep.shadowProc[primRank] = nil
+		delete(j.tasks, t.node.ID)
+		if nt := j.tasks[shadowNd]; nt != nil {
+			nt.setPrimary()
+		}
+		j.mu.Unlock()
+		j.cfg.Trace.Add(trace.KindNodeFailed, -1, 0, "node %d failed (primary of rank %d)", t.node.ID, primRank)
+		j.cfg.Trace.Add(trace.KindShadowPromote, primRank, 0, "shadow on node %d promoted in place (no rollback)", shadowNd)
+		go j.reprovisionShadow(primRank)
+		return true
+	}
+	// Pair loss: the rank's shadow is gone too (or not yet synced) —
+	// the failure is unmaskable. Degrade permanently to rollback
+	// recovery: deactivate the registry (survivors rebuild plain
+	// generations), reap the remaining shadows, return their healthy
+	// nodes to the spare pool, and let failNode reconstruct the lost
+	// rank from its checkpoint group (L1, or the L2/feasibility
+	// fallback when the group lost both copies).
+	j.rep.degraded = true
+	j.rep.reg.Deactivate()
+	var reap []*cluster.Proc
+	var pool []*cluster.Node
+	for r := range j.rep.shadowNode {
+		nd := j.rep.shadowNode[r]
+		if nd < 0 {
+			continue
+		}
+		if cp := j.rep.shadowProc[r]; cp != nil {
+			reap = append(reap, cp)
+		}
+		if st := j.tasks[nd]; st != nil {
+			st.silence()
+			delete(j.tasks, nd)
+		}
+		if n := j.clu.Node(nd); n != nil && !n.Failed() {
+			pool = append(pool, n)
+		}
+		j.rep.shadowNode[r] = -1
+		j.rep.shadowProc[r] = nil
+	}
+	j.mu.Unlock()
+	for _, cp := range reap {
+		cp.Kill()
+	}
+	for _, n := range pool {
+		j.rm.AddSpare(n)
+	}
+	j.cfg.Trace.Add(trace.KindNodeFailed, -1, 0, "node %d failed (rank %d pair lost; degrading to rollback recovery)", t.node.ID, primRank)
+	j.failNode(t)
+	return true
+}
+
+// reprovisionShadow allocates a spare node (avoiding the rank's acting
+// primary — anti-affinity) and spawns a replacement shadow on it. The
+// replacement registers with needSync, re-executes the deterministic
+// prologue, and adopts the primary's live state at the next Loop
+// boundary (core's shadow-sync protocol). If no spare can be had the
+// rank simply runs unprotected: the next primary loss degrades to
+// rollback recovery instead of aborting the job.
+func (j *Job) reprovisionShadow(rank int) {
+	j.mu.Lock()
+	avoid := j.rankNode[rank]
+	j.mu.Unlock()
+	nd, err := j.rm.AllocateAvoiding(j.abortCh, avoid)
+	if err != nil {
+		j.cfg.Trace.Add(trace.KindShadowReprovision, rank, 0, "no spare for replacement shadow (%v); rank runs unprotected", err)
+		return
+	}
+	j.mu.Lock()
+	stale := j.rep.degraded || j.rankDone[rank]
+	if !stale {
+		select {
+		case <-j.doneCh:
+			stale = true
+		case <-j.abortCh:
+			stale = true
+		default:
+		}
+	}
+	if stale {
+		j.mu.Unlock()
+		j.rm.AddSpare(nd)
+		return
+	}
+	j.spareUsed++
+	nt := newShadowTask(j, nd)
+	j.tasks[nd.ID] = nt
+	j.rep.shadowNode[rank] = nd.ID
+	j.mu.Unlock()
+	j.cfg.Trace.Add(trace.KindSpareAlloc, -1, 0, "node %d allocated for replacement shadow of rank %d", nd.ID, rank)
+	j.cfg.Trace.Add(trace.KindShadowReprovision, rank, 0, "replacement shadow spawning on node %d", nd.ID)
+	if err := j.spawnShadow(nt, rank, true); err != nil {
+		j.cfg.Trace.Add(trace.KindShadowReprovision, rank, 0, "replacement shadow spawn failed: %v; rank runs unprotected", err)
+	}
+}
+
+// spawnShadow starts a rank's shadow copy on the task's node. Shadows
+// run the same deterministic app in lockstep with their primary but
+// report into a private Stats sink (the pair would double-count) and
+// carry no trace recorder; loop progress is reported only after
+// promotion (shadowCtl).
+func (j *Job) spawnShadow(t *task, rank int, needSync bool) error {
+	cp, err := t.node.Spawn()
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.rep.shadowProc[rank] = cp
+	j.rep.shadowNode[rank] = t.node.ID
+	j.mu.Unlock()
+	t.addChild(rank, cp)
+
+	cfg := core.Config{
+		Rank: rank, N: j.cfg.Ranks,
+		ProcsPerNode:  j.cfg.ProcsPerNode,
+		Epoch:         0,
+		IsReplacement: needSync,
+		Interval:      j.cfg.Interval,
+		MTBF:          j.cfg.MTBF,
+		GroupSize:     j.cfg.GroupSize,
+		RingBase:      j.cfg.RingBase,
+		Redundancy:    j.cfg.Redundancy,
+		L2Every:       j.cfg.L2Every,
+		L2:            j.cfg.SCR,
+		Network:       j.cfg.Network,
+		Replica:       j.rep.reg,
+		Shadow:        true,
+		Ctl:           shadowCtl{j: j, rank: rank},
+		KillCh:        cp.KillCh(),
+		Stats:         &core.Stats{},
+		Coll:          j.cfg.Coll,
+		Pool:          j.cfg.Pool,
+	}
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				if core.IsKilledPanic(v) {
+					return // task learned via KillCh
+				}
+				cp.Exit(fmt.Errorf("fmirun: shadow of rank %d panicked: %v", rank, v))
+				return
+			}
+		}()
+		p, err := core.Init(cfg)
+		if err != nil {
+			if errors.Is(err, core.ErrKilled) {
+				return
+			}
+			cp.Exit(fmt.Errorf("fmirun: shadow of rank %d init: %w", rank, err))
+			return
+		}
+		cp.Exit(j.app(p))
+	}()
+	return nil
+}
+
+// killShadows reaps every remaining shadow at job completion. The
+// tasks are silenced first so the deliberate kills are not mistaken
+// for node failures.
+func (j *Job) killShadows() {
+	if j.rep == nil {
+		return
+	}
+	j.mu.Lock()
+	var kill []*cluster.Proc
+	for r, cp := range j.rep.shadowProc {
+		if cp != nil {
+			kill = append(kill, cp)
+			j.rep.shadowProc[r] = nil
+		}
+		if nd := j.rep.shadowNode[r]; nd >= 0 {
+			if st := j.tasks[nd]; st != nil {
+				st.silence()
+			}
+		}
+	}
+	j.mu.Unlock()
+	for _, cp := range kill {
+		cp.Kill()
+	}
+}
+
+// shadowCtl is the core.Control handed to shadow copies: identical to
+// the job's own, except loop progress is reported only once the shadow
+// has been promoted to acting primary — the fault injector's AfterLoop
+// counting must see each iteration exactly once per rank.
+type shadowCtl struct {
+	j    *Job
+	rank int
+}
+
+func (c shadowCtl) Coordinator() *bootstrap.Coordinator { return c.j.coord }
+
+func (c shadowCtl) AwaitEpoch(min uint32, cancel <-chan struct{}) (uint32, error) {
+	return c.j.AwaitEpoch(min, cancel)
+}
+
+func (c shadowCtl) EpochNotify(e uint32) <-chan struct{} { return c.j.EpochNotify(e) }
+
+func (c shadowCtl) ReportLoop(rank, loopID int) {
+	if c.j.rep.reg.Promoted(c.rank) {
+		c.j.ReportLoop(rank, loopID)
+	}
+}
+
+func (c shadowCtl) Abort(err error) { c.j.Abort(err) }

@@ -10,7 +10,9 @@ import (
 // task is the per-node fmirun.task of Fig 6: it forks the rank
 // processes on its node, watches them, and — if any child dies or
 // exits unsuccessfully — kills the remaining children and reports the
-// failure up to fmirun (paper §IV-B).
+// failure up to fmirun (paper §IV-B). In replica mode a task may host
+// a rank's shadow copy instead of its primary; promotion flips the
+// role in place.
 type task struct {
 	j    *Job
 	node *cluster.Node
@@ -18,6 +20,7 @@ type task struct {
 	mu       sync.Mutex
 	children map[int]*cluster.Proc // rank -> proc
 	failed   bool
+	shadow   bool // hosts a shadow copy (replica recovery)
 }
 
 func newTask(j *Job, node *cluster.Node) *task {
@@ -29,6 +32,38 @@ func newTask(j *Job, node *cluster.Node) *task {
 		t.fail()
 	}()
 	return t
+}
+
+// newShadowTask creates a task hosting a shadow copy.
+func newShadowTask(j *Job, node *cluster.Node) *task {
+	t := newTask(j, node)
+	t.mu.Lock()
+	t.shadow = true
+	t.mu.Unlock()
+	return t
+}
+
+// isShadow reports the task's current role.
+func (t *task) isShadow() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shadow
+}
+
+// setPrimary flips a shadow task to primary (its child was promoted).
+func (t *task) setPrimary() {
+	t.mu.Lock()
+	t.shadow = false
+	t.mu.Unlock()
+}
+
+// silence marks the task failed without reporting, so a deliberate
+// teardown of its children (shadow reaping at job completion, abort,
+// or a replica degrade) does not masquerade as a node failure.
+func (t *task) silence() {
+	t.mu.Lock()
+	t.failed = true
+	t.mu.Unlock()
 }
 
 func (t *task) addChild(rank int, cp *cluster.Proc) {
@@ -44,6 +79,15 @@ func (t *task) watch(rank int, cp *cluster.Proc) {
 		t.j.cfg.Trace.Add(trace.KindProcKilled, rank, t.j.Epoch(), "process killed on node %d", t.node.ID)
 		t.fail()
 	case <-cp.DoneCh():
+		if t.isShadow() {
+			// A shadow's exit is not the rank's: completion is reported
+			// by the acting primary, and a deterministic app error will
+			// surface identically from it.
+			t.mu.Lock()
+			delete(t.children, rank)
+			t.mu.Unlock()
+			return
+		}
 		if err := cp.ExitErr(); err != nil {
 			// Unsuccessful exit: treat like a crash (EXIT_FAILURE path
 			// in the paper) *unless* the job is already completing.

@@ -45,6 +45,13 @@ const (
 
 	// Schedule-driven collective engine, ISSUE 3.
 	KindCollAlgo Kind = "coll-algo" // algorithm selected for one collective
+
+	// Replication-based recovery and the ReStore-style data store,
+	// ISSUE 7.
+	KindShadowPromote     Kind = "shadow-promote"     // shadow took over for a dead primary
+	KindShadowReprovision Kind = "shadow-reprovision" // fresh shadow spawned from a spare
+	KindStoreSubmit       Kind = "store-submit"       // application data replicated into the store
+	KindStoreRebuild      Kind = "store-rebuild"      // store re-replicated after a copy loss
 )
 
 // Kinds returns every declared event kind, in declaration order. The
@@ -76,6 +83,10 @@ func Kinds() []Kind {
 		KindReplayDone,
 		KindLogTrim,
 		KindCollAlgo,
+		KindShadowPromote,
+		KindShadowReprovision,
+		KindStoreSubmit,
+		KindStoreRebuild,
 	}
 }
 

@@ -369,6 +369,41 @@ func (m *Matcher) SeedSeen(seen []uint64) {
 	}
 }
 
+// SeedSeenPurge adopts watermarks like SeedSeen and, under the same
+// lock, drops queued sequenced messages at or below the new
+// watermarks. A re-provisioned shadow uses this when applying its
+// primary's state snapshot: any copies the shadow queued before the
+// snapshot was taken are already inside it (the snapshot carries the
+// primary's queue), so keeping them would deliver duplicates the
+// moment the dedup filter's history jumps forward.
+func (m *Matcher) SeedSeenPurge(seen []uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dedup {
+		m.dedup = true
+	}
+	if len(m.seen) < len(seen) {
+		grown := make([]uint64, len(seen))
+		copy(grown, m.seen)
+		m.seen = grown
+	}
+	for i, s := range seen {
+		if s > m.seen[i] {
+			m.seen[i] = s
+		}
+	}
+	keep := m.unexpected[:0]
+	for _, msg := range m.unexpected {
+		if msg.Seq != 0 && int(msg.Src) >= 0 && int(msg.Src) < len(m.seen) && msg.Seq <= m.seen[msg.Src] {
+			m.dupSuppressed++
+			msg.Release()
+		} else {
+			keep = append(keep, msg)
+		}
+	}
+	m.unexpected = keep
+}
+
 // SeenVector returns a copy of the per-source ingress watermarks: the
 // highest sequenced message accepted from each source. During replay
 // negotiation this is exactly the rank's "what I already have" vector.
