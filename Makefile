@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race vet lint bench-erasure bench-smoke bench-hotpath bench-serve bench-recovery all
+.PHONY: tier1 build test race vet lint bench-erasure bench-smoke bench-hotpath bench-serve bench-recovery bench-reconfig all
 
 all: tier1 vet lint
 
@@ -15,7 +15,7 @@ test:
 
 # Race-detect the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ ./internal/bufpool/ ./internal/serve/ ./internal/replica/ .
+	$(GO) test -race ./internal/ckpt/ ./internal/erasure/ ./internal/core/ ./internal/runtime/ ./internal/cluster/ ./internal/experiments/ ./internal/transport/ ./internal/msglog/ ./internal/coll/ ./internal/enc/ ./internal/trace/ ./internal/overlay/ ./internal/bufpool/ ./internal/serve/ ./internal/replica/ ./internal/view/ .
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,14 @@ bench-serve:
 # checked-in copy documents replica's no-rollback promotion latency).
 bench-recovery:
 	$(GO) run ./cmd/fmibench -out BENCH_recovery.json recovery-frontier
+
+# Online-reconfiguration benchmark: grow and shrink an elastic job
+# through the quiescent resize fence under all three recovery
+# protocols, against the restart floor (a fresh single-iteration job at
+# the target size), written to BENCH_reconfig.json (the checked-in copy
+# documents resize committing well below even a bare relaunch).
+bench-reconfig:
+	$(GO) run ./cmd/fmibench -out BENCH_reconfig.json reconfig
 
 # One pass over every benchmark as a smoke test (CI runs this; real
 # measurements want more iterations and an idle machine).

@@ -11,7 +11,7 @@
 //
 // Experiments: table3, fig10, fig11, fig12, fig13, fig14, fig15,
 // fig15-sweep, ablate-k, ablate-group, erasure, msglog, coll, hotpath,
-// serve, recovery-frontier, all.
+// serve, recovery-frontier, reconfig, all.
 package main
 
 import (
@@ -39,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|hotpath|serve|recovery-frontier|all>")
+		fmt.Fprintln(os.Stderr, "usage: fmibench [flags] <table3|fig10|fig11|fig12|fig13|fig14|fig15|fig15-sweep|ablate-k|ablate-group|erasure|msglog|coll|hotpath|serve|recovery-frontier|reconfig|all>")
 		os.Exit(2)
 	}
 	which := flag.Arg(0)
@@ -225,6 +225,25 @@ func main() {
 				fatalIf(err)
 				fatalIf(os.WriteFile(*outPath, doc, 0o644))
 			}
+		case "reconfig":
+			// Online reconfiguration (ISSUE 8): an elastic job grows and
+			// shrinks through the quiescent resize fence under each
+			// recovery protocol. The headline is the resize latency
+			// sitting below even the restart floor — a single-iteration
+			// relaunch at the target size — before the restart pays any
+			// checkpoint replay.
+			gcfg := experiments.DefaultReconfigConfig()
+			if *quick {
+				gcfg = experiments.QuickReconfigConfig()
+			}
+			grows, err := experiments.ReconfigSweep(gcfg)
+			fatalIf(err)
+			experiments.PrintReconfig(os.Stdout, gcfg, grows)
+			if *outPath != "" {
+				doc, err := experiments.ReconfigJSON(gcfg, grows)
+				fatalIf(err)
+				fatalIf(os.WriteFile(*outPath, doc, 0o644))
+			}
 		case "erasure":
 			// Redundancy sweep (§VIII extension): ring-XOR m=1 against
 			// RS(k,m) for m in {2,3} over one group, then the raw
@@ -248,7 +267,7 @@ func main() {
 	}
 
 	if which == "all" {
-		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll", "hotpath", "serve", "recovery-frontier"} {
+		for _, name := range []string{"table3", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablate-k", "ablate-group", "erasure", "msglog", "coll", "hotpath", "serve", "recovery-frontier", "reconfig"} {
 			run(name)
 		}
 		return

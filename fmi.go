@@ -44,6 +44,7 @@ import (
 	"fmi/internal/runtime"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
+	"fmi/internal/view"
 )
 
 // Comm is an FMI communicator; see the core package for its methods
@@ -249,6 +250,15 @@ type Config struct {
 	// zero value enables pooling; PoolingOff reverts to per-operation
 	// allocation, and PoolingDebug arms the leak checker.
 	Pooling PoolingMode
+	// Elastic permits online grow/shrink reconfiguration: Env.Resize
+	// (and the job service's resize endpoint) change the world size
+	// between loop iterations without restarting the job. Survivors
+	// keep their live state, joiners enter the application at the fence
+	// iteration, retiring ranks hand their checkpoint shards and store
+	// objects to the remaining members, and the replicated store
+	// rebalances to the new membership. When false (the default),
+	// resize requests are rejected.
+	Elastic bool
 }
 
 // CollectivesConfig pins collective algorithms per operation. Empty
@@ -359,6 +369,20 @@ func (e *Env) FailureDetected() bool { return e.p.FailureDetected() }
 // have been re-tuned from the MTBF).
 func (e *Env) CheckpointInterval() int { return e.p.Interval() }
 
+// Resize requests an online grow or shrink to n ranks (Config.Elastic
+// jobs only). It is asynchronous and non-collective: any rank may call
+// it, it returns once the request is armed, and the new membership
+// commits at an upcoming Loop fence — after which Size() reports n,
+// survivors continue without rolling back, joiners enter the
+// application at the fence iteration, and retired ranks' state has
+// been migrated to the remaining members.
+func (e *Env) Resize(n int) error { return e.p.RequestResize(n) }
+
+// ViewVersion returns the version of the membership view currently in
+// effect: 0 at launch, incremented by every committed resize. Pair it
+// with Size() to detect that a Loop call crossed a grow/shrink fence.
+func (e *Env) ViewVersion() uint64 { return e.p.ViewVersion() }
+
 // App is the application body run by every rank.
 type App func(env *Env) error
 
@@ -434,6 +458,7 @@ func Run(cfg Config, app App) (*Report, error) {
 		Recovery:       cfg.Recovery,
 		Coll:           collPolicy,
 		Pool:           pool,
+		Elastic:        cfg.Elastic,
 	}
 
 	var inj *cluster.Injector
@@ -479,6 +504,17 @@ func Run(cfg Config, app App) (*Report, error) {
 		rcfg.OnLoop = inj.OnLoop
 	}
 	store := replica.NewStore(clu, rec)
+	if cfg.Elastic {
+		// Elastic jobs shard the store over the membership view: every
+		// committed resize re-derives placement, and nodes freed by a
+		// shrink evacuate their objects before leaving the job.
+		rcfg.OnViewChange = func(v *view.View, freedNodes []int) {
+			store.SetView(v)
+			if len(freedNodes) > 0 {
+				store.Evacuate(freedNodes)
+			}
+		}
+	}
 	j, err := runtime.Launch(rcfg, func(p *core.Proc) error {
 		return app(&Env{p: p, store: store})
 	})
@@ -486,6 +522,9 @@ func Run(cfg Config, app App) (*Report, error) {
 		return nil, err
 	}
 	jobRef.Store(j)
+	if cfg.Elastic {
+		store.SetView(j.CurrentView())
+	}
 	if inj != nil {
 		inj.Start()
 		defer inj.Stop()

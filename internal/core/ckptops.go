@@ -101,6 +101,11 @@ type entryExt struct {
 	NextCtx     uint32  // communicator context counter at capture time
 	CommSeq     int     // communicator creation counter at capture time
 	L1Count     int     // level-1 checkpoint ordinal (level-2 cadence)
+	// ViewVersion is the membership view the shards were encoded under.
+	// A checkpoint from an older view cannot feed a group decode — its
+	// parity chain spans the wrong member set — so restores treat it as
+	// parity-less until the post-fence checkpoint re-encodes.
+	ViewVersion uint64
 	// GroupMsgStates holds each group member's serialized msgState at
 	// this checkpoint (local mode): replicated so any survivor can hand
 	// a respawned member its messaging state along with the brief.
@@ -273,11 +278,12 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 
 	p.l1Count++
 	entry := &entryExt{
-		Entry:    &ckpt.Entry{GroupLoop: id},
-		Interval: p.interval,
-		NextCtx:  p.nextCtx,
-		CommSeq:  p.commSeq,
-		L1Count:  p.l1Count,
+		Entry:       &ckpt.Entry{GroupLoop: id},
+		Interval:    p.interval,
+		NextCtx:     p.nextCtx,
+		CommSeq:     p.commSeq,
+		L1Count:     p.l1Count,
+		ViewVersion: p.viewVersion(),
 	}
 	if p.cfg.Local {
 		entry.GroupMsgStates = make([][]byte, g)
@@ -368,8 +374,9 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 		// different value than the original wave delivered.
 		next = p.tuneInterval()
 	}
-	var payload [4]byte
-	binary.LittleEndian.PutUint32(payload[:], uint32(next))
+	var payload [8]byte
+	binary.LittleEndian.PutUint32(payload[:4], uint32(next))
+	binary.LittleEndian.PutUint32(payload[4:], uint32(p.l1Count))
 	// Note: on failure the fully-encoded staged entry is deliberately
 	// retained — if every rank finished encoding before the failure,
 	// the restore negotiation will roll forward to it; otherwise it
@@ -380,6 +387,13 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	}
 	p.interval = int(binary.LittleEndian.Uint32(out))
 	entry.Interval = p.interval
+	if len(out) >= 8 {
+		// Adopt the root's checkpoint ordinal: a rank that joined
+		// through a grow fence folds onto the survivors' level-2 cadence
+		// and log-trim keys regardless of recovery mode.
+		p.l1Count = int(binary.LittleEndian.Uint32(out[4:]))
+		entry.L1Count = p.l1Count
+	}
 	// Retirement point: the previous checkpoint is now unreachable on
 	// every rank, so its pooled buffers feed the next capture. A
 	// local-mode fence may have rolled this very entry forward already —
@@ -390,13 +404,14 @@ func (p *Proc) checkpoint(id int, segs [][]byte) error {
 	p.committed = entry
 	p.staged = nil
 	p.lastCkpt = id
+	p.viewCkpt = false // shards now encoded under the current view
 	if p.cfg.Local {
 		ents, bytes := p.log.Stats()
 		p.cfg.Trace.Add(trace.KindMsgLogged, p.rank, p.epoch,
 			"log holds %d entries (%d B) at checkpoint %d", ents, bytes, id)
 		// Garbage-collect asynchronously: entries every receiver's
 		// committed checkpoint acknowledges can never be replayed again.
-		go p.trimLog(entry.L1Count, p.logEra, p.epoch, seenAtCapture)
+		go p.trimLog(p.n, entry.L1Count, p.logEra, p.epoch, seenAtCapture)
 	}
 	if err := p.maybeWriteL2(id); err != nil {
 		return err
@@ -431,22 +446,36 @@ type availInfo struct {
 	AvailID       int32 // newest loop id this rank can restore (-1 none)
 	Interval      int32 // interval associated with that checkpoint
 	IsReplacement bool
-	HasParity     bool // the entry carries an XOR parity chain (level-1 decodable)
+	HasParity     bool   // the entry carries a parity chain decodable under the CURRENT view
+	Fresh         bool   // joiner from a grow fence: no checkpoint, nothing lost either
+	Clean         bool   // survivor parked at a committed fence cut, no app progress since
+	L1Count       uint32 // level-1 checkpoint ordinal (joiners adopt the survivors' max)
+	Era           uint32 // logging era (joiners adopt the survivors' max)
 }
 
 func (p *Proc) availNow() availInfo {
 	e := p.latest()
-	info := availInfo{AvailID: -1, Interval: int32(p.interval), IsReplacement: e == nil && p.cfg.IsReplacement}
+	info := availInfo{
+		AvailID:       -1,
+		Interval:      int32(p.interval),
+		IsReplacement: e == nil && p.cfg.IsReplacement,
+		Fresh:         e == nil && !p.ckptSeeded && !p.cfg.IsReplacement && p.cfg.StartLoop > 0,
+		Clean:         p.fenceClean,
+		L1Count:       uint32(p.l1Count),
+		Era:           p.logEra,
+	}
 	if e != nil {
 		info.AvailID = int32(e.Snap.LoopID)
 		info.Interval = int32(e.Interval)
-		info.HasParity = e.Parity != nil
+		// Parity encoded under an older membership view spans the wrong
+		// group member set: unusable for a decode in this view.
+		info.HasParity = e.Parity != nil && e.ViewVersion == p.viewVersion()
 	}
 	return info
 }
 
 func encodeAvail(a availInfo) []byte {
-	out := make([]byte, 10)
+	out := make([]byte, 20)
 	binary.LittleEndian.PutUint32(out[0:], uint32(a.AvailID))
 	binary.LittleEndian.PutUint32(out[4:], uint32(a.Interval))
 	if a.IsReplacement {
@@ -455,11 +484,19 @@ func encodeAvail(a availInfo) []byte {
 	if a.HasParity {
 		out[9] = 1
 	}
+	binary.LittleEndian.PutUint32(out[10:], a.L1Count)
+	binary.LittleEndian.PutUint32(out[14:], a.Era)
+	if a.Fresh {
+		out[18] = 1
+	}
+	if a.Clean {
+		out[19] = 1
+	}
 	return out
 }
 
 func decodeAvail(data []byte) availInfo {
-	if len(data) < 10 {
+	if len(data) < 20 {
 		return availInfo{AvailID: -1}
 	}
 	return availInfo{
@@ -467,6 +504,10 @@ func decodeAvail(data []byte) availInfo {
 		Interval:      int32(binary.LittleEndian.Uint32(data[4:])),
 		IsReplacement: data[8] == 1,
 		HasParity:     data[9] == 1,
+		L1Count:       binary.LittleEndian.Uint32(data[10:]),
+		Era:           binary.LittleEndian.Uint32(data[14:]),
+		Fresh:         data[18] == 1,
+		Clean:         data[19] == 1,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmi/internal/replica"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
+	"fmi/internal/view"
 )
 
 // Errors surfaced to applications.
@@ -126,16 +127,65 @@ type Control interface {
 	Abort(err error)
 }
 
+// ResizeOutcome is JoinResize's verdict for one rank at one Loop
+// fence check.
+type ResizeOutcome struct {
+	// Proceed means the fence is still collecting acks (phase 1): the
+	// rank recorded its position and should run this iteration
+	// normally, checking again at the next Loop top.
+	Proceed bool
+	// View is the newly installed membership view once the fence
+	// committed (phase 2 release). Nil while Proceed is true.
+	View *view.View
+	// Retired means this rank is not part of the new view; the proc
+	// must stop executing application code and wait to be torn down.
+	Retired bool
+}
+
+// ViewControl is the optional elastic-membership extension of Control.
+// The runtime's Job implements it; the proc discovers it by type
+// assertion so fixed-size fakes and baselines need not change.
+type ViewControl interface {
+	// CurrentView returns the membership view currently in force.
+	CurrentView() *view.View
+	// ResizePending returns the ticket of the armed resize fence, or 0
+	// when no resize is pending.
+	ResizePending() uint64
+	// JoinResize is called by each rank (and each synced shadow, with
+	// observer=true) at the top of Loop while a resize is pending. In
+	// phase 1 it records (rank, loopID) and returns Proceed. Once every
+	// live participant has acked, the coordinator fixes the cut loop;
+	// a rank arriving with loopID == cut blocks here (phase 2) until
+	// all participants are parked, the fence commits, and the new view
+	// is released to it. cancel aborts the wait (the rank was killed).
+	JoinResize(ticket uint64, rank, loopID int, observer bool, cancel <-chan struct{}) (ResizeOutcome, error)
+	// RequestResize arms a resize toward n total ranks and returns
+	// without waiting for the fence to commit.
+	RequestResize(n int) error
+	// MarkFinalizing records that rank reached Finalize; an armed,
+	// uncommitted resize fence is aborted (a finalizing rank can no
+	// longer park at a future loop).
+	MarkFinalizing(rank int)
+}
+
 // Config configures one rank's runtime.
 type Config struct {
 	Rank, N       int
 	ProcsPerNode  int
 	Epoch         uint32 // epoch current at spawn time
 	IsReplacement bool   // spawned to replace a failed rank
-	Interval      int    // checkpoint every Interval loops; 0 = auto-tune from MTBF
-	MTBF          time.Duration
-	GroupSize     int // checkpoint group size (paper default 16)
-	RingBase      int // log-ring base k (paper default 2)
+	// View is the membership view current at spawn time; nil falls
+	// back to a fixed world of N ranks (legacy fakes and baselines).
+	// When Ctl implements ViewControl the proc re-reads the live view
+	// at every recovery fence.
+	View *view.View
+	// StartLoop is the loop id this proc begins at — non-zero for
+	// ranks joining an already-running job through a grow fence.
+	StartLoop int
+	Interval  int // checkpoint every Interval loops; 0 = auto-tune from MTBF
+	MTBF      time.Duration
+	GroupSize int // checkpoint group size (paper default 16)
+	RingBase  int // log-ring base k (paper default 2)
 	// Redundancy is the number of parity shards each group member
 	// stores (m): 1 selects the paper's ring-XOR encoding (one loss
 	// per group), >= 2 selects Reed-Solomon RS(k,m) tolerating m

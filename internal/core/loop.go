@@ -38,11 +38,16 @@ func (p *Proc) Loop(segs [][]byte) int {
 				// Re-provisioned shadow: pull the primary's live state,
 				// then fall through to the normal schedule in lockstep.
 				p.applyShadowSync(segs)
-			} else if !p.cfg.Shadow || p.cfg.Replica.Promoted(p.rank) {
+			} else if !p.cfg.Shadow || p.promotedSelf() {
 				// Acting primary: serve a pending replacement-shadow
 				// state request before this iteration's checkpoint
-				// decision, so the snapshot point is well defined.
-				p.serveShadowSync(segs)
+				// decision, so the snapshot point is well defined. While
+				// a resize fence is armed no NEW sync starts — the shadow
+				// re-syncs under the post-fence view instead, keeping the
+				// fence's cut point well defined.
+				if p.viewCtl == nil || p.viewCtl.ResizePending() == 0 {
+					p.serveShadowSync(segs)
+				}
 			}
 			// Fence any shadow flips that registered since the last
 			// iteration (after applyShadowSync, so a fresh replacement
@@ -84,17 +89,69 @@ func (p *Proc) Loop(segs [][]byte) int {
 			p.cfg.Ctl.ReportLoop(p.rank, id)
 			return id
 		}
+		// Resize fence: while a grow/shrink is armed every rank reports
+		// its position here, at the top of an iteration — the only point
+		// where no collective or checkpoint is in flight — and parks once
+		// it reaches the agreed cut loop.
+		if p.joinFence() {
+			continue
+		}
 		id := p.loopID
 		if p.needCheckpoint(id) {
 			if err := p.checkpoint(id, segs); err != nil {
 				continue // failure during C/R: recover on next pass
 			}
 		}
+		// Application code runs next: from here on this rank's state can
+		// diverge from the fence cut, so a later failure must negotiate
+		// a rollback rather than ride the clean-fence fast path.
+		p.fenceClean = false
 		p.loopID++
 		p.lastLoopAt = time.Now()
 		p.cfg.Ctl.ReportLoop(p.rank, id)
 		return id
 	}
+}
+
+// joinFence participates in an armed resize fence. Phase 1: each Loop
+// iteration below the cut acknowledges its position and proceeds.
+// Phase 2: at the cut loop the rank parks until every participant
+// arrives and the runtime commits the new view atomically. Returns true
+// when the caller must restart the loop pass — the fence committed and
+// this rank just recovered into the new view.
+func (p *Proc) joinFence() bool {
+	if p.viewCtl == nil {
+		return false
+	}
+	ticket := p.viewCtl.ResizePending()
+	if ticket == 0 {
+		return false
+	}
+	observer := p.cfg.Shadow && p.cfg.Replica != nil && !p.promotedSelf()
+	out, err := p.viewCtl.JoinResize(ticket, p.rank, p.loopID, observer, p.cfg.KillCh)
+	if err != nil {
+		p.checkAlive()
+		p.fatal(err)
+	}
+	if out.Retired {
+		// This rank's seat is removed by a shrink: its state has been
+		// captured in the pre-fence checkpoint wave; park until the
+		// runtime reaps the process.
+		p.cfg.Trace.Add(trace.KindState, p.rank, p.epoch, "retired by shrink fence")
+		<-p.cfg.KillCh
+		panic(procKilledPanic{})
+	}
+	if out.View != nil {
+		// Fence committed: rebuild into the new view. Recover explicitly
+		// rather than waiting for gen.failed() — the commit's epoch bump
+		// reaches the failure watcher asynchronously. This survivor's
+		// state sits exactly at the cut, so the restore negotiation can
+		// skip the rollback if every other rank is equally clean.
+		p.fenceClean = true
+		p.recover()
+		return true
+	}
+	return false
 }
 
 // fatal reports an unrecoverable condition and waits for the manager
@@ -155,6 +212,12 @@ func (p *Proc) applyRestore(segs [][]byte) (int, error) {
 // needCheckpoint applies the paper's rule: the first Loop call always
 // checkpoints; afterwards every interval-th iteration does.
 func (p *Proc) needCheckpoint(id int) bool {
+	// First iteration after a committed view change: every rank
+	// checkpoints immediately so the shards re-encode over the new
+	// groups (the shard-migration step of a resize).
+	if p.viewCkpt {
+		return true
+	}
 	if p.latest() == nil && !p.ckptSeeded {
 		return true
 	}
@@ -198,9 +261,26 @@ func (p *Proc) negotiateRestore() error {
 	}
 
 	restoreID := -2
+	// allClean: every rank is either a survivor parked exactly at a
+	// committed fence cut or a fresh grow joiner — a clean view change
+	// with nobody lost and no app progress since the cut. Any
+	// replacement (somebody died) or any rank that resumed application
+	// code since the fence makes a rollback necessary: a spurious epoch
+	// bump mid-iteration leaves ranks divergent even though no process
+	// was replaced.
+	allClean := true
 	for _, in := range infos {
 		if in.IsReplacement {
+			allClean = false
 			continue
+		}
+		if in.Fresh {
+			// A joiner provisioned by a grow fence holds no checkpoint
+			// and must not drag the agreed restore point to -1.
+			continue
+		}
+		if !in.Clean {
+			allClean = false
 		}
 		if restoreID == -2 || int(in.AvailID) < restoreID {
 			restoreID = int(in.AvailID)
@@ -210,11 +290,30 @@ func (p *Proc) negotiateRestore() error {
 	// In local mode only fresh replacements roll back; survivors keep
 	// their live state and merely serve replay.
 	amFresh := infos[p.rank].IsReplacement
-	if restoreID <= -1 {
-		// Failure before the first checkpoint completed anywhere:
-		// nothing to restore; replacements start fresh. In local mode
-		// survivors still replay their logs so the restarted rank's
-		// re-execution from iteration zero receives what it missed.
+	if restoreID <= -1 || allClean {
+		// Nothing to repair: either the failure hit before the first
+		// checkpoint completed anywhere (replacements start fresh), or
+		// this is a clean view-change fence — grow/shrink with no rank
+		// lost — where survivors keep their live state and never roll
+		// back. In local mode survivors still replay their logs so a
+		// restarted rank's re-execution receives what it missed.
+		if infos[p.rank].Fresh {
+			// Fresh joiner: align the checkpoint ordinal, interval, and
+			// logging era with the survivors so the level-2 cadence and
+			// the log-trim keys stay globally agreed.
+			for _, in := range infos {
+				if in.Fresh || in.IsReplacement {
+					continue
+				}
+				if int(in.L1Count) > p.l1Count {
+					p.l1Count = int(in.L1Count)
+					p.interval = int(in.Interval)
+				}
+				if in.Era > p.logEra {
+					p.logEra = in.Era
+				}
+			}
+		}
 		if !p.cfg.Local {
 			p.recycleEntry(p.staged)
 		}
@@ -426,6 +525,7 @@ func (p *Proc) groupRestore(group []int, gi int, infos []availInfo, restoreID in
 		NextCtx:        b.NextCtx,
 		CommSeq:        b.CommSeq,
 		L1Count:        b.L1Count,
+		ViewVersion:    p.viewVersion(),
 		GroupMsgStates: b.MsgStates,
 		// The rebuilt snapshot aliases the reconstruction buffer (never
 		// pooled); the re-encoded parity is pool-recyclable.

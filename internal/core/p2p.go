@@ -32,6 +32,7 @@ func (p *Proc) sendRaw(world int, ctx uint32, tag int32, kind byte, payload []by
 		Tag:   tag,
 		Ctx:   ctx,
 		Epoch: p.epoch,
+		View:  p.viewVersion(),
 		Seq:   seq,
 		Kind:  kind,
 		Data:  payload,

@@ -11,6 +11,7 @@ import (
 	"fmi/internal/overlay"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
+	"fmi/internal/view"
 )
 
 // Proc is one FMI rank's runtime. It lives in the rank's goroutine;
@@ -22,6 +23,15 @@ type Proc struct {
 	rank, n int
 	state   State
 	epoch   uint32
+
+	// Versioned membership (elastic jobs). view is the immutable view
+	// this rank currently operates under; viewCtl is the control plane's
+	// resize interface (nil for fixed-size jobs); viewCkpt forces a
+	// checkpoint at the first Loop iteration after a view change so the
+	// shards re-encode over the new groups (shard migration).
+	view     *view.View
+	viewCtl  ViewControl
+	viewCkpt bool
 
 	// Per-epoch generation: fresh endpoint, matcher, overlay, table,
 	// and failure channel. Replaced wholesale by recovery (paper H1:
@@ -78,11 +88,14 @@ type Proc struct {
 	carryQueue []transport.Msg
 
 	// Replication-based recovery state, cfg.Replica only (replica.go).
-	repSeq      []uint64 // per-destination mirrored send sequence numbers
-	flipAck     []uint64 // per-destination shadow incarnation this copy has fenced
-	flipGen     uint64   // registry ShadowGen at the last ack sweep
-	syncPending bool     // re-provisioned shadow awaiting its primary's snapshot
-	ckptSeeded  bool     // counters adopted from a snapshot: skip the first-Loop checkpoint
+	repSeq        []uint64 // per-destination mirrored send sequence numbers
+	flipAck       []uint64 // per-destination shadow incarnation this copy has fenced
+	flipGen       uint64   // registry ShadowGen at the last ack sweep
+	syncPending   bool     // re-provisioned shadow awaiting its primary's snapshot
+	repInc        uint64   // this process's shadow-registration incarnation
+	repRegistered bool     // repInc is valid: this process has registered as a shadow
+	fenceClean    bool     // epoch bump came from a committed resize fence, no app progress since
+	ckptSeeded    bool     // counters adopted from a snapshot: skip the first-Loop checkpoint
 }
 
 // generation bundles everything that is rebuilt on recovery.
@@ -132,14 +145,34 @@ func Init(cfg Config) (*Proc, error) {
 	}
 	p.pool = cfg.Pool
 	p.coder = ckpt.NewCoder(cfg.Redundancy, 0)
-	p.groups, p.gidx = ckpt.Groups(cfg.N, cfg.ProcsPerNode, cfg.GroupSize)
+	// Membership: prefer the control plane's live view (elastic jobs),
+	// then a pinned view from the config, then the legacy static layout.
+	if vc, ok := cfg.Ctl.(ViewControl); ok {
+		p.viewCtl = vc
+	}
+	v := cfg.View
+	if p.viewCtl != nil {
+		if cur := p.viewCtl.CurrentView(); cur != nil {
+			v = cur
+		}
+	}
+	if v != nil {
+		p.view = v
+		p.n = v.Ranks
+		p.groups, p.gidx = v.Groups, v.GIdx
+	} else {
+		p.groups, p.gidx = ckpt.Groups(cfg.N, cfg.ProcsPerNode, cfg.GroupSize)
+	}
+	// A rank joining mid-run through a grow fence starts at the cut
+	// loop, in step with the survivors.
+	p.loopID = cfg.StartLoop
 	p.world = newWorldComm(p)
 	if cfg.Local {
-		p.log = msglog.New(cfg.N)
+		p.log = msglog.New(p.n)
 	}
 	if cfg.Replica != nil {
-		p.repSeq = make([]uint64, cfg.N)
-		p.flipAck = make([]uint64, cfg.N)
+		p.repSeq = make([]uint64, p.n)
+		p.flipAck = make([]uint64, p.n)
 		// A replacement shadow must pull its primary's live state
 		// before it can track the mirrored streams.
 		p.syncPending = cfg.Shadow && cfg.IsReplacement
@@ -209,6 +242,76 @@ func (p *Proc) checkAlive() {
 	}
 }
 
+// adoptView installs the control plane's current membership view if it
+// moved past the one this rank operates under. Runs at the top of every
+// generation build — after the old matcher's state was harvested, before
+// anything sized by the world is rebuilt — so the whole generation
+// (endpoint table, dedup vectors, checkpoint groups, mirrored-stream
+// counters) derives from one consistent view. Sets viewCkpt so the next
+// Loop iteration re-encodes the checkpoint shards over the new groups.
+func (p *Proc) adoptView() {
+	if p.viewCtl == nil {
+		return
+	}
+	v := p.viewCtl.CurrentView()
+	if v == nil || (p.view != nil && v.Version == p.view.Version) {
+		return
+	}
+	var was uint64
+	if p.view != nil {
+		was = p.view.Version
+	}
+	p.view = v
+	p.n = v.Ranks
+	p.groups, p.gidx = v.Groups, v.GIdx
+	p.viewCkpt = true
+	// World communicator tracks the live membership; derived (Dup/Split)
+	// communicators keep their frozen member lists.
+	members := make([]int, p.n)
+	for i := range members {
+		members[i] = i
+	}
+	p.world.members = members
+	if p.log != nil {
+		p.log.Resize(p.n)
+	}
+	// Carried matcher state: pad watermarks for joiners, drop state for
+	// retired ranks (nothing of theirs can arrive again).
+	if p.carrySeen != nil {
+		cs := make([]uint64, p.n)
+		copy(cs, p.carrySeen)
+		p.carrySeen = cs
+	}
+	if len(p.carryQueue) > 0 {
+		keep := p.carryQueue[:0]
+		for _, m := range p.carryQueue {
+			if int(m.Src) < p.n {
+				keep = append(keep, m)
+			}
+		}
+		p.carryQueue = keep
+	}
+	if p.repSeq != nil {
+		rs := make([]uint64, p.n)
+		copy(rs, p.repSeq)
+		p.repSeq = rs
+		fa := make([]uint64, p.n)
+		copy(fa, p.flipAck)
+		p.flipAck = fa
+	}
+	p.cfg.Trace.AddView(trace.KindViewChange, p.rank, p.epoch, v.Version,
+		"adopted %s (was v%d)", v, was)
+}
+
+// viewVersion returns the version of the installed view (0 when the job
+// is not view-managed).
+func (p *Proc) viewVersion() uint64 {
+	if p.view == nil {
+		return 0
+	}
+	return p.view.Version
+}
+
 // buildGeneration performs H1 (endpoint exchange), H2 (log-ring), and
 // the epoch's restore negotiation. On interruption it tears down and
 // returns an error; the caller advances the epoch and retries.
@@ -221,7 +324,7 @@ func (p *Proc) buildGeneration() error {
 		// shadow that never promoted has no seat in the rebuilt world:
 		// park until the runtime reaps it. Promoted shadows ARE their
 		// rank now and rebuild normally with the survivors.
-		if p.cfg.Shadow && !p.cfg.Replica.Promoted(p.rank) {
+		if p.cfg.Shadow && !p.promotedSelf() {
 			<-p.cfg.KillCh
 			panic(procKilledPanic{})
 		}
@@ -230,6 +333,7 @@ func (p *Proc) buildGeneration() error {
 	p.seqActive = false // no data-plane sequencing during the fence
 	p.teardownGen(p.gen)
 	p.gen = nil
+	p.adoptView()
 	// Note: a fully staged checkpoint (encode finished, commit wave
 	// interrupted) is deliberately kept — the restore negotiation
 	// rolls it forward when every survivor holds it.
@@ -249,6 +353,7 @@ func (p *Proc) buildGeneration() error {
 	g.ep = ep
 	g.m = transport.NewMatcher(ep)
 	g.m.AdvanceEpoch(p.epoch)
+	g.m.AdvanceView(p.viewVersion())
 	if p.cfg.Local {
 		g.m.EnableDedup(p.n)
 		// Re-seed state carried over from the previous generation: the
@@ -408,8 +513,28 @@ func (p *Proc) classify(err error) error {
 // Rank returns the process's FMI (virtual) rank.
 func (p *Proc) Rank() int { return p.rank }
 
-// Size returns the world size.
+// Size returns the world size under the currently installed membership
+// view. For elastic jobs it changes when a Loop call crosses a
+// grow/shrink fence, so callers must re-read it after every Loop rather
+// than caching it across iterations.
 func (p *Proc) Size() int { return p.n }
+
+// ViewVersion returns the version of the membership view this rank
+// currently operates under (0 for fixed-size jobs).
+func (p *Proc) ViewVersion() uint64 { return p.viewVersion() }
+
+// RequestResize asks the control plane to reconfigure the job to n
+// total ranks. It is asynchronous: validation happens here, but the
+// new membership commits only at an upcoming Loop fence that every
+// rank reaches — the caller itself participates, so blocking here
+// would deadlock the fence. Fails when the job's control plane does
+// not support elastic membership.
+func (p *Proc) RequestResize(n int) error {
+	if p.viewCtl == nil {
+		return fmt.Errorf("fmi: this job's control plane does not support online resize")
+	}
+	return p.viewCtl.RequestResize(n)
+}
 
 // Epoch returns the current recovery epoch.
 func (p *Proc) Epoch() uint32 { return p.epoch }
@@ -468,6 +593,11 @@ func (p *Proc) Finalize() error {
 	p.checkAlive()
 	if p.finalize {
 		return ErrFinalized
+	}
+	// A finalizing rank can no longer join a resize fence; tell the
+	// control plane so an armed fence fails fast instead of waiting.
+	if p.viewCtl != nil {
+		p.viewCtl.MarkFinalizing(p.rank)
 	}
 	if p.replicaOn() {
 		return p.finalizeReplica()

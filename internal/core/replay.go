@@ -81,6 +81,7 @@ func (p *Proc) replayExchange() error {
 				Tag:   e.Tag,
 				Ctx:   e.Ctx,
 				Epoch: p.epoch,
+				View:  p.viewVersion(),
 				Seq:   e.Seq,
 				Kind:  e.Kind,
 				Flags: transport.FlagReplay,
@@ -100,17 +101,18 @@ func (p *Proc) replayExchange() error {
 // a failure, when the respawned rank re-executes the checkpoint
 // exchange and commits it again. The key is scoped by the log era so a
 // level-2 fallback (which rolls l1Count back) can never mix a fresh
-// round with stale pre-fallback contributions. era and epoch are
-// passed by value: the goroutine must not read p.logEra or p.epoch,
-// which the application thread mutates during recovery.
-func (p *Proc) trimLog(l1Count int, era, epoch uint32, seen []uint64) {
+// round with stale pre-fallback contributions. n, era, and epoch are
+// passed by value: the goroutine must not read p.n, p.logEra, or
+// p.epoch, which the application thread mutates during recovery and
+// view changes.
+func (p *Proc) trimLog(n, l1Count int, era, epoch uint32, seen []uint64) {
 	vals, err := p.cfg.Ctl.Coordinator().AllGather(
-		fmt.Sprintf("trim/%d/%d", era, l1Count), p.rank, p.n, encodeSeqVec(seen), p.cfg.KillCh)
+		fmt.Sprintf("trim/%d/%d", era, l1Count), p.rank, n, encodeSeqVec(seen), p.cfg.KillCh)
 	if err != nil {
 		return
 	}
-	acked := make([]uint64, p.n)
-	for dst := 0; dst < p.n; dst++ {
+	acked := make([]uint64, n)
+	for dst := 0; dst < n; dst++ {
 		if dst == p.rank {
 			continue
 		}

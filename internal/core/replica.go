@@ -40,6 +40,20 @@ func (p *Proc) replicaOn() bool {
 	return p.gen != nil && p.gen.replica
 }
 
+// promotedSelf reports whether THIS process is the promoted shadow now
+// acting as its rank's primary. Registry.Promoted is a seat property
+// and stays true once a replacement shadow occupies the seat again, so
+// every per-process decision (registration side, sync serving, fence
+// observer status, degrade parking) must key by the incarnation this
+// process registered under. The repRegistered guard keeps a process
+// that has never registered from matching: a fresh replacement's
+// zero-value repInc would otherwise collide with a promoted launch
+// shadow's incarnation 0 and steal the seat's primary slot.
+func (p *Proc) promotedSelf() bool {
+	return p.cfg.Shadow && p.cfg.Replica != nil && p.repRegistered &&
+		p.cfg.Replica.PromotedSelf(p.rank, p.repInc)
+}
+
 // sendReplica is sendRaw's replica-mode path: one sequence number per
 // destination rank, the same Msg sent to both endpoints of the pair.
 // Transports copy the payload at Send, so the double send shares one
@@ -66,6 +80,7 @@ func (p *Proc) sendReplica(world int, ctx uint32, tag int32, kind byte, payload 
 		Tag:   tag,
 		Ctx:   ctx,
 		Epoch: p.epoch,
+		View:  p.viewVersion(),
 		Seq:   p.repSeq[world],
 		Kind:  kind,
 		Data:  payload,
@@ -89,6 +104,7 @@ func (p *Proc) buildReplicaGeneration() error {
 	p.checkAlive()
 	p.teardownGen(p.gen)
 	p.gen = nil
+	p.adoptView()
 	p.state = StateBootstrapping
 	p.cfg.Trace.Add(trace.KindState, p.rank, p.epoch, "H1 bootstrapping (replica)")
 
@@ -107,12 +123,19 @@ func (p *Proc) buildReplicaGeneration() error {
 	g.ep = ep
 	g.m = transport.NewMatcher(ep)
 	g.m.AdvanceEpoch(p.epoch)
+	g.m.AdvanceView(p.viewVersion())
 	// Mirrored sends arrive twice at every endpoint; arrival-time
 	// watermarks keep exactly the first copy of each sequence number.
 	g.m.EnableDedup(p.n)
 
-	if p.cfg.Shadow {
-		reg.SetShadow(p.rank, ep.Addr(), p.syncPending)
+	// A promoted shadow IS its rank's primary now: across a view-change
+	// fence it re-registers on the primary side of the pair. The check
+	// is per-process (incarnation-keyed), not per-seat: a replacement
+	// shadow provisioned after the promotion also sees a promoted seat
+	// but must register — and keep acting — as the shadow.
+	if p.cfg.Shadow && !p.promotedSelf() {
+		p.repInc = reg.SetShadow(p.rank, ep.Addr(), p.syncPending)
+		p.repRegistered = true
 	} else {
 		reg.SetPrimary(p.rank, ep.Addr())
 	}
@@ -368,9 +391,17 @@ func (p *Proc) serveShadowSync(segs [][]byte) {
 func (p *Proc) applyShadowSync(segs [][]byte) {
 	msg, err := p.gen.m.Recv(ctxWorld, int32(p.rank), tagShadowSync, p.gen.cancelCh)
 	if err != nil {
+		p.checkAlive()
+		if p.cfg.Replica.Active() {
+			// The epoch advanced under us — a view-change fence committed
+			// while the snapshot was pending — but the job is still
+			// replicated: rebuild into the new view (re-registering the
+			// sync request) and re-drive the pull from Loop.
+			p.recover()
+			return
+		}
 		// Degraded (or killed) while waiting: an unsynced shadow has no
 		// seat in the rolled-back world — park until the runtime reaps it.
-		p.checkAlive()
 		<-p.cfg.KillCh
 		panic(procKilledPanic{})
 	}

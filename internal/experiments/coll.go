@@ -47,8 +47,8 @@ func MeasureColl(op, algo string, ranks, bytes, iters int, netDelay time.Duratio
 		Ranks: ranks, ProcsPerNode: 1,
 		CheckpointInterval: 1000, XORGroupSize: 4,
 		DetectDelay: 2 * time.Millisecond, PropDelay: time.Millisecond,
-		NetDelay:    netDelay,
-		Timeout:     5 * time.Minute,
+		NetDelay: netDelay,
+		Timeout:  5 * time.Minute,
 	}
 	switch op {
 	case "allreduce":
@@ -67,9 +67,9 @@ func MeasureColl(op, algo string, ranks, bytes, iters int, netDelay time.Duratio
 	var elapsedNS int64
 	app := func(env *fmi.Env) error {
 		world := env.World()
-		n := env.Size()
 		state := make([]byte, 8)
 		for env.Loop(state) < 1 {
+			n := env.Size()
 			data := make([]byte, bytes)
 			for i := range data {
 				data[i] = byte(env.Rank() + i)

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestReconfigSmall runs the sweep at smoke size and checks the
+// acceptance shape: every protocol resized in both directions (a
+// positive latency means the fence actually committed a view change),
+// and the JSON document carries the headline flag. The timing
+// comparison itself is asserted only in the checked-in
+// BENCH_reconfig.json — smoke hardware is too noisy to gate on it.
+func TestReconfigSmall(t *testing.T) {
+	cfg := QuickReconfigConfig()
+	rows, err := ReconfigSweep(cfg)
+	if err != nil {
+		t.Fatalf("ReconfigSweep: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 protocols x 2 directions)", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Protocol+"/"+r.Direction] = true
+		if r.ResizeLatency <= 0 || r.JobWall <= 0 || r.RestartWall <= 0 {
+			t.Errorf("%s/%s: non-positive measurement %+v", r.Protocol, r.Direction, r)
+		}
+		want := cfg.GrowTo
+		if r.Direction == "shrink" {
+			want = cfg.ShrinkTo
+		}
+		if r.ToRanks != want || r.FromRanks != cfg.Ranks {
+			t.Errorf("%s/%s: ranks %d->%d, want %d->%d", r.Protocol, r.Direction, r.FromRanks, r.ToRanks, cfg.Ranks, want)
+		}
+	}
+	for _, p := range []string{"global", "local", "replica"} {
+		for _, d := range []string{"grow", "shrink"} {
+			if !seen[p+"/"+d] {
+				t.Errorf("missing cell %s/%s", p, d)
+			}
+		}
+	}
+
+	doc, err := ReconfigJSON(cfg, rows)
+	if err != nil {
+		t.Fatalf("ReconfigJSON: %v", err)
+	}
+	var parsed struct {
+		Experiment string        `json:"experiment"`
+		Results    []ReconfigRow `json:"results"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if parsed.Experiment != "reconfig" || len(parsed.Results) != 6 {
+		t.Errorf("JSON = %q with %d results, want reconfig with 6", parsed.Experiment, len(parsed.Results))
+	}
+
+	var buf bytes.Buffer
+	PrintReconfig(&buf, cfg, rows)
+	if !strings.Contains(buf.String(), "restart(ms)") {
+		t.Errorf("PrintReconfig missing table header:\n%s", buf.String())
+	}
+}

@@ -35,7 +35,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{TraceKind, LockHeld, FaultErr, SimTime, BufRelease}
+	return []*Analyzer{TraceKind, LockHeld, FaultErr, SimTime, BufRelease, StaleView}
 }
 
 // IgnoreDirective is the suppression marker grammar:

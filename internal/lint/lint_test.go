@@ -43,6 +43,10 @@ func TestBufReleaseFixture(t *testing.T) {
 	checkGolden(t, filepath.Join("testdata", "src", "bufrelease"), lint.BufRelease)
 }
 
+func TestStaleViewFixture(t *testing.T) {
+	checkGolden(t, filepath.Join("testdata", "src", "staleview"), lint.StaleView)
+}
+
 // TestIgnoreFixture covers the suppression directive's line scopes
 // (same line, line above, file-wide) and its analyzer specificity.
 // The full suite runs so a directive aimed at another real analyzer
@@ -126,7 +130,7 @@ func TestFindingsOutput(t *testing.T) {
 }
 
 // TestAllSuite guards the registered analyzer set: the suppression
-// grammar and docs name these five.
+// grammar and docs name these six.
 func TestAllSuite(t *testing.T) {
 	var names []string
 	for _, a := range lint.All() {
@@ -138,7 +142,7 @@ func TestAllSuite(t *testing.T) {
 			t.Errorf("analyzer %s has no Run", a.Name)
 		}
 	}
-	want := []string{"tracekind", "lockheld", "faulterr", "simtime", "bufrelease"}
+	want := []string{"tracekind", "lockheld", "faulterr", "simtime", "bufrelease", "staleview"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Errorf("All() = %v, want %v", names, want)
 	}

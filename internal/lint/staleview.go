@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StaleView guards the elastic-membership contract at the application
+// boundary: the world size reported by Size() is only valid until the
+// next Loop call, because Loop is where a resize fence commits and the
+// membership view changes. A value read from Size() (or derived from
+// it in the same assignment) that is cached before a Loop call site
+// and reused after it silently pins the old world — partner maps,
+// contribution counts, and checksums computed from it are wrong the
+// moment the job grows or shrinks. The analysis is intraprocedural and
+// lexical, matching the code shape that actually goes wrong: a
+// size-derived variable assigned before a Loop and mentioned after
+// it. Re-reading Size() after each Loop (the correct idiom) places the
+// assignment after the view-change site and is never flagged. The
+// core and fmi packages themselves are exempt — they implement the
+// view change and juggle pre/post-fence sizes by design.
+var StaleView = &Analyzer{
+	Name: "staleview",
+	Doc:  "a Size()-derived value cached before Loop must not be reused after it: the membership view may have changed",
+	Run:  runStaleView,
+}
+
+// staleViewReads are the world-shape accessors whose results go stale
+// at a view change; staleViewRecv names the types that carry them and
+// the Loop view-change call site.
+var (
+	staleViewReads = map[string]bool{"Size": true}
+	staleViewRecv  = map[string]bool{"Proc": true, "Env": true, "Comm": true}
+)
+
+func runStaleView(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		if pkg.Name == "core" || pkg.Name == "fmi" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						analyzeStaleBody(pkg, report, n.Body)
+					}
+				case *ast.FuncLit:
+					analyzeStaleBody(pkg, report, n.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// analyzeStaleBody checks one function body. Nested function literals
+// are skipped here — the file walk hands each its own pass.
+func analyzeStaleBody(pkg *Package, report Reporter, body *ast.BlockStmt) {
+	// Pass 1: positions of size-derived assignments and Loop calls.
+	cached := map[types.Object][]token.Pos{} // var -> assignment positions
+	assignLHS := map[*ast.Ident]bool{}       // idents that are write targets, not reads
+	var loops []token.Pos
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if !containsStaleRead(pkg, rhs) {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+					assignLHS[id] = true
+				}
+				if obj != nil {
+					cached[obj] = append(cached[obj], id.Pos())
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if id.Name == "_" || i >= len(n.Values) || !containsStaleRead(pkg, n.Values[i]) {
+					continue
+				}
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					cached[obj] = append(cached[obj], id.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if isViewChangeCall(pkg, n) {
+				loops = append(loops, n.Pos())
+			}
+		}
+	})
+	if len(cached) == 0 || len(loops) == 0 {
+		return
+	}
+	// Pass 2: a use is stale when its governing assignment (the last
+	// one before it) sits on the far side of a Loop call. One report
+	// per variable keeps a cached loop body from repeating itself.
+	reported := map[types.Object]bool{}
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || assignLHS[id] {
+			return
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || reported[obj] {
+			return
+		}
+		assigns, ok := cached[obj]
+		if !ok {
+			return
+		}
+		governing := token.NoPos
+		for _, a := range assigns {
+			if a < id.Pos() && a > governing {
+				governing = a
+			}
+		}
+		if governing == token.NoPos {
+			return
+		}
+		for _, l := range loops {
+			if governing < l && l < id.Pos() {
+				reported[obj] = true
+				report(id.Pos(), "%s caches Size() from before a Loop call; the membership view may have changed — re-read it after every Loop", id.Name)
+				return
+			}
+		}
+	})
+}
+
+// walkSkippingFuncLits visits every node in body except the insides of
+// nested function literals.
+func walkSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// containsStaleRead reports whether the expression's value depends on
+// a Size() call on a Proc, Env, or Comm receiver.
+func containsStaleRead(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && staleViewReads[sel.Sel.Name] && isViewRecv(pkg, sel.X) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isViewChangeCall reports whether call is Loop on a Proc or Env.
+func isViewChangeCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Loop" && isViewRecv(pkg, sel.X)
+}
+
+// isViewRecv reports whether the expression's type is (a pointer to)
+// one of the view-carrying named types.
+func isViewRecv(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && staleViewRecv[named.Obj().Name()]
+}

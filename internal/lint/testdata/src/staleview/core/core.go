@@ -1,0 +1,25 @@
+// Package core is a miniature of fmi/internal/core: just enough
+// surface (Proc with Size/Rank/Loop and the Comm world) for the
+// staleview analyzer to resolve against.
+package core
+
+// Comm is a stand-in communicator.
+type Comm struct{}
+
+// Size returns the communicator's world size.
+func (*Comm) Size() int { return 4 }
+
+// Proc is a stand-in rank process.
+type Proc struct{ world Comm }
+
+// Size returns the world size under the current view.
+func (*Proc) Size() int { return 4 }
+
+// Rank returns this process's rank.
+func (*Proc) Rank() int { return 0 }
+
+// Loop is the checkpoint/view-change call site.
+func (*Proc) Loop(segs [][]byte) int { return 0 }
+
+// World returns the world communicator.
+func (p *Proc) World() *Comm { return &p.world }

@@ -1,0 +1,85 @@
+// Package use exercises the staleview analyzer: Size()-derived values
+// cached before a Loop call and reused after it are findings. The
+// clean functions pin the analyzer's tolerance for the correct idioms:
+// re-reading Size after every Loop, caching when no view-change site
+// exists, and fresh calls after the loop ends.
+package use
+
+import "staleview/core"
+
+func cleanRereadInsideLoop(p *core.Proc) int {
+	total := 0
+	for {
+		if p.Loop(nil) >= 3 {
+			break
+		}
+		size := p.Size() // re-read after the view-change site: fresh
+		total += size
+	}
+	return total
+}
+
+func cleanNoLoop(p *core.Proc) int {
+	size := p.Size()
+	return size * 2 // no view-change site in this function
+}
+
+func cleanFreshCallAfterLoop(p *core.Proc) int {
+	for p.Loop(nil) < 3 {
+	}
+	return p.Size() // direct call, nothing cached
+}
+
+func cleanStraightLine(p *core.Proc) int {
+	p.Loop(nil)
+	size := p.Size() // read after the crossing, used before the next
+	return size
+}
+
+func staleAcrossLoop(p *core.Proc) int {
+	size := p.Size()
+	total := 0
+	for {
+		if p.Loop(nil) >= 3 {
+			break
+		}
+		total += size // want "size caches Size\(\) from before a Loop call"
+	}
+	return total
+}
+
+func staleDerived(p *core.Proc) int {
+	paired := p.Rank()^1 < p.Size()
+	total := 0
+	for p.Loop(nil) < 3 {
+		if paired { // want "paired caches Size\(\) from before a Loop call"
+			total++
+		}
+	}
+	return total
+}
+
+func staleCommSize(p *core.Proc) int {
+	n := p.World().Size()
+	for p.Loop(nil) < 3 {
+		_ = n // want "n caches Size\(\) from before a Loop call"
+	}
+	return 0
+}
+
+func staleAfterLoopEnds(p *core.Proc) int {
+	size := p.Size()
+	for p.Loop(nil) < 3 {
+	}
+	return size // want "size caches Size\(\) from before a Loop call"
+}
+
+func staleInFuncLit(p *core.Proc) func() int {
+	return func() int {
+		n := p.Size()
+		for p.Loop(nil) < 3 {
+			_ = n // want "n caches Size\(\) from before a Loop call"
+		}
+		return 0
+	}
+}

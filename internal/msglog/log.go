@@ -115,15 +115,44 @@ func (l *Log) SendSeqs() []uint64 {
 // RestoreSendSeqs adopts checkpointed counters (a respawned rank
 // restoring from its rebuilt shard): re-executed sends then reproduce
 // the original sequence numbers, so receivers that already consumed
-// them suppress the duplicates.
+// them suppress the duplicates. The counters may come from a
+// checkpoint taken under a smaller membership view; the common prefix
+// is adopted and counters for ranks beyond the old world start at 0.
 func (l *Log) RestoreSendSeqs(seqs []uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(seqs) != l.n {
+	if len(seqs) > l.n {
 		return fmt.Errorf("msglog: restoring %d counters into a log for %d ranks", len(seqs), l.n)
 	}
 	copy(l.lastSeq, seqs)
+	for i := len(seqs); i < l.n; i++ {
+		l.lastSeq[i] = 0
+	}
 	return nil
+}
+
+// Resize adapts the log to a new world size at a view-change fence.
+// On grow, fresh destinations start with zero counters and empty
+// logs; on shrink, entries and counters for retired ranks are
+// dropped (nothing will ever request them again).
+func (l *Log) Resize(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n == l.n {
+		return
+	}
+	seqs := make([]uint64, n)
+	ents := make([][]Entry, n)
+	copy(seqs, l.lastSeq)
+	for dst := 0; dst < n && dst < l.n; dst++ {
+		ents[dst] = l.entries[dst]
+	}
+	for dst := n; dst < l.n; dst++ {
+		for _, e := range l.entries[dst] {
+			l.bytes -= len(e.Data)
+		}
+	}
+	l.n, l.lastSeq, l.entries = n, seqs, ents
 }
 
 // Reset drops all entries and zeroes every counter — used when a

@@ -88,8 +88,17 @@ func TestRestoreSendSeqsResumesNumbering(t *testing.T) {
 	if seq := l.Record(2, 1, 0, 0, nil); seq != 10 {
 		t.Fatalf("seq to dst 2 after restore = %d, want 10", seq)
 	}
-	if err := l.RestoreSendSeqs([]uint64{1}); err == nil {
-		t.Fatal("RestoreSendSeqs accepted a wrong-length vector")
+	// A shorter vector is a checkpoint from a smaller membership view:
+	// the common prefix is adopted, counters beyond it start over.
+	if err := l.RestoreSendSeqs([]uint64{1}); err != nil {
+		t.Fatalf("RestoreSendSeqs rejected a smaller-view vector: %v", err)
+	}
+	if seq := l.Record(0, 1, 0, 0, nil); seq != 2 {
+		t.Fatalf("seq to dst 0 after prefix restore = %d, want 2", seq)
+	}
+	// A longer vector cannot come from any legal view history.
+	if err := l.RestoreSendSeqs(make([]uint64, 99)); err == nil {
+		t.Fatal("RestoreSendSeqs accepted an oversized vector")
 	}
 }
 

@@ -40,17 +40,27 @@ var ErrCancelled = errors.New("replica: wait cancelled")
 // promotion/re-provisioning, and Deactivate flips the whole job back
 // to plain (non-mirrored) routing after an unmaskable pair loss.
 type Registry struct {
-	mu       sync.Mutex
-	n        int
-	active   bool
-	prim     []transport.Addr
-	shad     []transport.Addr
-	hasPrim  []bool
-	hasShad  []bool
-	synced   []bool // shadow state matches the primary's (promotable)
-	promoted []bool // rank's current primary is a promoted shadow
-	syncReq  []bool // shadow asked its primary for a state snapshot
-	changed  chan struct{}
+	mu      sync.Mutex
+	n       int
+	active  bool
+	prim    []transport.Addr
+	shad    []transport.Addr
+	hasPrim []bool
+	hasShad []bool
+	// expectShad marks ranks whose shadow is expected to register:
+	// Ready only waits for expected shadows, so a rank legitimately
+	// running unprotected (shadow dropped, promotion, replacement still
+	// provisioning) cannot deadlock a post-fence world rebuild.
+	expectShad []bool
+	synced     []bool // shadow state matches the primary's (promotable)
+	promoted   []bool // rank's current primary is a promoted shadow
+	// promotedInc is the incarnation of the shadow that was promoted
+	// (valid while promoted is set). Seat-level promoted cannot tell the
+	// acting primary apart from a replacement shadow provisioned on the
+	// same rank afterwards; PromotedSelf keys the answer by incarnation.
+	promotedInc []uint64
+	syncReq     []bool // shadow asked its primary for a state snapshot
+	changed     chan struct{}
 
 	// Flip-fence bookkeeping for mid-run shadow registrations. A
 	// replacement shadow joins the mirrored streams mid-flight: each
@@ -73,23 +83,28 @@ type Registry struct {
 // endpoints registered yet.
 func NewRegistry(n int) *Registry {
 	r := &Registry{
-		n:         n,
-		active:    true,
-		prim:      make([]transport.Addr, n),
-		shad:      make([]transport.Addr, n),
-		hasPrim:   make([]bool, n),
-		hasShad:   make([]bool, n),
-		synced:    make([]bool, n),
-		promoted:  make([]bool, n),
-		syncReq:   make([]bool, n),
-		changed:   make(chan struct{}),
-		shadowInc: make([]uint64, n),
-		fenceInc:  make([][]uint64, n),
-		fenceSeq:  make([][]uint64, n),
+		n:           n,
+		active:      true,
+		prim:        make([]transport.Addr, n),
+		shad:        make([]transport.Addr, n),
+		hasPrim:     make([]bool, n),
+		hasShad:     make([]bool, n),
+		expectShad:  make([]bool, n),
+		synced:      make([]bool, n),
+		promoted:    make([]bool, n),
+		promotedInc: make([]uint64, n),
+		syncReq:     make([]bool, n),
+		changed:     make(chan struct{}),
+		shadowInc:   make([]uint64, n),
+		fenceInc:    make([][]uint64, n),
+		fenceSeq:    make([][]uint64, n),
 	}
 	for i := range r.fenceInc {
 		r.fenceInc[i] = make([]uint64, n)
 		r.fenceSeq[i] = make([]uint64, n)
+	}
+	for i := range r.expectShad {
+		r.expectShad[i] = true // every launch rank starts with a shadow
 	}
 	return r
 }
@@ -115,12 +130,15 @@ func (r *Registry) SetPrimary(rank int, addr transport.Addr) {
 // launch-time shadow starts from the same initial state as its
 // primary and is synced (promotable) immediately; a re-provisioned
 // replacement (needSync) must first pull a state snapshot from its
-// primary and is held un-promotable until MarkSynced.
-func (r *Registry) SetShadow(rank int, addr transport.Addr, needSync bool) {
+// primary and is held un-promotable until MarkSynced. The returned
+// incarnation identifies this registration: the process keeps it and
+// presents it to PromotedSelf after a later promotion.
+func (r *Registry) SetShadow(rank int, addr transport.Addr, needSync bool) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.shad[rank] = addr
 	r.hasShad[rank] = true
+	r.expectShad[rank] = true
 	r.synced[rank] = !needSync
 	r.syncReq[rank] = needSync
 	if needSync {
@@ -133,6 +151,7 @@ func (r *Registry) SetShadow(rank int, addr transport.Addr, needSync bool) {
 		r.incGen++
 	}
 	r.bump()
+	return r.shadowInc[rank]
 }
 
 // Ready blocks until every rank has both a primary and a shadow
@@ -147,7 +166,7 @@ func (r *Registry) Ready(cancel <-chan struct{}) error {
 		}
 		done := true
 		for i := 0; i < r.n; i++ {
-			if !r.hasPrim[i] || !r.hasShad[i] {
+			if !r.hasPrim[i] || (r.expectShad[i] && !r.hasShad[i]) {
 				done = false
 				break
 			}
@@ -198,10 +217,12 @@ func (r *Registry) Promote(rank int) bool {
 	}
 	r.prim[rank] = r.shad[rank]
 	r.hasShad[rank] = false
+	r.expectShad[rank] = false
 	r.shad[rank] = transport.NilAddr
 	r.synced[rank] = false
 	r.syncReq[rank] = false
 	r.promoted[rank] = true
+	r.promotedInc[rank] = r.shadowInc[rank]
 	r.bump()
 	return true
 }
@@ -215,12 +236,24 @@ func (r *Registry) Promoted(rank int) bool {
 	return r.promoted[rank]
 }
 
+// PromotedSelf reports whether the shadow registration identified by
+// inc is the one whose promotion made it rank's acting primary. A
+// replacement shadow provisioned on the same seat after the promotion
+// carries a newer incarnation and is not the acting primary — it must
+// keep behaving as a shadow even though Promoted(rank) is true.
+func (r *Registry) PromotedSelf(rank int, inc uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.promoted[rank] && r.promotedInc[rank] == inc
+}
+
 // DropShadow removes rank's shadow endpoint (its node died); the rank
 // keeps running unprotected until a replacement registers.
 func (r *Registry) DropShadow(rank int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.hasShad[rank] = false
+	r.expectShad[rank] = false
 	r.shad[rank] = transport.NilAddr
 	r.synced[rank] = false
 	r.syncReq[rank] = false
@@ -348,6 +381,71 @@ func (r *Registry) MarkSynced(rank int) {
 	defer r.mu.Unlock()
 	if r.hasShad[rank] {
 		r.synced[rank] = true
+	}
+	r.bump()
+}
+
+// ShadowState reports rank's shadow bookkeeping atomically:
+// registered, synced (promotable), and whether a state-snapshot
+// request is still pending (taken requests report reqPending=false —
+// the snapshot is in flight). The resize fence uses it to decide
+// which shadows must park as observers before a view change commits.
+func (r *Registry) ShadowState(rank int) (registered, synced, reqPending bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank < 0 || rank >= r.n || !r.active {
+		return false, false, false
+	}
+	return r.hasShad[rank], r.synced[rank], r.syncReq[rank]
+}
+
+// BeginEpoch re-keys the registry for a new world size at a
+// view-change fence. Every endpoint registration is cleared — all
+// surviving procs rebuild their generations across the fence and
+// re-register, and Ready blocks until the whole new world has —
+// while the identity state that must survive the fence is kept:
+// promotion flags (a promoted shadow keeps acting as primary) and
+// shadow incarnations (resized, prefix preserved, so flip-fence acks
+// from before the fence stay stale-keyed rather than colliding).
+func (r *Registry) BeginEpoch(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.active {
+		return
+	}
+	promoted := make([]bool, n)
+	promotedInc := make([]uint64, n)
+	shadowInc := make([]uint64, n)
+	copy(promoted, r.promoted)
+	copy(promotedInc, r.promotedInc)
+	copy(shadowInc, r.shadowInc)
+	expect := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if i < len(r.hasShad) {
+			// A surviving shadow crosses the fence only if it was synced
+			// (parked as a fence observer); anything else re-registers on
+			// its own schedule and must not gate Ready.
+			expect[i] = r.hasShad[i] && r.synced[i]
+		} else {
+			expect[i] = true // grow joiners launch with a shadow
+		}
+	}
+	r.n = n
+	r.prim = make([]transport.Addr, n)
+	r.shad = make([]transport.Addr, n)
+	r.hasPrim = make([]bool, n)
+	r.hasShad = make([]bool, n)
+	r.expectShad = expect
+	r.synced = make([]bool, n)
+	r.syncReq = make([]bool, n)
+	r.promoted = promoted
+	r.promotedInc = promotedInc
+	r.shadowInc = shadowInc
+	r.fenceInc = make([][]uint64, n)
+	r.fenceSeq = make([][]uint64, n)
+	for i := range r.fenceInc {
+		r.fenceInc[i] = make([]uint64, n)
+		r.fenceSeq[i] = make([]uint64, n)
 	}
 	r.bump()
 }

@@ -7,35 +7,51 @@ import (
 
 	"fmi/internal/cluster"
 	"fmi/internal/trace"
+	"fmi/internal/view"
 )
 
 // Store is the ReStore-style in-memory replicated data store
 // (PAPERS.md: "ReStore: In-Memory REplicated STORagE for Rapid
 // Recovery in Fault-Tolerant Algorithms"). Applications Submit named
-// byte objects once; the store keeps R in-memory copies on distinct
-// cluster nodes, prunes copies when their node dies, and immediately
-// re-replicates back to R from any survivor — so after a failure the
-// application re-fetches its input data with Load instead of
-// re-reading it from the parallel file system or re-computing it.
+// byte objects once; the store keeps R in-memory copies per shard on
+// distinct cluster nodes, prunes copies when their node dies, and
+// immediately re-replicates back to R from any survivor — so after a
+// failure the application re-fetches its input data with Load instead
+// of re-reading it from the parallel file system or re-computing it.
 //
-// The replica count is fixed at 2 to match the protocol's
-// primary/shadow pairing: one node loss never loses data, and the
-// same correlated pair loss that degrades the protocol is the event
-// that can lose a store object.
+// Placement has two modes. Without a membership view installed the
+// store replicates whole objects (the original behaviour). Once the
+// runtime installs a view with SetView, objects are split into one
+// contiguous shard per checkpoint-encoding group and each shard's
+// copies are placed on that group's nodes — the same group map the
+// checkpoint encoder uses, so a view change (grow/shrink) triggers a
+// shard rebalance onto the new group structure, and Evacuate migrates
+// copies off retiring nodes before the runtime releases them.
 type Store struct {
 	clu *cluster.Cluster
 	rec *trace.Recorder
 
 	mu      sync.Mutex
 	objects map[string]*object
+	view    *view.View
+	groups  [][]int // distinct groups of the installed view, in rank order
 }
 
-// StoreReplicas is the number of in-memory copies kept per object.
+// StoreReplicas is the number of in-memory copies kept per object (or
+// per shard, once a view is installed).
 const StoreReplicas = 2
 
+// shard is one contiguous slice of an object's bytes with its own
+// replica set.
+type shard struct {
+	off, n int
+	nodes  []int // cluster node ids currently holding a copy
+}
+
 type object struct {
-	data  []byte
-	nodes []int // cluster node ids currently holding a copy
+	data   []byte
+	nodes  []int   // whole-object mode (no view installed)
+	shards []shard // sharded mode (view installed)
 }
 
 // NewStore creates a store over the cluster and subscribes to node
@@ -51,43 +67,159 @@ func NewStore(clu *cluster.Cluster, rec *trace.Recorder) *Store {
 	return s
 }
 
-// pickNodes returns up to want healthy node ids not already in have,
-// lowest id first (deterministic placement).
-func (s *Store) pickNodes(have []int, want int) []int {
-	taken := make(map[int]bool, len(have))
-	for _, id := range have {
-		taken[id] = true
+// SetView installs (or replaces) the membership view and rebalances
+// every object's shards onto the new group structure. Survivor shards
+// that already sit on a node of their new group stay put; everything
+// else migrates. Returns the number of shard copies placed or moved.
+func (s *Store) SetView(v *view.View) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.view = v
+	s.groups = distinctGroups(v)
+	moved := 0
+	for key, obj := range s.objects {
+		m := s.reshardLocked(obj)
+		if m > 0 {
+			s.rec.AddView(trace.KindShardMigrate, -1, 0, v.Version,
+				"store reshard %q: %d shard copies placed across %d groups", key, m, len(s.groups))
+		}
+		moved += m
 	}
-	var out []int
-	for _, nd := range s.clu.Alive() {
-		if !taken[nd.ID] {
-			out = append(out, nd.ID)
+	return moved
+}
+
+// distinctGroups collapses the per-rank group map into the list of
+// distinct groups, ordered by their lowest member rank.
+func distinctGroups(v *view.View) [][]int {
+	var out [][]int
+	for r := 0; r < v.Ranks; r++ {
+		g := v.Groups[r]
+		if len(g) > 0 && g[0] == r {
+			out = append(out, g)
 		}
 	}
-	sort.Ints(out)
-	if len(out) > want {
-		out = out[:want]
+	if len(out) == 0 {
+		out = [][]int{{0}}
 	}
 	return out
 }
 
+// pickNodes returns up to want healthy node ids not already in have,
+// preferring the given candidates (a group's nodes), then any healthy
+// node lowest id first (deterministic placement).
+func (s *Store) pickNodes(prefer, have []int, want int) []int {
+	taken := make(map[int]bool, len(have))
+	for _, id := range have {
+		taken[id] = true
+	}
+	alive := make(map[int]bool)
+	var pool []int
+	for _, nd := range s.clu.Alive() {
+		alive[nd.ID] = true
+		pool = append(pool, nd.ID)
+	}
+	sort.Ints(pool)
+	var out []int
+	add := func(id int) {
+		if len(out) < want && alive[id] && !taken[id] {
+			taken[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range prefer {
+		add(id)
+	}
+	for _, id := range pool {
+		add(id)
+	}
+	return out
+}
+
+// groupNodes returns the node ids hosting group gi's ranks under the
+// installed view.
+func (s *Store) groupNodes(gi int) []int {
+	if s.view == nil || gi >= len(s.groups) {
+		return nil
+	}
+	var out []int
+	for _, r := range s.groups[gi] {
+		if r < len(s.view.NodeOf) {
+			out = append(out, s.view.NodeOf[r])
+		}
+	}
+	return out
+}
+
+// reshardLocked (re)computes obj's shard layout for the installed
+// view, keeping copies that already sit on a node of the shard's new
+// group. Returns how many copies were newly placed.
+func (s *Store) reshardLocked(obj *object) int {
+	k := len(s.groups)
+	chunk := (len(obj.data) + k - 1) / k
+	if chunk == 0 {
+		chunk = 1
+	}
+	old := obj.shards
+	obj.shards = make([]shard, 0, k)
+	obj.nodes = nil
+	placed := 0
+	for i := 0; i < k; i++ {
+		off := i * chunk
+		if off > len(obj.data) {
+			off = len(obj.data)
+		}
+		n := chunk
+		if off+n > len(obj.data) {
+			n = len(obj.data) - off
+		}
+		want := s.groupNodes(i)
+		wantSet := make(map[int]bool, len(want))
+		for _, id := range want {
+			wantSet[id] = true
+		}
+		var keep []int
+		if i < len(old) {
+			for _, id := range old[i].nodes {
+				if wantSet[id] && len(keep) < StoreReplicas {
+					keep = append(keep, id)
+				}
+			}
+		}
+		fresh := s.pickNodes(want, keep, StoreReplicas-len(keep))
+		placed += len(fresh)
+		obj.shards = append(obj.shards, shard{off: off, n: n, nodes: append(keep, fresh...)})
+	}
+	return placed
+}
+
 // Submit stores (or replaces) the object under key with StoreReplicas
-// copies on distinct healthy nodes. The data is copied; the caller
-// may reuse the slice.
+// copies per shard on distinct healthy nodes. The data is copied; the
+// caller may reuse the slice.
 func (s *Store) Submit(key string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	nodes := s.pickNodes(nil, StoreReplicas)
+	obj := &object{data: append([]byte(nil), data...)}
+	if s.view != nil {
+		if s.reshardLocked(obj) == 0 {
+			return fmt.Errorf("fmi: store submit %q: no healthy nodes", key)
+		}
+		s.objects[key] = obj
+		s.rec.AddView(trace.KindStoreSubmit, -1, 0, s.view.Version,
+			"store submit %q (%d B) -> %d shards", key, len(data), len(obj.shards))
+		return nil
+	}
+	nodes := s.pickNodes(nil, nil, StoreReplicas)
 	if len(nodes) == 0 {
 		return fmt.Errorf("fmi: store submit %q: no healthy nodes", key)
 	}
-	s.objects[key] = &object{data: append([]byte(nil), data...), nodes: nodes}
+	obj.nodes = nodes
+	s.objects[key] = obj
 	s.rec.Add(trace.KindStoreSubmit, -1, 0, "store submit %q (%d B) -> nodes %v", key, len(data), nodes)
 	return nil
 }
 
-// Load returns a copy of the object under key, as long as at least
-// one holder node is still alive.
+// Load returns a copy of the object under key, as long as every shard
+// (or the whole object, in unsharded mode) still has a living holder.
 func (s *Store) Load(key string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -95,13 +227,21 @@ func (s *Store) Load(key string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("fmi: store load %q: not found", key)
 	}
+	if obj.shards != nil {
+		for i, sh := range obj.shards {
+			if len(sh.nodes) == 0 {
+				return nil, fmt.Errorf("fmi: store load %q: shard %d lost all copies", key, i)
+			}
+		}
+		return append([]byte(nil), obj.data...), nil
+	}
 	if len(obj.nodes) == 0 {
 		return nil, fmt.Errorf("fmi: store load %q: all copies lost", key)
 	}
 	return append([]byte(nil), obj.data...), nil
 }
 
-// Rebuild re-replicates every surviving object back up to
+// Rebuild re-replicates every surviving object (or shard) back up to
 // StoreReplicas copies and returns how many new copies were placed.
 // It runs automatically after every node failure; the public entry
 // point lets applications force a pass (e.g. after growing the
@@ -115,10 +255,26 @@ func (s *Store) Rebuild() int {
 func (s *Store) rebuildLocked() int {
 	created := 0
 	for key, obj := range s.objects {
+		if obj.shards != nil {
+			for i := range obj.shards {
+				sh := &obj.shards[i]
+				if len(sh.nodes) == 0 || len(sh.nodes) >= StoreReplicas {
+					continue
+				}
+				fresh := s.pickNodes(s.groupNodes(i), sh.nodes, StoreReplicas-len(sh.nodes))
+				if len(fresh) == 0 {
+					continue
+				}
+				sh.nodes = append(sh.nodes, fresh...)
+				created += len(fresh)
+				s.rec.Add(trace.KindStoreRebuild, -1, 0, "store rebuild %q shard %d: +%d copies -> nodes %v", key, i, len(fresh), sh.nodes)
+			}
+			continue
+		}
 		if len(obj.nodes) == 0 || len(obj.nodes) >= StoreReplicas {
 			continue
 		}
-		fresh := s.pickNodes(obj.nodes, StoreReplicas-len(obj.nodes))
+		fresh := s.pickNodes(nil, obj.nodes, StoreReplicas-len(obj.nodes))
 		if len(fresh) == 0 {
 			continue
 		}
@@ -129,6 +285,53 @@ func (s *Store) rebuildLocked() int {
 	return created
 }
 
+// Evacuate migrates every copy off the given nodes (ranks retiring at
+// a shrink fence) while they are still healthy, so releasing them
+// back to the spare pool can never lose data. Returns the number of
+// copies moved.
+func (s *Store) Evacuate(nodeIDs []int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	leaving := make(map[int]bool, len(nodeIDs))
+	for _, id := range nodeIDs {
+		leaving[id] = true
+	}
+	touched := false
+	for _, obj := range s.objects {
+		for i := range obj.shards {
+			sh := &obj.shards[i]
+			keep := sh.nodes[:0]
+			for _, id := range sh.nodes {
+				if !leaving[id] {
+					keep = append(keep, id)
+				} else {
+					touched = true
+				}
+			}
+			sh.nodes = keep
+		}
+		keep := obj.nodes[:0]
+		for _, id := range obj.nodes {
+			if !leaving[id] {
+				keep = append(keep, id)
+			} else {
+				touched = true
+			}
+		}
+		obj.nodes = keep
+	}
+	if !touched {
+		return 0
+	}
+	moved := s.rebuildLocked()
+	ver := uint64(0)
+	if s.view != nil {
+		ver = s.view.Version
+	}
+	s.rec.AddView(trace.KindShardMigrate, -1, 0, ver, "store evacuate nodes %v: %d copies migrated", nodeIDs, moved)
+	return moved
+}
+
 // pruneNode drops node id's copies and immediately re-replicates the
 // affected objects from their survivors.
 func (s *Store) pruneNode(id int) {
@@ -136,6 +339,18 @@ func (s *Store) pruneNode(id int) {
 	defer s.mu.Unlock()
 	touched := false
 	for _, obj := range s.objects {
+		for i := range obj.shards {
+			sh := &obj.shards[i]
+			keep := sh.nodes[:0]
+			for _, n := range sh.nodes {
+				if n != id {
+					keep = append(keep, n)
+				} else {
+					touched = true
+				}
+			}
+			sh.nodes = keep
+		}
 		keep := obj.nodes[:0]
 		for _, n := range obj.nodes {
 			if n != id {
@@ -151,13 +366,27 @@ func (s *Store) pruneNode(id int) {
 	}
 }
 
-// Copies reports how many live copies of key exist (0 if absent).
+// Copies reports how many live copies of key exist (0 if absent). In
+// sharded mode it is the minimum copy count over the object's shards
+// — the number of simultaneous node losses the object survives.
 func (s *Store) Copies(key string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	obj, ok := s.objects[key]
 	if !ok {
 		return 0
+	}
+	if obj.shards != nil {
+		min := -1
+		for _, sh := range obj.shards {
+			if min < 0 || len(sh.nodes) < min {
+				min = len(sh.nodes)
+			}
+		}
+		if min < 0 {
+			min = 0
+		}
+		return min
 	}
 	return len(obj.nodes)
 }

@@ -23,6 +23,7 @@ import (
 	"fmi/internal/scr"
 	"fmi/internal/trace"
 	"fmi/internal/transport"
+	"fmi/internal/view"
 )
 
 // App is the application body executed by every rank.
@@ -89,6 +90,20 @@ type Config struct {
 	// Pool is the job-wide buffer arena shared by the transport and
 	// every rank's runtime (nil disables pooling).
 	Pool *bufpool.Arena
+	// OnNodeRetired, when non-nil, intercepts each node freed by a
+	// shrink fence. Return true to take ownership of the node (the job
+	// service returns it to the shared broker pool); false routes it
+	// to the job's own spare pool.
+	OnNodeRetired func(nd *cluster.Node) bool
+	// OnViewChange, when non-nil, runs after every committed view
+	// change with the installed view and the ids of nodes freed by a
+	// shrink (empty on grow). The fmi layer hooks the replicated data
+	// store's shard rebalance in here.
+	OnViewChange func(v *view.View, freedNodes []int)
+	// Elastic permits online grow/shrink reconfiguration. When false,
+	// Resize/RequestResize are rejected and the membership stays fixed
+	// for the life of the job.
+	Elastic bool
 }
 
 // Errors reported by the job manager.
@@ -142,6 +157,11 @@ type Job struct {
 	failedNodes map[int]bool
 	finCh       chan struct{} // closed on completion or abort (Done)
 	rep         *repState     // replica recovery state; nil otherwise
+
+	view       *view.View   // current membership view (never nil after Launch)
+	resize     *resizeState // armed view-change fence; nil when idle
+	ticketSeq  uint64
+	finalizing bool // some rank entered Finalize; no further resizes
 }
 
 // repState holds the replica-recovery bookkeeping (guarded by Job.mu
@@ -273,6 +293,14 @@ func Launch(cfg Config, app App) (*Job, error) {
 		slot := r / cfg.ProcsPerNode
 		perNode[slot] = append(perNode[slot], r)
 	}
+	// Resolve every slot's node and install the launch view before any
+	// rank spawns: procs adopt their world from the view, so it must
+	// exist first.
+	type slotPlan struct {
+		t     *task
+		ranks []int
+	}
+	var plans []slotPlan
 	for slot, ranks := range perNode {
 		var nd *cluster.Node
 		if cfg.Machine != nil {
@@ -290,8 +318,13 @@ func Launch(cfg Config, app App) (*Job, error) {
 		j.mu.Lock()
 		j.tasks[nd.ID] = t
 		j.mu.Unlock()
-		for _, r := range ranks {
-			if err := j.spawnRank(t, r, 0, false); err != nil {
+		plans = append(plans, slotPlan{t: t, ranks: ranks})
+	}
+	j.view = view.New(cfg.Ranks, cfg.ProcsPerNode, cfg.GroupSize, j.rankNode)
+	cfg.Trace.AddView(trace.KindViewChange, -1, 0, j.view.Version, "launch %s installed", j.view)
+	for _, pl := range plans {
+		for _, r := range pl.ranks {
+			if err := j.spawnRank(pl.t, r, 0, false, 0); err != nil {
 				return nil, err
 			}
 		}
@@ -312,7 +345,7 @@ func Launch(cfg Config, app App) (*Job, error) {
 			j.tasks[nd.ID] = nt
 			j.rep.shadowNode[r] = nd.ID
 			j.mu.Unlock()
-			if err := j.spawnShadow(nt, r, false); err != nil {
+			if err := j.spawnShadow(nt, r, false, 0, 0); err != nil {
 				return nil, err
 			}
 		}
@@ -499,8 +532,10 @@ func (j *Job) Epoch() uint32 {
 	return j.epoch
 }
 
-// spawnRank starts one rank process on the task's node.
-func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error {
+// spawnRank starts one rank process on the task's node. startLoop is
+// non-zero only for ranks joining through a grow fence: they enter
+// the application loop at the fence's cut iteration.
+func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool, startLoop int) error {
 	cp, err := t.node.Spawn()
 	if err != nil {
 		return err
@@ -508,11 +543,14 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 	j.mu.Lock()
 	j.rankProc[rank] = cp
 	j.rankNode[rank] = t.node.ID
+	v := j.view
 	j.mu.Unlock()
 	t.addChild(rank, cp)
 
 	cfg := core.Config{
-		Rank: rank, N: j.cfg.Ranks,
+		Rank: rank, N: v.Ranks,
+		View:          v,
+		StartLoop:     startLoop,
 		ProcsPerNode:  j.cfg.ProcsPerNode,
 		Epoch:         epoch,
 		IsReplacement: replacement,
@@ -559,7 +597,7 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool) error
 // rankFinished records a clean exit.
 func (j *Job) rankFinished(rank int, err error) {
 	j.mu.Lock()
-	if j.rankDone[rank] {
+	if rank >= len(j.rankDone) || j.rankDone[rank] {
 		j.mu.Unlock()
 		return
 	}
@@ -568,7 +606,13 @@ func (j *Job) rankFinished(rank int, err error) {
 		j.appErrs = append(j.appErrs, fmt.Errorf("rank %d: %w", rank, err))
 	}
 	j.doneCount++
-	done := j.doneCount == j.cfg.Ranks
+	done := j.doneCount >= len(j.rankDone)
+	// A finished rank can be the last missing ack or arrival of an
+	// armed fence.
+	if !done && j.resize != nil && !j.resize.committing {
+		j.maybeDecideCutLocked(j.resize)
+		j.maybeCommitLocked(j.resize)
+	}
 	j.mu.Unlock()
 	if done {
 		select {
@@ -602,35 +646,22 @@ func (j *Job) failNode(t *task) {
 		return
 	}
 	j.failedNodes[t.node.ID] = true
+	// A failure during an uncommitted resize fence aborts the fence:
+	// parked ranks are released to recover normally under the old view
+	// and the resize re-collects its acks once recovery settles. A
+	// failure after the commit point is an ordinary failure in the new
+	// view.
+	if rs := j.resize; rs != nil && !rs.committing {
+		j.abortFenceLocked(rs, "node failure")
+	}
 	oldEpoch := j.epoch
-	j.epoch++
-	newEpoch := j.epoch
+	newEpoch := j.advanceEpochLocked()
 	j.cfg.Trace.Add(trace.KindNodeFailed, -1, oldEpoch, "node %d failed", t.node.ID)
 	j.cfg.Trace.Add(trace.KindEpoch, -1, newEpoch, "epoch advanced to %d", newEpoch)
 	if int(newEpoch) > j.cfg.MaxEpochs {
 		j.mu.Unlock()
 		j.Abort(fmt.Errorf("%w: %d epochs", ErrTooManyFailures, newEpoch))
 		return
-	}
-	// Wake epoch waiters and the fallback notification channel.
-	var still []epochWaiter
-	for _, w := range j.epochWait {
-		if newEpoch >= w.min {
-			//fmilint:ignore lockheld each waiter channel is buffered(1) and receives at most one send ever, so this cannot block under j.mu
-			w.ch <- newEpoch
-		} else {
-			still = append(still, w)
-		}
-	}
-	j.epochWait = still
-	for e, ch := range j.epochChans {
-		if newEpoch > e {
-			select {
-			case <-ch:
-			default:
-				close(ch)
-			}
-		}
 	}
 	// Ranks lost with the node, excluding already-finished ones.
 	var lost []int
@@ -666,13 +697,46 @@ func (j *Job) failNode(t *task) {
 		j.mu.Unlock()
 		j.cfg.Trace.Add(trace.KindSpareAlloc, -1, newEpoch, "node %d allocated for ranks %v", nd.ID, lost)
 		for _, r := range lost {
+			j.mu.Lock()
+			stale := r >= len(j.rankDone)
+			j.mu.Unlock()
+			if stale {
+				continue // retired by a shrink fence that raced the respawn
+			}
 			j.cfg.Trace.Add(trace.KindRespawn, r, newEpoch, "respawned on node %d", nd.ID)
-			if err := j.spawnRank(nt, r, newEpoch, true); err != nil {
+			if err := j.spawnRank(nt, r, newEpoch, true, 0); err != nil {
 				j.Abort(fmt.Errorf("%w: respawn rank %d: %v", ErrJobAborted, r, err))
 				return
 			}
 		}
 	}()
+}
+
+// advanceEpochLocked bumps the job epoch and wakes epoch waiters and
+// notification channels. Caller holds j.mu.
+func (j *Job) advanceEpochLocked() uint32 {
+	j.epoch++
+	newEpoch := j.epoch
+	var still []epochWaiter
+	for _, w := range j.epochWait {
+		if newEpoch >= w.min {
+			//fmilint:ignore lockheld each waiter channel is buffered(1) and receives at most one send ever, so this cannot block under j.mu
+			w.ch <- newEpoch
+		} else {
+			still = append(still, w)
+		}
+	}
+	j.epochWait = still
+	for e, ch := range j.epochChans {
+		if newEpoch > e {
+			select {
+			case <-ch:
+			default:
+				close(ch)
+			}
+		}
+	}
+	return newEpoch
 }
 
 // replicaReg returns the shared replica registry (nil outside replica
@@ -753,6 +817,14 @@ func (j *Job) replicaHandle(t *task) bool {
 		j.rep.shadowNode[shadRank] = -1
 		j.rep.shadowProc[shadRank] = nil
 		delete(j.tasks, t.node.ID)
+		// The dead shadow can no longer ack or park in an armed fence;
+		// drop its observer bookkeeping and re-check progress.
+		if rs := j.resize; rs != nil && !rs.committing {
+			delete(rs.obsAcks, shadRank)
+			delete(rs.obsArrived, shadRank)
+			j.maybeDecideCutLocked(rs)
+			j.maybeCommitLocked(rs)
+		}
 		j.mu.Unlock()
 		j.cfg.Trace.Add(trace.KindNodeFailed, -1, 0, "node %d failed (shadow of rank %d; masked)", t.node.ID, shadRank)
 		go j.reprovisionShadow(shadRank)
@@ -771,6 +843,23 @@ func (j *Job) replicaHandle(t *task) bool {
 		delete(j.tasks, t.node.ID)
 		if nt := j.tasks[shadowNd]; nt != nil {
 			nt.setPrimary()
+		}
+		// The promoted shadow takes over the dead primary's place in an
+		// armed fence: its observer ack/arrival become the rank's
+		// participant ack/arrival.
+		if rs := j.resize; rs != nil && !rs.committing {
+			delete(rs.acks, primRank)
+			delete(rs.arrived, primRank)
+			if l, ok := rs.obsAcks[primRank]; ok {
+				rs.acks[primRank] = l
+				delete(rs.obsAcks, primRank)
+			}
+			if w := rs.obsArrived[primRank]; w != nil {
+				rs.arrived[primRank] = w
+				delete(rs.obsArrived, primRank)
+			}
+			j.maybeDecideCutLocked(rs)
+			j.maybeCommitLocked(rs)
 		}
 		j.mu.Unlock()
 		j.cfg.Trace.Add(trace.KindNodeFailed, -1, 0, "node %d failed (primary of rank %d)", t.node.ID, primRank)
@@ -836,7 +925,7 @@ func (j *Job) reprovisionShadow(rank int) {
 		return
 	}
 	j.mu.Lock()
-	stale := j.rep.degraded || j.rankDone[rank]
+	stale := j.rep.degraded || rank >= len(j.rankDone) || j.rankDone[rank]
 	if !stale {
 		select {
 		case <-j.doneCh:
@@ -858,7 +947,7 @@ func (j *Job) reprovisionShadow(rank int) {
 	j.mu.Unlock()
 	j.cfg.Trace.Add(trace.KindSpareAlloc, -1, 0, "node %d allocated for replacement shadow of rank %d", nd.ID, rank)
 	j.cfg.Trace.Add(trace.KindShadowReprovision, rank, 0, "replacement shadow spawning on node %d", nd.ID)
-	if err := j.spawnShadow(nt, rank, true); err != nil {
+	if err := j.spawnShadow(nt, rank, true, 0, 0); err != nil {
 		j.cfg.Trace.Add(trace.KindShadowReprovision, rank, 0, "replacement shadow spawn failed: %v; rank runs unprotected", err)
 	}
 }
@@ -867,8 +956,9 @@ func (j *Job) reprovisionShadow(rank int) {
 // run the same deterministic app in lockstep with their primary but
 // report into a private Stats sink (the pair would double-count) and
 // carry no trace recorder; loop progress is reported only after
-// promotion (shadowCtl).
-func (j *Job) spawnShadow(t *task, rank int, needSync bool) error {
+// promotion (shadowCtl). epoch/startLoop are non-zero only for
+// shadows of ranks joining through a grow fence.
+func (j *Job) spawnShadow(t *task, rank int, needSync bool, epoch uint32, startLoop int) error {
 	cp, err := t.node.Spawn()
 	if err != nil {
 		return err
@@ -876,13 +966,16 @@ func (j *Job) spawnShadow(t *task, rank int, needSync bool) error {
 	j.mu.Lock()
 	j.rep.shadowProc[rank] = cp
 	j.rep.shadowNode[rank] = t.node.ID
+	v := j.view
 	j.mu.Unlock()
 	t.addChild(rank, cp)
 
 	cfg := core.Config{
-		Rank: rank, N: j.cfg.Ranks,
+		Rank: rank, N: v.Ranks,
+		View:          v,
+		StartLoop:     startLoop,
 		ProcsPerNode:  j.cfg.ProcsPerNode,
-		Epoch:         0,
+		Epoch:         epoch,
 		IsReplacement: needSync,
 		Interval:      j.cfg.Interval,
 		MTBF:          j.cfg.MTBF,
@@ -973,3 +1066,13 @@ func (c shadowCtl) ReportLoop(rank, loopID int) {
 }
 
 func (c shadowCtl) Abort(err error) { c.j.Abort(err) }
+
+// shadowCtl forwards the view-control surface so shadows observe
+// resize fences (core.ViewControl).
+func (c shadowCtl) CurrentView() *view.View { return c.j.CurrentView() }
+func (c shadowCtl) ResizePending() uint64   { return c.j.ResizePending() }
+func (c shadowCtl) JoinResize(ticket uint64, rank, loopID int, observer bool, cancel <-chan struct{}) (core.ResizeOutcome, error) {
+	return c.j.JoinResize(ticket, rank, loopID, observer, cancel)
+}
+func (c shadowCtl) RequestResize(n int) error { return c.j.RequestResize(n) }
+func (c shadowCtl) MarkFinalizing(rank int)   { c.j.MarkFinalizing(rank) }

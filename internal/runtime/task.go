@@ -20,7 +20,8 @@ type task struct {
 	mu       sync.Mutex
 	children map[int]*cluster.Proc // rank -> proc
 	failed   bool
-	shadow   bool // hosts a shadow copy (replica recovery)
+	shadow   bool         // hosts a shadow copy (replica recovery)
+	retiring map[int]bool // ranks retired by a shrink fence; their kills are deliberate
 }
 
 func newTask(j *Job, node *cluster.Node) *task {
@@ -57,6 +58,23 @@ func (t *task) setPrimary() {
 	t.mu.Unlock()
 }
 
+// setRetiring marks one child rank as retired by a shrink fence: its
+// upcoming kill is a deliberate teardown, not a node failure.
+func (t *task) setRetiring(rank int) {
+	t.mu.Lock()
+	if t.retiring == nil {
+		t.retiring = make(map[int]bool)
+	}
+	t.retiring[rank] = true
+	t.mu.Unlock()
+}
+
+func (t *task) isRetiring(rank int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.retiring[rank]
+}
+
 // silence marks the task failed without reporting, so a deliberate
 // teardown of its children (shadow reaping at job completion, abort,
 // or a replica degrade) does not masquerade as a node failure.
@@ -76,6 +94,14 @@ func (t *task) addChild(rank int, cp *cluster.Proc) {
 func (t *task) watch(rank int, cp *cluster.Proc) {
 	select {
 	case <-cp.KillCh():
+		if t.isRetiring(rank) {
+			// Deliberate teardown of a rank retired by a shrink fence:
+			// the node and its surviving children are healthy.
+			t.mu.Lock()
+			delete(t.children, rank)
+			t.mu.Unlock()
+			return
+		}
 		t.j.cfg.Trace.Add(trace.KindProcKilled, rank, t.j.Epoch(), "process killed on node %d", t.node.ID)
 		t.fail()
 	case <-cp.DoneCh():

@@ -248,6 +248,27 @@ func (p *nodePool) acquire(n int, cancel <-chan struct{}) ([]*cluster.Node, bool
 	}
 }
 
+// tryAcquire takes n healthy nodes without blocking: a resize grow
+// either gets its nodes now or fails fast, so an HTTP resize request
+// never parks inside the compute pool.
+func (p *nodePool) tryAcquire(n int) ([]*cluster.Node, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keep := p.free[:0]
+	for _, nd := range p.free {
+		if !nd.Failed() {
+			keep = append(keep, nd)
+		}
+	}
+	p.free = keep
+	if len(p.free) < n {
+		return nil, false
+	}
+	out := append([]*cluster.Node{}, p.free[len(p.free)-n:]...)
+	p.free = p.free[:len(p.free)-n]
+	return out, true
+}
+
 // release returns nodes to the pool, substituting fresh nodes for dead
 // ones, and wakes waiting acquisitions.
 func (p *nodePool) release(clu *cluster.Cluster, nds []*cluster.Node) {

@@ -236,6 +236,9 @@ func (s *Server) route(c net.Conn, st *connState, body []byte) bool {
 	case bytes.HasPrefix(path, []byte("/jobs/")) && bytes.HasSuffix(path, []byte("/kill")):
 		id := path[len("/jobs/") : len(path)-len("/kill")]
 		return s.handleKill(c, id, body)
+	case bytes.HasPrefix(path, []byte("/jobs/")) && bytes.HasSuffix(path, []byte("/resize")):
+		id := path[len("/jobs/") : len(path)-len("/resize")]
+		return s.handleResize(c, id, body)
 	}
 	return s.writeError(c, 404, "not found", true)
 }
@@ -284,12 +287,22 @@ func (jr *jobRec) appendStatus(dst []byte, nowNs int64) []byte {
 	dst = append(dst, `","state":"`...)
 	dst = append(dst, stateNames[jr.state]...)
 	dst = append(dst, `","ranks":`...)
-	dst = strconv.AppendInt(dst, int64(jr.spec.Ranks), 10)
-	dst = append(dst, `,"epochs":`...)
+	ranks := jr.spec.Ranks
+	var viewVer uint64
 	var epochs uint32
 	if jr.job != nil {
 		epochs = jr.job.Epoch()
+		// Live world size comes from the membership view, not the
+		// submitted spec: an elastic job may have resized since launch.
+		if v := jr.job.CurrentView(); v != nil {
+			ranks = v.Ranks
+			viewVer = v.Version
+		}
 	}
+	dst = strconv.AppendInt(dst, int64(ranks), 10)
+	dst = append(dst, `,"view_version":`...)
+	dst = strconv.AppendUint(dst, viewVer, 10)
+	dst = append(dst, `,"epochs":`...)
 	dst = strconv.AppendUint(dst, uint64(epochs), 10)
 	dst = append(dst, `,"spares_used":`...)
 	dst = strconv.AppendInt(dst, int64(jr.leases.Load()), 10)
@@ -434,9 +447,35 @@ func errCode(err error) int {
 		return 403
 	case errors.Is(err, ErrClosed):
 		return 503
+	case errors.Is(err, ErrNotElastic), errors.Is(err, ErrResize):
+		return 409
+	case errors.Is(err, ErrNoCapacity):
+		return 429
 	default:
 		return 500
 	}
+}
+
+// handleResize is POST /jobs/{id}/resize with body {"ranks":N}: online
+// grow/shrink of a running elastic job. The response is written after
+// the new view commits, so a 200 means the job is already running at
+// the new size.
+func (s *Server) handleResize(c net.Conn, id []byte, body []byte) bool {
+	var req struct {
+		Ranks int `json:"ranks"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return s.writeError(c, 400, "bad json: "+err.Error(), true)
+	}
+	res, err := s.Resize(string(id), req.Ranks)
+	if err != nil {
+		return s.writeError(c, errCode(err), err.Error(), true)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		return s.writeError(c, 500, err.Error(), true)
+	}
+	return s.writeJSON(c, 200, out)
 }
 
 // handleKill is POST /jobs/{id}/kill with body {"rank":N}.

@@ -228,6 +228,98 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
+// TestHTTPResize drives an online grow over the wire: submit an
+// elastic job, resize it mid-run, and watch the status and stats
+// documents track the new membership view.
+func TestHTTPResize(t *testing.T) {
+	s, base := startHTTP(t, testConfig())
+	_ = s
+	resp, body := postJSON(t, base+"/jobs", JobSpec{
+		Tenant: "web", App: "noop", Ranks: 2, Iters: 60, StepMs: 10, Elastic: true,
+	})
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &submitted); err != nil || submitted.ID == "" {
+		t.Fatalf("submit response %q: %v", body, err)
+	}
+	id := submitted.ID
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st JobStatus
+		getJSON(t, base+"/jobs/"+id, &st)
+		if st.State == "running" {
+			break
+		}
+		if st.State == "done" || time.Now().After(deadline) {
+			t.Fatalf("job never observed running: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	rresp, rbody := postJSON(t, base+"/jobs/"+id+"/resize", map[string]int{"ranks": 4})
+	if rresp.StatusCode != 200 {
+		t.Fatalf("resize: %d %s", rresp.StatusCode, rbody)
+	}
+	var res ResizeResult
+	if err := json.Unmarshal(rbody, &res); err != nil {
+		t.Fatalf("resize response %q: %v", rbody, err)
+	}
+	if res.Ranks != 4 || res.ViewVersion != 2 {
+		t.Fatalf("resize result = %+v, want ranks 4 view 2", res)
+	}
+	var st JobStatus
+	getJSON(t, base+"/jobs/"+id, &st)
+	if st.Ranks != 4 || st.ViewVersion != 2 {
+		t.Fatalf("status after resize = %+v, want ranks 4 view 2", st)
+	}
+
+	// Resizing a non-elastic job over HTTP is a 409.
+	_, b2 := postJSON(t, base+"/jobs", JobSpec{Tenant: "web", App: "noop", Ranks: 2, Iters: 40, StepMs: 10})
+	var j2 struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(b2, &j2); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		var st2 JobStatus
+		getJSON(t, base+"/jobs/"+j2.ID, &st2)
+		if st2.State == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second job never running: %+v", st2)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resp, _ := postJSON(t, base+"/jobs/"+j2.ID+"/resize", map[string]int{"ranks": 4}); resp.StatusCode != 409 {
+		t.Errorf("non-elastic resize: %d, want 409", resp.StatusCode)
+	}
+
+	for _, jid := range []string{id, j2.ID} {
+		for {
+			var fs JobStatus
+			getJSON(t, base+"/jobs/"+jid, &fs)
+			if fs.State == "done" {
+				break
+			}
+			if fs.State == "failed" || time.Now().After(deadline) {
+				t.Fatalf("job %s: %+v", jid, fs)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	var stats ServerStats
+	getJSON(t, base+"/stats", &stats)
+	if stats.ResizesTotal != 1 {
+		t.Errorf("stats resizes_total = %d, want 1", stats.ResizesTotal)
+	}
+}
+
 // TestHTTPKeepAlive pins that one connection serves many requests:
 // the worker-pool path reuses the goroutine and the pooled reader.
 func TestHTTPKeepAlive(t *testing.T) {

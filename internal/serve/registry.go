@@ -40,6 +40,9 @@ type JobSpec struct {
 	StepMs int `json:"step_ms,omitempty"`
 	// TimeoutMs overrides the server's default per-job timeout.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Elastic permits online grow/shrink while the job runs, via
+	// POST /jobs/{id}/resize. Non-elastic jobs reject resizes.
+	Elastic bool `json:"elastic,omitempty"`
 }
 
 // normalize fills defaults and validates the spec.
@@ -213,7 +216,6 @@ func pingpongApp(spec JobSpec) runtime.App {
 		buf := make([]byte, 8)
 		world := p.World()
 		partner := p.Rank() ^ 1
-		paired := partner < p.Size()
 		for {
 			n := p.Loop([][]byte{state})
 			if n >= iters {
@@ -221,7 +223,9 @@ func pingpongApp(spec JobSpec) runtime.App {
 			}
 			spec.step()
 			var got uint64
-			if paired {
+			// Re-read the world size after Loop: a resize fence commits
+			// there, and whether the partner seat exists can change.
+			if partner < p.Size() {
 				binary.LittleEndian.PutUint64(buf, uint64(n+p.Rank()+1))
 				echo, err := world.Sendrecv(partner, 7, buf, partner, 7)
 				if err != nil {

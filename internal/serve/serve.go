@@ -33,6 +33,9 @@ var (
 	ErrNotFound     = errors.New("serve: no such job")
 	ErrKillDisabled = errors.New("serve: fault injection disabled")
 	ErrClosed       = errors.New("serve: server closed")
+	ErrNotElastic   = errors.New("serve: job is not elastic")
+	ErrNoCapacity   = errors.New("serve: not enough free compute nodes")
+	ErrResize       = errors.New("serve: resize failed")
 )
 
 // Config sizes the shared cluster and the service's admission policy.
@@ -130,6 +133,7 @@ type jobRec struct {
 	mu          sync.Mutex
 	state       uint8
 	job         *runtime.Job
+	held        map[int]*cluster.Node // compute-pool nodes this job currently owns
 	rep         *runtime.Report
 	err         error
 	errStr      string // err.Error() rendered once, for the alloc-free hot path
@@ -140,16 +144,17 @@ type jobRec struct {
 
 // JobStatus is the externally visible job state (GET /jobs/{id}).
 type JobStatus struct {
-	ID         string `json:"id"`
-	Tenant     string `json:"tenant"`
-	App        string `json:"app"`
-	State      string `json:"state"`
-	Ranks      int    `json:"ranks"`
-	Epochs     uint32 `json:"epochs"`
-	SparesUsed int    `json:"spares_used"`
-	QueuedMs   int64  `json:"queued_ms"`
-	RunningMs  int64  `json:"running_ms"`
-	Err        string `json:"error,omitempty"`
+	ID          string `json:"id"`
+	Tenant      string `json:"tenant"`
+	App         string `json:"app"`
+	State       string `json:"state"`
+	Ranks       int    `json:"ranks"`
+	ViewVersion uint64 `json:"view_version"`
+	Epochs      uint32 `json:"epochs"`
+	SparesUsed  int    `json:"spares_used"`
+	QueuedMs    int64  `json:"queued_ms"`
+	RunningMs   int64  `json:"running_ms"`
+	Err         string `json:"error,omitempty"`
 }
 
 // tenant is one tenant's admission state: a bounded pending queue, a
@@ -177,6 +182,7 @@ type Server struct {
 
 	startNs int64
 	seq     atomic.Int64
+	resizes atomic.Int64 // lifetime committed online resizes
 	closed  chan struct{}
 	closing atomic.Bool
 	wg      sync.WaitGroup
@@ -363,6 +369,10 @@ func (s *Server) runJob(jr *jobRec) {
 	jr.mu.Lock()
 	jr.rm = rm
 	jr.rec = rec
+	jr.held = make(map[int]*cluster.Node, len(machine))
+	for _, nd := range machine {
+		jr.held[nd.ID] = nd
+	}
 	jr.mu.Unlock()
 	s.mu.Lock()
 	for _, nd := range machine {
@@ -380,6 +390,11 @@ func (s *Server) runJob(jr *jobRec) {
 		Interval:     jr.spec.Interval,
 		Redundancy:   jr.spec.Redundancy,
 		Recovery:     jr.spec.Recovery,
+		Elastic:      jr.spec.Elastic,
+		// A shrink frees nodes at the fence: compute-pool nodes return
+		// to the shared pool immediately (other tenants can place on
+		// them), broker leases stay with the job until it finishes.
+		OnNodeRetired: func(nd *cluster.Node) bool { return s.reclaimRetired(jr, nd) },
 		Network: transport.NewChanNetwork(transport.Options{
 			DetectDelay: s.cfg.DetectDelay,
 			PropDelay:   s.cfg.PropDelay,
@@ -392,7 +407,7 @@ func (s *Server) runJob(jr *jobRec) {
 		Pool:    s.pool,
 	}, registry[jr.spec.App](jr.spec))
 	if err != nil {
-		s.releaseNodes(jr, machine)
+		s.releaseNodes(jr)
 		jr.finish(nil, fmt.Errorf("launch: %w", err))
 		return
 	}
@@ -404,14 +419,23 @@ func (s *Server) runJob(jr *jobRec) {
 		<-job.Done()
 	}
 	rep, werr := job.Wait()
-	s.releaseNodes(jr, machine)
+	s.releaseNodes(jr)
 	jr.finish(rep, werr)
 }
 
-// releaseNodes returns a finished job's machinefile to the compute
-// pool and its leases to the broker, and clears its node ownership.
-func (s *Server) releaseNodes(jr *jobRec, machine []*cluster.Node) {
+// releaseNodes returns a finished job's compute nodes to the pool and
+// its leases to the broker, and clears its node ownership. The held
+// set — not the launch machinefile — is what goes back: grows add to
+// it and shrinks drain it, so release matches what the job owns now.
+func (s *Server) releaseNodes(jr *jobRec) {
 	jr.finished.Store(true)
+	jr.mu.Lock()
+	nodes := make([]*cluster.Node, 0, len(jr.held))
+	for _, nd := range jr.held {
+		nodes = append(nodes, nd)
+	}
+	jr.held = nil
+	jr.mu.Unlock()
 	s.mu.Lock()
 	for id, owner := range s.nodeOwner {
 		if owner == jr {
@@ -419,8 +443,109 @@ func (s *Server) releaseNodes(jr *jobRec, machine []*cluster.Node) {
 		}
 	}
 	s.mu.Unlock()
-	s.nodes.release(s.clu, machine)
+	s.nodes.release(s.clu, nodes)
 	s.broker.release(jr)
+}
+
+// reclaimRetired is the job's OnNodeRetired hook: a shrink fence freed
+// the node. Compute-pool nodes the job holds go straight back to the
+// shared pool; anything else (a broker-leased spare hosting a
+// recovered rank) stays with the job's RM and is reclaimed by the
+// broker when the job finishes.
+func (s *Server) reclaimRetired(jr *jobRec, nd *cluster.Node) bool {
+	jr.mu.Lock()
+	_, mine := jr.held[nd.ID]
+	if mine {
+		delete(jr.held, nd.ID)
+	}
+	jr.mu.Unlock()
+	if !mine {
+		return false
+	}
+	s.mu.Lock()
+	delete(s.nodeOwner, nd.ID)
+	s.mu.Unlock()
+	s.nodes.release(s.clu, []*cluster.Node{nd})
+	return true
+}
+
+// ResizeResult is the outcome of a committed online resize
+// (POST /jobs/{id}/resize).
+type ResizeResult struct {
+	ID          string `json:"id"`
+	Ranks       int    `json:"ranks"`
+	ViewVersion uint64 `json:"view_version"`
+	ResizeMs    int64  `json:"resize_ms"`
+}
+
+// Resize grows or shrinks a running elastic job to ranks without
+// restarting it, blocking until the new membership view commits. A
+// grow carves the extra machinefile slots from the shared compute
+// pool first (failing fast with ErrNoCapacity rather than parking the
+// request); a shrink returns the freed slots through reclaimRetired.
+func (s *Server) Resize(jobID string, ranks int) (ResizeResult, error) {
+	s.mu.RLock()
+	jr := s.jobs[jobID]
+	s.mu.RUnlock()
+	if jr == nil {
+		return ResizeResult{}, ErrNotFound
+	}
+	if ranks <= 0 {
+		return ResizeResult{}, fmt.Errorf("%w: ranks must be positive", ErrBadSpec)
+	}
+	if !jr.spec.Elastic {
+		return ResizeResult{}, fmt.Errorf("%w: job %s", ErrNotElastic, jobID)
+	}
+	jr.mu.Lock()
+	job := jr.job
+	running := jr.state == stateRunning
+	jr.mu.Unlock()
+	if !running || job == nil {
+		return ResizeResult{}, fmt.Errorf("%w: job %s is not running", ErrBadSpec, jobID)
+	}
+	// The job's RM never creates capacity, so a grow must be funded up
+	// front: one compute node per new machinefile slot, injected as
+	// spares for the runtime's fence provisioning to consume.
+	ppn := jr.spec.ProcsPerNode
+	cur := job.CurrentView()
+	if newSlots := (ranks-1)/ppn - (cur.Ranks-1)/ppn; newSlots > 0 {
+		extra, ok := s.nodes.tryAcquire(newSlots)
+		if !ok {
+			return ResizeResult{}, fmt.Errorf("%w: grow to %d ranks needs %d more", ErrNoCapacity, ranks, newSlots)
+		}
+		jr.mu.Lock()
+		if jr.held == nil { // job finished while we were acquiring
+			jr.mu.Unlock()
+			s.nodes.release(s.clu, extra)
+			return ResizeResult{}, fmt.Errorf("%w: job %s is not running", ErrBadSpec, jobID)
+		}
+		for _, nd := range extra {
+			jr.held[nd.ID] = nd
+		}
+		jr.mu.Unlock()
+		s.mu.Lock()
+		for _, nd := range extra {
+			s.nodeOwner[nd.ID] = jr
+		}
+		s.mu.Unlock()
+		for _, nd := range extra {
+			jr.rm.AddSpare(nd)
+		}
+	}
+	start := time.Now()
+	if err := job.Resize(ranks); err != nil {
+		// A failed grow leaves its funded nodes in the job's RM spare
+		// pool; they are still in held and return at job end.
+		return ResizeResult{}, fmt.Errorf("%w: %v", ErrResize, err)
+	}
+	v := job.CurrentView()
+	s.resizes.Add(1)
+	return ResizeResult{
+		ID:          jobID,
+		Ranks:       v.Ranks,
+		ViewVersion: v.Version,
+		ResizeMs:    time.Since(start).Milliseconds(),
+	}, nil
 }
 
 // onNodeFailure routes a node failure to the broker as spare demand
@@ -575,6 +700,12 @@ func (jr *jobRec) status(nowNs int64) JobStatus {
 	}
 	if jr.job != nil {
 		st.Epochs = jr.job.Epoch()
+		// A launched job's membership view — not the submitted spec —
+		// is the truth about its world size: resizes move it.
+		if v := jr.job.CurrentView(); v != nil {
+			st.Ranks = v.Ranks
+			st.ViewVersion = v.Version
+		}
 	}
 	st.QueuedMs, st.RunningMs = jr.phaseMs(nowNs)
 	if jr.err != nil {
@@ -617,6 +748,7 @@ type ServerStats struct {
 	Jobs         map[string]int         `json:"jobs"`
 	ComputeFree  int                    `json:"compute_free"`
 	ComputeTotal int                    `json:"compute_total"`
+	ResizesTotal int64                  `json:"resizes_total"`
 	Spares       brokerStats            `json:"spares"`
 	Tenants      map[string]TenantStats `json:"tenants"`
 }
@@ -628,6 +760,7 @@ func (s *Server) Stats() ServerStats {
 		Jobs:         map[string]int{"queued": 0, "running": 0, "done": 0, "failed": 0},
 		ComputeFree:  s.nodes.freeCount(),
 		ComputeTotal: s.nodes.total,
+		ResizesTotal: s.resizes.Load(),
 		Spares:       s.broker.stats(),
 		Tenants:      make(map[string]TenantStats),
 	}

@@ -320,6 +320,100 @@ func TestKillDisabled(t *testing.T) {
 	}
 }
 
+// awaitRunning polls until the job reports running.
+func awaitRunning(t *testing.T, s *Server, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("Status(%s): %v", id, err)
+		}
+		if st.State == "running" {
+			return
+		}
+		if st.State == "done" || st.State == "failed" {
+			t.Fatalf("job %s finished before it was observed running: %+v", id, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never observed running", id)
+}
+
+// TestElasticResize grows and then shrinks a running elastic job
+// through the service API, checking the membership view advances, the
+// job completes, and every compute node is accounted for afterwards.
+func TestElasticResize(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	id := submitOK(t, s, JobSpec{Tenant: "el", App: "noop", Ranks: 2, Iters: 60, StepMs: 10, Elastic: true})
+	awaitRunning(t, s, id)
+
+	grown, err := s.Resize(id, 4)
+	if err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if grown.Ranks != 4 || grown.ViewVersion != 2 {
+		t.Fatalf("grow result = %+v, want ranks 4 view 2", grown)
+	}
+	if st, _ := s.Status(id); st.Ranks != 4 || st.ViewVersion != 2 {
+		t.Fatalf("status after grow = %+v, want live ranks 4 view 2", st)
+	}
+
+	shrunk, err := s.Resize(id, 2)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if shrunk.Ranks != 2 || shrunk.ViewVersion != 3 {
+		t.Fatalf("shrink result = %+v, want ranks 2 view 3", shrunk)
+	}
+	// The grow's extra node came back through the shrink fence: only
+	// the original machinefile slot is still out.
+	if free := s.nodes.freeCount(); free != 7 {
+		t.Fatalf("compute free after shrink = %d, want 7", free)
+	}
+
+	st := awaitDone(t, s, id)
+	if st.State != "done" {
+		t.Fatalf("state = %s (err %q), want done", st.State, st.Err)
+	}
+	if free := s.nodes.freeCount(); free != 8 {
+		t.Fatalf("compute free after completion = %d, want 8", free)
+	}
+	if got := s.Stats().ResizesTotal; got != 2 {
+		t.Fatalf("resizes_total = %d, want 2", got)
+	}
+}
+
+// TestResizeRejections pins the resize error surface: unknown job,
+// non-elastic job, bad target, and insufficient compute capacity.
+func TestResizeRejections(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	if _, err := s.Resize("j-999", 4); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown job: %v, want ErrNotFound", err)
+	}
+	rigid := submitOK(t, s, JobSpec{Tenant: "r", App: "noop", Ranks: 2, Iters: 40, StepMs: 10})
+	awaitRunning(t, s, rigid)
+	if _, err := s.Resize(rigid, 4); !errors.Is(err, ErrNotElastic) {
+		t.Errorf("non-elastic: %v, want ErrNotElastic", err)
+	}
+	el := submitOK(t, s, JobSpec{Tenant: "r", App: "noop", Ranks: 2, Iters: 40, StepMs: 10, Elastic: true})
+	awaitRunning(t, s, el)
+	if _, err := s.Resize(el, 0); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("zero target: %v, want ErrBadSpec", err)
+	}
+	// An 8-node pool cannot fund a grow to 100 ranks.
+	if _, err := s.Resize(el, 100); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("oversized grow: %v, want ErrNoCapacity", err)
+	}
+	for _, id := range []string{rigid, el} {
+		if st := awaitDone(t, s, id); st.State != "done" {
+			t.Fatalf("job %s: %+v", id, st)
+		}
+	}
+}
+
 // TestBadSpecs pins validation errors.
 func TestBadSpecs(t *testing.T) {
 	s := New(testConfig())

@@ -17,6 +17,7 @@ type jsonlEvent struct {
 	Kind  Kind   `json:"kind"`
 	Rank  int    `json:"rank"`
 	Epoch uint32 `json:"epoch"`
+	View  uint64 `json:"view,omitempty"`
 	Note  string `json:"note,omitempty"`
 }
 
@@ -35,6 +36,10 @@ func AppendJSONL(dst []byte, start time.Time, e Event) []byte {
 	dst = strconv.AppendInt(dst, int64(e.Rank), 10)
 	dst = append(dst, `,"epoch":`...)
 	dst = strconv.AppendUint(dst, uint64(e.Epoch), 10)
+	if e.View != 0 {
+		dst = append(dst, `,"view":`...)
+		dst = strconv.AppendUint(dst, e.View, 10)
+	}
 	if e.Note != "" {
 		dst = append(dst, `,"note":`...)
 		dst = appendJSONString(dst, e.Note)
@@ -83,6 +88,7 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 			Kind:  e.Kind,
 			Rank:  e.Rank,
 			Epoch: e.Epoch,
+			View:  e.View,
 			Note:  e.Note,
 		}
 		if err := enc.Encode(je); err != nil {
@@ -112,6 +118,7 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 			Kind:  je.Kind,
 			Rank:  je.Rank,
 			Epoch: je.Epoch,
+			View:  je.View,
 			Note:  je.Note,
 		})
 	}

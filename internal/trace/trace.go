@@ -52,6 +52,10 @@ const (
 	KindShadowReprovision Kind = "shadow-reprovision" // fresh shadow spawned from a spare
 	KindStoreSubmit       Kind = "store-submit"       // application data replicated into the store
 	KindStoreRebuild      Kind = "store-rebuild"      // store re-replicated after a copy loss
+
+	// Versioned membership / online reconfiguration, ISSUE 8.
+	KindViewChange   Kind = "view-change"   // a new membership view was installed
+	KindShardMigrate Kind = "shard-migrate" // store shards rebalanced onto the new view
 )
 
 // Kinds returns every declared event kind, in declaration order. The
@@ -87,6 +91,8 @@ func Kinds() []Kind {
 		KindShadowReprovision,
 		KindStoreSubmit,
 		KindStoreRebuild,
+		KindViewChange,
+		KindShardMigrate,
 	}
 }
 
@@ -96,6 +102,7 @@ type Event struct {
 	Kind  Kind
 	Rank  int // -1 for job-level events
 	Epoch uint32
+	View  uint64 // membership view version in force (0 when unstamped)
 	Note  string
 }
 
@@ -118,6 +125,19 @@ func (r *Recorder) Add(kind Kind, rank int, epoch uint32, format string, args ..
 		return
 	}
 	e := Event{At: time.Now(), Kind: kind, Rank: rank, Epoch: epoch, Note: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// AddView records an event stamped with the membership view version it
+// was produced under, so consumers can partition the timeline by view
+// and detect stale-view traffic.
+func (r *Recorder) AddView(kind Kind, rank int, epoch uint32, view uint64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	e := Event{At: time.Now(), Kind: kind, Rank: rank, Epoch: epoch, View: view, Note: fmt.Sprintf(format, args...)}
 	r.mu.Lock()
 	r.events = append(r.events, e)
 	r.mu.Unlock()

@@ -38,6 +38,7 @@ type Matcher struct {
 
 	mu         sync.Mutex
 	epoch      uint32
+	view       uint64 // minimum acceptable membership view version (0 = no filtering)
 	unexpected []Msg
 	pending    []*recvReq
 	future     []Msg
@@ -105,6 +106,16 @@ func (m *Matcher) deliver(msg Msg) {
 // matchOrQueueLocked applies duplicate suppression, then hands msg to
 // the earliest matching pending receive or queues it as unexpected.
 func (m *Matcher) matchOrQueueLocked(msg Msg) {
+	if m.view != 0 && msg.View != 0 && msg.View < m.view {
+		// Stamped under a membership view that has since been replaced:
+		// the sender had not yet observed the view change. Epoch
+		// filtering already excludes almost all such traffic (every view
+		// change is an epoch fence); this is the defence in depth that
+		// makes stale-view delivery structurally impossible.
+		m.dropped++
+		msg.Release()
+		return
+	}
 	if m.dedup && msg.Seq != 0 {
 		if int(msg.Src) < 0 || int(msg.Src) >= len(m.seen) {
 			msg.Release() // malformed source on a sequenced message
@@ -323,6 +334,19 @@ func (m *Matcher) AdvanceEpoch(e uint32) {
 		}
 	}
 	m.future = still
+	m.mu.Unlock()
+}
+
+// AdvanceView raises the minimum acceptable membership view version:
+// view-stamped messages below it are discarded on delivery. Like
+// epochs, views only move forward. Messages already accepted (the
+// unexpected queue, Inject carry-over) are unaffected — they were
+// accepted under a view the receiver had installed at the time.
+func (m *Matcher) AdvanceView(v uint64) {
+	m.mu.Lock()
+	if v > m.view {
+		m.view = v
+	}
 	m.mu.Unlock()
 }
 

@@ -447,8 +447,8 @@ func (c *tcpConn) fire() {
 }
 
 // Frame format: u32 dataLen | u8 kind | u8 flags | i32 src | i32 tag |
-// u32 ctx | u32 epoch | u64 seq | data. All little-endian.
-const frameHeaderSize = 4 + 1 + 1 + 4 + 4 + 4 + 4 + 8
+// u32 ctx | u32 epoch | u64 seq | u64 view | data. All little-endian.
+const frameHeaderSize = 4 + 1 + 1 + 4 + 4 + 4 + 4 + 8 + 8
 
 // writeFrame encodes m through hdr, the caller-owned header scratch
 // (connection-scoped on the send path — no per-frame allocation).
@@ -461,6 +461,7 @@ func writeFrame(w *bufio.Writer, hdr *[frameHeaderSize]byte, m Msg) error {
 	binary.LittleEndian.PutUint32(hdr[14:], m.Ctx)
 	binary.LittleEndian.PutUint32(hdr[18:], m.Epoch)
 	binary.LittleEndian.PutUint64(hdr[22:], m.Seq)
+	binary.LittleEndian.PutUint64(hdr[30:], m.View)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -485,6 +486,7 @@ func readFrame(r *bufio.Reader, pool *bufpool.Arena) (Msg, error) {
 		Ctx:   binary.LittleEndian.Uint32(hdr[14:]),
 		Epoch: binary.LittleEndian.Uint32(hdr[18:]),
 		Seq:   binary.LittleEndian.Uint64(hdr[22:]),
+		View:  binary.LittleEndian.Uint64(hdr[30:]),
 	}
 	if n > 0 {
 		m.Data = pool.Get(int(n))

@@ -67,6 +67,7 @@ type Msg struct {
 	Ctx   uint32 // communicator context id
 	Epoch uint32 // sender's epoch
 	Seq   uint64 // per-(src, dst) sequence number; 0 = unsequenced
+	View  uint64 // sender's membership view version; 0 = unstamped
 	Kind  byte
 	Flags byte
 	Data  []byte

@@ -1,0 +1,156 @@
+// Package view makes group membership a first-class versioned value.
+//
+// A View is an immutable snapshot of the job's membership: how many
+// ranks exist, which node hosts each, and how the ranks are grouped
+// for checkpoint encoding. Every subsystem that used to cache a world
+// size or a rank array at init time instead holds a *View and swaps it
+// atomically at a view-change fence (an epoch boundary where the whole
+// job agrees to grow or shrink). Versions are strictly monotonic:
+// version v+1 is derived from v by Next, never constructed ad hoc, so
+// "same version" always implies "same membership" and a stale version
+// stamp on a message, checkpoint, or trace event identifies exactly
+// which membership it was produced under.
+package view
+
+import (
+	"fmt"
+	"sync"
+
+	"fmi/internal/ckpt"
+)
+
+// View is one immutable membership version. Ranks are dense 0..Ranks-1
+// in every view; a shrink retires the top ranks and a grow appends new
+// ones, so surviving ranks never renumber (their checkpoints, logs,
+// and sequence counters stay valid across the change).
+type View struct {
+	// Version is the membership version, starting at 1 for the launch
+	// view. Strictly monotonic: every committed view change increments
+	// it by exactly one.
+	Version uint64
+	// Ranks is the world size under this view.
+	Ranks int
+	// NodeOf maps rank -> hosting node id at the moment the view was
+	// installed (informational; promotion and respawn move ranks
+	// between nodes without a view change).
+	NodeOf []int
+	// Groups and GIdx are the checkpoint-encoding group map derived
+	// from this view's membership: Groups[r] lists the members of r's
+	// group, GIdx[r] is r's index within it.
+	Groups [][]int
+	GIdx   []int
+}
+
+// New builds the launch view (version 1) for a world of ranks
+// processes placed procsPerNode per node with the given checkpoint
+// group size. nodeOf may be nil (block mapping onto node ids 0..n-1).
+func New(ranks, procsPerNode, groupSize int, nodeOf []int) *View {
+	return build(1, ranks, procsPerNode, groupSize, nodeOf)
+}
+
+// Next derives the successor view with a new world size. nodeOf maps
+// the new rank space; entries for surviving ranks should carry over
+// from the predecessor.
+func (v *View) Next(ranks, procsPerNode, groupSize int, nodeOf []int) *View {
+	return build(v.Version+1, ranks, procsPerNode, groupSize, nodeOf)
+}
+
+func build(version uint64, ranks, procsPerNode, groupSize int, nodeOf []int) *View {
+	groups, gidx := ckpt.Groups(ranks, procsPerNode, groupSize)
+	no := make([]int, ranks)
+	for r := range no {
+		if r < len(nodeOf) {
+			no[r] = nodeOf[r]
+		} else {
+			no[r] = r / max(procsPerNode, 1)
+		}
+	}
+	return &View{Version: version, Ranks: ranks, NodeOf: no, Groups: groups, GIdx: gidx}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Contains reports whether rank exists under this view.
+func (v *View) Contains(rank int) bool {
+	return rank >= 0 && rank < v.Ranks
+}
+
+// String renders a compact identity for traces and errors.
+func (v *View) String() string {
+	return fmt.Sprintf("view v%d (%d ranks)", v.Version, v.Ranks)
+}
+
+// observation is one (version, ranks) sighting by one observer.
+type observation struct {
+	version uint64
+	ranks   int
+}
+
+// History records the view versions each observer (rank) installs and
+// validates the membership safety properties: per-observer versions
+// are strictly increasing, every observed sequence is gap-free above
+// its first sighting, and one version never maps to two different
+// world sizes anywhere in the system. Tests and the runtime's
+// property checks feed it from view-change trace events.
+type History struct {
+	mu  sync.Mutex
+	seq map[int][]observation
+}
+
+// NewHistory creates an empty history.
+func NewHistory() *History {
+	return &History{seq: make(map[int][]observation)}
+}
+
+// Observe records that observer id installed version with the given
+// world size.
+func (h *History) Observe(id int, version uint64, ranks int) {
+	h.mu.Lock()
+	h.seq[id] = append(h.seq[id], observation{version: version, ranks: ranks})
+	h.mu.Unlock()
+}
+
+// Validate checks the recorded observations: strict per-observer
+// monotonicity (+1 steps) and global version/size agreement. It
+// returns the first violation found, or nil.
+func (h *History) Validate() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sizeOf := map[uint64]int{}
+	for id, obs := range h.seq {
+		for i, o := range obs {
+			if i > 0 {
+				prev := obs[i-1].version
+				if o.version != prev+1 {
+					return fmt.Errorf("view: observer %d saw version %d after %d (want strictly +1)", id, o.version, prev)
+				}
+			}
+			if want, ok := sizeOf[o.version]; ok && want != o.ranks {
+				return fmt.Errorf("view: version %d observed with %d ranks and %d ranks", o.version, want, o.ranks)
+			}
+			sizeOf[o.version] = o.ranks
+		}
+	}
+	return nil
+}
+
+// Sequences returns each observer's observed version sequence (for
+// asserting that all ranks saw the same sequence).
+func (h *History) Sequences() map[int][]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int][]uint64, len(h.seq))
+	for id, obs := range h.seq {
+		vs := make([]uint64, len(obs))
+		for i, o := range obs {
+			vs[i] = o.version
+		}
+		out[id] = vs
+	}
+	return out
+}

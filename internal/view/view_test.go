@@ -1,0 +1,147 @@
+package view
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNewAndNext(t *testing.T) {
+	v1 := New(6, 2, 4, nil)
+	if v1.Version != 1 || v1.Ranks != 6 {
+		t.Fatalf("launch view = %v, want v1 with 6 ranks", v1)
+	}
+	if len(v1.NodeOf) != 6 || v1.NodeOf[5] != 2 {
+		t.Fatalf("block NodeOf = %v", v1.NodeOf)
+	}
+	if len(v1.Groups) != 6 || len(v1.GIdx) != 6 {
+		t.Fatalf("group map not derived: %d groups, %d gidx", len(v1.Groups), len(v1.GIdx))
+	}
+	v2 := v1.Next(8, 2, 4, append(append([]int{}, v1.NodeOf...), 9, 9))
+	if v2.Version != 2 || v2.Ranks != 8 {
+		t.Fatalf("next view = %v, want v2 with 8 ranks", v2)
+	}
+	if v2.NodeOf[6] != 9 || v2.NodeOf[7] != 9 {
+		t.Fatalf("grown NodeOf = %v", v2.NodeOf)
+	}
+	v3 := v2.Next(3, 2, 4, v2.NodeOf[:3])
+	if v3.Version != 3 || v3.Ranks != 3 {
+		t.Fatalf("shrunk view = %v", v3)
+	}
+	if !v3.Contains(2) || v3.Contains(3) || v3.Contains(-1) {
+		t.Fatalf("Contains wrong on %v", v3)
+	}
+	// Immutability of the predecessor.
+	if v1.Ranks != 6 || v1.Version != 1 {
+		t.Fatalf("Next mutated its receiver: %v", v1)
+	}
+}
+
+func TestHistoryValid(t *testing.T) {
+	h := NewHistory()
+	for id := 0; id < 4; id++ {
+		h.Observe(id, 1, 4)
+		h.Observe(id, 2, 6)
+		h.Observe(id, 3, 3)
+	}
+	// A late joiner starts observing at the version it was born into.
+	h.Observe(5, 2, 6)
+	h.Observe(5, 3, 3)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+	seqs := h.Sequences()
+	if len(seqs[0]) != 3 || seqs[0][2] != 3 {
+		t.Fatalf("sequences = %v", seqs)
+	}
+}
+
+func TestHistoryRejectsNonMonotonic(t *testing.T) {
+	h := NewHistory()
+	h.Observe(0, 1, 4)
+	h.Observe(0, 3, 6) // gap: skipped version 2
+	if err := h.Validate(); err == nil {
+		t.Fatal("gap in version sequence not rejected")
+	}
+	h2 := NewHistory()
+	h2.Observe(1, 2, 4)
+	h2.Observe(1, 2, 4) // repeat
+	if err := h2.Validate(); err == nil {
+		t.Fatal("repeated version not rejected")
+	}
+}
+
+func TestHistoryRejectsSizeDisagreement(t *testing.T) {
+	h := NewHistory()
+	h.Observe(0, 1, 4)
+	h.Observe(1, 1, 5) // same version, different world size
+	if err := h.Validate(); err == nil {
+		t.Fatal("version/size disagreement not rejected")
+	}
+}
+
+// TestPropertyChains drives random grow/shrink chains through Next and
+// checks the invariants the rest of the stack relies on: versions step
+// by one, group maps always cover exactly the view's ranks, and every
+// rank's group contains it.
+func TestPropertyChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		ppn := 1 + rng.Intn(3)
+		gs := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(12)
+		v := New(n, ppn, gs, nil)
+		h := NewHistory()
+		// A retired-then-regrown rank is a fresh process: give each
+		// incarnation its own observer id, as the runtime does.
+		incarnation := make(map[int]int)
+		prevRanks := 0
+		for step := 0; step < 8; step++ {
+			for r := prevRanks; r < v.Ranks; r++ {
+				incarnation[r]++
+			}
+			for r := 0; r < v.Ranks; r++ {
+				h.Observe(r*1000+incarnation[r], v.Version, v.Ranks)
+			}
+			prevRanks = v.Ranks
+			if len(v.Groups) != v.Ranks || len(v.GIdx) != v.Ranks || len(v.NodeOf) != v.Ranks {
+				t.Fatalf("trial %d: maps not sized to view: %v", trial, v)
+			}
+			for r := 0; r < v.Ranks; r++ {
+				g := v.Groups[r]
+				if v.GIdx[r] >= len(g) || g[v.GIdx[r]] != r {
+					t.Fatalf("trial %d: rank %d not at GIdx in its group %v", trial, r, g)
+				}
+			}
+			next := 1 + rng.Intn(12)
+			nv := v.Next(next, ppn, gs, v.NodeOf)
+			if nv.Version != v.Version+1 {
+				t.Fatalf("trial %d: version %d -> %d", trial, v.Version, nv.Version)
+			}
+			v = nv
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestHistoryConcurrent exercises Observe under contention (the
+// runtime records view installs from many rank goroutines).
+func TestHistoryConcurrent(t *testing.T) {
+	h := NewHistory()
+	var wg sync.WaitGroup
+	for id := 0; id < 8; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for v := uint64(1); v <= 100; v++ {
+				h.Observe(id, v, 8)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("concurrent observes invalid: %v", err)
+	}
+}
