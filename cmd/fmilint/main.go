@@ -7,11 +7,15 @@
 //
 // Usage:
 //
-//	fmilint [module-root]
+//	fmilint [-json] [module-root]
 //
 // The root defaults to "." and accepts a trailing /... for
 // familiarity. Exit codes: 0 clean, 1 findings, 2 the tree failed to
-// load or type-check. Suppress an individual finding with
+// load or type-check. With -json the report is a single JSON object
+// listing every finding (file/line/analyzer/message/suppressed —
+// suppressed findings included, so the suppression inventory is
+// auditable); the exit code still counts only unsuppressed findings.
+// Suppress an individual finding with
 //
 //	//fmilint:ignore <analyzer> <reason>
 //
@@ -29,10 +33,11 @@ import (
 
 func main() {
 	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON object (suppressed findings included)")
 	flag.Parse()
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -40,5 +45,5 @@ func main() {
 	if flag.NArg() > 0 {
 		root = flag.Arg(0)
 	}
-	os.Exit(lint.Main(root, os.Stdout))
+	os.Exit(lint.Main(root, os.Stdout, *jsonOut))
 }

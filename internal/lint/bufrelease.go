@@ -2,22 +2,24 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
+	"sort"
+
+	"fmi/internal/lint/cfg"
 )
 
 // BufRelease guards the arena ownership contract at its sharpest edge:
 // a buffer obtained from bufpool.Arena.Get is owned by the caller and
 // must be handed somewhere — copied into, stored in a frame, passed
 // on, or Put back — before control can leave the function. The
-// analysis is intraprocedural and optimistic: a variable assigned from
-// Get is "held" until the first statement that mentions it again
-// (whatever that statement does is assumed to transfer or release
-// ownership), and each branch is analysed independently, so the
-// findings are the paths where the buffer provably went nowhere: a
-// return before any use, a silently discarded Get result, or a held
-// variable overwritten by a second Get. The bufpool package itself is
-// exempt (its internals juggle raw buffers by design).
+// analysis runs block-level dataflow over the lint CFG: a variable
+// assigned from Get is "held" until the first statement that mentions
+// it again (whatever that statement does is assumed to transfer or
+// release ownership), holds merge as a union at control-flow joins,
+// and the findings are the paths where the buffer provably went
+// nowhere: a return before any use, a silently discarded Get result,
+// or a held variable overwritten by a second Get. The bufpool package
+// itself is exempt (its internals juggle raw buffers by design).
 var BufRelease = &Analyzer{
 	Name: "bufrelease",
 	Doc:  "a buffer from bufpool.Arena.Get must be used, stored, or Put before every return path",
@@ -31,11 +33,15 @@ func runBufRelease(prog *Program, report Reporter) {
 		}
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
-				if fd, ok := n.(*ast.FuncDecl); ok {
-					if fd.Body != nil {
-						analyzeBufBody(prog, pkg, report, fd.Body)
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						analyzeBufBody(prog, pkg, report, n.Body)
 					}
-					return false // function literals are analysed by expr()
+				case *ast.FuncLit:
+					// A literal's body may itself call Get; it is its
+					// own ownership scope.
+					analyzeBufBody(prog, pkg, report, n.Body)
 				}
 				return true
 			})
@@ -44,35 +50,139 @@ func runBufRelease(prog *Program, report Reporter) {
 }
 
 func analyzeBufBody(prog *Program, pkg *Package, report Reporter, body *ast.BlockStmt) {
-	bs := &bufState{prog: prog, pkg: pkg, report: report, held: map[string]bool{}}
-	bs.block(body)
-	if !terminates(body) {
-		bs.checkEnd(body.Rbrace)
+	g := cfg.New(body)
+	an := &bufAnalysis{prog: prog, pkg: pkg}
+	in := cfg.Forward(g, an)
+	an.report = report
+	cfg.EachReachable(g, an, in, func(cfg.Node, cfg.Fact) {})
+	if exitFact, reachable := in[g.Exit]; reachable {
+		for _, name := range heldNames(exitFact.(bufFact)) {
+			report(body.Rbrace, "function ends still holding pooled buffer %s: no use, store, or Put after Arena.Get", name)
+		}
 	}
 }
 
-type bufState struct {
+// bufFact maps variable name -> holds an unconsumed Get result.
+type bufFact map[string]bool
+
+func heldNames(f bufFact) []string {
+	var names []string
+	for name, held := range f {
+		if held {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+type bufAnalysis struct {
 	prog   *Program
 	pkg    *Package
-	report Reporter
-	held   map[string]bool // var name -> holds an unconsumed Get result
+	report Reporter // nil during the fixpoint pass
 }
 
-func (bs *bufState) clone() *bufState {
-	c := &bufState{prog: bs.prog, pkg: bs.pkg, report: bs.report, held: map[string]bool{}}
-	for k, v := range bs.held {
-		c.held[k] = v
+func (ba *bufAnalysis) Entry() cfg.Fact { return bufFact{} }
+
+func (ba *bufAnalysis) Copy(f cfg.Fact) cfg.Fact {
+	n := bufFact{}
+	for k, v := range f.(bufFact) {
+		n[k] = v
 	}
-	return c
+	return n
+}
+
+// Join is a union: a buffer still held on any incoming path is held.
+func (ba *bufAnalysis) Join(dst, src cfg.Fact) bool {
+	d, s := dst.(bufFact), src.(bufFact)
+	changed := false
+	for k, v := range s {
+		if v && !d[k] {
+			d[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (ba *bufAnalysis) emit(pos ast.Node, format string, args ...any) {
+	if ba.report != nil {
+		ba.report(pos.Pos(), format, args...)
+	}
+}
+
+func (ba *bufAnalysis) Transfer(n cfg.Node, f cfg.Fact) cfg.Fact {
+	bf := f.(bufFact)
+	switch st := n.Ast.(type) {
+	case *ast.AssignStmt:
+		ba.mentions(bf, st.Rhs...)
+		if len(st.Lhs) == len(st.Rhs) {
+			for i, rhs := range st.Rhs {
+				call, isCall := rhs.(*ast.CallExpr)
+				if !isCall || !ba.arenaGet(call) {
+					continue
+				}
+				id, isIdent := st.Lhs[i].(*ast.Ident)
+				if !isIdent {
+					continue // stored straight into a field/element: consumed
+				}
+				if id.Name == "_" {
+					ba.emit(call, "result of Arena.Get discarded: the pooled buffer is leaked to the GC")
+					continue
+				}
+				if bf[id.Name] {
+					ba.emit(st, "%s overwritten while still holding an unreleased Arena.Get buffer", id.Name)
+				}
+				bf[id.Name] = true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok && ba.arenaGet(call) {
+			ba.emit(call, "result of Arena.Get discarded: the pooled buffer is leaked to the GC")
+			return bf
+		}
+		ba.mention(bf, st.X)
+	case *ast.ReturnStmt:
+		ba.mentions(bf, st.Results...)
+		for _, name := range heldNames(bf) {
+			ba.emit(st, "return leaks pooled buffer %s: no use, store, or Put between Arena.Get and this return", name)
+		}
+	case *ast.DeferStmt:
+		ba.mention(bf, st.Call)
+	case *ast.GoStmt:
+		ba.mention(bf, st.Call)
+	case *ast.SendStmt:
+		ba.mentions(bf, st.Chan, st.Value)
+	case *ast.IncDecStmt:
+		ba.mention(bf, st.X)
+	case *ast.RangeStmt:
+		ba.mention(bf, st.X)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					ba.mentions(bf, vs.Values...)
+				}
+			}
+		}
+	case *ast.SelectStmt, *ast.LabeledStmt, *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		if e, ok := n.Ast.(ast.Expr); ok {
+			// A control expression (if/for condition, switch tag, case
+			// expression) evaluated at this point.
+			ba.mention(bf, e)
+		}
+	}
+	return bf
 }
 
 // arenaGet reports whether call is (*bufpool.Arena).Get.
-func (bs *bufState) arenaGet(call *ast.CallExpr) bool {
+func (ba *bufAnalysis) arenaGet(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Get" {
 		return false
 	}
-	selection, found := bs.pkg.Info.Selections[sel]
+	selection, found := ba.pkg.Info.Selections[sel]
 	if !found {
 		return false
 	}
@@ -91,169 +201,22 @@ func (bs *bufState) arenaGet(call *ast.CallExpr) bool {
 // mention clears every held variable named anywhere in e: whatever the
 // statement does with the buffer (copy into it, store it, send it,
 // Put it) is assumed to take over its ownership. Descends into
-// function literals — a closure capturing the buffer owns it — and
-// analyses each literal's own body as a fresh function.
-func (bs *bufState) mention(e ast.Expr) {
+// function literals — a closure capturing the buffer owns it — whose
+// own bodies are analysed separately as fresh functions.
+func (ba *bufAnalysis) mention(bf bufFact, e ast.Expr) {
 	if e == nil {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.Ident:
-			if bs.held[n.Name] {
-				bs.held[n.Name] = false
-			}
-		case *ast.FuncLit:
-			// The literal's body may itself call Get.
-			analyzeBufBody(bs.prog, bs.pkg, bs.report, n.Body)
-			// Mentions of outer held vars inside it still count.
-			ast.Inspect(n.Body, func(inner ast.Node) bool {
-				if id, ok := inner.(*ast.Ident); ok && bs.held[id.Name] {
-					bs.held[id.Name] = false
-				}
-				return true
-			})
-			return false
+		if id, ok := n.(*ast.Ident); ok && bf[id.Name] {
+			bf[id.Name] = false
 		}
 		return true
 	})
 }
 
-func (bs *bufState) mentions(es ...ast.Expr) {
+func (ba *bufAnalysis) mentions(bf bufFact, es ...ast.Expr) {
 	for _, e := range es {
-		bs.mention(e)
-	}
-}
-
-func (bs *bufState) block(b *ast.BlockStmt) {
-	for _, st := range b.List {
-		bs.stmt(st)
-		if terminates(st) {
-			return
-		}
-	}
-}
-
-func (bs *bufState) stmt(st ast.Stmt) {
-	switch st := st.(type) {
-	case *ast.AssignStmt:
-		bs.mentions(st.Rhs...)
-		if len(st.Lhs) == len(st.Rhs) {
-			for i, rhs := range st.Rhs {
-				call, isCall := rhs.(*ast.CallExpr)
-				if !isCall || !bs.arenaGet(call) {
-					continue
-				}
-				id, isIdent := st.Lhs[i].(*ast.Ident)
-				if !isIdent {
-					continue // stored straight into a field/element: consumed
-				}
-				if id.Name == "_" {
-					bs.report(call.Pos(), "result of Arena.Get discarded: the pooled buffer is leaked to the GC")
-					continue
-				}
-				if bs.held[id.Name] {
-					bs.report(st.Pos(), "%s overwritten while still holding an unreleased Arena.Get buffer", id.Name)
-				}
-				bs.held[id.Name] = true
-			}
-		}
-	case *ast.ExprStmt:
-		if call, ok := st.X.(*ast.CallExpr); ok && bs.arenaGet(call) {
-			bs.report(call.Pos(), "result of Arena.Get discarded: the pooled buffer is leaked to the GC")
-			return
-		}
-		bs.mention(st.X)
-	case *ast.ReturnStmt:
-		bs.mentions(st.Results...)
-		for name, held := range bs.held {
-			if held {
-				bs.report(st.Pos(), "return leaks pooled buffer %s: no use, store, or Put between Arena.Get and this return", name)
-			}
-		}
-	case *ast.DeferStmt:
-		bs.mention(st.Call)
-	case *ast.GoStmt:
-		bs.mention(st.Call)
-	case *ast.SendStmt:
-		bs.mentions(st.Chan, st.Value)
-	case *ast.IncDecStmt:
-		bs.mention(st.X)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			bs.stmt(st.Init)
-		}
-		bs.mention(st.Cond)
-		then := bs.clone()
-		then.block(st.Body)
-		if st.Else != nil {
-			els := bs.clone()
-			els.stmt(st.Else)
-		}
-	case *ast.ForStmt:
-		if st.Init != nil {
-			bs.stmt(st.Init)
-		}
-		bs.mention(st.Cond)
-		body := bs.clone()
-		body.block(st.Body)
-		if st.Post != nil {
-			body.stmt(st.Post)
-		}
-	case *ast.RangeStmt:
-		bs.mention(st.X)
-		body := bs.clone()
-		body.block(st.Body)
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			bs.stmt(st.Init)
-		}
-		bs.mention(st.Tag)
-		bs.clauses(st.Body)
-	case *ast.TypeSwitchStmt:
-		bs.clauses(st.Body)
-	case *ast.SelectStmt:
-		bs.clauses(st.Body)
-	case *ast.BlockStmt:
-		bs.block(st)
-	case *ast.LabeledStmt:
-		bs.stmt(st.Stmt)
-	case *ast.DeclStmt:
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					bs.mentions(vs.Values...)
-				}
-			}
-		}
-	}
-}
-
-func (bs *bufState) clauses(body *ast.BlockStmt) {
-	for _, c := range body.List {
-		branch := bs.clone()
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			for _, s := range c.Body {
-				branch.stmt(s)
-			}
-		case *ast.CommClause:
-			if c.Comm != nil {
-				branch.stmt(c.Comm)
-			}
-			for _, s := range c.Body {
-				branch.stmt(s)
-			}
-		}
-	}
-}
-
-// checkEnd flags a function body that falls off its end with a pooled
-// buffer still held on the straight-line path.
-func (bs *bufState) checkEnd(rbrace token.Pos) {
-	for name, held := range bs.held {
-		if held {
-			bs.report(rbrace, "function ends still holding pooled buffer %s: no use, store, or Put after Arena.Get", name)
-		}
+		ba.mention(bf, e)
 	}
 }

@@ -1,0 +1,446 @@
+// Package cfg is fmilint's intraprocedural control-flow-graph and
+// forward-dataflow framework. It turns one function body (go/ast, no
+// SSA, no external dependencies) into basic blocks connected by
+// execution-order edges, and runs pluggable analyses to a worklist
+// fixpoint over them.
+//
+// The graph is statement-level: each block carries the statements and
+// control expressions that execute unconditionally once the block is
+// entered, in order. Control statements contribute their pieces to
+// the right blocks — an if's condition sits in the block before the
+// branch, a for's condition in the loop head, a select's comm
+// operations at the top of their clause blocks — and the statements
+// that end a path (return, panic, break/continue/goto) end their
+// block with the matching edge (or none: return and panic leave the
+// function, so they deliberately do not edge to Exit; Exit is
+// reachable only by falling off the end of the body, which is exactly
+// what "function ends while still holding X" analyses need to see).
+//
+// This replaces the per-statement branch-cloning walks the analyzers
+// grew up with: the spec's terminating-statement analysis is embodied
+// by edge construction (a block whose last statement terminates gets
+// no fall-through edge), loops get real back edges so facts reach a
+// fixpoint instead of being guessed from one pass, and labeled
+// break/continue/goto land on their actual targets.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is reached only by falling off the end of the body (or by
+	// a break/goto that lands past the last statement). Returns and
+	// panics do not edge here: a path that explicitly leaves the
+	// function is checked at its return site, not at Rbrace.
+	Exit *Block
+}
+
+// Node is one entry of a block: a statement or a control expression,
+// in execution order. Comm marks the communication statement of a
+// select clause — it executes only when its case is chosen, and
+// "blocking while locked" analyses must charge the select head, not
+// the individual comm, for the wait.
+type Node struct {
+	Ast  ast.Node
+	Comm bool
+}
+
+// Block is one basic block: nodes that execute in sequence, then a
+// transfer of control to one of Succs (none for return/panic blocks).
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", "for.head", ... for tests and dumps
+	Nodes []Node
+	Succs []*Block
+}
+
+// String renders "b3(for.head)" for diagnostics.
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// New builds the graph for one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"} // indexed last, below
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit)
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil after a terminating statement: what follows is dead until a label revives it
+	// ctrl is the stack of enclosing breakable/continuable statements.
+	ctrl   []ctrlFrame
+	labels map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch/select, so
+	// "break L"/"continue L" can find it.
+	pendingLabel string
+}
+
+type ctrlFrame struct {
+	label        string
+	breakTarget  *Block
+	contTarget   *Block // nil for switch/select frames
+}
+
+type labelInfo struct {
+	block *Block // target of goto L (the labeled statement's block)
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// live returns the current block, reviving a dead position with a
+// fresh unreachable block so statements after a return still get
+// built (a label inside them can make them reachable again).
+func (b *builder) live() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.live()
+	blk.Nodes = append(blk.Nodes, Node{Ast: n})
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, st := range list {
+		b.stmt(st)
+	}
+}
+
+// takeLabel consumes the pending label for a breakable statement.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findBreak returns the break target for the given (possibly empty)
+// label; findCont the continue target.
+func (b *builder) findBreak(label string) *Block {
+	for i := len(b.ctrl) - 1; i >= 0; i-- {
+		if label == "" || b.ctrl[i].label == label {
+			return b.ctrl[i].breakTarget
+		}
+	}
+	return nil
+}
+
+func (b *builder) findCont(label string) *Block {
+	for i := len(b.ctrl) - 1; i >= 0; i-- {
+		if b.ctrl[i].contTarget == nil {
+			continue // switch/select: continue binds through them
+		}
+		if label == "" || b.ctrl[i].label == label {
+			return b.ctrl[i].contTarget
+		}
+	}
+	return nil
+}
+
+// labelBlock returns (creating on demand) the block a goto/label pair
+// shares; forward gotos create it before the labeled statement is
+// reached.
+func (b *builder) labelBlock(name string) *Block {
+	if li, ok := b.labels[name]; ok {
+		return li.block
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = &labelInfo{block: blk}
+	return blk
+}
+
+// isPanicCall reports whether st is a call to the predeclared panic
+// (shadowing is not tracked; neither did the statement-level walks).
+func isPanicCall(st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		target := b.labelBlock(st.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, target)
+		}
+		b.cur = target
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.cur = nil
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			label := ""
+			if st.Label != nil {
+				label = st.Label.Name
+			}
+			if t := b.findBreak(label); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			label := ""
+			if st.Label != nil {
+				label = st.Label.Name
+			}
+			if t := b.findCont(label); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if st.Label != nil && b.cur != nil {
+				b.edge(b.cur, b.labelBlock(st.Label.Name))
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the enclosing switch builder; reaching here
+			// means a stray fallthrough, which gofmt'd code cannot have.
+		}
+	case *ast.ExprStmt:
+		b.add(st)
+		if isPanicCall(st) {
+			b.cur = nil
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Cond)
+		cond := b.live()
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(st.Body.List)
+		afterThen := b.cur
+		var afterElse *Block
+		if st.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(st.Else)
+			afterElse = b.cur
+		}
+		join := b.newBlock("if.done")
+		if st.Else == nil {
+			b.edge(cond, join)
+		}
+		if afterThen != nil {
+			b.edge(afterThen, join)
+		}
+		if afterElse != nil {
+			b.edge(afterElse, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.live(), head)
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, Node{Ast: st.Cond})
+		}
+		body := b.newBlock("for.body")
+		exit := b.newBlock("for.done")
+		b.edge(head, body)
+		if st.Cond != nil {
+			b.edge(head, exit)
+		}
+		cont := head
+		var post *Block
+		if st.Post != nil {
+			post = b.newBlock("for.post")
+			b.edge(post, head)
+			cont = post
+		}
+		b.ctrl = append(b.ctrl, ctrlFrame{label: label, breakTarget: exit, contTarget: cont})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		if b.cur != nil {
+			if post != nil {
+				b.edge(b.cur, post)
+			} else {
+				b.edge(b.cur, head)
+			}
+		}
+		if post != nil {
+			post.Nodes = append(post.Nodes, Node{Ast: st.Post})
+		}
+		b.ctrl = b.ctrl[:len(b.ctrl)-1]
+		b.cur = exit
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.edge(b.live(), head)
+		// The whole RangeStmt is the head's node: analyses see the
+		// ranged expression and the per-iteration key/value rebinding
+		// there, without descending into the body (which has its own
+		// blocks).
+		head.Nodes = append(head.Nodes, Node{Ast: st})
+		body := b.newBlock("range.body")
+		exit := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.ctrl = append(b.ctrl, ctrlFrame{label: label, breakTarget: exit, contTarget: head})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.ctrl = b.ctrl[:len(b.ctrl)-1]
+		b.cur = exit
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.switchClauses(label, st.Body, func(c *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, len(c.List))
+			for i, e := range c.List {
+				nodes[i] = e
+			}
+			return nodes
+		})
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Assign)
+		b.switchClauses(label, st.Body, func(*ast.CaseClause) []ast.Node { return nil })
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		// The SelectStmt itself is a head node: "may block while
+		// locked" analyses inspect its clause list (default or not)
+		// there, shallowly.
+		b.add(st)
+		head := b.live()
+		exit := b.newBlock("select.done")
+		b.ctrl = append(b.ctrl, ctrlFrame{label: label, breakTarget: exit})
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clause := b.newBlock("select.case")
+			b.edge(head, clause)
+			if cc.Comm != nil {
+				clause.Nodes = append(clause.Nodes, Node{Ast: cc.Comm, Comm: true})
+			}
+			b.cur = clause
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, exit)
+			}
+		}
+		b.ctrl = b.ctrl[:len(b.ctrl)-1]
+		if len(st.Body.List) == 0 {
+			// select{} blocks forever: exit is unreachable.
+			b.cur = nil
+			exit.Kind = "select.never"
+		} else {
+			b.cur = exit
+		}
+	case *ast.GoStmt, *ast.DeferStmt, *ast.AssignStmt, *ast.IncDecStmt,
+		*ast.SendStmt, *ast.DeclStmt:
+		b.add(st)
+	default:
+		b.add(st)
+	}
+}
+
+// switchClauses builds the clause blocks of a switch/type switch:
+// every clause is a successor of the head, fallthrough chains to the
+// next clause, and a missing default adds the head -> exit edge.
+func (b *builder) switchClauses(label string, body *ast.BlockStmt, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.live()
+	exit := b.newBlock("switch.done")
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		blk := b.newBlock("switch.case")
+		blocks = append(blocks, blk)
+		b.edge(head, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, exit)
+	}
+	b.ctrl = append(b.ctrl, ctrlFrame{label: label, breakTarget: exit})
+	for i, cc := range clauses {
+		blk := blocks[i]
+		for _, n := range caseNodes(cc) {
+			blk.Nodes = append(blk.Nodes, Node{Ast: n})
+		}
+		b.cur = blk
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				stmts = stmts[:n-1]
+				fallsThrough = true
+			}
+		}
+		b.stmtList(stmts)
+		if b.cur != nil {
+			if fallsThrough && i+1 < len(blocks) {
+				b.edge(b.cur, blocks[i+1])
+			} else {
+				b.edge(b.cur, exit)
+			}
+		}
+		b.cur = nil
+	}
+	b.ctrl = b.ctrl[:len(b.ctrl)-1]
+	b.cur = exit
+}

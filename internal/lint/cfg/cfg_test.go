@@ -1,0 +1,356 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"fmi/internal/lint/cfg"
+)
+
+// build parses one function body (with channels a, b and an empty
+// interface x in scope) and returns its CFG plus the type info needed
+// by the capacity tests.
+func build(t *testing.T, body string) (*cfg.Graph, *types.Info, *token.FileSet) {
+	t.Helper()
+	src := "package p\n\nfunc f(a, b chan int, x interface{}) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fn.Body), info, fset
+}
+
+func reachable(g *cfg.Graph) map[*cfg.Block]bool {
+	seen := map[*cfg.Block]bool{g.Entry: true}
+	stack := []*cfg.Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func blocksOf(g *cfg.Graph, kind string) []*cfg.Block {
+	var out []*cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func hasEdge(from, to *cfg.Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLineReachesExit(t *testing.T) {
+	g, _, _ := build(t, "y := 1\n_ = y")
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit should be reachable by fall-through")
+	}
+}
+
+func TestReturnDoesNotEdgeToExit(t *testing.T) {
+	g, _, _ := build(t, "return")
+	if reachable(g)[g.Exit] {
+		t.Fatalf("exit must be unreachable when every path returns")
+	}
+}
+
+func TestIfElseBothReturn(t *testing.T) {
+	g, _, _ := build(t, "if x == nil {\nreturn\n} else {\nreturn\n}")
+	if reachable(g)[g.Exit] {
+		t.Fatalf("exit must be unreachable when both branches return")
+	}
+	g, _, _ = build(t, "if x == nil {\nreturn\n}")
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit must stay reachable through the false branch")
+	}
+}
+
+func TestLabeledBreakTargetsOuterLoop(t *testing.T) {
+	g, _, _ := build(t, `
+L:
+	for i := 0; i < 10; i++ {
+		for {
+			break L
+		}
+	}
+	y := 1
+	_ = y
+`)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatalf("break L must reach the code after the outer loop")
+	}
+	// The inner loop's own done block is only reachable via a plain
+	// break, which this body does not have.
+	dones := blocksOf(g, "for.done")
+	if len(dones) != 2 {
+		t.Fatalf("for.done blocks = %d, want 2", len(dones))
+	}
+	reach := 0
+	for _, d := range dones {
+		if seen[d] {
+			reach++
+		}
+	}
+	if reach != 1 {
+		t.Fatalf("reachable for.done blocks = %d, want 1 (outer only)", reach)
+	}
+	// break L edges straight from the inner body to the outer done.
+	innerBodies := blocksOf(g, "for.body")
+	foundDirect := false
+	for _, b := range innerBodies {
+		for _, d := range dones {
+			if seen[d] && hasEdge(b, d) {
+				foundDirect = true
+			}
+		}
+	}
+	if !foundDirect {
+		t.Fatalf("no direct edge from a loop body to the outer for.done")
+	}
+}
+
+func TestDeferStaysInOrder(t *testing.T) {
+	g, _, _ := build(t, "y := 0\ndefer func() { _ = y }()\n_ = y")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+	if _, ok := g.Entry.Nodes[1].Ast.(*ast.DeferStmt); !ok {
+		t.Fatalf("node 1 = %T, want *ast.DeferStmt in statement order", g.Entry.Nodes[1].Ast)
+	}
+}
+
+func TestSelectClausesAndCommMarkers(t *testing.T) {
+	g, _, _ := build(t, `
+select {
+case v := <-a:
+	_ = v
+case b <- 1:
+default:
+}
+`)
+	head := g.Entry
+	if len(head.Nodes) == 0 {
+		t.Fatalf("select head has no nodes")
+	}
+	if _, ok := head.Nodes[len(head.Nodes)-1].Ast.(*ast.SelectStmt); !ok {
+		t.Fatalf("head's last node = %T, want *ast.SelectStmt", head.Nodes[len(head.Nodes)-1].Ast)
+	}
+	cases := blocksOf(g, "select.case")
+	if len(cases) != 3 {
+		t.Fatalf("select.case blocks = %d, want 3", len(cases))
+	}
+	comms := 0
+	for _, c := range cases {
+		if !hasEdge(head, c) {
+			t.Fatalf("head does not edge to clause %v", c)
+		}
+		if len(c.Nodes) > 0 && c.Nodes[0].Comm {
+			comms++
+		}
+	}
+	if comms != 2 {
+		t.Fatalf("comm-marked clause heads = %d, want 2 (default has none)", comms)
+	}
+	// With a default present the head still has no direct edge to the
+	// done block — the default clause is one of the successors.
+	for _, d := range blocksOf(g, "select.done") {
+		if hasEdge(head, d) {
+			t.Fatalf("head must not edge directly to select.done")
+		}
+	}
+}
+
+func TestSelectWithoutDefaultHasOnlyCommSuccessors(t *testing.T) {
+	g, _, _ := build(t, "select {\ncase <-a:\ncase <-b:\n}")
+	for _, s := range g.Entry.Succs {
+		if s.Kind != "select.case" {
+			t.Fatalf("head successor kind %q, want select.case only", s.Kind)
+		}
+	}
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("head successors = %d, want 2", len(g.Entry.Succs))
+	}
+}
+
+func TestTypeSwitchClauses(t *testing.T) {
+	g, _, _ := build(t, `
+switch v := x.(type) {
+case int:
+	_ = v
+	return
+case string:
+	_ = v
+default:
+}
+`)
+	cases := blocksOf(g, "switch.case")
+	if len(cases) != 3 {
+		t.Fatalf("switch.case blocks = %d, want 3", len(cases))
+	}
+	dones := blocksOf(g, "switch.done")
+	if len(dones) != 1 {
+		t.Fatalf("switch.done blocks = %d, want 1", len(dones))
+	}
+	// The default clause exists, so the head has no bypass edge.
+	if hasEdge(g.Entry, dones[0]) {
+		t.Fatalf("head must not edge to switch.done when a default exists")
+	}
+	// The int clause returns: no successors. The others reach done.
+	intoDone := 0
+	for _, c := range cases {
+		if hasEdge(c, dones[0]) {
+			intoDone++
+		}
+	}
+	if intoDone != 2 {
+		t.Fatalf("clauses edging to done = %d, want 2 (the returning clause has none)", intoDone)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit should be reachable through the non-returning clauses")
+	}
+}
+
+func TestFallthroughChainsToNextClause(t *testing.T) {
+	g, _, _ := build(t, `
+switch y := 1; y {
+case 1:
+	fallthrough
+case 2:
+	_ = y
+}
+`)
+	cases := blocksOf(g, "switch.case")
+	if len(cases) != 2 {
+		t.Fatalf("switch.case blocks = %d, want 2", len(cases))
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Fatalf("fallthrough clause must edge to the next clause body")
+	}
+}
+
+func TestInfiniteLoopMakesExitUnreachable(t *testing.T) {
+	g, _, _ := build(t, "y := 0\nfor {\ny++\n}")
+	if reachable(g)[g.Exit] {
+		t.Fatalf("exit must be unreachable past `for {}` with no break")
+	}
+}
+
+func TestGotoSkipsDeadCode(t *testing.T) {
+	g, _, _ := build(t, `
+	goto done
+	{
+		y := 1
+		_ = y
+	}
+done:
+	z := 2
+	_ = z
+`)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatalf("goto done must reach the labeled tail and fall off the end")
+	}
+	for _, b := range blocksOf(g, "unreachable") {
+		if seen[b] {
+			t.Fatalf("skipped-over code must stay unreachable")
+		}
+	}
+}
+
+// capAnalysis adapts ChanCaps to the Analysis interface the way
+// lockheld does, so the fixpoint behaviour of capacity tracking is
+// pinned here independent of any analyzer.
+type capAnalysis struct{ info *types.Info }
+
+func (a *capAnalysis) Entry() cfg.Fact     { return cfg.NewChanCaps() }
+func (a *capAnalysis) Copy(f cfg.Fact) cfg.Fact {
+	return f.(*cfg.ChanCaps).Copy()
+}
+func (a *capAnalysis) Join(dst, src cfg.Fact) bool {
+	return dst.(*cfg.ChanCaps).Join(src.(*cfg.ChanCaps))
+}
+func (a *capAnalysis) Transfer(n cfg.Node, f cfg.Fact) cfg.Fact {
+	c := f.(*cfg.ChanCaps)
+	switch st := n.Ast.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) == len(st.Rhs) {
+			for i := range st.Lhs {
+				c.Assign(a.info, st.Lhs[i], st.Rhs[i])
+			}
+		}
+	case *ast.SendStmt:
+		c.Send(cfg.ExprString(st.Chan), 0, false)
+	}
+	return c
+}
+
+func TestChanCapDataflow(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []bool // provably-non-blocking verdict per send, source order
+	}{
+		{"first send fits, second exceeds", "ch := make(chan int, 2)\nch <- 1\nch <- 2\nch <- 3", []bool{true, true, false}},
+		{"unbuffered make", "ch := make(chan int)\nch <- 1", []bool{false}},
+		{"unknown channel", "a <- 1", []bool{false}},
+		{"aliasing kills tracking for both names", "ch := make(chan int, 1)\nd := ch\nd <- 1\nch <- 2", []bool{false, false}},
+		{"reassignment kills knowledge", "ch := make(chan int, 1)\nch = a\nch <- 1", []bool{false}},
+		{"loop send saturates via the back edge", "ch := make(chan int, 1)\nfor i := 0; i < 3; i++ {\nch <- i\n}", []bool{false}},
+		{"remake inside loop resets the count", "for i := 0; i < 3; i++ {\nch := make(chan int, 1)\nch <- i\n}", []bool{true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, info, _ := build(t, tc.body)
+			an := &capAnalysis{info: info}
+			in := cfg.Forward(g, an)
+			var got []bool
+			cfg.EachReachable(g, an, in, func(n cfg.Node, before cfg.Fact) {
+				if st, ok := n.Ast.(*ast.SendStmt); ok {
+					c := before.(*cfg.ChanCaps).Copy()
+					got = append(got, c.Send(cfg.ExprString(st.Chan), 0, false))
+				}
+			})
+			if len(got) != len(tc.want) {
+				t.Fatalf("saw %d sends, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("send %d verdict = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,226 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ExprString renders a (small) expression back to a canonical source
+// string, used to key lock receivers and channel operands across the
+// analyzers. Two syntactically-identical lvalues get the same key.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + ExprString(e.X)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// MakeChanCap recognises `make(chan T)` and `make(chan T, N)` with a
+// constant N, returning the buffer capacity. ok is false for any
+// other expression, including makes with a non-constant capacity.
+func MakeChanCap(info *types.Info, e ast.Expr) (cap int, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) == 0 {
+		return 0, false
+	}
+	id, isIdent := call.Fun.(*ast.Ident)
+	if !isIdent || id.Name != "make" {
+		return 0, false
+	}
+	if b, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "make" {
+		return 0, false
+	}
+	tv, found := info.Types[call.Args[0]]
+	if !found {
+		return 0, false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return 0, false
+	}
+	if len(call.Args) == 1 {
+		return 0, true
+	}
+	capTV, found := info.Types[call.Args[1]]
+	if !found || capTV.Value == nil {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(constant.ToInt(capTV.Value))
+	if !exact || n < 0 {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// ChanCaps is the const-propagation fact for channel buffer
+// capacities along def-use chains: which channel-valued expressions
+// hold a channel made with a known constant capacity, and how many
+// sends have already been charged to each on the current path. A send
+// is provably non-blocking when its channel's capacity is known and
+// the path's prior sends leave spare room.
+type ChanCaps struct {
+	Cap  map[string]int // expr key -> known make(chan T, N) capacity
+	Sent map[string]int // expr key -> sends charged on this path (missing = 0)
+}
+
+func NewChanCaps() *ChanCaps {
+	return &ChanCaps{Cap: map[string]int{}, Sent: map[string]int{}}
+}
+
+func (c *ChanCaps) Copy() *ChanCaps {
+	n := NewChanCaps()
+	for k, v := range c.Cap {
+		n.Cap[k] = v
+	}
+	for k, v := range c.Sent {
+		n.Sent[k] = v
+	}
+	return n
+}
+
+// Join merges src into c for a control-flow join: capacities survive
+// only where both paths agree (anything else degrades to unknown),
+// send counts take the per-key maximum (the worst path decides
+// whether spare room remains). Reports whether c changed.
+func (c *ChanCaps) Join(src *ChanCaps) bool {
+	changed := false
+	for k, v := range c.Cap {
+		if sv, ok := src.Cap[k]; !ok || sv != v {
+			delete(c.Cap, k)
+			changed = true
+		}
+	}
+	for k, v := range src.Sent {
+		if v > c.Sent[k] {
+			c.Sent[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (c *ChanCaps) Equal(o *ChanCaps) bool {
+	if len(c.Cap) != len(o.Cap) || len(c.Sent) != len(o.Sent) {
+		return false
+	}
+	for k, v := range c.Cap {
+		if ov, ok := o.Cap[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range c.Sent {
+		if ov, ok := o.Sent[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Kill forgets everything known about the lvalue key and any key
+// reached through it ("w" kills "w.ch" and "w[...]").
+func (c *ChanCaps) Kill(key string) {
+	for k := range c.Cap {
+		if killedBy(k, key) {
+			delete(c.Cap, k)
+		}
+	}
+	for k := range c.Sent {
+		if killedBy(k, key) {
+			delete(c.Sent, k)
+		}
+	}
+}
+
+func killedBy(k, root string) bool {
+	return k == root || strings.HasPrefix(k, root+".") || strings.HasPrefix(k, root+"[")
+}
+
+// Tracked reports whether the key currently has a known capacity.
+func (c *ChanCaps) Tracked(k string) bool {
+	_, ok := c.Cap[k]
+	return ok
+}
+
+// KillRoots forgets every key whose root variable ("w" for "w.ch") is
+// in roots — used when a closure captures locals and may send on them.
+func (c *ChanCaps) KillRoots(roots map[string]bool) {
+	kill := func(m map[string]int) {
+		for k := range m {
+			root := k
+			for i := 0; i < len(k); i++ {
+				if k[i] == '.' || k[i] == '[' {
+					root = k[:i]
+					break
+				}
+			}
+			if roots[root] {
+				delete(m, k)
+			}
+		}
+	}
+	kill(c.Cap)
+	kill(c.Sent)
+}
+
+// Assign records one lhs = rhs pair: a make-chan seeds a known
+// capacity, anything else degrades lhs to unknown. Copying a tracked
+// channel also kills the source: the two names would share one buffer
+// and per-name send counts could no longer prove spare room. Call
+// once per pair of an AssignStmt or ValueSpec.
+func (c *ChanCaps) Assign(info *types.Info, lhs, rhs ast.Expr) {
+	key := ExprString(lhs)
+	c.Kill(key)
+	if rhs == nil {
+		return
+	}
+	if n, ok := MakeChanCap(info, rhs); ok {
+		c.Cap[key] = n
+		return
+	}
+	rkey := ExprString(ast.Unparen(rhs))
+	if _, tracked := c.Cap[rkey]; tracked {
+		c.Kill(rkey)
+	}
+}
+
+// Send charges one send on the channel keyed k and reports whether it
+// was provably non-blocking: the capacity is known (locally, or from
+// fieldCap when the caller resolved the operand to a struct field
+// with a whole-program constant capacity) and the sends already
+// charged on this path leave spare room.
+func (c *ChanCaps) Send(k string, fieldCap int, haveFieldCap bool) (safe bool) {
+	cap, known := c.Cap[k]
+	if !known && haveFieldCap {
+		cap, known = fieldCap, true
+	}
+	prior := c.Sent[k]
+	// Saturate the counter so loop back edges reach a fixpoint: past
+	// cap the exact count no longer matters (the send already blocks),
+	// and with an unknown capacity any count ≥ 1 is equivalent.
+	bound := 1
+	if known {
+		bound = cap + 1
+	}
+	if n := prior + 1; n < bound {
+		c.Sent[k] = n
+	} else {
+		c.Sent[k] = bound
+	}
+	return known && prior < cap
+}

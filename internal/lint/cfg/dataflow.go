@@ -1,0 +1,81 @@
+package cfg
+
+// Fact is an analysis-specific dataflow fact. Facts must behave like
+// mutable values with reference semantics (maps, or structs holding
+// maps): the solver hands ownership explicitly via Copy, and Join
+// mutates its first argument in place.
+type Fact any
+
+// Analysis is the per-analyzer lattice plugged into Forward. The
+// solver drives it to a fixpoint:
+//
+//   - Entry produces the fact at function entry.
+//   - Copy clones a fact so Transfer may mutate freely.
+//   - Transfer applies one node's effect to f (mutating and/or
+//     returning a replacement) and returns the fact after the node.
+//   - Join merges src into dst (mutating dst) and reports whether dst
+//     changed; it must be monotone or the fixpoint may not terminate.
+//
+// Transfer must be deterministic: the reporting pass re-runs it over
+// the fixed-point block-entry facts, and both passes must see the
+// same states.
+type Analysis interface {
+	Entry() Fact
+	Copy(f Fact) Fact
+	Transfer(n Node, f Fact) Fact
+	Join(dst, src Fact) bool
+}
+
+// Forward runs the worklist fixpoint and returns the fact at entry to
+// every reachable block. Unreachable blocks (dead code after return,
+// the Exit of a function that never falls off the end) have no entry
+// in the map — callers use `in[g.Exit]` presence as the "can control
+// fall off the end" test.
+func Forward(g *Graph, an Analysis) map[*Block]Fact {
+	in := map[*Block]Fact{g.Entry: an.Entry()}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		f := an.Copy(in[b])
+		for _, n := range b.Nodes {
+			f = an.Transfer(n, f)
+		}
+		for _, s := range b.Succs {
+			old, ok := in[s]
+			changed := false
+			if !ok {
+				in[s] = an.Copy(f)
+				changed = true
+			} else {
+				changed = an.Join(old, f)
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// EachReachable replays Transfer once over every reachable block in
+// index order, calling visit with the fact in force *before* each
+// node. This is the reporting pass: run Forward first, then walk the
+// converged facts emitting findings (each node is visited exactly
+// once, with the join over all paths that reach it).
+func EachReachable(g *Graph, an Analysis, in map[*Block]Fact, visit func(n Node, before Fact)) {
+	for _, b := range g.Blocks {
+		entry, ok := in[b]
+		if !ok {
+			continue
+		}
+		f := an.Copy(entry)
+		for _, n := range b.Nodes {
+			visit(n, f)
+			f = an.Transfer(n, f)
+		}
+	}
+}

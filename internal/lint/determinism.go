@@ -1,0 +1,437 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fmi/internal/lint/cfg"
+)
+
+// Determinism enforces the piecewise-deterministic-execution contract
+// the recovery protocols stand on: local replay re-executes a rank
+// against its logged receives, and replica mode runs primary/shadow
+// pairs in lockstep with mirrored sends — both silently corrupt state
+// if re-executed code can diverge from the original run. Three
+// nondeterminism shapes are flagged, scoped to the code that actually
+// re-executes (core, replica, serve, and the examples):
+//
+//  1. map-iteration order escaping: a value derived from ranging over
+//     a map that reaches a send — a Send/Isend/Sendrecv/Submit call,
+//     a trace Recorder.Add/AddView, or a raw channel send — inside
+//     the loop body;
+//  2. the process-global math/rand source, whose stream differs
+//     between the original run and any re-execution;
+//  3. a select whose comm cases sit on provably-buffered channels
+//     (capacity const-propagated over the CFG): more than one case
+//     can be ready at once and the runtime picks uniformly at random.
+//
+// The taint tracking in (1) is per loop body and flow-insensitive; a
+// key stashed in a slice and sent after the loop is out of reach, as
+// is nondeterminism laundered through a call. The point is the
+// pattern review keeps missing, not a soundness proof.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "replay/lockstep-executed code must not leak map order, global rand, or multi-ready selects",
+	Run:  runDeterminism,
+}
+
+// determinismScoped reports whether a package's code re-executes
+// under replay or lockstep: the protocol engine itself, the replica
+// registry/store, the serve registry apps, and the examples (which
+// document the programming model users copy).
+func determinismScoped(pkg *Package) bool {
+	switch pkg.Name {
+	case "core", "replica", "serve":
+		return true
+	}
+	return strings.HasPrefix(pkg.Path, "examples/") || strings.Contains(pkg.Path, "/examples/")
+}
+
+func runDeterminism(prog *Program, report Reporter) {
+	fcaps := prog.chanFieldCaps()
+	for _, pkg := range prog.Packages {
+		if !determinismScoped(pkg) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			checkGlobalRand(pkg, f, report)
+			checkMapRangeTaint(pkg, f, report)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						checkBufferedSelects(pkg, fcaps, report, n.Body)
+					}
+				case *ast.FuncLit:
+					checkBufferedSelects(pkg, fcaps, report, n.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGlobalRand flags every call to a package-level math/rand (or
+// math/rand/v2) function: those draw from the implicitly-seeded
+// process-global source. Methods on an explicitly-seeded *rand.Rand
+// are fine — that is the prescribed fix.
+func checkGlobalRand(pkg *Package, f *ast.File, report Reporter) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn *types.Func
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+		case *ast.Ident:
+			fn, _ = pkg.Info.Uses[fun].(*types.Func)
+		}
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // method on an explicit *rand.Rand
+		}
+		if strings.HasPrefix(fn.Name(), "New") {
+			return true // New/NewSource/NewPCG construct explicit sources — the prescribed fix
+		}
+		report(call.Pos(), "math/rand.%s draws from the process-global source: re-executed code sees a different stream under replay/lockstep — use a rank-seeded rand.New(rand.NewSource(...))", fn.Name())
+		return true
+	})
+}
+
+// checkMapRangeTaint implements rule (1): for every `range` over a
+// map, taint the key/value variables, propagate through assignments
+// inside the loop body to a fixpoint, and flag any send-like sink an
+// tainted value reaches within that body.
+func checkMapRangeTaint(pkg *Package, f *ast.File, report Reporter) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, found := pkg.Info.Types[rng.X]
+		if !found {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		tainted := map[types.Object]bool{}
+		seed := func(e ast.Expr) {
+			id, isID := e.(*ast.Ident)
+			if !isID || id.Name == "_" {
+				return
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+		if rng.Key != nil {
+			seed(rng.Key)
+		}
+		if rng.Value != nil {
+			seed(rng.Value)
+		}
+		if len(tainted) == 0 {
+			return true
+		}
+		propagateTaint(pkg, rng.Body, tainted)
+		reportTaintSinks(pkg, rng, tainted, report)
+		return true
+	})
+}
+
+func taintedExpr(pkg *Package, tainted map[types.Object]bool, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil && tainted[obj] {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}
+
+// propagateTaint closes the tainted set over assignments, short
+// declarations, and nested ranges within the loop body.
+func propagateTaint(pkg *Package, body *ast.BlockStmt, tainted map[types.Object]bool) {
+	taintLhs := func(e ast.Expr) bool {
+		id, isID := ast.Unparen(e).(*ast.Ident)
+		if !isID || id.Name == "_" {
+			return false
+		}
+		var obj types.Object
+		if obj = pkg.Info.Defs[id]; obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || tainted[obj] {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						if taintedExpr(pkg, tainted, n.Rhs[i]) && taintLhs(n.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else {
+					any := false
+					for _, rhs := range n.Rhs {
+						if taintedExpr(pkg, tainted, rhs) {
+							any = true
+						}
+					}
+					if any {
+						for _, lhs := range n.Lhs {
+							if taintLhs(lhs) {
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				any := false
+				for _, v := range n.Values {
+					if taintedExpr(pkg, tainted, v) {
+						any = true
+					}
+				}
+				if any {
+					for _, name := range n.Names {
+						if taintLhs(name) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if taintedExpr(pkg, tainted, n.X) {
+					if n.Key != nil && taintLhs(n.Key) {
+						changed = true
+					}
+					if n.Value != nil && taintLhs(n.Value) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sendSinkNames are method names whose calls carry data off-rank: the
+// communicator surface (Send/Isend/Sendrecv), the job service's
+// Submit, and the trace Recorder's Add/AddView (checkpoint/trace
+// payloads that replay validation compares run-to-run). Add/AddView
+// count only on a receiver type actually named Recorder.
+var sendSinkNames = map[string]bool{
+	"Send": true, "Isend": true, "Sendrecv": true, "Submit": true,
+}
+
+func reportTaintSinks(pkg *Package, rng *ast.RangeStmt, tainted map[types.Object]bool, report Reporter) {
+	mapName := cfg.ExprString(rng.X)
+	seen := map[token.Pos]bool{}
+	emit := func(pos token.Pos, sink string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		report(pos, "value derived from ranging over map %s reaches %s: map iteration order is nondeterministic and diverges under replay/lockstep re-execution — iterate keys in sorted order", mapName, sink)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			name := sel.Sel.Name
+			isSink := sendSinkNames[name]
+			if !isSink && (name == "Add" || name == "AddView") {
+				isSink = recvIsRecorder(pkg, sel.X)
+			}
+			if !isSink {
+				return true
+			}
+			hit := taintedExpr(pkg, tainted, sel.X)
+			for _, arg := range n.Args {
+				if taintedExpr(pkg, tainted, arg) {
+					hit = true
+				}
+			}
+			if hit {
+				emit(n.Pos(), cfg.ExprString(n.Fun)+"(...)")
+			}
+		case *ast.SendStmt:
+			if taintedExpr(pkg, tainted, n.Chan) || taintedExpr(pkg, tainted, n.Value) {
+				emit(n.Pos(), "a channel send")
+			}
+		}
+		return true
+	})
+}
+
+// recvIsRecorder reports whether the receiver expression's type
+// (through a pointer) is a named type called Recorder.
+func recvIsRecorder(pkg *Package, recv ast.Expr) bool {
+	tv, found := pkg.Info.Types[recv]
+	if !found {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Recorder"
+}
+
+// checkBufferedSelects implements rule (3): run capacity
+// const-propagation over the body's CFG and flag selects where two or
+// more comm cases sit on channels with provable capacity ≥ 1 — those
+// can both be ready, and the select winner is then a coin flip the
+// shadow replays differently.
+func checkBufferedSelects(pkg *Package, fcaps map[*types.Var]int, report Reporter, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	an := &selectCapAnalysis{pkg: pkg}
+	in := cfg.Forward(g, an)
+	cfg.EachReachable(g, an, in, func(n cfg.Node, before cfg.Fact) {
+		sel, ok := n.Ast.(*ast.SelectStmt)
+		if ok && !n.Comm {
+			caps := before.(*cfg.ChanCaps)
+			buffered := 0
+			for _, c := range sel.Body.List {
+				cc, isCC := c.(*ast.CommClause)
+				if !isCC || cc.Comm == nil {
+					continue
+				}
+				ch := commChannel(cc.Comm)
+				if ch == nil {
+					continue
+				}
+				if chanCapKnown(pkg, fcaps, caps, ch) {
+					buffered++
+				}
+			}
+			if buffered >= 2 {
+				report(sel.Pos(), "select has %d comm cases on provably-buffered channels: more than one can be ready at once and the winner is nondeterministic under replay/lockstep re-execution — impose a deterministic drain order", buffered)
+			}
+		}
+	})
+}
+
+// commChannel extracts the channel operand of a select comm statement.
+func commChannel(comm ast.Stmt) ast.Expr {
+	switch st := comm.(type) {
+	case *ast.SendStmt:
+		return st.Chan
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(st.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			if u, ok := ast.Unparen(st.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// chanCapKnown reports whether the channel expression has a provable
+// constant capacity ≥ 1, locally or via the field table.
+func chanCapKnown(pkg *Package, fcaps map[*types.Var]int, caps *cfg.ChanCaps, ch ast.Expr) bool {
+	key := cfg.ExprString(ast.Unparen(ch))
+	if n, ok := caps.Cap[key]; ok {
+		return n >= 1
+	}
+	if sel, ok := ast.Unparen(ch).(*ast.SelectorExpr); ok {
+		if selection, found := pkg.Info.Selections[sel]; found && selection.Kind() == types.FieldVal {
+			if field, isVar := selection.Obj().(*types.Var); isVar {
+				if n, ok := fcaps[field]; ok {
+					return n >= 1
+				}
+			}
+		}
+	}
+	return false
+}
+
+// selectCapAnalysis tracks make(chan T, N) capacities for rule (3):
+// only assignments and declarations matter, sends are irrelevant.
+type selectCapAnalysis struct{ pkg *Package }
+
+func (a *selectCapAnalysis) Entry() cfg.Fact { return cfg.NewChanCaps() }
+
+func (a *selectCapAnalysis) Copy(f cfg.Fact) cfg.Fact {
+	return f.(*cfg.ChanCaps).Copy()
+}
+
+func (a *selectCapAnalysis) Join(dst, src cfg.Fact) bool {
+	return dst.(*cfg.ChanCaps).Join(src.(*cfg.ChanCaps))
+}
+
+func (a *selectCapAnalysis) Transfer(n cfg.Node, f cfg.Fact) cfg.Fact {
+	c := f.(*cfg.ChanCaps)
+	switch st := n.Ast.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) == len(st.Rhs) {
+			for i := range st.Lhs {
+				c.Assign(a.pkg.Info, st.Lhs[i], st.Rhs[i])
+			}
+		} else {
+			for _, lhs := range st.Lhs {
+				c.Kill(cfg.ExprString(lhs))
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, isVS := spec.(*ast.ValueSpec)
+				if !isVS {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) && i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					c.Assign(a.pkg.Info, name, rhs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if st.Key != nil {
+			c.Kill(cfg.ExprString(st.Key))
+		}
+		if st.Value != nil {
+			c.Kill(cfg.ExprString(st.Value))
+		}
+	}
+	return c
+}

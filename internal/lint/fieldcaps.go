@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fmi/internal/lint/cfg"
+)
+
+// chanFieldCaps builds (once per program) the whole-program table of
+// struct fields of channel type whose every creation site is a
+// make(chan T, N) with a constant N. Buffered channels stored in
+// struct fields routinely cross function boundaries — resize fence
+// waiters are made in JoinResize and sent to in commitResize — so
+// intraprocedural const-propagation alone cannot prove their sends
+// non-blocking; this table is the interprocedural complement.
+//
+// A field earns an entry only when the analysis sees every way an
+// instance can exist with that field set:
+//
+//   - every composite literal of the struct assigns the field a
+//     constant-capacity make (a literal omitting the field, a T{}
+//     zero value, or a new(T) leaves it nil, which blocks forever);
+//   - every `x.field = ...` assignment is such a make.
+//
+// Anything else — a non-constant capacity, assignment from another
+// channel, multi-value assignment — poisons the field to unknown.
+// With several make sites the smallest capacity wins.
+func (prog *Program) chanFieldCaps() map[*types.Var]int {
+	if prog.fieldCaps != nil {
+		return prog.fieldCaps
+	}
+	caps := map[*types.Var]int{}
+	poison := map[*types.Var]bool{}
+	note := func(field *types.Var, capN int, known bool) {
+		if field == nil {
+			return
+		}
+		if !known {
+			poison[field] = true
+			delete(caps, field)
+			return
+		}
+		if poison[field] {
+			return
+		}
+		if old, seen := caps[field]; !seen || capN < old {
+			caps[field] = capN
+		}
+	}
+	isChanField := func(field *types.Var) bool {
+		if field == nil {
+			return false
+		}
+		_, ok := field.Type().Underlying().(*types.Chan)
+		return ok
+	}
+	poisonAllChanFields := func(st *types.Struct) {
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); isChanField(f) {
+				note(f, 0, false)
+			}
+		}
+	}
+
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					tv, ok := info.Types[n]
+					if !ok {
+						return true
+					}
+					st, ok := tv.Type.Underlying().(*types.Struct)
+					if !ok {
+						return true
+					}
+					assigned := map[*types.Var]bool{}
+					for i, elt := range n.Elts {
+						var field *types.Var
+						var value ast.Expr
+						if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+							if id, isID := kv.Key.(*ast.Ident); isID {
+								field, _ = info.Uses[id].(*types.Var)
+							}
+							value = kv.Value
+						} else if i < st.NumFields() {
+							field = st.Field(i)
+							value = elt
+						}
+						if !isChanField(field) {
+							continue
+						}
+						assigned[field] = true
+						capN, known := cfg.MakeChanCap(info, value)
+						note(field, capN, known)
+					}
+					// A literal that leaves a chan field out leaves it
+					// nil: no capacity claim can survive that.
+					for i := 0; i < st.NumFields(); i++ {
+						if f := st.Field(i); isChanField(f) && !assigned[f] {
+							note(f, 0, false)
+						}
+					}
+				case *ast.CallExpr:
+					// new(T) zeroes every field.
+					if id, isID := n.Fun.(*ast.Ident); isID && id.Name == "new" && len(n.Args) == 1 {
+						if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "new" {
+							if tv, ok := info.Types[n.Args[0]]; ok {
+								if st, isStruct := tv.Type.Underlying().(*types.Struct); isStruct {
+									poisonAllChanFields(st)
+								}
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					paired := len(n.Lhs) == len(n.Rhs)
+					for i, lhs := range n.Lhs {
+						sel, isSel := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !isSel {
+							continue
+						}
+						selection, found := info.Selections[sel]
+						if !found || selection.Kind() != types.FieldVal {
+							continue
+						}
+						field, _ := selection.Obj().(*types.Var)
+						if !isChanField(field) {
+							continue
+						}
+						if !paired {
+							note(field, 0, false)
+							continue
+						}
+						capN, known := cfg.MakeChanCap(info, n.Rhs[i])
+						note(field, capN, known)
+					}
+				}
+				return true
+			})
+		}
+	}
+	prog.fieldCaps = caps
+	return caps
+}

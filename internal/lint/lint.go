@@ -1,20 +1,26 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"io"
 	"sort"
 	"strings"
+
+	"fmi/internal/lint/cfg"
 )
 
 // Finding is one analyzer report, printed as
-// "file:line: [analyzer] message".
+// "file:line: [analyzer] message". Suppressed findings (matched by an
+// //fmilint:ignore directive) are dropped from Run's result but kept
+// by RunDetailed so machine consumers see the full inventory.
 type Finding struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -35,7 +41,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{TraceKind, LockHeld, FaultErr, SimTime, BufRelease, StaleView}
+	return []*Analyzer{TraceKind, LockHeld, FaultErr, SimTime, BufRelease, StaleView, Determinism, LockOrder}
 }
 
 // IgnoreDirective is the suppression marker grammar:
@@ -103,10 +109,15 @@ func (d directive) suppresses(f Finding) bool {
 	return d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1
 }
 
-// Run executes the analyzers over the program and returns the
-// surviving findings, sorted by position. Suppressed findings are
-// dropped; malformed suppressions are returned as findings.
-func Run(prog *Program, analyzers []*Analyzer) []Finding {
+// RunDetailed executes the analyzers over the program and returns
+// every finding, sorted by position: analyzer findings with
+// Suppressed marked where an //fmilint:ignore directive matched,
+// malformed-directive findings, and a stale-directive finding (under
+// the reserved "fmilint" name) for every well-formed directive whose
+// analyzer no longer reports anything at its site — a suppression
+// that outlives its finding is inventory rot, and silently keeping it
+// would hide the next real finding that lands on that line.
+func RunDetailed(prog *Program, analyzers []*Analyzer) []Finding {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -128,20 +139,31 @@ func Run(prog *Program, analyzers []*Analyzer) []Finding {
 		a.Run(prog, reporterFor(a.Name))
 	}
 
-	kept := findings[:0]
-outer:
-	for _, f := range findings {
-		if f.Analyzer != "fmilint" {
-			for _, d := range dirs {
-				if d.suppresses(f) {
-					continue outer
-				}
+	used := make([]bool, len(dirs))
+	for i := range findings {
+		f := &findings[i]
+		if f.Analyzer == "fmilint" {
+			continue // directive hygiene findings cannot self-suppress
+		}
+		for di, d := range dirs {
+			if d.suppresses(*f) {
+				f.Suppressed = true
+				used[di] = true
 			}
 		}
-		kept = append(kept, f)
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	for di, d := range dirs {
+		if !used[di] {
+			findings = append(findings, Finding{
+				Pos:      d.pos,
+				Analyzer: "fmilint",
+				Message:  fmt.Sprintf("stale //fmilint:ignore directive: %s no longer reports at this site — remove it", d.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -150,6 +172,18 @@ outer:
 		}
 		return a.Analyzer < b.Analyzer
 	})
+	return findings
+}
+
+// Run executes the analyzers and returns only the findings that
+// survive suppression, sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Finding {
+	var kept []Finding
+	for _, f := range RunDetailed(prog, analyzers) {
+		if !f.Suppressed {
+			kept = append(kept, f)
+		}
+	}
 	return kept
 }
 
@@ -160,11 +194,31 @@ const (
 	ExitLoadErr  = 2 // the tree failed to load or type-check
 )
 
+// jsonFinding is the machine-readable shape of one finding, emitted
+// by `fmilint -json` for CI artifacts and tooling.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+type jsonReport struct {
+	Module       string        `json:"module,omitempty"`
+	Error        string        `json:"error,omitempty"`
+	Findings     []jsonFinding `json:"findings"`
+	Unsuppressed int           `json:"unsuppressed"`
+}
+
 // Main is the fmilint command body: load the module rooted at root
 // (a trailing "/..." is accepted and ignored, so "fmilint ./..."
 // reads naturally), run the full suite, print findings to out, and
-// return the process exit code.
-func Main(root string, out io.Writer) int {
+// return the process exit code. With jsonOut set the report is one
+// JSON object carrying every finding — suppressed ones included, so
+// the suppression inventory is auditable — while the exit code still
+// reflects only unsuppressed findings.
+func Main(root string, out io.Writer, jsonOut bool) int {
 	root = strings.TrimSuffix(root, "...")
 	root = strings.TrimSuffix(root, "/")
 	if root == "" {
@@ -172,8 +226,33 @@ func Main(root string, out io.Writer) int {
 	}
 	prog, err := LoadModule(root)
 	if err != nil {
-		fmt.Fprintf(out, "fmilint: %v\n", err)
+		if jsonOut {
+			writeJSON(out, jsonReport{Error: err.Error(), Findings: []jsonFinding{}})
+		} else {
+			fmt.Fprintf(out, "fmilint: %v\n", err)
+		}
 		return ExitLoadErr
+	}
+	if jsonOut {
+		all := RunDetailed(prog, All())
+		rep := jsonReport{Module: prog.Module, Findings: []jsonFinding{}}
+		for _, f := range all {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				File:       f.Pos.Filename,
+				Line:       f.Pos.Line,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: f.Suppressed,
+			})
+			if !f.Suppressed {
+				rep.Unsuppressed++
+			}
+		}
+		writeJSON(out, rep)
+		if rep.Unsuppressed > 0 {
+			return ExitFindings
+		}
+		return ExitClean
 	}
 	findings := Run(prog, All())
 	for _, f := range findings {
@@ -186,25 +265,16 @@ func Main(root string, out io.Writer) int {
 	return ExitClean
 }
 
+func writeJSON(out io.Writer, rep jsonReport) {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
 // exprString renders a (small) expression back to source, used to key
-// lock receivers and to name flagged expressions in messages.
+// lock receivers and to name flagged expressions in messages. The
+// canonical renderer lives in the cfg package so the dataflow layer
+// and the analyzers agree on keys.
 func exprString(fset *token.FileSet, e ast.Expr) string {
-	switch e := e.(type) {
-	case *ast.Ident:
-		return e.Name
-	case *ast.SelectorExpr:
-		return exprString(fset, e.X) + "." + e.Sel.Name
-	case *ast.ParenExpr:
-		return exprString(fset, e.X)
-	case *ast.IndexExpr:
-		return exprString(fset, e.X) + "[...]"
-	case *ast.CallExpr:
-		return exprString(fset, e.Fun) + "(...)"
-	case *ast.StarExpr:
-		return "*" + exprString(fset, e.X)
-	case *ast.UnaryExpr:
-		return e.Op.String() + exprString(fset, e.X)
-	default:
-		return fmt.Sprintf("%T", e)
-	}
+	return cfg.ExprString(e)
 }

@@ -38,6 +38,8 @@ type Program struct {
 	Fset     *token.FileSet
 	Module   string
 	Packages []*Package // sorted by import path
+
+	fieldCaps map[*types.Var]int // lazily built by chanFieldCaps
 }
 
 // Lookup returns the loaded package with the given import path, or nil.

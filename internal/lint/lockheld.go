@@ -4,17 +4,26 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"fmi/internal/lint/cfg"
 )
 
 // LockHeld guards the deadlock shape the matcher's epoch-fence code is
 // one typo away from: a manually-paired mu.Lock() left held on a
 // return path, or a blocking operation (channel send/receive, select
 // without default, transport Send/Recv, time.Sleep) reached while a
-// mutex is held. The analysis is intraprocedural and syntax-directed:
-// it tracks sync.Mutex / sync.RWMutex receivers by source expression
-// within one function body, treats `defer mu.Unlock()` as releasing,
-// and analyses branches independently (a branch that unlocks and
-// returns does not release the straight-line path).
+// mutex is held. The analysis runs the lint CFG's forward-dataflow
+// fixpoint per function body: the held set at each node is the join
+// over every path that reaches it, `defer mu.Unlock()` releases, and
+// goroutine/function-literal bodies are analysed with a clean slate.
+//
+// Channel sends get capacity-aware treatment: a send on a channel
+// whose buffer capacity is provably constant (a local make(chan T, N)
+// tracked along def-use chains, or a struct field every one of whose
+// creation sites is such a make) and whose path has spare room left
+// is non-blocking and not reported. This is what lets the resize
+// fence's buffered(1) result and waiter channels be sent to under
+// j.mu without suppressions.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
 	Doc:  "no return or blocking operation while a manually-paired mutex is held",
@@ -22,15 +31,20 @@ var LockHeld = &Analyzer{
 }
 
 func runLockHeld(prog *Program, report Reporter) {
+	fcaps := prog.chanFieldCaps()
 	for _, pkg := range prog.Packages {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.FuncDecl:
 					if n.Body != nil {
-						analyzeFuncBody(prog, pkg, report, n.Body)
+						analyzeLockBody(prog, pkg, fcaps, report, n.Body)
 					}
-					return false // function literals inside are walked by block()
+				case *ast.FuncLit:
+					// A literal's body runs on its own stack frame (and
+					// usually its own goroutine); locks held at the
+					// creation site are not held inside it.
+					analyzeLockBody(prog, pkg, fcaps, report, n.Body)
 				}
 				return true
 			})
@@ -38,46 +52,243 @@ func runLockHeld(prog *Program, report Reporter) {
 	}
 }
 
-// analyzeFuncBody runs the held-lock walk over one function body and
-// flags falling off the end with a lock held — unless the body ends in
-// a terminating statement, in which case every live path was already
-// checked at its return.
-func analyzeFuncBody(prog *Program, pkg *Package, report Reporter, body *ast.BlockStmt) {
-	lh := &lockState{prog: prog, pkg: pkg, report: report, held: map[string]bool{}}
-	lh.block(body)
-	if !terminates(body) {
-		lh.checkEnd(body.Rbrace)
-	}
-}
-
-type lockState struct {
-	prog   *Program
-	pkg    *Package
-	report Reporter
-	held   map[string]bool // lock receiver expr -> currently held
-}
-
-func (lh *lockState) anyHeld() (string, bool) {
-	for k, v := range lh.held {
-		if v {
-			return k, true
+// analyzeLockBody drives one function body to a fixpoint and then
+// replays the transfer function with reporting enabled, so every node
+// is judged exactly once against the join over all paths reaching it.
+func analyzeLockBody(prog *Program, pkg *Package, fcaps map[*types.Var]int, report Reporter, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	an := &lockAnalysis{prog: prog, pkg: pkg, fcaps: fcaps}
+	in := cfg.Forward(g, an)
+	an.report = report
+	cfg.EachReachable(g, an, in, func(cfg.Node, cfg.Fact) {})
+	// Exit is reachable only by falling off the end of the body; a
+	// lock still held there is a missing unlock on the straight path.
+	if exitFact, reachable := in[g.Exit]; reachable {
+		if recv, held := anyHeld(exitFact.(*lockFact).held); held {
+			report(body.Rbrace, "function ends with %s still held (missing unlock on this path)", recv)
 		}
 	}
-	return "", false
 }
 
-func (lh *lockState) clone() *lockState {
-	c := &lockState{prog: lh.prog, pkg: lh.pkg, report: lh.report, held: map[string]bool{}}
-	for k, v := range lh.held {
-		c.held[k] = v
+// lockFact is the dataflow fact: which mutex receivers are held on
+// some path reaching this point, plus the channel-capacity facts that
+// decide whether a send under a lock can actually block.
+type lockFact struct {
+	held map[string]bool
+	caps *cfg.ChanCaps
+}
+
+// anyHeld returns the lexically-smallest held lock so messages are
+// deterministic when several locks are held at once.
+func anyHeld(held map[string]bool) (string, bool) {
+	best := ""
+	for k, v := range held {
+		if v && (best == "" || k < best) {
+			best = k
+		}
 	}
-	return c
+	return best, best != ""
+}
+
+type lockAnalysis struct {
+	prog   *Program
+	pkg    *Package
+	fcaps  map[*types.Var]int
+	report Reporter // nil during the fixpoint pass
+}
+
+func (la *lockAnalysis) Entry() cfg.Fact {
+	return &lockFact{held: map[string]bool{}, caps: cfg.NewChanCaps()}
+}
+
+func (la *lockAnalysis) Copy(f cfg.Fact) cfg.Fact {
+	lf := f.(*lockFact)
+	n := &lockFact{held: map[string]bool{}, caps: lf.caps.Copy()}
+	for k, v := range lf.held {
+		n.held[k] = v
+	}
+	return n
+}
+
+// Join merges src into dst: a lock held on any incoming path is held
+// (may-analysis — reporting a possibly-missing unlock is the point),
+// and capacity facts merge pessimistically (see cfg.ChanCaps.Join).
+func (la *lockAnalysis) Join(dst, src cfg.Fact) bool {
+	d, s := dst.(*lockFact), src.(*lockFact)
+	changed := false
+	for k, v := range s.held {
+		if v && !d.held[k] {
+			d.held[k] = true
+			changed = true
+		}
+	}
+	if d.caps.Join(s.caps) {
+		changed = true
+	}
+	return changed
+}
+
+func (la *lockAnalysis) emit(pos token.Pos, format string, args ...any) {
+	if la.report != nil {
+		la.report(pos, format, args...)
+	}
+}
+
+func (la *lockAnalysis) Transfer(n cfg.Node, f cfg.Fact) cfg.Fact {
+	lf := f.(*lockFact)
+	if n.Comm {
+		// The comm operation of a chosen select clause: it already won
+		// the select (charged at the SelectStmt head), so it does not
+		// block — only its state effects matter here.
+		switch st := n.Ast.(type) {
+		case *ast.SendStmt:
+			la.chargeSend(st, lf)
+		case *ast.AssignStmt:
+			la.applyAssign(st, lf)
+		}
+		return lf
+	}
+	switch st := n.Ast.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, method, ok := la.mutexCall(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					lf.held[recv] = true
+				case "Unlock", "RUnlock":
+					lf.held[recv] = false
+				}
+				return lf
+			}
+		}
+		la.scanExpr(st.X, lf)
+	case *ast.DeferStmt:
+		if recv, method, ok := la.mutexCall(st.Call); ok && (method == "Unlock" || method == "RUnlock") {
+			// Deferred release: the lock is covered for every
+			// subsequent return path.
+			lf.held[recv] = false
+			return lf
+		}
+		la.scanExprs(lf, st.Call.Args...)
+	case *ast.GoStmt:
+		// The goroutine body runs elsewhere (analysed separately with
+		// a clean slate); only argument evaluation happens here.
+		la.scanExprs(lf, st.Call.Args...)
+	case *ast.ReturnStmt:
+		la.scanExprs(lf, st.Results...)
+		if recv, held := anyHeld(lf.held); held {
+			la.emit(st.Pos(), "return while %s is held (missing unlock on this path)", recv)
+		}
+	case *ast.SendStmt:
+		la.scanExpr(st.Value, lf)
+		safe := la.chargeSend(st, lf)
+		if recv, held := anyHeld(lf.held); held && !safe {
+			la.emit(st.Pos(), "channel send while %s is held may block under the lock", recv)
+		}
+	case *ast.SelectStmt:
+		blocking := true
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false // has a default clause
+			}
+		}
+		if recv, held := anyHeld(lf.held); held && blocking {
+			la.emit(st.Pos(), "select without default while %s is held may block under the lock", recv)
+		}
+	case *ast.RangeStmt:
+		la.scanExpr(st.X, lf)
+		if tv, ok := la.pkg.Info.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				if recv, held := anyHeld(lf.held); held {
+					la.emit(st.Pos(), "range over channel while %s is held may block under the lock", recv)
+				}
+			}
+		}
+		// Key/value rebind every iteration: forget capacity facts
+		// rooted at them (w in `for r, w := range waiters` is a fresh
+		// waiter each time round).
+		if st.Key != nil {
+			lf.caps.Kill(cfg.ExprString(st.Key))
+		}
+		if st.Value != nil {
+			lf.caps.Kill(cfg.ExprString(st.Value))
+		}
+	case *ast.AssignStmt:
+		la.scanExprs(lf, st.Rhs...)
+		la.applyAssign(st, lf)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				la.scanExprs(lf, vs.Values...)
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) && len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					}
+					lf.caps.Assign(la.pkg.Info, name, rhs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		la.scanExpr(st.X, lf)
+	case *ast.LabeledStmt, *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		if e, ok := n.Ast.(ast.Expr); ok {
+			// A control expression (if/for condition, switch tag, case
+			// expression) evaluated at this point.
+			la.scanExpr(e, lf)
+		}
+	}
+	return lf
+}
+
+// chargeSend records one send against the channel's capacity facts
+// and reports whether it provably has spare buffer room.
+func (la *lockAnalysis) chargeSend(st *ast.SendStmt, lf *lockFact) bool {
+	key := cfg.ExprString(ast.Unparen(st.Chan))
+	fc, have := la.fieldCap(st.Chan)
+	return lf.caps.Send(key, fc, have)
+}
+
+// fieldCap resolves a channel operand that is a struct field access
+// to its whole-program constant capacity, if the field has one.
+func (la *lockAnalysis) fieldCap(e ast.Expr) (int, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	selection, found := la.pkg.Info.Selections[sel]
+	if !found || selection.Kind() != types.FieldVal {
+		return 0, false
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return 0, false
+	}
+	c, ok := la.fcaps[field]
+	return c, ok
+}
+
+func (la *lockAnalysis) applyAssign(st *ast.AssignStmt, lf *lockFact) {
+	if len(st.Lhs) == len(st.Rhs) {
+		for i := range st.Lhs {
+			lf.caps.Assign(la.pkg.Info, st.Lhs[i], st.Rhs[i])
+		}
+		return
+	}
+	for _, lhs := range st.Lhs {
+		lf.caps.Kill(cfg.ExprString(lhs))
+	}
 }
 
 // mutexCall reports whether call is mu.Lock/Unlock/RLock/RUnlock on a
 // sync.Mutex or sync.RWMutex value, returning the receiver's source
 // key and the method name.
-func (lh *lockState) mutexCall(call *ast.CallExpr) (recv, method string, ok bool) {
+func (la *lockAnalysis) mutexCall(call *ast.CallExpr) (recv, method string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
@@ -87,7 +298,7 @@ func (lh *lockState) mutexCall(call *ast.CallExpr) (recv, method string, ok bool
 	default:
 		return "", "", false
 	}
-	selection, found := lh.pkg.Info.Selections[sel]
+	selection, found := la.pkg.Info.Selections[sel]
 	if !found {
 		return "", "", false
 	}
@@ -95,233 +306,41 @@ func (lh *lockState) mutexCall(call *ast.CallExpr) (recv, method string, ok bool
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", "", false
 	}
-	return exprString(lh.prog.Fset, sel.X), sel.Sel.Name, true
+	return cfg.ExprString(sel.X), sel.Sel.Name, true
 }
 
-// block walks statements in order, updating held-lock state. Analysis
-// of a block stops at a terminating statement: everything after it is
-// dead code on this path.
-func (lh *lockState) block(b *ast.BlockStmt) {
-	for _, st := range b.List {
-		lh.stmt(st)
-		if terminates(st) {
-			return
-		}
-	}
-}
-
-// terminates reports whether st ends the control-flow path it is on,
-// per a simplified version of the spec's "terminating statements":
-// return, panic, break/continue/goto, a block ending in one, if/else
-// and switch/select where every branch terminates, and a for loop with
-// no condition (break detection is skipped — misjudging a breaking
-// loop as terminating only suppresses the fall-off-the-end check, it
-// cannot create a false finding).
-func terminates(st ast.Stmt) bool {
-	switch st := st.(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		call, ok := st.X.(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		id, ok := call.Fun.(*ast.Ident)
-		return ok && id.Name == "panic"
-	case *ast.BlockStmt:
-		return len(st.List) > 0 && terminates(st.List[len(st.List)-1])
-	case *ast.LabeledStmt:
-		return terminates(st.Stmt)
-	case *ast.IfStmt:
-		return st.Else != nil && terminates(st.Body) && terminates(st.Else)
-	case *ast.ForStmt:
-		return st.Cond == nil
-	case *ast.SwitchStmt:
-		return clausesTerminate(st.Body, true)
-	case *ast.TypeSwitchStmt:
-		return clausesTerminate(st.Body, true)
-	case *ast.SelectStmt:
-		return clausesTerminate(st.Body, false)
-	}
-	return false
-}
-
-func clausesTerminate(body *ast.BlockStmt, needDefault bool) bool {
-	hasDefault := !needDefault
-	for _, c := range body.List {
-		var stmts []ast.Stmt
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			stmts = c.Body
-			if c.List == nil {
-				hasDefault = true
-			}
-		case *ast.CommClause:
-			stmts = c.Body
-			if c.Comm == nil {
-				hasDefault = true
-			}
-		}
-		if len(stmts) == 0 || !terminates(stmts[len(stmts)-1]) {
-			return false
-		}
-	}
-	return hasDefault && len(body.List) > 0
-}
-
-func (lh *lockState) stmt(st ast.Stmt) {
-	switch st := st.(type) {
-	case *ast.ExprStmt:
-		if call, ok := st.X.(*ast.CallExpr); ok {
-			if recv, method, ok := lh.mutexCall(call); ok {
-				switch method {
-				case "Lock", "RLock":
-					lh.held[recv] = true
-				case "Unlock", "RUnlock":
-					lh.held[recv] = false
-				}
-				return
-			}
-		}
-		lh.expr(st.X)
-	case *ast.DeferStmt:
-		if recv, method, ok := lh.mutexCall(st.Call); ok && (method == "Unlock" || method == "RUnlock") {
-			// Deferred release: the lock is covered for every
-			// subsequent return path.
-			lh.held[recv] = false
-			return
-		}
-		lh.exprs(st.Call.Args...)
-	case *ast.GoStmt:
-		// The goroutine body runs elsewhere; analyse it with a clean
-		// slate but do not charge its blocking ops to this function.
-		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			inner := &lockState{prog: lh.prog, pkg: lh.pkg, report: lh.report, held: map[string]bool{}}
-			inner.block(lit.Body)
-			inner.checkEnd(lit.Body.Rbrace)
-		}
-		lh.exprs(st.Call.Args...)
-	case *ast.ReturnStmt:
-		lh.exprs(st.Results...)
-		if recv, held := lh.anyHeld(); held {
-			lh.report(st.Pos(), "return while %s is held (missing unlock on this path)", recv)
-		}
-	case *ast.SendStmt:
-		lh.expr(st.Value)
-		if recv, held := lh.anyHeld(); held {
-			lh.report(st.Pos(), "channel send while %s is held may block under the lock", recv)
-		}
-	case *ast.SelectStmt:
-		blocking := true
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
-				blocking = false // has a default clause
-			}
-		}
-		if recv, held := lh.anyHeld(); held && blocking {
-			lh.report(st.Pos(), "select without default while %s is held may block under the lock", recv)
-		}
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				branch := lh.clone()
-				for _, s := range cc.Body {
-					branch.stmt(s)
-				}
-			}
-		}
-	case *ast.IfStmt:
-		if st.Init != nil {
-			lh.stmt(st.Init)
-		}
-		lh.expr(st.Cond)
-		then := lh.clone()
-		then.block(st.Body)
-		if st.Else != nil {
-			els := lh.clone()
-			els.stmt(st.Else)
-		}
-	case *ast.ForStmt:
-		if st.Init != nil {
-			lh.stmt(st.Init)
-		}
-		if st.Cond != nil {
-			lh.expr(st.Cond)
-		}
-		body := lh.clone()
-		body.block(st.Body)
-		if st.Post != nil {
-			body.stmt(st.Post)
-		}
-	case *ast.RangeStmt:
-		lh.expr(st.X)
-		if tv, ok := lh.pkg.Info.Types[st.X]; ok {
-			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-				if recv, held := lh.anyHeld(); held {
-					lh.report(st.Pos(), "range over channel while %s is held may block under the lock", recv)
-				}
-			}
-		}
-		body := lh.clone()
-		body.block(st.Body)
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			lh.stmt(st.Init)
-		}
-		if st.Tag != nil {
-			lh.expr(st.Tag)
-		}
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				branch := lh.clone()
-				for _, s := range cc.Body {
-					branch.stmt(s)
-				}
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				branch := lh.clone()
-				for _, s := range cc.Body {
-					branch.stmt(s)
-				}
-			}
-		}
-	case *ast.BlockStmt:
-		lh.block(st)
-	case *ast.LabeledStmt:
-		lh.stmt(st.Stmt)
-	case *ast.AssignStmt:
-		lh.exprs(st.Rhs...)
-	case *ast.IncDecStmt:
-		lh.expr(st.X)
-	}
-}
-
-// expr scans an expression for blocking operations performed while a
-// lock is held: unary channel receives, time.Sleep, and calls into the
-// transport's blocking Send/Recv surface.
-func (lh *lockState) expr(e ast.Expr) {
+// scanExpr scans an expression for blocking operations performed
+// while a lock is held (unary channel receives, time.Sleep, calls
+// into the transport's blocking surface) and degrades capacity facts
+// for channels that escape: a tracked channel passed as a call
+// argument or captured by a function literal can be filled elsewhere,
+// so its spare room is no longer provable.
+func (la *lockAnalysis) scanExpr(e ast.Expr, lf *lockFact) {
 	if e == nil {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			inner := &lockState{prog: lh.prog, pkg: lh.pkg, report: lh.report, held: map[string]bool{}}
-			inner.block(n.Body)
-			inner.checkEnd(n.Body.Rbrace)
+			// The body is analysed separately with a clean slate; here
+			// it only matters as an escape route for tracked channels.
+			la.killCaptured(n, lf)
 			return false
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
-				if recv, held := lh.anyHeld(); held {
-					lh.report(n.Pos(), "channel receive while %s is held may block under the lock", recv)
+				if recv, held := anyHeld(lf.held); held {
+					la.emit(n.Pos(), "channel receive while %s is held may block under the lock", recv)
 				}
 			}
 		case *ast.CallExpr:
-			if name, blocking := lh.blockingCall(n); blocking {
-				if recv, held := lh.anyHeld(); held {
-					lh.report(n.Pos(), "call to %s while %s is held may block under the lock", name, recv)
+			if name, blocking := la.blockingCall(n); blocking {
+				if recv, held := anyHeld(lf.held); held {
+					la.emit(n.Pos(), "call to %s while %s is held may block under the lock", name, recv)
+				}
+			}
+			for _, arg := range n.Args {
+				if key := cfg.ExprString(ast.Unparen(arg)); lf.caps.Tracked(key) {
+					lf.caps.Kill(key)
 				}
 			}
 		}
@@ -329,25 +348,38 @@ func (lh *lockState) expr(e ast.Expr) {
 	})
 }
 
-func (lh *lockState) exprs(es ...ast.Expr) {
+func (la *lockAnalysis) scanExprs(lf *lockFact, es ...ast.Expr) {
 	for _, e := range es {
-		lh.expr(e)
+		la.scanExpr(e, lf)
 	}
+}
+
+// killCaptured forgets capacity facts whose root variable is
+// mentioned inside a function literal: the closure may send on it.
+func (la *lockAnalysis) killCaptured(lit *ast.FuncLit, lf *lockFact) {
+	mentioned := map[string]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			mentioned[id.Name] = true
+		}
+		return true
+	})
+	lf.caps.KillRoots(mentioned)
 }
 
 // blockingCall recognises calls that can block indefinitely: the
 // transport layer's Send/Recv/Await/Connect (failure notification can
 // arrive only while unblocked, so waiting under a lock wedges the
 // rank) and time.Sleep.
-func (lh *lockState) blockingCall(call *ast.CallExpr) (string, bool) {
+func (la *lockAnalysis) blockingCall(call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 	var fn *types.Func
-	if selection, found := lh.pkg.Info.Selections[sel]; found {
+	if selection, found := la.pkg.Info.Selections[sel]; found {
 		fn, _ = selection.Obj().(*types.Func)
-	} else if obj, found := lh.pkg.Info.Uses[sel.Sel]; found {
+	} else if obj, found := la.pkg.Info.Uses[sel.Sel]; found {
 		fn, _ = obj.(*types.Func)
 	}
 	if fn == nil || fn.Pkg() == nil {
@@ -365,12 +397,4 @@ func (lh *lockState) blockingCall(call *ast.CallExpr) (string, bool) {
 		}
 	}
 	return "", false
-}
-
-// checkEnd flags a function body that falls off its end with a lock
-// still held on the straight-line path.
-func (lh *lockState) checkEnd(rbrace token.Pos) {
-	if recv, held := lh.anyHeld(); held {
-		lh.report(rbrace, "function ends with %s still held (missing unlock on this path)", recv)
-	}
 }

@@ -1,0 +1,483 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"fmi/internal/lint/cfg"
+)
+
+// LockOrder hunts the deadlock lockheld cannot see: two mutexes each
+// waiting on the other. It builds the whole-program lock acquisition
+// graph — an edge A → B whenever lock B is taken while A is held —
+// and reports every edge that sits on a cycle.
+//
+// Lock identities are type-qualified, not instance-qualified: every
+// Job's mu is one node "runtime.Job.mu" (field-qualified for struct
+// fields, package-qualified for package-level mutexes; RLock and Lock
+// share the identity). Held sets come from the same CFG dataflow
+// lockheld uses, so a lock released on one branch is not "held" past
+// the join unless some path keeps it. Edges are added two ways:
+//
+//   - directly, when one function locks B with A held;
+//   - interprocedurally, when a function calls g with A held and g
+//     (transitively, through static module-internal calls) acquires B.
+//
+// Indirect calls — interface methods, stored function values — are
+// not resolved, and function-local mutexes stay out of the graph
+// (each frame has its own instance). A self-edge A → A is reported
+// too: nesting two instances of one type needs an instance order the
+// analysis cannot check.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "the whole-program mutex acquisition graph must be cycle-free",
+	Run:  runLockOrder,
+}
+
+type lockEdge struct {
+	from, to string
+}
+
+type heldCall struct {
+	held   []string
+	callee *types.Func
+	pos    token.Pos
+}
+
+type lockOrderCollector struct {
+	prog       *Program
+	modulePkgs map[*types.Package]bool
+	edges      map[lockEdge]token.Pos        // first (smallest) position wins
+	direct     map[*types.Func]map[string]bool // locks taken in the function itself
+	calls      map[*types.Func]map[*types.Func]bool
+	heldCalls  []heldCall
+}
+
+func (c *lockOrderCollector) addEdge(from, to string, pos token.Pos) {
+	e := lockEdge{from: from, to: to}
+	if old, ok := c.edges[e]; !ok || pos < old {
+		c.edges[e] = pos
+	}
+}
+
+func runLockOrder(prog *Program, report Reporter) {
+	c := &lockOrderCollector{
+		prog:       prog,
+		modulePkgs: map[*types.Package]bool{},
+		edges:      map[lockEdge]token.Pos{},
+		direct:     map[*types.Func]map[string]bool{},
+		calls:      map[*types.Func]map[*types.Func]bool{},
+	}
+	for _, pkg := range prog.Packages {
+		c.modulePkgs[pkg.Types] = true
+	}
+
+	// Pass 1: per-function CFG dataflow. Function literals are their
+	// own units — their locks and calls are not attributed to the
+	// enclosing function (the closure usually runs on another
+	// goroutine), but edges inside them are still collected.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						fn, _ := pkg.Info.Defs[n.Name].(*types.Func)
+						c.analyze(pkg, fn, n.Body)
+					}
+				case *ast.FuncLit:
+					c.analyze(pkg, nil, n.Body)
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: close acquires(f) = direct(f) ∪ acquires(callees) over
+	// the static call graph, then materialise interprocedural edges.
+	acquires := map[*types.Func]map[string]bool{}
+	for fn, locks := range c.direct {
+		set := map[string]bool{}
+		for l := range locks {
+			set[l] = true
+		}
+		acquires[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range c.calls {
+			dst := acquires[fn]
+			if dst == nil {
+				dst = map[string]bool{}
+				acquires[fn] = dst
+			}
+			for callee := range callees {
+				for l := range acquires[callee] {
+					if !dst[l] {
+						dst[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, hc := range c.heldCalls {
+		for _, h := range hc.held {
+			for l := range acquires[hc.callee] {
+				c.addEdge(h, l, hc.pos)
+			}
+		}
+	}
+
+	// Pass 3: strongly connected components; every edge inside an SCC
+	// (and every self-edge) is part of some cycle.
+	reportCycles(c.edges, report)
+}
+
+// analyze runs the held-set dataflow over one body and collects
+// direct edges, direct acquisitions, and call sites.
+func (c *lockOrderCollector) analyze(pkg *Package, fn *types.Func, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	an := &orderAnalysis{pkg: pkg}
+	in := cfg.Forward(g, an)
+	an.collect = c
+	an.fn = fn
+	cfg.EachReachable(g, an, in, func(cfg.Node, cfg.Fact) {})
+}
+
+// orderFact maps lock identity -> held on some path.
+type orderFact map[string]bool
+
+type orderAnalysis struct {
+	pkg     *Package
+	collect *lockOrderCollector // nil during the fixpoint pass
+	fn      *types.Func         // nil for function literals
+}
+
+func (oa *orderAnalysis) Entry() cfg.Fact { return orderFact{} }
+
+func (oa *orderAnalysis) Copy(f cfg.Fact) cfg.Fact {
+	n := orderFact{}
+	for k, v := range f.(orderFact) {
+		n[k] = v
+	}
+	return n
+}
+
+func (oa *orderAnalysis) Join(dst, src cfg.Fact) bool {
+	d, s := dst.(orderFact), src.(orderFact)
+	changed := false
+	for k, v := range s {
+		if v && !d[k] {
+			d[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func heldIdentities(f orderFact) []string {
+	var out []string
+	for k, v := range f {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (oa *orderAnalysis) Transfer(n cfg.Node, f cfg.Fact) cfg.Fact {
+	of := f.(orderFact)
+	switch st := n.Ast.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, method, ok := oa.mutexIdentity(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					if oa.collect != nil {
+						oa.noteAcquire(id, of, call.Pos())
+					}
+					of[id] = true
+				case "Unlock", "RUnlock":
+					of[id] = false
+				}
+				return of
+			}
+		}
+		oa.scanCalls(st.X, of)
+	case *ast.DeferStmt:
+		if _, _, ok := oa.mutexIdentity(st.Call); ok {
+			// A deferred unlock runs at function exit, so the lock
+			// stays held for the rest of the body — exactly what the
+			// ordering analysis must see at later acquisitions.
+			// (lockheld instead treats the defer as the release
+			// point; its question is path coverage, not ordering.)
+			return of
+		}
+		oa.scanCalls(st.Call, of)
+	case *ast.GoStmt:
+		// The spawned call runs on its own goroutine with an empty
+		// held set — it does not acquire "while" the spawner holds
+		// anything. Only the call's operands evaluate synchronously.
+		oa.scanCalls(st.Call.Fun, of)
+		for _, arg := range st.Call.Args {
+			oa.scanCalls(arg, of)
+		}
+	case *ast.RangeStmt:
+		oa.scanCalls(st.X, of)
+	case *ast.SelectStmt:
+		// Clause bodies and comm operations are their own nodes.
+	default:
+		oa.scanCalls(n.Ast, of)
+	}
+	return of
+}
+
+// noteAcquire records a Lock/RLock during the collect pass: the
+// function's direct acquisition, plus a direct edge from every lock
+// already held.
+func (oa *orderAnalysis) noteAcquire(id string, of orderFact, pos token.Pos) {
+	if oa.fn != nil {
+		set := oa.collect.direct[oa.fn]
+		if set == nil {
+			set = map[string]bool{}
+			oa.collect.direct[oa.fn] = set
+		}
+		set[id] = true
+	}
+	for _, h := range heldIdentities(of) {
+		oa.collect.addEdge(h, id, pos)
+	}
+}
+
+// scanCalls resolves static module-internal callees in the node's
+// expressions (not descending into function literals, which are
+// separate units) and records them for interprocedural propagation —
+// with the current held set if any lock is held.
+func (oa *orderAnalysis) scanCalls(n ast.Node, of orderFact) {
+	if n == nil || oa.collect == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			callee := oa.staticCallee(x)
+			if callee == nil {
+				return true
+			}
+			if oa.fn != nil {
+				set := oa.collect.calls[oa.fn]
+				if set == nil {
+					set = map[*types.Func]bool{}
+					oa.collect.calls[oa.fn] = set
+				}
+				set[callee] = true
+			}
+			if held := heldIdentities(of); len(held) > 0 {
+				oa.collect.heldCalls = append(oa.collect.heldCalls, heldCall{held: held, callee: callee, pos: x.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// staticCallee resolves a call to a module-internal named function or
+// method, or nil (builtins, stdlib, interface methods, func values).
+func (oa *orderAnalysis) staticCallee(call *ast.CallExpr) *types.Func {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = oa.pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if selection, found := oa.pkg.Info.Selections[fun]; found {
+			if selection.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ = selection.Obj().(*types.Func)
+			// Interface dispatch has no static body to chase.
+			if fn != nil {
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					if types.IsInterface(recv.Type()) {
+						return nil
+					}
+				}
+			}
+		} else {
+			fn, _ = oa.pkg.Info.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	if fn == nil || fn.Pkg() == nil || !oa.collect.modulePkgs[fn.Pkg()] {
+		return nil
+	}
+	return fn
+}
+
+// mutexIdentity reports whether call is Lock/Unlock/RLock/RUnlock on
+// a sync mutex and resolves the receiver to a type-qualified lock
+// identity. Function-local mutexes return ok=false: each frame holds
+// its own instance, so they cannot participate in cross-function
+// ordering.
+func (oa *orderAnalysis) mutexIdentity(call *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, found := oa.pkg.Info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	ident, resolved := oa.lockIdentity(sel.X)
+	if !resolved {
+		return "", "", false
+	}
+	return ident, sel.Sel.Name, true
+}
+
+func (oa *orderAnalysis) lockIdentity(recv ast.Expr) (string, bool) {
+	recv = ast.Unparen(recv)
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		// x.mu: qualify by the owning type — every instance of the
+		// type is one graph node.
+		if selection, found := oa.pkg.Info.Selections[r]; found && selection.Kind() == types.FieldVal {
+			t := selection.Recv()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed {
+				obj := named.Obj()
+				pkgName := "_"
+				if obj.Pkg() != nil {
+					pkgName = obj.Pkg().Name()
+				}
+				return pkgName + "." + obj.Name() + "." + r.Sel.Name, true
+			}
+			return "", false
+		}
+		// pkgname.Mu: a package-level mutex referenced across packages.
+		if obj, found := oa.pkg.Info.Uses[r.Sel]; found {
+			if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name(), true
+			}
+		}
+	case *ast.Ident:
+		if obj, found := oa.pkg.Info.Uses[r]; found {
+			if v, isVar := obj.(*types.Var); isVar && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name(), true
+			}
+		}
+		// t.Lock() via an embedded sync.Mutex: qualify by t's type.
+		if tv, found := oa.pkg.Info.Types[r]; found {
+			t := tv.Type
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + ".Mutex", true
+			}
+		}
+	}
+	return "", false
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports every edge inside one (self-edges included).
+func reportCycles(edges map[lockEdge]token.Pos, report Reporter) {
+	succs := map[string][]string{}
+	var nodes []string
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for e := range edges {
+		addNode(e.from)
+		addNode(e.to)
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	sort.Strings(nodes)
+	for _, s := range succs {
+		sort.Strings(s)
+	}
+
+	// Tarjan's SCC, iterative enough for lint-sized graphs.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	counter := 0
+	sccOf := map[string]int{}
+	sccCount := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				sccOf[w] = sccCount
+				if w == v {
+					break
+				}
+			}
+			sccCount++
+		}
+	}
+	for _, v := range nodes {
+		if _, visited := index[v]; !visited {
+			strongconnect(v)
+		}
+	}
+
+	members := map[int][]string{}
+	for v, id := range sccOf {
+		members[id] = append(members[id], v)
+	}
+	for e, pos := range edges {
+		cyclic := false
+		if e.from == e.to {
+			cyclic = true
+		} else if sccOf[e.from] == sccOf[e.to] {
+			cyclic = true
+		}
+		if !cyclic {
+			continue
+		}
+		ms := append([]string(nil), members[sccOf[e.from]]...)
+		sort.Strings(ms)
+		cycle := strings.Join(ms, " -> ") + " -> " + ms[0]
+		report(pos, "lock order inversion: %s acquired while %s is held — cycle %s can deadlock against a thread locking in the opposite order", e.to, e.from, cycle)
+	}
+}

@@ -1,0 +1,25 @@
+// Package core trips the determinism analyzer: one unsuppressed
+// map-order finding, plus one suppressed global-rand finding so the
+// JSON report carries a suppressed entry.
+package core
+
+import "math/rand"
+
+// Comm mimes the communicator's send surface.
+type Comm struct{}
+
+// Send carries a payload off-rank.
+func (Comm) Send(dest int, p []byte) {}
+
+// Fanout sends in map order.
+func Fanout(c Comm, m map[int][]byte) {
+	for k, v := range m {
+		c.Send(k, v)
+	}
+}
+
+// Jitter draws from the global source, with a recorded justification.
+func Jitter() int {
+	//fmilint:ignore determinism fixture: suppressed finding for the JSON inventory
+	return rand.Intn(8)
+}

@@ -1,0 +1,3 @@
+module detfindings
+
+go 1.22

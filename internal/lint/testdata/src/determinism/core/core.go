@@ -1,0 +1,180 @@
+// Package core exercises the determinism analyzer: map-iteration
+// order escaping into send-like sinks, the process-global math/rand
+// source, and selects whose comm cases are provably buffered. The
+// package is named core because the analyzer scopes itself to the
+// code that re-executes under replay/lockstep.
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Comm mimics the communicator surface: Send-family method names are
+// the analyzer's sink set.
+type Comm struct{}
+
+func (Comm) Send(dest int, p []byte)            {}
+func (Comm) Isend(dest int, p []byte)           {}
+func (Comm) Sendrecv(dest int, p []byte) []byte { return nil }
+
+// Recorder mimes the trace recorder: Add/AddView count as sinks only
+// on a receiver type actually named Recorder.
+type Recorder struct{}
+
+func (*Recorder) Add(k string, v []byte)  {}
+func (*Recorder) AddView(k string, n int) {}
+
+// Ledger has the same method names but is not a Recorder, so its
+// Add calls are not sinks.
+type Ledger struct{}
+
+func (*Ledger) Add(k string, v []byte) {}
+
+// Jobs mimes the job service.
+type Jobs struct{}
+
+func (Jobs) Submit(payload string) {}
+
+// --- rule 1: map-range order escaping into sends ---
+
+func mapKeyToSend(c Comm, m map[int][]byte) {
+	for k, v := range m {
+		c.Send(k, v) // want "value derived from ranging over map m reaches c.Send"
+	}
+}
+
+func mapValueToRecorder(r *Recorder, m map[string][]byte) {
+	for k, v := range m {
+		r.Add(k, v) // want "ranging over map m reaches r.Add"
+	}
+}
+
+func mapToAddView(r *Recorder, views map[string]int) {
+	for name, n := range views {
+		r.AddView(name, n) // want "ranging over map views reaches r.AddView"
+	}
+}
+
+func mapToSubmit(j Jobs, tasks map[string]bool) {
+	for name := range tasks {
+		j.Submit(name) // want "ranging over map tasks reaches j.Submit"
+	}
+}
+
+func mapToChannelSend(out chan string, m map[string]int) {
+	for k := range m {
+		out <- k // want "ranging over map m reaches a channel send"
+	}
+}
+
+func derivedTaint(c Comm, m map[int][]byte) {
+	for k := range m {
+		dest := k + 1
+		c.Isend(dest, nil) // want "ranging over map m reaches c.Isend"
+	}
+}
+
+// notARecorderClean: Add on a non-Recorder receiver is not a sink.
+func notARecorderClean(l *Ledger, m map[string][]byte) {
+	for k, v := range m {
+		l.Add(k, v)
+	}
+}
+
+// sortedKeysClean is the prescribed fix: collect, sort, then send
+// from the slice range.
+func sortedKeysClean(c Comm, m map[int][]byte) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		c.Send(k, m[k])
+	}
+}
+
+// stashAndSendAfterClean documents the analyzer's tolerance: a value
+// escaping the loop body and sent afterwards is out of reach of the
+// per-body taint pass.
+func stashAndSendAfterClean(c Comm, m map[int][]byte) {
+	var last int
+	for k := range m {
+		last = k
+	}
+	c.Send(last, nil)
+}
+
+// --- rule 2: process-global math/rand ---
+
+func globalRand() int {
+	return rand.Intn(64) // want "math/rand.Intn draws from the process-global source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the process-global source"
+}
+
+// seededRandClean is the prescribed fix: an explicit rank-seeded
+// source. The constructors themselves are exempt.
+func seededRandClean(rank int64) int {
+	r := rand.New(rand.NewSource(rank))
+	return r.Intn(64)
+}
+
+// --- rule 3: multi-ready selects on buffered channels ---
+
+func bufferedSelect() int {
+	a := make(chan int, 1)
+	b := make(chan int, 1)
+	a <- 1
+	b <- 2
+	select { // want "select has 2 comm cases on provably-buffered channels"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func unbufferedSelectClean(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func oneBufferedClean(b chan int) int {
+	a := make(chan int, 1)
+	a <- 1
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// pair carries two channels whose every construction site uses a
+// constant capacity, so the whole-program field-capacity table proves
+// both comm cases buffered.
+type pair struct {
+	acks chan int
+	errs chan int
+}
+
+func newPair() *pair {
+	return &pair{acks: make(chan int, 4), errs: make(chan int, 4)}
+}
+
+func (p *pair) drain() int {
+	select { // want "select has 2 comm cases on provably-buffered channels"
+	case v := <-p.acks:
+		return v
+	case v := <-p.errs:
+		return v
+	}
+}

@@ -24,6 +24,6 @@ func Unsuppressed() time.Time {
 // WrongAnalyzer: a directive for a different analyzer does not
 // suppress this one's finding.
 func WrongAnalyzer() time.Time {
-	//fmilint:ignore lockheld reason aimed at the wrong analyzer
+	//fmilint:ignore lockheld reason aimed at the wrong analyzer // want "stale //fmilint:ignore directive: lockheld no longer reports at this site"
 	return time.Now() // want "direct time.Now in simulated package \"cluster\""
 }

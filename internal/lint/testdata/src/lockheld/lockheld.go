@@ -102,3 +102,89 @@ func (s *state) switchBranchesClean(n int) {
 		return
 	}
 }
+
+// --- buffered-channel capacity tracking ---
+//
+// A send under the lock is safe when the channel's capacity is known
+// and the dataflow proves spare room at the send. The cases below pin
+// the capacity lattice: constant-cap make, exhaustion, loop
+// saturation, aliasing, and the whole-program field-capacity table.
+
+func (s *state) bufferedSpareClean() {
+	done := make(chan int, 2)
+	s.mu.Lock()
+	done <- 1
+	done <- 2
+	s.mu.Unlock()
+	<-done
+	<-done
+}
+
+func (s *state) bufferedExhausted() {
+	done := make(chan int, 1)
+	s.mu.Lock()
+	done <- 1
+	done <- 2 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *state) loopSendSaturates() {
+	done := make(chan int, 1)
+	s.mu.Lock()
+	for i := 0; i < 3; i++ {
+		done <- i // want "channel send while s.mu is held"
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) remakeInLoopClean() {
+	s.mu.Lock()
+	for i := 0; i < 3; i++ {
+		ch := make(chan int, 1)
+		ch <- i
+		close(ch)
+	}
+	s.mu.Unlock()
+}
+
+func (s *state) nonConstCapStillFlagged(n int) {
+	ch := make(chan int, n)
+	s.mu.Lock()
+	ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+	<-ch
+}
+
+func (s *state) aliasKillsTracking() {
+	a := make(chan int, 1)
+	b := a
+	s.mu.Lock()
+	b <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+	<-a
+}
+
+// fenced models the runtime's resize fence: every construction site
+// gives the result channel capacity 1, so the field-capacity table
+// proves the first send under the lock cannot block.
+type fenced struct {
+	mu  sync.Mutex
+	res chan int
+}
+
+func newFenced() *fenced {
+	return &fenced{res: make(chan int, 1)}
+}
+
+func (f *fenced) fieldCapSpareClean() {
+	f.mu.Lock()
+	f.res <- 1
+	f.mu.Unlock()
+}
+
+func (f *fenced) fieldCapExhausted() {
+	f.mu.Lock()
+	f.res <- 1
+	f.res <- 2 // want "channel send while f.mu is held"
+	f.mu.Unlock()
+}

@@ -1,0 +1,164 @@
+// Package order exercises the lockorder analyzer: direct two-lock
+// inversions, inversions discovered interprocedurally through the
+// static call graph, self-edges from nesting two instances of one
+// type, package-level mutexes, and the clean hierarchical pattern.
+// Lock identities are type-qualified, so every *A shares the node
+// "order.A.mu".
+package order
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.RWMutex }
+
+// lockAThenB and lockBThenA form the textbook inversion. The deferred
+// unlocks matter: a.mu stays held at the b.mu acquisition even though
+// the release is already scheduled. RLock shares the identity of its
+// write side.
+func lockAThenB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock order inversion: order.B.mu acquired while order.A.mu is held"
+	b.mu.Unlock()
+}
+
+func lockBThenA(a *A, b *B) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a.mu.Lock() // want "lock order inversion: order.A.mu acquired while order.B.mu is held"
+	a.mu.Unlock()
+}
+
+// Interprocedural: lockCThenCallHelper never touches d.mu itself, but
+// the helper it calls under c.mu does, and lockDThenC closes the
+// cycle directly.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func helperLockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockCThenCallHelper(c *C, d *D) {
+	c.mu.Lock()
+	helperLockD(d) // want "lock order inversion: order.D.mu acquired while order.C.mu is held"
+	c.mu.Unlock()
+}
+
+func lockDThenC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want "lock order inversion: order.C.mu acquired while order.D.mu is held"
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Self-edge: nesting two instances of one type needs an instance
+// order the analysis cannot check.
+type Node struct {
+	mu   sync.Mutex
+	next *Node
+}
+
+func (n *Node) link(m *Node) {
+	n.mu.Lock()
+	m.mu.Lock() // want "lock order inversion: order.Node.mu acquired while order.Node.mu is held"
+	m.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// Package-level mutex crossing a struct lock.
+var regMu sync.Mutex
+
+type G struct{ mu sync.Mutex }
+
+func registerG(g *G) {
+	regMu.Lock()
+	g.mu.Lock() // want "lock order inversion: order.G.mu acquired while order.regMu is held"
+	g.mu.Unlock()
+	regMu.Unlock()
+}
+
+func snapshotG(g *G) {
+	g.mu.Lock()
+	regMu.Lock() // want "lock order inversion: order.regMu acquired while order.G.mu is held"
+	regMu.Unlock()
+	g.mu.Unlock()
+}
+
+// Function literals are their own analysis units: a cycle that lives
+// entirely inside two goroutine bodies is still found.
+type W struct{ mu sync.Mutex }
+type X struct{ mu sync.Mutex }
+
+func spawnWX(w *W, x *X) {
+	go func() {
+		w.mu.Lock()
+		x.mu.Lock() // want "lock order inversion: order.X.mu acquired while order.W.mu is held"
+		x.mu.Unlock()
+		w.mu.Unlock()
+	}()
+}
+
+func spawnXW(w *W, x *X) {
+	go func() {
+		x.mu.Lock()
+		w.mu.Lock() // want "lock order inversion: order.W.mu acquired while order.X.mu is held"
+		w.mu.Unlock()
+		x.mu.Unlock()
+	}()
+}
+
+// Clean: a strict parent-before-child hierarchy has edges but no
+// cycle.
+type Parent struct{ mu sync.Mutex }
+type Child struct{ mu sync.Mutex }
+
+func parentThenChild(p *Parent, c *Child) {
+	p.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func parentThenChildDeferred(p *Parent, c *Child) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// Clean: a function-local mutex has no cross-function identity, so it
+// joins no ordering.
+func localMutexClean(p *Parent) {
+	var mu sync.Mutex
+	mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	mu.Unlock()
+}
+
+// Clean: a go-spawned call runs on its own goroutine and inherits no
+// held locks, so it creates no ordering edge — even though drain
+// acquires the very lock kick holds at the spawn.
+type Q struct{ mu sync.Mutex }
+
+func (q *Q) drain() {
+	q.mu.Lock()
+	q.mu.Unlock()
+}
+
+func (q *Q) kick() {
+	q.mu.Lock()
+	go q.drain()
+	q.mu.Unlock()
+}
+
+// Clean: releasing the first lock before taking the second creates no
+// edge — the CFG-accurate held set sees the Unlock.
+func releasedBeforeSecond(a *A, c *Child) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

@@ -77,7 +77,11 @@ func (s *Store) SetView(v *view.View) int {
 	s.view = v
 	s.groups = distinctGroups(v)
 	moved := 0
-	for key, obj := range s.objects {
+	// Sorted order keeps the migration trace deterministic: replay
+	// validation compares trace streams run-to-run, and map order
+	// would shuffle them.
+	for _, key := range s.sortedKeysLocked() {
+		obj := s.objects[key]
 		m := s.reshardLocked(obj)
 		if m > 0 {
 			s.rec.AddView(trace.KindShardMigrate, -1, 0, v.Version,
@@ -86,6 +90,18 @@ func (s *Store) SetView(v *view.View) int {
 		moved += m
 	}
 	return moved
+}
+
+// sortedKeysLocked returns the object keys in sorted order, so every
+// pass over the store visits objects deterministically. Caller holds
+// s.mu.
+func (s *Store) sortedKeysLocked() []string {
+	keys := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // distinctGroups collapses the per-rank group map into the list of
@@ -254,7 +270,11 @@ func (s *Store) Rebuild() int {
 
 func (s *Store) rebuildLocked() int {
 	created := 0
-	for key, obj := range s.objects {
+	// Sorted order: rebuild placement consumes pickNodes' load-ordered
+	// pool and emits trace entries, both of which must not depend on
+	// map iteration order.
+	for _, key := range s.sortedKeysLocked() {
+		obj := s.objects[key]
 		if obj.shards != nil {
 			for i := range obj.shards {
 				sh := &obj.shards[i]

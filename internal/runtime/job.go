@@ -720,7 +720,6 @@ func (j *Job) advanceEpochLocked() uint32 {
 	var still []epochWaiter
 	for _, w := range j.epochWait {
 		if newEpoch >= w.min {
-			//fmilint:ignore lockheld each waiter channel is buffered(1) and receives at most one send ever, so this cannot block under j.mu
 			w.ch <- newEpoch
 		} else {
 			still = append(still, w)

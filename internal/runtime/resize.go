@@ -263,7 +263,6 @@ func (j *Job) provisionForResize(rs *resizeState, oldN, target int) {
 		j.mu.Lock()
 		if j.resize == rs {
 			j.resize = nil
-			//fmilint:ignore lockheld resCh is buffered(1) and receives its single terminal outcome
 			rs.resCh <- fmt.Errorf("fmirun: resize provisioning: %w", err)
 		}
 		j.mu.Unlock()
@@ -442,7 +441,6 @@ func (j *Job) commitResize(rs *resizeState) {
 	}
 	select {
 	case <-j.abortCh:
-		//fmilint:ignore lockheld resCh is buffered(1) and receives its single terminal outcome
 		rs.resCh <- ErrJobAborted
 		j.resize = nil
 		j.mu.Unlock()
@@ -616,19 +614,15 @@ func (j *Job) commitResize(rs *resizeState) {
 	// ranks to unwind.
 	for r, w := range rs.arrived {
 		if r < target {
-			//fmilint:ignore lockheld fence waiter channels are buffered(1) and receive exactly one result
 			w.ch <- fenceResult{view: newView}
 		} else {
-			//fmilint:ignore lockheld fence waiter channels are buffered(1) and receive exactly one result
 			w.ch <- fenceResult{retired: true}
 		}
 	}
 	for r, w := range rs.obsArrived {
 		if r < target {
-			//fmilint:ignore lockheld fence waiter channels are buffered(1) and receive exactly one result
 			w.ch <- fenceResult{view: newView}
 		} else {
-			//fmilint:ignore lockheld fence waiter channels are buffered(1) and receive exactly one result
 			w.ch <- fenceResult{retired: true}
 		}
 	}
