@@ -250,6 +250,16 @@ type Config struct {
 	// zero value enables pooling; PoolingOff reverts to per-operation
 	// allocation, and PoolingDebug arms the leak checker.
 	Pooling PoolingMode
+	// NoTransportRings disables the intra-node per-pair SPSC ring fast
+	// path on the chan transport: co-located ranks fall back to the
+	// channel delivery path. The rings are semantically transparent —
+	// this knob exists for ablation benchmarks and byte-identity tests.
+	NoTransportRings bool
+	// NoSendCoalescing disables send-side small-frame batching on both
+	// transports (ring pend coalescing and the TCP writer's burst
+	// batching). Like NoTransportRings it is an ablation knob; batching
+	// never reorders or drops frames.
+	NoSendCoalescing bool
 	// Elastic permits online grow/shrink reconfiguration: Env.Resize
 	// (and the job service's resize endpoint) change the world size
 	// between loop iterations without restarting the job. Survivors
@@ -410,7 +420,15 @@ func Run(cfg Config, app App) (*Report, error) {
 		pool = bufpool.New()
 	}
 	var nw transport.Network
-	opts := transport.Options{DetectDelay: cfg.DetectDelay, PropDelay: cfg.PropDelay, MsgDelay: cfg.NetDelay, Pool: pool}
+	opts := transport.Options{
+		DetectDelay:     cfg.DetectDelay,
+		PropDelay:       cfg.PropDelay,
+		MsgDelay:        cfg.NetDelay,
+		Pool:            pool,
+		DisableRings:    cfg.NoTransportRings,
+		DisableCoalesce: cfg.NoSendCoalescing,
+		Endpoints:       cfg.Ranks,
+	}
 	if opts.DetectDelay == 0 {
 		opts.DetectDelay = 200 * time.Millisecond // ibverbs-observed default (§VI-A)
 	}

@@ -210,7 +210,15 @@ type Config struct {
 	// execute the application in lockstep with their primary but never
 	// report loop progress (until promoted) and never write level-2
 	// checkpoints.
-	Shadow  bool
+	Shadow bool
+	// Node is the id of the node hosting this rank. When Network
+	// implements transport.NodePlacer the proc's endpoints are created
+	// with this placement, which lets the transport route traffic
+	// between co-located ranks over its intra-node fast path (per-pair
+	// SPSC rings on ChanNetwork). The zero value (node 0) is correct
+	// for single-node in-process runs; the runtime scheduler sets real
+	// node ids. Set to -1 to opt out of placement entirely.
+	Node    int
 	Network transport.Network
 	Ctl     Control
 	KillCh  <-chan struct{}
@@ -275,14 +283,19 @@ type Stats struct {
 // MatcherCounters are one rank's accumulated matcher statistics:
 // delivered messages, stale-epoch discards (paper §IV-D), and
 // duplicates suppressed by local recovery's receive watermarks.
+// PerSource breaks the same counters down by sending rank (indexed by
+// source rank, from the matcher's per-source lanes); messages from
+// out-of-range sources are counted in the totals only.
 type MatcherCounters struct {
 	Delivered     uint64
 	Dropped       uint64
 	DupSuppressed uint64
+	PerSource     []transport.LaneCounters
 }
 
-// AddMatcher accumulates one generation's matcher counters for rank.
-func (s *Stats) AddMatcher(rank int, delivered, dropped, dupSuppressed uint64) {
+// AddMatcher accumulates one generation's matcher counters for rank,
+// including the per-source lane breakdown.
+func (s *Stats) AddMatcher(rank int, delivered, dropped, dupSuppressed uint64, lanes []transport.LaneCounters) {
 	if s == nil {
 		return
 	}
@@ -294,6 +307,16 @@ func (s *Stats) AddMatcher(rank int, delivered, dropped, dupSuppressed uint64) {
 	c.Delivered += delivered
 	c.Dropped += dropped
 	c.DupSuppressed += dupSuppressed
+	if len(lanes) > len(c.PerSource) {
+		grown := make([]transport.LaneCounters, len(lanes))
+		copy(grown, c.PerSource)
+		c.PerSource = grown
+	}
+	for src, lc := range lanes {
+		c.PerSource[src].Delivered += lc.Delivered
+		c.PerSource[src].Dropped += lc.Dropped
+		c.PerSource[src].DupSuppressed += lc.DupSuppressed
+	}
 	s.matcher[rank] = c
 	s.mu.Unlock()
 }
@@ -480,6 +503,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	if len(s.matcher) > 0 {
 		snap.Matcher = make(map[int]MatcherCounters, len(s.matcher))
 		for r, c := range s.matcher {
+			// Deep-copy the lane slice: the live one keeps accumulating.
+			c.PerSource = append([]transport.LaneCounters(nil), c.PerSource...)
 			snap.Matcher[r] = c
 		}
 	}
@@ -490,6 +515,16 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		snap.MeanInit = s.InitTime / time.Duration(s.initSamples)
 	}
 	return snap
+}
+
+// newEndpoint creates one transport endpoint for the configured rank,
+// passing node placement through when the network supports it so
+// co-located ranks ride the intra-node fast path.
+func newEndpoint(cfg *Config) (transport.Endpoint, error) {
+	if np, ok := cfg.Network.(transport.NodePlacer); ok && cfg.Node >= 0 {
+		return np.NewEndpointOnNode(cfg.Node, cfg.KillCh)
+	}
+	return cfg.Network.NewEndpoint(cfg.KillCh)
 }
 
 // procKilledPanic unwinds the goroutine of a killed process; the

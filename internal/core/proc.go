@@ -346,7 +346,7 @@ func (p *Proc) buildGeneration() error {
 		cancelCh:  make(chan struct{}),
 		stop:      make(chan struct{}),
 	}
-	ep, err := p.cfg.Network.NewEndpoint(p.cfg.KillCh)
+	ep, err := newEndpoint(&p.cfg)
 	if err != nil {
 		return fmt.Errorf("fmi: endpoint: %w", err)
 	}
@@ -472,7 +472,7 @@ func (p *Proc) teardownGen(g *generation) {
 	g.tornDown = true
 	if g.m != nil {
 		d, dr, dup := g.m.Stats()
-		p.cfg.Stats.AddMatcher(p.rank, d, dr, dup)
+		p.cfg.Stats.AddMatcher(p.rank, d, dr, dup, g.m.LaneStats())
 		if p.cfg.Local {
 			// Harvest receive-side state for the next generation.
 			seen, queued := g.m.HarvestState()

@@ -112,7 +112,11 @@ func (p *Proc) trimLog(n, l1Count int, era, epoch uint32, seen []uint64) {
 		return
 	}
 	acked := make([]uint64, n)
-	for dst := 0; dst < n; dst++ {
+	// A checkpoint re-committed after recovery reuses its trim key, and
+	// the world may have resized since the original round completed: the
+	// cached gather result can be shorter than today's n. Ranks missing
+	// from it simply ack nothing — trimming less is always safe.
+	for dst := 0; dst < n && dst < len(vals); dst++ {
 		if dst == p.rank {
 			continue
 		}

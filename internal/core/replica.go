@@ -116,7 +116,7 @@ func (p *Proc) buildReplicaGeneration() error {
 		stop:      make(chan struct{}),
 		replica:   true,
 	}
-	ep, err := p.cfg.Network.NewEndpoint(p.cfg.KillCh)
+	ep, err := newEndpoint(&p.cfg)
 	if err != nil {
 		return fmt.Errorf("fmi: endpoint: %w", err)
 	}

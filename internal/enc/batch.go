@@ -1,0 +1,100 @@
+package enc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch framing: a container for several already-framed messages sent
+// as one. The transport's send-side coalescing uses it to amortise
+// per-frame overhead (matcher ingress, TCP syscalls) across a burst:
+// consecutive small frames are packed into a single batch frame and
+// unpacked again at ingress.
+//
+// Wire format: u32 magic | u32 count | count × (u32 len | bytes),
+// all little-endian. The magic guards against a stray non-batch
+// payload being unpacked as one; the explicit count lets the decoder
+// reject a truncated or padded batch outright instead of silently
+// yielding the wrong number of parts.
+
+// batchMagic marks a batch payload. Arbitrary but asymmetric, so a
+// zeroed or ASCII payload can never alias it.
+const batchMagic = 0xb47c11ed
+
+// BatchHeaderLen is the fixed prefix AppendBatchHeader writes.
+const BatchHeaderLen = 8
+
+// BatchPartOverhead is the per-part framing cost inside a batch.
+const BatchPartOverhead = 4
+
+// AppendBatchHeader appends the batch prefix for count parts to dst.
+func AppendBatchHeader(dst []byte, count int) []byte {
+	var hdr [BatchHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], batchMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(count))
+	return append(dst, hdr[:]...)
+}
+
+// AppendBatchPart appends one length-prefixed part to dst. Exactly
+// the count declared in the header must follow it.
+func AppendBatchPart(dst []byte, part []byte) []byte {
+	var hdr [BatchPartOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(part)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, part...)
+}
+
+// AppendPartHeader appends just the length prefix for a part of size
+// bytes; the caller appends the bytes itself (used when a part is
+// assembled piecewise, e.g. frame header + payload).
+func AppendPartHeader(dst []byte, size int) []byte {
+	var hdr [BatchPartOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(size))
+	return append(dst, hdr[:]...)
+}
+
+// BatchLen returns the encoded size of a batch holding parts of the
+// given sizes.
+func BatchLen(sizes []int) int {
+	total := BatchHeaderLen
+	for _, n := range sizes {
+		total += BatchPartOverhead + n
+	}
+	return total
+}
+
+// UnpackBatch decodes a batch payload. The returned parts alias data
+// (no copies). Errors — rather than panics or silent truncation — on
+// a missing/wrong magic, a truncated part, a part count that does not
+// match the header, or trailing garbage. Declared lengths can never
+// force an allocation beyond the input's own size.
+func UnpackBatch(data []byte) ([][]byte, error) {
+	if len(data) < BatchHeaderLen {
+		return nil, fmt.Errorf("enc: batch header truncated (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data); m != batchMagic {
+		return nil, fmt.Errorf("enc: bad batch magic %#x", m)
+	}
+	count := binary.LittleEndian.Uint32(data[4:])
+	data = data[BatchHeaderLen:]
+	if uint64(count)*BatchPartOverhead > uint64(len(data)) {
+		return nil, fmt.Errorf("enc: batch declares %d parts in %d bytes", count, len(data))
+	}
+	out := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(data) < BatchPartOverhead {
+			return nil, fmt.Errorf("enc: truncated batch part header (%d trailing bytes)", len(data))
+		}
+		n := binary.LittleEndian.Uint32(data)
+		data = data[BatchPartOverhead:]
+		if uint64(n) > uint64(len(data)) {
+			return nil, fmt.Errorf("enc: truncated batch part body (declared %d, %d left)", n, len(data))
+		}
+		out = append(out, data[:n:n])
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("enc: %d trailing bytes after %d batch parts", len(data), count)
+	}
+	return out, nil
+}

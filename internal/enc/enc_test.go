@@ -122,3 +122,81 @@ func FuzzUnpackSlices(f *testing.F) {
 		}
 	})
 }
+
+// packBatch is the canonical batch encoder used by the tests: header
+// plus one length-prefixed part per slice, exactly what the
+// transport's coalescer writes.
+func packBatch(parts [][]byte) []byte {
+	sizes := make([]int, len(parts))
+	for i, p := range parts {
+		sizes[i] = len(p)
+	}
+	out := AppendBatchHeader(make([]byte, 0, BatchLen(sizes)), len(parts))
+	for _, p := range parts {
+		out = AppendBatchPart(out, p)
+	}
+	return out
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{},
+		{[]byte("one")},
+		{[]byte("a"), nil, []byte("ccc")},
+		{bytes.Repeat([]byte{0x5a}, 4096), []byte{}, []byte{1}},
+	}
+	for _, parts := range cases {
+		enc := packBatch(parts)
+		got, err := UnpackBatch(enc)
+		if err != nil {
+			t.Fatalf("unpack(%d parts): %v", len(parts), err)
+		}
+		if len(got) != len(parts) {
+			t.Fatalf("got %d parts, want %d", len(got), len(parts))
+		}
+		for i := range parts {
+			if !bytes.Equal(got[i], parts[i]) {
+				t.Fatalf("part %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestUnpackBatchRejects(t *testing.T) {
+	good := packBatch([][]byte{[]byte("ab"), []byte("c")})
+	bad := map[string][]byte{
+		"empty":           {},
+		"short header":    good[:6],
+		"wrong magic":     append([]byte{0, 0, 0, 0}, good[4:]...),
+		"truncated part":  good[:len(good)-1],
+		"trailing bytes":  append(append([]byte(nil), good...), 0),
+		"count too large": func() []byte { b := append([]byte(nil), good...); b[4] = 200; return b }(),
+		"count too small": func() []byte { b := append([]byte(nil), good...); b[4] = 1; return b }(),
+	}
+	for name, data := range bad {
+		if _, err := UnpackBatch(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzUnpackBatch mirrors FuzzUnpackSlices for the coalescing batch
+// container: no input may panic the decoder, and any accepted input
+// must round-trip through the canonical encoder — the framing is
+// unambiguous, so a frame cannot be read two ways at ingress.
+func FuzzUnpackBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(packBatch(nil))
+	f.Add(packBatch([][]byte{[]byte("seed"), nil, []byte("corpus")}))
+	f.Add(packBatch([][]byte{bytes.Repeat([]byte{7}, 300)})[:50])
+	f.Add([]byte{0xed, 0x11, 0x7c, 0xb4, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, err := UnpackBatch(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(packBatch(parts), data) {
+			t.Fatalf("accepted input does not round-trip (%d bytes, %d parts)", len(data), len(parts))
+		}
+	})
+}

@@ -24,6 +24,16 @@ var (
 	logTable [256]byte
 	// mulTable[a][b] = a*b in GF(2^8); 64 KiB, built once at init.
 	mulTable [256][256]byte
+	// nibLo[a][n] = a*n and nibHi[a][n] = a*(n<<4): the low/high-nibble
+	// split of multiplication by a. GF addition is XOR and
+	// multiplication distributes over it, so for any byte b,
+	// a*b = nibLo[a][b&15] ^ nibHi[a][b>>4]. The wide (slice-by-4/8)
+	// kernels in kernels.go run on these 32-byte per-coefficient
+	// tables: the whole working set of a coefficient pass lives in a
+	// fraction of one cache line pair instead of a 256-byte row.
+	// 8 KiB total, built once at init alongside mulTable.
+	nibLo [256][16]byte
+	nibHi [256][16]byte
 )
 
 func init() {
@@ -41,6 +51,12 @@ func init() {
 		la := int(logTable[a])
 		for b := 1; b < 256; b++ {
 			mulTable[a][b] = expTable[la+int(logTable[b])]
+		}
+	}
+	for a := 1; a < 256; a++ {
+		for n := 1; n < 16; n++ {
+			nibLo[a][n] = mulTable[a][n]
+			nibHi[a][n] = mulTable[a][n<<4]
 		}
 	}
 }

@@ -12,15 +12,27 @@ import (
 // table stays in L1/L2 cache while every coefficient pass runs over it.
 const stripeLen = 32 << 10
 
+// nibbleMax is the size cutover between the nibble-table kernels and
+// the row-table kernels. Short ranges are dominated by table warm-up,
+// where the 32-byte per-coefficient nibble tables cost one cache line
+// against up to four for a 256-byte product row; past the cutover the
+// row stays hot and its single lookup per byte wins over the nibble
+// kernels' two (measured: BenchmarkMulAdd* in kernels_test.go).
+const nibbleMax = 64
+
 // mulAddRange computes dst[lo:hi] ^= coef * src[lo:hi] in GF(2^8).
-// coef==1 degenerates to XOR and runs 8-byte words; the general case
-// is one product-table lookup per byte.
+// coef==1 degenerates to XOR and runs 8-byte words; short general
+// ranges run the cache-compact slice-by-4 nibble kernel, long ones the
+// slice-by-8 row kernel (8 bytes per step, one dst access per word).
 func mulAddRange(dst, src []byte, coef byte, lo, hi int) {
 	if coef == 0 {
 		return
 	}
 	if hi > len(src) {
 		hi = len(src)
+	}
+	if lo >= hi {
+		return
 	}
 	if coef == 1 {
 		i := lo
@@ -33,9 +45,118 @@ func mulAddRange(dst, src []byte, coef byte, lo, hi int) {
 		}
 		return
 	}
+	if hi-lo <= nibbleMax {
+		mulAddS4(dst[lo:hi], src[lo:hi], coef)
+		return
+	}
+	mulAddW8(dst[lo:hi], src[lo:hi], coef)
+}
+
+// mulAddPairRange folds two source shards into dst in one pass:
+// dst[lo:hi] ^= ca*a[lo:hi] ^ cb*b[lo:hi]. The two product-table
+// lookup streams are independent, so they pipeline where back-to-back
+// mulAddRange calls would serialise, and dst is read and written once
+// instead of twice. This is the kernel the encode and recover loops
+// drive for every pair of shards (see encodeRange).
+func mulAddPairRange(dst, a, b []byte, ca, cb byte, lo, hi int) {
+	if ca == 0 {
+		mulAddRange(dst, b, cb, lo, hi)
+		return
+	}
+	if cb == 0 {
+		mulAddRange(dst, a, ca, lo, hi)
+		return
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	if lo >= hi {
+		return
+	}
+	ta := &mulTable[ca]
+	tb := &mulTable[cb]
+	d := dst[lo:hi]
+	x := a[lo:hi:hi]
+	y := b[lo:hi:hi]
+	for i := range d {
+		d[i] ^= ta[x[i]] ^ tb[y[i]]
+	}
+}
+
+// mulAddW8 is the slice-by-8 row-table kernel: dst ^= coef * src,
+// 8 bytes per step. Each 64-bit word of src is split into eight bytes
+// looked up in the coefficient's product row; the products are
+// reassembled into one word and folded into dst with a single XOR
+// load/store pair, cutting dst memory traffic 8x against the byte
+// loop. len(dst) must equal len(src).
+func mulAddW8(dst, src []byte, coef byte) {
 	tab := &mulTable[coef]
-	for i := lo; i < hi; i++ {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		p := uint64(tab[s&255]) |
+			uint64(tab[s>>8&255])<<8 |
+			uint64(tab[s>>16&255])<<16 |
+			uint64(tab[s>>24&255])<<24 |
+			uint64(tab[s>>32&255])<<32 |
+			uint64(tab[s>>40&255])<<40 |
+			uint64(tab[s>>48&255])<<48 |
+			uint64(tab[s>>56])<<56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^p)
+	}
+	for i := n; i < len(src); i++ {
 		dst[i] ^= tab[src[i]]
+	}
+}
+
+// mulAddS8 is the slice-by-8 nibble kernel: dst ^= coef * src, 8 bytes
+// per step through the 32-byte low/high nibble tables (see gf.go). Two
+// lookups per byte make it slower than mulAddW8 once the product row
+// is cached, so the dispatch prefers it only where table footprint
+// dominates; it doubles as the independent implementation the golden
+// tests cross-check the row kernels against.
+func mulAddS8(dst, src []byte, coef byte) {
+	lo4 := &nibLo[coef]
+	hi4 := &nibHi[coef]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		p := uint64(lo4[s&15]^hi4[s>>4&15]) |
+			uint64(lo4[s>>8&15]^hi4[s>>12&15])<<8 |
+			uint64(lo4[s>>16&15]^hi4[s>>20&15])<<16 |
+			uint64(lo4[s>>24&15]^hi4[s>>28&15])<<24 |
+			uint64(lo4[s>>32&15]^hi4[s>>36&15])<<32 |
+			uint64(lo4[s>>40&15]^hi4[s>>44&15])<<40 |
+			uint64(lo4[s>>48&15]^hi4[s>>52&15])<<48 |
+			uint64(lo4[s>>56&15]^hi4[s>>60&15])<<56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^p)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= lo4[src[i]&15] ^ hi4[src[i]>>4]
+	}
+}
+
+// mulAddS4 is the slice-by-4 nibble variant: 32-bit words, eight
+// nibble lookups per step. The short-range dispatch entry point — its
+// whole table footprint is 32 bytes, so a cold call touches one cache
+// line pair where the row kernels may fault in four.
+func mulAddS4(dst, src []byte, coef byte) {
+	lo4 := &nibLo[coef]
+	hi4 := &nibHi[coef]
+	n := len(src) &^ 3
+	for i := 0; i < n; i += 4 {
+		s := binary.LittleEndian.Uint32(src[i:])
+		p := uint32(lo4[s&15]^hi4[s>>4&15]) |
+			uint32(lo4[s>>8&15]^hi4[s>>12&15])<<8 |
+			uint32(lo4[s>>16&15]^hi4[s>>20&15])<<16 |
+			uint32(lo4[s>>24&15]^hi4[s>>28&15])<<24
+		binary.LittleEndian.PutUint32(dst[i:], binary.LittleEndian.Uint32(dst[i:])^p)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= lo4[src[i]&15] ^ hi4[src[i]>>4]
 	}
 }
 

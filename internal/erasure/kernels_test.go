@@ -1,0 +1,180 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// refMulAdd is the trivially-correct reference: dst ^= coef*src one
+// product-table lookup at a time. The wide kernels are golden-tested
+// against it byte for byte.
+func refMulAdd(dst, src []byte, coef byte) {
+	for i := range src {
+		dst[i] ^= mulTable[coef][src[i]]
+	}
+}
+
+// TestNibbleTablesMatchMulTable proves the low/high nibble split is a
+// faithful decomposition: nibLo[a][b&15] ^ nibHi[a][b>>4] == a*b for
+// every pair of bytes.
+func TestNibbleTablesMatchMulTable(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			got := nibLo[a][b&15] ^ nibHi[a][b>>4]
+			if got != mulTable[a][b] {
+				t.Fatalf("nibble split %d*%d = %d, want %d", a, b, got, mulTable[a][b])
+			}
+		}
+	}
+}
+
+// TestWideKernelsBitIdentical golden-tests every wide kernel and the
+// dispatching mulAddRange against the byte-at-a-time 256x256-table
+// reference for all 256 coefficients, across sizes that exercise word
+// alignment, ragged tails, and both sides of the dispatch cutover.
+func TestWideKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x51ce8))
+	sizes := []int{1, 3, 7, 8, 9, 15, 16, 31, nibbleMax - 1, nibbleMax, nibbleMax + 5, 1024, 4093}
+	for _, size := range sizes {
+		src := make([]byte, size)
+		base := make([]byte, size)
+		rng.Read(src)
+		rng.Read(base)
+		kernels := map[string]func(dst, src []byte, coef byte){
+			"mulAddW8": mulAddW8,
+			"mulAddS8": mulAddS8,
+			"mulAddS4": mulAddS4,
+			"mulAddRange": func(dst, src []byte, coef byte) {
+				mulAddRange(dst, src, coef, 0, len(src))
+			},
+		}
+		for coef := 0; coef < 256; coef++ {
+			want := append([]byte(nil), base...)
+			refMulAdd(want, src, byte(coef))
+			for name, kern := range kernels {
+				got := append([]byte(nil), base...)
+				kern(got, src, byte(coef))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s coef=%d size=%d diverges from reference", name, coef, size)
+				}
+			}
+		}
+	}
+}
+
+// TestPairKernelBitIdentical golden-tests the pair-fused kernel (and
+// the row fold built on it) against two sequential reference passes,
+// including zero and identity coefficients.
+func TestPairKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xab))
+	const size = 1031
+	a := make([]byte, size)
+	b := make([]byte, size)
+	base := make([]byte, size)
+	rng.Read(a)
+	rng.Read(b)
+	rng.Read(base)
+	coefs := []byte{0, 1, 2, 29, 142, 255}
+	for _, ca := range coefs {
+		for _, cb := range coefs {
+			want := append([]byte(nil), base...)
+			refMulAdd(want, a, ca)
+			refMulAdd(want, b, cb)
+
+			got := append([]byte(nil), base...)
+			mulAddPairRange(got, a, b, ca, cb, 0, size)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mulAddPairRange ca=%d cb=%d diverges from reference", ca, cb)
+			}
+		}
+	}
+
+	// Odd shard counts exercise the single-shard remainder of the fold.
+	for _, nShards := range []int{1, 2, 3, 5, 8} {
+		shards := make([][]byte, nShards)
+		row := make([]byte, nShards)
+		for i := range shards {
+			shards[i] = make([]byte, size)
+			rng.Read(shards[i])
+			row[i] = byte(rng.Intn(256))
+		}
+		want := append([]byte(nil), base...)
+		for i := range shards {
+			refMulAdd(want, shards[i], row[i])
+		}
+		got := append([]byte(nil), base...)
+		mulAddRowRange(got, shards, row, 0, size)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("mulAddRowRange over %d shards diverges from reference", nShards)
+		}
+	}
+}
+
+// TestMulAddRangeSubrange checks the ranged entry point only touches
+// [lo,hi) and still matches the reference inside it, including ranges
+// that straddle the dispatch cutover and hi clamped to len(src).
+func TestMulAddRangeSubrange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const size = 2048
+	src := make([]byte, size)
+	base := make([]byte, size)
+	rng.Read(src)
+	rng.Read(base)
+	ranges := [][2]int{{0, size}, {5, 13}, {100, 100 + nibbleMax + 3}, {size - 9, size}, {size - 3, size + 50}, {17, 17}}
+	for _, coef := range []byte{0, 1, 2, 29, 255} {
+		for _, r := range ranges {
+			lo, hi := r[0], r[1]
+			want := append([]byte(nil), base...)
+			clamped := hi
+			if clamped > size {
+				clamped = size
+			}
+			refMulAdd(want[lo:clamped], src[lo:clamped], coef)
+
+			got := append([]byte(nil), base...)
+			mulAddRange(got, src, coef, lo, hi)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mulAddRange coef=%d range=[%d,%d) diverges from reference", coef, lo, hi)
+			}
+		}
+	}
+}
+
+func benchMulAdd(b *testing.B, f func(dst, src []byte, coef byte)) {
+	src := make([]byte, stripeLen)
+	dst := make([]byte, stripeLen)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(stripeLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, src, 0x8e)
+	}
+}
+
+func BenchmarkMulAddByteTable(b *testing.B) {
+	benchMulAdd(b, func(dst, src []byte, coef byte) {
+		tab := &mulTable[coef]
+		for i := range src {
+			dst[i] ^= tab[src[i]]
+		}
+	})
+}
+
+func BenchmarkMulAddW8(b *testing.B) { benchMulAdd(b, mulAddW8) }
+func BenchmarkMulAddS4(b *testing.B) { benchMulAdd(b, mulAddS4) }
+func BenchmarkMulAddS8(b *testing.B) { benchMulAdd(b, mulAddS8) }
+
+func BenchmarkMulAddPair(b *testing.B) {
+	a1 := make([]byte, stripeLen)
+	a2 := make([]byte, stripeLen)
+	dst := make([]byte, stripeLen)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(a1)
+	rng.Read(a2)
+	b.SetBytes(2 * stripeLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulAddPairRange(dst, a1, a2, 0x8e, 0x2b, 0, stripeLen)
+	}
+}

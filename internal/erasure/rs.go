@@ -58,9 +58,20 @@ func (c *Code) encodeRange(data, parity [][]byte, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p[i] = 0
 		}
-		for l, d := range data {
-			mulAddRange(p, d, row[l], lo, hi)
-		}
+		mulAddRowRange(p, data, row, lo, hi)
+	}
+}
+
+// mulAddRowRange folds every shard into the accumulator, two shards
+// per pass through the pair-fused kernel so the parity row is read and
+// written half as often as one mulAddRange call per shard would.
+func mulAddRowRange(acc []byte, shards [][]byte, coefs []byte, lo, hi int) {
+	l := 0
+	for ; l+1 < len(shards); l += 2 {
+		mulAddPairRange(acc, shards[l], shards[l+1], coefs[l], coefs[l+1], lo, hi)
+	}
+	if l < len(shards) {
+		mulAddRange(acc, shards[l], coefs[l], lo, hi)
 	}
 }
 
@@ -73,9 +84,7 @@ func (c *Code) EncodeRowInto(j int, data [][]byte, out []byte, workers int) {
 		for i := lo; i < hi; i++ {
 			out[i] = 0
 		}
-		for l, d := range data {
-			mulAddRange(out, d, row[l], lo, hi)
-		}
+		mulAddRowRange(out, data, row, lo, hi)
 	})
 }
 
@@ -157,9 +166,7 @@ func (c *Code) RecoverInto(idx []int, shards [][]byte, want []int, out [][]byte,
 			for i := lo; i < hi; i++ {
 				buf[i] = 0
 			}
-			for t, sh := range shards {
-				mulAddRange(buf, sh, row[t], lo, hi)
-			}
+			mulAddRowRange(buf, shards, row, lo, hi)
 		})
 	}
 	return nil

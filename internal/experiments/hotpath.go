@@ -14,11 +14,14 @@ import (
 )
 
 // Hot-path allocation benchmark (perf ablation): measures ns/op, B/op
-// and allocs/op for the three paths the buffer arena threads through —
-// the chan-transport send/recv roundtrip, collective slice packing,
-// and checkpoint capture + encode — with pooling on and off. The
-// headline acceptance number is the allocs/op reduction pooling buys
-// on the send and checkpoint paths.
+// and allocs/op for the paths the buffer arena and the transport fast
+// path thread through — the chan-transport send/recv roundtrip (both
+// the channel path and the co-located SPSC ring path), send-side
+// coalescing under load, matcher ingress under multi-sender
+// contention, collective slice packing, and checkpoint capture +
+// encode — with pooling on and off. The headline acceptance numbers
+// are the allocs/op reduction pooling buys on the send and checkpoint
+// paths, and the ns/op the ring path shaves off chan-send.
 
 // HotpathConfig sizes the three benchmarks.
 type HotpathConfig struct {
@@ -61,6 +64,18 @@ func point(path string, pooling bool, r testing.BenchmarkResult) HotpathPoint {
 	}
 }
 
+// pointN is point for benchmarks whose op covers perOp messages; the
+// cell is normalised to per-message cost.
+func pointN(path string, pooling bool, r testing.BenchmarkResult, perOp int) HotpathPoint {
+	return HotpathPoint{
+		Path:        path,
+		Pooling:     pooling,
+		NsPerOp:     float64(r.NsPerOp()) / float64(perOp),
+		BytesPerOp:  r.AllocedBytesPerOp() / int64(perOp),
+		AllocsPerOp: r.AllocsPerOp() / int64(perOp),
+	}
+}
+
 // HotpathSweep runs every (path, pooling) combination and returns the
 // six cells. Pooling off is expressed the way the runtime expresses it:
 // a nil arena, so the measured path is byte-for-byte the production
@@ -77,6 +92,24 @@ func HotpathSweep(cfg HotpathConfig) ([]HotpathPoint, error) {
 			return nil, err
 		}
 		out = append(out, point("chan-send", pooling, r))
+
+		r, err = benchRingSend(cfg.PayloadBytes, pool)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, point("ring-send", pooling, r))
+
+		r, err = benchBatchedSend(cfg.PackPartBytes, pool)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, point("batched-send", pooling, r))
+
+		r, err = benchMatcherContention(cfg.PackPartBytes, pool)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pointN("matcher-contention", pooling, r, contentionSenders))
 
 		out = append(out, point("coll-pack", pooling, benchPack(cfg.PackParts, cfg.PackPartBytes, pooling)))
 
@@ -118,6 +151,150 @@ func benchChanSend(payload int, pool *bufpool.Arena) (testing.BenchmarkResult, e
 				return
 			}
 			msg.Release()
+		}
+	})
+	return res, benchErr
+}
+
+// benchRingSend is benchChanSend with both endpoints placed on the
+// same node, so Send takes the per-pair SPSC ring and Recv drains it
+// inline — no demux goroutine hand-off on the critical path.
+func benchRingSend(payload int, pool *bufpool.Arena) (testing.BenchmarkResult, error) {
+	nw := transport.NewChanNetwork(transport.Options{Pool: pool, Endpoints: 2})
+	src, err := nw.NewEndpointOnNode(0, nil)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	dst, err := nw.NewEndpointOnNode(0, nil)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	m := transport.NewMatcher(dst)
+	defer func() { m.Close(); dst.Close(); src.Close() }()
+	buf := make([]byte, payload)
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := src.Send(dst.Addr(), transport.Msg{Src: 0, Tag: 1, Data: buf}); err != nil {
+				benchErr = err
+				return
+			}
+			msg, err := m.Recv(0, 0, 1, nil)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			msg.Release()
+		}
+	})
+	return res, benchErr
+}
+
+// benchBatchedSend measures per-message cost of a sustained small-frame
+// flood over the ring path. The ring is kept deliberately short so the
+// producer outruns the consumer, the overflow batch coalesces frames,
+// and flushes publish them as multi-message KindBatch frames — the
+// syscall-coalescing shape TCPNetwork sees under load.
+func benchBatchedSend(payload int, pool *bufpool.Arena) (testing.BenchmarkResult, error) {
+	nw := transport.NewChanNetwork(transport.Options{Pool: pool, Endpoints: 2, RingSlots: 16})
+	src, err := nw.NewEndpointOnNode(0, nil)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	dst, err := nw.NewEndpointOnNode(0, nil)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	m := transport.NewMatcher(dst)
+	defer func() { m.Close(); dst.Close(); src.Close() }()
+	buf := make([]byte, payload)
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		sendErr := make(chan error, 1)
+		go func() {
+			for i := 0; i < b.N; i++ {
+				if err := src.Send(dst.Addr(), transport.Msg{Src: 0, Tag: 1, Data: buf}); err != nil {
+					sendErr <- err
+					return
+				}
+			}
+			sendErr <- nil
+		}()
+		for i := 0; i < b.N; i++ {
+			msg, err := m.Recv(0, 0, 1, nil)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			msg.Release()
+		}
+		if err := <-sendErr; err != nil {
+			benchErr = err
+		}
+	})
+	return res, benchErr
+}
+
+// contentionSenders is the sender fan-in for the matcher-contention
+// row: one benchmark op is one message from each sender.
+const contentionSenders = 8
+
+// benchMatcherContention measures matcher ingress with 8 concurrent
+// senders feeding one receiver, the shape a rank sees at the peak of
+// an all-to-all round. Per-source lanes keep the senders from
+// serialising on a single ingress mutex; the receiver drains the
+// lanes round-robin.
+func benchMatcherContention(payload int, pool *bufpool.Arena) (testing.BenchmarkResult, error) {
+	nw := transport.NewChanNetwork(transport.Options{Pool: pool, Endpoints: contentionSenders + 1})
+	dst, err := nw.NewEndpoint(nil)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	srcs := make([]transport.Endpoint, contentionSenders)
+	for i := range srcs {
+		if srcs[i], err = nw.NewEndpoint(nil); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	m := transport.NewMatcher(dst)
+	defer func() {
+		m.Close()
+		dst.Close()
+		for _, s := range srcs {
+			s.Close()
+		}
+	}()
+	buf := make([]byte, payload)
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		sendErr := make(chan error, contentionSenders)
+		for s := 0; s < contentionSenders; s++ {
+			go func(s int) {
+				for i := 0; i < b.N; i++ {
+					if err := srcs[s].Send(dst.Addr(), transport.Msg{Src: int32(s), Tag: 1, Data: buf}); err != nil {
+						sendErr <- err
+						return
+					}
+				}
+				sendErr <- nil
+			}(s)
+		}
+		// One op = one message from every sender; drain round-robin so
+		// each lane's unexpected queue stays bounded.
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < contentionSenders; s++ {
+				msg, err := m.Recv(0, int32(s), 1, nil)
+				if err != nil {
+					benchErr = err
+					return
+				}
+				msg.Release()
+			}
+		}
+		for s := 0; s < contentionSenders; s++ {
+			if err := <-sendErr; err != nil && benchErr == nil {
+				benchErr = err
+			}
 		}
 	})
 	return res, benchErr
@@ -296,7 +473,7 @@ func PrintHotpath(w io.Writer, cfg HotpathConfig, rows []HotpathPoint) {
 		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%d\t%d\n", r.Path, mode, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	tw.Flush()
-	for _, path := range []string{"chan-send", "coll-pack", "ckpt-encode"} {
+	for _, path := range []string{"chan-send", "ring-send", "batched-send", "matcher-contention", "coll-pack", "ckpt-encode"} {
 		if red, ok := HotpathReductions(rows)[path]; ok {
 			fmt.Fprintf(w, "%s: pooling removes %.0f%% of allocs/op\n", path, red*100)
 		}

@@ -103,3 +103,55 @@ func leakInClosure(pool *bufpool.Arena, n int) func() error {
 		return nil
 	}
 }
+
+// --- ring-slot ownership (ISSUE 10): the SPSC fast path hands a
+// pooled frame to a ring slot, and every refusal path (full ring,
+// poisoned ring) must either retry or return the frame itself. The
+// miniature ring below mirrors the transport's contract: publish
+// transfers ownership to the consumer; a refused publish leaves it
+// with the producer.
+
+type msgRing struct {
+	slots    []frame
+	poisoned bool
+}
+
+func (r *msgRing) hasSpace() bool     { return len(r.slots) > 0 }
+func (r *msgRing) publish(buf []byte) { r.slots[0].data = buf }
+
+func cleanRingSlotStore(pool *bufpool.Arena, r *msgRing, n int) {
+	// Consumed at the slot assignment: the consumer side releases it.
+	r.slots[0].data = pool.Get(n)
+}
+
+func cleanRingPoisonSelfDrain(pool *bufpool.Arena, r *msgRing, src []byte) bool {
+	buf := pool.Get(len(src))
+	copy(buf, src)
+	if r.poisoned {
+		// Producer racing the poison drains its own frame.
+		pool.Put(buf)
+		return false
+	}
+	r.publish(buf)
+	return true
+}
+
+func leakRingFullBail(pool *bufpool.Arena, r *msgRing, src []byte) error {
+	buf := pool.Get(len(src))
+	if !r.hasSpace() {
+		return errors.New("ring full") // want "return leaks pooled buffer buf"
+	}
+	copy(buf, src)
+	r.publish(buf)
+	return nil
+}
+
+func leakRingPoisonDrop(pool *bufpool.Arena, r *msgRing, src []byte) bool {
+	buf := pool.Get(len(src))
+	if r.poisoned {
+		return false // want "return leaks pooled buffer buf"
+	}
+	copy(buf, src)
+	r.publish(buf)
+	return true
+}

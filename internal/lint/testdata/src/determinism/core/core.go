@@ -178,3 +178,29 @@ func (p *pair) drain() int {
 		return v
 	}
 }
+
+// --- AnySource slow path: per-source lane iteration (ISSUE 10) ---
+// The sharded matcher keeps one lane per source rank; an ANY_SOURCE
+// probe must visit lanes in ascending rank order or two replicas can
+// match different senders for the same receive under replay.
+
+type lane struct{ pending []byte }
+
+func anySourceMapOrder(c Comm, lanes map[int]*lane) {
+	for src, ln := range lanes {
+		c.Send(src, ln.pending) // want "ranging over map lanes reaches c.Send"
+	}
+}
+
+// anySourceRankOrderClean pins the prescribed slow path: snapshot the
+// source ranks, sort ascending, then probe each lane in rank order.
+func anySourceRankOrderClean(c Comm, lanes map[int]*lane) {
+	ranks := make([]int, 0, len(lanes))
+	for r := range lanes {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		c.Send(r, lanes[r].pending)
+	}
+}

@@ -562,6 +562,7 @@ func (j *Job) spawnRank(t *task, rank int, epoch uint32, replacement bool, start
 		L2Every:       j.cfg.L2Every,
 		L2:            j.cfg.SCR,
 		Local:         j.cfg.Recovery == "local",
+		Node:          t.node.ID,
 		Network:       j.cfg.Network,
 		Replica:       j.replicaReg(),
 		Ctl:           j,
@@ -983,6 +984,7 @@ func (j *Job) spawnShadow(t *task, rank int, needSync bool, epoch uint32, startL
 		Redundancy:    j.cfg.Redundancy,
 		L2Every:       j.cfg.L2Every,
 		L2:            j.cfg.SCR,
+		Node:          t.node.ID,
 		Network:       j.cfg.Network,
 		Replica:       j.rep.reg,
 		Shadow:        true,

@@ -109,7 +109,7 @@ func TestHarvestAndInjectCarryOver(t *testing.T) {
 	if !ok || string(msg.Data) != "pending" {
 		t.Fatalf("injected message not delivered: %+v %v", msg, ok)
 	}
-	m2.deliver(Msg{Src: 3, Tag: 2, Seq: 1, Data: []byte("dup")})
+	m2.ingest(Msg{Src: 3, Tag: 2, Seq: 1, Data: []byte("dup")})
 	if _, ok := m2.TryRecv(0, 3, 2); ok {
 		t.Fatal("seeded watermark failed to suppress the duplicate")
 	}
@@ -118,7 +118,7 @@ func TestHarvestAndInjectCarryOver(t *testing.T) {
 func TestDedupOutOfRangeSourceDropped(t *testing.T) {
 	_, _, mb := newMatcherPair(t)
 	mb.EnableDedup(2)
-	mb.deliver(Msg{Src: 99, Tag: 1, Seq: 1, Data: []byte("bogus")})
+	mb.ingest(Msg{Src: 99, Tag: 1, Seq: 1, Data: []byte("bogus")})
 	if _, ok := mb.TryRecv(0, 99, 1); ok {
 		t.Fatal("sequenced message with out-of-range source accepted")
 	}

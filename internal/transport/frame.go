@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fmi/internal/bufpool"
+	"fmi/internal/enc"
+)
+
+// Byte-slice frame codec shared by the two send-side coalescing paths
+// (the chan overflow batch and the TCP writer's run batching) and the
+// matcher's ingress unbatcher. A batch frame's payload is an enc
+// batch whose parts are complete frames: the same u32 dataLen header
+// the TCP wire uses, followed by the payload bytes. The batch frame's
+// own header fields (src, tag, epoch, ...) are placeholders — every
+// filter and match decision applies to the inner frames after
+// unbatching, never to the container.
+
+// encodeFrameHeader fills hdr from m's metadata (the wire header
+// shared with tcp.go's writeFrame).
+func encodeFrameHeader(hdr *[frameHeaderSize]byte, m *Msg) {
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Data)))
+	hdr[4] = m.Kind
+	hdr[5] = m.Flags
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(m.Src))
+	binary.LittleEndian.PutUint32(hdr[10:], uint32(m.Tag))
+	binary.LittleEndian.PutUint32(hdr[14:], m.Ctx)
+	binary.LittleEndian.PutUint32(hdr[18:], m.Epoch)
+	binary.LittleEndian.PutUint64(hdr[22:], m.Seq)
+	binary.LittleEndian.PutUint64(hdr[30:], m.View)
+}
+
+// batchFrameLen is m's encoded size as one batch part.
+func batchFrameLen(m *Msg) int {
+	return enc.BatchPartOverhead + frameHeaderSize + len(m.Data)
+}
+
+// appendBatchFrame appends m to a batch under construction as one
+// length-prefixed part: u32 partLen | frame header | payload.
+func appendBatchFrame(dst []byte, m *Msg) []byte {
+	var hdr [frameHeaderSize]byte
+	encodeFrameHeader(&hdr, m)
+	dst = enc.AppendPartHeader(dst, frameHeaderSize+len(m.Data))
+	dst = append(dst, hdr[:]...)
+	return append(dst, m.Data...)
+}
+
+// decodeFrameBytes decodes one batch part back into a Msg, copying
+// the payload into a buffer from pool (nil pool = plain make) so the
+// frame outlives the batch buffer it aliased. Nested batches are
+// rejected: the coalescers only ever batch user-level frames, so an
+// inner KindBatch is corruption, not recursion.
+func decodeFrameBytes(part []byte, pool *bufpool.Arena) (Msg, error) {
+	if len(part) < frameHeaderSize {
+		return Msg{}, fmt.Errorf("transport: batch part shorter than frame header (%d bytes)", len(part))
+	}
+	n := binary.LittleEndian.Uint32(part[0:])
+	m := Msg{
+		Kind:  part[4],
+		Flags: part[5],
+		Src:   int32(binary.LittleEndian.Uint32(part[6:])),
+		Tag:   int32(binary.LittleEndian.Uint32(part[10:])),
+		Ctx:   binary.LittleEndian.Uint32(part[14:]),
+		Epoch: binary.LittleEndian.Uint32(part[18:]),
+		Seq:   binary.LittleEndian.Uint64(part[22:]),
+		View:  binary.LittleEndian.Uint64(part[30:]),
+	}
+	if m.Kind == KindBatch {
+		return Msg{}, fmt.Errorf("transport: nested batch frame")
+	}
+	body := part[frameHeaderSize:]
+	if uint64(n) != uint64(len(body)) {
+		return Msg{}, fmt.Errorf("transport: batch part declares %d payload bytes, carries %d", n, len(body))
+	}
+	if n > 0 {
+		cp := pool.Get(int(n))
+		copy(cp, body)
+		m.Data = cp
+		m.pool = pool
+	}
+	return m, nil
+}

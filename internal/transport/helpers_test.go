@@ -9,3 +9,17 @@ import (
 // socket.
 func newTestWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }
 func newTestReader(r io.Reader) *bufio.Reader { return bufio.NewReader(r) }
+
+// queuedLen reports the matcher's internal queue depths summed across
+// lanes (test observability).
+func (m *Matcher) queuedLen() (unexpected, future int) {
+	t := m.lockAll()
+	for _, ln := range t.bySrc {
+		unexpected += len(ln.unexpected)
+		future += len(ln.future)
+	}
+	unexpected += len(t.misc.unexpected)
+	future += len(t.misc.future)
+	m.unlockAll(t)
+	return unexpected, future
+}

@@ -3,6 +3,9 @@ package transport
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
+
+	"fmi/internal/enc"
 )
 
 // Matching wildcards.
@@ -17,11 +20,33 @@ var (
 	ErrCancelled     = errors.New("transport: receive cancelled")
 )
 
+// maxLaneSrc bounds the per-source lane table; a frame claiming a
+// source beyond it is routed to the misc lane rather than allocating
+// an attacker-sized table.
+const maxLaneSrc = 1 << 16
+
 // Matcher implements MPI-style message matching on top of an Endpoint:
 // receives are matched against (ctx, src, tag) with wildcard source and
 // tag, messages that arrive before a matching receive is posted wait in
 // an unexpected-message queue, and matching preserves arrival order
 // (non-overtaking per (src, tag, ctx)).
+//
+// Ingress is sharded into per-source lanes: each lane owns its
+// source's unexpected queue, posted receives, future-epoch buffer,
+// dedup watermark, and counters under its own lock, so concurrent
+// senders stop serialising on one mutex. Posted receives carry a
+// global posting ticket; a message matches the earliest-posted
+// receive across its lane and the AnySource queue, preserving MPI's
+// posting-order semantics. AnySource operations take the slow path:
+// every lane locked in ascending rank order (misc last, then the
+// AnySource queue lock), which both prevents lost wakeups and makes
+// wildcard matching deterministic — the lowest-ranked source with a
+// matching message wins, not whichever lane a map walk visits first.
+//
+// When the endpoint exposes per-pair rings (RingIngress), the Matcher
+// is their consumer: every receive call pumps the rings inline before
+// looking at its lane, and the demux goroutine watches the ring bell
+// for traffic arriving while all receivers are parked.
 //
 // The Matcher also enforces the paper's epoch rule (§IV-D): messages
 // from an older epoch than the current one are discarded silently;
@@ -34,28 +59,99 @@ var (
 // copy from a replaying sender or a re-executed send from a respawned
 // rank — and is counted and discarded.
 type Matcher struct {
-	ep Endpoint
+	ep   Endpoint
+	ri   RingIngress   // non-nil iff ep has ring ingress
+	// ingestFn is m.ingest bound once: passing a fresh method value
+	// to PumpRings would allocate a 16-byte closure per pump, and the
+	// pump sits on the ring receive fast path.
+	ingestFn func(Msg)
+	bell <-chan struct{}
 
+	// growMu orders lane-table growth and the AnySource lock-all
+	// path; lanes is the atomically-published table so the per-source
+	// fast path is one load plus one index.
+	growMu sync.Mutex
+	lanes  atomic.Pointer[laneTable]
+
+	// anyMu guards the AnySource posted queue. Lock order: growMu ->
+	// lane locks in ascending rank order -> misc -> anyMu; ingress
+	// takes a single lane lock before anyMu, which nests consistently.
+	anyMu   sync.Mutex
+	anyPend []*recvReq
+	anyN    atomic.Int32 // len(anyPend), for a lock-free empty check
+
+	postSeq atomic.Uint64 // posting-order tickets
+	epoch   atomic.Uint32
+	view    atomic.Uint64 // minimum acceptable membership view (0 = off)
+	dedup   atomic.Bool
+	dedupN  atomic.Int64 // world size of the seen vector
+	closed  atomic.Bool
+	closeCh chan struct{}
+}
+
+// laneTable is the immutable published lane set: bySrc[i] handles
+// source rank i, misc handles negative and out-of-range sources
+// (runtime-internal traffic). Growth copies the table.
+type laneTable struct {
+	bySrc []*lane
+	misc  *lane
+}
+
+// lane is one source's ingress shard.
+type lane struct {
 	mu         sync.Mutex
-	epoch      uint32
-	view       uint64 // minimum acceptable membership view version (0 = no filtering)
-	unexpected []Msg
+	unexpected []Msg // arrival-order queue; the live window is [unHead:]
+	unHead     int   // consumed prefix length: FIFO pops advance it instead of shifting the slice
 	pending    []*recvReq
 	future     []Msg
-	closed     bool
-	closeCh    chan struct{}
+	seen       uint64 // highest sequenced message accepted (dedup watermark)
 
-	// Duplicate suppression (local recovery mode).
-	dedup bool
-	seen  []uint64 // per-source highest sequenced message accepted
-
-	// stats
 	delivered, dropped, dupSuppressed uint64
+}
+
+// unx returns the live unexpected window. Caller holds mu.
+func (ln *lane) unx() []Msg { return ln.unexpected[ln.unHead:] }
+
+// pushUnx appends msg to the unexpected queue, compacting the consumed
+// prefix first when append would otherwise grow the backing array to
+// hold dead slots. Caller holds mu.
+func (ln *lane) pushUnx(msg Msg) {
+	if ln.unHead > 0 && len(ln.unexpected) == cap(ln.unexpected) {
+		n := copy(ln.unexpected, ln.unexpected[ln.unHead:])
+		clearMsgs(ln.unexpected[n:])
+		ln.unexpected = ln.unexpected[:n]
+		ln.unHead = 0
+	}
+	ln.unexpected = append(ln.unexpected, msg)
+}
+
+// resetUnx installs a queue rebuilt by a sweep (built with
+// append(ln.unexpected[:0], ...), so it aliases the backing array) and
+// zeroes the vacated tail so swept frames are not pinned. Caller
+// holds mu.
+func (ln *lane) resetUnx(keep []Msg) {
+	clearMsgs(ln.unexpected[len(keep):])
+	ln.unexpected = keep
+	ln.unHead = 0
+}
+
+func clearMsgs(ms []Msg) {
+	for i := range ms {
+		ms[i] = Msg{}
+	}
+}
+
+// LaneCounters is one source lane's delivery statistics.
+type LaneCounters struct {
+	Delivered     uint64
+	Dropped       uint64
+	DupSuppressed uint64
 }
 
 type recvReq struct {
 	ctx       uint32
 	src, tag  int32
+	seq       uint64 // posting ticket: earliest posted matches first
 	reply     chan Msg
 	cancelled bool
 }
@@ -63,6 +159,14 @@ type recvReq struct {
 // NewMatcher creates a matcher over ep and starts its demux goroutine.
 func NewMatcher(ep Endpoint) *Matcher {
 	m := &Matcher{ep: ep, closeCh: make(chan struct{})}
+	m.ingestFn = m.ingest
+	m.lanes.Store(&laneTable{misc: &lane{}})
+	if ri, ok := ep.(RingIngress); ok {
+		if bell := ri.RingBell(); bell != nil {
+			m.ri = ri
+			m.bell = bell
+		}
+	}
 	go m.demux()
 	return m
 }
@@ -75,77 +179,254 @@ func (m *Matcher) demux() {
 				m.Close()
 				return
 			}
-			m.deliver(msg)
+			m.ingest(msg)
+		case <-m.bell:
+			m.pump()
 		case <-m.closeCh:
 			return
 		}
 	}
 }
 
-func (m *Matcher) deliver(msg Msg) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return
+// pump drains the endpoint's inbound rings (if any) through ingest.
+// Called inline at every receive entry point — the receiver's own
+// call context consumes its rings, so the fast path needs no
+// goroutine hand-off — and from demux on the ring bell for traffic
+// that arrives while every receiver is parked.
+func (m *Matcher) pump() {
+	if m.ri != nil {
+		m.ri.PumpRings(m.ingestFn)
 	}
-	switch {
-	case msg.Epoch < m.epoch:
-		m.dropped++
-		m.mu.Unlock()
-		msg.Release() // stale epoch: discard (paper §IV-D)
-		return
-	case msg.Epoch > m.epoch:
-		m.future = append(m.future, msg)
-		m.mu.Unlock()
-		return
-	}
-	m.matchOrQueueLocked(msg)
-	m.mu.Unlock()
 }
 
-// matchOrQueueLocked applies duplicate suppression, then hands msg to
-// the earliest matching pending receive or queues it as unexpected.
-func (m *Matcher) matchOrQueueLocked(msg Msg) {
-	if m.view != 0 && msg.View != 0 && msg.View < m.view {
+// parkEnter brackets a blocking wait: producers only tap the ring
+// bell while a waiter is registered, so the waiter count must be
+// raised before parking and — Dekker-style — the rings pumped once
+// more afterwards. A frame published by a producer that read the
+// count as zero is then either seen by this pump or by the producer's
+// bell tap; either way it cannot strand while we sleep.
+func (m *Matcher) parkEnter() {
+	if m.ri != nil {
+		m.ri.AddRingWaiter(1)
+		m.ri.PumpRings(m.ingestFn)
+	}
+}
+
+func (m *Matcher) parkExit() {
+	if m.ri != nil {
+		m.ri.AddRingWaiter(-1)
+	}
+}
+
+// laneFor routes a source rank to its lane, growing the table on
+// first contact with a new source.
+func (m *Matcher) laneFor(src int32) *lane {
+	t := m.lanes.Load()
+	if src < 0 || src >= maxLaneSrc {
+		return t.misc
+	}
+	if int(src) < len(t.bySrc) {
+		return t.bySrc[src]
+	}
+	return m.growLane(int(src))
+}
+
+func (m *Matcher) growLane(src int) *lane {
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	t := m.lanes.Load()
+	if src < len(t.bySrc) {
+		return t.bySrc[src]
+	}
+	nt := &laneTable{bySrc: make([]*lane, src+1), misc: t.misc}
+	copy(nt.bySrc, t.bySrc)
+	for i := len(t.bySrc); i <= src; i++ {
+		nt.bySrc[i] = &lane{}
+	}
+	m.lanes.Store(nt)
+	return nt.bySrc[src]
+}
+
+// lockAll takes every lane lock in ascending rank order (misc last)
+// with growMu held, freezing the lane set. The AnySource slow path:
+// while held, no message can be filed unexpected and no competing
+// receive can be posted, so scanning the lanes and registering in
+// anyPend is one atomic step.
+func (m *Matcher) lockAll() *laneTable {
+	m.growMu.Lock()
+	t := m.lanes.Load()
+	for _, ln := range t.bySrc {
+		//fmilint:ignore lockorder every multi-lane lock walks ascending rank order under growMu, so no two holders ever disagree on direction
+		ln.mu.Lock()
+	}
+	t.misc.mu.Lock()
+	//fmilint:ignore lockheld lockAll/unlockAll are a hand-off pair; every caller releases via unlockAll
+	return t
+}
+
+func (m *Matcher) unlockAll(t *laneTable) {
+	t.misc.mu.Unlock()
+	for _, ln := range t.bySrc {
+		ln.mu.Unlock()
+	}
+	m.growMu.Unlock()
+}
+
+// ingest files one inbound frame: batches are unpacked, then the
+// frame passes the epoch gate and lands in its source's lane.
+func (m *Matcher) ingest(msg Msg) {
+	if msg.Kind == KindBatch {
+		m.unbatch(msg)
+		return
+	}
+	if m.closed.Load() {
+		msg.Release()
+		return
+	}
+	ln := m.laneFor(msg.Src)
+	ln.mu.Lock()
+	e := m.epoch.Load()
+	switch {
+	case msg.Epoch < e:
+		ln.dropped++
+		ln.mu.Unlock()
+		msg.Release() // stale epoch: discard (paper §IV-D)
+		return
+	case msg.Epoch > e:
+		ln.future = append(ln.future, msg)
+		ln.mu.Unlock()
+		return
+	}
+	m.matchOrQueueLane(ln, msg)
+	ln.mu.Unlock()
+}
+
+// unbatch unpacks a coalesced KindBatch frame and ingests each inner
+// frame — before any filtering, so epoch/view/dedup decisions apply
+// to the real frames, never the container. A malformed batch is
+// dropped whole.
+func (m *Matcher) unbatch(b Msg) {
+	parts, err := enc.UnpackBatch(b.Data)
+	if err != nil {
+		b.Release()
+		return
+	}
+	for _, p := range parts {
+		sub, err := decodeFrameBytes(p, b.pool)
+		if err != nil {
+			continue
+		}
+		m.ingest(sub)
+	}
+	b.Release()
+}
+
+// matchOrQueueLane applies view filtering and duplicate suppression,
+// then hands msg to the earliest-posted matching receive — across the
+// lane's posted queue and the AnySource queue — or files it
+// unexpected. Caller holds ln.mu.
+func (m *Matcher) matchOrQueueLane(ln *lane, msg Msg) {
+	if v := m.view.Load(); v != 0 && msg.View != 0 && msg.View < v {
 		// Stamped under a membership view that has since been replaced:
 		// the sender had not yet observed the view change. Epoch
 		// filtering already excludes almost all such traffic (every view
 		// change is an epoch fence); this is the defence in depth that
 		// makes stale-view delivery structurally impossible.
-		m.dropped++
+		ln.dropped++
 		msg.Release()
 		return
 	}
-	if m.dedup && msg.Seq != 0 {
-		if int(msg.Src) < 0 || int(msg.Src) >= len(m.seen) {
+	if m.dedup.Load() && msg.Seq != 0 {
+		if int64(msg.Src) < 0 || int64(msg.Src) >= m.dedupN.Load() {
 			msg.Release() // malformed source on a sequenced message
 			return
 		}
-		if msg.Seq <= m.seen[msg.Src] {
-			m.dupSuppressed++
+		if msg.Seq <= ln.seen {
+			ln.dupSuppressed++
 			msg.Release()
 			return
 		}
-		m.seen[msg.Src] = msg.Seq
+		ln.seen = msg.Seq
 	}
-	for i, req := range m.pending {
-		if req.cancelled {
-			continue
+	li := -1
+	for i, req := range ln.pending {
+		if !req.cancelled && reqMatches(req, msg) {
+			li = i
+			break
 		}
-		if reqMatches(req, msg) {
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
-			m.delivered++
+	}
+	if m.anyN.Load() > 0 {
+		m.anyMu.Lock()
+		ai := -1
+		for i, req := range m.anyPend {
+			if !req.cancelled && reqMatches(req, msg) {
+				ai = i
+				break
+			}
+		}
+		if ai >= 0 && (li < 0 || m.anyPend[ai].seq < ln.pending[li].seq) {
+			req := m.anyPend[ai]
+			m.anyPend = append(m.anyPend[:ai], m.anyPend[ai+1:]...)
+			m.anyN.Add(-1)
+			ln.delivered++
+			//fmilint:ignore lockheld reply has capacity 1 and a req removed from its queue gets exactly one send; holding anyMu here is what lets Await's cancel path prefer the message
 			req.reply <- msg
+			m.anyMu.Unlock()
 			return
 		}
+		m.anyMu.Unlock()
 	}
-	m.unexpected = append(m.unexpected, msg)
+	if li >= 0 {
+		req := ln.pending[li]
+		ln.pending = append(ln.pending[:li], ln.pending[li+1:]...)
+		ln.delivered++
+		req.reply <- msg
+		return
+	}
+	ln.pushUnx(msg)
 }
 
 func reqMatches(req *recvReq, msg Msg) bool {
 	return req.ctx == msg.Ctx &&
 		(req.src == AnySource || req.src == msg.Src) &&
 		(req.tag == AnyTag || req.tag == msg.Tag)
+}
+
+// takeLane removes and returns the earliest unexpected message in ln
+// matching the probe. Caller holds ln.mu. The FIFO common case (match
+// at the head) is O(1) however deep the backlog: the consumed prefix
+// is tracked by unHead instead of shifting the whole queue, so a
+// sender that outruns its receiver cannot turn matching quadratic.
+func takeLane(ln *lane, probe *recvReq) (Msg, bool) {
+	un := ln.unexpected
+	for i := ln.unHead; i < len(un); i++ {
+		if reqMatches(probe, un[i]) {
+			msg := un[i]
+			// Close the gap by shifting the (usually empty) live
+			// prefix up one slot, then advance the head.
+			copy(un[ln.unHead+1:i+1], un[ln.unHead:i])
+			un[ln.unHead] = Msg{}
+			ln.unHead++
+			if ln.unHead == len(un) {
+				ln.unexpected = un[:0]
+				ln.unHead = 0
+			}
+			ln.delivered++
+			return msg, true
+		}
+	}
+	return Msg{}, false
+}
+
+// takeAnyLocked scans the frozen lane set in ascending rank order
+// (misc last) for the probe's match. Caller holds all lane locks.
+func takeAnyLocked(t *laneTable, probe *recvReq) (Msg, bool) {
+	for _, ln := range t.bySrc {
+		if msg, ok := takeLane(ln, probe); ok {
+			return msg, true
+		}
+	}
+	return takeLane(t.misc, probe)
 }
 
 // Pending is a posted receive awaiting its match. MPI semantics:
@@ -162,24 +443,39 @@ type Pending struct {
 // PostRecv registers a receive for (ctx, src, tag); matching order
 // follows posting order. The returned Pending must be Awaited.
 func (m *Matcher) PostRecv(ctx uint32, src, tag int32) (*Pending, error) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return nil, ErrMatcherClosed
-	}
-	req := &recvReq{ctx: ctx, src: src, tag: tag}
-	// Check the unexpected queue first (earliest arrival wins).
-	for i, msg := range m.unexpected {
-		if reqMatches(req, msg) {
-			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
-			m.delivered++
-			m.mu.Unlock()
+	m.pump()
+	probe := recvReq{ctx: ctx, src: src, tag: tag}
+	if src == AnySource {
+		t := m.lockAll()
+		if m.closed.Load() {
+			m.unlockAll(t)
+			return nil, ErrMatcherClosed
+		}
+		if msg, ok := takeAnyLocked(t, &probe); ok {
+			m.unlockAll(t)
 			return &Pending{m: m, matched: msg, done: true}, nil
 		}
+		req := &recvReq{ctx: ctx, src: src, tag: tag, reply: make(chan Msg, 1), seq: m.postSeq.Add(1)}
+		m.anyMu.Lock()
+		m.anyPend = append(m.anyPend, req)
+		m.anyN.Add(1)
+		m.anyMu.Unlock()
+		m.unlockAll(t)
+		return &Pending{m: m, req: req}, nil
 	}
-	req.reply = make(chan Msg, 1)
-	m.pending = append(m.pending, req)
-	m.mu.Unlock()
+	ln := m.laneFor(src)
+	ln.mu.Lock()
+	if m.closed.Load() {
+		ln.mu.Unlock()
+		return nil, ErrMatcherClosed
+	}
+	if msg, ok := takeLane(ln, &probe); ok {
+		ln.mu.Unlock()
+		return &Pending{m: m, matched: msg, done: true}, nil
+	}
+	req := &recvReq{ctx: ctx, src: src, tag: tag, reply: make(chan Msg, 1), seq: m.postSeq.Add(1)}
+	ln.pending = append(ln.pending, req)
+	ln.mu.Unlock()
 	return &Pending{m: m, req: req}, nil
 }
 
@@ -190,20 +486,45 @@ func (p *Pending) Await(cancel <-chan struct{}) (Msg, error) {
 		return p.matched, nil
 	}
 	m := p.m
+	m.parkEnter()
+	defer m.parkExit()
 	select {
 	case msg := <-p.req.reply:
 		return msg, nil
 	case <-cancel:
-		m.mu.Lock()
+		if p.req.src == AnySource {
+			m.anyMu.Lock()
+			for i, r := range m.anyPend {
+				if r == p.req {
+					m.anyPend = append(m.anyPend[:i], m.anyPend[i+1:]...)
+					m.anyN.Add(-1)
+					break
+				}
+			}
+			p.req.cancelled = true
+			// Ingress may have matched concurrently (it sends while
+			// holding anyMu); prefer the message.
+			select {
+			case msg := <-p.req.reply:
+				m.anyMu.Unlock()
+				return msg, nil
+			default:
+			}
+			m.anyMu.Unlock()
+			return Msg{}, ErrCancelled
+		}
+		ln := m.laneFor(p.req.src)
+		ln.mu.Lock()
 		p.req.cancelled = true
-		// The demux may have matched concurrently; prefer the message.
+		// Ingress sends under the lane lock we now hold; prefer the
+		// message.
 		select {
 		case msg := <-p.req.reply:
-			m.mu.Unlock()
+			ln.mu.Unlock()
 			return msg, nil
 		default:
 		}
-		m.mu.Unlock()
+		ln.mu.Unlock()
 		return Msg{}, ErrCancelled
 	case <-m.closeCh:
 		return Msg{}, ErrMatcherClosed
@@ -212,8 +533,8 @@ func (p *Pending) Await(cancel <-chan struct{}) (Msg, error) {
 
 // reqPool recycles posted-receive records — and their one-slot reply
 // channels — for the blocking Recv fast path. A record is recycled
-// only once it is provably unreferenced: matched (removed from pending
-// by the demux) or cancelled (removed here under the lock, reply
+// only once it is provably unreferenced: matched (removed from its
+// queue by ingress) or cancelled (removed here under the lock, reply
 // drained). The close path leaks its record to the GC instead:
 // AdvanceEpoch does not check closed, so a recycled record could
 // otherwise receive a stray late message.
@@ -225,47 +546,103 @@ var reqPool = sync.Pool{New: func() any { return &recvReq{reply: make(chan Msg, 
 // bypasses the Pending wrapper and reuses request records, so a
 // matched receive performs no allocation.
 func (m *Matcher) Recv(ctx uint32, src, tag int32, cancel <-chan struct{}) (Msg, error) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.pump()
+	if src == AnySource {
+		return m.recvAny(ctx, tag, cancel)
+	}
+	ln := m.laneFor(src)
+	ln.mu.Lock()
+	if m.closed.Load() {
+		ln.mu.Unlock()
 		return Msg{}, ErrMatcherClosed
 	}
 	probe := recvReq{ctx: ctx, src: src, tag: tag}
-	for i, msg := range m.unexpected {
-		if reqMatches(&probe, msg) {
-			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
-			m.delivered++
-			m.mu.Unlock()
-			return msg, nil
-		}
+	if msg, ok := takeLane(ln, &probe); ok {
+		ln.mu.Unlock()
+		return msg, nil
 	}
 	req := reqPool.Get().(*recvReq)
 	req.ctx, req.src, req.tag, req.cancelled = ctx, src, tag, false
-	m.pending = append(m.pending, req)
-	m.mu.Unlock()
+	req.seq = m.postSeq.Add(1)
+	ln.pending = append(ln.pending, req)
+	ln.mu.Unlock()
 
+	m.parkEnter()
+	defer m.parkExit()
 	select {
 	case msg := <-req.reply:
 		reqPool.Put(req)
 		return msg, nil
 	case <-cancel:
-		m.mu.Lock()
-		for i, r := range m.pending {
+		ln.mu.Lock()
+		for i, r := range ln.pending {
 			if r == req {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				ln.pending = append(ln.pending[:i], ln.pending[i+1:]...)
 				break
 			}
 		}
-		// The demux may have matched concurrently (it sends under the
-		// lock we now hold); prefer the message.
+		// Ingress may have matched concurrently (it sends under the
+		// lane lock we now hold); prefer the message.
 		select {
 		case msg := <-req.reply:
-			m.mu.Unlock()
+			ln.mu.Unlock()
 			reqPool.Put(req)
 			return msg, nil
 		default:
 		}
-		m.mu.Unlock()
+		ln.mu.Unlock()
+		reqPool.Put(req)
+		return Msg{}, ErrCancelled
+	case <-m.closeCh:
+		return Msg{}, ErrMatcherClosed
+	}
+}
+
+// recvAny is Recv's AnySource slow path: all lanes locked in rank
+// order for the scan-or-post step.
+func (m *Matcher) recvAny(ctx uint32, tag int32, cancel <-chan struct{}) (Msg, error) {
+	t := m.lockAll()
+	if m.closed.Load() {
+		m.unlockAll(t)
+		return Msg{}, ErrMatcherClosed
+	}
+	probe := recvReq{ctx: ctx, src: AnySource, tag: tag}
+	if msg, ok := takeAnyLocked(t, &probe); ok {
+		m.unlockAll(t)
+		return msg, nil
+	}
+	req := reqPool.Get().(*recvReq)
+	req.ctx, req.src, req.tag, req.cancelled = ctx, AnySource, tag, false
+	req.seq = m.postSeq.Add(1)
+	m.anyMu.Lock()
+	m.anyPend = append(m.anyPend, req)
+	m.anyN.Add(1)
+	m.anyMu.Unlock()
+	m.unlockAll(t)
+
+	m.parkEnter()
+	defer m.parkExit()
+	select {
+	case msg := <-req.reply:
+		reqPool.Put(req)
+		return msg, nil
+	case <-cancel:
+		m.anyMu.Lock()
+		for i, r := range m.anyPend {
+			if r == req {
+				m.anyPend = append(m.anyPend[:i], m.anyPend[i+1:]...)
+				m.anyN.Add(-1)
+				break
+			}
+		}
+		select {
+		case msg := <-req.reply:
+			m.anyMu.Unlock()
+			reqPool.Put(req)
+			return msg, nil
+		default:
+		}
+		m.anyMu.Unlock()
 		reqPool.Put(req)
 		return Msg{}, ErrCancelled
 	case <-m.closeCh:
@@ -274,32 +651,29 @@ func (m *Matcher) Recv(ctx uint32, src, tag int32, cancel <-chan struct{}) (Msg,
 }
 
 // TryRecv performs a non-blocking matched receive from the unexpected
-// queue (an MPI_Iprobe+Recv analogue).
+// queues (an MPI_Iprobe+Recv analogue).
 func (m *Matcher) TryRecv(ctx uint32, src, tag int32) (Msg, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	req := &recvReq{ctx: ctx, src: src, tag: tag}
-	for i, msg := range m.unexpected {
-		if reqMatches(req, msg) {
-			m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
-			m.delivered++
-			return msg, true
-		}
+	m.pump()
+	probe := recvReq{ctx: ctx, src: src, tag: tag}
+	if src == AnySource {
+		t := m.lockAll()
+		msg, ok := takeAnyLocked(t, &probe)
+		m.unlockAll(t)
+		return msg, ok
 	}
-	return Msg{}, false
+	ln := m.laneFor(src)
+	ln.mu.Lock()
+	msg, ok := takeLane(ln, &probe)
+	ln.mu.Unlock()
+	return msg, ok
 }
 
 // Epoch returns the current epoch.
-func (m *Matcher) Epoch() uint32 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.epoch
-}
+func (m *Matcher) Epoch() uint32 { return m.epoch.Load() }
 
 // AdvanceEpoch moves the matcher to epoch e: queued messages older
-// than e are discarded (including everything currently unexpected from
-// previous epochs) and buffered future messages at exactly e are
-// re-delivered.
+// than e are discarded (including everything unexpected from previous
+// epochs) and buffered future messages at exactly e are re-delivered.
 func (m *Matcher) AdvanceEpoch(e uint32) {
 	// An epoch fence is an explicit flush boundary for batching
 	// transports: everything queued for the old epoch goes to the wire
@@ -307,67 +681,122 @@ func (m *Matcher) AdvanceEpoch(e uint32) {
 	if f, ok := m.ep.(Flusher); ok {
 		f.FlushBarrier()
 	}
-	m.mu.Lock()
-	if e <= m.epoch {
-		m.mu.Unlock()
-		return
+	for {
+		cur := m.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if m.epoch.CompareAndSwap(cur, e) {
+			break
+		}
 	}
-	m.epoch = e
-	// All unexpected messages necessarily have epoch < e: discard.
-	m.dropped += uint64(len(m.unexpected))
-	for i := range m.unexpected {
-		m.unexpected[i].Release()
+	// Sweep the lanes. A message can race the fence into a lane we
+	// have already swept; it is filtered against the new epoch at
+	// ingest, so the sweep and the gate agree.
+	t := m.lanes.Load()
+	for _, ln := range t.bySrc {
+		m.sweepLaneEpoch(ln, e)
 	}
-	m.unexpected = nil
-	flush := m.future
-	m.future = nil
+	m.sweepLaneEpoch(t.misc, e)
+}
+
+func (m *Matcher) sweepLaneEpoch(ln *lane, e uint32) {
+	ln.mu.Lock()
+	keep := ln.unexpected[:0]
+	for _, msg := range ln.unx() {
+		if msg.Epoch < e {
+			ln.dropped++
+			msg.Release()
+		} else {
+			keep = append(keep, msg)
+		}
+	}
+	ln.resetUnx(keep)
+	flush := ln.future
+	ln.future = nil
 	var still []Msg
 	for _, msg := range flush {
 		switch {
 		case msg.Epoch < e:
-			m.dropped++
+			ln.dropped++
 			msg.Release()
 		case msg.Epoch > e:
 			still = append(still, msg)
 		default:
-			m.matchOrQueueLocked(msg)
+			m.matchOrQueueLane(ln, msg)
 		}
 	}
-	m.future = still
-	m.mu.Unlock()
+	ln.future = still
+	ln.mu.Unlock()
 }
 
 // AdvanceView raises the minimum acceptable membership view version:
 // view-stamped messages below it are discarded on delivery. Like
 // epochs, views only move forward. Messages already accepted (the
-// unexpected queue, Inject carry-over) are unaffected — they were
+// unexpected queues, Inject carry-over) are unaffected — they were
 // accepted under a view the receiver had installed at the time.
 func (m *Matcher) AdvanceView(v uint64) {
-	m.mu.Lock()
-	if v > m.view {
-		m.view = v
+	for {
+		cur := m.view.Load()
+		if v <= cur {
+			return
+		}
+		if m.view.CompareAndSwap(cur, v) {
+			return
+		}
 	}
-	m.mu.Unlock()
 }
 
 // Stats returns (delivered, dropped, duplicate-suppressed) message
-// counts. dropped counts stale-epoch discards (paper §IV-D);
-// dupSuppressed counts sequenced duplicates discarded by local
-// recovery's receive-side watermarks.
+// counts summed across lanes. dropped counts stale-epoch discards
+// (paper §IV-D); dupSuppressed counts sequenced duplicates discarded
+// by local recovery's receive-side watermarks.
 func (m *Matcher) Stats() (delivered, dropped, dupSuppressed uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.delivered, m.dropped, m.dupSuppressed
+	t := m.lockAll()
+	for _, ln := range t.bySrc {
+		delivered += ln.delivered
+		dropped += ln.dropped
+		dupSuppressed += ln.dupSuppressed
+	}
+	delivered += t.misc.delivered
+	dropped += t.misc.dropped
+	dupSuppressed += t.misc.dupSuppressed
+	m.unlockAll(t)
+	return
+}
+
+// LaneStats returns the per-source counters, indexed by source rank.
+// Sources the matcher never heard from report zeros; misc (negative
+// source) traffic is visible only in the Stats aggregate.
+func (m *Matcher) LaneStats() []LaneCounters {
+	t := m.lockAll()
+	out := make([]LaneCounters, len(t.bySrc))
+	for i, ln := range t.bySrc {
+		out[i] = LaneCounters{Delivered: ln.delivered, Dropped: ln.dropped, DupSuppressed: ln.dupSuppressed}
+	}
+	m.unlockAll(t)
+	return out
 }
 
 // EnableDedup switches on sequenced-duplicate suppression for a world
 // of n ranks. Call before any sequenced traffic arrives.
 func (m *Matcher) EnableDedup(n int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.dedup = true
-	if len(m.seen) != n {
-		m.seen = make([]uint64, n)
+	if n > 0 {
+		m.growLane(n - 1)
+	}
+	m.dedup.Store(true)
+	m.raiseDedupN(int64(n))
+}
+
+func (m *Matcher) raiseDedupN(n int64) {
+	for {
+		cur := m.dedupN.Load()
+		if n <= cur {
+			return
+		}
+		if m.dedupN.CompareAndSwap(cur, n) {
+			return
+		}
 	}
 }
 
@@ -376,66 +805,62 @@ func (m *Matcher) EnableDedup(n int) {
 // from the checkpointed receive state on a respawned rank. Watermarks
 // only move forward.
 func (m *Matcher) SeedSeen(seen []uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.dedup {
-		m.dedup = true
-	}
-	if len(m.seen) < len(seen) {
-		grown := make([]uint64, len(seen))
-		copy(grown, m.seen)
-		m.seen = grown
-	}
-	for i, s := range seen {
-		if s > m.seen[i] {
-			m.seen[i] = s
-		}
-	}
+	m.seedSeen(seen, false)
 }
 
 // SeedSeenPurge adopts watermarks like SeedSeen and, under the same
-// lock, drops queued sequenced messages at or below the new
+// lane locks, drops queued sequenced messages at or below the new
 // watermarks. A re-provisioned shadow uses this when applying its
 // primary's state snapshot: any copies the shadow queued before the
 // snapshot was taken are already inside it (the snapshot carries the
 // primary's queue), so keeping them would deliver duplicates the
 // moment the dedup filter's history jumps forward.
 func (m *Matcher) SeedSeenPurge(seen []uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if !m.dedup {
-		m.dedup = true
+	m.seedSeen(seen, true)
+}
+
+func (m *Matcher) seedSeen(seen []uint64, purge bool) {
+	if len(seen) > 0 {
+		m.growLane(len(seen) - 1)
 	}
-	if len(m.seen) < len(seen) {
-		grown := make([]uint64, len(seen))
-		copy(grown, m.seen)
-		m.seen = grown
-	}
+	m.dedup.Store(true)
+	m.raiseDedupN(int64(len(seen)))
+	t := m.lanes.Load()
 	for i, s := range seen {
-		if s > m.seen[i] {
-			m.seen[i] = s
+		ln := t.bySrc[i]
+		ln.mu.Lock()
+		if s > ln.seen {
+			ln.seen = s
 		}
-	}
-	keep := m.unexpected[:0]
-	for _, msg := range m.unexpected {
-		if msg.Seq != 0 && int(msg.Src) >= 0 && int(msg.Src) < len(m.seen) && msg.Seq <= m.seen[msg.Src] {
-			m.dupSuppressed++
-			msg.Release()
-		} else {
-			keep = append(keep, msg)
+		if purge {
+			keep := ln.unexpected[:0]
+			for _, msg := range ln.unx() {
+				if msg.Seq != 0 && msg.Seq <= ln.seen {
+					ln.dupSuppressed++
+					msg.Release()
+				} else {
+					keep = append(keep, msg)
+				}
+			}
+			ln.resetUnx(keep)
 		}
+		ln.mu.Unlock()
 	}
-	m.unexpected = keep
 }
 
 // SeenVector returns a copy of the per-source ingress watermarks: the
 // highest sequenced message accepted from each source. During replay
 // negotiation this is exactly the rank's "what I already have" vector.
 func (m *Matcher) SeenVector() []uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]uint64, len(m.seen))
-	copy(out, m.seen)
+	n := int(m.dedupN.Load())
+	t := m.lanes.Load()
+	out := make([]uint64, n)
+	for i := 0; i < n && i < len(t.bySrc); i++ {
+		ln := t.bySrc[i]
+		ln.mu.Lock()
+		out[i] = ln.seen
+		ln.mu.Unlock()
+	}
 	return out
 }
 
@@ -444,65 +869,74 @@ func (m *Matcher) SeenVector() []uint64 {
 // (level-2) rollback, after which every rank restarts its streams from
 // scratch in lockstep.
 func (m *Matcher) ResetSeen() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for i := range m.seen {
-		m.seen[i] = 0
-	}
-	keep := m.unexpected[:0]
-	for _, msg := range m.unexpected {
-		if msg.Seq == 0 {
-			keep = append(keep, msg)
-		} else {
-			msg.Release()
+	t := m.lanes.Load()
+	for _, ln := range t.bySrc {
+		ln.mu.Lock()
+		ln.seen = 0
+		keep := ln.unexpected[:0]
+		for _, msg := range ln.unx() {
+			if msg.Seq == 0 {
+				keep = append(keep, msg)
+			} else {
+				msg.Release()
+			}
 		}
+		ln.resetUnx(keep)
+		ln.mu.Unlock()
 	}
-	m.unexpected = keep
 }
 
-// Inject appends already-accepted messages to the unexpected queue,
-// bypassing the epoch and duplicate filters (their sequence numbers
-// are already covered by the seeded watermarks). Used to carry
-// accepted-but-unconsumed messages across an epoch fence, and to
-// restore a checkpointed queue on a respawned rank.
+// Inject appends already-accepted messages to their source lanes'
+// unexpected queues, bypassing the epoch and duplicate filters (their
+// sequence numbers are already covered by the seeded watermarks).
+// Used to carry accepted-but-unconsumed messages across an epoch
+// fence, and to restore a checkpointed queue on a respawned rank.
 func (m *Matcher) Inject(msgs []Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.unexpected = append(m.unexpected, msgs...)
+	for _, msg := range msgs {
+		ln := m.laneFor(msg.Src)
+		ln.mu.Lock()
+		ln.pushUnx(msg)
+		ln.mu.Unlock()
+	}
 }
 
 // HarvestState snapshots the duplicate-suppression state for carry-over
 // or checkpointing: the seen watermarks plus the sequenced
-// (data-plane) messages accepted into the unexpected queue but not yet
-// consumed. Unsequenced control messages and future-epoch buffers are
-// excluded — the former are generation-private, the latter were never
-// accepted (their sequence numbers are above the watermark, so a
-// replay regenerates them). The returned messages have their replay
-// flag cleared.
+// (data-plane) messages accepted into the unexpected queues but not
+// yet consumed. The rings are pumped first so frames already
+// published by co-located senders are accepted and carried across the
+// fence instead of being lost with the endpoint. Unsequenced control
+// messages and future-epoch buffers are excluded — the former are
+// generation-private, the latter were never accepted (their sequence
+// numbers are above the watermark, so a replay regenerates them). The
+// returned messages have their replay flag cleared; lanes are visited
+// in rank order, so the queue snapshot is deterministic.
 func (m *Matcher) HarvestState() (seen []uint64, queued []Msg) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	seen = make([]uint64, len(m.seen))
-	copy(seen, m.seen)
-	for _, msg := range m.unexpected {
-		if msg.Seq == 0 {
-			continue
-		}
-		msg.Flags &^= FlagReplay
-		queued = append(queued, msg)
+	m.pump()
+	n := int(m.dedupN.Load())
+	seen = make([]uint64, n)
+	t := m.lockAll()
+	for i := 0; i < n && i < len(t.bySrc); i++ {
+		seen[i] = t.bySrc[i].seen
 	}
+	for _, ln := range t.bySrc {
+		live := ln.unx()
+		for j := range live {
+			if live[j].Seq == 0 {
+				continue
+			}
+			live[j].Flags &^= FlagReplay
+			queued = append(queued, live[j])
+		}
+	}
+	m.unlockAll(t)
 	return seen, queued
 }
 
 // Close shuts the matcher down; blocked receives return
 // ErrMatcherClosed.
 func (m *Matcher) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return
+	if m.closed.CompareAndSwap(false, true) {
+		close(m.closeCh)
 	}
-	m.closed = true
-	close(m.closeCh)
-	m.mu.Unlock()
 }

@@ -74,9 +74,8 @@ func TestMatcherParityChanVsTCP(t *testing.T) {
 		for {
 			_, dropped, dup := m.Stats()
 			if dup >= 1 && dropped == 0 {
-				m.mu.Lock()
-				landed := len(m.unexpected) + len(m.future)
-				m.mu.Unlock()
+				unex, fut := m.queuedLen()
+				landed := unex + fut
 				if landed >= 3 {
 					break
 				}

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether this binary was built with -race; the
+// SPSC stress test shrinks its message count to fit the detector's
+// per-op overhead.
+const raceEnabled = true

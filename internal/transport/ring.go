@@ -1,0 +1,155 @@
+package transport
+
+import "sync/atomic"
+
+// ring is the per-(sender, receiver) lock-free queue behind
+// ChanNetwork's intra-node fast path: a fixed power-of-two slot array
+// with per-slot sequence counters (Vyukov's bounded queue) and padded
+// head/tail cursors so the producer and consumer never share a cache
+// line. Slots carry whole Msg values whose payloads are bufpool
+// copies, so a slot's ownership contract is the arena's: the producer
+// Gets at enqueue, whoever dequeues Releases (or hands the frame on).
+//
+// The common case is strict SPSC — one rank sending, its co-located
+// peer draining — but the sequence counters keep the queue safe when
+// extra parties touch it: a message-log replay enqueues from its own
+// goroutine, and the poison protocol below makes the producer and the
+// dying endpoint race to drain the same slots.
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+
+	_        [56]byte // keep the cursors on separate cache lines
+	head     atomic.Uint64
+	_        [56]byte
+	tail     atomic.Uint64
+	_        [56]byte
+	poisoned atomic.Bool
+
+	// space carries "the consumer made room" wakeups to producers
+	// blocked on a full ring; capacity 1 so a signal sent between a
+	// producer's full-check and its park is not lost.
+	space chan struct{}
+}
+
+// defaultRingSlots is the per-pair ring capacity; small enough that a
+// ring per co-located pair stays cheap, large enough that a bursty
+// sender overflows into the coalescing batch instead of blocking.
+const defaultRingSlots = 256
+
+type ringSlot struct {
+	seq atomic.Uint64
+	m   Msg
+}
+
+// newRing creates a ring with capacity rounded up to a power of two.
+func newRing(capacity int) *ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ring{
+		mask:  uint64(n - 1),
+		slots: make([]ringSlot, n),
+		space: make(chan struct{}, 1),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// enqueue publishes m; it returns false when the ring is full or
+// poisoned (the caller still owns m in that case). If the ring is
+// poisoned between the slot claim and the publish, the producer
+// itself drains the ring — the dying endpoint's drain pass may
+// already have run past the half-written slot — so no frame is ever
+// stranded in a dead ring. In that case enqueue still returns true:
+// the message was accepted and then dropped, which to the sender is
+// indistinguishable from a send to a dead peer (PSM semantics).
+func (r *ring) enqueue(m Msg) bool {
+	if r.poisoned.Load() {
+		return false
+	}
+	for {
+		pos := r.tail.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		if seq == pos {
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.m = m
+				s.seq.Store(pos + 1)
+				if r.poisoned.Load() {
+					r.drain(releaseMsg)
+				}
+				return true
+			}
+		} else if seq < pos {
+			return false // full
+		}
+		// seq > pos: another producer advanced tail under us; retry.
+	}
+}
+
+// dequeue takes the oldest message; ok is false when the ring is
+// empty. Safe for concurrent dequeuers (the pump and a poison drain
+// can overlap).
+func (r *ring) dequeue() (Msg, bool) {
+	for {
+		pos := r.head.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		if seq == pos+1 {
+			if r.head.CompareAndSwap(pos, pos+1) {
+				m := s.m
+				s.m = Msg{}
+				s.seq.Store(pos + r.mask + 1)
+				return m, true
+			}
+		} else if seq <= pos {
+			return Msg{}, false // empty (or the next slot is mid-publish)
+		}
+	}
+}
+
+// hasSpace reports whether an enqueue would currently find a free
+// slot. Advisory: with a concurrent consumer the answer can only get
+// more permissive.
+func (r *ring) hasSpace() bool {
+	pos := r.tail.Load()
+	return r.slots[pos&r.mask].seq.Load() == pos
+}
+
+// signalSpace wakes one producer blocked on a full ring. Non-blocking;
+// the 1-slot buffer latches the wakeup.
+func (r *ring) signalSpace() {
+	select {
+	case r.space <- struct{}{}:
+	default:
+	}
+}
+
+// poison marks the ring dead and drains every published frame back to
+// its arena. Called by the receiving endpoint's shutdown; combined
+// with the producer-side re-check in enqueue, every pooled payload in
+// the ring is released exactly once.
+func (r *ring) poison() {
+	r.poisoned.Store(true)
+	r.drain(releaseMsg)
+	r.signalSpace() // unblock a producer parked on a full dead ring
+}
+
+// drain dequeues until empty, handing each frame to fn.
+func (r *ring) drain(fn func(Msg)) int {
+	n := 0
+	for {
+		m, ok := r.dequeue()
+		if !ok {
+			return n
+		}
+		n++
+		fn(m)
+	}
+}
+
+func releaseMsg(m Msg) { m.Release() }

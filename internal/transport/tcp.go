@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fmi/internal/bufpool"
+	"fmi/internal/enc"
 )
 
 // TCPNetwork is a Network over real TCP sockets on loopback, built on
@@ -97,7 +98,12 @@ type msgConn struct {
 	deadOnce sync.Once
 	dead     chan struct{}
 
-	hdr [frameHeaderSize]byte // writer-goroutine-only
+	// Writer-goroutine-only scratch: the frame header, the burst
+	// gathered from q, and the batch encode buffer (all reused, so
+	// steady-state batching allocates nothing).
+	hdr     [frameHeaderSize]byte
+	burst   []Msg
+	scratch []byte
 }
 
 func (mc *msgConn) kill() {
@@ -187,6 +193,14 @@ func (ep *tcpEndpoint) msgReadLoop(c net.Conn) {
 		if err != nil {
 			return
 		}
+		if m.Kind == KindBatch {
+			// Unbatch at ingress: Recv()'s contract is a stream of the
+			// frames that were sent, never the coalescing containers.
+			if !ep.inboxBatch(m) {
+				return
+			}
+			continue
+		}
 		select {
 		case ep.inbox <- m:
 		case <-ep.dead:
@@ -194,6 +208,33 @@ func (ep *tcpEndpoint) msgReadLoop(c net.Conn) {
 			return
 		}
 	}
+}
+
+// inboxBatch unpacks a coalesced frame and delivers the inner frames
+// to the inbox in order. A malformed batch is dropped whole (the
+// sender only ever emits well-formed ones; corruption means the
+// stream is toast anyway). Returns false when the endpoint died.
+func (ep *tcpEndpoint) inboxBatch(b Msg) bool {
+	parts, err := enc.UnpackBatch(b.Data)
+	if err != nil {
+		b.Release()
+		return true
+	}
+	for _, p := range parts {
+		m, err := decodeFrameBytes(p, ep.opts.Pool)
+		if err != nil {
+			continue
+		}
+		select {
+		case ep.inbox <- m:
+		case <-ep.dead:
+			m.Release()
+			b.Release()
+			return false
+		}
+	}
+	b.Release()
+	return true
 }
 
 // Send queues m for the peer's message plane, dialing lazily. The
@@ -231,13 +272,22 @@ func (ep *tcpEndpoint) Send(to Addr, m Msg) error {
 	}
 }
 
-// writeLoop is the connection's writer goroutine: it dequeues frames,
-// encodes them through the shared bufio.Writer using the conn-scoped
-// header scratch, and flushes only when the queue goes momentarily
-// idle — so a burst of k sends costs one flush, while a lone send
-// still hits the wire immediately (no added latency, which also keeps
-// collectives deadlock-free: a frame a peer is blocked on is never
-// held back waiting for more traffic).
+// Batching bounds for the TCP writer: only frames this small join a
+// batch, and a single batch frame carries at most this many.
+const (
+	tcpBatchMaxEach = 4 << 10
+	tcpBatchMaxRun  = 64
+)
+
+// writeLoop is the connection's writer goroutine: it gathers whatever
+// burst is sitting in the queue, encodes it through the shared
+// bufio.Writer, and flushes once per burst — so a burst of k sends
+// costs one flush, while a lone send still hits the wire immediately
+// (no added latency, which also keeps collectives deadlock-free: a
+// frame a peer is blocked on is never held back waiting for more
+// traffic). Within a burst, consecutive runs of small frames are
+// coalesced into single KindBatch frames, cutting per-frame header
+// and receive-path costs on top of the shared flush.
 func (ep *tcpEndpoint) writeLoop(to Addr, mc *msgConn) {
 	fail := func() {
 		ep.dropMsgConn(to, mc)
@@ -246,28 +296,22 @@ func (ep *tcpEndpoint) writeLoop(to Addr, mc *msgConn) {
 	for {
 		select {
 		case m := <-mc.q:
-			batch := int64(1)
-			if err := mc.writeOne(m); err != nil {
-				mc.pending.Add(-batch)
-				fail()
-				return
-			}
-		coalesce:
+			mc.burst = append(mc.burst[:0], m)
+		gather:
 			for {
 				select {
 				case m = <-mc.q:
-					batch++
-					if err := mc.writeOne(m); err != nil {
-						mc.pending.Add(-batch)
-						fail()
-						return
-					}
+					mc.burst = append(mc.burst, m)
 				default:
-					break coalesce
+					break gather
 				}
 			}
-			err := mc.w.Flush()
-			mc.pending.Add(-batch)
+			n := int64(len(mc.burst))
+			err := mc.writeBurst(ep.opts.DisableCoalesce)
+			if err == nil {
+				err = mc.w.Flush()
+			}
+			mc.pending.Add(-n)
 			if err != nil {
 				fail()
 				return
@@ -280,6 +324,55 @@ func (ep *tcpEndpoint) writeLoop(to Addr, mc *msgConn) {
 			return
 		}
 	}
+}
+
+// writeBurst encodes the gathered burst in order: runs of 2+ small
+// frames become one KindBatch frame, everything else is written
+// as-is. Every burst frame is released exactly once, whether written
+// or abandoned on a write error.
+func (mc *msgConn) writeBurst(disableBatch bool) error {
+	var err error
+	i := 0
+	for i < len(mc.burst) && err == nil {
+		j := i
+		if !disableBatch {
+			for j < len(mc.burst) && j-i < tcpBatchMaxRun && len(mc.burst[j].Data) <= tcpBatchMaxEach {
+				j++
+			}
+		}
+		if j-i >= 2 {
+			err = mc.writeRun(mc.burst[i:j])
+			i = j
+		} else {
+			err = mc.writeOne(mc.burst[i])
+			i++
+		}
+	}
+	for ; i < len(mc.burst); i++ {
+		mc.burst[i].Release() // write failed: drop the rest (PSM semantics)
+	}
+	for i := range mc.burst {
+		mc.burst[i] = Msg{}
+	}
+	mc.burst = mc.burst[:0]
+	return err
+}
+
+// writeRun coalesces run (all small frames) into one batch frame.
+func (mc *msgConn) writeRun(run []Msg) error {
+	total := enc.BatchHeaderLen
+	for i := range run {
+		total += batchFrameLen(&run[i])
+	}
+	if cap(mc.scratch) < total {
+		mc.scratch = make([]byte, 0, total)
+	}
+	mc.scratch = enc.AppendBatchHeader(mc.scratch[:0], len(run))
+	for i := range run {
+		mc.scratch = appendBatchFrame(mc.scratch, &run[i])
+		run[i].Release()
+	}
+	return writeFrame(mc.w, &mc.hdr, Msg{Kind: KindBatch, Data: mc.scratch})
 }
 
 // writeOne encodes m into the buffered writer and recycles the pooled
@@ -453,15 +546,7 @@ const frameHeaderSize = 4 + 1 + 1 + 4 + 4 + 4 + 4 + 8 + 8
 // writeFrame encodes m through hdr, the caller-owned header scratch
 // (connection-scoped on the send path — no per-frame allocation).
 func writeFrame(w *bufio.Writer, hdr *[frameHeaderSize]byte, m Msg) error {
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(m.Data)))
-	hdr[4] = m.Kind
-	hdr[5] = m.Flags
-	binary.LittleEndian.PutUint32(hdr[6:], uint32(m.Src))
-	binary.LittleEndian.PutUint32(hdr[10:], uint32(m.Tag))
-	binary.LittleEndian.PutUint32(hdr[14:], m.Ctx)
-	binary.LittleEndian.PutUint32(hdr[18:], m.Epoch)
-	binary.LittleEndian.PutUint64(hdr[22:], m.Seq)
-	binary.LittleEndian.PutUint64(hdr[30:], m.View)
+	encodeFrameHeader(hdr, &m)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}

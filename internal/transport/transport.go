@@ -44,6 +44,11 @@ const (
 	KindColl
 	KindCkpt
 	KindCtl
+	// KindBatch is transport-internal: a container frame produced by
+	// send-side coalescing whose payload is an enc batch of complete
+	// frames (header + payload each). It is unpacked at matcher
+	// ingress; upper layers never see it.
+	KindBatch
 )
 
 // Msg flags.
@@ -136,6 +141,21 @@ type Options struct {
 	// copies (chan Send) and frame reads (TCP). nil disables pooling:
 	// every frame allocates, messages never need releasing.
 	Pool *bufpool.Arena
+	// DisableRings forces every ChanNetwork pair onto the channel
+	// path even when sender and receiver share a node. Rings are also
+	// bypassed automatically when MsgDelay > 0 (the delay queue is the
+	// simulated wire; a same-node shortcut would skip it).
+	DisableRings bool
+	// DisableCoalesce turns off send-side batching of small frames:
+	// the chan path blocks on a full ring instead of coalescing, and
+	// the TCP writer emits one frame per message.
+	DisableCoalesce bool
+	// RingSlots is the per-pair ring capacity (rounded up to a power
+	// of two; 0 means a default of 256).
+	RingSlots int
+	// Endpoints is a sizing hint: the number of endpoints the caller
+	// expects to create on the network (0 = unknown).
+	Endpoints int
 }
 
 func (o Options) inboxCap() int {
@@ -143,6 +163,13 @@ func (o Options) inboxCap() int {
 		return 4096
 	}
 	return o.InboxCap
+}
+
+func (o Options) ringSlots() int {
+	if o.RingSlots <= 0 {
+		return defaultRingSlots
+	}
+	return o.RingSlots
 }
 
 // Conn is a monitored connection between two endpoints. The log-ring
@@ -197,4 +224,36 @@ type Flusher interface {
 // disconnects after DetectDelay and in-flight messages may be lost.
 type Network interface {
 	NewEndpoint(die <-chan struct{}) (Endpoint, error)
+}
+
+// NodePlacer is optionally implemented by networks that model node
+// placement. An endpoint created with a node id participates in the
+// intra-node fast path: pairs on the same node exchange messages over
+// per-pair rings instead of the shared channel path. NewEndpoint is
+// equivalent to NewEndpointOnNode(-1, die): unplaced, no rings.
+type NodePlacer interface {
+	NewEndpointOnNode(node int, die <-chan struct{}) (Endpoint, error)
+}
+
+// RingIngress is implemented by endpoints whose inbound traffic can
+// arrive on per-pair rings in addition to the Recv channel. The
+// Matcher is the intended consumer: it pumps the rings inline on
+// every receive call and its demux goroutine watches RingBell for
+// traffic that arrives while every receiver is parked.
+type RingIngress interface {
+	// RingBell returns the doorbell: a 1-slot channel that a producer
+	// taps after publishing to any of the endpoint's rings. nil when
+	// the endpoint was created without a node id (no rings ever).
+	RingBell() <-chan struct{}
+	// PumpRings drains every inbound ring, handing frames to fn in
+	// per-(sender, receiver) FIFO order. It returns false without
+	// calling fn when another pump is already running (the concurrent
+	// pump delivers the frames; running two would reorder a pair).
+	PumpRings(fn func(Msg)) bool
+	// AddRingWaiter adjusts the count of receivers parked (or about
+	// to park) waiting for a match. Producers tap the bell only while
+	// the count is non-zero; a waiter must therefore pump once more
+	// after incrementing and before parking, so a publish that read
+	// the count as zero is seen by that final pump.
+	AddRingWaiter(delta int32)
 }

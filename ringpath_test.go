@@ -1,0 +1,115 @@
+package fmi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Ring fast-path acceptance tests (ISSUE 10 satellite): the intra-node
+// SPSC rings and send-side coalescing are pure transport optimizations,
+// so (1) switching them on or off must not change a single byte of any
+// rank's final state, with or without an injected failure, and (2) a
+// rank killed mid-collective while its peers are exchanging over rings
+// must recover exactly like the channel path does. ProcsPerNode is 2
+// throughout so neighbouring ranks co-locate and the ring path actually
+// engages (ppn=1 would silently test the channel path only).
+
+// transportModeConfigs enumerates the ring/coalescing ablation matrix.
+func transportModeConfigs() []struct {
+	name string
+	pin  func(*Config)
+}{
+	return []struct {
+		name string
+		pin  func(*Config)
+	}{
+		{"rings+coalesce", func(*Config) {}},
+		{"rings-only", func(c *Config) { c.NoSendCoalescing = true }},
+		{"no-rings", func(c *Config) { c.NoTransportRings = true }},
+		{"neither", func(c *Config) { c.NoTransportRings = true; c.NoSendCoalescing = true }},
+	}
+}
+
+// TestTransportModesByteIdentical runs the pooling parity workload —
+// p2p sendrecv, packed collectives, checkpoints — across the full
+// ring/coalescing matrix and requires byte-identical per-rank state.
+// The fault=true arm additionally kills a rank mid-run, so recovery
+// replay and ring teardown/rebuild are covered by the same identity.
+func TestTransportModesByteIdentical(t *testing.T) {
+	for _, fault := range []bool{false, true} {
+		fault := fault
+		t.Run(fmt.Sprintf("fault=%v", fault), func(t *testing.T) {
+			var want map[int][]byte
+			for _, mode := range transportModeConfigs() {
+				cfg := fastCfg(8, 2, 1, 2)
+				mode.pin(&cfg)
+				if fault {
+					cfg.Faults = &FaultPlan{Script: []Fault{{AfterLoop: 3, Node: -1, Rank: 5}}}
+				}
+				var results sync.Map
+				if _, err := Run(cfg, poolParityApp(7, &results)); err != nil {
+					t.Fatalf("%s: Run: %v", mode.name, err)
+				}
+				got := map[int][]byte{}
+				results.Range(func(k, v any) bool {
+					got[k.(int)] = v.([]byte)
+					return true
+				})
+				if len(got) != 8 {
+					t.Fatalf("%s: %d results, want 8", mode.name, len(got))
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				for r, w := range want {
+					if !bytes.Equal(got[r], w) {
+						t.Errorf("%s: rank %d state %x, want %x", mode.name, r, got[r], w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMidCollectiveKillOnRingPath kills a rank while a forced-ring
+// allreduce is in flight between co-located pairs, under both recovery
+// modes. The debug arena makes the run double as a leak check: a ring
+// slot orphaned by the victim's poison-drain, or a coalesced batch
+// dropped mid-unpack, would surface as a Run error from the arena
+// audit. The surviving ranks must converge to the exact answer.
+func TestMidCollectiveKillOnRingPath(t *testing.T) {
+	const ranks, iters = 8, 9
+	for _, recovery := range []string{"global", "local"} {
+		recovery := recovery
+		t.Run(recovery, func(t *testing.T) {
+			cfg := fastCfg(ranks, 2, 1, 2)
+			cfg.Recovery = recovery
+			cfg.Pooling = PoolingDebug
+			cfg.Collectives.Allreduce = "ring" // pin the ring schedule: long-lived pairwise traffic
+			cfg.Faults = &FaultPlan{Script: []Fault{{AfterLoop: 4, Node: -1, Rank: 3}}}
+			var results sync.Map
+			rep, err := Run(cfg, ringAllreduceApp(iters, &results))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Recoveries == 0 {
+				t.Fatal("no recovery happened")
+			}
+			want := ringAllreduceFinal(ranks, iters)
+			n := 0
+			results.Range(func(k, v any) bool {
+				n++
+				if v.(int64) != want {
+					t.Errorf("rank %v: %d, want %d", k, v, want)
+				}
+				return true
+			})
+			if n != ranks {
+				t.Fatalf("%d results, want %d", n, ranks)
+			}
+		})
+	}
+}
